@@ -1,0 +1,66 @@
+//! Criterion benches for the BlockZIP codec (paper §8 / Figure 12):
+//! compression and decompression throughput on record-shaped data, plus
+//! the Algorithm 2 block packer and single-block random access.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn salary_records(n: usize) -> Vec<Vec<u8>> {
+    (0..n)
+        .map(|i| {
+            format!(
+                "{}|{}|{:04}-{:02}-01|{:04}-{:02}-01",
+                100000 + i / 7,
+                40000 + (i * 137) % 30000,
+                1988 + i % 15,
+                1 + i % 12,
+                1989 + i % 15,
+                1 + (i + 3) % 12
+            )
+            .into_bytes()
+        })
+        .collect()
+}
+
+fn bench_blockzip(c: &mut Criterion) {
+    let records = salary_records(20_000);
+    let joined: Vec<u8> = records
+        .iter()
+        .flat_map(|r| {
+            let mut v = (r.len() as u32).to_le_bytes().to_vec();
+            v.extend_from_slice(r);
+            v
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("codec");
+    group.throughput(Throughput::Bytes(joined.len() as u64));
+    group.sample_size(10);
+    group.bench_function("compress", |b| {
+        b.iter(|| blockzip::compress(std::hint::black_box(&joined)));
+    });
+    let compressed = blockzip::compress(&joined);
+    println!(
+        "blockzip ratio on salary records: {:.3}",
+        compressed.len() as f64 / joined.len() as f64
+    );
+    group.throughput(Throughput::Bytes(compressed.len() as u64));
+    group.bench_function("decompress", |b| {
+        b.iter(|| blockzip::decompress(std::hint::black_box(&compressed)).unwrap());
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("algorithm2");
+    group.sample_size(10);
+    group.bench_function("pack_records_4000", |b| {
+        b.iter(|| blockzip::pack_records(std::hint::black_box(&records), 4000));
+    });
+    let blocks = blockzip::pack_records(&records, 4000);
+    group.bench_function("unpack_one_block", |b| {
+        let mid = &blocks[blocks.len() / 2];
+        b.iter(|| blockzip::unpack_records(std::hint::black_box(&mid.data)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_blockzip);
+criterion_main!(benches);

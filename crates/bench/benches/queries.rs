@@ -1,0 +1,35 @@
+//! Criterion benches for Table 3 / Figure 8: the six benchmark queries on
+//! the three systems (native XML DB, ArchIS-heap, ArchIS-clustered), cold.
+
+use bench::{
+    base_config, bench_now, build_xmldb, load_archis, run_archis_cold, run_xmldb_cold,
+    BenchQuerySet,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_queries(c: &mut Criterion) {
+    let ops = dataset::generate(&base_config(60));
+    let heap = load_archis(archis::ArchConfig::db2_like().with_now(bench_now()), &ops, true);
+    let clustered =
+        load_archis(archis::ArchConfig::atlas_like().with_now(bench_now()), &ops, true);
+    let tamino = build_xmldb(&heap);
+    let qs = BenchQuerySet::standard(ops[0].id());
+
+    for (label, xq) in qs.all() {
+        let mut group = c.benchmark_group(label);
+        group.sample_size(10);
+        group.bench_function("tamino", |b| {
+            b.iter(|| run_xmldb_cold(&tamino, xq));
+        });
+        group.bench_function("archis-db2", |b| {
+            b.iter(|| run_archis_cold(&heap, xq));
+        });
+        group.bench_function("archis-atlas", |b| {
+            b.iter(|| run_archis_cold(&clustered, xq));
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

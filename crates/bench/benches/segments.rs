@@ -1,0 +1,40 @@
+//! Criterion benches for the §6 clustering machinery: the archival
+//! operation itself (the one-off cost of §8.4) and the snapshot speedup it
+//! buys (Figure 9's ablation).
+
+use bench::{base_config, bench_now, load_archis, run_archis_cold};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_segments(c: &mut Criterion) {
+    let ops = dataset::generate(&base_config(60));
+
+    // The archival operation: copy the live segment out, carry live rows
+    // forward (measured by rebuilding the system each iteration at small
+    // scale).
+    let small_ops = dataset::generate(&base_config(15));
+    let mut group = c.benchmark_group("archival");
+    group.sample_size(10);
+    group.bench_function("force_archive_all_attrs", |b| {
+        b.iter_with_setup(
+            || load_archis(archis::ArchConfig::db2_like().with_now(bench_now()), &small_ops, false),
+            |a| {
+                a.force_archive("employee", small_ops.last().unwrap().at()).unwrap();
+                a
+            },
+        );
+    });
+    group.finish();
+
+    // Snapshot with and without segment clustering (Figure 9's headline).
+    let clustered = load_archis(archis::ArchConfig::atlas_like().with_now(bench_now()), &ops, true);
+    let flat = load_archis(archis::ArchConfig::atlas_like().with_now(bench_now()), &ops, false);
+    let q = archis::queries::q2_xquery(temporal::Date::from_ymd(1993, 5, 16).unwrap());
+    let mut group = c.benchmark_group("snapshot");
+    group.sample_size(20);
+    group.bench_function("clustered", |b| b.iter(|| run_archis_cold(&clustered, &q)));
+    group.bench_function("non-clustered", |b| b.iter(|| run_archis_cold(&flat, &q)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_segments);
+criterion_main!(benches);

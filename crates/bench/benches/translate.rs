@@ -1,0 +1,22 @@
+//! Criterion bench for §7.1's translation-cost claim (< 0.1 ms per
+//! query): XQuery parse + Algorithm 1 + segment lookup, per benchmark
+//! query.
+
+use bench::{base_config, bench_now, load_archis, BenchQuerySet};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_translate(c: &mut Criterion) {
+    let ops = dataset::generate(&base_config(40));
+    let a = load_archis(archis::ArchConfig::db2_like().with_now(bench_now()), &ops, true);
+    let qs = BenchQuerySet::standard(ops[0].id());
+    let mut group = c.benchmark_group("translate");
+    for (label, xq) in qs.all() {
+        group.bench_function(label, |b| {
+            b.iter(|| a.translate(std::hint::black_box(xq)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_translate);
+criterion_main!(benches);

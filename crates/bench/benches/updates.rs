@@ -1,0 +1,52 @@
+//! Criterion benches for §8.4: a single tracked update on ArchIS versus
+//! the whole-document rewrite a native XML database pays.
+
+use bench::{base_config, bench_now, build_xmldb, load_archis};
+use criterion::{criterion_group, criterion_main, Criterion};
+use relstore::Value;
+
+fn bench_updates(c: &mut Criterion) {
+    let ops = dataset::generate(&base_config(60));
+    let a = load_archis(archis::ArchConfig::db2_like().with_now(bench_now()), &ops, true);
+    let tamino = build_xmldb(&a);
+    let current = a.database().table("employee").unwrap().scan().unwrap();
+    let probe = current[0][0].as_int().unwrap();
+    let mut day = ops.last().unwrap().at();
+    let mut salary = 100_000i64;
+
+    let mut group = c.benchmark_group("single-update");
+    group.sample_size(20);
+    group.bench_function("archis", |b| {
+        b.iter(|| {
+            day = day.succ();
+            salary += 1;
+            a.update("employee", probe, vec![("salary".into(), Value::Int(salary))], day)
+                .unwrap();
+        });
+    });
+    let mut day2 = day + 100_000;
+    let mut salary2 = 200_000i64;
+    group.bench_function("tamino (in-place doc rewrite)", |b| {
+        b.iter(|| {
+            day2 = day2.succ();
+            salary2 += 1;
+            tamino
+                .apply_change(
+                    "employees.xml",
+                    &xmldb::DocChange::Update {
+                        tuple: "employee".into(),
+                        key_child: "id".into(),
+                        key: probe.to_string(),
+                        attr: "salary".into(),
+                        value: salary2.to_string(),
+                        at: day2,
+                    },
+                )
+                .unwrap();
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

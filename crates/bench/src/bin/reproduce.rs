@@ -1,0 +1,87 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! reproduce [-e EXPERIMENT]... [--scale N] [--runs N]
+//!
+//! EXPERIMENT: fig7 | fig8 | translate | fig9 | snapcur | fig10 |
+//!             fig11 | fig13 | fig14 | updates | all   (default: all)
+//! --scale N   initial employee population (default 100; fig10 also
+//!             loads 7N)
+//! --runs N    cold runs per query, median reported (default 3)
+//! ```
+
+use bench::experiments as exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiments: Vec<String> = Vec::new();
+    let mut scale = 100usize;
+    let mut runs = 3usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-e" | "--experiment" => {
+                if let Some(e) = it.next() {
+                    experiments.push(e.clone());
+                }
+            }
+            "--scale" => {
+                if let Some(v) = it.next() {
+                    scale = v.parse().expect("--scale takes a number");
+                }
+            }
+            "--runs" => {
+                if let Some(v) = it.next() {
+                    runs = v.parse().expect("--runs takes a number");
+                }
+            }
+            "-h" | "--help" => {
+                println!(
+                    "reproduce [-e fig7|fig8|translate|fig9|snapcur|fig10|fig11|fig13|fig14|updates|all] [--scale N] [--runs N]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if experiments.is_empty() {
+        experiments.push("all".to_string());
+    }
+    let all = experiments.iter().any(|e| e == "all");
+    let want = |name: &str| all || experiments.iter().any(|e| e == name);
+
+    println!("ArchIS reproduction harness — scale {scale} employees, {runs} cold run(s) per query");
+    if want("fig7") {
+        exp::fig7(scale);
+    }
+    if want("fig8") {
+        exp::fig8(scale, runs);
+    }
+    if want("translate") {
+        exp::translate_cost(scale);
+    }
+    if want("fig9") {
+        exp::fig9(scale, runs);
+    }
+    if want("snapcur") {
+        exp::snapshot_vs_current(scale, runs);
+    }
+    if want("fig10") {
+        exp::fig10(scale, runs);
+    }
+    if want("fig11") {
+        exp::fig11(scale);
+    }
+    if want("fig13") {
+        exp::fig13(scale);
+    }
+    if want("fig14") {
+        exp::fig14(scale, runs);
+    }
+    if want("updates") {
+        exp::updates(scale);
+    }
+}

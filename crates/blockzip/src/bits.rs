@@ -1,0 +1,114 @@
+//! LSB-first bit I/O for the entropy coder.
+
+/// Write bits least-significant-first into a byte vector.
+#[derive(Default)]
+pub struct BitWriter {
+    out: Vec<u8>,
+    cur: u32,
+    nbits: u32,
+}
+
+impl BitWriter {
+    /// Fresh writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append the low `n` bits of `value` (n ≤ 24).
+    pub fn write(&mut self, value: u32, n: u32) {
+        debug_assert!(n <= 24);
+        let mask = if n >= 32 { u32::MAX } else { (1u32 << n) - 1 };
+        self.cur |= (value & mask) << self.nbits;
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.out.push((self.cur & 0xFF) as u8);
+            self.cur >>= 8;
+            self.nbits -= 8;
+        }
+    }
+
+    /// Flush the final partial byte and return the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.out.push((self.cur & 0xFF) as u8);
+        }
+        self.out
+    }
+
+    /// Bytes written so far (excluding any partial byte).
+    pub fn len(&self) -> usize {
+        self.out.len() + usize::from(self.nbits > 0)
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Read bits least-significant-first from a byte slice.
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    cur: u32,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Reader over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader { data, pos: 0, cur: 0, nbits: 0 }
+    }
+
+    /// Read `n` bits (n ≤ 24). Returns `None` past end of input.
+    pub fn read(&mut self, n: u32) -> Option<u32> {
+        while self.nbits < n {
+            let byte = *self.data.get(self.pos)?;
+            self.pos += 1;
+            self.cur |= (byte as u32) << self.nbits;
+            self.nbits += 8;
+        }
+        let mask = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+        let v = self.cur & mask;
+        self.cur >>= n;
+        self.nbits -= n;
+        Some(v)
+    }
+
+    /// Read a single bit.
+    pub fn read_bit(&mut self) -> Option<u32> {
+        self.read(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        let fields = [(0b1u32, 1u32), (0b1011, 4), (0x5A5A, 16), (0, 3), (0x7FFFFF, 23), (1, 1)];
+        for (v, n) in fields {
+            w.write(v, n);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for (v, n) in fields {
+            assert_eq!(r.read(n), Some(v & ((1 << n) - 1)));
+        }
+    }
+
+    #[test]
+    fn read_past_end_is_none() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.read(8), Some(0xFF));
+        assert_eq!(r.read(1), None);
+    }
+
+    #[test]
+    fn empty_writer() {
+        assert!(BitWriter::new().is_empty());
+        assert!(BitWriter::new().finish().is_empty());
+    }
+}

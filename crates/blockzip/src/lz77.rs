@@ -1,0 +1,207 @@
+//! LZ77 matching with hash chains (the "deflation algorithm" the paper's
+//! zlib base uses).
+
+/// Sliding-window size.
+pub const WINDOW: usize = 32 * 1024;
+/// Minimum useful match length.
+pub const MIN_MATCH: usize = 3;
+/// Maximum match length.
+pub const MAX_MATCH: usize = 258;
+/// How many chain links to probe per position.
+const MAX_CHAIN: usize = 64;
+
+/// One LZ77 token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// A literal byte.
+    Literal(u8),
+    /// A back-reference: copy `len` bytes from `dist` bytes back.
+    Match {
+        /// Match length (3..=258).
+        len: u16,
+        /// Distance (1..=32768).
+        dist: u16,
+    },
+}
+
+fn hash3(data: &[u8], i: usize) -> usize {
+    let h = (data[i] as u32)
+        .wrapping_mul(506832829)
+        .wrapping_add((data[i + 1] as u32).wrapping_mul(2654435761))
+        .wrapping_add((data[i + 2] as u32).wrapping_mul(2246822519));
+    (h >> 17) as usize & 0x7FFF
+}
+
+/// Tokenize `data` greedily with hash-chain match search.
+pub fn tokenize(data: &[u8]) -> Vec<Token> {
+    let mut tokens = Vec::with_capacity(data.len() / 3);
+    if data.len() < MIN_MATCH {
+        tokens.extend(data.iter().map(|&b| Token::Literal(b)));
+        return tokens;
+    }
+    // head[h] = most recent position with hash h; prev[i % WINDOW] = chain.
+    let mut head = vec![usize::MAX; 0x8000];
+    let mut prev = vec![usize::MAX; WINDOW];
+    let mut i = 0usize;
+    while i < data.len() {
+        if i + MIN_MATCH > data.len() {
+            tokens.push(Token::Literal(data[i]));
+            i += 1;
+            continue;
+        }
+        let h = hash3(data, i);
+        let mut cand = head[h];
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        let max_len = (data.len() - i).min(MAX_MATCH);
+        let mut probes = 0;
+        while cand != usize::MAX && probes < MAX_CHAIN {
+            probes += 1;
+            let dist = i - cand;
+            if dist > WINDOW {
+                break;
+            }
+            // Extend the match.
+            let mut l = 0usize;
+            while l < max_len && data[cand + l] == data[i + l] {
+                l += 1;
+            }
+            if l > best_len {
+                best_len = l;
+                best_dist = dist;
+                if l >= max_len {
+                    break;
+                }
+            }
+            cand = prev[cand % WINDOW];
+        }
+        if best_len >= MIN_MATCH {
+            tokens.push(Token::Match { len: best_len as u16, dist: best_dist as u16 });
+            // Insert all covered positions into the chains.
+            let end = i + best_len;
+            while i < end && i + MIN_MATCH <= data.len() {
+                let h = hash3(data, i);
+                prev[i % WINDOW] = head[h];
+                head[h] = i;
+                i += 1;
+            }
+            i = end;
+        } else {
+            tokens.push(Token::Literal(data[i]));
+            prev[i % WINDOW] = head[h];
+            head[h] = i;
+            i += 1;
+        }
+    }
+    tokens
+}
+
+/// Reconstruct bytes from tokens.
+pub fn detokenize(tokens: &[Token]) -> Result<Vec<u8>, crate::BlockZipError> {
+    let mut out: Vec<u8> = Vec::with_capacity(tokens.len() * 2);
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { len, dist } => {
+                let dist = dist as usize;
+                let len = len as usize;
+                if dist == 0 || dist > out.len() {
+                    return Err(crate::BlockZipError::Corrupt(format!(
+                        "match distance {dist} out of range (have {})",
+                        out.len()
+                    )));
+                }
+                let start = out.len() - dist;
+                // Byte-by-byte copy: overlapping matches are the RLE case.
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let tokens = tokenize(data);
+        assert_eq!(detokenize(&tokens).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"ab");
+        roundtrip(b"abc");
+    }
+
+    #[test]
+    fn repetitive_text_uses_matches() {
+        let data = b"100022|40000|02/20/1988|02/19/1989\n100022|42010|02/20/1989|02/04/1990\n";
+        let tokens = tokenize(data);
+        assert!(
+            tokens.iter().any(|t| matches!(t, Token::Match { .. })),
+            "record-shaped data must produce back-references"
+        );
+        roundtrip(data);
+    }
+
+    #[test]
+    fn run_length_overlap() {
+        // "aaaa..." compresses to a literal + overlapping match.
+        let data = vec![b'a'; 1000];
+        let tokens = tokenize(&data);
+        assert!(tokens.len() < 20, "RLE case should be tiny, got {}", tokens.len());
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn incompressible_data_roundtrips() {
+        // Pseudo-random bytes (xorshift) — few or no matches.
+        let mut x = 0x12345678u32;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x & 0xFF) as u8
+            })
+            .collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn long_match_capped_at_max() {
+        let data = vec![b'z'; MAX_MATCH * 4];
+        for t in tokenize(&data) {
+            if let Token::Match { len, .. } = t {
+                assert!(len as usize <= MAX_MATCH);
+            }
+        }
+    }
+
+    #[test]
+    fn detokenize_rejects_bad_distance() {
+        let bad = vec![Token::Literal(b'a'), Token::Match { len: 3, dist: 5 }];
+        assert!(detokenize(&bad).is_err());
+    }
+
+    #[test]
+    fn large_document_roundtrips() {
+        let mut data = Vec::new();
+        for i in 0..2000 {
+            data.extend_from_slice(
+                format!("<salary tstart=\"19{:02}-01-01\" tend=\"9999-12-31\">{}</salary>", i % 100, 40000 + i).as_bytes(),
+            );
+        }
+        roundtrip(&data);
+        let tokens = tokenize(&data);
+        // Strong compression expected on XML.
+        assert!(tokens.len() < data.len() / 4);
+    }
+}

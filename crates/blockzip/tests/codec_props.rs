@@ -1,0 +1,63 @@
+//! Property tests for the BlockZIP codec and Algorithm 2.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn compress_roundtrips_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..8000)) {
+        let c = blockzip::compress(&data);
+        prop_assert_eq!(blockzip::decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn compress_roundtrips_repetitive_bytes(
+        unit in proptest::collection::vec(any::<u8>(), 1..16),
+        reps in 1usize..600,
+    ) {
+        let data: Vec<u8> = unit.iter().cycle().take(unit.len() * reps).copied().collect();
+        let c = blockzip::compress(&data);
+        prop_assert_eq!(blockzip::decompress(&c).unwrap(), data.clone());
+        if data.len() > 1000 {
+            prop_assert!(c.len() < data.len(), "repetitive data must shrink");
+        }
+    }
+
+    #[test]
+    fn corrupted_streams_never_panic(
+        data in proptest::collection::vec(any::<u8>(), 10..2000),
+        flip in 0usize..2000,
+        trunc in 0usize..2000,
+    ) {
+        let mut c = blockzip::compress(&data);
+        // Bit flip.
+        let i = flip % c.len();
+        c[i] ^= 0x40;
+        let _ = blockzip::decompress(&c); // may Err or roundtrip-mismatch; must not panic
+        // Truncation.
+        let t = trunc % c.len();
+        let _ = blockzip::decompress(&c[..t]);
+    }
+
+    #[test]
+    fn algorithm2_partitions_any_record_stream(
+        records in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..200), 0..120),
+        block_size in 256usize..4096,
+    ) {
+        let blocks = blockzip::pack_records(&records, block_size);
+        if records.is_empty() {
+            prop_assert!(blocks.is_empty());
+            return Ok(());
+        }
+        let mut next = 0usize;
+        let mut all: Vec<Vec<u8>> = Vec::new();
+        for b in &blocks {
+            prop_assert_eq!(b.first_record, next, "blocks tile the stream");
+            next = b.last_record + 1;
+            all.extend(blockzip::unpack_records(&b.data).unwrap());
+        }
+        prop_assert_eq!(next, records.len());
+        prop_assert_eq!(all, records);
+    }
+}

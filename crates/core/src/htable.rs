@@ -1,0 +1,178 @@
+//! H-table creation and naming (paper §5.1).
+//!
+//! For relation `employee(id, name, salary, ...)` ArchIS stores:
+//!
+//! * the **current table** `employee(id, name, salary, ...)`,
+//! * the **key table** `employee_id(id, tstart, tend)`,
+//! * one **attribute history table** per non-key column:
+//!   `employee_salary(segno, id, salary, tstart, tend)` — the leading
+//!   `segno` carries the §6 segment clustering (archived segments are
+//!   numbered from 1; the live segment uses [`LIVE_SEGNO`]),
+//! * the **global relation table** `relations(relationname, tstart, tend)`
+//!   recording each table's lifetime, and
+//! * the **segment catalog** `segments(tbl, segno, segstart, segend)`.
+
+use crate::spec::RelationSpec;
+use crate::Result;
+use relstore::value::{DataType, Field, Schema};
+use relstore::{Database, StorageKind};
+use temporal::Date;
+
+/// The `segno` of the live (still-updated) segment. Chosen above any
+/// archived segment number so clustered scans place live rows last.
+pub const LIVE_SEGNO: i64 = 1_000_000;
+
+/// Name of the key table.
+pub fn key_table(spec: &RelationSpec) -> String {
+    format!("{}_{}", spec.name, spec.key)
+}
+
+/// Name of an attribute history table.
+pub fn attr_table(spec: &RelationSpec, attr: &str) -> String {
+    format!("{}_{attr}", spec.name)
+}
+
+/// Name of the global relation-history table.
+pub const RELATIONS_TABLE: &str = "relations";
+
+/// Name of the global segment catalog.
+pub const SEGMENTS_TABLE: &str = "segments";
+
+/// Create the current table, key table, attribute history tables and the
+/// global catalogs (if absent) for a relation. Indexes: key table on
+/// `id`; attribute tables on `id` and on `(segno, id)`.
+pub fn create_htables(
+    db: &Database,
+    spec: &RelationSpec,
+    storage: StorageKind,
+    at: Date,
+) -> Result<()> {
+    // Current table: surrogate key, composite natural-key columns, attrs.
+    let mut current_fields = vec![Field::new(spec.key.clone(), DataType::Int)];
+    for (c, t) in &spec.composite {
+        current_fields.push(Field::new(c.clone(), *t));
+    }
+    for (a, t) in &spec.attrs {
+        current_fields.push(Field::new(a.clone(), *t));
+    }
+    let current =
+        db.create_table(&spec.name, Schema::new(current_fields), storage, &[spec.key.as_str()])?;
+    current.create_index(&format!("cur_{}_{}", spec.name, spec.key), &[&spec.key])?;
+
+    // Key table (`lineitem_id(id, supplierno, itemno, tstart, tend)` for
+    // composite keys, paper §5.1).
+    let mut key_fields = vec![Field::new(spec.key.clone(), DataType::Int)];
+    for (c, t) in &spec.composite {
+        key_fields.push(Field::new(c.clone(), *t));
+    }
+    key_fields.push(Field::new("tstart", DataType::Date));
+    key_fields.push(Field::new("tend", DataType::Date));
+    let kt = db.create_table(&key_table(spec), Schema::new(key_fields), storage, &[spec
+        .key
+        .as_str()])?;
+    kt.create_index(&format!("{}_by_id", key_table(spec)), &[&spec.key])?;
+
+    // Attribute history tables.
+    for (attr, dtype) in &spec.attrs {
+        let name = attr_table(spec, attr);
+        let t = db.create_table(
+            &name,
+            Schema::new(vec![
+                Field::new("segno", DataType::Int),
+                Field::new(spec.key.clone(), DataType::Int),
+                Field::new(attr.clone(), *dtype),
+                Field::new("tstart", DataType::Date),
+                Field::new("tend", DataType::Date),
+            ]),
+            storage,
+            &["segno", spec.key.as_str()],
+        )?;
+        t.create_index(&format!("{name}_by_id"), &[&spec.key])?;
+        t.create_index(&format!("{name}_by_seg"), &["segno", &spec.key])?;
+    }
+
+    // Global catalogs.
+    if !db.has_table(RELATIONS_TABLE) {
+        db.create_table(
+            RELATIONS_TABLE,
+            Schema::new(vec![
+                Field::new("relationname", DataType::Str),
+                Field::new("tstart", DataType::Date),
+                Field::new("tend", DataType::Date),
+            ]),
+            StorageKind::Heap,
+            &[],
+        )?;
+    }
+    db.table(RELATIONS_TABLE)?.insert(vec![
+        relstore::Value::Str(spec.name.clone()),
+        relstore::Value::Date(at),
+        relstore::Value::Date(temporal::END_OF_TIME),
+    ])?;
+    if !db.has_table(SEGMENTS_TABLE) {
+        let st = db.create_table(
+            SEGMENTS_TABLE,
+            Schema::new(vec![
+                Field::new("tbl", DataType::Str),
+                Field::new("segno", DataType::Int),
+                Field::new("segstart", DataType::Date),
+                Field::new("segend", DataType::Date),
+            ]),
+            StorageKind::Heap,
+            &[],
+        )?;
+        st.create_index("segments_by_tbl", &["tbl"])?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_all_htables() {
+        let db = Database::in_memory();
+        let spec = RelationSpec::employee();
+        create_htables(&db, &spec, StorageKind::Heap, Date::parse("1985-01-01").unwrap())
+            .unwrap();
+        for t in [
+            "employee",
+            "employee_id",
+            "employee_name",
+            "employee_salary",
+            "employee_title",
+            "employee_deptno",
+            RELATIONS_TABLE,
+            SEGMENTS_TABLE,
+        ] {
+            assert!(db.has_table(t), "missing table {t}");
+        }
+        // Attribute tables carry segno + id + value + period.
+        let t = db.table("employee_salary").unwrap();
+        assert_eq!(t.schema().arity(), 5);
+        assert_eq!(t.schema().fields[0].name, "segno");
+        assert!(t.index_on("segno").is_some());
+        assert!(t.index_on("id").is_some());
+        // The relations catalog records the table lifetime.
+        let rels = db.table(RELATIONS_TABLE).unwrap().scan().unwrap();
+        assert_eq!(rels.len(), 1);
+        assert_eq!(rels[0][0], relstore::Value::Str("employee".into()));
+    }
+
+    #[test]
+    fn naming_scheme_matches_paper() {
+        let spec = RelationSpec::employee();
+        assert_eq!(key_table(&spec), "employee_id");
+        assert_eq!(attr_table(&spec, "salary"), "employee_salary");
+    }
+
+    #[test]
+    fn two_relations_share_catalogs() {
+        let db = Database::in_memory();
+        let d = Date::parse("1985-01-01").unwrap();
+        create_htables(&db, &RelationSpec::employee(), StorageKind::Heap, d).unwrap();
+        create_htables(&db, &RelationSpec::dept(), StorageKind::Heap, d).unwrap();
+        assert_eq!(db.table(RELATIONS_TABLE).unwrap().scan().unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,562 @@
+//! ArchIS — a transaction-time temporal database system on a relational
+//! engine, with XML views and XQuery (ICDE 2006).
+//!
+//! The system stores the full transaction-time history of relational
+//! tables and exposes it two ways:
+//!
+//! * as **H-documents** — temporally grouped XML views ([`publish`]) that
+//!   can be queried natively with the [`xquery`] engine (the paper's
+//!   "Tamino" path, provided by the `xmldb` crate), and
+//! * as **H-tables** on the relational engine ([`htable`]): a key table
+//!   plus one attribute-history table per column, each row timestamped
+//!   with an inclusive `[tstart, tend]` period, maintained incrementally
+//!   by the [`archive`] layer from inserts / updates / deletes on the
+//!   current database.
+//!
+//! XQuery over the H-documents is translated to SQL/XML over the H-tables
+//! ([`translate`], the paper's Algorithm 1) and executed by the `sqlxml`
+//! engine. Performance features:
+//!
+//! * **usefulness-based segment clustering** (paper §6): attribute tables
+//!   carry a `segno`; when the live segment's usefulness `U = Nlive/Nall`
+//!   drops below `Umin`, its tuples are archived into a new time-delimited
+//!   segment (sorted by id) and only still-live tuples are carried
+//!   forward. Snapshot and slicing queries are rewritten with segment
+//!   restrictions (§6.3).
+//! * **BlockZIP compression** ([`compressed`], paper §8): archived
+//!   segments can be compressed into 4000-byte independent blocks stored
+//!   as BLOBs, decompressed block-wise by the query paths.
+//!
+//! See `DESIGN.md` at the repository root for the full system inventory.
+
+pub mod archive;
+pub mod compressed;
+pub mod htable;
+pub mod publish;
+pub mod queries;
+pub mod spec;
+pub mod translate;
+pub mod udf;
+
+pub use archive::{Change, UpdateLog};
+pub use compressed::CompressedStore;
+pub use spec::{ArchConfig, RelationSpec};
+pub use translate::Translator;
+
+use relstore::expr::FnRegistry;
+use relstore::{Database, StorageKind};
+use sqlxml::QueryResult;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use temporal::Date;
+
+/// Errors from the ArchIS layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArchError {
+    /// Unknown relation or attribute.
+    NotFound(String),
+    /// Storage-engine failure.
+    Store(String),
+    /// SQL-engine failure.
+    Sql(String),
+    /// XQuery parse/eval failure.
+    XQuery(String),
+    /// The translator does not support this query shape.
+    Unsupported(String),
+    /// Compression failure.
+    Compress(String),
+    /// Inconsistent update (e.g. updating a key that is not current).
+    BadUpdate(String),
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::NotFound(m) => write!(f, "not found: {m}"),
+            ArchError::Store(m) => write!(f, "storage error: {m}"),
+            ArchError::Sql(m) => write!(f, "sql error: {m}"),
+            ArchError::XQuery(m) => write!(f, "xquery error: {m}"),
+            ArchError::Unsupported(m) => write!(f, "unsupported query shape: {m}"),
+            ArchError::Compress(m) => write!(f, "compression error: {m}"),
+            ArchError::BadUpdate(m) => write!(f, "bad update: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ArchError {}
+
+impl From<relstore::StoreError> for ArchError {
+    fn from(e: relstore::StoreError) -> Self {
+        ArchError::Store(e.to_string())
+    }
+}
+
+impl From<sqlxml::SqlError> for ArchError {
+    fn from(e: sqlxml::SqlError) -> Self {
+        ArchError::Sql(e.to_string())
+    }
+}
+
+impl From<xquery::XQueryError> for ArchError {
+    fn from(e: xquery::XQueryError) -> Self {
+        ArchError::XQuery(e.to_string())
+    }
+}
+
+impl From<blockzip::BlockZipError> for ArchError {
+    fn from(e: blockzip::BlockZipError) -> Self {
+        ArchError::Compress(e.to_string())
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, ArchError>;
+
+/// Name of the durable meta table holding relation specs.
+const META_RELATIONS: &str = "archis_relations";
+/// Name of the durable meta table holding archiver live-segment state.
+const META_STATE: &str = "archis_state";
+
+fn dtype_tag(t: relstore::value::DataType) -> &'static str {
+    use relstore::value::DataType;
+    match t {
+        DataType::Int => "int",
+        DataType::Double => "double",
+        DataType::Str => "str",
+        DataType::Date => "date",
+        DataType::Blob => "blob",
+    }
+}
+
+fn dtype_of(tag: &str) -> Option<relstore::value::DataType> {
+    use relstore::value::DataType;
+    Some(match tag {
+        "int" => DataType::Int,
+        "double" => DataType::Double,
+        "str" => DataType::Str,
+        "date" => DataType::Date,
+        "blob" => DataType::Blob,
+        _ => return None,
+    })
+}
+
+/// The ArchIS system facade: a current + historical database with XML
+/// views, query translation, segment clustering and optional compression.
+pub struct ArchIS {
+    db: Database,
+    fns: Arc<FnRegistry>,
+    config: ArchConfig,
+    relations: HashMap<String, RelationSpec>,
+    archivers: HashMap<String, archive::Archiver>,
+    compressed: HashMap<String, CompressedStore>,
+}
+
+impl ArchIS {
+    /// Build an ArchIS instance with the given configuration.
+    pub fn new(config: ArchConfig) -> Self {
+        let db = Database::with_capacity(config.buffer_pages);
+        let mut registry = FnRegistry::new();
+        udf::register_temporal_udfs(&mut registry, config.now);
+        ArchIS {
+            db,
+            fns: Arc::new(registry),
+            config,
+            relations: HashMap::new(),
+            archivers: HashMap::new(),
+            compressed: HashMap::new(),
+        }
+    }
+
+    /// Default configuration (heap storage, Umin = 0.4).
+    pub fn with_defaults() -> Self {
+        Self::new(ArchConfig::default())
+    }
+
+    /// Open (or create) a **durable** ArchIS instance in a page file.
+    /// Relation specs and archiver state are stored in meta tables and
+    /// restored on reopen; call [`ArchIS::checkpoint`] before dropping the
+    /// handle.
+    pub fn open_file(path: impl AsRef<std::path::Path>, config: ArchConfig) -> Result<Self> {
+        let db = Database::open_file(path, config.buffer_pages)?;
+        let mut registry = FnRegistry::new();
+        udf::register_temporal_udfs(&mut registry, config.now);
+        let mut archis = ArchIS {
+            db,
+            fns: Arc::new(registry),
+            config,
+            relations: HashMap::new(),
+            archivers: HashMap::new(),
+            compressed: HashMap::new(),
+        };
+        archis.restore_meta()?;
+        Ok(archis)
+    }
+
+    /// Persist relation specs + archiver state and checkpoint the
+    /// underlying database.
+    pub fn checkpoint(&self) -> Result<()> {
+        use relstore::value::{DataType, Field, Schema};
+        if !self.db.has_table(META_RELATIONS) {
+            self.db.create_table(
+                META_RELATIONS,
+                Schema::new(vec![
+                    Field::new("name", DataType::Str),
+                    Field::new("root", DataType::Str),
+                    Field::new("doc", DataType::Str),
+                    Field::new("key", DataType::Str),
+                    Field::new("attrs", DataType::Str),
+                    Field::new("composite", DataType::Str),
+                ]),
+                StorageKind::Heap,
+                &[],
+            )?;
+            self.db.create_table(
+                META_STATE,
+                Schema::new(vec![
+                    Field::new("relation", DataType::Str),
+                    Field::new("attr", DataType::Str),
+                    Field::new("nall", DataType::Int),
+                    Field::new("nlive", DataType::Int),
+                    Field::new("live_start", DataType::Date),
+                    Field::new("next_segno", DataType::Int),
+                ]),
+                StorageKind::Heap,
+                &[],
+            )?;
+        }
+        let rel_t = self.db.table(META_RELATIONS)?;
+        let state_t = self.db.table(META_STATE)?;
+        rel_t.delete_where(|_| true)?;
+        state_t.delete_where(|_| true)?;
+        use relstore::Value;
+        for spec in self.relations.values() {
+            let attrs = spec
+                .attrs
+                .iter()
+                .map(|(a, t)| format!("{a}:{}", dtype_tag(*t)))
+                .collect::<Vec<_>>()
+                .join(",");
+            let composite = spec
+                .composite
+                .iter()
+                .map(|(a, t)| format!("{a}:{}", dtype_tag(*t)))
+                .collect::<Vec<_>>()
+                .join(",");
+            rel_t.insert(vec![
+                Value::Str(spec.name.clone()),
+                Value::Str(spec.root.clone()),
+                Value::Str(spec.doc.clone()),
+                Value::Str(spec.key.clone()),
+                Value::Str(attrs),
+                Value::Str(composite),
+            ])?;
+            let archiver = self.archiver(&spec.name)?;
+            for (attr, nall, nlive, live_start, next_segno) in archiver.state_rows() {
+                state_t.insert(vec![
+                    Value::Str(spec.name.clone()),
+                    Value::Str(attr),
+                    Value::Int(nall as i64),
+                    Value::Int(nlive as i64),
+                    Value::Date(live_start),
+                    Value::Int(next_segno),
+                ])?;
+            }
+        }
+        self.db.checkpoint()?;
+        Ok(())
+    }
+
+    fn restore_meta(&mut self) -> Result<()> {
+        use relstore::value::DataType;
+        if !self.db.has_table(META_RELATIONS) {
+            return Ok(()); // fresh database
+        }
+        let specs: Vec<RelationSpec> = self
+            .db
+            .table(META_RELATIONS)?
+            .scan()?
+            .into_iter()
+            .filter_map(|r| {
+                let attrs: Vec<(String, DataType)> = r[4]
+                    .as_str()?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .filter_map(|s| {
+                        let (a, t) = s.split_once(':')?;
+                        Some((a.to_string(), dtype_of(t)?))
+                    })
+                    .collect();
+                let composite: Vec<(String, DataType)> = r[5]
+                    .as_str()?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .filter_map(|s| {
+                        let (a, t) = s.split_once(':')?;
+                        Some((a.to_string(), dtype_of(t)?))
+                    })
+                    .collect();
+                Some(RelationSpec {
+                    name: r[0].as_str()?.to_string(),
+                    root: r[1].as_str()?.to_string(),
+                    doc: r[2].as_str()?.to_string(),
+                    key: r[3].as_str()?.to_string(),
+                    attrs,
+                    composite,
+                })
+            })
+            .collect();
+        let state_rows = self.db.table(META_STATE)?.scan()?;
+        for spec in specs {
+            let rows: Vec<(String, u64, u64, temporal::Date, i64)> = state_rows
+                .iter()
+                .filter(|r| r[0].as_str() == Some(spec.name.as_str()))
+                .filter_map(|r| {
+                    Some((
+                        r[1].as_str()?.to_string(),
+                        r[2].as_int()? as u64,
+                        r[3].as_int()? as u64,
+                        r[4].as_date()?,
+                        r[5].as_int()?,
+                    ))
+                })
+                .collect();
+            let archiver = archive::Archiver::reopen(&spec, self.config.umin, &rows);
+            // Reattach compressed stores if their blob tables exist.
+            if let Some(store) =
+                CompressedStore::reattach(&self.db, &spec).transpose()?
+            {
+                self.compressed.insert(spec.name.clone(), store);
+            }
+            self.archivers.insert(spec.name.clone(), archiver);
+            self.relations.insert(spec.name.clone(), spec);
+        }
+        Ok(())
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &ArchConfig {
+        &self.config
+    }
+
+    /// The underlying relational database (current tables + H-tables).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The UDF registry (temporal built-ins registered).
+    pub fn functions(&self) -> &Arc<FnRegistry> {
+        &self.fns
+    }
+
+    /// Register a relation to be archived: creates the current table and
+    /// its H-tables (paper §5.1).
+    pub fn create_relation(&mut self, spec: RelationSpec) -> Result<()> {
+        if self.relations.contains_key(&spec.name) {
+            return Err(ArchError::Store(format!("relation {} already exists", spec.name)));
+        }
+        let archiver = archive::Archiver::create(
+            &self.db,
+            &spec,
+            self.config.storage,
+            self.config.umin,
+        )?;
+        self.relations.insert(spec.name.clone(), spec.clone());
+        self.archivers.insert(spec.name.clone(), archiver);
+        Ok(())
+    }
+
+    /// The registered relation specs.
+    pub fn relations(&self) -> impl Iterator<Item = &RelationSpec> {
+        self.relations.values()
+    }
+
+    /// Look up a relation spec.
+    pub fn relation(&self, name: &str) -> Result<&RelationSpec> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| ArchError::NotFound(format!("relation {name}")))
+    }
+
+    fn archiver(&self, name: &str) -> Result<&archive::Archiver> {
+        self.archivers
+            .get(name)
+            .ok_or_else(|| ArchError::NotFound(format!("relation {name}")))
+    }
+
+    /// Apply one tracked change (the trigger path of paper §5.2).
+    pub fn apply(&self, change: &Change) -> Result<()> {
+        let archiver = self.archiver(&change.relation())?;
+        archiver.apply(&self.db, change)
+    }
+
+    /// Apply a batch of changes (the update-log path of paper §5.2).
+    pub fn replay(&self, log: &UpdateLog) -> Result<()> {
+        for change in log.changes() {
+            self.apply(change)?;
+        }
+        Ok(())
+    }
+
+    /// Insert a new current tuple at `at`.
+    pub fn insert(
+        &self,
+        relation: &str,
+        key: i64,
+        values: Vec<(String, relstore::Value)>,
+        at: Date,
+    ) -> Result<()> {
+        self.apply(&Change::Insert { relation: relation.to_string(), key, values, at })
+    }
+
+    /// Update attributes of a current tuple at `at` (only changed
+    /// attributes get new history rows — temporal grouping by
+    /// construction).
+    pub fn update(
+        &self,
+        relation: &str,
+        key: i64,
+        changes: Vec<(String, relstore::Value)>,
+        at: Date,
+    ) -> Result<()> {
+        self.apply(&Change::Update { relation: relation.to_string(), key, changes, at })
+    }
+
+    /// Delete a current tuple at `at` (closes all its open periods).
+    pub fn delete(&self, relation: &str, key: i64, at: Date) -> Result<()> {
+        self.apply(&Change::Delete { relation: relation.to_string(), key, at })
+    }
+
+    /// Check usefulness on every attribute table of `relation` and archive
+    /// live segments that dropped below `Umin` (paper §6.1). Returns how
+    /// many segments were archived.
+    pub fn maybe_archive(&self, relation: &str, at: Date) -> Result<usize> {
+        self.archiver(relation)?.maybe_archive(&self.db, at)
+    }
+
+    /// Force-archive the live segment of every attribute table (used when
+    /// enabling compression or at end of load).
+    pub fn force_archive(&self, relation: &str, at: Date) -> Result<usize> {
+        self.archiver(relation)?.force_archive(&self.db, at)
+    }
+
+    /// Publish the H-document view of a relation's history (paper §3).
+    /// When the relation's archived segments were compressed, their rows
+    /// are sourced from the BLOB store so the view stays complete.
+    pub fn publish(&self, relation: &str) -> Result<xmldom::Element> {
+        let spec = self.relation(relation)?;
+        match self.compressed.get(relation) {
+            None => publish::publish(&self.db, spec),
+            Some(store) => publish::publish_with(&self.db, spec, &|attr| {
+                store.scan_all(&self.db, attr)
+            }),
+        }
+    }
+
+    /// Translate an XQuery on the H-views into SQL/XML on the H-tables
+    /// (paper Algorithm 1 + the §6.3 segment restriction).
+    pub fn translate(&self, query: &str) -> Result<String> {
+        let translator = Translator::new(self);
+        translator.translate(query)
+    }
+
+    /// Translate and execute an XQuery against the H-tables.
+    pub fn query(&self, query: &str) -> Result<QueryResult> {
+        let sql = self.translate(query)?;
+        self.execute_sql(&sql)
+    }
+
+    /// Execute raw SQL/SQL-XML against the database.
+    ///
+    /// History tables whose archived segments were BlockZIP-compressed are
+    /// served through an uncompression override (paper §8.2's table
+    /// functions): the referenced attribute tables are materialized as
+    /// live rows + decompressed archived rows before planning.
+    pub fn execute_sql(&self, sql: &str) -> Result<QueryResult> {
+        let stmt = sqlxml::parse_sql(sql).map_err(ArchError::from)?;
+        let mut overrides: HashMap<String, Vec<Vec<relstore::Value>>> = HashMap::new();
+        for (tname, _alias) in &stmt.from {
+            if overrides.contains_key(tname) {
+                continue;
+            }
+            for (rel, store) in &self.compressed {
+                let spec = &self.relations[rel];
+                for (attr, _) in &spec.attrs {
+                    if *tname == htable::attr_table(spec, attr) {
+                        let mut rows = self.db.table(tname)?.scan()?;
+                        rows.extend(store.scan_all(&self.db, attr)?);
+                        overrides.insert(tname.clone(), rows);
+                    }
+                }
+            }
+        }
+        Ok(sqlxml::engine::execute_stmt_with(&self.db, &stmt, &self.fns, &overrides)?)
+    }
+
+    /// Compress all *archived* segments of a relation's attribute tables
+    /// with BlockZIP (paper §8.2). The live segment stays uncompressed and
+    /// updatable. Returns the total number of blocks in the store.
+    pub fn compress_archived(&mut self, relation: &str) -> Result<usize> {
+        let spec = self.relation(relation)?.clone();
+        let archiver = self.archiver(relation)?;
+        let store = CompressedStore::build(&self.db, &spec, archiver, self.config.block_size)?;
+        let blocks = store.block_count();
+        self.compressed.insert(relation.to_string(), store);
+        Ok(blocks)
+    }
+
+    /// The compressed store of a relation, if [`ArchIS::compress_archived`]
+    /// ran.
+    pub fn compressed_store(&self, relation: &str) -> Option<&CompressedStore> {
+        self.compressed.get(relation)
+    }
+
+    /// Reachable storage in bytes: H-tables (+ indexes), minus raw
+    /// archived rows when a compressed store replaced them.
+    pub fn storage_bytes(&self) -> Result<u64> {
+        Ok(self.db.reachable_bytes()?)
+    }
+
+    /// Rebuild every table of a relation compactly (reclaims tombstoned
+    /// records and sparse index pages — REORG before storage
+    /// measurements).
+    pub fn vacuum_relation(&self, relation: &str) -> Result<()> {
+        let spec = self.relation(relation)?.clone();
+        let mut tables = vec![spec.name.clone(), htable::key_table(&spec)];
+        for (attr, _) in &spec.attrs {
+            let t = htable::attr_table(&spec, attr);
+            tables.push(t.clone());
+            for suffix in ["_blob", "_segrange"] {
+                let side = format!("{t}{suffix}");
+                if self.db.has_table(&side) {
+                    tables.push(side);
+                }
+            }
+        }
+        for t in tables {
+            self.db.vacuum_table(&t)?;
+        }
+        Ok(())
+    }
+
+    /// Per-attribute segment catalog accessor (used by benches and the
+    /// translator).
+    pub fn segments_of(&self, relation: &str, attr: &str) -> Result<Vec<archive::SegmentInfo>> {
+        self.archiver(relation)?.segments(&self.db, attr)
+    }
+
+    /// The archiver (exposed for benchmarks; stable API not guaranteed).
+    pub fn archiver_of(&self, relation: &str) -> Result<&archive::Archiver> {
+        self.archiver(relation)
+    }
+
+    /// Storage layout in use.
+    pub fn storage_kind(&self) -> StorageKind {
+        self.config.storage
+    }
+
+    /// The pinned `current-date` used for *now* semantics.
+    pub fn now(&self) -> Date {
+        self.config.now
+    }
+}

@@ -1,0 +1,248 @@
+//! Publishing H-documents from H-tables (paper §3).
+//!
+//! The H-document of a relation groups, under one element per key value,
+//! the timestamped history of every attribute — the temporally grouped
+//! representation of Figures 3–4. Publication is used to feed the native
+//! XML database (the Tamino path) and as the oracle side of the
+//! translator-equivalence tests.
+//!
+//! Segment clustering stores a still-open tuple in *every* segment it was
+//! live in (its closed version supersedes the `9999-12-31` copies), so
+//! publication deduplicates per `(id, tstart)` keeping the earliest end.
+
+use crate::htable;
+use crate::spec::RelationSpec;
+use crate::Result;
+use relstore::value::Value;
+use relstore::Database;
+use std::collections::BTreeMap;
+use temporal::{Date, Interval, END_OF_TIME};
+use xmldom::Element;
+
+/// Build the H-document of a relation from its H-tables.
+pub fn publish(db: &Database, spec: &RelationSpec) -> Result<Element> {
+    publish_with(db, spec, &|_| Ok(Vec::new()))
+}
+
+/// [`publish`] with a supplement source per attribute — used when archived
+/// rows live in a compressed store rather than in the attribute tables.
+pub fn publish_with(
+    db: &Database,
+    spec: &RelationSpec,
+    supplement: &dyn Fn(&str) -> Result<Vec<Vec<Value>>>,
+) -> Result<Element> {
+    // Root element and its lifetime from the relations catalog.
+    let mut root = Element::new(spec.root.clone());
+    let rels = db.table(htable::RELATIONS_TABLE)?.scan()?;
+    let lifetime = rels
+        .iter()
+        .find(|r| r[0] == Value::Str(spec.name.clone()))
+        .map(|r| {
+            Interval::new(
+                r[1].as_date().unwrap_or(END_OF_TIME),
+                r[2].as_date().unwrap_or(END_OF_TIME),
+            )
+            .unwrap_or_else(|_| Interval::at(END_OF_TIME))
+        })
+        .unwrap_or_else(|| Interval::at(END_OF_TIME));
+    root.set_interval(lifetime);
+
+    // Key table: one tuple element per key, ordered by key. tstart/tend
+    // sit after any composite natural-key columns.
+    let nc = spec.composite.len();
+    let mut keys: Vec<(i64, Vec<Value>, Interval)> = db
+        .table(&htable::key_table(spec))?
+        .scan()?
+        .into_iter()
+        .filter_map(|r| {
+            let id = r[0].as_int()?;
+            let composite = r[1..1 + nc].to_vec();
+            let iv = Interval::new(r[1 + nc].as_date()?, r[2 + nc].as_date()?).ok()?;
+            Some((id, composite, iv))
+        })
+        .collect();
+    keys.sort_by_key(|(id, _, iv)| (*id, iv.start()));
+
+    // Attribute histories, deduplicated across segments.
+    let mut attr_rows: Vec<(String, BTreeMap<(i64, Date), (Value, Date)>)> = Vec::new();
+    for (attr, _) in &spec.attrs {
+        let mut rows = db.table(&htable::attr_table(spec, attr))?.scan()?;
+        rows.extend(supplement(attr)?);
+        let mut dedup: BTreeMap<(i64, Date), (Value, Date)> = BTreeMap::new();
+        for r in rows {
+            let (Some(id), Some(ts), Some(te)) =
+                (r[1].as_int(), r[3].as_date(), r[4].as_date())
+            else {
+                continue;
+            };
+            let entry = dedup.entry((id, ts)).or_insert_with(|| (r[2].clone(), te));
+            // Closed copies supersede the still-open ones from earlier
+            // segments.
+            if te < entry.1 {
+                *entry = (r[2].clone(), te);
+            }
+        }
+        attr_rows.push((attr.clone(), dedup));
+    }
+
+    for (id, composite, key_iv) in keys {
+        let mut tuple = Element::new(spec.name.clone());
+        tuple.set_interval(key_iv);
+        let id_elem = Element::new(spec.key.clone())
+            .with_interval(key_iv)
+            .with_text(id.to_string());
+        tuple.push(id_elem);
+        for ((cname, _), cval) in spec.composite.iter().zip(&composite) {
+            tuple.push(
+                Element::new(cname.clone())
+                    .with_interval(key_iv)
+                    .with_text(cval.to_string()),
+            );
+        }
+        for (attr, dedup) in &attr_rows {
+            for ((rid, ts), (value, te)) in dedup.range((id, Date::from_day_number(i32::MIN))..) {
+                if *rid != id {
+                    break;
+                }
+                let Ok(iv) = Interval::new(*ts, *te) else { continue };
+                let e = Element::new(attr.clone())
+                    .with_interval(iv)
+                    .with_text(value.to_string());
+                tuple.push(e);
+            }
+        }
+        root.push(tuple);
+    }
+    Ok(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archive::{Archiver, Change};
+    use relstore::StorageKind;
+
+    fn d(s: &str) -> Date {
+        Date::parse(s).unwrap()
+    }
+
+    fn bob_history(db: &Database, umin: f64) -> Archiver {
+        let spec = RelationSpec::employee();
+        let a = Archiver::create(db, &spec, StorageKind::Heap, umin).unwrap();
+        a.apply(
+            db,
+            &Change::Insert {
+                relation: "employee".into(),
+                key: 1001,
+                values: vec![
+                    ("name".into(), Value::Str("Bob".into())),
+                    ("salary".into(), Value::Int(60000)),
+                    ("title".into(), Value::Str("Engineer".into())),
+                    ("deptno".into(), Value::Str("d01".into())),
+                ],
+                at: d("1995-01-01"),
+            },
+        )
+        .unwrap();
+        a.apply(
+            db,
+            &Change::Update {
+                relation: "employee".into(),
+                key: 1001,
+                changes: vec![("salary".into(), Value::Int(70000))],
+                at: d("1995-06-01"),
+            },
+        )
+        .unwrap();
+        a.apply(
+            db,
+            &Change::Update {
+                relation: "employee".into(),
+                key: 1001,
+                changes: vec![
+                    ("title".into(), Value::Str("Sr Engineer".into())),
+                    ("deptno".into(), Value::Str("d02".into())),
+                ],
+                at: d("1995-10-01"),
+            },
+        )
+        .unwrap();
+        a
+    }
+
+    #[test]
+    fn publishes_temporally_grouped_document() {
+        let db = Database::in_memory();
+        let spec = RelationSpec::employee();
+        bob_history(&db, 0.0);
+        let doc = publish(&db, &spec).unwrap();
+        assert_eq!(doc.name, "employees");
+        let emp = doc.first_child("employee").unwrap();
+        // Grouped: salary has exactly 2 periods, name exactly 1.
+        assert_eq!(emp.children_named("salary").count(), 2);
+        assert_eq!(emp.children_named("name").count(), 1);
+        let salaries: Vec<&Element> = emp.children_named("salary").collect();
+        assert_eq!(salaries[0].text_content(), "60000");
+        assert_eq!(salaries[0].attr("tend"), Some("1995-05-31"));
+        assert_eq!(salaries[1].attr("tend"), Some("9999-12-31"));
+        // The temporal covering constraint: tuple interval covers children.
+        let tuple_iv = emp.interval().unwrap();
+        for c in emp.child_elements() {
+            assert!(tuple_iv.contains(&c.interval().unwrap()), "covering constraint");
+        }
+    }
+
+    #[test]
+    fn segment_duplicates_do_not_leak_into_the_view() {
+        let db = Database::in_memory();
+        let spec = RelationSpec::employee();
+        let a = bob_history(&db, 0.0);
+        // Archive twice: the open salary period is copied into both
+        // segments; publication must still show exactly 2 salary periods.
+        a.force_archive(&db, d("1996-01-01")).unwrap();
+        a.apply(
+            &db,
+            &Change::Update {
+                relation: "employee".into(),
+                key: 1001,
+                changes: vec![("salary".into(), Value::Int(80000))],
+                at: d("1996-06-01"),
+            },
+        )
+        .unwrap();
+        a.force_archive(&db, d("1997-01-01")).unwrap();
+        let doc = publish(&db, &spec).unwrap();
+        let emp = doc.first_child("employee").unwrap();
+        let salaries: Vec<&Element> = emp.children_named("salary").collect();
+        assert_eq!(salaries.len(), 3, "three real periods, duplicates merged");
+        assert_eq!(salaries[1].attr("tend"), Some("1996-05-31"), "closed copy wins");
+        assert_eq!(salaries[2].text_content(), "80000");
+    }
+
+    #[test]
+    fn multiple_employees_ordered_by_key() {
+        let db = Database::in_memory();
+        let spec = RelationSpec::employee();
+        let a = Archiver::create(&db, &spec, StorageKind::Heap, 0.0).unwrap();
+        for (key, name, date) in
+            [(1002i64, "Alice", "1994-03-01"), (1001, "Bob", "1995-01-01")]
+        {
+            a.apply(
+                &db,
+                &Change::Insert {
+                    relation: "employee".into(),
+                    key,
+                    values: vec![("name".into(), Value::Str(name.into()))],
+                    at: d(date),
+                },
+            )
+            .unwrap();
+        }
+        let doc = publish(&db, &spec).unwrap();
+        let names: Vec<String> = doc
+            .children_named("employee")
+            .map(|e| e.first_child("name").unwrap().text_content())
+            .collect();
+        assert_eq!(names, vec!["Bob".to_string(), "Alice".to_string()], "ordered by id");
+    }
+}

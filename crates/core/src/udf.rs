@@ -1,0 +1,165 @@
+//! The relational-side temporal function library.
+//!
+//! Paper §5.4: "user-defined temporal functions discussed in Section 4.2
+//! are implemented as equivalent functions in ArchIS" — XQuery-side
+//! builtins like `toverlaps($a, $b)` map to SQL UDFs that take the
+//! `tstart`/`tend` columns of the involved tuple variables. These are the
+//! UDFs the translator emits and the `sqlxml` engine resolves.
+
+use relstore::expr::FnRegistry;
+use relstore::value::Value;
+use relstore::{Result as StoreResult, StoreError};
+use temporal::{Date, Interval, END_OF_TIME};
+
+fn to_date(v: &Value) -> StoreResult<Date> {
+    match v {
+        Value::Date(d) => Ok(*d),
+        Value::Str(s) => {
+            Date::parse(s).map_err(|e| StoreError::Eval(format!("bad date literal: {e}")))
+        }
+        other => Err(StoreError::Eval(format!("expected a date, got {other}"))),
+    }
+}
+
+fn interval(args: &[Value], at: usize) -> StoreResult<Interval> {
+    let s = to_date(&args[at])?;
+    let e = to_date(&args[at + 1])?;
+    Interval::new(s, e).map_err(|e| StoreError::Eval(e.to_string()))
+}
+
+fn boolean(b: bool) -> Value {
+    Value::Int(b as i64)
+}
+
+/// Register the temporal UDFs with *now* pinned to `now` (instantiation of
+/// the `9999-12-31` internal encoding, paper §4.3).
+pub fn register_temporal_udfs(reg: &mut FnRegistry, now: Date) {
+    reg.register("toverlaps", |args| {
+        Ok(boolean(interval(args, 0)?.overlaps(&interval(args, 2)?)))
+    });
+    reg.register("tcontains", |args| {
+        Ok(boolean(interval(args, 0)?.contains(&interval(args, 2)?)))
+    });
+    reg.register("tequals", |args| {
+        Ok(boolean(interval(args, 0)?.equals(&interval(args, 2)?)))
+    });
+    reg.register("tmeets", |args| {
+        Ok(boolean(interval(args, 0)?.meets(&interval(args, 2)?)))
+    });
+    reg.register("tprecedes", |args| {
+        Ok(boolean(interval(args, 0)?.precedes(&interval(args, 2)?)))
+    });
+    reg.register("overlapstart", |args| {
+        Ok(match interval(args, 0)?.intersect(&interval(args, 2)?) {
+            Some(iv) => Value::Date(iv.start()),
+            None => Value::Null,
+        })
+    });
+    reg.register("overlapend", |args| {
+        Ok(match interval(args, 0)?.intersect(&interval(args, 2)?) {
+            Some(iv) => Value::Date(iv.end()),
+            None => Value::Null,
+        })
+    });
+    reg.register("overlapdays", |args| {
+        Ok(match interval(args, 0)?.intersect(&interval(args, 2)?) {
+            Some(iv) => Value::Int(iv.timespan(END_OF_TIME) as i64),
+            None => Value::Null,
+        })
+    });
+    // tend(d): the user-facing end — current date for still-open periods.
+    reg.register("tend", move |args| {
+        let d = to_date(&args[0])?;
+        Ok(Value::Date(if d == END_OF_TIME { now } else { d }))
+    });
+    reg.register("timespan", move |args| {
+        let iv = interval(args, 0)?;
+        Ok(Value::Int(iv.timespan(now) as i64))
+    });
+    // rtend(d): presentation form of one date value.
+    reg.register("rtend", move |args| {
+        let d = to_date(&args[0])?;
+        Ok(Value::Date(if d == END_OF_TIME { now } else { d }))
+    });
+    reg.register("externalnow", move |args| {
+        let d = to_date(&args[0])?;
+        Ok(if d == END_OF_TIME {
+            Value::Str("now".into())
+        } else {
+            Value::Str(d.to_string())
+        })
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg() -> FnRegistry {
+        let mut r = FnRegistry::new();
+        register_temporal_udfs(&mut r, Date::parse("2005-01-01").unwrap());
+        r
+    }
+
+    fn dv(s: &str) -> Value {
+        Value::Date(Date::parse(s).unwrap())
+    }
+
+    fn call(name: &str, args: &[Value]) -> Value {
+        reg().get(name).unwrap()(args).unwrap()
+    }
+
+    #[test]
+    fn overlap_predicates() {
+        let args = [dv("1995-01-01"), dv("1995-06-30"), dv("1995-06-01"), dv("1995-12-31")];
+        assert_eq!(call("toverlaps", &args), Value::Int(1));
+        assert_eq!(call("tprecedes", &args), Value::Int(0));
+        assert_eq!(call("overlapstart", &args), dv("1995-06-01"));
+        assert_eq!(call("overlapend", &args), dv("1995-06-30"));
+        assert_eq!(call("overlapdays", &args), Value::Int(30));
+        let disjoint = [dv("1995-01-01"), dv("1995-01-31"), dv("1995-06-01"), dv("1995-12-31")];
+        assert_eq!(call("toverlaps", &disjoint), Value::Int(0));
+        assert_eq!(call("overlapstart", &disjoint), Value::Null);
+        assert_eq!(call("tprecedes", &disjoint), Value::Int(1));
+    }
+
+    #[test]
+    fn containment_equality_adjacency() {
+        let a = [dv("1995-01-01"), dv("1995-12-31"), dv("1995-03-01"), dv("1995-04-30")];
+        assert_eq!(call("tcontains", &a), Value::Int(1));
+        let e = [dv("1995-01-01"), dv("1995-12-31"), dv("1995-01-01"), dv("1995-12-31")];
+        assert_eq!(call("tequals", &e), Value::Int(1));
+        let m = [dv("1995-01-01"), dv("1995-05-31"), dv("1995-06-01"), dv("1995-12-31")];
+        assert_eq!(call("tmeets", &m), Value::Int(1));
+    }
+
+    #[test]
+    fn tend_substitutes_now() {
+        assert_eq!(call("tend", &[dv("9999-12-31")]), dv("2005-01-01"));
+        assert_eq!(call("tend", &[dv("1995-05-31")]), dv("1995-05-31"));
+        assert_eq!(call("externalnow", &[dv("9999-12-31")]), Value::Str("now".into()));
+    }
+
+    #[test]
+    fn accepts_string_dates() {
+        // The translator may emit string literals; UDFs coerce them.
+        let args = [
+            Value::Str("1995-01-01".into()),
+            Value::Str("1995-06-30".into()),
+            dv("1995-06-01"),
+            dv("1995-12-31"),
+        ];
+        assert_eq!(call("toverlaps", &args), Value::Int(1));
+        let ints = vec![Value::Int(1), Value::Int(2), Value::Int(3), Value::Int(4)];
+        assert!(reg().get("toverlaps").unwrap()(&ints).is_err());
+    }
+
+    #[test]
+    fn timespan_clamps_open_periods_to_now() {
+        assert_eq!(
+            call("timespan", &[dv("2004-12-01"), dv("9999-12-31")]),
+            Value::Int(32),
+            "open period measured to pinned now"
+        );
+    }
+}

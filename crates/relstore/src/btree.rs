@@ -1,0 +1,613 @@
+//! A page-based B+tree over byte-string keys.
+//!
+//! Keys are the order-preserving encodings of [`crate::value::encode_key`];
+//! values are arbitrary byte strings (a packed [`crate::heap::RecordId`]
+//! for secondary indexes, a full encoded row for clustered tables — the
+//! BerkeleyDB-style layout of the "ArchIS-ATLaS" configuration).
+//!
+//! Duplicate keys are allowed; entries sort by `(key, value)`. Deletion is
+//! lazy (no rebalancing): ArchIS history tables never delete from archived
+//! segments, and live-segment rewrites rebuild their trees wholesale.
+
+use crate::buffer::BufferPool;
+use crate::page::{PageId, PAGE_SIZE};
+use crate::{Result, StoreError};
+use parking_lot::Mutex;
+use std::ops::Bound;
+use std::sync::Arc;
+
+const LEAF_TAG: u8 = 0;
+const INTERNAL_TAG: u8 = 1;
+const NO_PAGE: u64 = u64::MAX;
+
+/// Leaf header: tag(1) + count(2) + next(8).
+const LEAF_HEADER: usize = 11;
+/// Internal header: tag(1) + count(2) + first child(8).
+const INTERNAL_HEADER: usize = 11;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf { entries: Vec<(Vec<u8>, Vec<u8>)>, next: Option<PageId> },
+    Internal { first_child: PageId, entries: Vec<(Vec<u8>, PageId)> },
+}
+
+impl Node {
+    fn serialized_size(&self) -> usize {
+        match self {
+            Node::Leaf { entries, .. } => {
+                LEAF_HEADER + entries.iter().map(|(k, v)| 4 + k.len() + v.len()).sum::<usize>()
+            }
+            Node::Internal { entries, .. } => {
+                INTERNAL_HEADER + entries.iter().map(|(k, _)| 10 + k.len()).sum::<usize>()
+            }
+        }
+    }
+
+    fn serialize(&self, out: &mut [u8]) {
+        debug_assert!(self.serialized_size() <= PAGE_SIZE);
+        match self {
+            Node::Leaf { entries, next } => {
+                out[0] = LEAF_TAG;
+                out[1..3].copy_from_slice(&(entries.len() as u16).to_be_bytes());
+                out[3..11].copy_from_slice(&next.unwrap_or(NO_PAGE).to_be_bytes());
+                let mut pos = LEAF_HEADER;
+                for (k, v) in entries {
+                    out[pos..pos + 2].copy_from_slice(&(k.len() as u16).to_be_bytes());
+                    out[pos + 2..pos + 4].copy_from_slice(&(v.len() as u16).to_be_bytes());
+                    pos += 4;
+                    out[pos..pos + k.len()].copy_from_slice(k);
+                    pos += k.len();
+                    out[pos..pos + v.len()].copy_from_slice(v);
+                    pos += v.len();
+                }
+            }
+            Node::Internal { first_child, entries } => {
+                out[0] = INTERNAL_TAG;
+                out[1..3].copy_from_slice(&(entries.len() as u16).to_be_bytes());
+                out[3..11].copy_from_slice(&first_child.to_be_bytes());
+                let mut pos = INTERNAL_HEADER;
+                for (k, child) in entries {
+                    out[pos..pos + 2].copy_from_slice(&(k.len() as u16).to_be_bytes());
+                    pos += 2;
+                    out[pos..pos + k.len()].copy_from_slice(k);
+                    pos += k.len();
+                    out[pos..pos + 8].copy_from_slice(&child.to_be_bytes());
+                    pos += 8;
+                }
+            }
+        }
+    }
+
+    fn deserialize(data: &[u8]) -> Result<Node> {
+        let corrupt = |m: &str| StoreError::Corrupt(format!("btree node: {m}"));
+        match data[0] {
+            LEAF_TAG => {
+                let count = u16::from_be_bytes(data[1..3].try_into().unwrap()) as usize;
+                let next_raw = u64::from_be_bytes(data[3..11].try_into().unwrap());
+                let next = (next_raw != NO_PAGE).then_some(next_raw);
+                let mut entries = Vec::with_capacity(count);
+                let mut pos = LEAF_HEADER;
+                for _ in 0..count {
+                    let klen =
+                        u16::from_be_bytes(data[pos..pos + 2].try_into().unwrap()) as usize;
+                    let vlen =
+                        u16::from_be_bytes(data[pos + 2..pos + 4].try_into().unwrap()) as usize;
+                    pos += 4;
+                    if pos + klen + vlen > data.len() {
+                        return Err(corrupt("leaf entry overruns page"));
+                    }
+                    let k = data[pos..pos + klen].to_vec();
+                    pos += klen;
+                    let v = data[pos..pos + vlen].to_vec();
+                    pos += vlen;
+                    entries.push((k, v));
+                }
+                Ok(Node::Leaf { entries, next })
+            }
+            INTERNAL_TAG => {
+                let count = u16::from_be_bytes(data[1..3].try_into().unwrap()) as usize;
+                let first_child = u64::from_be_bytes(data[3..11].try_into().unwrap());
+                let mut entries = Vec::with_capacity(count);
+                let mut pos = INTERNAL_HEADER;
+                for _ in 0..count {
+                    let klen =
+                        u16::from_be_bytes(data[pos..pos + 2].try_into().unwrap()) as usize;
+                    pos += 2;
+                    if pos + klen + 8 > data.len() {
+                        return Err(corrupt("internal entry overruns page"));
+                    }
+                    let k = data[pos..pos + klen].to_vec();
+                    pos += klen;
+                    let child = u64::from_be_bytes(data[pos..pos + 8].try_into().unwrap());
+                    pos += 8;
+                    entries.push((k, child));
+                }
+                Ok(Node::Internal { first_child, entries })
+            }
+            t => Err(corrupt(&format!("unknown tag {t}"))),
+        }
+    }
+}
+
+/// A B+tree. Clone-cheap handle (shares the pool); the root page id is the
+/// persistent identity of the tree.
+pub struct BTree {
+    pool: Arc<BufferPool>,
+    root: Mutex<PageId>,
+}
+
+impl BTree {
+    /// Create an empty tree (one empty leaf).
+    pub fn create(pool: Arc<BufferPool>) -> Result<Self> {
+        let node = Node::Leaf { entries: Vec::new(), next: None };
+        let (id, frame) = pool.allocate()?;
+        {
+            let mut guard = frame.write();
+            node.serialize(&mut guard.data[..]);
+            guard.dirty = true;
+        }
+        Ok(BTree { pool, root: Mutex::new(id) })
+    }
+
+    /// Reattach to an existing tree by its root page.
+    pub fn open(pool: Arc<BufferPool>, root: PageId) -> Self {
+        BTree { pool, root: Mutex::new(root) }
+    }
+
+    /// The current root page id (persist as the index root; note it changes
+    /// when the root splits).
+    pub fn root_page(&self) -> PageId {
+        *self.root.lock()
+    }
+
+    fn load(&self, id: PageId) -> Result<Node> {
+        let frame = self.pool.get(id)?;
+        let guard = frame.read();
+        Node::deserialize(&guard.data[..])
+    }
+
+    fn store(&self, id: PageId, node: &Node) -> Result<()> {
+        let frame = self.pool.get(id)?;
+        let mut guard = frame.write();
+        guard.data[..].fill(0);
+        node.serialize(&mut guard.data[..]);
+        guard.dirty = true;
+        Ok(())
+    }
+
+    fn alloc(&self, node: &Node) -> Result<PageId> {
+        let (id, frame) = self.pool.allocate()?;
+        let mut guard = frame.write();
+        node.serialize(&mut guard.data[..]);
+        guard.dirty = true;
+        Ok(id)
+    }
+
+    /// Insert an entry. Duplicate `(key, value)` pairs are stored as given.
+    pub fn insert(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        if 4 + key.len() + value.len() > PAGE_SIZE - LEAF_HEADER {
+            return Err(StoreError::RecordTooLarge(key.len() + value.len()));
+        }
+        let mut root = self.root.lock();
+        if let Some((sep, right)) = self.insert_rec(*root, key, value)? {
+            let new_root =
+                Node::Internal { first_child: *root, entries: vec![(sep, right)] };
+            *root = self.alloc(&new_root)?;
+        }
+        Ok(())
+    }
+
+    /// Recursive insert; returns `(separator, new right page)` on split.
+    fn insert_rec(
+        &self,
+        pid: PageId,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<Option<(Vec<u8>, PageId)>> {
+        let mut node = self.load(pid)?;
+        match &mut node {
+            Node::Leaf { entries, next: _ } => {
+                let pos = entries
+                    .partition_point(|(k, v)| (k.as_slice(), v.as_slice()) <= (key, value));
+                entries.insert(pos, (key.to_vec(), value.to_vec()));
+                let appended_at_end = pos == entries.len() - 1;
+                if node.serialized_size() <= PAGE_SIZE {
+                    self.store(pid, &node)?;
+                    return Ok(None);
+                }
+                // Split by bytes so oversized entries still distribute.
+                let Node::Leaf { entries, next } = node else { unreachable!() };
+                let total: usize = entries.iter().map(|(k, v)| 4 + k.len() + v.len()).sum();
+                let mut acc = 0usize;
+                let mut cut = entries.len() - 1;
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    acc += 4 + k.len() + v.len();
+                    if acc >= total / 2 {
+                        cut = (i + 1).min(entries.len() - 1).max(1);
+                        break;
+                    }
+                }
+                if appended_at_end {
+                    // Rightmost split: ascending bulk loads (ArchIS's
+                    // id-sorted segment rewrites) keep left leaves ~full
+                    // instead of half-empty.
+                    cut = entries.len() - 1;
+                }
+                let right_entries = entries[cut..].to_vec();
+                let left_entries = entries[..cut].to_vec();
+                let sep = right_entries[0].0.clone();
+                let right = Node::Leaf { entries: right_entries, next };
+                let right_pid = self.alloc(&right)?;
+                let left = Node::Leaf { entries: left_entries, next: Some(right_pid) };
+                self.store(pid, &left)?;
+                Ok(Some((sep, right_pid)))
+            }
+            Node::Internal { first_child, entries } => {
+                // Route to the rightmost child whose separator <= key.
+                let idx = entries.partition_point(|(k, _)| k.as_slice() <= key);
+                let child = if idx == 0 { *first_child } else { entries[idx - 1].1 };
+                if let Some((sep, new_child)) = self.insert_rec(child, key, value)? {
+                    entries.insert(idx, (sep, new_child));
+                    if node.serialized_size() <= PAGE_SIZE {
+                        self.store(pid, &node)?;
+                        return Ok(None);
+                    }
+                    let Node::Internal { first_child, entries } = node else { unreachable!() };
+                    let mid = entries.len() / 2;
+                    let (up_key, up_child) = entries[mid].clone();
+                    let right = Node::Internal {
+                        first_child: up_child,
+                        entries: entries[mid + 1..].to_vec(),
+                    };
+                    let right_pid = self.alloc(&right)?;
+                    let left =
+                        Node::Internal { first_child, entries: entries[..mid].to_vec() };
+                    self.store(pid, &left)?;
+                    Ok(Some((up_key, right_pid)))
+                } else {
+                    Ok(None)
+                }
+            }
+        }
+    }
+
+    /// All values stored under exactly `key`.
+    pub fn get(&self, key: &[u8]) -> Result<Vec<Vec<u8>>> {
+        Ok(self
+            .range(Bound::Included(key), Bound::Included(key))?
+            .map(|(_, v)| v)
+            .collect())
+    }
+
+    /// Remove one entry matching `(key, value)`. Returns whether anything
+    /// was removed. No rebalancing (lazy deletion).
+    pub fn delete(&self, key: &[u8], value: &[u8]) -> Result<bool> {
+        let root = self.root.lock();
+        let mut pid = *root;
+        loop {
+            let mut node = self.load(pid)?;
+            match &mut node {
+                Node::Internal { first_child, entries } => {
+                    let idx = entries.partition_point(|(k, _)| k.as_slice() <= key);
+                    pid = if idx == 0 { *first_child } else { entries[idx - 1].1 };
+                }
+                Node::Leaf { .. } => break,
+            }
+        }
+        // The pair may sit in a later leaf if duplicates span pages.
+        loop {
+            let mut node = self.load(pid)?;
+            let Node::Leaf { entries, next } = &mut node else { unreachable!() };
+            if let Some(pos) = entries.iter().position(|(k, v)| k == key && v == value) {
+                entries.remove(pos);
+                self.store(pid, &node)?;
+                return Ok(true);
+            }
+            // Stop once past the key.
+            if entries.last().map_or(false, |(k, _)| k.as_slice() > key) {
+                return Ok(false);
+            }
+            match next {
+                Some(n) => pid = *n,
+                None => return Ok(false),
+            }
+        }
+    }
+
+    /// Iterate entries with keys in the given bounds, in key order.
+    pub fn range(
+        &self,
+        lo: Bound<&[u8]>,
+        hi: Bound<&[u8]>,
+    ) -> Result<RangeIter> {
+        let start_key: &[u8] = match lo {
+            Bound::Included(k) | Bound::Excluded(k) => k,
+            Bound::Unbounded => &[],
+        };
+        let root = self.root.lock();
+        let mut pid = *root;
+        loop {
+            match self.load(pid)? {
+                Node::Internal { first_child, entries } => {
+                    let idx = entries.partition_point(|(k, _)| k.as_slice() <= start_key);
+                    pid = if idx == 0 { first_child } else { entries[idx - 1].1 };
+                }
+                Node::Leaf { .. } => break,
+            }
+        }
+        Ok(RangeIter {
+            tree: BTree { pool: self.pool.clone(), root: Mutex::new(*root) },
+            leaf: Some(pid),
+            entries: Vec::new(),
+            pos: 0,
+            lo: bound_owned(lo),
+            hi: bound_owned(hi),
+            primed: false,
+        })
+    }
+
+    /// Entries whose key starts with `prefix`, in key order.
+    pub fn scan_prefix(&self, prefix: &[u8]) -> Result<RangeIter> {
+        let hi = prefix_upper(prefix);
+        match &hi {
+            Some(h) => self.range(Bound::Included(prefix), Bound::Excluded(h)),
+            None => self.range(Bound::Included(prefix), Bound::Unbounded),
+        }
+    }
+
+    /// Total entries (walks every leaf).
+    pub fn len(&self) -> Result<usize> {
+        Ok(self.range(Bound::Unbounded, Bound::Unbounded)?.count())
+    }
+
+    /// True when the tree holds no entries.
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Pages used by the tree (for storage-size experiments).
+    pub fn page_count(&self) -> Result<u64> {
+        fn rec(t: &BTree, pid: PageId) -> Result<u64> {
+            match t.load(pid)? {
+                Node::Leaf { .. } => Ok(1),
+                Node::Internal { first_child, entries } => {
+                    let mut n = 1 + rec(t, first_child)?;
+                    for (_, c) in entries {
+                        n += rec(t, c)?;
+                    }
+                    Ok(n)
+                }
+            }
+        }
+        let root = *self.root.lock();
+        rec(self, root)
+    }
+}
+
+/// The smallest byte string greater than every string with this prefix.
+pub fn prefix_upper(prefix: &[u8]) -> Option<Vec<u8>> {
+    let mut hi = prefix.to_vec();
+    while let Some(last) = hi.last_mut() {
+        if *last < 0xFF {
+            *last += 1;
+            return Some(hi);
+        }
+        hi.pop();
+    }
+    None
+}
+
+fn bound_owned(b: Bound<&[u8]>) -> Bound<Vec<u8>> {
+    match b {
+        Bound::Included(k) => Bound::Included(k.to_vec()),
+        Bound::Excluded(k) => Bound::Excluded(k.to_vec()),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+/// Ordered iterator over a key range; walks the leaf chain lazily.
+pub struct RangeIter {
+    tree: BTree,
+    leaf: Option<PageId>,
+    entries: Vec<(Vec<u8>, Vec<u8>)>,
+    pos: usize,
+    lo: Bound<Vec<u8>>,
+    hi: Bound<Vec<u8>>,
+    primed: bool,
+}
+
+impl Iterator for RangeIter {
+    type Item = (Vec<u8>, Vec<u8>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.pos < self.entries.len() {
+                let (k, v) = &self.entries[self.pos];
+                self.pos += 1;
+                if !self.primed {
+                    let in_lo = match &self.lo {
+                        Bound::Included(lo) => k >= lo,
+                        Bound::Excluded(lo) => k > lo,
+                        Bound::Unbounded => true,
+                    };
+                    if !in_lo {
+                        continue;
+                    }
+                    self.primed = true;
+                }
+                let in_hi = match &self.hi {
+                    Bound::Included(hi) => k <= hi,
+                    Bound::Excluded(hi) => k < hi,
+                    Bound::Unbounded => true,
+                };
+                if !in_hi {
+                    self.leaf = None;
+                    self.entries.clear();
+                    return None;
+                }
+                return Some((k.clone(), v.clone()));
+            }
+            let pid = self.leaf.take()?;
+            match self.tree.load(pid) {
+                Ok(Node::Leaf { entries, next }) => {
+                    self.entries = entries;
+                    self.pos = 0;
+                    self.leaf = next;
+                }
+                _ => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::MemPager;
+
+    fn tree() -> BTree {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemPager::new()), 256));
+        BTree::create(pool).unwrap()
+    }
+
+    #[test]
+    fn insert_and_point_lookup() {
+        let t = tree();
+        t.insert(b"bob", b"1").unwrap();
+        t.insert(b"alice", b"2").unwrap();
+        t.insert(b"carol", b"3").unwrap();
+        assert_eq!(t.get(b"alice").unwrap(), vec![b"2".to_vec()]);
+        assert_eq!(t.get(b"dave").unwrap(), Vec::<Vec<u8>>::new());
+    }
+
+    #[test]
+    fn duplicates_all_returned() {
+        let t = tree();
+        t.insert(b"k", b"v1").unwrap();
+        t.insert(b"k", b"v2").unwrap();
+        t.insert(b"k", b"v1").unwrap();
+        let mut vs = t.get(b"k").unwrap();
+        vs.sort();
+        assert_eq!(vs, vec![b"v1".to_vec(), b"v1".to_vec(), b"v2".to_vec()]);
+    }
+
+    #[test]
+    fn thousands_of_keys_stay_sorted() {
+        let t = tree();
+        let mut keys: Vec<u32> = (0..5000).collect();
+        // Insert in a scrambled order.
+        for i in 0..keys.len() {
+            let j = (i * 2654435761) % keys.len();
+            keys.swap(i, j);
+        }
+        for k in &keys {
+            t.insert(&k.to_be_bytes(), format!("val{k}").as_bytes()).unwrap();
+        }
+        let all: Vec<_> = t.range(Bound::Unbounded, Bound::Unbounded).unwrap().collect();
+        assert_eq!(all.len(), 5000);
+        for (i, (k, v)) in all.iter().enumerate() {
+            assert_eq!(k, &(i as u32).to_be_bytes().to_vec());
+            assert_eq!(v, format!("val{i}").as_bytes());
+        }
+        assert!(t.page_count().unwrap() > 3, "tree must have split");
+    }
+
+    #[test]
+    fn range_bounds_are_respected() {
+        let t = tree();
+        for k in 0u32..100 {
+            t.insert(&k.to_be_bytes(), b"x").unwrap();
+        }
+        let collect = |lo: Bound<&[u8]>, hi: Bound<&[u8]>| -> Vec<u32> {
+            t.range(lo, hi)
+                .unwrap()
+                .map(|(k, _)| u32::from_be_bytes(k.try_into().unwrap()))
+                .collect()
+        };
+        let lo = 10u32.to_be_bytes();
+        let hi = 20u32.to_be_bytes();
+        assert_eq!(collect(Bound::Included(&lo), Bound::Excluded(&hi)), (10..20).collect::<Vec<_>>());
+        assert_eq!(collect(Bound::Excluded(&lo), Bound::Included(&hi)), (11..=20).collect::<Vec<_>>());
+        assert_eq!(collect(Bound::Unbounded, Bound::Excluded(&lo)), (0..10).collect::<Vec<_>>());
+        assert_eq!(collect(Bound::Included(&hi), Bound::Unbounded), (20..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn prefix_scan() {
+        let t = tree();
+        t.insert(b"emp:1:salary", b"a").unwrap();
+        t.insert(b"emp:1:title", b"b").unwrap();
+        t.insert(b"emp:2:salary", b"c").unwrap();
+        t.insert(b"dept:1", b"d").unwrap();
+        let hits: Vec<_> = t.scan_prefix(b"emp:1:").unwrap().map(|(k, _)| k).collect();
+        assert_eq!(hits, vec![b"emp:1:salary".to_vec(), b"emp:1:title".to_vec()]);
+        assert_eq!(t.scan_prefix(b"zzz").unwrap().count(), 0);
+    }
+
+    #[test]
+    fn prefix_upper_bound_handles_ff() {
+        assert_eq!(prefix_upper(b"ab"), Some(b"ac".to_vec()));
+        assert_eq!(prefix_upper(&[0x61, 0xFF]), Some(vec![0x62]));
+        assert_eq!(prefix_upper(&[0xFF, 0xFF]), None);
+    }
+
+    #[test]
+    fn delete_removes_one_instance() {
+        let t = tree();
+        t.insert(b"k", b"v").unwrap();
+        t.insert(b"k", b"v").unwrap();
+        assert!(t.delete(b"k", b"v").unwrap());
+        assert_eq!(t.get(b"k").unwrap().len(), 1);
+        assert!(t.delete(b"k", b"v").unwrap());
+        assert!(!t.delete(b"k", b"v").unwrap());
+        assert!(t.is_empty().unwrap());
+    }
+
+    #[test]
+    fn delete_across_split_leaves() {
+        let t = tree();
+        for i in 0u32..2000 {
+            t.insert(&i.to_be_bytes(), &[0u8; 16]).unwrap();
+        }
+        for i in (0u32..2000).step_by(3) {
+            assert!(t.delete(&i.to_be_bytes(), &[0u8; 16]).unwrap(), "delete {i}");
+        }
+        assert_eq!(t.len().unwrap(), 2000 - 2000usize.div_ceil(3));
+    }
+
+    #[test]
+    fn large_values_split_correctly() {
+        let t = tree();
+        for i in 0u32..16 {
+            t.insert(&i.to_be_bytes(), &vec![i as u8; 800]).unwrap();
+        }
+        let all: Vec<_> = t.range(Bound::Unbounded, Bound::Unbounded).unwrap().collect();
+        assert_eq!(all.len(), 16);
+        for (i, (_, v)) in all.iter().enumerate() {
+            assert_eq!(v.len(), 800);
+            assert_eq!(v[0], i as u8);
+        }
+    }
+
+    #[test]
+    fn oversized_entry_rejected() {
+        let t = tree();
+        assert!(matches!(
+            t.insert(b"k", &vec![0u8; PAGE_SIZE]),
+            Err(StoreError::RecordTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn reopen_by_root_page() {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemPager::new()), 256));
+        let t = BTree::create(pool.clone()).unwrap();
+        for i in 0u32..1000 {
+            t.insert(&i.to_be_bytes(), b"v").unwrap();
+        }
+        let root = t.root_page();
+        drop(t);
+        let t2 = BTree::open(pool, root);
+        assert_eq!(t2.len().unwrap(), 1000);
+    }
+}

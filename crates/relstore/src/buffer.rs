@@ -1,0 +1,246 @@
+//! The buffer pool.
+//!
+//! Pages are cached in frames handed out as `Arc<RwLock<Frame>>`; a page is
+//! evictable while no caller holds a reference (strong count 1). Eviction is
+//! LRU. The pool keeps **I/O statistics** — logical reads (every page
+//! request), physical reads (cache misses) and physical writes — which the
+//! benchmark harness uses as a deterministic proxy for the paper's
+//! cold-cache disk measurements, plus a [`BufferPool::flush_all`] that
+//! empties the cache to emulate the paper's "unmount the drive between
+//! queries" protocol.
+
+use crate::page::{PageId, PAGE_SIZE};
+use crate::pager::Pager;
+use crate::Result;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One cached page.
+pub struct Frame {
+    /// The page bytes.
+    pub data: Box<[u8; PAGE_SIZE]>,
+    /// Set by writers; cleared on write-back.
+    pub dirty: bool,
+}
+
+/// Cumulative I/O counters. Snapshot with [`BufferPool::stats`]; reset with
+/// [`BufferPool::reset_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoStats {
+    /// Page requests served (hits + misses).
+    pub logical_reads: u64,
+    /// Pages faulted in from the pager.
+    pub physical_reads: u64,
+    /// Dirty pages written back.
+    pub physical_writes: u64,
+}
+
+struct Inner {
+    frames: HashMap<PageId, Arc<RwLock<Frame>>>,
+    /// LRU order: front = oldest. Touched on every access.
+    lru: Vec<PageId>,
+}
+
+/// A pinning LRU buffer pool over a [`Pager`].
+pub struct BufferPool {
+    pager: Arc<dyn Pager>,
+    capacity: usize,
+    inner: Mutex<Inner>,
+    logical_reads: AtomicU64,
+    physical_reads: AtomicU64,
+    physical_writes: AtomicU64,
+}
+
+impl BufferPool {
+    /// A pool holding at most `capacity` pages over `pager`.
+    pub fn new(pager: Arc<dyn Pager>, capacity: usize) -> Self {
+        BufferPool {
+            pager,
+            capacity: capacity.max(8),
+            inner: Mutex::new(Inner { frames: HashMap::new(), lru: Vec::new() }),
+            logical_reads: AtomicU64::new(0),
+            physical_reads: AtomicU64::new(0),
+            physical_writes: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying pager.
+    pub fn pager(&self) -> &Arc<dyn Pager> {
+        &self.pager
+    }
+
+    /// Fetch a page, faulting it in if needed. The returned frame stays
+    /// pinned (ineligible for eviction) while the `Arc` is held.
+    pub fn get(&self, id: PageId) -> Result<Arc<RwLock<Frame>>> {
+        self.logical_reads.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock();
+        if let Some(frame) = inner.frames.get(&id).cloned() {
+            touch(&mut inner.lru, id);
+            return Ok(frame);
+        }
+        self.physical_reads.fetch_add(1, Ordering::Relaxed);
+        let mut data = Box::new([0u8; PAGE_SIZE]);
+        self.pager.read_page(id, &mut data[..])?;
+        let frame = Arc::new(RwLock::new(Frame { data, dirty: false }));
+        self.admit(&mut inner, id, frame.clone())?;
+        Ok(frame)
+    }
+
+    /// Allocate a fresh page and return `(id, pinned frame)`. The frame is
+    /// created dirty so it reaches the pager even if never written again.
+    pub fn allocate(&self) -> Result<(PageId, Arc<RwLock<Frame>>)> {
+        let id = self.pager.allocate()?;
+        let frame =
+            Arc::new(RwLock::new(Frame { data: Box::new([0u8; PAGE_SIZE]), dirty: true }));
+        let mut inner = self.inner.lock();
+        self.admit(&mut inner, id, frame.clone())?;
+        Ok((id, frame))
+    }
+
+    fn admit(&self, inner: &mut Inner, id: PageId, frame: Arc<RwLock<Frame>>) -> Result<()> {
+        while inner.frames.len() >= self.capacity {
+            // Find the oldest unpinned page.
+            let victim = inner
+                .lru
+                .iter()
+                .position(|pid| inner.frames.get(pid).map_or(false, |f| Arc::strong_count(f) == 1));
+            let Some(pos) = victim else {
+                break; // everything pinned: allow temporary overflow
+            };
+            let vid = inner.lru.remove(pos);
+            if let Some(f) = inner.frames.remove(&vid) {
+                let guard = f.read();
+                if guard.dirty {
+                    self.physical_writes.fetch_add(1, Ordering::Relaxed);
+                    self.pager.write_page(vid, &guard.data[..])?;
+                }
+            }
+        }
+        inner.frames.insert(id, frame);
+        inner.lru.push(id);
+        Ok(())
+    }
+
+    /// Write back every dirty page and drop the whole cache. Emulates the
+    /// paper's cache-invalidation protocol between benchmark runs.
+    pub fn flush_all(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        for (id, frame) in inner.frames.drain() {
+            let mut guard = frame.write();
+            if guard.dirty {
+                self.physical_writes.fetch_add(1, Ordering::Relaxed);
+                self.pager.write_page(id, &guard.data[..])?;
+                guard.dirty = false;
+            }
+        }
+        inner.lru.clear();
+        Ok(())
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> IoStats {
+        IoStats {
+            logical_reads: self.logical_reads.load(Ordering::Relaxed),
+            physical_reads: self.physical_reads.load(Ordering::Relaxed),
+            physical_writes: self.physical_writes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero the counters.
+    pub fn reset_stats(&self) {
+        self.logical_reads.store(0, Ordering::Relaxed);
+        self.physical_reads.store(0, Ordering::Relaxed);
+        self.physical_writes.store(0, Ordering::Relaxed);
+    }
+}
+
+fn touch(lru: &mut Vec<PageId>, id: PageId) {
+    if let Some(pos) = lru.iter().position(|&p| p == id) {
+        lru.remove(pos);
+    }
+    lru.push(id);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::MemPager;
+
+    fn pool(cap: usize) -> BufferPool {
+        BufferPool::new(Arc::new(MemPager::new()), cap)
+    }
+
+    #[test]
+    fn read_your_writes_through_cache() {
+        let p = pool(8);
+        let (id, frame) = p.allocate().unwrap();
+        frame.write().data[0] = 0x5A;
+        frame.write().dirty = true;
+        drop(frame);
+        let again = p.get(id).unwrap();
+        assert_eq!(again.read().data[0], 0x5A);
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages() {
+        let p = pool(8);
+        let (first, frame) = p.allocate().unwrap();
+        frame.write().data[7] = 9;
+        drop(frame);
+        // Fill well past capacity to force eviction of `first`.
+        for _ in 0..32 {
+            let (_, f) = p.allocate().unwrap();
+            drop(f);
+        }
+        // Re-read from pager via a fresh pool sharing the same pager.
+        let p2 = BufferPool::new(p.pager().clone(), 8);
+        let frame = p2.get(first).unwrap();
+        assert_eq!(frame.read().data[7], 9, "dirty page reached the pager");
+    }
+
+    #[test]
+    fn pinned_pages_survive_pressure() {
+        let p = pool(8);
+        let (id, pinned) = p.allocate().unwrap();
+        pinned.write().data[0] = 1;
+        for _ in 0..32 {
+            let (_, f) = p.allocate().unwrap();
+            drop(f);
+        }
+        // Still the same frame (no fault): logical counter grows, physical doesn't.
+        let before = p.stats().physical_reads;
+        let again = p.get(id).unwrap();
+        assert_eq!(p.stats().physical_reads, before, "pinned page was a cache hit");
+        assert!(Arc::ptr_eq(&pinned, &again));
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let p = pool(8);
+        let (id, f) = p.allocate().unwrap();
+        drop(f);
+        p.flush_all().unwrap();
+        p.reset_stats();
+        p.get(id).unwrap(); // miss
+        p.get(id).unwrap(); // hit
+        let s = p.stats();
+        assert_eq!(s.logical_reads, 2);
+        assert_eq!(s.physical_reads, 1);
+    }
+
+    #[test]
+    fn flush_all_empties_cache() {
+        let p = pool(8);
+        let (id, f) = p.allocate().unwrap();
+        f.write().data[3] = 3;
+        f.write().dirty = true;
+        drop(f);
+        p.flush_all().unwrap();
+        p.reset_stats();
+        let f = p.get(id).unwrap();
+        assert_eq!(f.read().data[3], 3);
+        assert_eq!(p.stats().physical_reads, 1, "cold read after flush");
+    }
+}

@@ -1,0 +1,371 @@
+//! The database catalog: named tables over one shared buffer pool.
+
+use crate::buffer::BufferPool;
+use crate::heap::HeapFile;
+use crate::pager::{FilePager, MemPager, Pager};
+use crate::table::{IndexDef, Table, TableRoots};
+use crate::value::{decode_row, encode_row, DataType, Field, Schema, Value};
+use crate::{Result, StoreError};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Physical layout of a table (see [`crate::table`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageKind {
+    /// Rows in a chained heap file; indexes point at record ids
+    /// (DB2-style, the "ArchIS-DB2" configuration).
+    Heap,
+    /// Rows inside a B+tree keyed by cluster columns (BerkeleyDB-style,
+    /// the "ArchIS-ATLaS" configuration).
+    Clustered,
+}
+
+/// A database: a buffer pool plus a set of named tables.
+///
+/// Dropping a table unlinks it from the catalog without reclaiming its
+/// pages (there is no free-list); storage experiments therefore measure
+/// *reachable* pages via [`Table::page_count`], not allocated file size.
+pub struct Database {
+    pool: Arc<BufferPool>,
+    tables: RwLock<HashMap<String, Arc<Table>>>,
+    /// The durable catalog heap (page 0 of file-backed databases).
+    catalog: Option<HeapFile>,
+}
+
+impl Database {
+    /// An in-memory database with the default pool size.
+    pub fn in_memory() -> Self {
+        Self::with_capacity(4096)
+    }
+
+    /// An in-memory database whose pool holds `pages` pages (used to model
+    /// constrained buffer memory in benchmarks).
+    pub fn with_capacity(pages: usize) -> Self {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemPager::new()), pages));
+        Database { pool, tables: RwLock::new(HashMap::new()), catalog: None }
+    }
+
+    /// A database over a caller-supplied pool (e.g. file-backed).
+    pub fn with_pool(pool: Arc<BufferPool>) -> Self {
+        Database { pool, tables: RwLock::new(HashMap::new()), catalog: None }
+    }
+
+    /// Open (or create) a **durable** database in a page file. Page 0
+    /// anchors the catalog; call [`Database::checkpoint`] to persist table
+    /// roots and flush dirty pages before dropping the handle.
+    pub fn open_file(path: impl AsRef<Path>, pool_pages: usize) -> Result<Self> {
+        let pager = Arc::new(FilePager::open(path)?);
+        let fresh = pager.num_pages() == 0;
+        let pool = Arc::new(BufferPool::new(pager, pool_pages));
+        if fresh {
+            let catalog = HeapFile::create(pool.clone())?;
+            debug_assert_eq!(catalog.first_page(), 0, "catalog must anchor at page 0");
+            return Ok(Database {
+                pool,
+                tables: RwLock::new(HashMap::new()),
+                catalog: Some(catalog),
+            });
+        }
+        let catalog = HeapFile::open(pool.clone(), 0)?;
+        let mut tables = HashMap::new();
+        for (_, rec) in catalog.scan()? {
+            let row = decode_row(&rec)?;
+            let entry = CatalogEntry::from_row(&row)?;
+            let table = Table::open_existing(
+                pool.clone(),
+                &entry.name,
+                entry.schema,
+                entry.kind,
+                &entry.cluster,
+                &entry.roots,
+            )?;
+            tables.insert(entry.name, Arc::new(table));
+        }
+        Ok(Database { pool, tables: RwLock::new(tables), catalog: Some(catalog) })
+    }
+
+    /// Persist the catalog (every table's schema + current roots) and
+    /// write back all dirty pages. Required before closing a durable
+    /// database: B+tree roots move when they split.
+    pub fn checkpoint(&self) -> Result<()> {
+        let catalog = self
+            .catalog
+            .as_ref()
+            .ok_or_else(|| StoreError::Io("checkpoint needs a file-backed database".into()))?;
+        // Replace all catalog records (tombstoning the old ones).
+        for (rid, _) in catalog.scan()? {
+            catalog.delete(rid)?;
+        }
+        for (name, table) in self.tables.read().iter() {
+            let entry = CatalogEntry {
+                name: name.clone(),
+                schema: table.schema().clone(),
+                kind: table.kind(),
+                cluster: table.cluster_columns(),
+                roots: table.roots(),
+            };
+            catalog.insert(&encode_row(&entry.to_row()))?;
+        }
+        self.pool.flush_all()?;
+        Ok(())
+    }
+
+    /// The shared buffer pool (I/O statistics live here).
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Create a table. `cluster_columns` is required for
+    /// [`StorageKind::Clustered`] and ignored for heap tables.
+    pub fn create_table(
+        &self,
+        name: &str,
+        schema: Schema,
+        kind: StorageKind,
+        cluster_columns: &[&str],
+    ) -> Result<Arc<Table>> {
+        let mut tables = self.tables.write();
+        if tables.contains_key(name) {
+            return Err(StoreError::AlreadyExists(format!("table {name}")));
+        }
+        let table =
+            Arc::new(Table::create(self.pool.clone(), name, schema, kind, cluster_columns)?);
+        tables.insert(name.to_string(), table.clone());
+        Ok(table)
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StoreError::NotFound(format!("table {name}")))
+    }
+
+    /// Whether a table exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.read().contains_key(name)
+    }
+
+    /// Unlink a table from the catalog.
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        self.tables
+            .write()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| StoreError::NotFound(format!("table {name}")))
+    }
+
+    /// All table names, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Rebuild a table compactly: copy all live rows (and index
+    /// definitions) into fresh storage and swap it into the catalog.
+    /// Reclaims the space of tombstoned records and sparse B+tree pages —
+    /// the VACUUM step after ArchIS moves archived segments into
+    /// compressed BLOBs.
+    pub fn vacuum_table(&self, name: &str) -> Result<Arc<Table>> {
+        let old = self.table(name)?;
+        let rows = old.scan()?;
+        let schema = old.schema().clone();
+        let kind = old.kind();
+        let cluster: Vec<String> = old.cluster_columns();
+        let cluster_refs: Vec<&str> = cluster.iter().map(String::as_str).collect();
+        let indexes = old.index_defs();
+        let fresh =
+            Arc::new(Table::create(self.pool.clone(), name, schema, kind, &cluster_refs)?);
+        for row in rows {
+            fresh.insert(row)?;
+        }
+        for def in indexes {
+            let cols: Vec<&str> = def.columns.iter().map(String::as_str).collect();
+            fresh.create_index(&def.name, &cols)?;
+        }
+        self.tables.write().insert(name.to_string(), fresh.clone());
+        Ok(fresh)
+    }
+
+    /// Reachable pages across all tables and their indexes.
+    pub fn reachable_pages(&self) -> Result<u64> {
+        let tables = self.tables.read();
+        let mut total = 0;
+        for t in tables.values() {
+            total += t.page_count()?;
+        }
+        Ok(total)
+    }
+
+    /// Reachable storage in bytes.
+    pub fn reachable_bytes(&self) -> Result<u64> {
+        Ok(self.reachable_pages()? * crate::page::PAGE_SIZE as u64)
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::in_memory()
+    }
+}
+
+/// One durable catalog record.
+struct CatalogEntry {
+    name: String,
+    schema: Schema,
+    kind: StorageKind,
+    cluster: Vec<String>,
+    roots: TableRoots,
+}
+
+fn dtype_tag(t: DataType) -> &'static str {
+    match t {
+        DataType::Int => "int",
+        DataType::Double => "double",
+        DataType::Str => "str",
+        DataType::Date => "date",
+        DataType::Blob => "blob",
+    }
+}
+
+fn dtype_of(tag: &str) -> Result<DataType> {
+    Ok(match tag {
+        "int" => DataType::Int,
+        "double" => DataType::Double,
+        "str" => DataType::Str,
+        "date" => DataType::Date,
+        "blob" => DataType::Blob,
+        other => return Err(StoreError::Corrupt(format!("unknown type tag {other:?}"))),
+    })
+}
+
+impl CatalogEntry {
+    /// Row layout:
+    /// `[name, kind, cluster-csv, schema-spec, base, seq, rows, index-spec]`
+    /// where schema-spec is `col:type,...` and index-spec is
+    /// `name|col,col|root;...` (column names are SQL identifiers, so the
+    /// separators cannot occur inside them).
+    fn to_row(&self) -> Vec<Value> {
+        let schema_spec = self
+            .schema
+            .fields
+            .iter()
+            .map(|f| format!("{}:{}", f.name, dtype_tag(f.dtype)))
+            .collect::<Vec<_>>()
+            .join(",");
+        let index_spec = self
+            .roots
+            .indexes
+            .iter()
+            .map(|(def, root)| format!("{}|{}|{}", def.name, def.columns.join(","), root))
+            .collect::<Vec<_>>()
+            .join(";");
+        vec![
+            Value::Str(self.name.clone()),
+            Value::Int(matches!(self.kind, StorageKind::Clustered) as i64),
+            Value::Str(self.cluster.join(",")),
+            Value::Str(schema_spec),
+            Value::Int(self.roots.base as i64),
+            Value::Int(self.roots.seq as i64),
+            Value::Int(self.roots.rows as i64),
+            Value::Str(index_spec),
+        ]
+    }
+
+    fn from_row(row: &[Value]) -> Result<CatalogEntry> {
+        let corrupt = |m: &str| StoreError::Corrupt(format!("catalog record: {m}"));
+        if row.len() != 8 {
+            return Err(corrupt("wrong arity"));
+        }
+        let get_str = |i: usize| -> Result<&str> {
+            row[i].as_str().ok_or_else(|| corrupt("expected a string field"))
+        };
+        let get_int = |i: usize| -> Result<i64> {
+            row[i].as_int().ok_or_else(|| corrupt("expected an int field"))
+        };
+        let name = get_str(0)?.to_string();
+        let kind = if get_int(1)? == 1 { StorageKind::Clustered } else { StorageKind::Heap };
+        let cluster: Vec<String> = get_str(2)?
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(String::from)
+            .collect();
+        let mut fields = Vec::new();
+        for spec in get_str(3)?.split(',').filter(|s| !s.is_empty()) {
+            let (col, tag) = spec
+                .split_once(':')
+                .ok_or_else(|| corrupt("malformed schema spec"))?;
+            fields.push(Field::new(col, dtype_of(tag)?));
+        }
+        let mut indexes = Vec::new();
+        for spec in get_str(7)?.split(';').filter(|s| !s.is_empty()) {
+            let mut parts = spec.split('|');
+            let iname = parts.next().ok_or_else(|| corrupt("malformed index spec"))?;
+            let cols = parts.next().ok_or_else(|| corrupt("malformed index spec"))?;
+            let root: u64 = parts
+                .next()
+                .ok_or_else(|| corrupt("malformed index spec"))?
+                .parse()
+                .map_err(|_| corrupt("bad index root"))?;
+            indexes.push((
+                IndexDef {
+                    name: iname.to_string(),
+                    columns: cols.split(',').map(String::from).collect(),
+                },
+                root,
+            ));
+        }
+        Ok(CatalogEntry {
+            name,
+            schema: Schema::new(fields),
+            kind,
+            cluster,
+            roots: TableRoots {
+                base: get_int(4)? as u64,
+                seq: get_int(5)? as u64,
+                rows: get_int(6)? as u64,
+                indexes,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{DataType, Field, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![Field::new("id", DataType::Int), Field::new("v", DataType::Str)])
+    }
+
+    #[test]
+    fn create_lookup_drop() {
+        let db = Database::in_memory();
+        db.create_table("t", schema(), StorageKind::Heap, &[]).unwrap();
+        assert!(db.has_table("t"));
+        assert!(db.create_table("t", schema(), StorageKind::Heap, &[]).is_err());
+        db.table("t").unwrap();
+        assert!(db.table("nope").is_err());
+        db.drop_table("t").unwrap();
+        assert!(!db.has_table("t"));
+        assert!(db.drop_table("t").is_err());
+    }
+
+    #[test]
+    fn tables_share_the_pool() {
+        let db = Database::in_memory();
+        let a = db.create_table("a", schema(), StorageKind::Heap, &[]).unwrap();
+        let b = db.create_table("b", schema(), StorageKind::Clustered, &["id"]).unwrap();
+        a.insert(vec![Value::Int(1), Value::Str("x".into())]).unwrap();
+        b.insert(vec![Value::Int(2), Value::Str("y".into())]).unwrap();
+        assert_eq!(db.table_names(), vec!["a".to_string(), "b".to_string()]);
+        assert!(db.reachable_pages().unwrap() >= 2);
+        assert_eq!(db.reachable_bytes().unwrap() % crate::page::PAGE_SIZE as u64, 0);
+    }
+}

@@ -1,0 +1,413 @@
+//! Row expressions with SQL three-valued logic and a scalar-UDF registry.
+//!
+//! Predicates evaluate to `Int(1)` / `Int(0)` / `Null` (true / false /
+//! unknown), the SQLite convention. ArchIS registers its temporal built-ins
+//! (`toverlaps`, `tcontains`, ...) as scalar UDFs in a [`FnRegistry`] that
+//! the SQL/XML engine passes to every expression evaluation — this is the
+//! paper's "translation of built-in functions" (§5.3, step 4).
+
+use crate::value::Value;
+use crate::{Result, StoreError};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// Logical AND (3-valued).
+    And,
+    /// Logical OR (3-valued).
+    Or,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Logical NOT (3-valued).
+    Not,
+    /// Arithmetic negation.
+    Neg,
+    /// `IS NULL`
+    IsNull,
+    /// `IS NOT NULL`
+    IsNotNull,
+}
+
+/// Aggregate functions for [`crate::exec::GroupAggregate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(expr)` — non-NULL inputs.
+    Count,
+    /// `COUNT(*)`.
+    CountStar,
+    /// `SUM`.
+    Sum,
+    /// `AVG`.
+    Avg,
+    /// `MIN`.
+    Min,
+    /// `MAX`.
+    Max,
+}
+
+/// A row expression.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// Column by position in the input row.
+    Col(usize),
+    /// A constant.
+    Lit(Value),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Scalar UDF call, resolved through the [`FnRegistry`].
+    Call(String, Vec<Expr>),
+}
+
+impl Expr {
+    /// Shorthand: `Expr::Col`.
+    pub fn col(i: usize) -> Expr {
+        Expr::Col(i)
+    }
+
+    /// Shorthand: literal.
+    pub fn lit(v: Value) -> Expr {
+        Expr::Lit(v)
+    }
+
+    /// Shorthand: binary op.
+    pub fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::Bin(op, Box::new(l), Box::new(r))
+    }
+
+    /// Conjunction of a list of predicates (empty list = TRUE).
+    pub fn and_all(mut preds: Vec<Expr>) -> Expr {
+        match preds.len() {
+            0 => Expr::Lit(Value::Int(1)),
+            1 => preds.pop().unwrap(),
+            _ => {
+                let mut it = preds.into_iter();
+                let first = it.next().unwrap();
+                it.fold(first, |acc, p| Expr::bin(BinOp::And, acc, p))
+            }
+        }
+    }
+
+    /// Evaluate against a row.
+    pub fn eval(&self, row: &[Value], fns: &FnRegistry) -> Result<Value> {
+        match self {
+            Expr::Col(i) => row
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| StoreError::Eval(format!("column index {i} out of range"))),
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Un(op, e) => {
+                let v = e.eval(row, fns)?;
+                Ok(match op {
+                    UnOp::IsNull => Value::Int(v.is_null() as i64),
+                    UnOp::IsNotNull => Value::Int(!v.is_null() as i64),
+                    UnOp::Not => match truth(&v) {
+                        Some(b) => Value::Int(!b as i64),
+                        None => Value::Null,
+                    },
+                    UnOp::Neg => match v {
+                        Value::Int(i) => Value::Int(-i),
+                        Value::Double(d) => Value::Double(-d),
+                        Value::Null => Value::Null,
+                        other => {
+                            return Err(StoreError::Eval(format!("cannot negate {other}")))
+                        }
+                    },
+                })
+            }
+            Expr::Bin(op, l, r) => {
+                // AND/OR get short-circuit-ish 3VL treatment.
+                if matches!(op, BinOp::And | BinOp::Or) {
+                    let lv = truth(&l.eval(row, fns)?);
+                    let rv = truth(&r.eval(row, fns)?);
+                    return Ok(match (op, lv, rv) {
+                        (BinOp::And, Some(false), _) | (BinOp::And, _, Some(false)) => {
+                            Value::Int(0)
+                        }
+                        (BinOp::And, Some(true), Some(true)) => Value::Int(1),
+                        (BinOp::And, _, _) => Value::Null,
+                        (BinOp::Or, Some(true), _) | (BinOp::Or, _, Some(true)) => Value::Int(1),
+                        (BinOp::Or, Some(false), Some(false)) => Value::Int(0),
+                        (BinOp::Or, _, _) => Value::Null,
+                        _ => unreachable!(),
+                    });
+                }
+                let lv = l.eval(row, fns)?;
+                let rv = r.eval(row, fns)?;
+                match op {
+                    BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                        Ok(match lv.sql_cmp(&rv) {
+                            None => Value::Null,
+                            Some(ord) => {
+                                let b = match op {
+                                    BinOp::Eq => ord == Ordering::Equal,
+                                    BinOp::Ne => ord != Ordering::Equal,
+                                    BinOp::Lt => ord == Ordering::Less,
+                                    BinOp::Le => ord != Ordering::Greater,
+                                    BinOp::Gt => ord == Ordering::Greater,
+                                    BinOp::Ge => ord != Ordering::Less,
+                                    _ => unreachable!(),
+                                };
+                                Value::Int(b as i64)
+                            }
+                        })
+                    }
+                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => arith(*op, lv, rv),
+                    BinOp::And | BinOp::Or => unreachable!(),
+                }
+            }
+            Expr::Call(name, args) => {
+                let f = fns.get(name)?;
+                let vals =
+                    args.iter().map(|a| a.eval(row, fns)).collect::<Result<Vec<Value>>>()?;
+                f(&vals)
+            }
+        }
+    }
+
+    /// Evaluate as a predicate: NULL counts as false.
+    pub fn eval_bool(&self, row: &[Value], fns: &FnRegistry) -> Result<bool> {
+        Ok(truth(&self.eval(row, fns)?).unwrap_or(false))
+    }
+}
+
+/// SQL truthiness: nonzero numbers are true, NULL is unknown.
+pub fn truth(v: &Value) -> Option<bool> {
+    match v {
+        Value::Null => None,
+        Value::Int(i) => Some(*i != 0),
+        Value::Double(d) => Some(*d != 0.0),
+        Value::Str(s) => Some(!s.is_empty()),
+        _ => Some(true),
+    }
+}
+
+fn arith(op: BinOp, l: Value, r: Value) -> Result<Value> {
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    // Date ± Int (days) arithmetic, used by temporal slicing rewrites.
+    if let (Value::Date(d), Value::Int(n)) = (&l, &r) {
+        return Ok(match op {
+            BinOp::Add => Value::Date(*d + *n as i32),
+            BinOp::Sub => Value::Date(*d - *n as i32),
+            _ => return Err(StoreError::Eval("only +/- defined on dates".into())),
+        });
+    }
+    if let (Value::Date(a), Value::Date(b)) = (&l, &r) {
+        if op == BinOp::Sub {
+            return Ok(Value::Int(a.days_since(*b) as i64));
+        }
+    }
+    // Integer arithmetic stays integral except for division (exact).
+    if let (Value::Int(a), Value::Int(b)) = (&l, &r) {
+        return Ok(match op {
+            BinOp::Add => Value::Int(a + b),
+            BinOp::Sub => Value::Int(a - b),
+            BinOp::Mul => Value::Int(a * b),
+            BinOp::Div => {
+                if *b == 0 {
+                    Value::Null
+                } else {
+                    Value::Double(*a as f64 / *b as f64)
+                }
+            }
+            _ => unreachable!(),
+        });
+    }
+    match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => Ok(match op {
+            BinOp::Add => Value::Double(a + b),
+            BinOp::Sub => Value::Double(a - b),
+            BinOp::Mul => Value::Double(a * b),
+            BinOp::Div => {
+                if b == 0.0 {
+                    Value::Null
+                } else {
+                    Value::Double(a / b)
+                }
+            }
+            _ => unreachable!(),
+        }),
+        _ => Err(StoreError::Eval("arithmetic on non-numeric values".into())),
+    }
+}
+
+/// A scalar user-defined function.
+pub type ScalarFn = Arc<dyn Fn(&[Value]) -> Result<Value> + Send + Sync>;
+
+/// Named scalar UDFs available to expression evaluation.
+#[derive(Default, Clone)]
+pub struct FnRegistry {
+    fns: HashMap<String, ScalarFn>,
+}
+
+impl FnRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a function. Names are case-insensitive.
+    pub fn register(
+        &mut self,
+        name: &str,
+        f: impl Fn(&[Value]) -> Result<Value> + Send + Sync + 'static,
+    ) {
+        self.fns.insert(name.to_ascii_lowercase(), Arc::new(f));
+    }
+
+    /// Look up a function.
+    pub fn get(&self, name: &str) -> Result<&ScalarFn> {
+        self.fns
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| StoreError::Eval(format!("unknown function {name}")))
+    }
+
+    /// Whether a function is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.fns.contains_key(&name.to_ascii_lowercase())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temporal::Date;
+
+    fn reg() -> FnRegistry {
+        FnRegistry::new()
+    }
+
+    fn ev(e: &Expr, row: &[Value]) -> Value {
+        e.eval(row, &reg()).unwrap()
+    }
+
+    #[test]
+    fn column_and_literal() {
+        let row = vec![Value::Int(7), Value::Str("x".into())];
+        assert_eq!(ev(&Expr::col(0), &row), Value::Int(7));
+        assert_eq!(ev(&Expr::lit(Value::Int(3)), &row), Value::Int(3));
+        assert!(Expr::col(9).eval(&row, &reg()).is_err());
+    }
+
+    #[test]
+    fn comparisons_yield_sql_booleans() {
+        let row = vec![Value::Int(5), Value::Int(9)];
+        let lt = Expr::bin(BinOp::Lt, Expr::col(0), Expr::col(1));
+        assert_eq!(ev(&lt, &row), Value::Int(1));
+        let eq = Expr::bin(BinOp::Eq, Expr::col(0), Expr::col(1));
+        assert_eq!(ev(&eq, &row), Value::Int(0));
+        // NULL propagates as unknown.
+        let vs_null = Expr::bin(BinOp::Eq, Expr::col(0), Expr::lit(Value::Null));
+        assert_eq!(ev(&vs_null, &row), Value::Null);
+        assert!(!vs_null.eval_bool(&row, &reg()).unwrap(), "unknown filters out");
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        let t = Expr::lit(Value::Int(1));
+        let f = Expr::lit(Value::Int(0));
+        let n = Expr::lit(Value::Null);
+        let and = |a: &Expr, b: &Expr| ev(&Expr::bin(BinOp::And, a.clone(), b.clone()), &[]);
+        let or = |a: &Expr, b: &Expr| ev(&Expr::bin(BinOp::Or, a.clone(), b.clone()), &[]);
+        assert_eq!(and(&t, &n), Value::Null);
+        assert_eq!(and(&f, &n), Value::Int(0), "false AND unknown = false");
+        assert_eq!(or(&t, &n), Value::Int(1), "true OR unknown = true");
+        assert_eq!(or(&f, &n), Value::Null);
+        assert_eq!(ev(&Expr::Un(UnOp::Not, Box::new(Expr::lit(Value::Null))), &[]), Value::Null);
+    }
+
+    #[test]
+    fn date_comparisons_drive_snapshot_predicates() {
+        // tstart <= '1994-05-06' AND tend >= '1994-05-06' (paper QUERY 2).
+        let day = Value::Date(Date::parse("1994-05-06").unwrap());
+        let row = vec![
+            Value::Date(Date::parse("1994-01-01").unwrap()),
+            Value::Date(Date::parse("9999-12-31").unwrap()),
+        ];
+        let pred = Expr::and_all(vec![
+            Expr::bin(BinOp::Le, Expr::col(0), Expr::lit(day.clone())),
+            Expr::bin(BinOp::Ge, Expr::col(1), Expr::lit(day)),
+        ]);
+        assert!(pred.eval_bool(&row, &reg()).unwrap());
+    }
+
+    #[test]
+    fn arithmetic_and_division_by_zero() {
+        let add = Expr::bin(BinOp::Add, Expr::lit(Value::Int(2)), Expr::lit(Value::Int(3)));
+        assert_eq!(ev(&add, &[]), Value::Int(5));
+        let div0 = Expr::bin(BinOp::Div, Expr::lit(Value::Int(1)), Expr::lit(Value::Int(0)));
+        assert_eq!(ev(&div0, &[]), Value::Null);
+        let date_plus = Expr::bin(
+            BinOp::Add,
+            Expr::lit(Value::Date(Date::parse("1995-01-01").unwrap())),
+            Expr::lit(Value::Int(30)),
+        );
+        assert_eq!(ev(&date_plus, &[]), Value::Date(Date::parse("1995-01-31").unwrap()));
+        let date_diff = Expr::bin(
+            BinOp::Sub,
+            Expr::lit(Value::Date(Date::parse("1995-02-01").unwrap())),
+            Expr::lit(Value::Date(Date::parse("1995-01-01").unwrap())),
+        );
+        assert_eq!(ev(&date_diff, &[]), Value::Int(31));
+    }
+
+    #[test]
+    fn udf_dispatch() {
+        let mut fns = FnRegistry::new();
+        fns.register("double_it", |args| {
+            Ok(Value::Int(args[0].as_int().unwrap_or(0) * 2))
+        });
+        let call = Expr::Call("DOUBLE_IT".into(), vec![Expr::lit(Value::Int(21))]);
+        assert_eq!(call.eval(&[], &fns).unwrap(), Value::Int(42));
+        assert!(Expr::Call("nope".into(), vec![]).eval(&[], &fns).is_err());
+        assert!(fns.contains("Double_It"));
+    }
+
+    #[test]
+    fn is_null_operators() {
+        let isn = Expr::Un(UnOp::IsNull, Box::new(Expr::lit(Value::Null)));
+        assert_eq!(ev(&isn, &[]), Value::Int(1));
+        let isnn = Expr::Un(UnOp::IsNotNull, Box::new(Expr::lit(Value::Int(0))));
+        assert_eq!(ev(&isnn, &[]), Value::Int(1));
+    }
+
+    #[test]
+    fn and_all_composition() {
+        assert_eq!(ev(&Expr::and_all(vec![]), &[]), Value::Int(1));
+        let p = Expr::and_all(vec![
+            Expr::lit(Value::Int(1)),
+            Expr::lit(Value::Int(1)),
+            Expr::lit(Value::Int(0)),
+        ]);
+        assert_eq!(ev(&p, &[]), Value::Int(0));
+    }
+}

@@ -1,0 +1,272 @@
+//! Chained heap files: unordered record storage, append-friendly.
+//!
+//! A heap file is a linked chain of slotted pages. Inserts go to the tail
+//! page (history tables are append-mostly); full tails allocate a new page.
+//! This is the DB2-style base-table layout of the "ArchIS-DB2"
+//! configuration; clustered tables use [`crate::btree::BTree`] instead.
+
+use crate::buffer::BufferPool;
+use crate::page::{PageId, SlottedPage};
+use crate::{Result, StoreError};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Physical address of a record: page and slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RecordId {
+    /// Page holding the record.
+    pub page: PageId,
+    /// Slot within the page.
+    pub slot: u16,
+}
+
+impl RecordId {
+    /// Pack into 8 bytes (page id is < 2^48 in practice).
+    pub fn to_bytes(self) -> [u8; 10] {
+        let mut out = [0u8; 10];
+        out[..8].copy_from_slice(&self.page.to_be_bytes());
+        out[8..].copy_from_slice(&self.slot.to_be_bytes());
+        out
+    }
+
+    /// Unpack from [`RecordId::to_bytes`] output.
+    pub fn from_bytes(b: &[u8]) -> Result<Self> {
+        if b.len() != 10 {
+            return Err(StoreError::Corrupt("record id must be 10 bytes".into()));
+        }
+        Ok(RecordId {
+            page: u64::from_be_bytes(b[..8].try_into().unwrap()),
+            slot: u16::from_be_bytes(b[8..].try_into().unwrap()),
+        })
+    }
+}
+
+/// An unordered record file over the buffer pool.
+pub struct HeapFile {
+    pool: Arc<BufferPool>,
+    first: PageId,
+    last: Mutex<PageId>,
+}
+
+impl HeapFile {
+    /// Create a heap file with one fresh empty page.
+    pub fn create(pool: Arc<BufferPool>) -> Result<Self> {
+        let (id, frame) = pool.allocate()?;
+        {
+            let mut guard = frame.write();
+            SlottedPage::init(&mut guard.data[..]);
+            guard.dirty = true;
+        }
+        Ok(HeapFile { pool, first: id, last: Mutex::new(id) })
+    }
+
+    /// Reattach to an existing heap file given its first page.
+    pub fn open(pool: Arc<BufferPool>, first: PageId) -> Result<Self> {
+        // Walk to the tail to restore the append cursor.
+        let mut last = first;
+        loop {
+            let frame = pool.get(last)?;
+            let mut guard = frame.write();
+            let page = SlottedPage::new(&mut guard.data[..]);
+            match page.next_page() {
+                Some(n) => last = n,
+                None => break,
+            }
+        }
+        Ok(HeapFile { pool, first, last: Mutex::new(last) })
+    }
+
+    /// First page of the chain (persist this as the table root).
+    pub fn first_page(&self) -> PageId {
+        self.first
+    }
+
+    /// Append a record, returning its address.
+    pub fn insert(&self, record: &[u8]) -> Result<RecordId> {
+        let mut last = self.last.lock();
+        {
+            let frame = self.pool.get(*last)?;
+            let mut guard = frame.write();
+            let mut page = SlottedPage::new(&mut guard.data[..]);
+            if page.fits(record.len()) {
+                let slot = page.insert(record)?;
+                guard.dirty = true;
+                return Ok(RecordId { page: *last, slot: slot as u16 });
+            }
+        }
+        // Tail is full: allocate and link a new page.
+        let (new_id, new_frame) = self.pool.allocate()?;
+        {
+            let mut guard = new_frame.write();
+            SlottedPage::init(&mut guard.data[..]);
+            guard.dirty = true;
+        }
+        {
+            let frame = self.pool.get(*last)?;
+            let mut guard = frame.write();
+            let mut page = SlottedPage::new(&mut guard.data[..]);
+            page.set_next_page(Some(new_id));
+            guard.dirty = true;
+        }
+        *last = new_id;
+        let frame = self.pool.get(new_id)?;
+        let mut guard = frame.write();
+        let mut page = SlottedPage::new(&mut guard.data[..]);
+        let slot = page.insert(record)?;
+        guard.dirty = true;
+        Ok(RecordId { page: new_id, slot: slot as u16 })
+    }
+
+    /// Read a record by address. `None` if it was deleted.
+    pub fn get(&self, rid: RecordId) -> Result<Option<Vec<u8>>> {
+        let frame = self.pool.get(rid.page)?;
+        let mut guard = frame.write();
+        let page = SlottedPage::new(&mut guard.data[..]);
+        Ok(page.get(rid.slot as usize).map(|r| r.to_vec()))
+    }
+
+    /// Tombstone a record.
+    pub fn delete(&self, rid: RecordId) -> Result<()> {
+        let frame = self.pool.get(rid.page)?;
+        let mut guard = frame.write();
+        let mut page = SlottedPage::new(&mut guard.data[..]);
+        page.delete(rid.slot as usize)?;
+        guard.dirty = true;
+        Ok(())
+    }
+
+    /// Overwrite a record in place if it fits, else delete + move.
+    /// Returns the (possibly new) address.
+    pub fn update(&self, rid: RecordId, record: &[u8]) -> Result<RecordId> {
+        {
+            let frame = self.pool.get(rid.page)?;
+            let mut guard = frame.write();
+            let mut page = SlottedPage::new(&mut guard.data[..]);
+            match page.update_in_place(rid.slot as usize, record) {
+                Ok(()) => {
+                    guard.dirty = true;
+                    return Ok(rid);
+                }
+                Err(StoreError::RecordTooLarge(_)) => {
+                    page.delete(rid.slot as usize)?;
+                    guard.dirty = true;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.insert(record)
+    }
+
+    /// All live `(address, record)` pairs in chain order.
+    pub fn scan(&self) -> Result<Vec<(RecordId, Vec<u8>)>> {
+        let mut out = Vec::new();
+        let mut pid = Some(self.first);
+        while let Some(id) = pid {
+            let frame = self.pool.get(id)?;
+            let mut guard = frame.write();
+            let page = SlottedPage::new(&mut guard.data[..]);
+            for (slot, rec) in page.records() {
+                out.push((RecordId { page: id, slot: slot as u16 }, rec.to_vec()));
+            }
+            pid = page.next_page();
+        }
+        Ok(out)
+    }
+
+    /// Number of pages in the chain.
+    pub fn page_count(&self) -> Result<u64> {
+        let mut n = 0;
+        let mut pid = Some(self.first);
+        while let Some(id) = pid {
+            n += 1;
+            let frame = self.pool.get(id)?;
+            let mut guard = frame.write();
+            let page = SlottedPage::new(&mut guard.data[..]);
+            pid = page.next_page();
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::MemPager;
+
+    fn heap() -> HeapFile {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemPager::new()), 64));
+        HeapFile::create(pool).unwrap()
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let h = heap();
+        let a = h.insert(b"alpha").unwrap();
+        let b = h.insert(b"beta").unwrap();
+        assert_eq!(h.get(a).unwrap().unwrap(), b"alpha");
+        assert_eq!(h.get(b).unwrap().unwrap(), b"beta");
+    }
+
+    #[test]
+    fn spills_to_new_pages_and_scans_in_order() {
+        let h = heap();
+        let mut rids = Vec::new();
+        for i in 0..500u32 {
+            rids.push(h.insert(format!("record-{i:05}").as_bytes()).unwrap());
+        }
+        assert!(h.page_count().unwrap() > 1, "must have chained pages");
+        let scanned = h.scan().unwrap();
+        assert_eq!(scanned.len(), 500);
+        for (i, (rid, rec)) in scanned.iter().enumerate() {
+            assert_eq!(rid, &rids[i]);
+            assert_eq!(rec, format!("record-{i:05}").as_bytes());
+        }
+    }
+
+    #[test]
+    fn delete_hides_from_scan() {
+        let h = heap();
+        let a = h.insert(b"x").unwrap();
+        let _b = h.insert(b"y").unwrap();
+        h.delete(a).unwrap();
+        assert_eq!(h.get(a).unwrap(), None);
+        let scanned = h.scan().unwrap();
+        assert_eq!(scanned.len(), 1);
+        assert_eq!(scanned[0].1, b"y");
+    }
+
+    #[test]
+    fn update_in_place_and_relocating() {
+        let h = heap();
+        let a = h.insert(b"0123456789").unwrap();
+        let same = h.update(a, b"short").unwrap();
+        assert_eq!(same, a);
+        assert_eq!(h.get(a).unwrap().unwrap(), b"short");
+        let moved = h.update(a, &vec![b'z'; 100]).unwrap();
+        assert_ne!(moved, a);
+        assert_eq!(h.get(a).unwrap(), None, "old address tombstoned");
+        assert_eq!(h.get(moved).unwrap().unwrap(), vec![b'z'; 100]);
+    }
+
+    #[test]
+    fn reopen_restores_append_cursor() {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemPager::new()), 64));
+        let h = HeapFile::create(pool.clone()).unwrap();
+        for i in 0..300u32 {
+            h.insert(format!("r{i}").as_bytes()).unwrap();
+        }
+        let first = h.first_page();
+        drop(h);
+        let h2 = HeapFile::open(pool, first).unwrap();
+        let before = h2.scan().unwrap().len();
+        h2.insert(b"after-reopen").unwrap();
+        assert_eq!(h2.scan().unwrap().len(), before + 1);
+    }
+
+    #[test]
+    fn record_id_bytes_roundtrip() {
+        let rid = RecordId { page: 123456, slot: 42 };
+        assert_eq!(RecordId::from_bytes(&rid.to_bytes()).unwrap(), rid);
+        assert!(RecordId::from_bytes(&[1, 2, 3]).is_err());
+    }
+}

@@ -1,0 +1,98 @@
+//! An embedded relational storage engine — the RDBMS substrate under
+//! ArchIS.
+//!
+//! The paper runs ArchIS on DB2 and on ATLaS (a compact RDBMS over
+//! BerkeleyDB). Neither is available here, so this crate implements the
+//! relevant machinery from scratch:
+//!
+//! * [`page`] — 4 KiB slotted pages,
+//! * [`pager`] — page files (in-memory or on disk),
+//! * [`buffer`] — a pinning buffer pool with LRU eviction and logical /
+//!   physical I/O counters (the deterministic stand-in for the paper's
+//!   cold-cache measurements),
+//! * [`btree`] — a B+tree over order-preserving byte-encoded keys, used
+//!   both as a secondary index and as clustered primary storage
+//!   (BerkeleyDB-style),
+//! * [`heap`] — chained heap files (DB2-style base tables),
+//! * [`table`] / [`catalog`] — typed tables with automatic index
+//!   maintenance,
+//! * [`exec`] — an iterator (Volcano-style) executor: scans, filter,
+//!   project, sort, sort-merge and nested-loop joins, grouped aggregation,
+//! * [`expr`] — row expressions with a scalar UDF registry (the paper's
+//!   temporal built-ins plug in here).
+//!
+//! Two table layouts mirror the paper's two backends: heap storage plus
+//! secondary B+tree indexes ("ArchIS-DB2") and clustered B+tree primary
+//! storage ("ArchIS-ATLaS"), whose extra storage overhead the paper calls
+//! out in its Figure 11.
+
+pub mod btree;
+pub mod buffer;
+pub mod catalog;
+pub mod exec;
+pub mod expr;
+pub mod heap;
+pub mod page;
+pub mod pager;
+pub mod table;
+pub mod value;
+
+pub use btree::BTree;
+pub use buffer::{BufferPool, IoStats};
+pub use catalog::{Database, StorageKind};
+pub use exec::{
+    Executor, Filter, GroupAggregate, IndexRangeScan, Limit, NestedLoopJoin, Project, Row,
+    SeqScan, Sort, SortMergeJoin,
+};
+pub use expr::{AggFunc, BinOp, Expr, ScalarFn, UnOp};
+pub use heap::{HeapFile, RecordId};
+pub use page::{PageId, PAGE_SIZE};
+pub use pager::{FilePager, MemPager, Pager};
+pub use table::{IndexDef, Table};
+pub use value::{decode_row, encode_key, encode_row, DataType, Field, Schema, Value};
+
+use std::fmt;
+
+/// Unified error type for the storage engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// A record or key was larger than a page can hold.
+    RecordTooLarge(usize),
+    /// Unknown table, column or index name.
+    NotFound(String),
+    /// An object with this name already exists.
+    AlreadyExists(String),
+    /// A row did not match the table schema.
+    SchemaMismatch(String),
+    /// Corrupted on-page data.
+    Corrupt(String),
+    /// Underlying I/O failure.
+    Io(String),
+    /// Expression evaluation failure (type error, unknown function, ...).
+    Eval(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::RecordTooLarge(n) => write!(f, "record of {n} bytes exceeds page capacity"),
+            StoreError::NotFound(s) => write!(f, "not found: {s}"),
+            StoreError::AlreadyExists(s) => write!(f, "already exists: {s}"),
+            StoreError::SchemaMismatch(s) => write!(f, "schema mismatch: {s}"),
+            StoreError::Corrupt(s) => write!(f, "corrupt page data: {s}"),
+            StoreError::Io(s) => write!(f, "i/o error: {s}"),
+            StoreError::Eval(s) => write!(f, "evaluation error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e.to_string())
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, StoreError>;

@@ -1,0 +1,256 @@
+//! Slotted pages.
+//!
+//! Every page is [`PAGE_SIZE`] bytes. Record-bearing pages use the classic
+//! slotted layout:
+//!
+//! ```text
+//! +------------------+-------------------+---------------+--------------+
+//! | header (12 B)    | slot array (4 B/e)| free space →  | ← record data|
+//! +------------------+-------------------+---------------+--------------+
+//! bytes 0..8   next-page id (u64, MAX = none)
+//! bytes 8..10  slot count (u16)
+//! bytes 10..12 free-space offset (u16): lowest byte used by record data
+//! slot i       (offset u16, len u16); offset == 0 marks a dead slot
+//! ```
+//!
+//! Records grow downward from the end of the page; the slot array grows
+//! upward after the header. Deleting a record tombstones its slot without
+//! compaction — ArchIS history tables are append-mostly, and the paper's
+//! segment archival rewrites pages wholesale anyway.
+
+use crate::{Result, StoreError};
+
+/// Page size in bytes. Chosen to match the paper's 4000-byte BlockZIP
+/// blocks (a compressed block plus its row header fits one page).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Identifier of a page within a store.
+pub type PageId = u64;
+
+/// Sentinel meaning "no page".
+pub const NO_PAGE: PageId = u64::MAX;
+
+const HEADER: usize = 12;
+const SLOT: usize = 4;
+
+/// A typed view over one page's bytes offering slotted-record operations.
+pub struct SlottedPage<'a> {
+    data: &'a mut [u8],
+}
+
+impl<'a> SlottedPage<'a> {
+    /// Wrap a page buffer. The caller must have called
+    /// [`SlottedPage::init`] on this buffer at some point.
+    pub fn new(data: &'a mut [u8]) -> Self {
+        debug_assert_eq!(data.len(), PAGE_SIZE);
+        SlottedPage { data }
+    }
+
+    /// Format a fresh page: no slots, full free space, no next page.
+    pub fn init(data: &mut [u8]) {
+        data[..8].copy_from_slice(&NO_PAGE.to_be_bytes());
+        data[8..10].copy_from_slice(&0u16.to_be_bytes());
+        data[10..12].copy_from_slice(&(PAGE_SIZE as u16).to_be_bytes());
+    }
+
+    /// The chained next page, if any.
+    pub fn next_page(&self) -> Option<PageId> {
+        let id = u64::from_be_bytes(self.data[..8].try_into().unwrap());
+        (id != NO_PAGE).then_some(id)
+    }
+
+    /// Link this page to a successor.
+    pub fn set_next_page(&mut self, next: Option<PageId>) {
+        self.data[..8].copy_from_slice(&next.unwrap_or(NO_PAGE).to_be_bytes());
+    }
+
+    /// Number of slots (live and dead).
+    pub fn slot_count(&self) -> usize {
+        u16::from_be_bytes(self.data[8..10].try_into().unwrap()) as usize
+    }
+
+    fn set_slot_count(&mut self, n: usize) {
+        self.data[8..10].copy_from_slice(&(n as u16).to_be_bytes());
+    }
+
+    fn free_offset(&self) -> usize {
+        u16::from_be_bytes(self.data[10..12].try_into().unwrap()) as usize
+    }
+
+    fn set_free_offset(&mut self, off: usize) {
+        self.data[10..12].copy_from_slice(&(off as u16).to_be_bytes());
+    }
+
+    fn slot(&self, i: usize) -> (usize, usize) {
+        let base = HEADER + i * SLOT;
+        let off = u16::from_be_bytes(self.data[base..base + 2].try_into().unwrap()) as usize;
+        let len = u16::from_be_bytes(self.data[base + 2..base + 4].try_into().unwrap()) as usize;
+        (off, len)
+    }
+
+    fn set_slot(&mut self, i: usize, off: usize, len: usize) {
+        let base = HEADER + i * SLOT;
+        self.data[base..base + 2].copy_from_slice(&(off as u16).to_be_bytes());
+        self.data[base + 2..base + 4].copy_from_slice(&(len as u16).to_be_bytes());
+    }
+
+    /// Contiguous free bytes available for one more record plus its slot.
+    pub fn free_space(&self) -> usize {
+        self.free_offset().saturating_sub(HEADER + self.slot_count() * SLOT)
+    }
+
+    /// Whether a record of `len` bytes fits.
+    pub fn fits(&self, len: usize) -> bool {
+        self.free_space() >= len + SLOT
+    }
+
+    /// Insert a record, returning its slot number.
+    pub fn insert(&mut self, record: &[u8]) -> Result<usize> {
+        if record.len() + SLOT > PAGE_SIZE - HEADER {
+            return Err(StoreError::RecordTooLarge(record.len()));
+        }
+        if !self.fits(record.len()) {
+            return Err(StoreError::Corrupt("page full".into()));
+        }
+        let off = self.free_offset() - record.len();
+        self.data[off..off + record.len()].copy_from_slice(record);
+        let slot = self.slot_count();
+        self.set_slot_count(slot + 1);
+        self.set_slot(slot, off, record.len());
+        self.set_free_offset(off);
+        Ok(slot)
+    }
+
+    /// Read a record. Returns `None` for dead or out-of-range slots.
+    pub fn get(&self, slot: usize) -> Option<&[u8]> {
+        if slot >= self.slot_count() {
+            return None;
+        }
+        let (off, len) = self.slot(slot);
+        if off == 0 {
+            return None; // tombstone
+        }
+        Some(&self.data[off..off + len])
+    }
+
+    /// Tombstone a record. Space is reclaimed only by page rewrite.
+    pub fn delete(&mut self, slot: usize) -> Result<()> {
+        if slot >= self.slot_count() {
+            return Err(StoreError::NotFound(format!("slot {slot}")));
+        }
+        self.set_slot(slot, 0, 0);
+        Ok(())
+    }
+
+    /// Overwrite a record in place when the new payload is no longer than
+    /// the old one; otherwise reports `RecordTooLarge` and the caller must
+    /// delete + reinsert.
+    pub fn update_in_place(&mut self, slot: usize, record: &[u8]) -> Result<()> {
+        if slot >= self.slot_count() {
+            return Err(StoreError::NotFound(format!("slot {slot}")));
+        }
+        let (off, len) = self.slot(slot);
+        if off == 0 {
+            return Err(StoreError::NotFound(format!("slot {slot} is dead")));
+        }
+        if record.len() > len {
+            return Err(StoreError::RecordTooLarge(record.len()));
+        }
+        self.data[off..off + record.len()].copy_from_slice(record);
+        self.set_slot(slot, off, record.len());
+        Ok(())
+    }
+
+    /// Iterate live `(slot, record)` pairs.
+    pub fn records(&self) -> impl Iterator<Item = (usize, &[u8])> {
+        (0..self.slot_count()).filter_map(move |i| self.get(i).map(|r| (i, r)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> [u8; PAGE_SIZE] {
+        let mut buf = [0u8; PAGE_SIZE];
+        SlottedPage::init(&mut buf);
+        buf
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::new(&mut buf);
+        let a = p.insert(b"hello").unwrap();
+        let b = p.insert(b"world!").unwrap();
+        assert_eq!(p.get(a), Some(&b"hello"[..]));
+        assert_eq!(p.get(b), Some(&b"world!"[..]));
+        assert_eq!(p.records().count(), 2);
+    }
+
+    #[test]
+    fn delete_tombstones() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::new(&mut buf);
+        let a = p.insert(b"abc").unwrap();
+        let b = p.insert(b"def").unwrap();
+        p.delete(a).unwrap();
+        assert_eq!(p.get(a), None);
+        assert_eq!(p.get(b), Some(&b"def"[..]));
+        assert_eq!(p.records().count(), 1);
+        assert!(p.delete(99).is_err());
+    }
+
+    #[test]
+    fn fills_up_and_reports_full() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::new(&mut buf);
+        let rec = [7u8; 100];
+        let mut n = 0;
+        while p.fits(rec.len()) {
+            p.insert(&rec).unwrap();
+            n += 1;
+        }
+        assert!(n >= (PAGE_SIZE - HEADER) / (100 + SLOT) - 1);
+        assert!(p.insert(&rec).is_err());
+        // All inserted records still readable.
+        assert_eq!(p.records().count(), n);
+    }
+
+    #[test]
+    fn rejects_oversized_record() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::new(&mut buf);
+        assert!(matches!(p.insert(&[0u8; PAGE_SIZE]), Err(StoreError::RecordTooLarge(_))));
+    }
+
+    #[test]
+    fn update_in_place_shrinks_only() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::new(&mut buf);
+        let s = p.insert(b"0123456789").unwrap();
+        p.update_in_place(s, b"abcde").unwrap();
+        assert_eq!(p.get(s), Some(&b"abcde"[..]));
+        assert!(p.update_in_place(s, b"too-long-now").is_err());
+    }
+
+    #[test]
+    fn next_page_chain() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::new(&mut buf);
+        assert_eq!(p.next_page(), None);
+        p.set_next_page(Some(42));
+        assert_eq!(p.next_page(), Some(42));
+        p.set_next_page(None);
+        assert_eq!(p.next_page(), None);
+    }
+
+    #[test]
+    fn empty_payload_is_storable() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::new(&mut buf);
+        let s = p.insert(b"").unwrap();
+        // Zero-length record at a nonzero offset is live.
+        assert_eq!(p.get(s), Some(&b""[..]));
+    }
+}

@@ -1,0 +1,752 @@
+//! Typed tables with automatic secondary-index maintenance.
+//!
+//! Two layouts mirror the paper's two ArchIS backends:
+//!
+//! * [`crate::catalog::StorageKind::Heap`] — rows live in a chained heap
+//!   file; secondary B+tree indexes map encoded key → record id. This is
+//!   the DB2-style layout.
+//! * [`crate::catalog::StorageKind::Clustered`] — rows live *inside* a
+//!   B+tree keyed by the cluster columns (plus a uniquifier), like a
+//!   BerkeleyDB primary database; secondary indexes map encoded key →
+//!   cluster key. The paper notes this layout's extra storage overhead
+//!   (Figure 11: ArchIS-ATLaS ratio 1.02 vs ArchIS-DB2 0.75).
+
+use crate::btree::BTree;
+use crate::buffer::BufferPool;
+use crate::catalog::StorageKind;
+use crate::heap::{HeapFile, RecordId};
+use crate::value::{decode_row, encode_key, encode_row, Schema, Value};
+use crate::{Result, StoreError};
+use std::ops::Bound;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Definition of a secondary index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexDef {
+    /// Index name, unique within the table.
+    pub name: String,
+    /// Indexed column names, in key order.
+    pub columns: Vec<String>,
+}
+
+struct Index {
+    def: IndexDef,
+    cols: Vec<usize>,
+    tree: BTree,
+}
+
+/// The persistent roots of a table: everything needed to reattach to it
+/// in a page file (see [`crate::catalog::Database::checkpoint`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRoots {
+    /// Heap first page, or clustered-B+tree root.
+    pub base: crate::page::PageId,
+    /// Cluster-key uniquifier counter.
+    pub seq: u64,
+    /// Live row count.
+    pub rows: u64,
+    /// Secondary indexes with their B+tree roots.
+    pub indexes: Vec<(IndexDef, crate::page::PageId)>,
+}
+
+/// A typed table.
+pub struct Table {
+    name: String,
+    schema: Schema,
+    kind: StorageKind,
+    pool: Arc<BufferPool>,
+    heap: Option<HeapFile>,
+    clustered: Option<BTree>,
+    cluster_cols: Vec<usize>,
+    indexes: parking_lot::RwLock<Vec<Index>>,
+    /// Uniquifier appended to cluster keys so duplicate cluster-column
+    /// values remain distinct entries.
+    seq: AtomicU64,
+    rows: AtomicU64,
+}
+
+impl Table {
+    pub(crate) fn create(
+        pool: Arc<BufferPool>,
+        name: &str,
+        schema: Schema,
+        kind: StorageKind,
+        cluster_columns: &[&str],
+    ) -> Result<Self> {
+        let cluster_cols = cluster_columns
+            .iter()
+            .map(|c| schema.require(c))
+            .collect::<Result<Vec<_>>>()?;
+        let (heap, clustered) = match kind {
+            StorageKind::Heap => (Some(HeapFile::create(pool.clone())?), None),
+            StorageKind::Clustered => {
+                if cluster_cols.is_empty() {
+                    return Err(StoreError::SchemaMismatch(format!(
+                        "clustered table {name} needs cluster columns"
+                    )));
+                }
+                (None, Some(BTree::create(pool.clone())?))
+            }
+        };
+        Ok(Table {
+            name: name.to_string(),
+            schema,
+            kind,
+            pool,
+            heap,
+            clustered,
+            cluster_cols,
+            indexes: parking_lot::RwLock::new(Vec::new()),
+            seq: AtomicU64::new(0),
+            rows: AtomicU64::new(0),
+        })
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Storage layout.
+    pub fn kind(&self) -> StorageKind {
+        self.kind
+    }
+
+    /// Names of the cluster columns (empty for heap tables).
+    pub fn cluster_columns(&self) -> Vec<String> {
+        self.cluster_cols.iter().map(|&i| self.schema.fields[i].name.clone()).collect()
+    }
+
+    /// Snapshot of the table's persistent roots (for the durable catalog).
+    pub fn roots(&self) -> TableRoots {
+        TableRoots {
+            base: match self.kind {
+                StorageKind::Heap => self.heap.as_ref().unwrap().first_page(),
+                StorageKind::Clustered => self.clustered.as_ref().unwrap().root_page(),
+            },
+            seq: self.seq.load(Ordering::Relaxed),
+            rows: self.rows.load(Ordering::Relaxed),
+            indexes: self
+                .indexes
+                .read()
+                .iter()
+                .map(|i| (i.def.clone(), i.tree.root_page()))
+                .collect(),
+        }
+    }
+
+    /// Reattach to a table persisted in a page file, given the roots
+    /// recorded by [`Table::roots`] at the last checkpoint.
+    pub(crate) fn open_existing(
+        pool: Arc<BufferPool>,
+        name: &str,
+        schema: Schema,
+        kind: StorageKind,
+        cluster_columns: &[String],
+        roots: &TableRoots,
+    ) -> Result<Self> {
+        let cluster_cols = cluster_columns
+            .iter()
+            .map(|c| schema.require(c))
+            .collect::<Result<Vec<_>>>()?;
+        let (heap, clustered) = match kind {
+            StorageKind::Heap => (Some(HeapFile::open(pool.clone(), roots.base)?), None),
+            StorageKind::Clustered => (None, Some(BTree::open(pool.clone(), roots.base))),
+        };
+        let indexes = roots
+            .indexes
+            .iter()
+            .map(|(def, root)| {
+                let cols = def
+                    .columns
+                    .iter()
+                    .map(|c| schema.require(c))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(Index { def: def.clone(), cols, tree: BTree::open(pool.clone(), *root) })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Table {
+            name: name.to_string(),
+            schema,
+            kind,
+            pool,
+            heap,
+            clustered,
+            cluster_cols,
+            indexes: parking_lot::RwLock::new(indexes),
+            seq: AtomicU64::new(roots.seq),
+            rows: AtomicU64::new(roots.rows),
+        })
+    }
+
+    /// All index definitions.
+    pub fn index_defs(&self) -> Vec<IndexDef> {
+        self.indexes.read().iter().map(|i| i.def.clone()).collect()
+    }
+
+    /// Number of live rows.
+    pub fn row_count(&self) -> u64 {
+        self.rows.load(Ordering::Relaxed)
+    }
+
+    /// Create a secondary index over `columns` and build it from existing
+    /// rows.
+    pub fn create_index(&self, name: &str, columns: &[&str]) -> Result<()> {
+        {
+            let indexes = self.indexes.read();
+            if indexes.iter().any(|i| i.def.name == name) {
+                return Err(StoreError::AlreadyExists(format!("index {name}")));
+            }
+        }
+        let cols = columns.iter().map(|c| self.schema.require(c)).collect::<Result<Vec<_>>>()?;
+        let tree = BTree::create(self.pool.clone())?;
+        // Build from existing data.
+        for (handle, row) in self.scan_with_handles()? {
+            let key = encode_key(&select(&row, &cols));
+            tree.insert(&key, &handle)?;
+        }
+        self.indexes.write().push(Index {
+            def: IndexDef { name: name.into(), columns: columns.iter().map(|s| s.to_string()).collect() },
+            cols,
+            tree,
+        });
+        Ok(())
+    }
+
+    /// Names of the table's indexes.
+    pub fn index_names(&self) -> Vec<String> {
+        self.indexes.read().iter().map(|i| i.def.name.clone()).collect()
+    }
+
+    /// The index definition for `name`, if present.
+    pub fn index_def(&self, name: &str) -> Option<IndexDef> {
+        self.indexes.read().iter().find(|i| i.def.name == name).map(|i| i.def.clone())
+    }
+
+    /// Find an index whose leading column is `column`.
+    pub fn index_on(&self, column: &str) -> Option<String> {
+        self.indexes
+            .read()
+            .iter()
+            .find(|i| i.def.columns.first().map(String::as_str) == Some(column))
+            .map(|i| i.def.name.clone())
+    }
+
+    /// The opaque row handle used as index payload: a record id for heap
+    /// tables, the full cluster key for clustered tables.
+    fn handle_of_cluster_key(key: &[u8]) -> Vec<u8> {
+        key.to_vec()
+    }
+
+    /// Insert a row.
+    pub fn insert(&self, row: Vec<Value>) -> Result<()> {
+        self.schema.check_row(&row)?;
+        let bytes = encode_row(&row);
+        let handle: Vec<u8> = match self.kind {
+            StorageKind::Heap => {
+                let rid = self.heap.as_ref().unwrap().insert(&bytes)?;
+                rid.to_bytes().to_vec()
+            }
+            StorageKind::Clustered => {
+                let mut key = encode_key(&select(&row, &self.cluster_cols));
+                let uniq = self.seq.fetch_add(1, Ordering::Relaxed);
+                key.extend_from_slice(&uniq.to_be_bytes());
+                self.clustered.as_ref().unwrap().insert(&key, &bytes)?;
+                Self::handle_of_cluster_key(&key)
+            }
+        };
+        for idx in self.indexes.read().iter() {
+            let key = encode_key(&select(&row, &idx.cols));
+            idx.tree.insert(&key, &handle)?;
+        }
+        self.rows.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Insert many rows.
+    pub fn insert_all(&self, rows: impl IntoIterator<Item = Vec<Value>>) -> Result<()> {
+        for r in rows {
+            self.insert(r)?;
+        }
+        Ok(())
+    }
+
+    /// All rows with their opaque handles (used for index builds and
+    /// update/delete plumbing).
+    fn scan_with_handles(&self) -> Result<Vec<(Vec<u8>, Vec<Value>)>> {
+        match self.kind {
+            StorageKind::Heap => {
+                let mut out = Vec::new();
+                for (rid, bytes) in self.heap.as_ref().unwrap().scan()? {
+                    out.push((rid.to_bytes().to_vec(), decode_row(&bytes)?));
+                }
+                Ok(out)
+            }
+            StorageKind::Clustered => {
+                let mut out = Vec::new();
+                let iter =
+                    self.clustered.as_ref().unwrap().range(Bound::Unbounded, Bound::Unbounded)?;
+                for (key, bytes) in iter {
+                    out.push((Self::handle_of_cluster_key(&key), decode_row(&bytes)?));
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Full scan. Heap tables return insertion order; clustered tables
+    /// return cluster-key order (the temporally grouped order ArchIS relies
+    /// on, paper §6).
+    pub fn scan(&self) -> Result<Vec<Vec<Value>>> {
+        Ok(self.scan_with_handles()?.into_iter().map(|(_, r)| r).collect())
+    }
+
+    /// Fetch the row behind an index payload handle.
+    fn fetch(&self, handle: &[u8]) -> Result<Option<Vec<Value>>> {
+        match self.kind {
+            StorageKind::Heap => {
+                let rid = RecordId::from_bytes(handle)?;
+                match self.heap.as_ref().unwrap().get(rid)? {
+                    Some(bytes) => Ok(Some(decode_row(&bytes)?)),
+                    None => Ok(None),
+                }
+            }
+            StorageKind::Clustered => {
+                let vals = self.clustered.as_ref().unwrap().get(handle)?;
+                match vals.first() {
+                    Some(bytes) => Ok(Some(decode_row(bytes)?)),
+                    None => Ok(None),
+                }
+            }
+        }
+    }
+
+    /// Rows whose index key equals `key_values` exactly, via index `index`.
+    pub fn index_lookup(&self, index: &str, key_values: &[Value]) -> Result<Vec<Vec<Value>>> {
+        let key = encode_key(key_values);
+        self.index_range_raw(index, Bound::Included(&key[..]), Bound::Included(&key[..]))
+    }
+
+    /// Rows whose index key (prefix) lies within the value bounds.
+    /// `lo`/`hi` are encoded with [`encode_key`]; a prefix of the index's
+    /// columns is allowed — the scan uses the encoded prefix range.
+    pub fn index_range(
+        &self,
+        index: &str,
+        lo: Bound<&[Value]>,
+        hi: Bound<&[Value]>,
+    ) -> Result<Vec<Vec<Value>>> {
+        let lo_k = map_bound_enc(lo);
+        let hi_k = match hi {
+            // An inclusive upper bound on a *prefix* must cover all longer
+            // keys sharing the prefix: extend to the prefix's upper bound.
+            Bound::Included(vals) => {
+                let enc = encode_key(vals);
+                match crate::btree::prefix_upper(&enc) {
+                    Some(h) => Bound::Excluded(h),
+                    None => Bound::Unbounded,
+                }
+            }
+            Bound::Excluded(vals) => Bound::Excluded(encode_key(vals)),
+            Bound::Unbounded => Bound::Unbounded,
+        };
+        self.index_range_raw(
+            index,
+            as_bound_slice(&lo_k),
+            as_bound_slice(&hi_k),
+        )
+    }
+
+    fn index_range_raw(
+        &self,
+        index: &str,
+        lo: Bound<&[u8]>,
+        hi: Bound<&[u8]>,
+    ) -> Result<Vec<Vec<Value>>> {
+        let indexes = self.indexes.read();
+        let idx = indexes
+            .iter()
+            .find(|i| i.def.name == index)
+            .ok_or_else(|| StoreError::NotFound(format!("index {index} on {}", self.name)))?;
+        // For an inclusive point lookup the key encodes a prefix; extend the
+        // upper bound so longer composite keys with this prefix match too.
+        let hi_owned: Bound<Vec<u8>>;
+        let hi = match hi {
+            Bound::Included(k) => match crate::btree::prefix_upper(k) {
+                Some(h) => {
+                    hi_owned = Bound::Excluded(h);
+                    as_bound_slice(&hi_owned)
+                }
+                None => Bound::Unbounded,
+            },
+            other => other,
+        };
+        let mut out = Vec::new();
+        for (_, handle) in idx.tree.range(lo, hi)? {
+            if let Some(row) = self.fetch(&handle)? {
+                out.push(row);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Range scan over the *primary* clustered B+tree by a cluster-key
+    /// (prefix) range — the fast path for `segno = n` segment restrictions
+    /// on segment-clustered history tables. Errors on heap tables.
+    pub fn cluster_range(
+        &self,
+        lo: Bound<&[Value]>,
+        hi: Bound<&[Value]>,
+    ) -> Result<Vec<Vec<Value>>> {
+        let tree = self.clustered.as_ref().ok_or_else(|| {
+            StoreError::SchemaMismatch(format!("{} is not clustered", self.name))
+        })?;
+        let lo_k = match lo {
+            Bound::Included(v) => Bound::Included(encode_key(v)),
+            Bound::Excluded(v) => Bound::Excluded(encode_key(v)),
+            Bound::Unbounded => Bound::Unbounded,
+        };
+        // Inclusive upper bounds on prefixes must cover longer keys.
+        let hi_k = match hi {
+            Bound::Included(v) => match crate::btree::prefix_upper(&encode_key(v)) {
+                Some(h) => Bound::Excluded(h),
+                None => Bound::Unbounded,
+            },
+            Bound::Excluded(v) => Bound::Excluded(encode_key(v)),
+            Bound::Unbounded => Bound::Unbounded,
+        };
+        let lo_ref = match &lo_k {
+            Bound::Included(v) => Bound::Included(v.as_slice()),
+            Bound::Excluded(v) => Bound::Excluded(v.as_slice()),
+            Bound::Unbounded => Bound::Unbounded,
+        };
+        let hi_ref = match &hi_k {
+            Bound::Included(v) => Bound::Included(v.as_slice()),
+            Bound::Excluded(v) => Bound::Excluded(v.as_slice()),
+            Bound::Unbounded => Bound::Unbounded,
+        };
+        tree.range(lo_ref, hi_ref)?.map(|(_, bytes)| decode_row(&bytes)).collect()
+    }
+
+    /// `(handle, row)` pairs whose index key equals `key_values` (prefix
+    /// allowed), via index `index`.
+    fn index_handles(
+        &self,
+        index: &str,
+        key_values: &[Value],
+    ) -> Result<Vec<(Vec<u8>, Vec<Value>)>> {
+        let indexes = self.indexes.read();
+        let idx = indexes
+            .iter()
+            .find(|i| i.def.name == index)
+            .ok_or_else(|| StoreError::NotFound(format!("index {index} on {}", self.name)))?;
+        let key = encode_key(key_values);
+        let mut out = Vec::new();
+        for (_, handle) in idx.tree.scan_prefix(&key)? {
+            if let Some(row) = self.fetch(&handle)? {
+                out.push((handle, row));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Update rows found through an index: rows whose `index` key equals
+    /// `key_values` (prefix allowed) and that match `pred` are rewritten
+    /// with `f`. Avoids the full-table scan of [`Table::update_where`] —
+    /// the path ArchIS uses for its per-key history maintenance.
+    pub fn update_via_index(
+        &self,
+        index: &str,
+        key_values: &[Value],
+        pred: impl Fn(&[Value]) -> bool,
+        f: impl Fn(&mut Vec<Value>),
+    ) -> Result<usize> {
+        let victims: Vec<(Vec<u8>, Vec<Value>)> = self
+            .index_handles(index, key_values)?
+            .into_iter()
+            .filter(|(_, row)| pred(row))
+            .collect();
+        let n = victims.len();
+        for (handle, row) in victims {
+            self.remove_physical(&handle, &row)?;
+            let mut new_row = row;
+            f(&mut new_row);
+            self.insert(new_row)?;
+        }
+        Ok(n)
+    }
+
+    /// Delete rows found through an index (see [`Table::update_via_index`]).
+    pub fn delete_via_index(
+        &self,
+        index: &str,
+        key_values: &[Value],
+        pred: impl Fn(&[Value]) -> bool,
+    ) -> Result<usize> {
+        let victims: Vec<(Vec<u8>, Vec<Value>)> = self
+            .index_handles(index, key_values)?
+            .into_iter()
+            .filter(|(_, row)| pred(row))
+            .collect();
+        let n = victims.len();
+        for (handle, row) in victims {
+            self.remove_physical(&handle, &row)?;
+        }
+        Ok(n)
+    }
+
+    /// Physically remove one row (base storage + all indexes + counter).
+    fn remove_physical(&self, handle: &[u8], row: &[Value]) -> Result<()> {
+        match self.kind {
+            StorageKind::Heap => {
+                self.heap.as_ref().unwrap().delete(RecordId::from_bytes(handle)?)?;
+            }
+            StorageKind::Clustered => {
+                self.clustered.as_ref().unwrap().delete(handle, &encode_row(row))?;
+            }
+        }
+        for idx in self.indexes.read().iter() {
+            let key = encode_key(&select(row, &idx.cols));
+            idx.tree.delete(&key, handle)?;
+        }
+        self.rows.fetch_sub(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Delete all rows matching `pred`; returns how many were removed.
+    pub fn delete_where(&self, pred: impl Fn(&[Value]) -> bool) -> Result<usize> {
+        let victims: Vec<(Vec<u8>, Vec<Value>)> = self
+            .scan_with_handles()?
+            .into_iter()
+            .filter(|(_, row)| pred(row))
+            .collect();
+        for (handle, row) in &victims {
+            self.remove_physical(handle, row)?;
+        }
+        Ok(victims.len())
+    }
+
+    /// Update all rows matching `pred` by applying `f`; returns how many
+    /// changed. Implemented as delete + reinsert so indexes stay correct.
+    pub fn update_where(
+        &self,
+        pred: impl Fn(&[Value]) -> bool,
+        f: impl Fn(&mut Vec<Value>),
+    ) -> Result<usize> {
+        let victims: Vec<(Vec<u8>, Vec<Value>)> = self
+            .scan_with_handles()?
+            .into_iter()
+            .filter(|(_, row)| pred(row))
+            .collect();
+        let n = victims.len();
+        for (handle, row) in victims {
+            self.remove_physical(&handle, &row)?;
+            let mut new_row = row;
+            f(&mut new_row);
+            self.insert(new_row)?;
+        }
+        Ok(n)
+    }
+
+    /// Pages used by base storage plus all indexes (storage experiments).
+    pub fn page_count(&self) -> Result<u64> {
+        let base = match self.kind {
+            StorageKind::Heap => self.heap.as_ref().unwrap().page_count()?,
+            StorageKind::Clustered => self.clustered.as_ref().unwrap().page_count()?,
+        };
+        let mut total = base;
+        for idx in self.indexes.read().iter() {
+            total += idx.tree.page_count()?;
+        }
+        Ok(total)
+    }
+}
+
+fn select(row: &[Value], cols: &[usize]) -> Vec<Value> {
+    cols.iter().map(|&c| row[c].clone()).collect()
+}
+
+fn map_bound_enc(b: Bound<&[Value]>) -> Bound<Vec<u8>> {
+    match b {
+        Bound::Included(v) => Bound::Included(encode_key(v)),
+        Bound::Excluded(v) => Bound::Excluded(encode_key(v)),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+fn as_bound_slice(b: &Bound<Vec<u8>>) -> Bound<&[u8]> {
+    match b {
+        Bound::Included(v) => Bound::Included(v.as_slice()),
+        Bound::Excluded(v) => Bound::Excluded(v.as_slice()),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::MemPager;
+    use crate::value::{DataType, Field};
+    use temporal::Date;
+
+    fn pool() -> Arc<BufferPool> {
+        Arc::new(BufferPool::new(Arc::new(MemPager::new()), 512))
+    }
+
+    fn emp_schema() -> Schema {
+        Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::new("salary", DataType::Int),
+            Field::new("tstart", DataType::Date),
+            Field::new("tend", DataType::Date),
+        ])
+    }
+
+    fn row(id: i64, sal: i64, s: &str, e: &str) -> Vec<Value> {
+        vec![
+            Value::Int(id),
+            Value::Int(sal),
+            Value::Date(Date::parse(s).unwrap()),
+            Value::Date(Date::parse(e).unwrap()),
+        ]
+    }
+
+    fn table(kind: StorageKind) -> Table {
+        Table::create(pool(), "employee_salary", emp_schema(), kind, &["id"]).unwrap()
+    }
+
+    fn both() -> [Table; 2] {
+        [table(StorageKind::Heap), table(StorageKind::Clustered)]
+    }
+
+    #[test]
+    fn insert_scan_roundtrip_both_layouts() {
+        for t in both() {
+            t.insert(row(2, 50_000, "1989-01-01", "1990-01-01")).unwrap();
+            t.insert(row(1, 60_000, "1995-01-01", "1995-05-31")).unwrap();
+            assert_eq!(t.row_count(), 2);
+            let rows = t.scan().unwrap();
+            assert_eq!(rows.len(), 2);
+            if t.kind() == StorageKind::Clustered {
+                assert_eq!(rows[0][0], Value::Int(1), "clustered scan is key-ordered");
+            }
+        }
+    }
+
+    #[test]
+    fn schema_violations_rejected() {
+        let t = table(StorageKind::Heap);
+        assert!(t.insert(vec![Value::Int(1)]).is_err());
+        assert!(t
+            .insert(vec![Value::Str("x".into()), Value::Int(1), Value::Null, Value::Null])
+            .is_err());
+    }
+
+    #[test]
+    fn index_lookup_and_range() {
+        for t in both() {
+            t.create_index("by_id", &["id"]).unwrap();
+            for id in 0..50 {
+                t.insert(row(id, 1000 * id, "1990-01-01", "1991-01-01")).unwrap();
+            }
+            let hits = t.index_lookup("by_id", &[Value::Int(7)]).unwrap();
+            assert_eq!(hits.len(), 1);
+            assert_eq!(hits[0][1], Value::Int(7000));
+            let lo = [Value::Int(10)];
+            let hi = [Value::Int(19)];
+            let range = t
+                .index_range("by_id", Bound::Included(&lo[..]), Bound::Included(&hi[..]))
+                .unwrap();
+            assert_eq!(range.len(), 10);
+            assert!(t.index_lookup("missing", &[Value::Int(1)]).is_err());
+        }
+    }
+
+    #[test]
+    fn index_built_on_existing_rows() {
+        let t = table(StorageKind::Heap);
+        for id in 0..20 {
+            t.insert(row(id, id, "1990-01-01", "1991-01-01")).unwrap();
+        }
+        t.create_index("by_id", &["id"]).unwrap();
+        assert_eq!(t.index_lookup("by_id", &[Value::Int(13)]).unwrap().len(), 1);
+        assert!(t.create_index("by_id", &["id"]).is_err(), "duplicate index name");
+    }
+
+    #[test]
+    fn composite_index_prefix_range() {
+        for t in both() {
+            t.create_index("by_id_start", &["id", "tstart"]).unwrap();
+            t.insert(row(1, 10, "1990-01-01", "1991-01-01")).unwrap();
+            t.insert(row(1, 20, "1991-01-02", "1992-01-01")).unwrap();
+            t.insert(row(2, 30, "1990-01-01", "1991-01-01")).unwrap();
+            // Point lookup on the prefix (id only) finds both of id 1.
+            let hits = t.index_lookup("by_id_start", &[Value::Int(1)]).unwrap();
+            assert_eq!(hits.len(), 2);
+        }
+    }
+
+    #[test]
+    fn delete_where_maintains_indexes() {
+        for t in both() {
+            t.create_index("by_id", &["id"]).unwrap();
+            for id in 0..10 {
+                t.insert(row(id, id, "1990-01-01", "1991-01-01")).unwrap();
+            }
+            let n = t.delete_where(|r| r[0].as_int().unwrap() % 2 == 0).unwrap();
+            assert_eq!(n, 5);
+            assert_eq!(t.row_count(), 5);
+            assert!(t.index_lookup("by_id", &[Value::Int(4)]).unwrap().is_empty());
+            assert_eq!(t.index_lookup("by_id", &[Value::Int(5)]).unwrap().len(), 1);
+            assert_eq!(t.scan().unwrap().len(), 5);
+        }
+    }
+
+    #[test]
+    fn update_where_rewrites_row_and_indexes() {
+        for t in both() {
+            t.create_index("by_salary", &["salary"]).unwrap();
+            t.insert(row(1, 60_000, "1995-01-01", "1995-05-31")).unwrap();
+            // The ArchIS archival update: close the current period.
+            let n = t
+                .update_where(
+                    |r| r[0] == Value::Int(1),
+                    |r| r[1] = Value::Int(70_000),
+                )
+                .unwrap();
+            assert_eq!(n, 1);
+            assert!(t.index_lookup("by_salary", &[Value::Int(60_000)]).unwrap().is_empty());
+            assert_eq!(t.index_lookup("by_salary", &[Value::Int(70_000)]).unwrap().len(), 1);
+        }
+    }
+
+    #[test]
+    fn clustered_requires_cluster_columns() {
+        assert!(Table::create(pool(), "t", emp_schema(), StorageKind::Clustered, &[]).is_err());
+    }
+
+    #[test]
+    fn index_on_finds_by_leading_column() {
+        let t = table(StorageKind::Heap);
+        t.create_index("by_id_start", &["id", "tstart"]).unwrap();
+        assert_eq!(t.index_on("id"), Some("by_id_start".into()));
+        assert_eq!(t.index_on("salary"), None);
+    }
+
+    #[test]
+    fn page_count_grows_with_data() {
+        for t in both() {
+            let before = t.page_count().unwrap();
+            for id in 0..2000 {
+                t.insert(row(id, id, "1990-01-01", "1991-01-01")).unwrap();
+            }
+            assert!(t.page_count().unwrap() > before);
+        }
+    }
+}

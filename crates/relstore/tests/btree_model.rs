@@ -1,0 +1,101 @@
+//! Property test: the page-based B+tree behaves like a reference
+//! `BTreeMap<Vec<u8>, Vec<Vec<u8>>>` (multimap) under random operation
+//! sequences, including range scans at random bounds.
+
+use proptest::prelude::*;
+use relstore::{BTree, BufferPool, MemPager};
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Action {
+    Insert(Vec<u8>, Vec<u8>),
+    Delete(Vec<u8>, Vec<u8>),
+    Range(Vec<u8>, Vec<u8>),
+}
+
+fn arb_key() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..8, 1..5)
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        4 => (arb_key(), arb_key()).prop_map(|(k, v)| Action::Insert(k, v)),
+        2 => (arb_key(), arb_key()).prop_map(|(k, v)| Action::Delete(k, v)),
+        1 => (arb_key(), arb_key()).prop_map(|(a, b)| Action::Range(a, b)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn btree_matches_reference_multimap(actions in proptest::collection::vec(arb_action(), 1..300)) {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemPager::new()), 128));
+        let tree = BTree::create(pool).unwrap();
+        let mut model: BTreeMap<Vec<u8>, Vec<Vec<u8>>> = BTreeMap::new();
+        for action in &actions {
+            match action {
+                Action::Insert(k, v) => {
+                    tree.insert(k, v).unwrap();
+                    model.entry(k.clone()).or_default().push(v.clone());
+                    model.get_mut(k).unwrap().sort();
+                }
+                Action::Delete(k, v) => {
+                    let removed = tree.delete(k, v).unwrap();
+                    let expected = model
+                        .get_mut(k)
+                        .and_then(|vs| vs.iter().position(|x| x == v).map(|i| {
+                            vs.remove(i);
+                        }))
+                        .is_some();
+                    if model.get(k).is_some_and(Vec::is_empty) {
+                        model.remove(k);
+                    }
+                    prop_assert_eq!(removed, expected, "delete({:?},{:?})", k, v);
+                }
+                Action::Range(a, b) => {
+                    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                    let got: Vec<(Vec<u8>, Vec<u8>)> = tree
+                        .range(Bound::Included(&lo[..]), Bound::Excluded(&hi[..]))
+                        .unwrap()
+                        .collect();
+                    let mut want: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+                    for (k, vs) in model.range::<Vec<u8>, _>((
+                        Bound::Included(lo),
+                        Bound::Excluded(hi),
+                    )) {
+                        for v in vs {
+                            want.push((k.clone(), v.clone()));
+                        }
+                    }
+                    prop_assert_eq!(got, want, "range [{:?}, {:?})", lo, hi);
+                }
+            }
+        }
+        // Final full scan agrees.
+        let all: Vec<(Vec<u8>, Vec<u8>)> =
+            tree.range(Bound::Unbounded, Bound::Unbounded).unwrap().collect();
+        let mut want: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        for (k, vs) in &model {
+            for v in vs {
+                want.push((k.clone(), v.clone()));
+            }
+        }
+        prop_assert_eq!(all, want);
+    }
+
+    #[test]
+    fn key_encoding_order_matches_value_order(
+        a in proptest::collection::vec(proptest::arbitrary::any::<i64>(), 1..3),
+        b in proptest::collection::vec(proptest::arbitrary::any::<i64>(), 1..3),
+    ) {
+        use relstore::{encode_key, Value};
+        let va: Vec<Value> = a.iter().map(|&i| Value::Int(i)).collect();
+        let vb: Vec<Value> = b.iter().map(|&i| Value::Int(i)).collect();
+        let ka = encode_key(&va);
+        let kb = encode_key(&vb);
+        prop_assert_eq!(ka.cmp(&kb), a.cmp(&b), "encoded order must match int order");
+    }
+}

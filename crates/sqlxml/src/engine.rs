@@ -1,0 +1,1041 @@
+//! Planner and executor for SQL/XML selects.
+//!
+//! Planning is rule-based, mirroring what the paper relies on from DB2 /
+//! ATLaS:
+//!
+//! 1. WHERE conjuncts referencing one table are pushed below the join;
+//!    an equality or range conjunct on an indexed column turns the scan
+//!    into a B+tree range scan (this carries the paper's `segno = sn`
+//!    segment restriction, §6.3),
+//! 2. equality join conditions (`N.id = T.id`) execute as sort-merge
+//!    joins — "very fast (in linear time) since every table is already
+//!    sorted on its id attribute" (§5.3),
+//! 3. the select list is evaluated per row, or per group when `GROUP BY`
+//!    or aggregates are present; `XMLElement` / `XMLAgg` construct XML
+//!    inside the engine.
+
+use crate::parser::{parse_sql, SelectStmt, SqlExpr};
+use crate::{Result, SqlError};
+use relstore::exec::{
+    AggSpec, Executor, Filter, IndexRangeScan, NestedLoopJoin, Row, SeqScan, SortMergeJoin,
+};
+use relstore::expr::{BinOp, Expr, FnRegistry};
+use relstore::value::{DataType, Field, Value};
+use relstore::{Database, Table};
+use std::collections::HashMap;
+use std::ops::Bound;
+use std::sync::Arc;
+use temporal::Date;
+use xmldom::{Element, Node};
+
+/// A value produced by the select list: relational or XML.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlValue {
+    /// A plain SQL value.
+    Rel(Value),
+    /// An XML forest (one or more nodes).
+    Xml(Vec<Node>),
+}
+
+impl SqlValue {
+    /// The relational value, or an error for XML.
+    pub fn rel(&self) -> Result<&Value> {
+        match self {
+            SqlValue::Rel(v) => Ok(v),
+            SqlValue::Xml(_) => Err(SqlError::Xml("expected a scalar, found XML".into())),
+        }
+    }
+
+    /// Serialize: XML as markup, scalars via `Display`.
+    pub fn render(&self) -> String {
+        match self {
+            SqlValue::Rel(v) => v.to_string(),
+            SqlValue::Xml(nodes) => nodes.iter().map(Node::to_xml).collect::<String>(),
+        }
+    }
+}
+
+/// The result of a select: column names plus rows of [`SqlValue`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Output rows.
+    pub rows: Vec<Vec<SqlValue>>,
+}
+
+impl QueryResult {
+    /// All XML values, serialized, row-major (the published document
+    /// fragments of an SQL/XML query).
+    pub fn xml_fragments(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for row in &self.rows {
+            for v in row {
+                if let SqlValue::Xml(nodes) = v {
+                    for n in nodes {
+                        out.push(n.to_xml());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Rows as plain values (errors if any cell is XML).
+    pub fn scalar_rows(&self) -> Result<Vec<Vec<Value>>> {
+        self.rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.rel().cloned()).collect())
+            .collect()
+    }
+}
+
+/// Parse and execute a select against `db`.
+pub fn execute(db: &Database, sql: &str, fns: &Arc<FnRegistry>) -> Result<QueryResult> {
+    let stmt = parse_sql(sql)?;
+    execute_stmt(db, &stmt, fns)
+}
+
+/// Execute a parsed select.
+pub fn execute_stmt(db: &Database, stmt: &SelectStmt, fns: &Arc<FnRegistry>) -> Result<QueryResult> {
+    execute_stmt_with(db, stmt, fns, &HashMap::new())
+}
+
+/// Execute with **scan overrides**: tables named in `overrides` read the
+/// supplied rows instead of their base storage (predicates are applied on
+/// top; index selection is skipped). This is how ArchIS plugs in its
+/// uncompression table functions (paper §8.2: "user-defined uncompression
+/// table functions are used to extract records from each BLOB") — the
+/// caller materializes live + decompressed rows for the referenced
+/// history tables.
+pub fn execute_stmt_with(
+    db: &Database,
+    stmt: &SelectStmt,
+    fns: &Arc<FnRegistry>,
+    overrides: &HashMap<String, Vec<Row>>,
+) -> Result<QueryResult> {
+    let scope = Scope::build(db, stmt)?;
+    let rows = run_from_where(db, stmt, &scope, fns, overrides)?;
+    project(stmt, &scope, rows, fns)
+}
+
+/// Name-resolution scope: the concatenated schema of the FROM tables.
+struct Scope {
+    /// `(alias, field)` in row order.
+    fields: Vec<(String, Field)>,
+    /// alias → (start offset, arity).
+    tables: HashMap<String, (usize, usize)>,
+}
+
+impl Scope {
+    fn build(db: &Database, stmt: &SelectStmt) -> Result<Scope> {
+        let mut fields = Vec::new();
+        let mut tables = HashMap::new();
+        for (tname, alias) in &stmt.from {
+            let t = db.table(tname)?;
+            if tables.contains_key(alias) {
+                return Err(SqlError::Unresolved(format!("duplicate alias {alias}")));
+            }
+            let start = fields.len();
+            for f in &t.schema().fields {
+                fields.push((alias.clone(), f.clone()));
+            }
+            tables.insert(alias.clone(), (start, t.schema().arity()));
+        }
+        Ok(Scope { fields, tables })
+    }
+
+    /// Resolve a column reference to its row offset.
+    fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<usize> {
+        let hits: Vec<usize> = self
+            .fields
+            .iter()
+            .enumerate()
+            .filter(|(_, (a, f))| f.name == name && qualifier.map_or(true, |q| q == a))
+            .map(|(i, _)| i)
+            .collect();
+        match hits.len() {
+            1 => Ok(hits[0]),
+            0 => Err(SqlError::Unresolved(format!(
+                "column {}{name}",
+                qualifier.map(|q| format!("{q}.")).unwrap_or_default()
+            ))),
+            _ => Err(SqlError::Unresolved(format!("ambiguous column {name}"))),
+        }
+    }
+
+    fn dtype(&self, idx: usize) -> DataType {
+        self.fields[idx].1.dtype
+    }
+
+    /// Aliases referenced by an expression.
+    fn aliases_in(&self, e: &SqlExpr, out: &mut Vec<String>) -> Result<()> {
+        match e {
+            SqlExpr::Col { qualifier, name } => {
+                let idx = self.resolve(qualifier.as_deref(), name)?;
+                let alias = self.fields[idx].0.clone();
+                if !out.contains(&alias) {
+                    out.push(alias);
+                }
+            }
+            SqlExpr::Lit(_) => {}
+            SqlExpr::Bin(_, l, r) => {
+                self.aliases_in(l, out)?;
+                self.aliases_in(r, out)?;
+            }
+            SqlExpr::Un(_, x) => self.aliases_in(x, out)?,
+            SqlExpr::Call(_, args) => {
+                for a in args {
+                    self.aliases_in(a, out)?;
+                }
+            }
+            SqlExpr::Agg(_, a, _) | SqlExpr::AggDistinct(_, a) => self.aliases_in(a, out)?,
+            SqlExpr::XmlAgg(a) => self.aliases_in(a, out)?,
+            SqlExpr::XmlElement { attrs, content, .. } => {
+                for (_, a) in attrs {
+                    self.aliases_in(a, out)?;
+                }
+                for c in content {
+                    self.aliases_in(c, out)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Compile a scalar SqlExpr to a relstore row expression over the scope
+/// (with an optional column offset shift for single-table compilation).
+fn compile(e: &SqlExpr, scope: &Scope, shift: usize) -> Result<Expr> {
+    Ok(match e {
+        SqlExpr::Lit(v) => Expr::Lit(v.clone()),
+        SqlExpr::Col { qualifier, name } => {
+            let idx = scope.resolve(qualifier.as_deref(), name)?;
+            Expr::Col(idx - shift)
+        }
+        SqlExpr::Bin(op, l, r) => {
+            // Coerce date-typed comparisons with string literals.
+            let (l2, r2) = coerce_dates(op, l, r, scope);
+            Expr::Bin(*op, Box::new(compile(&l2, scope, shift)?), Box::new(compile(&r2, scope, shift)?))
+        }
+        SqlExpr::Un(op, x) => Expr::Un(*op, Box::new(compile(x, scope, shift)?)),
+        SqlExpr::Call(name, args) => {
+            let compiled =
+                args.iter().map(|a| compile(a, scope, shift)).collect::<Result<Vec<_>>>()?;
+            Expr::Call(name.clone(), compiled)
+        }
+        SqlExpr::Agg(..) | SqlExpr::AggDistinct(..) | SqlExpr::XmlAgg(..)
+        | SqlExpr::XmlElement { .. } => {
+            return Err(SqlError::Xml(
+                "aggregates and XML constructors are only allowed in the select list".into(),
+            ))
+        }
+    })
+}
+
+/// Rewrite `typed_col <op> 'literal'` so string literals compared against
+/// Date or Int columns become typed values (SQL string literals are the
+/// only literal form the paper's translated queries use for dates).
+fn coerce_dates(
+    op: &BinOp,
+    l: &SqlExpr,
+    r: &SqlExpr,
+    scope: &Scope,
+) -> (SqlExpr, SqlExpr) {
+    if !matches!(op, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge) {
+        return (l.clone(), r.clone());
+    }
+    let col_type = |e: &SqlExpr| -> Option<DataType> {
+        if let SqlExpr::Col { qualifier, name } = e {
+            if let Ok(idx) = scope.resolve(qualifier.as_deref(), name) {
+                return Some(scope.dtype(idx));
+            }
+        }
+        None
+    };
+    let coerce = |e: &SqlExpr, ty: DataType| -> Option<SqlExpr> {
+        if let SqlExpr::Lit(Value::Str(s)) = e {
+            match ty {
+                DataType::Date => Date::parse(s).ok().map(|d| SqlExpr::Lit(Value::Date(d))),
+                DataType::Int => s.trim().parse::<i64>().ok().map(|i| SqlExpr::Lit(Value::Int(i))),
+                _ => None,
+            }
+        } else {
+            None
+        }
+    };
+    if let Some(ty) = col_type(l) {
+        if let Some(r2) = coerce(r, ty) {
+            return (l.clone(), r2);
+        }
+    }
+    if let Some(ty) = col_type(r) {
+        if let Some(l2) = coerce(l, ty) {
+            return (l2, r.clone());
+        }
+    }
+    (l.clone(), r.clone())
+}
+
+/// Split a condition into AND-connected conjuncts.
+fn conjuncts(e: &SqlExpr, out: &mut Vec<SqlExpr>) {
+    if let SqlExpr::Bin(BinOp::And, l, r) = e {
+        conjuncts(l, out);
+        conjuncts(r, out);
+    } else {
+        out.push(e.clone());
+    }
+}
+
+/// Run FROM + WHERE, returning joined rows over the scope's schema.
+fn run_from_where(
+    db: &Database,
+    stmt: &SelectStmt,
+    scope: &Scope,
+    fns: &Arc<FnRegistry>,
+    overrides: &HashMap<String, Vec<Row>>,
+) -> Result<Vec<Row>> {
+    let mut table_preds: HashMap<String, Vec<SqlExpr>> = HashMap::new();
+    let mut join_conds: Vec<(String, String, SqlExpr)> = Vec::new();
+    let mut residual: Vec<SqlExpr> = Vec::new();
+    if let Some(w) = &stmt.where_clause {
+        let mut cs = Vec::new();
+        conjuncts(w, &mut cs);
+        for c in cs {
+            let mut aliases = Vec::new();
+            scope.aliases_in(&c, &mut aliases)?;
+            match aliases.len() {
+                0 | 1 => {
+                    let key =
+                        aliases.first().cloned().unwrap_or_else(|| stmt.from[0].1.clone());
+                    table_preds.entry(key).or_default().push(c);
+                }
+                2 if is_col_eq_col(&c) => {
+                    join_conds.push((aliases[0].clone(), aliases[1].clone(), c));
+                }
+                _ => residual.push(c),
+            }
+        }
+    }
+
+    // Per-table access paths.
+    let mut sources: HashMap<String, Vec<Row>> = HashMap::new();
+    for (tname, alias) in &stmt.from {
+        let t = db.table(tname)?;
+        let preds = table_preds.remove(alias).unwrap_or_default();
+        let rows = match overrides.get(tname) {
+            Some(provided) => filter_rows(provided.clone(), alias, &preds, scope, fns)?,
+            None => scan_table(&t, alias, &preds, scope, fns)?,
+        };
+        sources.insert(alias.clone(), rows);
+    }
+
+    // Left-deep joins in FROM order.
+    let mut joined: Vec<Row> = Vec::new();
+    let mut joined_aliases: Vec<String> = Vec::new();
+    for (i, (_tname, alias)) in stmt.from.iter().enumerate() {
+        let right_rows = sources.remove(alias).expect("scanned above");
+        if i == 0 {
+            joined = right_rows;
+            joined_aliases.push(alias.clone());
+            continue;
+        }
+        // Find an equality join condition connecting `alias` to the set.
+        let mut key_pair: Option<(usize, usize)> = None;
+        let mut used = usize::MAX;
+        for (ci, (a1, a2, cond)) in join_conds.iter().enumerate() {
+            let connects = (joined_aliases.contains(a1) && a2 == alias)
+                || (joined_aliases.contains(a2) && a1 == alias);
+            if !connects {
+                continue;
+            }
+            if let SqlExpr::Bin(BinOp::Eq, l, r) = cond {
+                let li = col_index(l, scope)?;
+                let ri = col_index(r, scope)?;
+                // Which side belongs to the new table?
+                let (left_idx, right_idx) = if scope.fields[li].0 == *alias {
+                    (ri, li)
+                } else {
+                    (li, ri)
+                };
+                let right_off = scope.tables[alias].0;
+                key_pair = Some((left_idx, right_idx - right_off));
+                used = ci;
+                break;
+            }
+        }
+        let left_exec: Executor = Box::new(SeqScan::from_rows(joined));
+        let right_exec: Executor = Box::new(SeqScan::from_rows(right_rows));
+        let out: Vec<Row> = if let Some((lk, rk)) = key_pair {
+            join_conds.remove(used);
+            SortMergeJoin::new(left_exec, right_exec, lk, rk)
+                .collect::<relstore::Result<Vec<Row>>>()?
+        } else {
+            // Cross / theta join with any conds that connect now.
+            let mut conds = Vec::new();
+            let mut keep = Vec::new();
+            for (a1, a2, cond) in join_conds.drain(..) {
+                let connects = (joined_aliases.contains(&a1) && a2 == *alias)
+                    || (joined_aliases.contains(&a2) && a1 == *alias);
+                if connects {
+                    conds.push(cond);
+                } else {
+                    keep.push((a1, a2, cond));
+                }
+            }
+            join_conds = keep;
+            // NB: the right table's columns sit at their scope offsets only
+            // if FROM order matches scope order, which it does.
+            let cond_expr = if conds.is_empty() {
+                Expr::Lit(Value::Int(1))
+            } else {
+                let compiled = conds
+                    .iter()
+                    .map(|c| compile(c, scope, 0))
+                    .collect::<Result<Vec<_>>>()?;
+                Expr::and_all(compiled)
+            };
+            NestedLoopJoin::new(left_exec, right_exec, cond_expr, fns.clone())
+                .collect::<relstore::Result<Vec<Row>>>()?
+        };
+        joined = out;
+        joined_aliases.push(alias.clone());
+    }
+
+    // Residual predicates (multi-table non-equi, or join conds that never
+    // connected — e.g. a condition between tables 1 and 3 joined crosswise).
+    let mut residual_all = residual;
+    residual_all.extend(join_conds.into_iter().map(|(_, _, c)| c));
+    if !residual_all.is_empty() {
+        let compiled = residual_all
+            .iter()
+            .map(|c| compile(c, scope, 0))
+            .collect::<Result<Vec<_>>>()?;
+        let pred = Expr::and_all(compiled);
+        joined = Filter::new(Box::new(SeqScan::from_rows(joined)), pred, fns.clone())
+            .collect::<relstore::Result<Vec<Row>>>()?;
+    }
+    Ok(joined)
+}
+
+fn is_col_eq_col(e: &SqlExpr) -> bool {
+    matches!(
+        e,
+        SqlExpr::Bin(BinOp::Eq, l, r)
+            if matches!(**l, SqlExpr::Col { .. }) && matches!(**r, SqlExpr::Col { .. })
+    )
+}
+
+fn col_index(e: &SqlExpr, scope: &Scope) -> Result<usize> {
+    match e {
+        SqlExpr::Col { qualifier, name } => scope.resolve(qualifier.as_deref(), name),
+        _ => Err(SqlError::Unresolved("expected a column".into())),
+    }
+}
+
+/// Apply pushed-down predicates to already-materialized rows (the scan
+/// path for override-provided tables).
+fn filter_rows(
+    rows: Vec<Row>,
+    alias: &str,
+    preds: &[SqlExpr],
+    scope: &Scope,
+    fns: &Arc<FnRegistry>,
+) -> Result<Vec<Row>> {
+    if preds.is_empty() {
+        return Ok(rows);
+    }
+    let (offset, _arity) = scope.tables[alias];
+    let compiled =
+        preds.iter().map(|p| compile(p, scope, offset)).collect::<Result<Vec<_>>>()?;
+    let pred = Expr::and_all(compiled);
+    Ok(Filter::new(Box::new(SeqScan::from_rows(rows)), pred, fns.clone())
+        .collect::<relstore::Result<Vec<Row>>>()?)
+}
+
+/// Scan one table with pushed-down predicates, via an index when possible.
+fn scan_table(
+    table: &Table,
+    alias: &str,
+    preds: &[SqlExpr],
+    scope: &Scope,
+    fns: &Arc<FnRegistry>,
+) -> Result<Vec<Row>> {
+    let (offset, _arity) = scope.tables[alias];
+    // Look for an indexable bound: col op literal on an indexed column.
+    let mut best: Option<(String, Vec<(BinOp, Value)>)> = None;
+    for p in preds {
+        if let SqlExpr::Bin(op, l, r) = p {
+            if !matches!(op, BinOp::Eq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge) {
+                continue;
+            }
+            // Normalize literal-side.
+            let (l2, r2) = coerce_dates(op, l, r, scope);
+            let (col, op, lit) = match (&l2, &r2) {
+                (SqlExpr::Col { name, .. }, SqlExpr::Lit(v)) => (name.clone(), *op, v.clone()),
+                (SqlExpr::Lit(v), SqlExpr::Col { name, .. }) => {
+                    (name.clone(), flip(*op), v.clone())
+                }
+                _ => continue,
+            };
+            if table.index_on(&col).is_none() {
+                continue;
+            }
+            match &mut best {
+                Some((bcol, bounds)) if *bcol == col => bounds.push((op, lit)),
+                Some((_, bounds)) if !bounds.iter().any(|(o, _)| *o == BinOp::Eq) => {
+                    if op == BinOp::Eq {
+                        best = Some((col, vec![(op, lit)]));
+                    }
+                }
+                None => best = Some((col, vec![(op, lit)])),
+                _ => {}
+            }
+        }
+    }
+    let base_rows: Vec<Row> = if let Some((col, bounds)) = best {
+        let index = table.index_on(&col).expect("checked above");
+        let mut lo: Bound<Vec<Value>> = Bound::Unbounded;
+        let mut hi: Bound<Vec<Value>> = Bound::Unbounded;
+        for (op, v) in bounds {
+            match op {
+                BinOp::Eq => {
+                    lo = Bound::Included(vec![v.clone()]);
+                    hi = Bound::Included(vec![v]);
+                }
+                BinOp::Ge => lo = tighten_lo(lo, Bound::Included(vec![v])),
+                BinOp::Gt => lo = tighten_lo(lo, Bound::Excluded(vec![v])),
+                BinOp::Le => hi = tighten_hi(hi, Bound::Included(vec![v])),
+                BinOp::Lt => hi = tighten_hi(hi, Bound::Excluded(vec![v])),
+                _ => {}
+            }
+        }
+        // On a clustered table whose leading cluster column is the bounded
+        // column, range-scan the primary B+tree directly instead of doing
+        // per-row point fetches through a secondary index (this is why the
+        // paper's segment restriction pays off on ATLaS/BerkeleyDB).
+        if table.kind() == relstore::StorageKind::Clustered
+            && table.cluster_columns().first().map(String::as_str) == Some(col.as_str())
+        {
+            table.cluster_range(as_slice(&lo), as_slice(&hi))?
+        } else {
+            IndexRangeScan::new(table, &index, as_slice(&lo), as_slice(&hi))
+                .collect::<relstore::Result<Vec<Row>>>()?
+        }
+    } else {
+        SeqScan::new(table).collect::<relstore::Result<Vec<Row>>>()?
+    };
+    // Apply ALL pushed predicates (the index bound is a superset filter;
+    // re-checking is cheap and keeps correctness independent of planning).
+    if preds.is_empty() {
+        return Ok(base_rows);
+    }
+    let compiled =
+        preds.iter().map(|p| compile(p, scope, offset)).collect::<Result<Vec<_>>>()?;
+    let pred = Expr::and_all(compiled);
+    Ok(Filter::new(Box::new(SeqScan::from_rows(base_rows)), pred, fns.clone())
+        .collect::<relstore::Result<Vec<Row>>>()?)
+}
+
+fn flip(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other,
+    }
+}
+
+fn tighten_lo(a: Bound<Vec<Value>>, b: Bound<Vec<Value>>) -> Bound<Vec<Value>> {
+    match (&a, &b) {
+        (Bound::Unbounded, _) => b,
+        (_, Bound::Unbounded) => a,
+        (Bound::Included(x) | Bound::Excluded(x), Bound::Included(y) | Bound::Excluded(y)) => {
+            match x[0].total_cmp(&y[0]) {
+                std::cmp::Ordering::Less => b,
+                std::cmp::Ordering::Greater => a,
+                std::cmp::Ordering::Equal => {
+                    if matches!(a, Bound::Excluded(_)) {
+                        a
+                    } else {
+                        b
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn tighten_hi(a: Bound<Vec<Value>>, b: Bound<Vec<Value>>) -> Bound<Vec<Value>> {
+    match (&a, &b) {
+        (Bound::Unbounded, _) => b,
+        (_, Bound::Unbounded) => a,
+        (Bound::Included(x) | Bound::Excluded(x), Bound::Included(y) | Bound::Excluded(y)) => {
+            match x[0].total_cmp(&y[0]) {
+                std::cmp::Ordering::Greater => b,
+                std::cmp::Ordering::Less => a,
+                std::cmp::Ordering::Equal => {
+                    if matches!(a, Bound::Excluded(_)) {
+                        a
+                    } else {
+                        b
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn as_slice(b: &Bound<Vec<Value>>) -> Bound<&[Value]> {
+    match b {
+        Bound::Included(v) => Bound::Included(v.as_slice()),
+        Bound::Excluded(v) => Bound::Excluded(v.as_slice()),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Projection: per-row / per-group select-list evaluation with XML support
+// ---------------------------------------------------------------------------
+
+fn project(
+    stmt: &SelectStmt,
+    scope: &Scope,
+    rows: Vec<Row>,
+    fns: &Arc<FnRegistry>,
+) -> Result<QueryResult> {
+    let grouped = !stmt.group_by.is_empty()
+        || stmt.items.iter().any(|i| i.expr.has_aggregate());
+    let columns: Vec<String> = stmt
+        .items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            item.alias.clone().unwrap_or_else(|| match &item.expr {
+                SqlExpr::Col { name, .. } => name.clone(),
+                SqlExpr::XmlElement { name, .. } => name.clone(),
+                _ => format!("col{}", i + 1),
+            })
+        })
+        .collect();
+
+    let groups: Vec<Vec<Row>> = if grouped {
+        if stmt.group_by.is_empty() {
+            vec![rows] // single global group (kept even when empty)
+        } else {
+            let keys = stmt
+                .group_by
+                .iter()
+                .map(|g| compile(g, scope, 0))
+                .collect::<Result<Vec<_>>>()?;
+            let mut index: HashMap<String, usize> = HashMap::new();
+            let mut out: Vec<Vec<Row>> = Vec::new();
+            for row in rows {
+                let kv = keys
+                    .iter()
+                    .map(|k| k.eval(&row, fns))
+                    .collect::<relstore::Result<Vec<_>>>()?;
+                let fp = format!("{kv:?}");
+                let gi = *index.entry(fp).or_insert_with(|| {
+                    out.push(Vec::new());
+                    out.len() - 1
+                });
+                out[gi].push(row);
+            }
+            out
+        }
+    } else {
+        rows.into_iter().map(|r| vec![r]).collect()
+    };
+
+    let mut out_rows = Vec::with_capacity(groups.len());
+    let mut order_keys: Vec<Vec<Value>> = Vec::with_capacity(groups.len());
+    for group in &groups {
+        if group.is_empty() && !stmt.group_by.is_empty() {
+            continue;
+        }
+        let mut row_out = Vec::with_capacity(stmt.items.len());
+        for item in &stmt.items {
+            row_out.push(eval_item(&item.expr, group, scope, fns)?);
+        }
+        if !stmt.order_by.is_empty() {
+            let mut keys = Vec::with_capacity(stmt.order_by.len());
+            for (e, _) in &stmt.order_by {
+                match eval_item(e, group, scope, fns)? {
+                    SqlValue::Rel(v) => keys.push(v),
+                    SqlValue::Xml(_) => {
+                        return Err(SqlError::Xml("cannot ORDER BY an XML value".into()))
+                    }
+                }
+            }
+            order_keys.push(keys);
+        }
+        out_rows.push(row_out);
+    }
+
+    if !stmt.order_by.is_empty() {
+        let mut idx: Vec<usize> = (0..out_rows.len()).collect();
+        idx.sort_by(|&a, &b| {
+            for (k, (_, asc)) in stmt.order_by.iter().enumerate() {
+                let ord = order_keys[a][k].total_cmp(&order_keys[b][k]);
+                let ord = if *asc { ord } else { ord.reverse() };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        out_rows = idx.into_iter().map(|i| out_rows[i].clone()).collect();
+    }
+    if let Some(n) = stmt.limit {
+        out_rows.truncate(n);
+    }
+    Ok(QueryResult { columns, rows: out_rows })
+}
+
+/// Evaluate one select item over a group of rows. Scalar leaves read the
+/// first row; aggregates fold over all rows.
+fn eval_item(
+    e: &SqlExpr,
+    group: &[Row],
+    scope: &Scope,
+    fns: &Arc<FnRegistry>,
+) -> Result<SqlValue> {
+    match e {
+        SqlExpr::Agg(func, arg, _star) => {
+            let compiled = compile(arg, scope, 0)?;
+            let spec = AggSpec { func: *func, arg: compiled };
+            let agg = relstore::exec::GroupAggregate::new(
+                Box::new(SeqScan::from_rows(group.to_vec())),
+                vec![],
+                vec![spec],
+                fns.clone(),
+            )
+            .collect::<relstore::Result<Vec<Row>>>()?;
+            Ok(SqlValue::Rel(agg[0][0].clone()))
+        }
+        SqlExpr::AggDistinct(func, arg) => {
+            let compiled = compile(arg, scope, 0)?;
+            // Deduplicate argument values, then aggregate the survivors.
+            let mut seen: Vec<Value> = Vec::new();
+            for row in group {
+                let v = compiled.eval(row, fns).map_err(SqlError::from)?;
+                if v.is_null() {
+                    continue;
+                }
+                if !seen.iter().any(|s| s.total_cmp(&v) == std::cmp::Ordering::Equal) {
+                    seen.push(v);
+                }
+            }
+            let distinct_rows: Vec<Row> = seen.into_iter().map(|v| vec![v]).collect();
+            let spec = AggSpec { func: *func, arg: Expr::Col(0) };
+            let agg = relstore::exec::GroupAggregate::new(
+                Box::new(SeqScan::from_rows(distinct_rows)),
+                vec![],
+                vec![spec],
+                fns.clone(),
+            )
+            .collect::<relstore::Result<Vec<Row>>>()?;
+            Ok(SqlValue::Rel(agg[0][0].clone()))
+        }
+        SqlExpr::XmlAgg(arg) => {
+            let mut nodes = Vec::new();
+            for row in group {
+                match eval_item(arg, std::slice::from_ref(row), scope, fns)? {
+                    SqlValue::Xml(ns) => nodes.extend(ns),
+                    SqlValue::Rel(Value::Null) => {}
+                    SqlValue::Rel(v) => nodes.push(Node::Text(v.to_string())),
+                }
+            }
+            Ok(SqlValue::Xml(nodes))
+        }
+        SqlExpr::XmlElement { name, attrs, content } => {
+            let mut elem = Element::new(name.clone());
+            for (aname, aexpr) in attrs {
+                match eval_item(aexpr, group, scope, fns)? {
+                    SqlValue::Rel(Value::Null) => {} // NULL attrs omitted
+                    SqlValue::Rel(v) => elem.set_attr(aname.clone(), v.to_string()),
+                    SqlValue::Xml(_) => {
+                        return Err(SqlError::Xml("attribute value cannot be XML".into()))
+                    }
+                }
+            }
+            for c in content {
+                match eval_item(c, group, scope, fns)? {
+                    SqlValue::Rel(Value::Null) => {}
+                    SqlValue::Rel(v) => elem.children.push(Node::Text(v.to_string())),
+                    SqlValue::Xml(ns) => elem.children.extend(ns),
+                }
+            }
+            Ok(SqlValue::Xml(vec![Node::Element(elem)]))
+        }
+        // Scalar expressions: evaluate over the group's first row (SQL
+        // requires these to be grouping columns; we follow SQLite in not
+        // enforcing that).
+        _ => {
+            let compiled = compile(e, scope, 0)?;
+            let row: &[Value] = group.first().map(|r| r.as_slice()).unwrap_or(&[]);
+            let v = compiled.eval(row, fns).map_err(SqlError::from)?;
+            Ok(SqlValue::Rel(v))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::value::{DataType, Field, Schema};
+    use relstore::StorageKind;
+
+    fn fns() -> Arc<FnRegistry> {
+        Arc::new(FnRegistry::new())
+    }
+
+    fn d(s: &str) -> Value {
+        Value::Date(Date::parse(s).unwrap())
+    }
+
+    /// The paper's H-table fixture: employee_name + employee_title.
+    fn setup() -> Database {
+        let db = Database::in_memory();
+        let name = db
+            .create_table(
+                "employee_name",
+                Schema::new(vec![
+                    Field::new("id", DataType::Int),
+                    Field::new("name", DataType::Str),
+                    Field::new("tstart", DataType::Date),
+                    Field::new("tend", DataType::Date),
+                ]),
+                StorageKind::Heap,
+                &[],
+            )
+            .unwrap();
+        name.create_index("emp_name_id", &["id"]).unwrap();
+        let title = db
+            .create_table(
+                "employee_title",
+                Schema::new(vec![
+                    Field::new("id", DataType::Int),
+                    Field::new("title", DataType::Str),
+                    Field::new("tstart", DataType::Date),
+                    Field::new("tend", DataType::Date),
+                ]),
+                StorageKind::Heap,
+                &[],
+            )
+            .unwrap();
+        title.create_index("emp_title_id", &["id"]).unwrap();
+        name.insert(vec![Value::Int(1001), Value::Str("Bob".into()), d("1995-01-01"), d("9999-12-31")])
+            .unwrap();
+        name.insert(vec![Value::Int(1002), Value::Str("Alice".into()), d("1994-03-01"), d("1996-06-30")])
+            .unwrap();
+        title
+            .insert(vec![Value::Int(1001), Value::Str("Engineer".into()), d("1995-01-01"), d("1995-09-30")])
+            .unwrap();
+        title
+            .insert(vec![
+                Value::Int(1001),
+                Value::Str("Sr Engineer".into()),
+                d("1995-10-01"),
+                d("9999-12-31"),
+            ])
+            .unwrap();
+        title
+            .insert(vec![Value::Int(1002), Value::Str("Manager".into()), d("1994-03-01"), d("1996-06-30")])
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn paper_query1_translation_executes() {
+        let db = setup();
+        let out = execute(
+            &db,
+            r#"select XMLElement (Name "title_history",
+                   XMLAgg (XMLElement (Name "title",
+                       XMLAttributes (T.tstart as "tstart", T.tend as "tend"), T.title)))
+               from employee_title as T, employee_name as N
+               where N.id = T.id and N.name = "Bob"
+               group by N.id"#,
+            &fns(),
+        )
+        .unwrap();
+        assert_eq!(out.rows.len(), 1);
+        let xml = out.xml_fragments().join("");
+        assert_eq!(
+            xml,
+            "<title_history>\
+             <title tstart=\"1995-01-01\" tend=\"1995-09-30\">Engineer</title>\
+             <title tstart=\"1995-10-01\" tend=\"9999-12-31\">Sr Engineer</title>\
+             </title_history>"
+        );
+    }
+
+    #[test]
+    fn paper_new_employees_example() {
+        // The §5.3 example: employees hired after a date.
+        let db = setup();
+        let out = execute(
+            &db,
+            r#"select XMLElement (Name "new_employees",
+                   XMLAttributes ("1995-01-01" as "start"),
+                   XMLAgg (XMLElement (Name "employee", e.name)))
+               from employee_name as e
+               where e.tstart >= "1995-01-01""#,
+            &fns(),
+        )
+        .unwrap();
+        assert_eq!(
+            out.xml_fragments().join(""),
+            r#"<new_employees start="1995-01-01"><employee>Bob</employee></new_employees>"#
+        );
+    }
+
+    #[test]
+    fn plain_select_with_index_range() {
+        let db = setup();
+        let out = execute(
+            &db,
+            "select t.title from employee_title t where t.id = 1001",
+            &fns(),
+        )
+        .unwrap();
+        assert_eq!(out.rows.len(), 2);
+        let vals = out.scalar_rows().unwrap();
+        assert_eq!(vals[0][0], Value::Str("Engineer".into()));
+    }
+
+    #[test]
+    fn date_coercion_in_where() {
+        let db = setup();
+        // Snapshot predicate with string literals against Date columns.
+        let out = execute(
+            &db,
+            "select t.title from employee_title t \
+             where t.tstart <= '1995-05-06' and t.tend >= '1995-05-06'",
+            &fns(),
+        )
+        .unwrap();
+        let titles: Vec<String> = out
+            .scalar_rows()
+            .unwrap()
+            .into_iter()
+            .map(|r| r[0].to_string())
+            .collect();
+        assert_eq!(titles, vec!["Engineer".to_string(), "Manager".to_string()]);
+    }
+
+    #[test]
+    fn sort_merge_join_on_ids() {
+        let db = setup();
+        let out = execute(
+            &db,
+            "select n.name, t.title from employee_name n, employee_title t \
+             where n.id = t.id order by t.tstart",
+            &fns(),
+        )
+        .unwrap();
+        assert_eq!(out.rows.len(), 3);
+    }
+
+    #[test]
+    fn group_by_with_plain_aggregates() {
+        let db = setup();
+        let out = execute(
+            &db,
+            "select t.id, count(*), min(t.tstart) from employee_title t group by t.id \
+             order by t.id",
+            &fns(),
+        )
+        .unwrap();
+        let rows = out.scalar_rows().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][1], Value::Int(2));
+        assert_eq!(rows[1][1], Value::Int(1));
+        assert_eq!(rows[0][2], d("1995-01-01"));
+    }
+
+    #[test]
+    fn global_aggregate_without_group_by() {
+        let db = setup();
+        let out = execute(&db, "select count(*), avg(n.id) from employee_name n", &fns()).unwrap();
+        let rows = out.scalar_rows().unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(2), Value::Double(1001.5)]]);
+    }
+
+    #[test]
+    fn scalar_udf_in_where() {
+        let db = setup();
+        let mut reg = FnRegistry::new();
+        reg.register("is_senior", |args| {
+            Ok(Value::Int(args[0].as_str().map_or(0, |s| s.starts_with("Sr") as i64)))
+        });
+        let out = execute(
+            &db,
+            "select t.title from employee_title t where is_senior(t.title)",
+            &Arc::new(reg),
+        )
+        .unwrap();
+        assert_eq!(out.rows.len(), 1);
+    }
+
+    #[test]
+    fn unresolved_names_error() {
+        let db = setup();
+        assert!(matches!(
+            execute(&db, "select nope from employee_name n", &fns()),
+            Err(SqlError::Unresolved(_))
+        ));
+        assert!(matches!(
+            execute(&db, "select n.id from missing n", &fns()),
+            Err(SqlError::Exec(_))
+        ));
+        // Ambiguous column.
+        assert!(matches!(
+            execute(&db, "select tstart from employee_name a, employee_title b where a.id = b.id", &fns()),
+            Err(SqlError::Unresolved(_))
+        ));
+    }
+
+    #[test]
+    fn xml_in_where_is_rejected() {
+        let db = setup();
+        assert!(matches!(
+            execute(
+                &db,
+                r#"select n.id from employee_name n where XMLElement(Name "x") = 1"#,
+                &fns()
+            ),
+            Err(SqlError::Xml(_))
+        ));
+    }
+
+    #[test]
+    fn limit_and_order() {
+        let db = setup();
+        let out = execute(
+            &db,
+            "select t.title from employee_title t order by t.title limit 2",
+            &fns(),
+        )
+        .unwrap();
+        let titles: Vec<String> =
+            out.scalar_rows().unwrap().into_iter().map(|r| r[0].to_string()).collect();
+        assert_eq!(titles, vec!["Engineer".to_string(), "Manager".to_string()]);
+    }
+
+    #[test]
+    fn empty_group_yields_empty_xmlagg() {
+        let db = setup();
+        let out = execute(
+            &db,
+            r#"select XMLElement(Name "all", XMLAgg(XMLElement(Name "t", t.title)))
+               from employee_title t where t.id = 9999"#,
+            &fns(),
+        )
+        .unwrap();
+        assert_eq!(out.xml_fragments().join(""), "<all/>");
+    }
+}

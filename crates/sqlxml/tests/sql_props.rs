@@ -1,0 +1,130 @@
+//! Property tests: SQL execution against reference (in-Rust) semantics on
+//! random data, for both storage layouts.
+
+use proptest::prelude::*;
+use relstore::expr::FnRegistry;
+use relstore::{DataType, Database, Field, Schema, StorageKind, Value};
+use std::sync::Arc;
+
+fn fns() -> Arc<FnRegistry> {
+    Arc::new(FnRegistry::new())
+}
+
+fn setup(rows: &[(i64, i64)], kind: StorageKind) -> Database {
+    let db = Database::in_memory();
+    let t = db
+        .create_table(
+            "t",
+            Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Int)]),
+            kind,
+            &["k"],
+        )
+        .unwrap();
+    t.create_index("t_by_k", &["k"]).unwrap();
+    for (k, v) in rows {
+        t.insert(vec![Value::Int(*k), Value::Int(*v)]).unwrap();
+    }
+    db
+}
+
+fn arb_rows() -> impl Strategy<Value = Vec<(i64, i64)>> {
+    proptest::collection::vec((0i64..30, -100i64..100), 0..80)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn range_filters_match_reference(rows in arb_rows(), lo in 0i64..30, hi in 0i64..30) {
+        for kind in [StorageKind::Heap, StorageKind::Clustered] {
+            let db = setup(&rows, kind);
+            let sql = format!("select t.v from t where t.k >= {lo} and t.k < {hi}");
+            let mut got: Vec<i64> = sqlxml::execute(&db, &sql, &fns())
+                .unwrap()
+                .scalar_rows()
+                .unwrap()
+                .iter()
+                .map(|r| r[0].as_int().unwrap())
+                .collect();
+            let mut want: Vec<i64> = rows
+                .iter()
+                .filter(|(k, _)| *k >= lo && *k < hi)
+                .map(|(_, v)| *v)
+                .collect();
+            got.sort();
+            want.sort();
+            prop_assert_eq!(got, want, "kind {:?}", kind);
+        }
+    }
+
+    #[test]
+    fn group_by_aggregates_match_reference(rows in arb_rows()) {
+        let db = setup(&rows, StorageKind::Heap);
+        let out = sqlxml::execute(
+            &db,
+            "select t.k, count(*), sum(t.v), min(t.v), max(t.v) from t group by t.k order by t.k",
+            &fns(),
+        )
+        .unwrap()
+        .scalar_rows()
+        .unwrap();
+        use std::collections::BTreeMap;
+        let mut groups: BTreeMap<i64, Vec<i64>> = BTreeMap::new();
+        for (k, v) in &rows {
+            groups.entry(*k).or_default().push(*v);
+        }
+        prop_assert_eq!(out.len(), groups.len());
+        for (row, (k, vs)) in out.iter().zip(groups.iter()) {
+            prop_assert_eq!(row[0].as_int().unwrap(), *k);
+            prop_assert_eq!(row[1].as_int().unwrap(), vs.len() as i64);
+            prop_assert_eq!(row[2].as_int().unwrap(), vs.iter().sum::<i64>());
+            prop_assert_eq!(row[3].as_int().unwrap(), *vs.iter().min().unwrap());
+            prop_assert_eq!(row[4].as_int().unwrap(), *vs.iter().max().unwrap());
+        }
+    }
+
+    #[test]
+    fn count_distinct_matches_reference(rows in arb_rows()) {
+        let db = setup(&rows, StorageKind::Heap);
+        let out = sqlxml::execute(&db, "select count(distinct t.v) from t", &fns())
+            .unwrap()
+            .scalar_rows()
+            .unwrap();
+        let distinct: std::collections::HashSet<i64> = rows.iter().map(|(_, v)| *v).collect();
+        prop_assert_eq!(out[0][0].as_int().unwrap(), distinct.len() as i64);
+    }
+
+    #[test]
+    fn self_join_matches_reference(rows in arb_rows()) {
+        let db = setup(&rows, StorageKind::Heap);
+        let out = sqlxml::execute(
+            &db,
+            "select a.v, b.v from t a, t b where a.k = b.k",
+            &fns(),
+        )
+        .unwrap();
+        let mut expected = 0usize;
+        for (k1, _) in &rows {
+            for (k2, _) in &rows {
+                if k1 == k2 {
+                    expected += 1;
+                }
+            }
+        }
+        prop_assert_eq!(out.rows.len(), expected);
+    }
+
+    #[test]
+    fn xmlagg_orders_and_counts(rows in arb_rows()) {
+        let db = setup(&rows, StorageKind::Heap);
+        let out = sqlxml::execute(
+            &db,
+            r#"select XMLElement(Name "all", XMLAgg(XMLElement(Name "v", t.v))) from t"#,
+            &fns(),
+        )
+        .unwrap();
+        let xml = out.xml_fragments().join("");
+        let opens = xml.matches("<v>").count() + xml.matches("<v/>").count();
+        prop_assert_eq!(opens, rows.len());
+    }
+}

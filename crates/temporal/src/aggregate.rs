@@ -1,0 +1,323 @@
+//! Sweep-based temporal aggregates.
+//!
+//! QUERY 5 of the paper computes the *history of the average salary* with a
+//! user-defined `tavg` function evaluated in a single scan: emit a
+//! `+value` event at each period start and a `-value` event at the day after
+//! each period end, sort events by timestamp, and sweep — every time the
+//! running (sum, count) changes, close the previous result interval and open
+//! a new one. This module implements that sweep for SUM / COUNT / AVG /
+//! MIN / MAX, plus the RISING aggregate mentioned alongside.
+
+use crate::date::Date;
+use crate::interval::Interval;
+use std::collections::BTreeMap;
+
+/// Which temporal aggregate to compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregateKind {
+    /// Sum of values valid on each day.
+    Sum,
+    /// Count of periods valid on each day.
+    Count,
+    /// Mean of values valid on each day (`tavg`).
+    Avg,
+    /// Minimum value valid on each day.
+    Min,
+    /// Maximum value valid on each day.
+    Max,
+}
+
+/// A step function over time: consecutive `(value, period)` pairs with
+/// strictly increasing, non-overlapping periods. This is the result shape of
+/// every temporal aggregate (the "history of the average salary").
+pub type TemporalSeries = Vec<(f64, Interval)>;
+
+/// Compute a temporal aggregate over `(value, period)` inputs with a single
+/// event sweep. Days covered by no input period produce no output interval.
+///
+/// ```
+/// use temporal::{temporal_aggregate, AggregateKind, Interval};
+/// let salaries = vec![
+///     (60000.0, Interval::parse("1995-01-01", "1995-05-31").unwrap()),
+///     (40000.0, Interval::parse("1995-03-01", "1995-12-31").unwrap()),
+/// ];
+/// let avg = temporal_aggregate(AggregateKind::Avg, &salaries);
+/// assert_eq!(avg[0].0, 60000.0); // Jan–Feb: only the first employee
+/// assert_eq!(avg[1].0, 50000.0); // Mar–May: both
+/// assert_eq!(avg[2].0, 40000.0); // Jun–Dec: only the second
+/// ```
+pub fn temporal_aggregate(kind: AggregateKind, items: &[(f64, Interval)]) -> TemporalSeries {
+    // Event list: day -> values starting / values ending before that day.
+    let mut events: BTreeMap<Date, (Vec<f64>, Vec<f64>)> = BTreeMap::new();
+    for (v, iv) in items {
+        events.entry(iv.start()).or_default().0.push(*v);
+        if !iv.end().is_forever() {
+            events.entry(iv.end().succ()).or_default().1.push(*v);
+        }
+    }
+
+    let mut out: TemporalSeries = Vec::new();
+    let mut sum = 0.0f64;
+    let mut count = 0i64;
+    // Multiset of live values for MIN/MAX; f64 keyed via total-order bits.
+    let mut live: BTreeMap<u64, (f64, usize)> = BTreeMap::new();
+    let mut open: Option<(f64, Date)> = None;
+
+    let key = |v: f64| -> u64 {
+        let bits = v.to_bits();
+        if v.is_sign_negative() {
+            !bits
+        } else {
+            bits ^ (1 << 63)
+        }
+    };
+
+    for (&day, (starts, ends)) in &events {
+        for v in ends {
+            sum -= v;
+            count -= 1;
+            if let Some(entry) = live.get_mut(&key(*v)) {
+                entry.1 -= 1;
+                if entry.1 == 0 {
+                    live.remove(&key(*v));
+                }
+            }
+        }
+        for v in starts {
+            sum += v;
+            count += 1;
+            live.entry(key(*v)).or_insert((*v, 0)).1 += 1;
+        }
+        let new_value = if count == 0 {
+            None
+        } else {
+            Some(match kind {
+                AggregateKind::Sum => sum,
+                AggregateKind::Count => count as f64,
+                AggregateKind::Avg => sum / count as f64,
+                AggregateKind::Min => live.values().next().expect("count>0").0,
+                AggregateKind::Max => live.values().next_back().expect("count>0").0,
+            })
+        };
+        match (open.take(), new_value) {
+            (Some((value, since)), Some(nv)) if value == nv => open = Some((value, since)),
+            (Some((value, since)), Some(nv)) => {
+                out.push((value, Interval::new(since, day.pred()).expect("sweep order")));
+                open = Some((nv, day));
+            }
+            (Some((value, since)), None) => {
+                out.push((value, Interval::new(since, day.pred()).expect("sweep order")));
+            }
+            (None, Some(nv)) => open = Some((nv, day)),
+            (None, None) => {}
+        }
+    }
+    if let Some((value, since)) = open {
+        out.push((value, Interval::from(since)));
+    }
+    out
+}
+
+/// A moving-window temporal aggregate (paper §4: "other temporal
+/// aggregates such as RISING or moving window aggregate can also be
+/// supported"): on each day `d`, aggregate every value whose period
+/// intersects the trailing window `[d - window_days + 1, d]`.
+///
+/// A value is visible in the window on day `d` exactly when its period,
+/// extended by `window_days - 1` days at the end, contains `d` — so the
+/// moving aggregate is the plain sweep over end-extended periods.
+pub fn moving_window(
+    kind: AggregateKind,
+    items: &[(f64, Interval)],
+    window_days: u32,
+) -> TemporalSeries {
+    let extend = window_days.saturating_sub(1) as i32;
+    let extended: Vec<(f64, Interval)> = items
+        .iter()
+        .map(|(v, iv)| {
+            let end = if iv.end().is_forever() { iv.end() } else { iv.end() + extend };
+            (*v, Interval::new(iv.start(), end).expect("extension keeps order"))
+        })
+        .collect();
+    temporal_aggregate(kind, &extended)
+}
+
+/// The RISING aggregate: the longest period over which the step function
+/// `series` never decreases (paper §4, "other temporal aggregates such as
+/// RISING ... can also be supported").
+pub fn rising(series: &TemporalSeries) -> Option<Interval> {
+    if series.is_empty() {
+        return None;
+    }
+    let mut best: Option<Interval> = None;
+    let mut run_start = series[0].1.start();
+    let mut prev_val = series[0].0;
+    let mut prev_end = series[0].1.end();
+    let consider = |start: Date, end: Date, best: &mut Option<Interval>| {
+        let cand = Interval::new(start, end).expect("series ordered");
+        if best.map_or(true, |b| {
+            cand.end().days_since(cand.start()) > b.end().days_since(b.start())
+        }) {
+            *best = Some(cand);
+        }
+    };
+    for (value, iv) in &series[1..] {
+        let contiguous = prev_end.succ() == iv.start() && !prev_end.is_forever();
+        if !contiguous || *value < prev_val {
+            consider(run_start, prev_end, &mut best);
+            run_start = iv.start();
+        }
+        prev_val = *value;
+        prev_end = iv.end();
+    }
+    consider(run_start, prev_end, &mut best);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(s: &str, e: &str) -> Interval {
+        Interval::parse(s, e).unwrap()
+    }
+
+    #[test]
+    fn avg_of_disjoint_periods() {
+        let items = vec![(10.0, iv("1995-01-01", "1995-01-31")), (20.0, iv("1995-03-01", "1995-03-31"))];
+        let s = temporal_aggregate(AggregateKind::Avg, &items);
+        assert_eq!(s, vec![(10.0, iv("1995-01-01", "1995-01-31")), (20.0, iv("1995-03-01", "1995-03-31"))]);
+    }
+
+    #[test]
+    fn avg_with_overlap_steps() {
+        let items = vec![(60000.0, iv("1995-01-01", "1995-05-31")), (40000.0, iv("1995-03-01", "1995-12-31"))];
+        let s = temporal_aggregate(AggregateKind::Avg, &items);
+        assert_eq!(
+            s,
+            vec![
+                (60000.0, iv("1995-01-01", "1995-02-28")),
+                (50000.0, iv("1995-03-01", "1995-05-31")),
+                (40000.0, iv("1995-06-01", "1995-12-31")),
+            ]
+        );
+    }
+
+    #[test]
+    fn count_and_sum() {
+        let items = vec![(1.0, iv("1995-01-01", "1995-01-10")), (2.0, iv("1995-01-05", "1995-01-20"))];
+        let c = temporal_aggregate(AggregateKind::Count, &items);
+        assert_eq!(
+            c,
+            vec![
+                (1.0, iv("1995-01-01", "1995-01-04")),
+                (2.0, iv("1995-01-05", "1995-01-10")),
+                (1.0, iv("1995-01-11", "1995-01-20")),
+            ]
+        );
+        let s = temporal_aggregate(AggregateKind::Sum, &items);
+        assert_eq!(s[1].0, 3.0);
+    }
+
+    #[test]
+    fn min_max_multiset() {
+        let items = vec![
+            (5.0, iv("1995-01-01", "1995-01-31")),
+            (5.0, iv("1995-01-10", "1995-01-20")),
+            (3.0, iv("1995-01-15", "1995-02-15")),
+        ];
+        let mn = temporal_aggregate(AggregateKind::Min, &items);
+        // 5 until Jan 14, then 3.
+        assert_eq!(mn[0], (5.0, iv("1995-01-01", "1995-01-14")));
+        assert_eq!(mn[1], (3.0, iv("1995-01-15", "1995-02-15")));
+        let mx = temporal_aggregate(AggregateKind::Max, &items);
+        assert_eq!(mx[0], (5.0, iv("1995-01-01", "1995-01-31")));
+        assert_eq!(mx[1], (3.0, iv("1995-02-01", "1995-02-15")));
+    }
+
+    #[test]
+    fn current_periods_stay_open() {
+        let items = vec![(7.0, Interval::from(Date::parse("1995-01-01").unwrap()))];
+        let s = temporal_aggregate(AggregateKind::Sum, &items);
+        assert_eq!(s.len(), 1);
+        assert!(s[0].1.is_current());
+    }
+
+    #[test]
+    fn equal_adjacent_values_coalesce_in_output() {
+        // Two employees swap: one leaves the day the other arrives with the
+        // same salary — the average must stay one interval.
+        let items = vec![(10.0, iv("1995-01-01", "1995-06-30")), (10.0, iv("1995-07-01", "1995-12-31"))];
+        let s = temporal_aggregate(AggregateKind::Avg, &items);
+        assert_eq!(s, vec![(10.0, iv("1995-01-01", "1995-12-31"))]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(temporal_aggregate(AggregateKind::Avg, &[]).is_empty());
+        assert_eq!(rising(&vec![]), None);
+    }
+
+    #[test]
+    fn negative_values_order_correctly() {
+        let items = vec![(-5.0, iv("1995-01-01", "1995-01-31")), (2.0, iv("1995-01-01", "1995-01-31"))];
+        let mn = temporal_aggregate(AggregateKind::Min, &items);
+        assert_eq!(mn[0].0, -5.0);
+        let mx = temporal_aggregate(AggregateKind::Max, &items);
+        assert_eq!(mx[0].0, 2.0);
+    }
+
+    #[test]
+    fn moving_window_extends_visibility() {
+        // A one-month salary, seen through a 30-day trailing window, stays
+        // visible for 29 extra days.
+        let items = vec![(100.0, iv("1995-01-01", "1995-01-31"))];
+        let s = moving_window(AggregateKind::Max, &items, 30);
+        assert_eq!(s, vec![(100.0, iv("1995-01-01", "1995-03-01"))]);
+        // Window of 1 day = the plain aggregate.
+        assert_eq!(
+            moving_window(AggregateKind::Max, &items, 1),
+            temporal_aggregate(AggregateKind::Max, &items)
+        );
+    }
+
+    #[test]
+    fn moving_window_bridges_gaps_shorter_than_the_window() {
+        let items = vec![
+            (1.0, iv("1995-01-01", "1995-01-10")),
+            (2.0, iv("1995-01-15", "1995-01-20")),
+        ];
+        // 10-day window: the first value remains visible through Jan 19,
+        // so the count never drops to zero between the periods.
+        let s = moving_window(AggregateKind::Count, &items, 10);
+        assert!(s.iter().all(|(v, _)| *v >= 1.0));
+        assert!(s.iter().any(|(v, _)| *v == 2.0), "overlap region counts both");
+        // Plain aggregate has a gap.
+        let plain = temporal_aggregate(AggregateKind::Count, &items);
+        assert_eq!(plain.len(), 2);
+    }
+
+    #[test]
+    fn rising_finds_longest_nondecreasing_run() {
+        let series = vec![
+            (1.0, iv("1995-01-01", "1995-01-31")),
+            (2.0, iv("1995-02-01", "1995-02-28")),
+            (1.5, iv("1995-03-01", "1995-03-31")),
+            (1.6, iv("1995-04-01", "1995-07-31")),
+            (1.6, iv("1995-08-01", "1995-08-31")),
+        ];
+        // Runs: Jan–Feb (59 days) and Mar–Aug (184 days).
+        assert_eq!(rising(&series), Some(iv("1995-03-01", "1995-08-31")));
+    }
+
+    #[test]
+    fn rising_breaks_on_gaps() {
+        let series = vec![
+            (1.0, iv("1995-01-01", "1995-01-31")),
+            (2.0, iv("1995-03-01", "1995-12-31")),
+        ];
+        assert_eq!(rising(&series), Some(iv("1995-03-01", "1995-12-31")));
+    }
+
+    use crate::date::Date;
+}

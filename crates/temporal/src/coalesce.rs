@@ -1,0 +1,157 @@
+//! Temporal coalescing.
+//!
+//! Coalescing merges value-equivalent tuples whose periods are adjacent or
+//! overlapping. The paper (§3) points out that on a temporally *ungrouped*
+//! relational representation coalescing takes 20+ lines of SQL-92 with
+//! quadratic best-case cost; in the temporally grouped H-document model an
+//! attribute's history is stored already coalesced, so queries rarely need
+//! it. We still need the operation when building H-documents from raw
+//! change streams, and the native XQuery evaluator exposes it as the
+//! `coalesce($l)` built-in.
+
+use crate::interval::Interval;
+
+/// Coalesce a list of `(value, period)` pairs: value-equivalent pairs whose
+/// periods overlap or are adjacent are merged into one pair covering the
+/// union. Output is sorted by period start; input order is irrelevant.
+///
+/// Periods of *different* values are left untouched even when they overlap
+/// (that can only arise from corrupted histories, but the operation stays
+/// total).
+///
+/// ```
+/// use temporal::{coalesce, Interval};
+/// let hist = vec![
+///     ("70000", Interval::parse("1995-06-01", "1995-09-30").unwrap()),
+///     ("70000", Interval::parse("1995-10-01", "1996-01-31").unwrap()),
+///     ("60000", Interval::parse("1995-01-01", "1995-05-31").unwrap()),
+/// ];
+/// let grouped = coalesce(hist);
+/// assert_eq!(grouped.len(), 2);
+/// assert_eq!(grouped[1], ("70000", Interval::parse("1995-06-01", "1996-01-31").unwrap()));
+/// ```
+pub fn coalesce<T: PartialEq>(mut items: Vec<(T, Interval)>) -> Vec<(T, Interval)> {
+    items.sort_by_key(|(_, iv)| (iv.start(), iv.end()));
+    let mut out: Vec<(T, Interval)> = Vec::with_capacity(items.len());
+    for (value, iv) in items {
+        match out.last_mut() {
+            Some((last_value, last_iv)) if *last_value == value && last_iv.joinable(&iv) => {
+                *last_iv = last_iv.merge(&iv);
+            }
+            _ => out.push((value, iv)),
+        }
+    }
+    out
+}
+
+/// Coalesce bare intervals (no associated value): the minimal set of
+/// disjoint, non-adjacent intervals covering the same days.
+pub fn coalesce_intervals(items: Vec<Interval>) -> Vec<Interval> {
+    coalesce(items.into_iter().map(|iv| ((), iv)).collect())
+        .into_iter()
+        .map(|(_, iv)| iv)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::date::Date;
+
+    fn iv(s: &str, e: &str) -> Interval {
+        Interval::parse(s, e).unwrap()
+    }
+
+    #[test]
+    fn merges_adjacent_equal_values() {
+        // Bob's salary history from paper Table 1: 70000 appears in three
+        // consecutive tuples and must group into one period.
+        let hist = vec![
+            (60000, iv("1995-01-01", "1995-05-31")),
+            (70000, iv("1995-06-01", "1995-09-30")),
+            (70000, iv("1995-10-01", "1996-01-31")),
+            (70000, iv("1996-02-01", "1996-12-31")),
+        ];
+        let grouped = coalesce(hist);
+        assert_eq!(
+            grouped,
+            vec![
+                (60000, iv("1995-01-01", "1995-05-31")),
+                (70000, iv("1995-06-01", "1996-12-31")),
+            ]
+        );
+    }
+
+    #[test]
+    fn keeps_gaps_apart() {
+        let hist = vec![
+            ("QA", iv("1994-01-01", "1994-12-31")),
+            ("QA", iv("1996-01-01", "1996-12-31")),
+        ];
+        assert_eq!(coalesce(hist).len(), 2, "a one-year gap must not merge");
+    }
+
+    #[test]
+    fn different_values_never_merge() {
+        let hist = vec![
+            ("Engineer", iv("1995-01-01", "1995-09-30")),
+            ("Sr Engineer", iv("1995-10-01", "1996-01-31")),
+        ];
+        assert_eq!(coalesce(hist).len(), 2);
+    }
+
+    #[test]
+    fn unsorted_input_is_fine() {
+        let hist = vec![
+            (1, iv("1995-10-01", "1995-12-31")),
+            (1, iv("1995-01-01", "1995-05-31")),
+            (1, iv("1995-06-01", "1995-09-30")),
+        ];
+        assert_eq!(coalesce(hist), vec![(1, iv("1995-01-01", "1995-12-31"))]);
+    }
+
+    #[test]
+    fn overlapping_equal_values_merge() {
+        let hist = vec![
+            (5, iv("1995-01-01", "1995-06-30")),
+            (5, iv("1995-06-01", "1995-12-31")),
+        ];
+        assert_eq!(coalesce(hist), vec![(5, iv("1995-01-01", "1995-12-31"))]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(coalesce::<i32>(vec![]).is_empty());
+        let one = vec![(9, iv("1995-01-01", "1995-01-01"))];
+        assert_eq!(coalesce(one.clone()), one);
+    }
+
+    #[test]
+    fn interval_only_coalescing() {
+        let merged = coalesce_intervals(vec![
+            iv("1995-01-01", "1995-03-31"),
+            iv("1995-04-01", "1995-06-30"),
+            iv("1996-01-01", "1996-01-31"),
+        ]);
+        assert_eq!(merged, vec![iv("1995-01-01", "1995-06-30"), iv("1996-01-01", "1996-01-31")]);
+    }
+
+    #[test]
+    fn snapshot_equivalence_spot_check() {
+        // Coalescing must not change which value holds on any given day.
+        let hist = vec![
+            ("a", iv("1995-01-01", "1995-01-31")),
+            ("a", iv("1995-02-01", "1995-02-28")),
+            ("b", iv("1995-03-01", "1995-03-31")),
+        ];
+        let grouped = coalesce(hist.clone());
+        for day_off in 0..90 {
+            let day = Date::parse("1995-01-01").unwrap() + day_off;
+            let before: Vec<_> =
+                hist.iter().filter(|(_, iv)| iv.contains_date(day)).map(|(v, _)| *v).collect();
+            let after: Vec<_> =
+                grouped.iter().filter(|(_, iv)| iv.contains_date(day)).map(|(v, _)| *v).collect();
+            assert_eq!(before, after, "value on {day} changed");
+        }
+    }
+}

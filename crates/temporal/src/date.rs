@@ -1,0 +1,293 @@
+//! Day-granularity dates.
+//!
+//! Dates are stored as the number of days since 0000-03-01 of the proleptic
+//! Gregorian calendar (the "days from civil" encoding), which makes interval
+//! arithmetic a plain integer subtraction and keeps ordering cheap — the
+//! property the paper relies on for temporal clustering and B+tree indexing.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Errors raised when parsing or constructing a [`Date`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DateError {
+    /// Not in `YYYY-MM-DD` (or `MM/DD/YYYY`) form.
+    Malformed(String),
+    /// Field out of range (month 1–12, day valid for month, year 1–9999).
+    OutOfRange(String),
+}
+
+impl fmt::Display for DateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DateError::Malformed(s) => write!(f, "malformed date literal {s:?}"),
+            DateError::OutOfRange(s) => write!(f, "date field out of range in {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for DateError {}
+
+/// A day-granularity date in the proleptic Gregorian calendar.
+///
+/// The inner value is the day number (days since 0000-03-01). `Date` is
+/// `Copy`, totally ordered, and supports `+ i32` / `- i32` day arithmetic.
+///
+/// ```
+/// use temporal::Date;
+/// let d = Date::from_ymd(1995, 6, 1).unwrap();
+/// assert_eq!(d.to_string(), "1995-06-01");
+/// assert_eq!((d + 30).to_string(), "1995-07-01");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Date(i32);
+
+/// The internal representation of *now* / *until changed*: `9999-12-31`
+/// (paper §4.3). End users never see this value; the `tend` accessor
+/// substitutes the current date and `externalnow` substitutes the string
+/// `"now"`.
+pub const END_OF_TIME: Date = Date(3652364);
+
+impl Date {
+    /// Build a date from calendar fields. Years 1–9999 are accepted.
+    pub fn from_ymd(year: i32, month: u32, day: u32) -> Result<Self, DateError> {
+        if !(1..=9999).contains(&year) || !(1..=12).contains(&month) {
+            return Err(DateError::OutOfRange(format!("{year:04}-{month:02}-{day:02}")));
+        }
+        if day == 0 || day > days_in_month(year, month) {
+            return Err(DateError::OutOfRange(format!("{year:04}-{month:02}-{day:02}")));
+        }
+        Ok(Date(days_from_civil(year, month, day)))
+    }
+
+    /// The raw day number (days since 0000-03-01). Useful as a sort key.
+    #[inline]
+    pub fn day_number(self) -> i32 {
+        self.0
+    }
+
+    /// Rebuild a date from a raw day number produced by [`Date::day_number`].
+    #[inline]
+    pub fn from_day_number(n: i32) -> Self {
+        Date(n)
+    }
+
+    /// Calendar fields `(year, month, day)`.
+    pub fn ymd(self) -> (i32, u32, u32) {
+        civil_from_days(self.0)
+    }
+
+    /// The year component.
+    pub fn year(self) -> i32 {
+        self.ymd().0
+    }
+
+    /// True when this date is the internal end-of-time marker for *now*.
+    #[inline]
+    pub fn is_forever(self) -> bool {
+        self == END_OF_TIME
+    }
+
+    /// Number of days from `other` to `self` (positive when `self` is later).
+    #[inline]
+    pub fn days_since(self, other: Date) -> i32 {
+        self.0 - other.0
+    }
+
+    /// The next day. Saturates at end-of-time.
+    #[inline]
+    pub fn succ(self) -> Date {
+        if self.is_forever() {
+            self
+        } else {
+            Date(self.0 + 1)
+        }
+    }
+
+    /// The previous day.
+    #[inline]
+    pub fn pred(self) -> Date {
+        Date(self.0 - 1)
+    }
+
+    /// Parse `YYYY-MM-DD`. Also accepts the `MM/DD/YYYY` form the paper
+    /// uses when listing H-table contents (e.g. `02/20/1988`), and the
+    /// internal alias `forever`.
+    pub fn parse(s: &str) -> Result<Self, DateError> {
+        if s.eq_ignore_ascii_case("forever") || s.eq_ignore_ascii_case("now") {
+            return Ok(END_OF_TIME);
+        }
+        let (y, m, d) = if s.contains('/') {
+            let mut it = s.splitn(3, '/');
+            let m = it.next().ok_or_else(|| DateError::Malformed(s.into()))?;
+            let d = it.next().ok_or_else(|| DateError::Malformed(s.into()))?;
+            let y = it.next().ok_or_else(|| DateError::Malformed(s.into()))?;
+            (y, m, d)
+        } else {
+            let mut it = s.splitn(3, '-');
+            let y = it.next().ok_or_else(|| DateError::Malformed(s.into()))?;
+            let m = it.next().ok_or_else(|| DateError::Malformed(s.into()))?;
+            let d = it.next().ok_or_else(|| DateError::Malformed(s.into()))?;
+            (y, m, d)
+        };
+        let year: i32 = y.trim().parse().map_err(|_| DateError::Malformed(s.into()))?;
+        let month: u32 = m.trim().parse().map_err(|_| DateError::Malformed(s.into()))?;
+        let day: u32 = d.trim().parse().map_err(|_| DateError::Malformed(s.into()))?;
+        Date::from_ymd(year, month, day)
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+impl FromStr for Date {
+    type Err = DateError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Date::parse(s)
+    }
+}
+
+impl std::ops::Add<i32> for Date {
+    type Output = Date;
+    fn add(self, days: i32) -> Date {
+        Date(self.0 + days)
+    }
+}
+
+impl std::ops::Sub<i32> for Date {
+    type Output = Date;
+    fn sub(self, days: i32) -> Date {
+        Date(self.0 - days)
+    }
+}
+
+fn is_leap(y: i32) -> bool {
+    (y % 4 == 0 && y % 100 != 0) || y % 400 == 0
+}
+
+fn days_in_month(y: i32, m: u32) -> u32 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(y) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// Howard Hinnant's `days_from_civil`: day count since 0000-03-01.
+fn days_from_civil(y: i32, m: u32, d: u32) -> i32 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (m as i32 + 9) % 12; // March = 0
+    let doy = (153 * mp + 2) / 5 + d as i32 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe
+}
+
+/// Inverse of [`days_from_civil`].
+fn civil_from_days(z: i32) -> (i32, u32, u32) {
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_known_dates() {
+        for (y, m, d) in [
+            (1, 1, 1),
+            (1600, 2, 29),
+            (1970, 1, 1),
+            (1988, 2, 20),
+            (1995, 6, 1),
+            (2000, 2, 29),
+            (2026, 7, 6),
+            (9999, 12, 31),
+        ] {
+            let date = Date::from_ymd(y, m, d).unwrap();
+            assert_eq!(date.ymd(), (y, m, d));
+        }
+    }
+
+    #[test]
+    fn end_of_time_is_9999_12_31() {
+        assert_eq!(END_OF_TIME, Date::from_ymd(9999, 12, 31).unwrap());
+        assert!(END_OF_TIME.is_forever());
+        assert_eq!(END_OF_TIME.to_string(), "9999-12-31");
+    }
+
+    #[test]
+    fn parses_both_paper_formats() {
+        assert_eq!(
+            Date::parse("1995-06-01").unwrap(),
+            Date::from_ymd(1995, 6, 1).unwrap()
+        );
+        assert_eq!(
+            Date::parse("02/20/1988").unwrap(),
+            Date::from_ymd(1988, 2, 20).unwrap()
+        );
+        assert_eq!(Date::parse("forever").unwrap(), END_OF_TIME);
+    }
+
+    #[test]
+    fn rejects_bad_dates() {
+        assert!(Date::parse("1995-13-01").is_err());
+        assert!(Date::parse("1995-02-30").is_err());
+        assert!(Date::parse("not-a-date").is_err());
+        assert!(Date::parse("").is_err());
+        assert!(Date::from_ymd(0, 1, 1).is_err());
+        assert!(Date::from_ymd(10000, 1, 1).is_err());
+        assert!(Date::from_ymd(1900, 2, 29).is_err(), "1900 is not a leap year");
+    }
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        let a = Date::parse("1994-05-06").unwrap();
+        let b = Date::parse("1995-05-06").unwrap();
+        assert!(a < b);
+        assert_eq!(b.days_since(a), 365);
+        assert_eq!(a + 365, b);
+        assert_eq!(b - 365, a);
+        assert_eq!(a.succ().pred(), a);
+    }
+
+    #[test]
+    fn succ_saturates_at_forever() {
+        assert_eq!(END_OF_TIME.succ(), END_OF_TIME);
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap(2000));
+        assert!(!is_leap(1900));
+        assert!(is_leap(1996));
+        assert!(!is_leap(1995));
+    }
+
+    #[test]
+    fn day_number_roundtrip() {
+        let d = Date::parse("1993-05-16").unwrap();
+        assert_eq!(Date::from_day_number(d.day_number()), d);
+    }
+}

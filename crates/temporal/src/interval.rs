@@ -1,0 +1,280 @@
+//! Closed intervals of dates and the interval algebra of the paper's
+//! temporal function library (§4.2).
+
+use crate::date::{Date, END_OF_TIME};
+use crate::TemporalError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A closed (inclusive) interval `[start, end]` of day-granularity dates.
+///
+/// This is the validity period attached to every history tuple and every
+/// H-document element (`tstart`/`tend` attributes). An interval whose `end`
+/// is [`END_OF_TIME`] denotes a period that is still current (*now*).
+///
+/// ```
+/// use temporal::{Date, Interval};
+/// let a = Interval::parse("1995-01-01", "1995-06-30").unwrap();
+/// let b = Interval::parse("1995-06-01", "1995-12-31").unwrap();
+/// assert!(a.overlaps(&b));
+/// assert_eq!(
+///     a.intersect(&b).unwrap(),
+///     Interval::parse("1995-06-01", "1995-06-30").unwrap()
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    start: Date,
+    end: Date,
+}
+
+impl Interval {
+    /// Construct, rejecting `end < start` (closed intervals are non-empty).
+    pub fn new(start: Date, end: Date) -> Result<Self, TemporalError> {
+        if end < start {
+            Err(TemporalError::EmptyInterval { start, end })
+        } else {
+            Ok(Interval { start, end })
+        }
+    }
+
+    /// Construct from two date literals.
+    pub fn parse(start: &str, end: &str) -> Result<Self, TemporalError> {
+        Interval::new(Date::parse(start)?, Date::parse(end)?)
+    }
+
+    /// An interval open toward the future: `[start, 9999-12-31]`.
+    pub fn from(start: Date) -> Self {
+        Interval { start, end: END_OF_TIME }
+    }
+
+    /// The single-day interval `[d, d]`.
+    pub fn at(d: Date) -> Self {
+        Interval { start: d, end: d }
+    }
+
+    /// Start of the interval (`tstart`).
+    #[inline]
+    pub fn start(&self) -> Date {
+        self.start
+    }
+
+    /// End of the interval (`tend`); [`END_OF_TIME`] means *now*.
+    #[inline]
+    pub fn end(&self) -> Date {
+        self.end
+    }
+
+    /// True when the period is still current (its end is *now*).
+    #[inline]
+    pub fn is_current(&self) -> bool {
+        self.end.is_forever()
+    }
+
+    /// Number of days covered (`timespan`). For current periods the span is
+    /// measured to `as_of` rather than to end-of-time.
+    pub fn timespan(&self, as_of: Date) -> i32 {
+        let end = if self.is_current() { as_of } else { self.end };
+        end.days_since(self.start) + 1
+    }
+
+    /// `toverlaps`: the two periods share at least one day.
+    #[inline]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// `tcontains`: this period covers every day of `other`.
+    #[inline]
+    pub fn contains(&self, other: &Interval) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// Membership of a single day.
+    #[inline]
+    pub fn contains_date(&self, d: Date) -> bool {
+        self.start <= d && d <= self.end
+    }
+
+    /// `tequals`: identical periods.
+    #[inline]
+    pub fn equals(&self, other: &Interval) -> bool {
+        self == other
+    }
+
+    /// `tmeets`: this period ends the day before `other` starts.
+    #[inline]
+    pub fn meets(&self, other: &Interval) -> bool {
+        !self.end.is_forever() && self.end.succ() == other.start
+    }
+
+    /// `tprecedes`: this period is entirely before `other` (no shared day).
+    #[inline]
+    pub fn precedes(&self, other: &Interval) -> bool {
+        self.end < other.start
+    }
+
+    /// `overlapinterval`: the shared period, if any.
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        (start <= end).then_some(Interval { start, end })
+    }
+
+    /// Whether the two intervals can be merged into one closed interval,
+    /// i.e. they overlap or are adjacent (used by temporal grouping and
+    /// coalescing, paper §3).
+    pub fn joinable(&self, other: &Interval) -> bool {
+        self.overlaps(other) || self.meets(other) || other.meets(self)
+    }
+
+    /// Smallest interval covering both; only meaningful when
+    /// [`Interval::joinable`].
+    pub fn merge(&self, other: &Interval) -> Interval {
+        Interval {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Clamp an end-of-time end to `as_of` (the `rtend` view of a period).
+    pub fn instantiate_now(&self, as_of: Date) -> Interval {
+        if self.is_current() {
+            Interval { start: self.start, end: as_of.max(self.start) }
+        } else {
+            *self
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.start, self.end)
+    }
+}
+
+/// `restructure($a, $b)` (paper §4.2): all pairwise overlapped intervals of
+/// two interval lists, e.g. the periods during which Bob kept both the same
+/// title and the same department (QUERY 6).
+pub fn restructure(a: &[Interval], b: &[Interval]) -> Vec<Interval> {
+    let mut out = Vec::new();
+    for x in a {
+        for y in b {
+            if let Some(i) = x.intersect(y) {
+                out.push(i);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(s: &str, e: &str) -> Interval {
+        Interval::parse(s, e).unwrap()
+    }
+
+    #[test]
+    fn rejects_reversed() {
+        assert!(Interval::parse("1995-02-01", "1995-01-01").is_err());
+    }
+
+    #[test]
+    fn single_day_is_valid() {
+        let i = iv("1995-01-01", "1995-01-01");
+        assert!(i.contains_date(Date::parse("1995-01-01").unwrap()));
+        assert_eq!(i.timespan(END_OF_TIME), 1);
+    }
+
+    #[test]
+    fn overlap_cases() {
+        let a = iv("1995-01-01", "1995-05-31");
+        assert!(a.overlaps(&iv("1995-05-31", "1995-12-31")), "share one day");
+        assert!(a.overlaps(&iv("1994-01-01", "1996-01-01")), "contained");
+        assert!(!a.overlaps(&iv("1995-06-01", "1995-12-31")), "adjacent is not overlap");
+        assert!(!a.overlaps(&iv("1996-01-01", "1996-12-31")));
+    }
+
+    #[test]
+    fn meets_is_adjacency() {
+        let a = iv("1995-01-01", "1995-05-31");
+        let b = iv("1995-06-01", "1995-09-30");
+        assert!(a.meets(&b));
+        assert!(!b.meets(&a));
+        assert!(!a.meets(&iv("1995-06-02", "1995-09-30")));
+        assert!(!Interval::from(Date::parse("1995-01-01").unwrap()).meets(&b));
+    }
+
+    #[test]
+    fn contains_and_equals() {
+        let a = iv("1995-01-01", "1995-12-31");
+        let b = iv("1995-03-01", "1995-04-30");
+        assert!(a.contains(&b));
+        assert!(!b.contains(&a));
+        assert!(a.contains(&a));
+        assert!(a.equals(&a));
+        assert!(!a.equals(&b));
+    }
+
+    #[test]
+    fn precedes_is_strict() {
+        let a = iv("1995-01-01", "1995-05-31");
+        assert!(a.precedes(&iv("1995-06-01", "1995-06-30")));
+        assert!(!a.precedes(&iv("1995-05-31", "1995-06-30")));
+    }
+
+    #[test]
+    fn intersect_matches_paper_query3_slice() {
+        // Temporal slicing window of QUERY 3.
+        let window = iv("1994-05-06", "1995-05-06");
+        let bob = iv("1995-01-01", "1995-05-31");
+        assert_eq!(bob.intersect(&window).unwrap(), iv("1995-01-01", "1995-05-06"));
+        assert!(iv("1996-01-01", "1996-02-01").intersect(&window).is_none());
+    }
+
+    #[test]
+    fn joinable_and_merge() {
+        let a = iv("1995-01-01", "1995-05-31");
+        let b = iv("1995-06-01", "1995-09-30");
+        let c = iv("1995-09-01", "1995-12-31");
+        assert!(a.joinable(&b), "adjacent");
+        assert!(b.joinable(&c), "overlapping");
+        assert!(!a.joinable(&c));
+        assert_eq!(a.merge(&b), iv("1995-01-01", "1995-09-30"));
+    }
+
+    #[test]
+    fn now_semantics() {
+        let cur = Interval::from(Date::parse("1995-01-01").unwrap());
+        assert!(cur.is_current());
+        let today = Date::parse("1995-06-15").unwrap();
+        assert_eq!(cur.instantiate_now(today), iv("1995-01-01", "1995-06-15"));
+        assert_eq!(cur.timespan(today), 166);
+        // A period opened "today" instantiates to a one-day period.
+        let opened_today = Interval::from(today);
+        assert_eq!(opened_today.instantiate_now(today), iv("1995-06-15", "1995-06-15"));
+    }
+
+    #[test]
+    fn restructure_pairs() {
+        // Bob's depts and titles (paper Table 1): overlap periods of the
+        // (dept, title) histories.
+        let depts = vec![iv("1995-01-01", "1995-09-30"), iv("1995-10-01", "1996-12-31")];
+        let titles = vec![
+            iv("1995-01-01", "1995-09-30"),
+            iv("1995-10-01", "1996-01-31"),
+            iv("1996-02-01", "1996-12-31"),
+        ];
+        let overlaps = restructure(&depts, &titles);
+        assert_eq!(
+            overlaps,
+            vec![
+                iv("1995-01-01", "1995-09-30"),
+                iv("1995-10-01", "1996-01-31"),
+                iv("1996-02-01", "1996-12-31"),
+            ]
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Transaction-time temporal primitives for the ArchIS system.
+//!
+//! The paper ("Using XML to Build Efficient Transaction-Time Temporal
+//! Database Systems on Relational Databases", ICDE 2006) uses a day as the
+//! time granularity and closed (inclusive) intervals `[tstart, tend]` on
+//! every history tuple and every H-document element. The symbol *now* (a
+//! tuple still current when the query is asked) is represented internally by
+//! the end-of-time value `9999-12-31` and only instantiated to the current
+//! date at the query boundary (paper §4.3).
+//!
+//! This crate provides:
+//!
+//! * [`Date`] — a day-granularity proleptic-Gregorian date,
+//! * [`Interval`] — a closed interval of dates with the full interval
+//!   algebra used by the paper's temporal functions (`toverlaps`,
+//!   `tcontains`, `tequals`, `tmeets`, `tprecedes`, `overlapinterval`),
+//! * [`coalesce()`](coalesce::coalesce) — temporal coalescing of value-equivalent periods, the
+//!   operation the temporally grouped data model largely removes the need
+//!   for (paper §3),
+//! * [`restructure`] — pairwise interval intersection of two histories
+//!   (paper §4, QUERY 6),
+//! * sweep-based temporal aggregates ([`aggregate`]) such as the `tavg`
+//!   of QUERY 5, computed in a single scan.
+
+pub mod aggregate;
+pub mod coalesce;
+pub mod date;
+pub mod interval;
+
+pub use aggregate::{moving_window, rising, temporal_aggregate, AggregateKind, TemporalSeries};
+pub use coalesce::{coalesce, coalesce_intervals};
+pub use date::{Date, DateError, END_OF_TIME};
+pub use interval::{restructure, Interval};
+
+/// Errors produced by temporal primitives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemporalError {
+    /// A malformed date string.
+    Date(DateError),
+    /// An interval whose end precedes its start.
+    EmptyInterval { start: Date, end: Date },
+}
+
+impl std::fmt::Display for TemporalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TemporalError::Date(e) => write!(f, "invalid date: {e}"),
+            TemporalError::EmptyInterval { start, end } => {
+                write!(f, "interval end {end} precedes start {start}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TemporalError {}
+
+impl From<DateError> for TemporalError {
+    fn from(e: DateError) -> Self {
+        TemporalError::Date(e)
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based tests for the temporal primitives.
+
+use proptest::prelude::*;
+use temporal::{
+    coalesce, restructure, temporal_aggregate, AggregateKind, Date, Interval, END_OF_TIME,
+};
+
+const BASE: &str = "1990-01-01";
+
+fn day(off: i32) -> Date {
+    Date::parse(BASE).unwrap() + off
+}
+
+fn arb_interval() -> impl Strategy<Value = Interval> {
+    (0i32..4000, 0i32..200).prop_map(|(s, len)| Interval::new(day(s), day(s + len)).unwrap())
+}
+
+fn arb_history() -> impl Strategy<Value = Vec<(u8, Interval)>> {
+    proptest::collection::vec((0u8..4, arb_interval()), 0..40)
+}
+
+proptest! {
+    #[test]
+    fn date_roundtrip(y in 1i32..9999, m in 1u32..=12, d in 1u32..=28) {
+        let date = Date::from_ymd(y, m, d).unwrap();
+        let parsed = Date::parse(&date.to_string()).unwrap();
+        prop_assert_eq!(parsed, date);
+        prop_assert_eq!(parsed.ymd(), (y, m, d));
+    }
+
+    #[test]
+    fn date_ordering_matches_day_numbers(a in 0i32..100_000, b in 0i32..100_000) {
+        let (da, db) = (Date::from_day_number(a), Date::from_day_number(b));
+        prop_assert_eq!(da < db, a < b);
+        prop_assert_eq!(db.days_since(da), b - a);
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_matches_intersect(a in arb_interval(), b in arb_interval()) {
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+        prop_assert_eq!(a.overlaps(&b), a.intersect(&b).is_some());
+        if let Some(i) = a.intersect(&b) {
+            prop_assert!(a.contains(&i) && b.contains(&i));
+            prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        }
+    }
+
+    #[test]
+    fn precedes_meets_overlaps_partition(a in arb_interval(), b in arb_interval()) {
+        // For any ordered pair, exactly one of precedes-without-meeting,
+        // meets, or overlaps holds in each direction.
+        let rel = [a.precedes(&b) && !a.meets(&b), a.meets(&b), a.overlaps(&b),
+                   b.precedes(&a) && !b.meets(&a), b.meets(&a)];
+        prop_assert_eq!(rel.iter().filter(|x| **x).count(), 1);
+    }
+
+    #[test]
+    fn contains_is_a_partial_order(a in arb_interval(), b in arb_interval(), c in arb_interval()) {
+        prop_assert!(a.contains(&a));
+        if a.contains(&b) && b.contains(&a) {
+            prop_assert!(a.equals(&b));
+        }
+        if a.contains(&b) && b.contains(&c) {
+            prop_assert!(a.contains(&c));
+        }
+    }
+
+    #[test]
+    fn merge_of_joinable_covers_exactly(a in arb_interval(), b in arb_interval()) {
+        if a.joinable(&b) {
+            let m = a.merge(&b);
+            prop_assert!(m.contains(&a) && m.contains(&b));
+            // No day of m is outside both a and b.
+            prop_assert!(a.contains_date(m.start()) || b.contains_date(m.start()));
+            prop_assert!(a.contains_date(m.end()) || b.contains_date(m.end()));
+        }
+    }
+
+    #[test]
+    fn coalesce_preserves_snapshots(hist in arb_history()) {
+        let grouped = coalesce(hist.clone());
+        // Sample days: every interval endpoint and its neighbours.
+        let mut days = vec![];
+        for (_, iv) in &hist {
+            days.extend([iv.start().pred(), iv.start(), iv.end(), iv.end().succ()]);
+        }
+        for d in days {
+            for v in 0u8..4 {
+                let before = hist.iter().any(|(x, iv)| *x == v && iv.contains_date(d));
+                let after = grouped.iter().any(|(x, iv)| *x == v && iv.contains_date(d));
+                prop_assert_eq!(before, after, "value {} on {}", v, d);
+            }
+        }
+    }
+
+    #[test]
+    fn coalesce_is_idempotent_and_minimal(hist in arb_history()) {
+        let once = coalesce(hist);
+        let twice = coalesce(once.clone());
+        prop_assert_eq!(&once, &twice);
+        // Minimality: no two adjacent output pairs with equal value are joinable.
+        for w in once.windows(2) {
+            if w[0].0 == w[1].0 {
+                prop_assert!(!w[0].1.joinable(&w[1].1));
+            }
+        }
+    }
+
+    #[test]
+    fn restructure_results_are_overlaps(
+        a in proptest::collection::vec(arb_interval(), 0..10),
+        b in proptest::collection::vec(arb_interval(), 0..10),
+    ) {
+        let r = restructure(&a, &b);
+        for iv in &r {
+            prop_assert!(a.iter().any(|x| x.contains(iv)));
+            prop_assert!(b.iter().any(|x| x.contains(iv)));
+        }
+        // Completeness: every pairwise intersection appears.
+        let mut expected = 0usize;
+        for x in &a { for y in &b { if x.overlaps(y) { expected += 1; } } }
+        prop_assert_eq!(r.len(), expected);
+    }
+
+    #[test]
+    fn aggregates_match_per_day_bruteforce(hist in proptest::collection::vec(
+        ((1u32..1000).prop_map(|v| v as f64), arb_interval()), 0..12)) {
+        for kind in [AggregateKind::Sum, AggregateKind::Count, AggregateKind::Avg,
+                     AggregateKind::Min, AggregateKind::Max] {
+            let series = temporal_aggregate(kind, &hist);
+            // Series intervals are disjoint and ordered.
+            for w in series.windows(2) {
+                prop_assert!(w[0].1.end() < w[1].1.start());
+            }
+            // Spot-check endpoint days against a brute-force evaluation.
+            let mut days: Vec<Date> = hist
+                .iter()
+                .flat_map(|(_, iv)| [iv.start(), iv.end(), iv.start().succ(), iv.end().pred()])
+                .filter(|d| !d.is_forever())
+                .collect();
+            days.sort();
+            days.dedup();
+            for d in days {
+                let live: Vec<f64> = hist
+                    .iter()
+                    .filter(|(_, iv)| iv.contains_date(d))
+                    .map(|(v, _)| *v)
+                    .collect();
+                let expected = if live.is_empty() {
+                    None
+                } else {
+                    Some(match kind {
+                        AggregateKind::Sum => live.iter().sum::<f64>(),
+                        AggregateKind::Count => live.len() as f64,
+                        AggregateKind::Avg => live.iter().sum::<f64>() / live.len() as f64,
+                        AggregateKind::Min => live.iter().cloned().fold(f64::INFINITY, f64::min),
+                        AggregateKind::Max => live.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+                    })
+                };
+                let got = series.iter().find(|(_, iv)| iv.contains_date(d)).map(|(v, _)| *v);
+                match (expected, got) {
+                    (None, None) => {}
+                    (Some(e), Some(g)) => prop_assert!((e - g).abs() < 1e-9, "{kind:?} on {d}: {e} vs {g}"),
+                    (e, g) => prop_assert!(false, "{kind:?} on {d}: {e:?} vs {g:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timespan_counts_days(a in arb_interval()) {
+        prop_assert_eq!(a.timespan(END_OF_TIME), a.end().days_since(a.start()) + 1);
+        prop_assert!(a.timespan(END_OF_TIME) >= 1);
+    }
+}

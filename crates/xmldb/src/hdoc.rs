@@ -1,0 +1,315 @@
+//! In-place H-document maintenance.
+//!
+//! Applies transaction-time changes directly to an H-document DOM — the
+//! document-side equivalent of ArchIS's H-table maintenance, with the same
+//! temporal-grouping semantics: an update closes the changed attribute's
+//! open period at `at − 1` and appends a new period; value-equivalent
+//! updates extend the open period instead of duplicating it.
+
+use std::fmt;
+use temporal::{Date, END_OF_TIME};
+use xmldom::{Element, Node, TEND, TSTART};
+
+/// Errors from document maintenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HDocError {
+    /// No tuple element with the requested key.
+    NoSuchTuple(String),
+    /// A tuple with the key is already current.
+    DuplicateKey(String),
+}
+
+impl fmt::Display for HDocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HDocError::NoSuchTuple(k) => write!(f, "no current tuple with key {k}"),
+            HDocError::DuplicateKey(k) => write!(f, "key {k} is already current"),
+        }
+    }
+}
+
+impl std::error::Error for HDocError {}
+
+/// A change to apply to an H-document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DocChange {
+    /// A new tuple element with open periods.
+    Insert {
+        /// Tuple element name (`employee`).
+        tuple: String,
+        /// Key child element name (`id`).
+        key_child: String,
+        /// Key value (text content).
+        key: String,
+        /// Attribute name/value pairs.
+        attrs: Vec<(String, String)>,
+        /// Transaction date.
+        at: Date,
+    },
+    /// Close + reopen one attribute's period.
+    Update {
+        /// Tuple element name.
+        tuple: String,
+        /// Key child element name.
+        key_child: String,
+        /// Key value.
+        key: String,
+        /// Attribute to change.
+        attr: String,
+        /// New value.
+        value: String,
+        /// Transaction date.
+        at: Date,
+    },
+    /// Close all open periods of a tuple.
+    Delete {
+        /// Tuple element name.
+        tuple: String,
+        /// Key child element name.
+        key_child: String,
+        /// Key value.
+        key: String,
+        /// Transaction date.
+        at: Date,
+    },
+}
+
+fn open_interval(at: Date) -> (String, String) {
+    (at.to_string(), END_OF_TIME.to_string())
+}
+
+fn is_open(e: &Element) -> bool {
+    e.attr(TEND) == Some(&END_OF_TIME.to_string())
+}
+
+fn find_tuple<'a>(
+    root: &'a mut Element,
+    tuple: &str,
+    key_child: &str,
+    key: &str,
+) -> Option<&'a mut Element> {
+    root.children.iter_mut().filter_map(Node::as_element_mut).find(|e| {
+        e.name == tuple
+            && is_open(e)
+            && e.first_child(key_child).map(|k| k.text_content()) == Some(key.to_string())
+    })
+}
+
+/// Apply one change to the H-document rooted at `root`.
+pub fn apply(root: &mut Element, change: &DocChange) -> Result<(), HDocError> {
+    match change {
+        DocChange::Insert { tuple, key_child, key, attrs, at } => {
+            if find_tuple(root, tuple, key_child, key).is_some() {
+                return Err(HDocError::DuplicateKey(key.clone()));
+            }
+            let (s, e) = open_interval(*at);
+            let mut t = Element::new(tuple.clone())
+                .with_attr(TSTART, s.clone())
+                .with_attr(TEND, e.clone());
+            t.push(
+                Element::new(key_child.clone())
+                    .with_attr(TSTART, s.clone())
+                    .with_attr(TEND, e.clone())
+                    .with_text(key.clone()),
+            );
+            for (a, v) in attrs {
+                t.push(
+                    Element::new(a.clone())
+                        .with_attr(TSTART, s.clone())
+                        .with_attr(TEND, e.clone())
+                        .with_text(v.clone()),
+                );
+            }
+            root.push(t);
+            Ok(())
+        }
+        DocChange::Update { tuple, key_child, key, attr, value, at } => {
+            let t = find_tuple(root, tuple, key_child, key)
+                .ok_or_else(|| HDocError::NoSuchTuple(key.clone()))?;
+            // Find the open period of the attribute.
+            let open_idx = t
+                .children
+                .iter()
+                .position(|c| {
+                    c.as_element().is_some_and(|e| e.name == *attr && is_open(e))
+                });
+            if let Some(i) = open_idx {
+                let e = t.children[i].as_element_mut().expect("checked");
+                if e.text_content() == *value {
+                    return Ok(()); // value-equivalent: period continues
+                }
+                if e.attr(TSTART) == Some(&at.to_string()) {
+                    // Same-day correction.
+                    e.children = vec![Node::Text(value.clone())];
+                    return Ok(());
+                }
+                e.set_attr(TEND, at.pred().to_string());
+            }
+            let (s, e) = open_interval(*at);
+            // Insert after the last element of this attribute to keep the
+            // grouped, chronological layout.
+            let insert_at = t
+                .children
+                .iter()
+                .rposition(|c| c.as_element().is_some_and(|e| e.name == *attr))
+                .map(|i| i + 1)
+                .unwrap_or(t.children.len());
+            t.children.insert(
+                insert_at,
+                Node::Element(
+                    Element::new(attr.clone())
+                        .with_attr(TSTART, s)
+                        .with_attr(TEND, e)
+                        .with_text(value.clone()),
+                ),
+            );
+            Ok(())
+        }
+        DocChange::Delete { tuple, key_child, key, at } => {
+            let t = find_tuple(root, tuple, key_child, key)
+                .ok_or_else(|| HDocError::NoSuchTuple(key.clone()))?;
+            let close = |e: &mut Element, at: Date| {
+                if is_open(e) {
+                    let end = if e.attr(TSTART) == Some(&at.to_string()) {
+                        at
+                    } else {
+                        at.pred()
+                    };
+                    e.set_attr(TEND, end.to_string());
+                }
+            };
+            for c in t.children.iter_mut().filter_map(Node::as_element_mut) {
+                close(c, *at);
+            }
+            close(t, *at);
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> Date {
+        Date::parse(s).unwrap()
+    }
+
+    fn insert_bob(root: &mut Element) {
+        apply(
+            root,
+            &DocChange::Insert {
+                tuple: "employee".into(),
+                key_child: "id".into(),
+                key: "1001".into(),
+                attrs: vec![
+                    ("name".into(), "Bob".into()),
+                    ("salary".into(), "60000".into()),
+                ],
+                at: d("1995-01-01"),
+            },
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn insert_then_update_groups_periods() {
+        let mut root = Element::new("employees");
+        insert_bob(&mut root);
+        apply(
+            &mut root,
+            &DocChange::Update {
+                tuple: "employee".into(),
+                key_child: "id".into(),
+                key: "1001".into(),
+                attr: "salary".into(),
+                value: "70000".into(),
+                at: d("1995-06-01"),
+            },
+        )
+        .unwrap();
+        let emp = root.first_child("employee").unwrap();
+        let sals: Vec<&Element> = emp.children_named("salary").collect();
+        assert_eq!(sals.len(), 2);
+        assert_eq!(sals[0].attr("tend"), Some("1995-05-31"));
+        assert_eq!(sals[1].attr("tstart"), Some("1995-06-01"));
+        assert_eq!(emp.children_named("name").count(), 1, "name untouched");
+    }
+
+    #[test]
+    fn value_equivalent_update_is_a_noop() {
+        let mut root = Element::new("employees");
+        insert_bob(&mut root);
+        apply(
+            &mut root,
+            &DocChange::Update {
+                tuple: "employee".into(),
+                key_child: "id".into(),
+                key: "1001".into(),
+                attr: "salary".into(),
+                value: "60000".into(),
+                at: d("1995-06-01"),
+            },
+        )
+        .unwrap();
+        let emp = root.first_child("employee").unwrap();
+        assert_eq!(emp.children_named("salary").count(), 1);
+    }
+
+    #[test]
+    fn delete_closes_everything() {
+        let mut root = Element::new("employees");
+        insert_bob(&mut root);
+        apply(
+            &mut root,
+            &DocChange::Delete {
+                tuple: "employee".into(),
+                key_child: "id".into(),
+                key: "1001".into(),
+                at: d("1996-01-01"),
+            },
+        )
+        .unwrap();
+        let emp = root.first_child("employee").unwrap();
+        assert_eq!(emp.attr("tend"), Some("1995-12-31"));
+        for c in emp.child_elements() {
+            assert_ne!(c.attr("tend"), Some("9999-12-31"));
+        }
+        // The tuple is no longer current: a re-insert succeeds.
+        insert_bob(&mut root);
+        assert_eq!(root.children_named("employee").count(), 2);
+    }
+
+    #[test]
+    fn errors_on_missing_or_duplicate_keys() {
+        let mut root = Element::new("employees");
+        insert_bob(&mut root);
+        assert_eq!(
+            apply(
+                &mut root,
+                &DocChange::Update {
+                    tuple: "employee".into(),
+                    key_child: "id".into(),
+                    key: "9999".into(),
+                    attr: "salary".into(),
+                    value: "1".into(),
+                    at: d("1995-06-01"),
+                }
+            ),
+            Err(HDocError::NoSuchTuple("9999".into()))
+        );
+        assert_eq!(
+            apply(
+                &mut root,
+                &DocChange::Insert {
+                    tuple: "employee".into(),
+                    key_child: "id".into(),
+                    key: "1001".into(),
+                    attrs: vec![],
+                    at: d("1995-06-01"),
+                }
+            ),
+            Err(HDocError::DuplicateKey("1001".into()))
+        );
+    }
+}

@@ -1,0 +1,318 @@
+//! A native XML database — the "Tamino" baseline of the paper's
+//! evaluation.
+//!
+//! Documents (the H-documents of relation histories) are stored
+//! **compressed** (Tamino "automatically compresses documents with an
+//! algorithm similar to gzip", §7.2); queries run the [`xquery`] engine
+//! directly on the document tree. Two execution temperatures mirror the
+//! paper's methodology:
+//!
+//! * **cold** — the paper unmounts the data drive between queries, so
+//!   every query pays decompression + parsing before evaluation; call
+//!   [`XmlDb::flush_cache`] between runs to reproduce this;
+//! * **warm** — repeated queries reuse the cached DOM.
+//!
+//! Updates ([`XmlDb::apply_change`]) modify the document in place and
+//! re-compress it — the whole-document cost that makes native-XML updates
+//! slow in §8.4 ("live data and historical data are mixed together").
+
+pub mod hdoc;
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use temporal::Date;
+use xmldom::Element;
+use xquery::{DocResolver, Engine, Sequence, XNode, XQueryError};
+
+pub use hdoc::{DocChange, HDocError};
+
+/// Errors from the native XML database.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XmlDbError {
+    /// Unknown document URI.
+    UnknownDoc(String),
+    /// Query failure.
+    Query(String),
+    /// Stored document failed to decompress / parse.
+    Corrupt(String),
+    /// Document update failure.
+    Update(String),
+}
+
+impl std::fmt::Display for XmlDbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XmlDbError::UnknownDoc(u) => write!(f, "unknown document {u}"),
+            XmlDbError::Query(m) => write!(f, "query error: {m}"),
+            XmlDbError::Corrupt(m) => write!(f, "corrupt document: {m}"),
+            XmlDbError::Update(m) => write!(f, "update error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for XmlDbError {}
+
+impl From<XQueryError> for XmlDbError {
+    fn from(e: XQueryError) -> Self {
+        XmlDbError::Query(e.to_string())
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, XmlDbError>;
+
+struct StoredDoc {
+    /// BlockZIP-compressed serialized document.
+    compressed: Vec<u8>,
+    /// Uncompressed serialized size (for compression-ratio experiments).
+    raw_size: usize,
+}
+
+#[derive(Default)]
+struct Store {
+    docs: Mutex<HashMap<String, StoredDoc>>,
+    cache: Mutex<HashMap<String, XNode>>,
+    parses: AtomicU64,
+    bytes_decompressed: AtomicU64,
+}
+
+impl Store {
+    fn load(&self, uri: &str) -> Result<XNode> {
+        if let Some(n) = self.cache.lock().get(uri) {
+            return Ok(n.clone());
+        }
+        let docs = self.docs.lock();
+        let stored = docs.get(uri).ok_or_else(|| XmlDbError::UnknownDoc(uri.to_string()))?;
+        let raw = blockzip::decompress(&stored.compressed)
+            .map_err(|e| XmlDbError::Corrupt(e.to_string()))?;
+        self.bytes_decompressed.fetch_add(raw.len() as u64, Ordering::Relaxed);
+        let text = String::from_utf8(raw)
+            .map_err(|_| XmlDbError::Corrupt("stored document is not UTF-8".into()))?;
+        let element =
+            xmldom::parse(&text).map_err(|e| XmlDbError::Corrupt(e.to_string()))?;
+        self.parses.fetch_add(1, Ordering::Relaxed);
+        let node = xquery::eval::wrap_document(XNode::from_dom(&element));
+        self.cache.lock().insert(uri.to_string(), node.clone());
+        Ok(node)
+    }
+}
+
+struct StoreResolver(Arc<Store>);
+
+impl DocResolver for StoreResolver {
+    fn resolve(&self, uri: &str) -> Option<XNode> {
+        self.0.load(uri).ok()
+    }
+}
+
+/// The native XML database: compressed document store + XQuery engine.
+pub struct XmlDb {
+    store: Arc<Store>,
+    engine: Engine,
+}
+
+impl XmlDb {
+    /// An empty database with `current-date()` pinned to `now`.
+    pub fn new(now: Date) -> Self {
+        let store = Arc::new(Store::default());
+        let mut engine = Engine::new(StoreResolver(store.clone()));
+        engine.set_now(now);
+        XmlDb { store, engine }
+    }
+
+    /// Store (or replace) a document under `uri`.
+    pub fn store(&self, uri: &str, doc: &Element) {
+        let raw = doc.to_xml();
+        let compressed = blockzip::compress(raw.as_bytes());
+        self.store.docs.lock().insert(
+            uri.to_string(),
+            StoredDoc { compressed, raw_size: raw.len() },
+        );
+        self.store.cache.lock().remove(uri);
+    }
+
+    /// Evaluate an XQuery, returning the result sequence.
+    pub fn query(&self, query: &str) -> Result<Sequence> {
+        Ok(self.engine.eval(query)?)
+    }
+
+    /// Evaluate an XQuery and serialize the result.
+    pub fn query_xml(&self, query: &str) -> Result<String> {
+        Ok(self.engine.eval_to_xml(query)?)
+    }
+
+    /// Drop all cached DOMs (the paper's cold-cache protocol).
+    pub fn flush_cache(&self) {
+        self.store.cache.lock().clear();
+    }
+
+    /// Compressed bytes on "disk".
+    pub fn stored_bytes(&self) -> usize {
+        self.store.docs.lock().values().map(|d| d.compressed.len()).sum()
+    }
+
+    /// Uncompressed (serialized) bytes of all documents.
+    pub fn raw_bytes(&self) -> usize {
+        self.store.docs.lock().values().map(|d| d.raw_size).sum()
+    }
+
+    /// Documents parsed since construction (cold-query counter).
+    pub fn parse_count(&self) -> u64 {
+        self.store.parses.load(Ordering::Relaxed)
+    }
+
+    /// Apply a history change to a stored H-document **in place**:
+    /// decompress, parse, mutate the DOM, re-serialize, re-compress.
+    /// This whole-document rewrite is what the paper's §8.4 update
+    /// benchmark measures on the native XML side.
+    pub fn apply_change(&self, uri: &str, change: &DocChange) -> Result<()> {
+        let node = self.store.load(uri)?;
+        // Take the root element out of the #document wrapper.
+        let root_elem = node
+            .as_elem()
+            .and_then(|d| d.children.borrow().first().cloned())
+            .ok_or_else(|| XmlDbError::Corrupt("empty document".into()))?;
+        let xmldom::Node::Element(mut root) = root_elem.to_dom() else {
+            return Err(XmlDbError::Corrupt("root is not an element".into()));
+        };
+        hdoc::apply(&mut root, change).map_err(|e| XmlDbError::Update(e.to_string()))?;
+        self.store(uri, &root);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temporal::Interval;
+    use xmldom::Element;
+
+    fn sample_doc() -> Element {
+        xmldom::parse(
+            r#"<employees tstart="1988-01-01" tend="9999-12-31">
+              <employee tstart="1995-01-01" tend="9999-12-31">
+                <id tstart="1995-01-01" tend="9999-12-31">1001</id>
+                <name tstart="1995-01-01" tend="9999-12-31">Bob</name>
+                <salary tstart="1995-01-01" tend="1995-05-31">60000</salary>
+                <salary tstart="1995-06-01" tend="9999-12-31">70000</salary>
+              </employee>
+            </employees>"#,
+        )
+        .unwrap()
+    }
+
+    fn db() -> XmlDb {
+        let db = XmlDb::new(Date::parse("2005-01-01").unwrap());
+        db.store("employees.xml", &sample_doc());
+        db
+    }
+
+    #[test]
+    fn stores_compressed_and_queries() {
+        let db = db();
+        assert!(db.stored_bytes() > 0);
+        assert!(db.stored_bytes() < db.raw_bytes(), "compression must shrink the doc");
+        let out = db
+            .query_xml(r#"for $s in doc("employees.xml")/employees/employee[id = 1001]/salary return string($s)"#)
+            .unwrap();
+        assert_eq!(out, "60000\n70000");
+    }
+
+    #[test]
+    fn cold_queries_reparse_warm_queries_do_not() {
+        let db = db();
+        db.query_xml(r#"count(doc("employees.xml")//salary)"#).unwrap();
+        assert_eq!(db.parse_count(), 1);
+        db.query_xml(r#"count(doc("employees.xml")//salary)"#).unwrap();
+        assert_eq!(db.parse_count(), 1, "warm query hits the DOM cache");
+        db.flush_cache();
+        db.query_xml(r#"count(doc("employees.xml")//salary)"#).unwrap();
+        assert_eq!(db.parse_count(), 2, "cold query decompresses + reparses");
+    }
+
+    #[test]
+    fn unknown_doc_is_an_error() {
+        let db = db();
+        assert!(db.query(r#"doc("missing.xml")"#).is_err());
+    }
+
+    #[test]
+    fn temporal_query_on_stored_history() {
+        let db = db();
+        let out = db
+            .query_xml(
+                r#"for $s in doc("employees.xml")/employees/employee/salary
+                       [tstart(.) <= xs:date("1995-03-01") and tend(.) >= xs:date("1995-03-01")]
+                   return string($s)"#,
+            )
+            .unwrap();
+        assert_eq!(out, "60000");
+    }
+
+    #[test]
+    fn in_place_update_rewrites_document() {
+        let db = db();
+        let before = db.stored_bytes();
+        db.apply_change(
+            "employees.xml",
+            &DocChange::Update {
+                tuple: "employee".into(),
+                key_child: "id".into(),
+                key: "1001".into(),
+                attr: "salary".into(),
+                value: "77000".into(),
+                at: Date::parse("1996-01-01").unwrap(),
+            },
+        )
+        .unwrap();
+        let out = db
+            .query_xml(r#"for $s in doc("employees.xml")//salary return string($s)"#)
+            .unwrap();
+        assert_eq!(out, "60000\n70000\n77000");
+        // The closed period ends the day before.
+        let closed = db
+            .query_xml(r#"string(doc("employees.xml")//salary[2]/@tend)"#)
+            .unwrap();
+        assert_eq!(closed, "1995-12-31");
+        assert_ne!(db.stored_bytes(), before, "document was recompressed");
+    }
+
+    #[test]
+    fn insert_and_delete_changes() {
+        let db = db();
+        db.apply_change(
+            "employees.xml",
+            &DocChange::Insert {
+                tuple: "employee".into(),
+                key_child: "id".into(),
+                key: "1002".into(),
+                attrs: vec![("name".into(), "Alice".into()), ("salary".into(), "80000".into())],
+                at: Date::parse("1996-03-01").unwrap(),
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            db.query_xml(r#"count(doc("employees.xml")/employees/employee)"#).unwrap(),
+            "2"
+        );
+        db.apply_change(
+            "employees.xml",
+            &DocChange::Delete {
+                tuple: "employee".into(),
+                key_child: "id".into(),
+                key: "1002".into(),
+                at: Date::parse("1997-01-01").unwrap(),
+            },
+        )
+        .unwrap();
+        let iv = db
+            .query_xml(
+                r#"string(doc("employees.xml")/employees/employee[id = 1002]/@tend)"#,
+            )
+            .unwrap();
+        assert_eq!(iv, "1996-12-31");
+        let _ = Interval::parse("1996-03-01", "1996-12-31").unwrap();
+    }
+}

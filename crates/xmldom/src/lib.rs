@@ -1,0 +1,73 @@
+//! A minimal XML document object model for H-documents.
+//!
+//! ArchIS views the transaction-time history of each relational table as an
+//! XML *H-document* (paper §3): a root element per table whose children are
+//! one element per key value, each grouping the timestamped history of every
+//! attribute. Every element carries inclusive `tstart`/`tend` attributes.
+//!
+//! This crate provides the owned node tree ([`Node`], [`Element`]), a
+//! hand-written parser ([`parse`]) covering the XML subset H-documents and
+//! query results use (elements, attributes, character data with the five
+//! predefined entities, comments, CDATA, declarations), a serializer
+//! (compact and pretty-printed), and navigation helpers used by the XQuery
+//! evaluator.
+
+mod node;
+mod parse;
+
+pub use node::{Element, Node};
+pub use parse::{parse, ParseError};
+
+use temporal::{Date, Interval};
+
+/// Attribute name carrying an element's period start.
+pub const TSTART: &str = "tstart";
+/// Attribute name carrying an element's period end.
+pub const TEND: &str = "tend";
+
+impl Element {
+    /// The element's validity period from its `tstart`/`tend` attributes,
+    /// if both are present and well-formed.
+    pub fn interval(&self) -> Option<Interval> {
+        let s = Date::parse(self.attr(TSTART)?).ok()?;
+        let e = Date::parse(self.attr(TEND)?).ok()?;
+        Interval::new(s, e).ok()
+    }
+
+    /// Set the `tstart`/`tend` attributes from a period.
+    pub fn set_interval(&mut self, iv: Interval) {
+        self.set_attr(TSTART, iv.start().to_string());
+        self.set_attr(TEND, iv.end().to_string());
+    }
+
+    /// Builder-style variant of [`Element::set_interval`].
+    pub fn with_interval(mut self, iv: Interval) -> Self {
+        self.set_interval(iv);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_roundtrip_on_element() {
+        let iv = Interval::parse("1995-01-01", "1995-05-31").unwrap();
+        let e = Element::new("salary").with_interval(iv).with_text("60000");
+        assert_eq!(e.interval(), Some(iv));
+        assert_eq!(
+            e.to_xml(),
+            r#"<salary tstart="1995-01-01" tend="1995-05-31">60000</salary>"#
+        );
+    }
+
+    #[test]
+    fn missing_or_bad_interval_is_none() {
+        assert_eq!(Element::new("x").interval(), None);
+        let mut e = Element::new("x");
+        e.set_attr(TSTART, "1995-01-01");
+        e.set_attr(TEND, "bogus");
+        assert_eq!(e.interval(), None);
+    }
+}

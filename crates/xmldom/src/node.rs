@@ -1,0 +1,358 @@
+//! The owned XML node tree and serializer.
+
+use std::fmt;
+
+/// An XML node: an element or character data.
+///
+/// Comments and processing instructions are dropped at parse time — they
+/// never occur in H-documents or query results, and discarding them keeps
+/// node identity semantics simple for the XQuery evaluator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// An element node.
+    Element(Element),
+    /// A text node (unescaped character data).
+    Text(String),
+}
+
+impl Node {
+    /// The element, if this node is one.
+    pub fn as_element(&self) -> Option<&Element> {
+        match self {
+            Node::Element(e) => Some(e),
+            Node::Text(_) => None,
+        }
+    }
+
+    /// Mutable access to the element, if this node is one.
+    pub fn as_element_mut(&mut self) -> Option<&mut Element> {
+        match self {
+            Node::Element(e) => Some(e),
+            Node::Text(_) => None,
+        }
+    }
+
+    /// The *string value*: for text nodes the text, for elements the
+    /// concatenation of all descendant text (XPath `string()` semantics).
+    pub fn string_value(&self) -> String {
+        match self {
+            Node::Text(t) => t.clone(),
+            Node::Element(e) => e.text_content(),
+        }
+    }
+
+    /// Serialize compactly (no added whitespace).
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        self.write_xml(&mut out);
+        out
+    }
+
+    fn write_xml(&self, out: &mut String) {
+        match self {
+            Node::Text(t) => push_escaped(out, t, false),
+            Node::Element(e) => e.write_xml(out),
+        }
+    }
+}
+
+impl From<Element> for Node {
+    fn from(e: Element) -> Node {
+        Node::Element(e)
+    }
+}
+
+/// An XML element: a name, ordered attributes, and ordered children.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    /// Tag name.
+    pub name: String,
+    /// Attributes in document order. Names are unique.
+    pub attributes: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<Node>,
+}
+
+impl Element {
+    /// A new element with no attributes or children.
+    pub fn new(name: impl Into<String>) -> Self {
+        Element { name: name.into(), attributes: Vec::new(), children: Vec::new() }
+    }
+
+    /// Attribute value by name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attributes.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Set (or replace) an attribute.
+    pub fn set_attr(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        let name = name.into();
+        let value = value.into();
+        if let Some(slot) = self.attributes.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = value;
+        } else {
+            self.attributes.push((name, value));
+        }
+    }
+
+    /// Builder-style attribute setter.
+    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.set_attr(name, value);
+        self
+    }
+
+    /// Append a child node.
+    pub fn push(&mut self, child: impl Into<Node>) {
+        self.children.push(child.into());
+    }
+
+    /// Builder-style child appender.
+    pub fn with_child(mut self, child: impl Into<Node>) -> Self {
+        self.push(child);
+        self
+    }
+
+    /// Builder-style text child appender.
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.children.push(Node::Text(text.into()));
+        self
+    }
+
+    /// Child elements, in order.
+    pub fn child_elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(Node::as_element)
+    }
+
+    /// Child elements with the given tag name, in order.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.child_elements().filter(move |e| e.name == name)
+    }
+
+    /// First child element with the given tag name.
+    pub fn first_child(&self, name: &str) -> Option<&Element> {
+        self.child_elements().find(|e| e.name == name)
+    }
+
+    /// Concatenated descendant text (XPath string value).
+    pub fn text_content(&self) -> String {
+        let mut out = String::new();
+        self.collect_text(&mut out);
+        out
+    }
+
+    fn collect_text(&self, out: &mut String) {
+        for c in &self.children {
+            match c {
+                Node::Text(t) => out.push_str(t),
+                Node::Element(e) => e.collect_text(out),
+            }
+        }
+    }
+
+    /// All descendant elements (excluding `self`), depth-first document order.
+    pub fn descendants(&self) -> Vec<&Element> {
+        let mut out = Vec::new();
+        self.collect_descendants(&mut out);
+        out
+    }
+
+    fn collect_descendants<'a>(&'a self, out: &mut Vec<&'a Element>) {
+        for c in self.child_elements() {
+            out.push(c);
+            c.collect_descendants(out);
+        }
+    }
+
+    /// Total number of element nodes in the subtree rooted here.
+    pub fn subtree_size(&self) -> usize {
+        1 + self.child_elements().map(Element::subtree_size).sum::<usize>()
+    }
+
+    /// Serialize compactly (no added whitespace).
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        self.write_xml(&mut out);
+        out
+    }
+
+    /// Serialize with two-space indentation, one element per line.
+    pub fn to_pretty_xml(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write_xml(&self, out: &mut String) {
+        out.push('<');
+        out.push_str(&self.name);
+        for (n, v) in &self.attributes {
+            out.push(' ');
+            out.push_str(n);
+            out.push_str("=\"");
+            push_escaped(out, v, true);
+            out.push('"');
+        }
+        if self.children.is_empty() {
+            out.push_str("/>");
+            return;
+        }
+        out.push('>');
+        for c in &self.children {
+            c.write_xml(out);
+        }
+        out.push_str("</");
+        out.push_str(&self.name);
+        out.push('>');
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push('<');
+        out.push_str(&self.name);
+        for (n, v) in &self.attributes {
+            out.push(' ');
+            out.push_str(n);
+            out.push_str("=\"");
+            push_escaped(out, v, true);
+            out.push('"');
+        }
+        if self.children.is_empty() {
+            out.push_str("/>\n");
+            return;
+        }
+        // Text-only content stays on one line.
+        if self.children.iter().all(|c| matches!(c, Node::Text(_))) {
+            out.push('>');
+            for c in &self.children {
+                if let Node::Text(t) = c {
+                    push_escaped(out, t, false);
+                }
+            }
+            out.push_str("</");
+            out.push_str(&self.name);
+            out.push_str(">\n");
+            return;
+        }
+        out.push_str(">\n");
+        for c in &self.children {
+            match c {
+                Node::Element(e) => e.write_pretty(out, depth + 1),
+                Node::Text(t) => {
+                    if !t.trim().is_empty() {
+                        for _ in 0..=depth {
+                            out.push_str("  ");
+                        }
+                        push_escaped(out, t, false);
+                        out.push('\n');
+                    }
+                }
+            }
+        }
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str("</");
+        out.push_str(&self.name);
+        out.push_str(">\n");
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_xml())
+    }
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_xml())
+    }
+}
+
+fn push_escaped(out: &mut String, s: &str, in_attr: bool) {
+    for ch in s.chars() {
+        match ch {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' if in_attr => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Element {
+        Element::new("employee")
+            .with_attr("tstart", "1995-01-01")
+            .with_attr("tend", "9999-12-31")
+            .with_child(Element::new("name").with_text("Bob"))
+            .with_child(
+                Element::new("salary")
+                    .with_attr("tstart", "1995-01-01")
+                    .with_attr("tend", "1995-05-31")
+                    .with_text("60000"),
+            )
+    }
+
+    #[test]
+    fn serializes_compactly() {
+        assert_eq!(
+            sample().to_xml(),
+            "<employee tstart=\"1995-01-01\" tend=\"9999-12-31\">\
+             <name>Bob</name>\
+             <salary tstart=\"1995-01-01\" tend=\"1995-05-31\">60000</salary>\
+             </employee>"
+        );
+    }
+
+    #[test]
+    fn escapes_special_characters() {
+        let e = Element::new("t").with_attr("a", "x\"<y").with_text("a<b&c>d");
+        assert_eq!(e.to_xml(), "<t a=\"x&quot;&lt;y\">a&lt;b&amp;c&gt;d</t>");
+    }
+
+    #[test]
+    fn empty_element_self_closes() {
+        assert_eq!(Element::new("interval").to_xml(), "<interval/>");
+    }
+
+    #[test]
+    fn navigation_helpers() {
+        let e = sample();
+        assert_eq!(e.first_child("name").unwrap().text_content(), "Bob");
+        assert_eq!(e.children_named("salary").count(), 1);
+        assert_eq!(e.child_elements().count(), 2);
+        assert_eq!(e.attr("tstart"), Some("1995-01-01"));
+        assert_eq!(e.attr("missing"), None);
+        assert_eq!(e.descendants().len(), 2);
+        assert_eq!(e.subtree_size(), 3);
+    }
+
+    #[test]
+    fn string_value_concatenates_descendants() {
+        assert_eq!(sample().text_content(), "Bob60000");
+        assert_eq!(Node::Text("x".into()).string_value(), "x");
+    }
+
+    #[test]
+    fn set_attr_replaces() {
+        let mut e = Element::new("x").with_attr("a", "1");
+        e.set_attr("a", "2");
+        assert_eq!(e.attributes.len(), 1);
+        assert_eq!(e.attr("a"), Some("2"));
+    }
+
+    #[test]
+    fn pretty_print_indents() {
+        let p = sample().to_pretty_xml();
+        assert!(p.contains("\n  <name>Bob</name>\n"));
+        assert!(p.starts_with("<employee"));
+        assert!(p.ends_with("</employee>\n"));
+    }
+}

@@ -1,0 +1,388 @@
+//! A hand-written, non-validating XML parser for the subset H-documents and
+//! SQL/XML query results use.
+//!
+//! Supported: one root element, nested elements, attributes with `'` or `"`
+//! quotes, character data, the five predefined entities plus decimal /
+//! hexadecimal character references, comments, CDATA sections, XML
+//! declarations and processing instructions (both skipped). Not supported
+//! (not needed by ArchIS): DTDs, namespaces-aware processing (prefixes are
+//! kept verbatim in names).
+
+use crate::node::{Element, Node};
+use std::fmt;
+
+/// A parse failure with byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset at which the problem was detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a complete document and return its root element. Leading and
+/// trailing whitespace, declarations and comments around the root are
+/// skipped; trailing non-whitespace content is an error.
+pub fn parse(input: &str) -> Result<Element, ParseError> {
+    let mut p = Parser { input: input.as_bytes(), pos: 0 };
+    p.skip_misc();
+    let root = p.parse_element()?;
+    p.skip_misc();
+    if p.pos < p.input.len() {
+        return Err(p.err("content after document root"));
+    }
+    Ok(root)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { offset: self.pos, message: msg.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skip whitespace, comments, PIs and the XML declaration.
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                match find(self.input, self.pos + 4, b"-->") {
+                    Some(end) => self.pos = end + 3,
+                    None => {
+                        self.pos = self.input.len();
+                        return;
+                    }
+                }
+            } else if self.starts_with("<?") {
+                match find(self.input, self.pos + 2, b"?>") {
+                    Some(end) => self.pos = end + 2,
+                    None => {
+                        self.pos = self.input.len();
+                        return;
+                    }
+                }
+            } else if self.starts_with("<!DOCTYPE") {
+                // Skip to the matching '>' (no internal subset support).
+                while let Some(c) = self.peek() {
+                    self.pos += 1;
+                    if c == b'>' {
+                        break;
+                    }
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            let ok = c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':');
+            if !ok {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", c as char)))
+        }
+    }
+
+    fn parse_element(&mut self) -> Result<Element, ParseError> {
+        self.expect(b'<')?;
+        let name = self.parse_name()?;
+        let mut element = Element::new(name);
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect(b'>')?;
+                    return Ok(element);
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let attr_name = self.parse_name()?;
+                    self.skip_ws();
+                    self.expect(b'=')?;
+                    self.skip_ws();
+                    let quote = self.peek().ok_or_else(|| self.err("eof in attribute"))?;
+                    if quote != b'"' && quote != b'\'' {
+                        return Err(self.err("expected quoted attribute value"));
+                    }
+                    self.pos += 1;
+                    let vstart = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == quote {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let raw = String::from_utf8_lossy(&self.input[vstart..self.pos]).into_owned();
+                    self.expect(quote)?;
+                    if element.attr(&attr_name).is_some() {
+                        return Err(self.err(format!("duplicate attribute {attr_name:?}")));
+                    }
+                    element.attributes.push((attr_name, unescape(&raw, vstart)?));
+                }
+                None => return Err(self.err("eof in start tag")),
+            }
+        }
+        // Content.
+        loop {
+            match self.peek() {
+                None => return Err(self.err(format!("eof inside <{}>", element.name))),
+                Some(b'<') => {
+                    if self.starts_with("</") {
+                        self.pos += 2;
+                        let end_name = self.parse_name()?;
+                        if end_name != element.name {
+                            return Err(self.err(format!(
+                                "mismatched end tag: expected </{}>, found </{end_name}>",
+                                element.name
+                            )));
+                        }
+                        self.skip_ws();
+                        self.expect(b'>')?;
+                        return Ok(element);
+                    } else if self.starts_with("<!--") {
+                        let end = find(self.input, self.pos + 4, b"-->")
+                            .ok_or_else(|| self.err("unterminated comment"))?;
+                        self.pos = end + 3;
+                    } else if self.starts_with("<![CDATA[") {
+                        let start = self.pos + 9;
+                        let end = find(self.input, start, b"]]>")
+                            .ok_or_else(|| self.err("unterminated CDATA"))?;
+                        let text = String::from_utf8_lossy(&self.input[start..end]).into_owned();
+                        push_text(&mut element, text);
+                        self.pos = end + 3;
+                    } else if self.starts_with("<?") {
+                        let end = find(self.input, self.pos + 2, b"?>")
+                            .ok_or_else(|| self.err("unterminated processing instruction"))?;
+                        self.pos = end + 2;
+                    } else {
+                        let child = self.parse_element()?;
+                        element.children.push(Node::Element(child));
+                    }
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == b'<' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                    let text = unescape(&raw, start)?;
+                    // Whitespace-only runs between elements are formatting.
+                    if !text.trim().is_empty() {
+                        push_text(&mut element, text);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn push_text(element: &mut Element, text: String) {
+    if let Some(Node::Text(prev)) = element.children.last_mut() {
+        prev.push_str(&text);
+    } else {
+        element.children.push(Node::Text(text));
+    }
+}
+
+fn find(haystack: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
+    if from > haystack.len() {
+        return None;
+    }
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|i| i + from)
+}
+
+fn unescape(s: &str, offset: usize) -> Result<String, ParseError> {
+    if !s.contains('&') {
+        return Ok(s.to_string());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        rest = &rest[amp..];
+        let semi = rest.find(';').ok_or(ParseError {
+            offset,
+            message: "unterminated entity reference".into(),
+        })?;
+        let entity = &rest[1..semi];
+        match entity {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                let code = u32::from_str_radix(&entity[2..], 16).map_err(|_| ParseError {
+                    offset,
+                    message: format!("bad character reference &{entity};"),
+                })?;
+                out.push(char::from_u32(code).ok_or(ParseError {
+                    offset,
+                    message: format!("invalid code point &{entity};"),
+                })?);
+            }
+            _ if entity.starts_with('#') => {
+                let code: u32 = entity[1..].parse().map_err(|_| ParseError {
+                    offset,
+                    message: format!("bad character reference &{entity};"),
+                })?;
+                out.push(char::from_u32(code).ok_or(ParseError {
+                    offset,
+                    message: format!("invalid code point &{entity};"),
+                })?);
+            }
+            _ => {
+                return Err(ParseError {
+                    offset,
+                    message: format!("unknown entity &{entity};"),
+                })
+            }
+        }
+        rest = &rest[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_hdocument_fragment() {
+        let doc = r#"<?xml version="1.0"?>
+            <!-- employees.xml -->
+            <employees tstart="1988-01-01" tend="9999-12-31">
+              <employee tstart="1995-01-01" tend="9999-12-31">
+                <id tstart="1995-01-01" tend="9999-12-31">1001</id>
+                <name tstart="1995-01-01" tend="9999-12-31">Bob</name>
+                <salary tstart="1995-01-01" tend="1995-05-31">60000</salary>
+                <salary tstart="1995-06-01" tend="9999-12-31">70000</salary>
+              </employee>
+            </employees>"#;
+        let root = parse(doc).unwrap();
+        assert_eq!(root.name, "employees");
+        let emp = root.first_child("employee").unwrap();
+        assert_eq!(emp.children_named("salary").count(), 2);
+        assert_eq!(emp.first_child("name").unwrap().text_content(), "Bob");
+        assert!(emp.interval().unwrap().is_current());
+    }
+
+    #[test]
+    fn roundtrips_serialization() {
+        let e = Element::new("a")
+            .with_attr("k", "v<&\"")
+            .with_child(Element::new("b").with_text("x & y < z"))
+            .with_child(Element::new("c"));
+        let parsed = parse(&e.to_xml()).unwrap();
+        assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn whitespace_between_elements_is_dropped() {
+        let root = parse("<a>\n  <b/>\n  <c/>\n</a>").unwrap();
+        assert_eq!(root.children.len(), 2);
+    }
+
+    #[test]
+    fn mixed_text_is_kept() {
+        let root = parse("<a>hello <b/> world</a>").unwrap();
+        assert_eq!(root.children.len(), 3);
+        assert_eq!(root.text_content(), "hello  world");
+    }
+
+    #[test]
+    fn entities_and_char_refs() {
+        let root = parse("<a>&lt;&gt;&amp;&quot;&apos;&#65;&#x42;</a>").unwrap();
+        assert_eq!(root.text_content(), "<>&\"'AB");
+    }
+
+    #[test]
+    fn cdata_passes_through_verbatim() {
+        let root = parse("<a><![CDATA[<not><parsed> & raw]]></a>").unwrap();
+        assert_eq!(root.text_content(), "<not><parsed> & raw");
+    }
+
+    #[test]
+    fn single_quoted_attributes() {
+        let root = parse("<a k='v1' j=\"v2\"/>").unwrap();
+        assert_eq!(root.attr("k"), Some("v1"));
+        assert_eq!(root.attr("j"), Some("v2"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("<a><b></a></b>").is_err(), "mismatched nesting");
+        assert!(parse("<a>").is_err(), "unclosed root");
+        assert!(parse("<a/><b/>").is_err(), "two roots");
+        assert!(parse("<a k=unquoted/>").is_err());
+        assert!(parse("<a k='1' k='2'/>").is_err(), "duplicate attribute");
+        assert!(parse("<a>&bogus;</a>").is_err(), "unknown entity");
+        assert!(parse("").is_err(), "empty input");
+    }
+
+    #[test]
+    fn doctype_and_pi_are_skipped() {
+        let root = parse("<!DOCTYPE x><?pi data?><a><?inner?></a>").unwrap();
+        assert_eq!(root.name, "a");
+        assert!(root.children.is_empty());
+    }
+
+    #[test]
+    fn error_reports_offset() {
+        let err = parse("<a><broken</a>").unwrap_err();
+        assert!(err.offset > 0);
+        assert!(err.to_string().contains("byte"));
+    }
+}

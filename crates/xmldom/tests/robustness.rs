@@ -1,0 +1,39 @@
+//! Robustness: the XML parser must never panic, whatever bytes arrive —
+//! it either parses or returns a positioned error.
+
+use proptest::prelude::*;
+use xmldom::parse;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn arbitrary_input_never_panics(s in "\\PC*") {
+        let _ = parse(&s); // Ok or Err — both fine, panic is the bug
+    }
+
+    #[test]
+    fn xmlish_input_never_panics(s in "[<>a-z\"'=/ &;{}\\[\\]0-9-]{0,120}") {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn truncations_of_valid_docs_never_panic(cut in 0usize..200) {
+        let doc = r#"<employees tstart="1988-01-01" tend="9999-12-31">
+          <employee><id>1001</id><name>B&amp;b</name>
+          <salary tstart="1995-01-01" tend="1995-05-31">60000</salary>
+          <!-- comment --><![CDATA[raw < data]]></employee></employees>"#;
+        let cut = cut.min(doc.len());
+        // Only slice at char boundaries (ASCII here, but stay safe).
+        if doc.is_char_boundary(cut) {
+            let _ = parse(&doc[..cut]);
+        }
+    }
+
+    #[test]
+    fn parse_errors_have_in_range_offsets(s in "[<>a-z\"'=/ ]{1,60}") {
+        if let Err(e) = parse(&s) {
+            prop_assert!(e.offset <= s.len(), "offset {} beyond input {}", e.offset, s.len());
+        }
+    }
+}

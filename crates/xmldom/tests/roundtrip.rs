@@ -1,0 +1,81 @@
+//! Property tests: any tree the model can represent survives a
+//! serialize → parse roundtrip (modulo the whitespace-only text nodes the
+//! parser intentionally drops, which the generator never emits).
+
+use proptest::prelude::*;
+use xmldom::{parse, Element, Node};
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_map(|s| s)
+}
+
+fn arb_text() -> impl Strategy<Value = String> {
+    // Non-empty, non-whitespace-only text with XML specials included.
+    "[ -~]{1,20}"
+        .prop_filter("whitespace-only text is dropped by the parser", |s| !s.trim().is_empty())
+}
+
+fn arb_element() -> impl Strategy<Value = Element> {
+    let leaf = (arb_name(), proptest::collection::vec((arb_name(), arb_text()), 0..3)).prop_map(
+        |(name, attrs)| {
+            let mut e = Element::new(name);
+            for (k, v) in attrs {
+                e.set_attr(k, v); // set_attr dedups names
+            }
+            e
+        },
+    );
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            arb_name(),
+            proptest::collection::vec((arb_name(), arb_text()), 0..3),
+            proptest::collection::vec(
+                prop_oneof![
+                    inner.prop_map(Node::Element),
+                    arb_text().prop_map(Node::Text),
+                ],
+                0..4,
+            ),
+        )
+            .prop_map(|(name, attrs, children)| {
+                let mut e = Element::new(name);
+                for (k, v) in attrs {
+                    e.set_attr(k, v);
+                }
+                // Merge adjacent text children the way the parser would.
+                for c in children {
+                    match (e.children.last_mut(), c) {
+                        (Some(Node::Text(prev)), Node::Text(t)) => prev.push_str(&t),
+                        (_, c) => e.children.push(c),
+                    }
+                }
+                e
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn serialize_parse_roundtrip(e in arb_element()) {
+        let xml = e.to_xml();
+        let parsed = parse(&xml).unwrap();
+        prop_assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn pretty_print_preserves_structure(e in arb_element()) {
+        // Pretty printing may add whitespace-only text, which parsing drops,
+        // so compare element structure and attribute content only.
+        let parsed = parse(&e.to_pretty_xml()).unwrap();
+        fn skeleton(e: &Element) -> (String, Vec<(String, String)>, Vec<(String, Vec<(String, String)>)>) {
+            (
+                e.name.clone(),
+                e.attributes.clone(),
+                e.child_elements().map(|c| (c.name.clone(), c.attributes.clone())).collect(),
+            )
+        }
+        prop_assert_eq!(skeleton(&parsed), skeleton(&e));
+    }
+}

@@ -1,0 +1,192 @@
+//! The XQuery abstract syntax tree.
+
+/// A parsed query module: optional user function declarations followed by
+/// the main expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryModule {
+    /// `declare function local:name($p1, $p2) { body };` declarations.
+    pub functions: Vec<FunctionDecl>,
+    /// The query body.
+    pub body: Expr,
+}
+
+/// A user-declared function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionDecl {
+    /// Function name (prefix kept verbatim, e.g. `local:pay`).
+    pub name: String,
+    /// Parameter variable names (without `$`).
+    pub params: Vec<String>,
+    /// Function body.
+    pub body: Expr,
+}
+
+/// Comparison operators (XQuery general comparisons).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `div`
+    Div,
+    /// `mod`
+    Mod,
+}
+
+/// One `for`/`let` binding in a FLWOR expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Binding {
+    /// `for $var in expr` — iterates item by item.
+    For { var: String, seq: Expr },
+    /// `let $var := expr` — binds the whole sequence.
+    Let { var: String, seq: Expr },
+}
+
+/// An ordering key in `order by`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderSpec {
+    /// Key expression.
+    pub key: Expr,
+    /// Ascending (default) or descending.
+    pub ascending: bool,
+}
+
+/// A path step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// `name` — child elements with this tag.
+    Child(String),
+    /// `*` — all child elements.
+    AnyChild,
+    /// `@name` — attribute value (atomic).
+    Attribute(String),
+    /// `//name` was parsed into this: descendant-or-self then child.
+    Descendant(String),
+    /// `//*`
+    AnyDescendant,
+    /// `.` — the context item.
+    SelfStep,
+    /// `..` — parent element.
+    Parent,
+    /// `text()` — child text nodes.
+    Text,
+}
+
+/// XQuery expressions (the subset used by the paper's queries).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// String literal.
+    StrLit(String),
+    /// Integer literal.
+    IntLit(i64),
+    /// Decimal literal.
+    DecLit(f64),
+    /// `$var`
+    Var(String),
+    /// The context item `.` (inside predicates / paths).
+    ContextItem,
+    /// Empty sequence `()`.
+    Empty,
+    /// Sequence construction `a, b, c`.
+    Seq(Vec<Expr>),
+    /// FLWOR: bindings, optional where, optional order-by, return.
+    Flwor {
+        /// `for` / `let` clauses in source order.
+        bindings: Vec<Binding>,
+        /// `where` filter.
+        where_clause: Option<Box<Expr>>,
+        /// `order by` keys.
+        order_by: Vec<OrderSpec>,
+        /// `return` expression.
+        ret: Box<Expr>,
+    },
+    /// `some`/`every $v in seq satisfies pred`.
+    Quantified {
+        /// True for `every`, false for `some`.
+        every: bool,
+        /// Bound variable.
+        var: String,
+        /// The searched sequence.
+        seq: Box<Expr>,
+        /// The predicate.
+        pred: Box<Expr>,
+    },
+    /// `if (c) then t else e`.
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `a or b`
+    Or(Box<Expr>, Box<Expr>),
+    /// `a and b`
+    And(Box<Expr>, Box<Expr>),
+    /// General comparison.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Arithmetic.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// A path: source expression, then steps, each with predicates.
+    Path {
+        /// The step source (e.g. `doc("x.xml")`, a variable, or the
+        /// context item for relative paths).
+        base: Box<Expr>,
+        /// Steps with their predicate lists.
+        steps: Vec<(Step, Vec<Expr>)>,
+    },
+    /// Function call.
+    Call(String, Vec<Expr>),
+    /// Computed element constructor `element name { content }`.
+    ElementCtor {
+        /// Element name.
+        name: String,
+        /// Content expression (None for empty).
+        content: Option<Box<Expr>>,
+    },
+    /// Direct constructor `<name a="v{e}">{content}</name>`.
+    DirectCtor {
+        /// Element name.
+        name: String,
+        /// Attributes: name → list of literal/expression parts.
+        attrs: Vec<(String, Vec<AttrPart>)>,
+        /// Ordered children: literal text or enclosed expressions.
+        content: Vec<DirectContent>,
+    },
+}
+
+/// A piece of a direct-constructor attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrPart {
+    /// Literal text.
+    Text(String),
+    /// `{ expr }`.
+    Expr(Expr),
+}
+
+/// A piece of direct-constructor content.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DirectContent {
+    /// Literal text.
+    Text(String),
+    /// `{ expr }`.
+    Expr(Expr),
+    /// A nested direct constructor.
+    Child(Expr),
+}

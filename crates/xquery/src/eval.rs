@@ -1,0 +1,905 @@
+//! The native XQuery evaluator.
+//!
+//! Evaluates parsed queries directly over the `Rc`-node model — this is
+//! the execution path a native XML database (Tamino in the paper) uses,
+//! and the semantics oracle the ArchIS XQuery→SQL/XML translator is tested
+//! against.
+
+use crate::ast::*;
+use crate::functions::call_builtin;
+use crate::value::*;
+use crate::{Result, XQueryError};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::rc::Rc;
+use temporal::Date;
+use xmldom::Element;
+
+/// Resolves `doc("uri")` calls to document roots.
+pub trait DocResolver {
+    /// The root node for a URI, or `None` if unknown.
+    fn resolve(&self, uri: &str) -> Option<XNode>;
+}
+
+/// A simple in-memory resolver backed by a map.
+#[derive(Default)]
+pub struct MapResolver {
+    docs: HashMap<String, XNode>,
+}
+
+impl MapResolver {
+    /// Empty resolver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a document under a URI. The root element is wrapped in a
+    /// synthetic `#document` node so that `doc("uri")/rootname/...` paths
+    /// resolve with XPath document-node semantics.
+    pub fn insert(&mut self, uri: impl Into<String>, root: Element) {
+        self.insert_node(uri, XNode::from_dom(&root));
+    }
+
+    /// Register a pre-converted node (wrapped in a `#document` node unless
+    /// it already is one).
+    pub fn insert_node(&mut self, uri: impl Into<String>, root: XNode) {
+        let doc = wrap_document(root);
+        self.docs.insert(uri.into(), doc);
+    }
+}
+
+impl DocResolver for MapResolver {
+    fn resolve(&self, uri: &str) -> Option<XNode> {
+        self.docs.get(uri).cloned()
+    }
+}
+
+/// The XQuery engine: a document resolver plus evaluation options.
+pub struct Engine {
+    resolver: Box<dyn DocResolver>,
+    /// The value of `current-date()` and the instantiation of *now*
+    /// (fixed for determinism; set with [`Engine::set_now`]).
+    now: Date,
+}
+
+impl Engine {
+    /// Engine over a resolver, with `current-date()` pinned to 2005-01-01
+    /// (the paper's publication era) until [`Engine::set_now`] is called.
+    pub fn new(resolver: impl DocResolver + 'static) -> Self {
+        Engine {
+            resolver: Box::new(resolver),
+            now: Date::from_ymd(2005, 1, 1).expect("valid date"),
+        }
+    }
+
+    /// Pin `current-date()`.
+    pub fn set_now(&mut self, now: Date) {
+        self.now = now;
+    }
+
+    /// The pinned current date.
+    pub fn now(&self) -> Date {
+        self.now
+    }
+
+    /// Resolve a document URI.
+    pub fn doc(&self, uri: &str) -> Result<XNode> {
+        self.resolver.resolve(uri).ok_or_else(|| XQueryError::UnknownDoc(uri.to_string()))
+    }
+
+    /// Parse and evaluate a query, returning the result sequence.
+    pub fn eval(&self, query: &str) -> Result<Sequence> {
+        let module = crate::parser::parse_query(query)?;
+        self.eval_module(&module)
+    }
+
+    /// Evaluate a parsed module.
+    pub fn eval_module(&self, module: &QueryModule) -> Result<Sequence> {
+        let mut fns = HashMap::new();
+        for f in &module.functions {
+            fns.insert((normalize_fn_name(&f.name), f.params.len()), f.clone());
+        }
+        let mut ctx = Ctx {
+            engine: self,
+            vars: HashMap::new(),
+            ctx_item: None,
+            ctx_pos: None,
+            fns: &fns,
+            depth: 0,
+        };
+        eval_expr(&mut ctx, &module.body)
+    }
+
+    /// Evaluate and serialize the result sequence: nodes as XML, atomics as
+    /// text, items separated by newlines.
+    pub fn eval_to_xml(&self, query: &str) -> Result<String> {
+        let seq = self.eval(query)?;
+        Ok(serialize_sequence(&seq))
+    }
+}
+
+/// Serialize a result sequence (nodes as XML, atomics as text).
+pub fn serialize_sequence(seq: &Sequence) -> String {
+    let mut parts = Vec::with_capacity(seq.len());
+    for item in seq {
+        match item {
+            Item::Node(n) => parts.push(n.to_dom().to_xml()),
+            Item::Atom(a) => parts.push(a.to_text()),
+        }
+    }
+    parts.join("\n")
+}
+
+/// Wrap a root element in a synthetic `#document` node (idempotent).
+pub fn wrap_document(root: XNode) -> XNode {
+    if root.as_elem().map(|e| e.name.as_str()) == Some("#document") {
+        return root;
+    }
+    let doc = XNode::new_elem("#document");
+    if let Some(d) = doc.as_elem() {
+        append_child(d, root);
+    }
+    doc
+}
+
+fn normalize_fn_name(name: &str) -> String {
+    // Strip common prefixes so `local:f`, `fn:count`, `xs:date` match.
+    match name.split_once(':') {
+        Some((_, rest)) if !rest.is_empty() => rest.to_ascii_lowercase(),
+        _ => name.to_ascii_lowercase(),
+    }
+}
+
+pub(crate) struct Ctx<'a> {
+    pub(crate) engine: &'a Engine,
+    pub(crate) vars: HashMap<String, Sequence>,
+    pub(crate) ctx_item: Option<Item>,
+    /// `(position, last)` of the context item within its predicate's
+    /// candidate list (1-based), for `position()`/`last()`.
+    pub(crate) ctx_pos: Option<(usize, usize)>,
+    pub(crate) fns: &'a HashMap<(String, usize), FunctionDecl>,
+    pub(crate) depth: usize,
+}
+
+const MAX_DEPTH: usize = 64;
+
+pub(crate) fn eval_expr(ctx: &mut Ctx, expr: &Expr) -> Result<Sequence> {
+    match expr {
+        Expr::StrLit(s) => Ok(vec![Item::Atom(Atomic::Str(s.clone()))]),
+        Expr::IntLit(i) => Ok(vec![Item::Atom(Atomic::Int(*i))]),
+        Expr::DecLit(d) => Ok(vec![Item::Atom(Atomic::Double(*d))]),
+        Expr::Empty => Ok(vec![]),
+        Expr::Var(v) => ctx
+            .vars
+            .get(v)
+            .cloned()
+            .ok_or_else(|| XQueryError::Eval(format!("unbound variable ${v}"))),
+        Expr::ContextItem => ctx
+            .ctx_item
+            .clone()
+            .map(|i| vec![i])
+            .ok_or_else(|| XQueryError::Eval("no context item".into())),
+        Expr::Seq(items) => {
+            let mut out = Vec::new();
+            for e in items {
+                out.extend(eval_expr(ctx, e)?);
+            }
+            Ok(out)
+        }
+        Expr::If(c, t, e) => {
+            let cond = eval_expr(ctx, c)?;
+            if effective_boolean(&cond)? {
+                eval_expr(ctx, t)
+            } else {
+                eval_expr(ctx, e)
+            }
+        }
+        Expr::Or(l, r) => {
+            let lv = effective_boolean(&eval_expr(ctx, l)?)?;
+            if lv {
+                return Ok(vec![Item::Atom(Atomic::Bool(true))]);
+            }
+            let rv = effective_boolean(&eval_expr(ctx, r)?)?;
+            Ok(vec![Item::Atom(Atomic::Bool(rv))])
+        }
+        Expr::And(l, r) => {
+            let lv = effective_boolean(&eval_expr(ctx, l)?)?;
+            if !lv {
+                return Ok(vec![Item::Atom(Atomic::Bool(false))]);
+            }
+            let rv = effective_boolean(&eval_expr(ctx, r)?)?;
+            Ok(vec![Item::Atom(Atomic::Bool(rv))])
+        }
+        Expr::Cmp(op, l, r) => {
+            let ls = eval_expr(ctx, l)?;
+            let rs = eval_expr(ctx, r)?;
+            Ok(vec![Item::Atom(Atomic::Bool(general_compare(*op, &ls, &rs)))])
+        }
+        Expr::Arith(op, l, r) => {
+            let ls = eval_expr(ctx, l)?;
+            let rs = eval_expr(ctx, r)?;
+            arith(*op, &ls, &rs)
+        }
+        Expr::Neg(e) => {
+            let s = eval_expr(ctx, e)?;
+            if s.is_empty() {
+                return Ok(vec![]);
+            }
+            match s[0].atomize() {
+                Atomic::Int(i) => Ok(vec![Item::Atom(Atomic::Int(-i))]),
+                Atomic::Double(d) => Ok(vec![Item::Atom(Atomic::Double(-d))]),
+                other => Err(XQueryError::Type(format!("cannot negate {other:?}"))),
+            }
+        }
+        Expr::Flwor { bindings, where_clause, order_by, ret } => {
+            let mut out: Vec<(Vec<Atomic>, Sequence)> = Vec::new();
+            flwor_rec(ctx, bindings, 0, where_clause, order_by, ret, &mut out)?;
+            if !order_by.is_empty() {
+                out.sort_by(|(a, _), (b, _)| {
+                    for (i, spec) in order_by.iter().enumerate() {
+                        let ord = atomic_compare(&a[i], &b[i]).unwrap_or(Ordering::Equal);
+                        let ord = if spec.ascending { ord } else { ord.reverse() };
+                        if ord != Ordering::Equal {
+                            return ord;
+                        }
+                    }
+                    Ordering::Equal
+                });
+            }
+            Ok(out.into_iter().flat_map(|(_, s)| s).collect())
+        }
+        Expr::Quantified { every, var, seq, pred } => {
+            let items = eval_expr(ctx, seq)?;
+            let saved = ctx.vars.get(var).cloned();
+            let mut result = *every;
+            for item in items {
+                ctx.vars.insert(var.clone(), vec![item]);
+                let holds = effective_boolean(&eval_expr(ctx, pred)?)?;
+                if *every && !holds {
+                    result = false;
+                    break;
+                }
+                if !*every && holds {
+                    result = true;
+                    break;
+                }
+            }
+            restore_var(ctx, var, saved);
+            Ok(vec![Item::Atom(Atomic::Bool(result))])
+        }
+        Expr::Path { base, steps } => {
+            let mut current = eval_expr(ctx, base)?;
+            for (step, preds) in steps {
+                current = eval_step(ctx, &current, step, preds)?;
+            }
+            Ok(current)
+        }
+        Expr::Call(name, args) => {
+            let norm = normalize_fn_name(name);
+            if let Some(decl) = ctx.fns.get(&(norm.clone(), args.len())).cloned() {
+                if ctx.depth >= MAX_DEPTH {
+                    return Err(XQueryError::Eval(format!(
+                        "recursion limit in function {name}"
+                    )));
+                }
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(eval_expr(ctx, a)?);
+                }
+                let mut inner = Ctx {
+                    engine: ctx.engine,
+                    vars: HashMap::new(),
+                    ctx_item: None,
+                    ctx_pos: None,
+                    fns: ctx.fns,
+                    depth: ctx.depth + 1,
+                };
+                for (p, v) in decl.params.iter().zip(vals) {
+                    inner.vars.insert(p.clone(), v);
+                }
+                return eval_expr(&mut inner, &decl.body);
+            }
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval_expr(ctx, a)?);
+            }
+            call_builtin(ctx, &norm, vals)
+                .ok_or(XQueryError::UnknownFunction(name.clone(), args.len()))?
+        }
+        Expr::ElementCtor { name, content } => {
+            let content_seq = match content {
+                Some(c) => eval_expr(ctx, c)?,
+                None => vec![],
+            };
+            Ok(vec![Item::Node(construct_element(name, &[], &content_seq))])
+        }
+        Expr::DirectCtor { name, attrs, content } => {
+            let mut attr_vals = Vec::with_capacity(attrs.len());
+            for (aname, parts) in attrs {
+                let mut text = String::new();
+                for p in parts {
+                    match p {
+                        AttrPart::Text(t) => text.push_str(t),
+                        AttrPart::Expr(e) => {
+                            let s = eval_expr(ctx, e)?;
+                            let joined: Vec<String> =
+                                s.iter().map(|i| i.atomize().to_text()).collect();
+                            text.push_str(&joined.join(" "));
+                        }
+                    }
+                }
+                attr_vals.push((aname.clone(), text));
+            }
+            let mut content_seq: Sequence = Vec::new();
+            for c in content {
+                match c {
+                    DirectContent::Text(t) => {
+                        content_seq.push(Item::Node(XNode::Text(Rc::new(t.clone()))))
+                    }
+                    DirectContent::Expr(e) => content_seq.extend(eval_expr(ctx, e)?),
+                    DirectContent::Child(e) => content_seq.extend(eval_expr(ctx, e)?),
+                }
+            }
+            Ok(vec![Item::Node(construct_element(name, &attr_vals, &content_seq))])
+        }
+    }
+}
+
+fn restore_var(ctx: &mut Ctx, var: &str, saved: Option<Sequence>) {
+    match saved {
+        Some(s) => {
+            ctx.vars.insert(var.to_string(), s);
+        }
+        None => {
+            ctx.vars.remove(var);
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn flwor_rec(
+    ctx: &mut Ctx,
+    bindings: &[Binding],
+    idx: usize,
+    where_clause: &Option<Box<Expr>>,
+    order_by: &[OrderSpec],
+    ret: &Expr,
+    out: &mut Vec<(Vec<Atomic>, Sequence)>,
+) -> Result<()> {
+    if idx == bindings.len() {
+        if let Some(w) = where_clause {
+            if !effective_boolean(&eval_expr(ctx, w)?)? {
+                return Ok(());
+            }
+        }
+        let mut keys = Vec::with_capacity(order_by.len());
+        for spec in order_by {
+            let k = eval_expr(ctx, &spec.key)?;
+            keys.push(k.first().map(|i| i.atomize()).unwrap_or(Atomic::Str(String::new())));
+        }
+        let value = eval_expr(ctx, ret)?;
+        out.push((keys, value));
+        return Ok(());
+    }
+    match &bindings[idx] {
+        Binding::For { var, seq } => {
+            let items = eval_expr(ctx, seq)?;
+            let saved = ctx.vars.get(var).cloned();
+            for item in items {
+                ctx.vars.insert(var.clone(), vec![item]);
+                flwor_rec(ctx, bindings, idx + 1, where_clause, order_by, ret, out)?;
+            }
+            restore_var(ctx, var, saved);
+        }
+        Binding::Let { var, seq } => {
+            let value = eval_expr(ctx, seq)?;
+            let saved = ctx.vars.get(var).cloned();
+            ctx.vars.insert(var.clone(), value);
+            flwor_rec(ctx, bindings, idx + 1, where_clause, order_by, ret, out)?;
+            restore_var(ctx, var, saved);
+        }
+    }
+    Ok(())
+}
+
+fn eval_step(ctx: &mut Ctx, input: &Sequence, step: &Step, preds: &[Expr]) -> Result<Sequence> {
+    let mut result: Sequence = Vec::new();
+    for item in input {
+        // Candidates for this one context item.
+        let candidates: Sequence = match step {
+            Step::SelfStep => vec![item.clone()],
+            Step::Parent => match item.as_node().and_then(XNode::as_elem) {
+                Some(e) => match e.parent.borrow().upgrade() {
+                    Some(p) => vec![Item::Node(XNode::Elem(p))],
+                    None => vec![],
+                },
+                None => vec![],
+            },
+            Step::Attribute(name) => match item.as_node() {
+                Some(n) => match n.attr(name) {
+                    Some(v) => vec![Item::Atom(Atomic::Str(v))],
+                    None => vec![],
+                },
+                None => vec![],
+            },
+            Step::Child(name) => children_of(item, Some(name)),
+            Step::AnyChild => children_of(item, None),
+            Step::Text => match item.as_node().and_then(XNode::as_elem) {
+                Some(e) => e
+                    .children
+                    .borrow()
+                    .iter()
+                    .filter(|c| matches!(c, XNode::Text(_)))
+                    .map(|c| Item::Node(c.clone()))
+                    .collect(),
+                None => vec![],
+            },
+            Step::Descendant(name) => descendants_of(item, Some(name)),
+            Step::AnyDescendant => descendants_of(item, None),
+        };
+        // Apply predicates over this candidate list.
+        let mut kept = candidates;
+        for p in preds {
+            kept = apply_predicate(ctx, kept, p)?;
+        }
+        result.extend(kept);
+    }
+    Ok(result)
+}
+
+fn children_of(item: &Item, name: Option<&str>) -> Sequence {
+    match item.as_node().and_then(XNode::as_elem) {
+        Some(e) => e
+            .children
+            .borrow()
+            .iter()
+            .filter_map(|c| match c {
+                XNode::Elem(ce) if name.is_none() || Some(ce.name.as_str()) == name => {
+                    Some(Item::Node(c.clone()))
+                }
+                _ => None,
+            })
+            .collect(),
+        None => vec![],
+    }
+}
+
+fn descendants_of(item: &Item, name: Option<&str>) -> Sequence {
+    fn rec(n: &XNode, name: Option<&str>, out: &mut Sequence) {
+        if let XNode::Elem(e) = n {
+            for c in e.children.borrow().iter() {
+                if let XNode::Elem(ce) = c {
+                    if name.is_none() || Some(ce.name.as_str()) == name {
+                        out.push(Item::Node(c.clone()));
+                    }
+                    rec(c, name, out);
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    if let Some(n) = item.as_node() {
+        // descendant-or-self semantics for the `//name` shorthand.
+        if let XNode::Elem(e) = n {
+            if name.is_none() || Some(e.name.as_str()) == name {
+                // `self` is matched by `//name` only via `descendant-or-self
+                // ::node()/child::name`; the standard shorthand does NOT
+                // include the context element itself unless a child matches.
+                // We therefore do not push `n` here.
+                let _ = e;
+            }
+        }
+        rec(n, name, &mut out);
+    }
+    out
+}
+
+fn apply_predicate(ctx: &mut Ctx, candidates: Sequence, pred: &Expr) -> Result<Sequence> {
+    let mut kept = Vec::new();
+    let n = candidates.len();
+    for (i, item) in candidates.into_iter().enumerate() {
+        let saved = ctx.ctx_item.take();
+        let saved_pos = ctx.ctx_pos.take();
+        ctx.ctx_item = Some(item.clone());
+        ctx.ctx_pos = Some((i + 1, n));
+        let v = eval_expr(ctx, pred);
+        ctx.ctx_item = saved;
+        ctx.ctx_pos = saved_pos;
+        let v = v?;
+        // Positional predicate: a single numeric value selects by position.
+        if v.len() == 1 {
+            if let Item::Atom(a) = &v[0] {
+                if let Atomic::Int(p) = a {
+                    if *p == (i as i64) + 1 {
+                        kept.push(item);
+                    }
+                    continue;
+                }
+                if let Atomic::Double(p) = a {
+                    if *p == (i as f64) + 1.0 {
+                        kept.push(item);
+                    }
+                    continue;
+                }
+            }
+        }
+        if effective_boolean(&v)? {
+            kept.push(item);
+        }
+    }
+    Ok(kept)
+}
+
+/// XQuery general comparison: existential over both sequences.
+pub(crate) fn general_compare(op: CmpOp, ls: &Sequence, rs: &Sequence) -> bool {
+    for l in ls {
+        for r in rs {
+            let (a, b) = (l.atomize(), r.atomize());
+            if let Some(ord) = atomic_compare(&a, &b) {
+                let hit = match op {
+                    CmpOp::Eq => ord == Ordering::Equal,
+                    CmpOp::Ne => ord != Ordering::Equal,
+                    CmpOp::Lt => ord == Ordering::Less,
+                    CmpOp::Le => ord != Ordering::Greater,
+                    CmpOp::Gt => ord == Ordering::Greater,
+                    CmpOp::Ge => ord != Ordering::Less,
+                };
+                if hit {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+fn arith(op: ArithOp, ls: &Sequence, rs: &Sequence) -> Result<Sequence> {
+    if ls.is_empty() || rs.is_empty() {
+        return Ok(vec![]);
+    }
+    let a = ls[0].atomize();
+    let b = rs[0].atomize();
+    // Date arithmetic: date - date = days, date ± integer = date.
+    if let (Some(da), Some(db)) = (
+        match &a {
+            Atomic::Date(d) => Some(*d),
+            _ => None,
+        },
+        match &b {
+            Atomic::Date(d) => Some(*d),
+            _ => None,
+        },
+    ) {
+        if op == ArithOp::Sub {
+            return Ok(vec![Item::Atom(Atomic::Int(da.days_since(db) as i64))]);
+        }
+        return Err(XQueryError::Type("only '-' is defined between dates".into()));
+    }
+    if let Atomic::Date(d) = &a {
+        let n = b
+            .as_number()
+            .ok_or_else(|| XQueryError::Type("date arithmetic needs a number".into()))?
+            as i32;
+        return Ok(vec![Item::Atom(Atomic::Date(match op {
+            ArithOp::Add => *d + n,
+            ArithOp::Sub => *d - n,
+            _ => return Err(XQueryError::Type("only +/- on dates".into())),
+        }))]);
+    }
+    let (x, y) = (
+        a.as_number().ok_or_else(|| XQueryError::Type(format!("non-numeric operand {a:?}")))?,
+        b.as_number().ok_or_else(|| XQueryError::Type(format!("non-numeric operand {b:?}")))?,
+    );
+    let both_int = matches!(a, Atomic::Int(_)) && matches!(b, Atomic::Int(_));
+    let result = match op {
+        ArithOp::Add => x + y,
+        ArithOp::Sub => x - y,
+        ArithOp::Mul => x * y,
+        ArithOp::Div => {
+            if y == 0.0 {
+                return Err(XQueryError::Eval("division by zero".into()));
+            }
+            x / y
+        }
+        ArithOp::Mod => {
+            if y == 0.0 {
+                return Err(XQueryError::Eval("modulo by zero".into()));
+            }
+            x % y
+        }
+    };
+    if both_int && op != ArithOp::Div && result.fract() == 0.0 {
+        Ok(vec![Item::Atom(Atomic::Int(result as i64))])
+    } else {
+        Ok(vec![Item::Atom(Atomic::Double(result))])
+    }
+}
+
+/// Build an element from evaluated attribute values and a content sequence:
+/// node items are deep-copied in; runs of adjacent atomics become one text
+/// node with space-separated values (XQuery constructor semantics).
+pub(crate) fn construct_element(
+    name: &str,
+    attrs: &[(String, String)],
+    content: &Sequence,
+) -> XNode {
+    let node = XNode::new_elem(name);
+    let elem = node.as_elem().unwrap().clone();
+    *elem.attrs.borrow_mut() = attrs.to_vec();
+    let mut pending_atoms: Vec<String> = Vec::new();
+    let flush = |pending: &mut Vec<String>, elem: &Rc<ElemNode>| {
+        if !pending.is_empty() {
+            let text = pending.join(" ");
+            pending.clear();
+            append_child(elem, XNode::Text(Rc::new(text)));
+        }
+    };
+    for item in content {
+        match item {
+            Item::Atom(a) => pending_atoms.push(a.to_text()),
+            Item::Node(n) => {
+                flush(&mut pending_atoms, &elem);
+                append_child(&elem, n.deep_copy());
+            }
+        }
+    }
+    flush(&mut pending_atoms, &elem);
+    node
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine_with(docs: &[(&str, &str)]) -> Engine {
+        let mut r = MapResolver::new();
+        for (uri, xml) in docs {
+            r.insert(*uri, xmldom::parse(xml).unwrap());
+        }
+        Engine::new(r)
+    }
+
+    const EMP: &str = r#"<employees tstart="1988-01-01" tend="9999-12-31">
+      <employee tstart="1995-01-01" tend="9999-12-31">
+        <id tstart="1995-01-01" tend="9999-12-31">1001</id>
+        <name tstart="1995-01-01" tend="9999-12-31">Bob</name>
+        <salary tstart="1995-01-01" tend="1995-05-31">60000</salary>
+        <salary tstart="1995-06-01" tend="9999-12-31">70000</salary>
+        <title tstart="1995-01-01" tend="1995-09-30">Engineer</title>
+        <title tstart="1995-10-01" tend="9999-12-31">Sr Engineer</title>
+        <deptno tstart="1995-01-01" tend="1995-09-30">d01</deptno>
+        <deptno tstart="1995-10-01" tend="9999-12-31">d02</deptno>
+      </employee>
+      <employee tstart="1994-03-01" tend="1996-06-30">
+        <id tstart="1994-03-01" tend="1996-06-30">1002</id>
+        <name tstart="1994-03-01" tend="1996-06-30">Alice</name>
+        <salary tstart="1994-03-01" tend="1996-06-30">80000</salary>
+        <title tstart="1994-03-01" tend="1996-06-30">Manager</title>
+        <deptno tstart="1994-03-01" tend="1996-06-30">d01</deptno>
+      </employee>
+    </employees>"#;
+
+    fn emp_engine() -> Engine {
+        engine_with(&[("employees.xml", EMP)])
+    }
+
+    #[test]
+    fn literal_and_sequence() {
+        let e = emp_engine();
+        assert_eq!(e.eval_to_xml("1, 2, 3").unwrap(), "1\n2\n3");
+        assert_eq!(e.eval_to_xml("()").unwrap(), "");
+        assert_eq!(e.eval_to_xml(r#""hi""#).unwrap(), "hi");
+    }
+
+    #[test]
+    fn path_with_predicate() {
+        let e = emp_engine();
+        let out = e
+            .eval_to_xml(r#"doc("employees.xml")/employees/employee[name="Bob"]/title"#)
+            .unwrap();
+        assert!(out.contains(">Engineer<"));
+        assert!(out.contains(">Sr Engineer<"));
+        assert!(!out.contains("Manager"));
+    }
+
+    #[test]
+    fn attribute_step() {
+        let e = emp_engine();
+        let out = e
+            .eval_to_xml(r#"doc("employees.xml")/employees/employee[name="Alice"]/salary/@tstart"#)
+            .unwrap();
+        assert_eq!(out, "1994-03-01");
+    }
+
+    #[test]
+    fn descendant_step() {
+        let e = emp_engine();
+        let out = e.eval(r#"doc("employees.xml")//salary"#).unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn flwor_where_and_order() {
+        let e = emp_engine();
+        let out = e
+            .eval_to_xml(
+                r#"for $x in doc("employees.xml")/employees/employee
+                   where $x/salary > 70000
+                   return $x/name"#,
+            )
+            .unwrap();
+        assert!(out.contains("Alice") && !out.contains("Bob"));
+        let ordered = e
+            .eval_to_xml(
+                r#"for $x in doc("employees.xml")/employees/employee
+                   order by $x/name descending
+                   return string($x/name)"#,
+            )
+            .unwrap();
+        assert_eq!(ordered, "Bob\nAlice");
+    }
+
+    #[test]
+    fn let_binds_whole_sequence() {
+        let e = emp_engine();
+        let out = e
+            .eval_to_xml(
+                r#"let $s := doc("employees.xml")//salary return count($s)"#,
+            )
+            .unwrap();
+        assert_eq!(out, "3");
+    }
+
+    #[test]
+    fn quantified_expressions() {
+        let e = emp_engine();
+        let every = e
+            .eval_to_xml(
+                r#"every $s in doc("employees.xml")//salary satisfies $s >= 60000"#,
+            )
+            .unwrap();
+        assert_eq!(every, "true");
+        let some = e
+            .eval_to_xml(
+                r#"some $s in doc("employees.xml")//salary satisfies $s > 75000"#,
+            )
+            .unwrap();
+        assert_eq!(some, "true");
+        let none = e
+            .eval_to_xml(
+                r#"some $s in doc("employees.xml")//salary satisfies $s > 99999"#,
+            )
+            .unwrap();
+        assert_eq!(none, "false");
+    }
+
+    #[test]
+    fn element_constructors() {
+        let e = emp_engine();
+        let out = e
+            .eval_to_xml(
+                r#"element res { for $n in doc("employees.xml")//name return $n }"#,
+            )
+            .unwrap();
+        assert!(out.starts_with("<res>"));
+        assert!(out.contains("Bob") && out.contains("Alice"));
+        let direct = e
+            .eval_to_xml(r#"<wrap kind="x{1+1}">{ doc("employees.xml")//name[1] }</wrap>"#)
+            .unwrap();
+        assert_eq!(
+            direct,
+            r#"<wrap kind="x2"><name tstart="1995-01-01" tend="9999-12-31">Bob</name></wrap>"#
+        );
+    }
+
+    #[test]
+    fn positional_predicate() {
+        let e = emp_engine();
+        let out = e.eval_to_xml(r#"string(doc("employees.xml")//salary[2])"#).unwrap();
+        assert_eq!(out, "70000");
+    }
+
+    #[test]
+    fn atoms_in_constructors_join_with_spaces() {
+        let e = emp_engine();
+        assert_eq!(e.eval_to_xml("element x { 1, 2, 3 }").unwrap(), "<x>1 2 3</x>");
+    }
+
+    #[test]
+    fn arithmetic_and_types() {
+        let e = emp_engine();
+        assert_eq!(e.eval_to_xml("1 + 2 * 3").unwrap(), "7");
+        assert_eq!(e.eval_to_xml("7 div 2").unwrap(), "3.5");
+        assert_eq!(e.eval_to_xml("7 mod 2").unwrap(), "1");
+        assert_eq!(
+            e.eval_to_xml(r#"xs:date("1995-03-01") - xs:date("1995-01-01")"#).unwrap(),
+            "59"
+        );
+        assert!(e.eval("1 div 0").is_err());
+    }
+
+    #[test]
+    fn if_then_else() {
+        let e = emp_engine();
+        assert_eq!(e.eval_to_xml(r#"if (1 < 2) then "y" else "n""#).unwrap(), "y");
+    }
+
+    #[test]
+    fn user_declared_functions() {
+        let e = emp_engine();
+        let out = e
+            .eval_to_xml(
+                r#"declare function local:top($s) { max($s) };
+                   local:top(doc("employees.xml")//salary)"#,
+            )
+            .unwrap();
+        assert_eq!(out, "80000");
+    }
+
+    #[test]
+    fn recursive_function_hits_depth_limit() {
+        let e = emp_engine();
+        let err = e
+            .eval("declare function local:f($x) { local:f($x) }; local:f(1)")
+            .unwrap_err();
+        assert!(matches!(err, XQueryError::Eval(_)));
+    }
+
+    #[test]
+    fn unbound_variable_and_unknown_function() {
+        let e = emp_engine();
+        assert!(matches!(e.eval("$nope").unwrap_err(), XQueryError::Eval(_)));
+        assert!(matches!(
+            e.eval("frobnicate(1)").unwrap_err(),
+            XQueryError::UnknownFunction(_, 1)
+        ));
+        assert!(matches!(
+            e.eval(r#"doc("missing.xml")"#).unwrap_err(),
+            XQueryError::UnknownDoc(_)
+        ));
+    }
+
+    #[test]
+    fn parent_step() {
+        let e = emp_engine();
+        let out = e
+            .eval_to_xml(r#"string(doc("employees.xml")//salary[.="80000"]/../name)"#)
+            .unwrap();
+        assert_eq!(out, "Alice");
+    }
+
+    #[test]
+    fn position_and_last_in_predicates() {
+        let e = emp_engine();
+        assert_eq!(
+            e.eval_to_xml(r#"string(doc("employees.xml")//salary[position() = 2])"#).unwrap(),
+            "70000"
+        );
+        assert_eq!(
+            e.eval_to_xml(r#"string(doc("employees.xml")//salary[last()])"#).unwrap(),
+            "80000"
+        );
+        assert_eq!(
+            e.eval_to_xml(
+                r#"for $s in doc("employees.xml")//salary[position() < last()]
+                   return string($s)"#
+            )
+            .unwrap(),
+            "60000\n70000"
+        );
+        assert!(e.eval("position()").is_err(), "no context outside predicates");
+    }
+
+    #[test]
+    fn general_comparison_is_existential() {
+        let e = emp_engine();
+        // Bob has two deptno values; = matches if ANY equals.
+        let out = e
+            .eval_to_xml(
+                r#"for $x in doc("employees.xml")/employees/employee[deptno = "d02"]
+                   return string($x/name)"#,
+            )
+            .unwrap();
+        assert_eq!(out, "Bob");
+    }
+}

@@ -1,0 +1,673 @@
+//! Built-in functions: the XQuery core set the paper's queries use, plus
+//! the ArchIS temporal function library (paper §4.2 and Appendix).
+//!
+//! The temporal builtins divorce queries from representation details
+//! (closed intervals, the `9999-12-31` encoding of *now*): `tend` returns
+//! `current-date()` for still-current elements, `rtend` / `externalnow`
+//! rewrite end-of-time values for presentation, and the aggregates
+//! (`tavg`, ...) compute interval step-functions in one sweep.
+
+use crate::eval::{construct_element, Ctx};
+use crate::value::*;
+use crate::{Result, XQueryError};
+use std::rc::Rc;
+use temporal::{
+    coalesce as t_coalesce, restructure as t_restructure, temporal_aggregate, AggregateKind,
+    Date, Interval, END_OF_TIME,
+};
+
+/// Dispatch a built-in by (normalized) name. Returns `None` for unknown
+/// names so the caller can report an unknown-function error with the
+/// original spelling.
+pub(crate) fn call_builtin(
+    ctx: &mut Ctx,
+    name: &str,
+    args: Vec<Sequence>,
+) -> Option<Result<Sequence>> {
+    let now = ctx.engine.now();
+    Some(match (name, args.len()) {
+        ("doc", 1) | ("document", 1) => {
+            let uri = string_of(&args[0]);
+            ctx.engine.doc(&uri).map(|root| vec![Item::Node(root)])
+        }
+        ("current-date", 0) => Ok(vec![Item::Atom(Atomic::Date(now))]),
+        ("date", 1) => {
+            let s = string_of(&args[0]);
+            Date::parse(&s)
+                .map(|d| vec![Item::Atom(Atomic::Date(d))])
+                .map_err(|e| XQueryError::Type(format!("xs:date: {e}")))
+        }
+        ("position", 0) => match ctx.ctx_pos {
+            Some((pos, _)) => Ok(vec![Item::Atom(Atomic::Int(pos as i64))]),
+            None => Err(XQueryError::Eval("position() outside a predicate".into())),
+        },
+        ("last", 0) => match ctx.ctx_pos {
+            Some((_, last)) => Ok(vec![Item::Atom(Atomic::Int(last as i64))]),
+            None => Err(XQueryError::Eval("last() outside a predicate".into())),
+        },
+        ("true", 0) => Ok(vec![Item::Atom(Atomic::Bool(true))]),
+        ("false", 0) => Ok(vec![Item::Atom(Atomic::Bool(false))]),
+        ("not", 1) => effective_boolean(&args[0]).map(|b| vec![Item::Atom(Atomic::Bool(!b))]),
+        ("boolean", 1) => {
+            effective_boolean(&args[0]).map(|b| vec![Item::Atom(Atomic::Bool(b))])
+        }
+        ("empty", 1) => Ok(vec![Item::Atom(Atomic::Bool(args[0].is_empty()))]),
+        ("exists", 1) => Ok(vec![Item::Atom(Atomic::Bool(!args[0].is_empty()))]),
+        ("count", 1) => Ok(vec![Item::Atom(Atomic::Int(args[0].len() as i64))]),
+        ("string", 1) => Ok(vec![Item::Atom(Atomic::Str(string_of(&args[0])))]),
+        ("number", 1) => {
+            let v = args[0].first().map(|i| i.atomize());
+            match v.and_then(|a| a.as_number()) {
+                Some(n) => Ok(vec![Item::Atom(Atomic::Double(n))]),
+                None => Ok(vec![Item::Atom(Atomic::Double(f64::NAN))]),
+            }
+        }
+        ("string-length", 1) => {
+            Ok(vec![Item::Atom(Atomic::Int(string_of(&args[0]).chars().count() as i64))])
+        }
+        ("concat", _) => {
+            let mut out = String::new();
+            for a in &args {
+                out.push_str(&string_of(a));
+            }
+            Ok(vec![Item::Atom(Atomic::Str(out))])
+        }
+        ("contains", 2) => Ok(vec![Item::Atom(Atomic::Bool(
+            string_of(&args[0]).contains(&string_of(&args[1])),
+        ))]),
+        ("starts-with", 2) => Ok(vec![Item::Atom(Atomic::Bool(
+            string_of(&args[0]).starts_with(&string_of(&args[1])),
+        ))]),
+        ("substring", 3) => {
+            let s = string_of(&args[0]);
+            let start = number_of(&args[1]).unwrap_or(1.0) as usize;
+            let len = number_of(&args[2]).unwrap_or(0.0) as usize;
+            let out: String = s.chars().skip(start.saturating_sub(1)).take(len).collect();
+            Ok(vec![Item::Atom(Atomic::Str(out))])
+        }
+        ("name", 1) => {
+            let n = args[0]
+                .first()
+                .and_then(Item::as_node)
+                .and_then(XNode::as_elem)
+                .map(|e| e.name.clone())
+                .unwrap_or_default();
+            Ok(vec![Item::Atom(Atomic::Str(n))])
+        }
+        ("distinct-values", 1) => {
+            let mut seen: Vec<Atomic> = Vec::new();
+            for item in &args[0] {
+                let a = item.atomize();
+                if !seen.iter().any(|s| s == &a) {
+                    seen.push(a);
+                }
+            }
+            Ok(seen.into_iter().map(Item::Atom).collect())
+        }
+        ("sum", 1) => fold_numeric(&args[0], |acc, v| acc + v, 0.0),
+        ("avg", 1) => {
+            if args[0].is_empty() {
+                Ok(vec![])
+            } else {
+                let n = args[0].len() as f64;
+                match numeric_values(&args[0]) {
+                    Ok(vs) => Ok(vec![Item::Atom(Atomic::Double(
+                        vs.iter().sum::<f64>() / n,
+                    ))]),
+                    Err(e) => Err(e),
+                }
+            }
+        }
+        ("max", 1) => extremum(&args[0], true),
+        ("min", 1) => extremum(&args[0], false),
+
+        // --- the temporal function library (paper §4.2 / Appendix) ------
+        ("tstart", 1) => match interval_of(&args[0], now) {
+            Some(iv) => Ok(vec![Item::Atom(Atomic::Date(iv.start()))]),
+            None => Ok(vec![]),
+        },
+        ("tend", 1) => match interval_of(&args[0], now) {
+            // The paper: tend returns the period end "if this is different
+            // from 9999-12-31, and current_date otherwise".
+            Some(iv) => Ok(vec![Item::Atom(Atomic::Date(if iv.is_current() {
+                now
+            } else {
+                iv.end()
+            }))]),
+            None => Ok(vec![]),
+        },
+        ("tinterval", 1) => match interval_of(&args[0], now) {
+            Some(iv) => Ok(vec![Item::Node(interval_element("interval", iv))]),
+            None => Ok(vec![]),
+        },
+        ("telement", 2) => {
+            let s = date_of(&args[0]);
+            let e = date_of(&args[1]);
+            match (s, e) {
+                (Some(s), Some(e)) => match Interval::new(s, e) {
+                    Ok(iv) => Ok(vec![Item::Node(interval_element("telement", iv))]),
+                    Err(e) => Err(XQueryError::Eval(e.to_string())),
+                },
+                _ => Err(XQueryError::Type("telement expects two dates".into())),
+            }
+        }
+        ("timespan", 1) => match interval_of(&args[0], now) {
+            Some(iv) => Ok(vec![Item::Atom(Atomic::Int(iv.timespan(now) as i64))]),
+            None => Ok(vec![]),
+        },
+        ("toverlaps", 2) => interval_pred(&args, now, |a, b| a.overlaps(&b)),
+        ("tprecedes", 2) => interval_pred(&args, now, |a, b| a.precedes(&b)),
+        ("tcontains", 2) => interval_pred(&args, now, |a, b| a.contains(&b)),
+        ("tequals", 2) => interval_pred(&args, now, |a, b| a.equals(&b)),
+        ("tmeets", 2) => interval_pred(&args, now, |a, b| a.meets(&b)),
+        ("overlapinterval", 2) => {
+            match (interval_of(&args[0], now), interval_of(&args[1], now)) {
+                (Some(a), Some(b)) => match a.intersect(&b) {
+                    Some(iv) => Ok(vec![Item::Node(interval_element("interval", iv))]),
+                    None => Ok(vec![]),
+                },
+                _ => Ok(vec![]),
+            }
+        }
+        ("rtend", 1) => Ok(replace_eot(&args[0], &now.to_string())),
+        ("externalnow", 1) => Ok(replace_eot(&args[0], "now")),
+        ("coalesce", 1) => coalesce_nodes(&args[0]),
+        ("restructure", 2) => {
+            let a = intervals_of(&args[0], now);
+            let b = intervals_of(&args[1], now);
+            let out = t_restructure(&a, &b);
+            Ok(out
+                .into_iter()
+                .map(|iv| Item::Node(interval_element("interval", iv)))
+                .collect())
+        }
+        ("tavg", 1) => temporal_agg(&args[0], AggregateKind::Avg, "tavg"),
+        ("tsum", 1) => temporal_agg(&args[0], AggregateKind::Sum, "tsum"),
+        ("tcount", 1) => temporal_agg(&args[0], AggregateKind::Count, "tcount"),
+        ("tmin", 1) => temporal_agg(&args[0], AggregateKind::Min, "tmin"),
+        ("tmax", 1) => temporal_agg(&args[0], AggregateKind::Max, "tmax"),
+        // Moving-window variants (paper §4: "moving window aggregate can
+        // also be supported"): second argument is the trailing window in
+        // days.
+        ("tmovavg", 2) | ("tmovsum", 2) | ("tmovcount", 2) | ("tmovmin", 2)
+        | ("tmovmax", 2) => {
+            let kind = match name {
+                "tmovavg" => AggregateKind::Avg,
+                "tmovsum" => AggregateKind::Sum,
+                "tmovcount" => AggregateKind::Count,
+                "tmovmin" => AggregateKind::Min,
+                _ => AggregateKind::Max,
+            };
+            let window = number_of(&args[1]).unwrap_or(1.0).max(1.0) as u32;
+            match value_interval_pairs(&args[0]) {
+                Ok(items) => {
+                    let series = temporal::moving_window(kind, &items, window);
+                    Ok(series
+                        .into_iter()
+                        .map(|(v, iv)| {
+                            let node = interval_element(name, iv);
+                            if let XNode::Elem(e) = &node {
+                                let text = if v.fract() == 0.0 && v.abs() < 1e15 {
+                                    format!("{}", v as i64)
+                                } else {
+                                    v.to_string()
+                                };
+                                e.children.borrow_mut().push(XNode::Text(Rc::new(text)));
+                            }
+                            Item::Node(node)
+                        })
+                        .collect())
+                }
+                Err(e) => Err(e),
+            }
+        }
+        ("trising", 1) => match value_interval_pairs(&args[0]) {
+            Ok(items) => {
+                let series = temporal_aggregate(AggregateKind::Max, &items);
+                match temporal::aggregate::rising(&series) {
+                    Some(iv) => Ok(vec![Item::Node(interval_element("interval", iv))]),
+                    None => Ok(vec![]),
+                }
+            }
+            Err(e) => Err(e),
+        },
+        _ => return None,
+    })
+}
+
+fn string_of(seq: &Sequence) -> String {
+    seq.first().map(|i| i.atomize().to_text()).unwrap_or_default()
+}
+
+fn number_of(seq: &Sequence) -> Option<f64> {
+    seq.first().and_then(|i| i.atomize().as_number())
+}
+
+fn date_of(seq: &Sequence) -> Option<Date> {
+    seq.first().and_then(|i| i.atomize().as_date())
+}
+
+fn numeric_values(seq: &Sequence) -> Result<Vec<f64>> {
+    seq.iter()
+        .map(|i| {
+            i.atomize()
+                .as_number()
+                .ok_or_else(|| XQueryError::Type("non-numeric value in aggregate".into()))
+        })
+        .collect()
+}
+
+fn fold_numeric(seq: &Sequence, f: impl Fn(f64, f64) -> f64, init: f64) -> Result<Sequence> {
+    let vs = numeric_values(seq)?;
+    let total = vs.into_iter().fold(init, f);
+    if total.fract() == 0.0 && total.abs() < 1e15 {
+        Ok(vec![Item::Atom(Atomic::Int(total as i64))])
+    } else {
+        Ok(vec![Item::Atom(Atomic::Double(total))])
+    }
+}
+
+fn extremum(seq: &Sequence, want_max: bool) -> Result<Sequence> {
+    if seq.is_empty() {
+        return Ok(vec![]);
+    }
+    let mut best: Option<Atomic> = None;
+    for item in seq {
+        let a = item.atomize();
+        // Promote numeric strings so max over node values works.
+        let a = match (&a, a.as_number(), a.as_date()) {
+            (Atomic::Str(_), Some(n), _) => Atomic::Double(n),
+            (Atomic::Str(_), None, Some(d)) => Atomic::Date(d),
+            _ => a,
+        };
+        best = Some(match best {
+            None => a,
+            Some(b) => match atomic_compare(&a, &b) {
+                Some(std::cmp::Ordering::Greater) if want_max => a,
+                Some(std::cmp::Ordering::Less) if !want_max => a,
+                None => return Err(XQueryError::Type("mixed types in max/min".into())),
+                _ => b,
+            },
+        });
+    }
+    // Render integral doubles back as integers for friendlier output.
+    Ok(vec![Item::Atom(match best.unwrap() {
+        Atomic::Double(d) if d.fract() == 0.0 && d.abs() < 1e15 => Atomic::Int(d as i64),
+        other => other,
+    })])
+}
+
+/// The period of the first item: for element nodes, their
+/// `tstart`/`tend` attributes.
+fn interval_of(seq: &Sequence, _now: Date) -> Option<Interval> {
+    seq.first().and_then(Item::as_node).and_then(XNode::interval)
+}
+
+fn intervals_of(seq: &Sequence, now: Date) -> Vec<Interval> {
+    seq.iter()
+        .filter_map(|i| i.as_node().and_then(XNode::interval))
+        .map(|iv| {
+            let _ = now;
+            iv
+        })
+        .collect()
+}
+
+fn interval_pred(
+    args: &[Sequence],
+    now: Date,
+    f: impl Fn(Interval, Interval) -> bool,
+) -> Result<Sequence> {
+    match (interval_of(&args[0], now), interval_of(&args[1], now)) {
+        (Some(a), Some(b)) => Ok(vec![Item::Atom(Atomic::Bool(f(a, b)))]),
+        _ => Ok(vec![Item::Atom(Atomic::Bool(false))]),
+    }
+}
+
+fn interval_element(name: &str, iv: Interval) -> XNode {
+    construct_element(
+        name,
+        &[("tstart".into(), iv.start().to_string()), ("tend".into(), iv.end().to_string())],
+        &vec![],
+    )
+}
+
+/// Deep-copy nodes replacing every attribute value `9999-12-31` with
+/// `replacement` (implements `rtend` and `externalnow`).
+fn replace_eot(seq: &Sequence, replacement: &str) -> Sequence {
+    fn rewrite(n: &XNode, replacement: &str) {
+        if let XNode::Elem(e) = n {
+            for (_, v) in e.attrs.borrow_mut().iter_mut() {
+                if v == &END_OF_TIME.to_string() {
+                    *v = replacement.to_string();
+                }
+            }
+            for c in e.children.borrow().iter() {
+                rewrite(c, replacement);
+            }
+        }
+    }
+    seq.iter()
+        .map(|item| match item {
+            Item::Node(n) => {
+                let copy = n.deep_copy();
+                rewrite(&copy, replacement);
+                Item::Node(copy)
+            }
+            Item::Atom(a) => {
+                if a.to_text() == END_OF_TIME.to_string() {
+                    Item::Atom(Atomic::Str(replacement.to_string()))
+                } else {
+                    item.clone()
+                }
+            }
+        })
+        .collect()
+}
+
+/// `coalesce($l)`: merge value-equivalent nodes with joinable periods.
+/// Result nodes carry the shared element name, the merged period and the
+/// common string value.
+fn coalesce_nodes(seq: &Sequence) -> Result<Sequence> {
+    let mut items: Vec<((String, String), Interval)> = Vec::new();
+    for item in seq {
+        let node = item
+            .as_node()
+            .ok_or_else(|| XQueryError::Type("coalesce expects nodes".into()))?;
+        let iv = node.interval().ok_or_else(|| {
+            XQueryError::Type("coalesce expects timestamped elements".into())
+        })?;
+        let name = node
+            .as_elem()
+            .map(|e| e.name.clone())
+            .unwrap_or_else(|| "value".to_string());
+        items.push(((name, node.string_value()), iv));
+    }
+    let grouped = t_coalesce(items);
+    Ok(grouped
+        .into_iter()
+        .map(|((name, value), iv)| {
+            let node = interval_element(&name, iv);
+            if !value.is_empty() {
+                if let XNode::Elem(e) = &node {
+                    e.children.borrow_mut().push(XNode::Text(Rc::new(value)));
+                }
+            }
+            Item::Node(node)
+        })
+        .collect())
+}
+
+fn value_interval_pairs(seq: &Sequence) -> Result<Vec<(f64, Interval)>> {
+    let mut items = Vec::with_capacity(seq.len());
+    for item in seq {
+        let node = item
+            .as_node()
+            .ok_or_else(|| XQueryError::Type("temporal aggregate expects nodes".into()))?;
+        let iv = node.interval().ok_or_else(|| {
+            XQueryError::Type("temporal aggregate expects timestamped elements".into())
+        })?;
+        let v: f64 = node
+            .string_value()
+            .trim()
+            .parse()
+            .map_err(|_| XQueryError::Type("temporal aggregate expects numeric values".into()))?;
+        items.push((v, iv));
+    }
+    Ok(items)
+}
+
+/// Shared implementation of `tavg`/`tsum`/`tcount`/`tmin`/`tmax`: a
+/// sequence of `<name tstart=".." tend="..">value</name>` elements, one per
+/// constant-valued period of the sweep.
+fn temporal_agg(seq: &Sequence, kind: AggregateKind, name: &str) -> Result<Sequence> {
+    let items = value_interval_pairs(seq)?;
+    let series = temporal_aggregate(kind, &items);
+    Ok(series
+        .into_iter()
+        .map(|(v, iv)| {
+            let node = interval_element(name, iv);
+            if let XNode::Elem(e) = &node {
+                let text = if v.fract() == 0.0 && v.abs() < 1e15 {
+                    format!("{}", v as i64)
+                } else {
+                    v.to_string()
+                };
+                e.children.borrow_mut().push(XNode::Text(Rc::new(text)));
+            }
+            Item::Node(node)
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::eval::{Engine, MapResolver};
+
+    const EMP: &str = r#"<employees tstart="1988-01-01" tend="9999-12-31">
+      <employee tstart="1995-01-01" tend="9999-12-31">
+        <name tstart="1995-01-01" tend="9999-12-31">Bob</name>
+        <salary tstart="1995-01-01" tend="1995-05-31">60000</salary>
+        <salary tstart="1995-06-01" tend="9999-12-31">70000</salary>
+        <title tstart="1995-01-01" tend="1995-09-30">Engineer</title>
+        <title tstart="1995-10-01" tend="9999-12-31">Sr Engineer</title>
+        <deptno tstart="1995-01-01" tend="1995-09-30">d01</deptno>
+        <deptno tstart="1995-10-01" tend="9999-12-31">d02</deptno>
+      </employee>
+    </employees>"#;
+
+    fn engine() -> Engine {
+        let mut r = MapResolver::new();
+        r.insert("emp.xml", xmldom::parse(EMP).unwrap());
+        Engine::new(r)
+    }
+
+    #[test]
+    fn tstart_tend_and_now_substitution() {
+        let e = engine();
+        assert_eq!(
+            e.eval_to_xml(r#"tstart(doc("emp.xml")/employees/employee)"#).unwrap(),
+            "1995-01-01"
+        );
+        // tend of a current element = current-date (pinned to 2005-01-01).
+        assert_eq!(
+            e.eval_to_xml(r#"tend(doc("emp.xml")/employees/employee)"#).unwrap(),
+            "2005-01-01"
+        );
+        assert_eq!(
+            e.eval_to_xml(r#"tend(doc("emp.xml")//salary[1])"#).unwrap(),
+            "1995-05-31"
+        );
+    }
+
+    #[test]
+    fn snapshot_query2_style() {
+        let e = engine();
+        let out = e
+            .eval_to_xml(
+                r#"for $s in doc("emp.xml")//salary
+                      [tstart(.) <= xs:date("1995-03-01") and tend(.) >= xs:date("1995-03-01")]
+                   return string($s)"#,
+            )
+            .unwrap();
+        assert_eq!(out, "60000");
+    }
+
+    #[test]
+    fn toverlaps_and_telement_slicing_query3() {
+        let e = engine();
+        let out = e
+            .eval_to_xml(
+                r#"for $e in doc("emp.xml")/employees/employee[
+                       toverlaps(., telement(xs:date("1994-05-06"), xs:date("1995-05-06")))]
+                   return $e/name"#,
+            )
+            .unwrap();
+        assert!(out.contains("Bob"));
+    }
+
+    #[test]
+    fn overlapinterval_returns_interval_element() {
+        let e = engine();
+        let out = e
+            .eval_to_xml(
+                r#"overlapinterval(doc("emp.xml")//salary[1], doc("emp.xml")//title[1])"#,
+            )
+            .unwrap();
+        assert_eq!(out, r#"<interval tstart="1995-01-01" tend="1995-05-31"/>"#);
+        // Disjoint periods yield the empty sequence.
+        let empty = e
+            .eval_to_xml(
+                r#"empty(overlapinterval(doc("emp.xml")//salary[1], doc("emp.xml")//title[2]))"#,
+            )
+            .unwrap();
+        assert_eq!(empty, "true");
+    }
+
+    #[test]
+    fn interval_predicates() {
+        let e = engine();
+        for (q, want) in [
+            (r#"tcontains(doc("emp.xml")/employees/employee, doc("emp.xml")//salary[1])"#, "true"),
+            (r#"tprecedes(doc("emp.xml")//salary[1], doc("emp.xml")//title[2])"#, "true"),
+            (r#"tmeets(doc("emp.xml")//salary[1], doc("emp.xml")//salary[2])"#, "true"),
+            (r#"tequals(doc("emp.xml")//salary[1], doc("emp.xml")//title[1])"#, "false"),
+        ] {
+            assert_eq!(e.eval_to_xml(q).unwrap(), want, "query: {q}");
+        }
+    }
+
+    #[test]
+    fn timespan_counts_days() {
+        let e = engine();
+        assert_eq!(e.eval_to_xml(r#"timespan(doc("emp.xml")//salary[1])"#).unwrap(), "151");
+    }
+
+    #[test]
+    fn rtend_and_externalnow() {
+        let e = engine();
+        let r = e.eval_to_xml(r#"rtend(doc("emp.xml")//salary[2])"#).unwrap();
+        assert!(r.contains(r#"tend="2005-01-01""#), "{r}");
+        let x = e.eval_to_xml(r#"externalnow(doc("emp.xml")//salary[2])"#).unwrap();
+        assert!(x.contains(r#"tend="now""#), "{x}");
+        // Originals are untouched (deep copy).
+        let orig = e.eval_to_xml(r#"doc("emp.xml")//salary[2]"#).unwrap();
+        assert!(orig.contains("9999-12-31"));
+    }
+
+    #[test]
+    fn coalesce_merges_value_equivalent_periods() {
+        let mut r = MapResolver::new();
+        r.insert(
+            "h.xml",
+            xmldom::parse(
+                r#"<h>
+                    <salary tstart="1995-01-01" tend="1995-05-31">70000</salary>
+                    <salary tstart="1995-06-01" tend="1995-12-31">70000</salary>
+                    <salary tstart="1996-06-01" tend="1996-12-31">70000</salary>
+                   </h>"#,
+            )
+            .unwrap(),
+        );
+        let e = Engine::new(r);
+        let out = e.eval_to_xml(r#"coalesce(doc("h.xml")/h/salary)"#).unwrap();
+        assert_eq!(
+            out,
+            "<salary tstart=\"1995-01-01\" tend=\"1995-12-31\">70000</salary>\n\
+             <salary tstart=\"1996-06-01\" tend=\"1996-12-31\">70000</salary>"
+        );
+    }
+
+    #[test]
+    fn restructure_query6_style() {
+        let e = engine();
+        // Periods during which Bob kept both the same title and dept.
+        let out = e
+            .eval_to_xml(
+                r#"for $e in doc("emp.xml")/employees/employee[name="Bob"]
+                   let $d := $e/deptno
+                   let $t := $e/title
+                   return max(for $i in restructure($d, $t) return timespan($i))"#,
+            )
+            .unwrap();
+        // d02 with Sr Engineer: 1995-10-01 .. now(2005-01-01) = 3381 days.
+        assert_eq!(out, "3381");
+    }
+
+    #[test]
+    fn tavg_computes_step_function() {
+        let mut r = MapResolver::new();
+        r.insert(
+            "s.xml",
+            xmldom::parse(
+                r#"<h>
+                    <salary tstart="1995-01-01" tend="1995-05-31">60000</salary>
+                    <salary tstart="1995-03-01" tend="1995-12-31">40000</salary>
+                   </h>"#,
+            )
+            .unwrap(),
+        );
+        let e = Engine::new(r);
+        let out = e.eval_to_xml(r#"tavg(doc("s.xml")/h/salary)"#).unwrap();
+        assert_eq!(
+            out,
+            "<tavg tstart=\"1995-01-01\" tend=\"1995-02-28\">60000</tavg>\n\
+             <tavg tstart=\"1995-03-01\" tend=\"1995-05-31\">50000</tavg>\n\
+             <tavg tstart=\"1995-06-01\" tend=\"1995-12-31\">40000</tavg>"
+        );
+        let cnt = e.eval_to_xml(r#"tcount(doc("s.xml")/h/salary)"#).unwrap();
+        assert!(cnt.contains(">2<"));
+    }
+
+    #[test]
+    fn moving_window_aggregates() {
+        let mut r = MapResolver::new();
+        r.insert(
+            "s.xml",
+            xmldom::parse(
+                r#"<h>
+                    <salary tstart="1995-01-01" tend="1995-01-31">100</salary>
+                   </h>"#,
+            )
+            .unwrap(),
+        );
+        let e = Engine::new(r);
+        // A 30-day trailing window keeps the value visible 29 extra days.
+        let out = e.eval_to_xml(r#"tmovmax(doc("s.xml")/h/salary, 30)"#).unwrap();
+        assert_eq!(out, "<tmovmax tstart=\"1995-01-01\" tend=\"1995-03-01\">100</tmovmax>");
+        let cnt = e.eval_to_xml(r#"tmovcount(doc("s.xml")/h/salary, 1)"#).unwrap();
+        assert!(cnt.contains("tend=\"1995-01-31\""), "{cnt}");
+        assert!(e.eval(r#"trising(doc("s.xml")/h/salary)"#).is_ok());
+    }
+
+    #[test]
+    fn since_query7_shape() {
+        let e = engine();
+        // Bob has been Sr Engineer in d02 since he joined d02.
+        let out = e
+            .eval_to_xml(
+                r#"for $e in doc("emp.xml")/employees/employee
+                   let $m := $e/title[.="Sr Engineer" and tend(.)=current-date()]
+                   let $d := $e/deptno[.="d02" and tcontains($m, .)]
+                   where not(empty($d)) and not(empty($m))
+                   return <employee>{$e/name}</employee>"#,
+            )
+            .unwrap();
+        assert!(out.contains("Bob"), "{out}");
+    }
+
+    #[test]
+    fn core_functions() {
+        let e = engine();
+        assert_eq!(e.eval_to_xml(r#"concat("a", "b", 1)"#).unwrap(), "ab1");
+        assert_eq!(e.eval_to_xml(r#"contains("hello", "ell")"#).unwrap(), "true");
+        assert_eq!(e.eval_to_xml(r#"starts-with("hello", "he")"#).unwrap(), "true");
+        assert_eq!(e.eval_to_xml(r#"string-length("abc")"#).unwrap(), "3");
+        assert_eq!(e.eval_to_xml(r#"substring("abcdef", 2, 3)"#).unwrap(), "bcd");
+        assert_eq!(e.eval_to_xml("sum((1, 2, 3))").unwrap(), "6");
+        assert_eq!(e.eval_to_xml("avg((1, 2, 3, 6))").unwrap(), "3");
+        assert_eq!(e.eval_to_xml("min((3, 1, 2))").unwrap(), "1");
+        assert_eq!(e.eval_to_xml(r#"count(distinct-values(("a", "a", "b")))"#).unwrap(), "2");
+        assert_eq!(e.eval_to_xml(r#"name(doc("emp.xml")//salary[1])"#).unwrap(), "salary");
+    }
+}

@@ -1,0 +1,434 @@
+//! The XQuery lexer.
+//!
+//! Names may contain `-`, `.` and `:` (QNames like `xs:date`,
+//! `current-date`). A `-` is part of a name only when it is directly
+//! followed by a letter and directly preceded by a name character with no
+//! intervening whitespace — `foo-bar` is one name, `foo - bar` and
+//! `$a -1` are subtractions, matching XQuery's tokenization rules closely
+//! enough for the paper's query corpus.
+
+use crate::{Result, XQueryError};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Name / keyword (keywords are contextual in XQuery).
+    Name(String),
+    /// `$name`
+    Var(String),
+    /// String literal (quotes removed, entities resolved).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Decimal literal.
+    Dec(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `/`
+    Slash,
+    /// `//`
+    SlashSlash,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `@`
+    At,
+    /// `:=`
+    Assign,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `<` opening a direct element constructor (disambiguated by the
+    /// parser via lookahead; the lexer emits `Lt` and the parser re-lexes
+    /// raw input for constructors).
+    LtName(String),
+}
+
+/// A token with its byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// Byte offset in the source.
+    pub at: usize,
+}
+
+/// Tokenize a query. Direct-constructor bodies are *not* tokenized here;
+/// the parser detects `<name` (as [`Tok::LtName`]) and switches to a
+/// character-level sub-parser using the recorded offset.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'(' if b.get(i + 1) == Some(&b':') => {
+                // XQuery comment `(: ... :)`, nestable.
+                let mut depth = 1;
+                let mut j = i + 2;
+                while j + 1 < b.len() && depth > 0 {
+                    if b[j] == b'(' && b[j + 1] == b':' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b':' && b[j + 1] == b')' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                if depth > 0 {
+                    return Err(XQueryError::Lex(i, "unterminated comment".into()));
+                }
+                i = j;
+            }
+            b'(' => {
+                toks.push(SpannedTok { tok: Tok::LParen, at: i });
+                i += 1;
+            }
+            b')' => {
+                toks.push(SpannedTok { tok: Tok::RParen, at: i });
+                i += 1;
+            }
+            b'{' => {
+                toks.push(SpannedTok { tok: Tok::LBrace, at: i });
+                i += 1;
+            }
+            b'}' => {
+                toks.push(SpannedTok { tok: Tok::RBrace, at: i });
+                i += 1;
+            }
+            b'[' => {
+                toks.push(SpannedTok { tok: Tok::LBracket, at: i });
+                i += 1;
+            }
+            b']' => {
+                toks.push(SpannedTok { tok: Tok::RBracket, at: i });
+                i += 1;
+            }
+            b',' => {
+                toks.push(SpannedTok { tok: Tok::Comma, at: i });
+                i += 1;
+            }
+            b';' => {
+                toks.push(SpannedTok { tok: Tok::Semi, at: i });
+                i += 1;
+            }
+            b'@' => {
+                toks.push(SpannedTok { tok: Tok::At, at: i });
+                i += 1;
+            }
+            b'+' => {
+                toks.push(SpannedTok { tok: Tok::Plus, at: i });
+                i += 1;
+            }
+            b'-' => {
+                toks.push(SpannedTok { tok: Tok::Minus, at: i });
+                i += 1;
+            }
+            b'*' => {
+                toks.push(SpannedTok { tok: Tok::Star, at: i });
+                i += 1;
+            }
+            b'/' => {
+                if b.get(i + 1) == Some(&b'/') {
+                    toks.push(SpannedTok { tok: Tok::SlashSlash, at: i });
+                    i += 2;
+                } else {
+                    toks.push(SpannedTok { tok: Tok::Slash, at: i });
+                    i += 1;
+                }
+            }
+            b'.' => {
+                if b.get(i + 1) == Some(&b'.') {
+                    toks.push(SpannedTok { tok: Tok::DotDot, at: i });
+                    i += 2;
+                } else {
+                    toks.push(SpannedTok { tok: Tok::Dot, at: i });
+                    i += 1;
+                }
+            }
+            b':' if b.get(i + 1) == Some(&b'=') => {
+                toks.push(SpannedTok { tok: Tok::Assign, at: i });
+                i += 2;
+            }
+            b'=' => {
+                toks.push(SpannedTok { tok: Tok::Eq, at: i });
+                i += 1;
+            }
+            b'!' if b.get(i + 1) == Some(&b'=') => {
+                toks.push(SpannedTok { tok: Tok::Ne, at: i });
+                i += 2;
+            }
+            b'<' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    toks.push(SpannedTok { tok: Tok::Le, at: i });
+                    i += 2;
+                } else if b.get(i + 1).is_some_and(|c| c.is_ascii_alphabetic() || *c == b'_') {
+                    // `<name` — a direct element constructor start. Capture
+                    // the name; the parser takes over at `at`.
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < b.len() && is_name_char(b[j]) {
+                        j += 1;
+                    }
+                    let name = src[start..j].to_string();
+                    toks.push(SpannedTok { tok: Tok::LtName(name), at: i });
+                    i = j;
+                } else {
+                    toks.push(SpannedTok { tok: Tok::Lt, at: i });
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    toks.push(SpannedTok { tok: Tok::Ge, at: i });
+                    i += 2;
+                } else {
+                    toks.push(SpannedTok { tok: Tok::Gt, at: i });
+                    i += 1;
+                }
+            }
+            b'"' | b'\'' => {
+                let quote = c;
+                let mut j = i + 1;
+                let mut out = String::new();
+                loop {
+                    if j >= b.len() {
+                        return Err(XQueryError::Lex(i, "unterminated string literal".into()));
+                    }
+                    if b[j] == quote {
+                        // Doubled quote escapes itself.
+                        if b.get(j + 1) == Some(&quote) {
+                            out.push(quote as char);
+                            j += 2;
+                            continue;
+                        }
+                        break;
+                    }
+                    out.push(b[j] as char);
+                    j += 1;
+                }
+                toks.push(SpannedTok { tok: Tok::Str(out), at: i });
+                i = j + 1;
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < b.len()
+                    && b[i] == b'.'
+                    && b.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+                {
+                    i += 1;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let v: f64 = src[start..i]
+                        .parse()
+                        .map_err(|_| XQueryError::Lex(start, "bad decimal".into()))?;
+                    toks.push(SpannedTok { tok: Tok::Dec(v), at: start });
+                } else {
+                    let v: i64 = src[start..i]
+                        .parse()
+                        .map_err(|_| XQueryError::Lex(start, "bad integer".into()))?;
+                    toks.push(SpannedTok { tok: Tok::Int(v), at: start });
+                }
+            }
+            b'$' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len() && is_name_char(b[j]) {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(XQueryError::Lex(i, "expected variable name after $".into()));
+                }
+                toks.push(SpannedTok { tok: Tok::Var(src[start..j].to_string()), at: i });
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                let mut j = i;
+                while j < b.len() && is_name_char_at(b, j) {
+                    j += 1;
+                }
+                toks.push(SpannedTok { tok: Tok::Name(src[start..j].to_string()), at: start });
+                i = j;
+            }
+            other => {
+                return Err(XQueryError::Lex(i, format!("unexpected character {:?}", other as char)))
+            }
+        }
+    }
+    Ok(toks)
+}
+
+fn is_name_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, b'_' | b':' | b'.')
+}
+
+/// Name-character test that also accepts `-` when it binds two name
+/// characters (`current-date`).
+fn is_name_char_at(b: &[u8], j: usize) -> bool {
+    let c = b[j];
+    if is_name_char(c) {
+        // A trailing '.' (e.g. in `tstart(.)`) never occurs mid-name in our
+        // grammar, but `xs:date` and `local:f` need ':'; however a ':'
+        // followed by '=' is the assignment operator.
+        if c == b':' && b.get(j + 1) == Some(&b'=') {
+            return false;
+        }
+        if c == b'.' {
+            // Only part of a name if followed by a letter (rare); keep '.'
+            // for path steps otherwise.
+            return b.get(j + 1).is_some_and(|n| n.is_ascii_alphabetic());
+        }
+        return true;
+    }
+    if c == b'-' {
+        return j > 0
+            && is_name_char(b[j - 1])
+            && b.get(j + 1).is_some_and(|n| n.is_ascii_alphabetic());
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds(r#"for $t in doc("emp.xml")/employees return $t"#),
+            vec![
+                Tok::Name("for".into()),
+                Tok::Var("t".into()),
+                Tok::Name("in".into()),
+                Tok::Name("doc".into()),
+                Tok::LParen,
+                Tok::Str("emp.xml".into()),
+                Tok::RParen,
+                Tok::Slash,
+                Tok::Name("employees".into()),
+                Tok::Name("return".into()),
+                Tok::Var("t".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn hyphenated_names_vs_minus() {
+        assert_eq!(kinds("current-date()")[0], Tok::Name("current-date".into()));
+        assert_eq!(
+            kinds("1 - 2"),
+            vec![Tok::Int(1), Tok::Minus, Tok::Int(2)]
+        );
+        assert_eq!(
+            kinds("$a-$b"),
+            vec![Tok::Var("a".into()), Tok::Minus, Tok::Var("b".into())]
+        );
+    }
+
+    #[test]
+    fn qnames_and_assign() {
+        assert_eq!(kinds("xs:date")[0], Tok::Name("xs:date".into()));
+        assert_eq!(
+            kinds("let $d := 3"),
+            vec![Tok::Name("let".into()), Tok::Var("d".into()), Tok::Assign, Tok::Int(3)]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("a <= b >= c != d < 1 > 2"),
+            vec![
+                Tok::Name("a".into()),
+                Tok::Le,
+                Tok::Name("b".into()),
+                Tok::Ge,
+                Tok::Name("c".into()),
+                Tok::Ne,
+                Tok::Name("d".into()),
+                Tok::Lt,
+                Tok::Int(1),
+                Tok::Gt,
+                Tok::Int(2),
+            ]
+        );
+    }
+
+    #[test]
+    fn direct_ctor_start_is_detected() {
+        let toks = kinds(r#"return <employee>"#);
+        assert_eq!(toks[1], Tok::LtName("employee".into()));
+    }
+
+    #[test]
+    fn strings_with_escapes_and_comments() {
+        assert_eq!(kinds(r#""a""b""#), vec![Tok::Str("a\"b".into())]);
+        assert_eq!(kinds("(: skip (: nested :) :) 5"), vec![Tok::Int(5)]);
+        assert!(lex("(: unterminated").is_err());
+        assert!(lex("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42 3.5"), vec![Tok::Int(42), Tok::Dec(3.5)]);
+    }
+
+    #[test]
+    fn dots_and_slashes() {
+        assert_eq!(
+            kinds("tstart(.) .. // /"),
+            vec![
+                Tok::Name("tstart".into()),
+                Tok::LParen,
+                Tok::Dot,
+                Tok::RParen,
+                Tok::DotDot,
+                Tok::SlashSlash,
+                Tok::Slash,
+            ]
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! An XQuery-subset engine for temporal queries over H-documents.
+//!
+//! The paper's central claim (§4) is that *"powerful temporal queries can
+//! be expressed in XQuery without requiring the introduction of new
+//! constructs in the language"*: the temporal machinery lives entirely in a
+//! library of functions (`tstart`, `tend`, `toverlaps`, `tcontains`,
+//! `tequals`, `tmeets`, `tprecedes`, `overlapinterval`, `telement`,
+//! `timespan`, `tinterval`, `rtend`, `externalnow`, `coalesce`,
+//! `restructure`, `tavg`, ...). This crate implements:
+//!
+//! * a lexer and recursive-descent parser for the XQuery subset the
+//!   paper's queries use — FLWOR expressions, path expressions with
+//!   predicates, quantified expressions (`some` / `every ... satisfies`),
+//!   computed and direct element constructors, `if/then/else`, general
+//!   comparisons, arithmetic, and user function declarations
+//!   (`declare function`),
+//! * a native evaluator over an `Rc`-based node tree built from
+//!   [`xmldom`] documents (this is both the "Tamino" execution path of
+//!   the evaluation and the semantics oracle the ArchIS translator is
+//!   property-tested against),
+//! * the full temporal function library of paper §4.2 and its Appendix.
+//!
+//! # Example
+//!
+//! ```
+//! use xquery::{Engine, MapResolver};
+//! let doc = r#"<employees>
+//!   <employee><name>Bob</name>
+//!     <title tstart="1995-01-01" tend="1995-09-30">Engineer</title>
+//!     <title tstart="1995-10-01" tend="9999-12-31">Sr Engineer</title>
+//!   </employee>
+//! </employees>"#;
+//! let mut resolver = MapResolver::new();
+//! resolver.insert("employees.xml", xmldom::parse(doc).unwrap());
+//! let engine = Engine::new(resolver);
+//! let result = engine.eval_to_xml(
+//!     r#"element title_history {
+//!            for $t in doc("employees.xml")/employees/employee[name="Bob"]/title
+//!            return $t }"#,
+//! ).unwrap();
+//! assert!(result.contains("Sr Engineer"));
+//! ```
+
+pub mod ast;
+pub mod eval;
+pub mod functions;
+pub mod lexer;
+pub mod parser;
+pub mod value;
+
+pub use ast::{Expr, QueryModule};
+pub use eval::{DocResolver, Engine, MapResolver};
+pub use parser::parse_query;
+pub use value::{Atomic, Item, Sequence, XNode};
+
+use std::fmt;
+
+/// Errors from parsing or evaluating XQuery.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XQueryError {
+    /// Lexical error with byte offset.
+    Lex(usize, String),
+    /// Syntax error with byte offset.
+    Parse(usize, String),
+    /// Runtime (dynamic) error.
+    Eval(String),
+    /// Unknown document URI.
+    UnknownDoc(String),
+    /// Unknown function or wrong arity.
+    UnknownFunction(String, usize),
+    /// Type error during evaluation.
+    Type(String),
+}
+
+impl fmt::Display for XQueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XQueryError::Lex(at, m) => write!(f, "lexical error at byte {at}: {m}"),
+            XQueryError::Parse(at, m) => write!(f, "syntax error at byte {at}: {m}"),
+            XQueryError::Eval(m) => write!(f, "evaluation error: {m}"),
+            XQueryError::UnknownDoc(u) => write!(f, "unknown document: {u}"),
+            XQueryError::UnknownFunction(n, a) => {
+                write!(f, "unknown function {n}#{a}")
+            }
+            XQueryError::Type(m) => write!(f, "type error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for XQueryError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, XQueryError>;

@@ -1,0 +1,889 @@
+//! Recursive-descent parser for the XQuery subset.
+//!
+//! Direct element constructors are parsed at the character level: when the
+//! token stream shows `<name` in expression position, the parser re-enters
+//! the raw source at that byte offset, consumes the constructor (handling
+//! nested elements, attribute templates and `{ expr }` enclosures by brace
+//! matching), and then resynchronizes the token cursor past the
+//! constructor's closing tag.
+
+use crate::ast::*;
+use crate::lexer::{lex, SpannedTok, Tok};
+use crate::{Result, XQueryError};
+
+/// Parse a full query module (optional `declare function`s, then the body).
+pub fn parse_query(src: &str) -> Result<QueryModule> {
+    let toks = lex(src)?;
+    let mut p = Parser { src, toks, pos: 0 };
+    let mut functions = Vec::new();
+    while p.peek_name("declare") {
+        functions.push(p.parse_function_decl()?);
+    }
+    let body = p.parse_expr()?;
+    if p.pos < p.toks.len() {
+        return Err(p.err("unexpected trailing tokens"));
+    }
+    Ok(QueryModule { functions, body })
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> XQueryError {
+        let at = self.toks.get(self.pos).map(|t| t.at).unwrap_or(self.src.len());
+        XQueryError::Parse(at, msg.into())
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn peek_at(&self, off: usize) -> Option<&Tok> {
+        self.toks.get(self.pos + off).map(|t| &t.tok)
+    }
+
+    fn peek_name(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Name(n)) if n == kw)
+    }
+
+    fn peek_name_at(&self, off: usize, kw: &str) -> bool {
+        matches!(self.peek_at(off), Some(Tok::Name(n)) if n == kw)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: &Tok) -> Result<()> {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {tok:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_name(&mut self, kw: &str) -> Result<()> {
+        if self.peek_name(kw) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword {kw:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_var(&mut self) -> Result<String> {
+        match self.bump() {
+            Some(Tok::Var(v)) => Ok(v),
+            other => Err(self.err(format!("expected $variable, found {other:?}"))),
+        }
+    }
+
+    fn expect_any_name(&mut self) -> Result<String> {
+        match self.bump() {
+            Some(Tok::Name(n)) => Ok(n),
+            other => Err(self.err(format!("expected a name, found {other:?}"))),
+        }
+    }
+
+    // -- declarations -----------------------------------------------------
+
+    fn parse_function_decl(&mut self) -> Result<FunctionDecl> {
+        self.expect_name("declare")?;
+        self.expect_name("function")?;
+        let name = self.expect_any_name()?;
+        self.expect(&Tok::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != Some(&Tok::RParen) {
+            loop {
+                params.push(self.expect_var()?);
+                // Optional `as type` annotations are skipped.
+                if self.peek_name("as") {
+                    self.pos += 1;
+                    self.expect_any_name()?;
+                    // possible occurrence indicator * + ?
+                    if matches!(self.peek(), Some(Tok::Star | Tok::Plus)) {
+                        self.pos += 1;
+                    }
+                }
+                if self.peek() == Some(&Tok::Comma) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        if self.peek_name("as") {
+            self.pos += 1;
+            self.expect_any_name()?;
+            if matches!(self.peek(), Some(Tok::Star | Tok::Plus)) {
+                self.pos += 1;
+            }
+        }
+        self.expect(&Tok::LBrace)?;
+        let body = self.parse_expr()?;
+        self.expect(&Tok::RBrace)?;
+        self.expect(&Tok::Semi)?;
+        Ok(FunctionDecl { name, params, body })
+    }
+
+    // -- expressions ------------------------------------------------------
+
+    /// `Expr := ExprSingle ("," ExprSingle)*`
+    fn parse_expr(&mut self) -> Result<Expr> {
+        let first = self.parse_expr_single()?;
+        if self.peek() != Some(&Tok::Comma) {
+            return Ok(first);
+        }
+        let mut items = vec![first];
+        while self.peek() == Some(&Tok::Comma) {
+            self.pos += 1;
+            items.push(self.parse_expr_single()?);
+        }
+        Ok(Expr::Seq(items))
+    }
+
+    fn parse_expr_single(&mut self) -> Result<Expr> {
+        if (self.peek_name("for") || self.peek_name("let"))
+            && matches!(self.peek_at(1), Some(Tok::Var(_)))
+        {
+            return self.parse_flwor();
+        }
+        if (self.peek_name("some") || self.peek_name("every"))
+            && matches!(self.peek_at(1), Some(Tok::Var(_)))
+        {
+            return self.parse_quantified();
+        }
+        if self.peek_name("if") && self.peek_at(1) == Some(&Tok::LParen) {
+            return self.parse_if();
+        }
+        self.parse_or()
+    }
+
+    fn parse_flwor(&mut self) -> Result<Expr> {
+        let mut bindings = Vec::new();
+        loop {
+            if self.peek_name("for") && matches!(self.peek_at(1), Some(Tok::Var(_))) {
+                self.pos += 1;
+                loop {
+                    let var = self.expect_var()?;
+                    self.expect_name("in")?;
+                    let seq = self.parse_expr_single()?;
+                    bindings.push(Binding::For { var, seq });
+                    if self.peek() == Some(&Tok::Comma)
+                        && matches!(self.peek_at(1), Some(Tok::Var(_)))
+                    {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+            } else if self.peek_name("let") && matches!(self.peek_at(1), Some(Tok::Var(_))) {
+                self.pos += 1;
+                loop {
+                    let var = self.expect_var()?;
+                    self.expect(&Tok::Assign)?;
+                    let seq = self.parse_expr_single()?;
+                    bindings.push(Binding::Let { var, seq });
+                    if self.peek() == Some(&Tok::Comma)
+                        && matches!(self.peek_at(1), Some(Tok::Var(_)))
+                    {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        let where_clause = if self.peek_name("where") {
+            self.pos += 1;
+            Some(Box::new(self.parse_expr_single()?))
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.peek_name("order") && self.peek_name_at(1, "by") {
+            self.pos += 2;
+            loop {
+                let key = self.parse_expr_single()?;
+                let mut ascending = true;
+                if self.peek_name("ascending") {
+                    self.pos += 1;
+                } else if self.peek_name("descending") {
+                    self.pos += 1;
+                    ascending = false;
+                }
+                order_by.push(OrderSpec { key, ascending });
+                if self.peek() == Some(&Tok::Comma) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect_name("return")?;
+        let ret = Box::new(self.parse_expr_single()?);
+        Ok(Expr::Flwor { bindings, where_clause, order_by, ret })
+    }
+
+    fn parse_quantified(&mut self) -> Result<Expr> {
+        let every = self.peek_name("every");
+        self.pos += 1;
+        let var = self.expect_var()?;
+        self.expect_name("in")?;
+        let seq = Box::new(self.parse_expr_single()?);
+        self.expect_name("satisfies")?;
+        let pred = Box::new(self.parse_expr_single()?);
+        Ok(Expr::Quantified { every, var, seq, pred })
+    }
+
+    fn parse_if(&mut self) -> Result<Expr> {
+        self.expect_name("if")?;
+        self.expect(&Tok::LParen)?;
+        let c = self.parse_expr()?;
+        self.expect(&Tok::RParen)?;
+        self.expect_name("then")?;
+        let t = self.parse_expr_single()?;
+        self.expect_name("else")?;
+        let e = self.parse_expr_single()?;
+        Ok(Expr::If(Box::new(c), Box::new(t), Box::new(e)))
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.peek_name("or") {
+            self.pos += 1;
+            let right = self.parse_and()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_comparison()?;
+        while self.peek_name("and") {
+            self.pos += 1;
+            let right = self.parse_comparison()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr> {
+        // Extension over the strict XQuery grammar: quantified and
+        // conditional expressions may appear directly as operands of
+        // `and`/`or` (the paper's QUERY 8 writes
+        // `every ... satisfies (...) and every ...` without parentheses).
+        if (self.peek_name("some") || self.peek_name("every"))
+            && matches!(self.peek_at(1), Some(Tok::Var(_)))
+        {
+            return self.parse_quantified();
+        }
+        if self.peek_name("if") && self.peek_at(1) == Some(&Tok::LParen) {
+            return self.parse_if();
+        }
+        let left = self.parse_additive()?;
+        let op = match self.peek() {
+            Some(Tok::Eq) => Some(CmpOp::Eq),
+            Some(Tok::Ne) => Some(CmpOp::Ne),
+            Some(Tok::Lt) => Some(CmpOp::Lt),
+            Some(Tok::Le) => Some(CmpOp::Le),
+            Some(Tok::Gt) => Some(CmpOp::Gt),
+            Some(Tok::Ge) => Some(CmpOp::Ge),
+            Some(Tok::Name(n)) if n == "eq" => Some(CmpOp::Eq),
+            Some(Tok::Name(n)) if n == "ne" => Some(CmpOp::Ne),
+            Some(Tok::Name(n)) if n == "lt" => Some(CmpOp::Lt),
+            Some(Tok::Name(n)) if n == "le" => Some(CmpOp::Le),
+            Some(Tok::Name(n)) if n == "gt" => Some(CmpOp::Gt),
+            Some(Tok::Name(n)) if n == "ge" => Some(CmpOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.parse_additive()?;
+            Ok(Expr::Cmp(op, Box::new(left), Box::new(right)))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => ArithOp::Add,
+                Some(Tok::Minus) => ArithOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_multiplicative()?;
+            left = Expr::Arith(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => ArithOp::Mul,
+                Some(Tok::Name(n)) if n == "div" => ArithOp::Div,
+                Some(Tok::Name(n)) if n == "mod" => ArithOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_unary()?;
+            left = Expr::Arith(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.peek() == Some(&Tok::Minus) {
+            self.pos += 1;
+            let e = self.parse_unary()?;
+            return Ok(Expr::Neg(Box::new(e)));
+        }
+        self.parse_path()
+    }
+
+    /// A path expression: a primary (or leading `/`) followed by `/step`s.
+    fn parse_path(&mut self) -> Result<Expr> {
+        let mut steps: Vec<(Step, Vec<Expr>)> = Vec::new();
+        let base: Expr;
+        match self.peek() {
+            // Leading name (relative path) that is NOT a function call or
+            // keyword expression — a child step on the context item.
+            Some(Tok::Name(n))
+                if self.peek_at(1) != Some(&Tok::LParen)
+                    && !(n == "element"
+                        && matches!(self.peek_at(1), Some(Tok::Name(_)))
+                        && self.peek_at(2) == Some(&Tok::LBrace)) =>
+            {
+                let name = self.expect_any_name()?;
+                base = Expr::ContextItem;
+                let preds = self.parse_predicates()?;
+                steps.push((Step::Child(name), preds));
+            }
+            Some(Tok::At) => {
+                self.pos += 1;
+                let name = self.expect_any_name()?;
+                base = Expr::ContextItem;
+                let preds = self.parse_predicates()?;
+                steps.push((Step::Attribute(name), preds));
+            }
+            _ => {
+                base = self.parse_postfix()?;
+            }
+        }
+        loop {
+            let descendant = match self.peek() {
+                Some(Tok::Slash) => false,
+                Some(Tok::SlashSlash) => true,
+                _ => break,
+            };
+            self.pos += 1;
+            let step = match self.peek() {
+                Some(Tok::Star) => {
+                    self.pos += 1;
+                    if descendant {
+                        Step::AnyDescendant
+                    } else {
+                        Step::AnyChild
+                    }
+                }
+                Some(Tok::At) => {
+                    self.pos += 1;
+                    let name = self.expect_any_name()?;
+                    Step::Attribute(name)
+                }
+                Some(Tok::DotDot) => {
+                    self.pos += 1;
+                    Step::Parent
+                }
+                Some(Tok::Name(n)) if n == "text" && self.peek_at(1) == Some(&Tok::LParen) => {
+                    self.pos += 1;
+                    self.expect(&Tok::LParen)?;
+                    self.expect(&Tok::RParen)?;
+                    Step::Text
+                }
+                Some(Tok::Name(_)) => {
+                    let name = self.expect_any_name()?;
+                    if descendant {
+                        Step::Descendant(name)
+                    } else {
+                        Step::Child(name)
+                    }
+                }
+                other => return Err(self.err(format!("expected a path step, found {other:?}"))),
+            };
+            let preds = self.parse_predicates()?;
+            steps.push((step, preds));
+        }
+        if steps.is_empty() {
+            Ok(base)
+        } else {
+            Ok(Expr::Path { base: Box::new(base), steps })
+        }
+    }
+
+    fn parse_predicates(&mut self) -> Result<Vec<Expr>> {
+        let mut preds = Vec::new();
+        while self.peek() == Some(&Tok::LBracket) {
+            self.pos += 1;
+            preds.push(self.parse_expr()?);
+            self.expect(&Tok::RBracket)?;
+        }
+        Ok(preds)
+    }
+
+    /// Primary expression, with trailing predicates (e.g. `$e[...]`).
+    fn parse_postfix(&mut self) -> Result<Expr> {
+        let primary = self.parse_primary()?;
+        let preds = self.parse_predicates()?;
+        if preds.is_empty() {
+            Ok(primary)
+        } else {
+            Ok(Expr::Path { base: Box::new(primary), steps: vec![(Step::SelfStep, preds)] })
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.peek().cloned() {
+            Some(Tok::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::StrLit(s))
+            }
+            Some(Tok::Int(i)) => {
+                self.pos += 1;
+                Ok(Expr::IntLit(i))
+            }
+            Some(Tok::Dec(d)) => {
+                self.pos += 1;
+                Ok(Expr::DecLit(d))
+            }
+            Some(Tok::Var(v)) => {
+                self.pos += 1;
+                Ok(Expr::Var(v))
+            }
+            Some(Tok::Dot) => {
+                self.pos += 1;
+                Ok(Expr::ContextItem)
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                if self.peek() == Some(&Tok::RParen) {
+                    self.pos += 1;
+                    return Ok(Expr::Empty);
+                }
+                let e = self.parse_expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Some(Tok::LtName(name)) => self.parse_direct_ctor(name),
+            Some(Tok::Name(kw)) if kw == "element" => {
+                // Computed constructor: `element name { expr }`.
+                if matches!(self.peek_at(1), Some(Tok::Name(_)))
+                    && self.peek_at(2) == Some(&Tok::LBrace)
+                {
+                    self.pos += 1;
+                    let name = self.expect_any_name()?;
+                    self.expect(&Tok::LBrace)?;
+                    if self.peek() == Some(&Tok::RBrace) {
+                        self.pos += 1;
+                        return Ok(Expr::ElementCtor { name, content: None });
+                    }
+                    let content = self.parse_expr()?;
+                    self.expect(&Tok::RBrace)?;
+                    return Ok(Expr::ElementCtor { name, content: Some(Box::new(content)) });
+                }
+                self.parse_call_or_err()
+            }
+            Some(Tok::Name(_)) => self.parse_call_or_err(),
+            other => Err(self.err(format!("unexpected token {other:?}"))),
+        }
+    }
+
+    fn parse_call_or_err(&mut self) -> Result<Expr> {
+        let name = self.expect_any_name()?;
+        if self.peek() != Some(&Tok::LParen) {
+            return Err(self.err(format!("bare name {name:?} is not an expression here")));
+        }
+        self.pos += 1;
+        let mut args = Vec::new();
+        if self.peek() != Some(&Tok::RParen) {
+            loop {
+                args.push(self.parse_expr_single()?);
+                if self.peek() == Some(&Tok::Comma) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        Ok(Expr::Call(name, args))
+    }
+
+    // -- direct constructors (character level) ----------------------------
+
+    /// Called with the element name already lexed ([`Tok::LtName`]); the
+    /// token at `self.pos` is the `LtName` itself.
+    fn parse_direct_ctor(&mut self, _name: String) -> Result<Expr> {
+        let start = self.toks[self.pos].at;
+        let (expr, end) = parse_direct_from(self.src, start)?;
+        // Resynchronize: skip all tokens that start before `end`.
+        while self.pos < self.toks.len() && self.toks[self.pos].at < end {
+            self.pos += 1;
+        }
+        Ok(expr)
+    }
+}
+
+/// Parse a direct constructor from `src[at..]` (which starts with `<name`).
+/// Returns the expression and the byte offset just past the constructor.
+fn parse_direct_from(src: &str, at: usize) -> Result<(Expr, usize)> {
+    let b = src.as_bytes();
+    let mut i = at;
+    let err = |i: usize, m: &str| XQueryError::Parse(i, m.to_string());
+    if b.get(i) != Some(&b'<') {
+        return Err(err(i, "expected '<'"));
+    }
+    i += 1;
+    let name_start = i;
+    while i < b.len() && (b[i].is_ascii_alphanumeric() || matches!(b[i], b'_' | b'-' | b':' | b'.')) {
+        i += 1;
+    }
+    if i == name_start {
+        return Err(err(i, "expected element name"));
+    }
+    let name = src[name_start..i].to_string();
+    let mut attrs: Vec<(String, Vec<AttrPart>)> = Vec::new();
+    // Attributes.
+    loop {
+        while i < b.len() && b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        match b.get(i) {
+            Some(b'/') if b.get(i + 1) == Some(&b'>') => {
+                return Ok((Expr::DirectCtor { name, attrs, content: Vec::new() }, i + 2));
+            }
+            Some(b'>') => {
+                i += 1;
+                break;
+            }
+            Some(_) => {
+                let astart = i;
+                while i < b.len()
+                    && (b[i].is_ascii_alphanumeric() || matches!(b[i], b'_' | b'-' | b':' | b'.'))
+                {
+                    i += 1;
+                }
+                if i == astart {
+                    return Err(err(i, "expected attribute name"));
+                }
+                let aname = src[astart..i].to_string();
+                while i < b.len() && b[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                if b.get(i) != Some(&b'=') {
+                    return Err(err(i, "expected '=' in attribute"));
+                }
+                i += 1;
+                while i < b.len() && b[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                let quote = *b.get(i).ok_or_else(|| err(i, "eof in attribute"))?;
+                if quote != b'"' && quote != b'\'' {
+                    return Err(err(i, "expected quoted attribute value"));
+                }
+                i += 1;
+                let mut parts = Vec::new();
+                let mut text = String::new();
+                while i < b.len() && b[i] != quote {
+                    if b[i] == b'{' {
+                        if !text.is_empty() {
+                            parts.push(AttrPart::Text(std::mem::take(&mut text)));
+                        }
+                        let (inner, end) = enclosed_expr(src, i)?;
+                        parts.push(AttrPart::Expr(inner));
+                        i = end;
+                    } else {
+                        text.push(b[i] as char);
+                        i += 1;
+                    }
+                }
+                if i >= b.len() {
+                    return Err(err(i, "unterminated attribute value"));
+                }
+                if !text.is_empty() {
+                    parts.push(AttrPart::Text(text));
+                }
+                i += 1; // closing quote
+                attrs.push((aname, parts));
+            }
+            None => return Err(err(i, "eof in start tag")),
+        }
+    }
+    // Content.
+    let mut content: Vec<DirectContent> = Vec::new();
+    let mut text = String::new();
+    loop {
+        match b.get(i) {
+            None => return Err(err(i, "eof inside direct constructor")),
+            Some(b'<') if b.get(i + 1) == Some(&b'/') => {
+                if !text.trim().is_empty() {
+                    content.push(DirectContent::Text(std::mem::take(&mut text)));
+                }
+                i += 2;
+                let estart = i;
+                while i < b.len()
+                    && (b[i].is_ascii_alphanumeric() || matches!(b[i], b'_' | b'-' | b':' | b'.'))
+                {
+                    i += 1;
+                }
+                let ename = &src[estart..i];
+                if ename != name {
+                    return Err(err(estart, "mismatched closing tag"));
+                }
+                while i < b.len() && b[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                if b.get(i) != Some(&b'>') {
+                    return Err(err(i, "expected '>'"));
+                }
+                return Ok((Expr::DirectCtor { name, attrs, content }, i + 1));
+            }
+            Some(b'<') => {
+                if !text.trim().is_empty() {
+                    content.push(DirectContent::Text(std::mem::take(&mut text)));
+                } else {
+                    text.clear();
+                }
+                let (child, end) = parse_direct_from(src, i)?;
+                content.push(DirectContent::Child(child));
+                i = end;
+            }
+            Some(b'{') => {
+                if !text.trim().is_empty() {
+                    content.push(DirectContent::Text(std::mem::take(&mut text)));
+                } else {
+                    text.clear();
+                }
+                let (inner, end) = enclosed_expr(src, i)?;
+                content.push(DirectContent::Expr(inner));
+                i = end;
+            }
+            Some(&c) => {
+                text.push(c as char);
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Parse a `{ ... }` enclosure starting at the `{`; returns the inner
+/// expression and the offset just past the `}`.
+fn enclosed_expr(src: &str, at: usize) -> Result<(Expr, usize)> {
+    let b = src.as_bytes();
+    debug_assert_eq!(b[at], b'{');
+    let mut depth = 0usize;
+    let mut i = at;
+    let mut in_str: Option<u8> = None;
+    while i < b.len() {
+        let c = b[i];
+        match in_str {
+            Some(q) => {
+                if c == q {
+                    in_str = None;
+                }
+            }
+            None => match c {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        let inner_src = &src[at + 1..i];
+                        let module = parse_query(inner_src)?;
+                        return Ok((module.body, i + 1));
+                    }
+                }
+                b'"' | b'\'' => in_str = Some(c),
+                _ => {}
+            },
+        }
+        i += 1;
+    }
+    Err(XQueryError::Parse(at, "unbalanced '{' in constructor".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Expr {
+        parse_query(src).unwrap().body
+    }
+
+    #[test]
+    fn parses_paper_query1() {
+        let q = r#"element title_history {
+            for $t in doc("employees.xml")/employees/employee[name="Bob"]/title
+            return $t }"#;
+        let Expr::ElementCtor { name, content } = parse(q) else {
+            panic!("expected element constructor")
+        };
+        assert_eq!(name, "title_history");
+        let Expr::Flwor { bindings, ret, .. } = *content.unwrap() else {
+            panic!("expected FLWOR")
+        };
+        assert_eq!(bindings.len(), 1);
+        assert_eq!(*ret, Expr::Var("t".into()));
+        let Binding::For { var, seq } = &bindings[0] else { panic!() };
+        assert_eq!(var, "t");
+        let Expr::Path { base, steps } = seq else { panic!("expected path") };
+        assert!(matches!(**base, Expr::Call(ref n, _) if n == "doc"));
+        assert_eq!(steps.len(), 3);
+        assert!(matches!(&steps[1].0, Step::Child(n) if n == "employee"));
+        assert_eq!(steps[1].1.len(), 1, "employee step has one predicate");
+    }
+
+    #[test]
+    fn parses_paper_query2_snapshot() {
+        let q = r#"for $m in doc("depts.xml")/depts/dept/mgrno
+                       [tstart(.)<=xs:date("1994-05-06") and tend(.) >= xs:date("1994-05-06")]
+                   return $m"#;
+        let Expr::Flwor { bindings, .. } = parse(q) else { panic!() };
+        let Binding::For { seq, .. } = &bindings[0] else { panic!() };
+        let Expr::Path { steps, .. } = seq else { panic!() };
+        let (step, preds) = steps.last().unwrap();
+        assert!(matches!(step, Step::Child(n) if n == "mgrno"));
+        assert!(matches!(&preds[0], Expr::And(_, _)));
+    }
+
+    #[test]
+    fn parses_quantified_query8() {
+        let q = r#"every $d1 in $e1/deptno satisfies
+                   some $d2 in $e2/deptno satisfies
+                   (string($d1)=string($d2) and tequals($d2,$d1))"#;
+        let Expr::Quantified { every, pred, .. } = parse(q) else { panic!() };
+        assert!(every);
+        assert!(matches!(*pred, Expr::Quantified { every: false, .. }));
+    }
+
+    #[test]
+    fn parses_direct_constructor_with_enclosures() {
+        let q = r#"<employee level="senior">{$e/id, $e/name}</employee>"#;
+        let Expr::DirectCtor { name, attrs, content } = parse(q) else { panic!() };
+        assert_eq!(name, "employee");
+        assert_eq!(attrs[0].0, "level");
+        assert_eq!(attrs[0].1, vec![AttrPart::Text("senior".into())]);
+        assert_eq!(content.len(), 1);
+        assert!(matches!(&content[0], DirectContent::Expr(Expr::Seq(items)) if items.len() == 2));
+    }
+
+    #[test]
+    fn parses_nested_direct_constructors() {
+        let q = r#"<a x="{1+1}"><b/>text{$v}</a>"#;
+        let Expr::DirectCtor { attrs, content, .. } = parse(q) else { panic!() };
+        assert!(matches!(&attrs[0].1[0], AttrPart::Expr(Expr::Arith(..))));
+        assert_eq!(content.len(), 3);
+        assert!(matches!(&content[0], DirectContent::Child(Expr::DirectCtor { name, .. }) if name == "b"));
+        assert!(matches!(&content[1], DirectContent::Text(t) if t == "text"));
+        assert!(matches!(&content[2], DirectContent::Expr(Expr::Var(v)) if v == "v"));
+    }
+
+    #[test]
+    fn parses_let_and_where() {
+        let q = r#"for $e in doc("e.xml")/employees/employee
+                   let $d := $e/dept
+                   where not(empty($d)) and $e/name != "Bob"
+                   return max($d)"#;
+        let Expr::Flwor { bindings, where_clause, .. } = parse(q) else { panic!() };
+        assert_eq!(bindings.len(), 2);
+        assert!(matches!(&bindings[1], Binding::Let { var, .. } if var == "d"));
+        assert!(where_clause.is_some());
+    }
+
+    #[test]
+    fn parses_function_declarations() {
+        let q = r#"declare function local:pay($e) { $e/salary };
+                   local:pay(doc("x.xml")/employees/employee)"#;
+        let m = parse_query(q).unwrap();
+        assert_eq!(m.functions.len(), 1);
+        assert_eq!(m.functions[0].name, "local:pay");
+        assert_eq!(m.functions[0].params, vec!["e".to_string()]);
+    }
+
+    #[test]
+    fn parses_arithmetic_precedence() {
+        let e = parse("1 + 2 * 3");
+        let Expr::Arith(ArithOp::Add, l, r) = e else { panic!() };
+        assert_eq!(*l, Expr::IntLit(1));
+        assert!(matches!(*r, Expr::Arith(ArithOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn parses_order_by() {
+        let q = "for $x in $s order by $x descending return $x";
+        let Expr::Flwor { order_by, .. } = parse(q) else { panic!() };
+        assert_eq!(order_by.len(), 1);
+        assert!(!order_by[0].ascending);
+    }
+
+    #[test]
+    fn parses_if_then_else() {
+        let e = parse(r#"if ($a > 1) then "big" else "small""#);
+        assert!(matches!(e, Expr::If(..)));
+    }
+
+    #[test]
+    fn parses_descendant_and_attribute_steps() {
+        let e = parse(r#"doc("x.xml")//salary/@tstart"#);
+        let Expr::Path { steps, .. } = e else { panic!() };
+        assert!(matches!(&steps[0].0, Step::Descendant(n) if n == "salary"));
+        assert!(matches!(&steps[1].0, Step::Attribute(n) if n == "tstart"));
+    }
+
+    #[test]
+    fn parses_variable_with_predicate() {
+        let e = parse(r#"$e/title[.="Sr Engineer" and tend(.)=current-date()]"#);
+        let Expr::Path { base, steps } = e else { panic!() };
+        assert_eq!(*base, Expr::Var("e".into()));
+        assert_eq!(steps.len(), 1);
+        assert_eq!(steps[0].1.len(), 1);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_query("for $x").is_err());
+        assert!(parse_query("1 +").is_err());
+        assert!(parse_query("<a>{1}</b>").is_err());
+        assert!(parse_query(")").is_err());
+        assert!(parse_query("return 1 extra").is_err());
+    }
+
+    #[test]
+    fn empty_parens_are_empty_sequence() {
+        assert_eq!(parse("()"), Expr::Empty);
+    }
+
+    #[test]
+    fn relative_path_from_context() {
+        let e = parse("employees/employee");
+        let Expr::Path { base, steps } = e else { panic!() };
+        assert_eq!(*base, Expr::ContextItem);
+        assert_eq!(steps.len(), 2);
+    }
+}

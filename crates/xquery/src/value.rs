@@ -1,0 +1,370 @@
+//! The XQuery data model: nodes, atomic values, items and sequences.
+
+use crate::{Result, XQueryError};
+use std::cell::RefCell;
+use std::rc::{Rc, Weak};
+use temporal::{Date, Interval};
+use xmldom::{Element, Node};
+
+/// An element node with parent links (needed for `..` and for attaching
+/// constructed children).
+#[derive(Debug)]
+pub struct ElemNode {
+    /// Tag name.
+    pub name: String,
+    /// Attributes in document order.
+    pub attrs: RefCell<Vec<(String, String)>>,
+    /// Children in document order.
+    pub children: RefCell<Vec<XNode>>,
+    /// Parent element, if any.
+    pub parent: RefCell<Weak<ElemNode>>,
+}
+
+/// A node in the XQuery data model.
+#[derive(Debug, Clone)]
+pub enum XNode {
+    /// Element node.
+    Elem(Rc<ElemNode>),
+    /// Text node.
+    Text(Rc<String>),
+}
+
+impl XNode {
+    /// Build an element with no children.
+    pub fn new_elem(name: impl Into<String>) -> XNode {
+        XNode::Elem(Rc::new(ElemNode {
+            name: name.into(),
+            attrs: RefCell::new(Vec::new()),
+            children: RefCell::new(Vec::new()),
+            parent: RefCell::new(Weak::new()),
+        }))
+    }
+
+    /// Convert an [`xmldom`] tree into the evaluator's node model.
+    pub fn from_dom(e: &Element) -> XNode {
+        fn build(e: &Element, parent: &Weak<ElemNode>) -> XNode {
+            let node = Rc::new(ElemNode {
+                name: e.name.clone(),
+                attrs: RefCell::new(e.attributes.clone()),
+                children: RefCell::new(Vec::new()),
+                parent: RefCell::new(parent.clone()),
+            });
+            let self_weak = Rc::downgrade(&node);
+            let mut children = Vec::with_capacity(e.children.len());
+            for c in &e.children {
+                match c {
+                    Node::Element(ce) => children.push(build(ce, &self_weak)),
+                    Node::Text(t) => children.push(XNode::Text(Rc::new(t.clone()))),
+                }
+            }
+            *node.children.borrow_mut() = children;
+            XNode::Elem(node)
+        }
+        build(e, &Weak::new())
+    }
+
+    /// Convert back to an [`xmldom`] tree (text nodes become `Node::Text`).
+    pub fn to_dom(&self) -> Node {
+        match self {
+            XNode::Text(t) => Node::Text((**t).clone()),
+            XNode::Elem(e) => {
+                let mut out = Element::new(e.name.clone());
+                out.attributes = e.attrs.borrow().clone();
+                for c in e.children.borrow().iter() {
+                    out.children.push(c.to_dom());
+                }
+                Node::Element(out)
+            }
+        }
+    }
+
+    /// Deep copy (fresh identity, no parent).
+    pub fn deep_copy(&self) -> XNode {
+        match self {
+            XNode::Text(t) => XNode::Text(Rc::new((**t).clone())),
+            XNode::Elem(_) => match self.to_dom() {
+                Node::Element(e) => XNode::from_dom(&e),
+                Node::Text(t) => XNode::Text(Rc::new(t)),
+            },
+        }
+    }
+
+    /// Node identity (pointer equality).
+    pub fn same_node(&self, other: &XNode) -> bool {
+        match (self, other) {
+            (XNode::Elem(a), XNode::Elem(b)) => Rc::ptr_eq(a, b),
+            (XNode::Text(a), XNode::Text(b)) => Rc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// Element view.
+    pub fn as_elem(&self) -> Option<&Rc<ElemNode>> {
+        match self {
+            XNode::Elem(e) => Some(e),
+            XNode::Text(_) => None,
+        }
+    }
+
+    /// XPath string value.
+    pub fn string_value(&self) -> String {
+        match self {
+            XNode::Text(t) => (**t).clone(),
+            XNode::Elem(e) => {
+                let mut out = String::new();
+                collect_text(e, &mut out);
+                out
+            }
+        }
+    }
+
+    /// The `tstart`/`tend` period of an element, per the H-document
+    /// timestamping scheme.
+    pub fn interval(&self) -> Option<Interval> {
+        let e = self.as_elem()?;
+        let attrs = e.attrs.borrow();
+        let s = attrs.iter().find(|(n, _)| n == "tstart").map(|(_, v)| v.clone())?;
+        let t = attrs.iter().find(|(n, _)| n == "tend").map(|(_, v)| v.clone())?;
+        Interval::new(Date::parse(&s).ok()?, Date::parse(&t).ok()?).ok()
+    }
+
+    /// Attribute value.
+    pub fn attr(&self, name: &str) -> Option<String> {
+        let e = self.as_elem()?;
+        let attrs = e.attrs.borrow();
+        attrs.iter().find(|(n, _)| n == name).map(|(_, v)| v.clone())
+    }
+}
+
+fn collect_text(e: &Rc<ElemNode>, out: &mut String) {
+    for c in e.children.borrow().iter() {
+        match c {
+            XNode::Text(t) => out.push_str(t),
+            XNode::Elem(ce) => collect_text(ce, out),
+        }
+    }
+}
+
+/// Attach a deep copy of `child` under `parent` and return nothing; sets
+/// the parent pointer.
+pub fn append_child(parent: &Rc<ElemNode>, child: XNode) {
+    if let XNode::Elem(ce) = &child {
+        *ce.parent.borrow_mut() = Rc::downgrade(parent);
+    }
+    parent.children.borrow_mut().push(child);
+}
+
+/// An atomic value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Atomic {
+    /// `xs:boolean`
+    Bool(bool),
+    /// `xs:integer`
+    Int(i64),
+    /// `xs:double`/`xs:decimal`
+    Double(f64),
+    /// `xs:string`
+    Str(String),
+    /// `xs:date` (day granularity).
+    Date(Date),
+}
+
+impl Atomic {
+    /// Lexical form.
+    pub fn to_text(&self) -> String {
+        match self {
+            Atomic::Bool(b) => b.to_string(),
+            Atomic::Int(i) => i.to_string(),
+            Atomic::Double(d) => {
+                if d.fract() == 0.0 && d.abs() < 1e15 {
+                    format!("{}", *d as i64)
+                } else {
+                    d.to_string()
+                }
+            }
+            Atomic::Str(s) => s.clone(),
+            Atomic::Date(d) => d.to_string(),
+        }
+    }
+
+    /// Numeric view.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Atomic::Int(i) => Some(*i as f64),
+            Atomic::Double(d) => Some(*d),
+            Atomic::Str(s) => s.trim().parse().ok(),
+            Atomic::Bool(b) => Some(*b as i64 as f64),
+            Atomic::Date(_) => None,
+        }
+    }
+
+    /// Date view (strings are parsed).
+    pub fn as_date(&self) -> Option<Date> {
+        match self {
+            Atomic::Date(d) => Some(*d),
+            Atomic::Str(s) => Date::parse(s).ok(),
+            _ => None,
+        }
+    }
+}
+
+/// One item: a node or an atomic value.
+#[derive(Debug, Clone)]
+pub enum Item {
+    /// Node item.
+    Node(XNode),
+    /// Atomic item.
+    Atom(Atomic),
+}
+
+impl Item {
+    /// Atomize: nodes become their typed-as-string values.
+    pub fn atomize(&self) -> Atomic {
+        match self {
+            Item::Atom(a) => a.clone(),
+            Item::Node(n) => Atomic::Str(n.string_value()),
+        }
+    }
+
+    /// The node, if this item is one.
+    pub fn as_node(&self) -> Option<&XNode> {
+        match self {
+            Item::Node(n) => Some(n),
+            Item::Atom(_) => None,
+        }
+    }
+}
+
+/// An XQuery sequence (flat list of items).
+pub type Sequence = Vec<Item>;
+
+/// Effective boolean value (XQuery rules, restricted to our types).
+pub fn effective_boolean(seq: &Sequence) -> Result<bool> {
+    match seq.len() {
+        0 => Ok(false),
+        _ => match &seq[0] {
+            Item::Node(_) => Ok(true),
+            Item::Atom(a) if seq.len() == 1 => Ok(match a {
+                Atomic::Bool(b) => *b,
+                Atomic::Int(i) => *i != 0,
+                Atomic::Double(d) => *d != 0.0 && !d.is_nan(),
+                Atomic::Str(s) => !s.is_empty(),
+                Atomic::Date(_) => true,
+            }),
+            _ => Err(XQueryError::Type(
+                "effective boolean value of a multi-item atomic sequence".into(),
+            )),
+        },
+    }
+}
+
+/// Compare two atomics with XQuery general-comparison coercion: dates win
+/// if either side is (or parses as) a date and the other side parses too;
+/// then numbers; then strings.
+pub fn atomic_compare(a: &Atomic, b: &Atomic) -> Option<std::cmp::Ordering> {
+    use Atomic::*;
+    match (a, b) {
+        (Date(x), Date(y)) => Some(x.cmp(y)),
+        (Date(x), other) => {
+            let y = other.as_date()?;
+            Some(x.cmp(&y))
+        }
+        (other, Date(y)) => {
+            let x = other.as_date()?;
+            Some(x.cmp(y))
+        }
+        (Bool(x), Bool(y)) => Some(x.cmp(y)),
+        (Int(x), Int(y)) => Some(x.cmp(y)),
+        (Int(_) | Double(_), Int(_) | Double(_)) => {
+            a.as_number()?.partial_cmp(&b.as_number()?)
+        }
+        (Int(_) | Double(_), Str(s)) => {
+            let y: f64 = s.trim().parse().ok()?;
+            a.as_number()?.partial_cmp(&y)
+        }
+        (Str(s), Int(_) | Double(_)) => {
+            let x: f64 = s.trim().parse().ok()?;
+            x.partial_cmp(&b.as_number()?)
+        }
+        (Str(x), Str(y)) => Some(x.cmp(y)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    fn elem_from(xml: &str) -> XNode {
+        XNode::from_dom(&xmldom::parse(xml).unwrap())
+    }
+
+    #[test]
+    fn dom_roundtrip_preserves_structure() {
+        let xml = r#"<employee tstart="1995-01-01" tend="9999-12-31"><name>Bob</name><salary tstart="1995-01-01" tend="1995-05-31">60000</salary></employee>"#;
+        let n = elem_from(xml);
+        assert_eq!(n.to_dom().to_xml(), xml);
+    }
+
+    #[test]
+    fn parent_links_are_set() {
+        let n = elem_from("<a><b><c/></b></a>");
+        let a = n.as_elem().unwrap();
+        let b = a.children.borrow()[0].clone();
+        let be = b.as_elem().unwrap().clone();
+        let parent = be.parent.borrow().upgrade().unwrap();
+        assert!(Rc::ptr_eq(&parent, a));
+    }
+
+    #[test]
+    fn string_value_and_interval() {
+        let n = elem_from(r#"<salary tstart="1995-01-01" tend="1995-05-31">60000</salary>"#);
+        assert_eq!(n.string_value(), "60000");
+        assert_eq!(n.interval().unwrap(), Interval::parse("1995-01-01", "1995-05-31").unwrap());
+        assert_eq!(elem_from("<x/>").interval(), None);
+    }
+
+    #[test]
+    fn deep_copy_has_fresh_identity() {
+        let n = elem_from("<a><b/></a>");
+        let c = n.deep_copy();
+        assert!(!n.same_node(&c));
+        assert_eq!(n.to_dom().to_xml(), c.to_dom().to_xml());
+    }
+
+    #[test]
+    fn effective_boolean_rules() {
+        assert!(!effective_boolean(&vec![]).unwrap());
+        assert!(effective_boolean(&vec![Item::Node(elem_from("<x/>"))]).unwrap());
+        assert!(!effective_boolean(&vec![Item::Atom(Atomic::Str("".into()))]).unwrap());
+        assert!(effective_boolean(&vec![Item::Atom(Atomic::Int(2))]).unwrap());
+        assert!(effective_boolean(&vec![
+            Item::Node(elem_from("<x/>")),
+            Item::Node(elem_from("<y/>"))
+        ])
+        .unwrap());
+        assert!(effective_boolean(&vec![
+            Item::Atom(Atomic::Int(1)),
+            Item::Atom(Atomic::Int(2))
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn compare_coerces_dates_and_numbers() {
+        let d = Atomic::Date(Date::parse("1994-05-06").unwrap());
+        let s = Atomic::Str("1994-05-07".into());
+        assert_eq!(atomic_compare(&d, &s), Some(Ordering::Less));
+        assert_eq!(atomic_compare(&s, &d), Some(Ordering::Greater));
+        assert_eq!(
+            atomic_compare(&Atomic::Str("60000".into()), &Atomic::Int(70000)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            atomic_compare(&Atomic::Str("abc".into()), &Atomic::Str("abd".into())),
+            Some(Ordering::Less)
+        );
+        assert_eq!(atomic_compare(&Atomic::Str("abc".into()), &Atomic::Int(1)), None);
+    }
+}

@@ -1,0 +1,34 @@
+//! Robustness: the XQuery lexer/parser never panic; errors carry
+//! in-range offsets.
+
+use proptest::prelude::*;
+use xquery::parse_query;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn arbitrary_input_never_panics(s in "\\PC*") {
+        let _ = parse_query(&s);
+    }
+
+    #[test]
+    fn queryish_input_never_panics(
+        s in "[a-z$/\\[\\]()<>=.,:\"' {}0-9@*+-]{0,120}"
+    ) {
+        let _ = parse_query(&s);
+    }
+
+    #[test]
+    fn truncations_of_valid_queries_never_panic(cut in 0usize..400) {
+        let q = r#"element title_history {
+            for $t in doc("employees.xml")/employees/employee[name="Bob"]/title
+            where tstart($t) <= xs:date("1995-01-01") and not(empty($t))
+            order by $t descending
+            return <wrap kind="x{1+1}">{$t, overlapinterval($t, $t)}</wrap> }"#;
+        let cut = cut.min(q.len());
+        if q.is_char_boundary(cut) {
+            let _ = parse_query(&q[..cut]);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! The paper's §4 query catalogue, evaluated natively.
+//!
+//! Runs QUERY 1–8 — temporal projection, snapshot, slicing, join,
+//! aggregate, restructuring, since, and period containment — with the
+//! XQuery engine over the employee and department H-documents of the
+//! paper's Tables 1–2 / Figures 3–4. No new language constructs: all the
+//! temporal machinery is the function library (`tstart`, `tend`,
+//! `toverlaps`, `tcontains`, `tequals`, `telement`, `overlapinterval`,
+//! `restructure`, `tavg`, ...).
+//!
+//! ```sh
+//! cargo run --example temporal_queries
+//! ```
+
+use xquery::{Engine, MapResolver};
+
+/// The employees.xml of paper Figure 3 (Bob per Table 1, plus Alice whose
+/// employment matches Carol's exactly for QUERY 8).
+const EMPLOYEES: &str = r#"<employees tstart="1994-01-01" tend="9999-12-31">
+  <employee tstart="1995-01-01" tend="9999-12-31">
+    <id tstart="1995-01-01" tend="9999-12-31">1001</id>
+    <name tstart="1995-01-01" tend="9999-12-31">Bob</name>
+    <salary tstart="1995-01-01" tend="1995-05-31">60000</salary>
+    <salary tstart="1995-06-01" tend="9999-12-31">70000</salary>
+    <title tstart="1995-01-01" tend="1995-09-30">Engineer</title>
+    <title tstart="1995-10-01" tend="1996-01-31">Sr Engineer</title>
+    <title tstart="1996-02-01" tend="9999-12-31">TechLeader</title>
+    <deptno tstart="1995-01-01" tend="1995-09-30">d01</deptno>
+    <deptno tstart="1995-10-01" tend="9999-12-31">d02</deptno>
+  </employee>
+  <employee tstart="1994-02-01" tend="1996-12-31">
+    <id tstart="1994-02-01" tend="1996-12-31">1002</id>
+    <name tstart="1994-02-01" tend="1996-12-31">Alice</name>
+    <salary tstart="1994-02-01" tend="1996-12-31">80000</salary>
+    <title tstart="1994-02-01" tend="1996-12-31">Manager</title>
+    <deptno tstart="1994-02-01" tend="1996-12-31">d01</deptno>
+  </employee>
+  <employee tstart="1996-02-01" tend="9999-12-31">
+    <id tstart="1996-02-01" tend="9999-12-31">1004</id>
+    <name tstart="1996-02-01" tend="9999-12-31">Dave</name>
+    <salary tstart="1996-02-01" tend="9999-12-31">65000</salary>
+    <title tstart="1996-02-01" tend="9999-12-31">Sr Engineer</title>
+    <deptno tstart="1996-02-01" tend="9999-12-31">d02</deptno>
+  </employee>
+  <employee tstart="1994-02-01" tend="1996-12-31">
+    <id tstart="1994-02-01" tend="1996-12-31">1003</id>
+    <name tstart="1994-02-01" tend="1996-12-31">Carol</name>
+    <salary tstart="1994-02-01" tend="1996-12-31">75000</salary>
+    <title tstart="1994-02-01" tend="1996-12-31">Architect</title>
+    <deptno tstart="1994-02-01" tend="1996-12-31">d01</deptno>
+  </employee>
+</employees>"#;
+
+/// The depts.xml of paper Figure 4.
+const DEPTS: &str = r#"<depts tstart="1992-01-01" tend="9999-12-31">
+  <dept tstart="1994-01-01" tend="1998-12-31">
+    <deptno tstart="1994-01-01" tend="1998-12-31">d01</deptno>
+    <deptname tstart="1994-01-01" tend="1998-12-31">QA</deptname>
+    <mgrno tstart="1994-01-01" tend="1998-12-31">2501</mgrno>
+  </dept>
+  <dept tstart="1992-01-01" tend="1998-12-31">
+    <deptno tstart="1992-01-01" tend="1998-12-31">d02</deptno>
+    <deptname tstart="1992-01-01" tend="1998-12-31">RD</deptname>
+    <mgrno tstart="1992-01-01" tend="1996-12-31">3402</mgrno>
+    <mgrno tstart="1997-01-01" tend="1998-12-31">1009</mgrno>
+  </dept>
+</depts>"#;
+
+fn main() {
+    let mut resolver = MapResolver::new();
+    resolver.insert("employees.xml", xmldom::parse(EMPLOYEES).unwrap());
+    resolver.insert("depts.xml", xmldom::parse(DEPTS).unwrap());
+    resolver.insert("emp.xml", xmldom::parse(EMPLOYEES).unwrap());
+    let engine = Engine::new(resolver);
+
+    let queries: Vec<(&str, String)> = vec![
+        (
+            "QUERY 1 — temporal projection: Bob's title history",
+            r#"element title_history {
+                for $t in doc("employees.xml")/employees/employee[name="Bob"]/title
+                return $t }"#
+                .into(),
+        ),
+        (
+            "QUERY 2 — temporal snapshot: managers on 1994-05-06",
+            r#"for $m in doc("depts.xml")/depts/dept/mgrno
+                   [tstart(.) <= xs:date("1994-05-06") and tend(.) >= xs:date("1994-05-06")]
+               return $m"#
+                .into(),
+        ),
+        (
+            "QUERY 3 — temporal slicing: employees working in 1994-05-06..1995-05-06",
+            r#"for $e in doc("employees.xml")/employees/employee[
+                   toverlaps(., telement(xs:date("1994-05-06"), xs:date("1995-05-06")))]
+               return $e/name"#
+                .into(),
+        ),
+        (
+            "QUERY 4 — temporal join: the employees each manager manages (d01)",
+            r#"element manages {
+                 for $d in doc("depts.xml")/depts/dept[deptno = "d01"]
+                 for $m in $d/mgrno
+                 return element manage {
+                   for $e in doc("employees.xml")/employees/employee
+                   where $e/deptno = "d01" and not(empty(overlapinterval($e, $m)))
+                   return element worked { string($e/name), overlapinterval($e, $m) } } }"#
+                .into(),
+        ),
+        (
+            "QUERY 5 — temporal aggregate: the history of the average salary",
+            r#"let $s := document("emp.xml")/employees/employee/salary
+               return tavg($s)"#
+                .into(),
+        ),
+        (
+            "QUERY 6 — restructuring: Bob's longest streak with same title AND dept (days)",
+            r#"for $e in doc("emp.xml")/employees/employee[name="Bob"]
+               let $d := $e/deptno
+               let $t := $e/title
+               return max(for $i in restructure($d, $t) return timespan($i))"#
+                .into(),
+        ),
+        (
+            "QUERY 7 — A since B: a Sr Engineer in d02 since joining the dept",
+            r#"for $e in doc("employees.xml")/employees/employee
+               let $m := $e/title[. = "Sr Engineer" and tend(.) = current-date()]
+               let $d := $e/deptno[. = "d02" and tcontains($m, .)]
+               where not(empty($d)) and not(empty($m))
+               return <employee>{$e/id, $e/name}</employee>"#
+                .into(),
+        ),
+        (
+            "QUERY 8 — period containment: same employment history as Alice",
+            r#"for $e1 in doc("employees.xml")/employees/employee[name = "Alice"]
+               for $e2 in doc("employees.xml")/employees/employee[name != "Alice"]
+               where every $d1 in $e1/deptno satisfies
+                         some $d2 in $e2/deptno satisfies
+                         (string($d1) = string($d2) and tequals($d2, $d1))
+                 and every $d2 in $e2/deptno satisfies
+                         some $d1 in $e1/deptno satisfies
+                         (string($d2) = string($d1) and tequals($d1, $d2))
+               return <employee>{$e2/name}</employee>"#
+                .into(),
+        ),
+        (
+            "Bonus — 'now' handling: Bob's current title, shown with externalnow",
+            r#"for $t in doc("employees.xml")/employees/employee[name="Bob"]
+                   /title[tend(.) = current-date()]
+               return externalnow($t)"#
+                .into(),
+        ),
+    ];
+
+    for (title, q) in queries {
+        println!("=== {title} ===");
+        match engine.eval_to_xml(&q) {
+            Ok(out) if out.is_empty() => println!("(empty)\n"),
+            Ok(out) => println!("{out}\n"),
+            Err(e) => println!("error: {e}\n"),
+        }
+    }
+}

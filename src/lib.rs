@@ -1,0 +1,57 @@
+//! # ArchIS-rs
+//!
+//! A from-scratch Rust reproduction of *"Using XML to Build Efficient
+//! Transaction-Time Temporal Database Systems on Relational Databases"*
+//! (Wang, Zhou, Zaniolo — ICDE 2006): a transaction-time temporal
+//! database that views relational history as temporally grouped XML
+//! (H-documents), queries it with XQuery, and executes those queries as
+//! SQL/XML on segment-clustered, optionally BlockZIP-compressed H-tables.
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`archis`] | the paper's contribution: H-tables, update tracking, segment clustering, XQuery→SQL/XML translation, compression |
+//! | [`relstore`] | the embedded relational engine (pages, buffer pool, B+trees, executor) |
+//! | [`xquery`] | XQuery-subset parser + native evaluator with the temporal function library |
+//! | [`sqlxml`] | SQL + SQL/XML (XMLElement/XMLAgg) engine |
+//! | [`xmldb`] | native XML database baseline ("Tamino") |
+//! | [`blockzip`] | block-based LZ77+Huffman compression (Algorithm 2) |
+//! | [`temporal`] | dates, intervals, coalescing, temporal aggregates |
+//! | [`xmldom`] | XML tree, parser, serializer |
+//! | [`dataset`] | employee-history workload generator |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use archis::{ArchConfig, ArchIS, RelationSpec};
+//! use relstore::Value;
+//! use temporal::Date;
+//!
+//! let mut db = ArchIS::new(ArchConfig::default());
+//! db.create_relation(RelationSpec::employee()).unwrap();
+//! db.insert("employee", 1001, vec![
+//!     ("name".into(), Value::Str("Bob".into())),
+//!     ("salary".into(), Value::Int(60000)),
+//! ], Date::parse("1995-01-01").unwrap()).unwrap();
+//! db.update("employee", 1001,
+//!     vec![("salary".into(), Value::Int(70000))],
+//!     Date::parse("1995-06-01").unwrap()).unwrap();
+//!
+//! // Query the history through its XML view, executed as SQL/XML:
+//! let out = db.query(r#"
+//!     for $s in doc("employees.xml")/employees/employee[name="Bob"]/salary
+//!     return $s"#).unwrap();
+//! let xml = out.xml_fragments().join("");
+//! assert!(xml.contains("60000") && xml.contains("70000"));
+//! ```
+
+pub use archis;
+pub use blockzip;
+pub use dataset;
+pub use relstore;
+pub use sqlxml;
+pub use temporal;
+pub use xmldb;
+pub use xmldom;
+pub use xquery;

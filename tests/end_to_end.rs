@@ -1,0 +1,438 @@
+//! Full-pipeline integration tests: workload → ArchIS (both storage
+//! layouts, with segmentation and compression) → H-document publication →
+//! native XML database — every execution path must give the same answers,
+//! and those answers must match a brute-force recomputation from the raw
+//! event stream.
+
+use archis::{queries, ArchConfig, ArchIS, Change, RelationSpec};
+use dataset::{DatasetConfig, Op};
+use relstore::Value;
+use std::collections::HashMap;
+use temporal::{Date, Interval, END_OF_TIME};
+use xmldb::XmlDb;
+
+fn now() -> Date {
+    Date::from_ymd(2005, 1, 1).unwrap()
+}
+
+fn to_change(op: &Op) -> Change {
+    match op {
+        Op::Hire { id, name, salary, title, deptno, at } => Change::Insert {
+            relation: "employee".into(),
+            key: *id,
+            values: vec![
+                ("name".into(), Value::Str(name.clone())),
+                ("salary".into(), Value::Int(*salary)),
+                ("title".into(), Value::Str(title.clone())),
+                ("deptno".into(), Value::Str(deptno.clone())),
+            ],
+            at: *at,
+        },
+        Op::Raise { id, salary, at } => Change::Update {
+            relation: "employee".into(),
+            key: *id,
+            changes: vec![("salary".into(), Value::Int(*salary))],
+            at: *at,
+        },
+        Op::TitleChange { id, title, at } => Change::Update {
+            relation: "employee".into(),
+            key: *id,
+            changes: vec![("title".into(), Value::Str(title.clone()))],
+            at: *at,
+        },
+        Op::DeptChange { id, deptno, at } => Change::Update {
+            relation: "employee".into(),
+            key: *id,
+            changes: vec![("deptno".into(), Value::Str(deptno.clone()))],
+            at: *at,
+        },
+        Op::Leave { id, at } => {
+            Change::Delete { relation: "employee".into(), key: *id, at: *at }
+        }
+    }
+}
+
+fn load(config: ArchConfig, ops: &[Op], archive: bool) -> ArchIS {
+    let mut a = ArchIS::new(config.with_now(now()));
+    a.create_relation(RelationSpec::employee()).unwrap();
+    for op in ops {
+        a.apply(&to_change(op)).unwrap();
+        if archive {
+            a.maybe_archive("employee", op.at()).unwrap();
+        }
+    }
+    a
+}
+
+/// Brute-force ground truth: the salary of each employee on a date,
+/// replayed straight from the event stream.
+fn salaries_at(ops: &[Op], date: Date) -> HashMap<i64, i64> {
+    let mut current: HashMap<i64, i64> = HashMap::new();
+    let mut alive: HashMap<i64, bool> = HashMap::new();
+    for op in ops {
+        if op.at() > date {
+            break;
+        }
+        match op {
+            Op::Hire { id, salary, .. } => {
+                current.insert(*id, *salary);
+                alive.insert(*id, true);
+            }
+            Op::Raise { id, salary, .. } => {
+                current.insert(*id, *salary);
+            }
+            Op::Leave { id, .. } => {
+                alive.insert(*id, false);
+            }
+            _ => {}
+        }
+    }
+    current.retain(|id, _| alive.get(id).copied().unwrap_or(false));
+    current
+}
+
+fn workload() -> Vec<Op> {
+    dataset::generate(&DatasetConfig { employees: 30, years: 12, seed: 99, ..Default::default() })
+}
+
+#[test]
+fn snapshots_match_brute_force_on_many_dates() {
+    let ops = workload();
+    let a = load(ArchConfig::db2_like(), &ops, true);
+    for year in [1986, 1989, 1992, 1995] {
+        let date = Date::from_ymd(year, 7, 1).unwrap();
+        let truth = salaries_at(&ops, date);
+        // Per-employee snapshot through the translated SQL path.
+        for (&id, &salary) in truth.iter().take(8) {
+            let out = a.query(&queries::q1_xquery(id, date)).unwrap();
+            let xml = out.xml_fragments().join("");
+            assert!(
+                xml.contains(&format!(">{salary}<")),
+                "employee {id} on {date}: expected {salary}, got {xml}"
+            );
+        }
+        // The average matches too.
+        if !truth.is_empty() {
+            let expected: f64 =
+                truth.values().map(|&s| s as f64).sum::<f64>() / truth.len() as f64;
+            let got = a.query(&queries::q2_xquery(date)).unwrap().scalar_rows().unwrap()[0][0]
+                .as_f64()
+                .unwrap();
+            assert!(
+                (got - expected).abs() < 1e-6,
+                "avg salary on {date}: {got} vs {expected}"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_execution_paths_agree_on_the_benchmark_queries() {
+    let ops = workload();
+    let heap = load(ArchConfig::db2_like(), &ops, true);
+    let clustered = load(ArchConfig::atlas_like(), &ops, true);
+    let unsegmented = load(ArchConfig::db2_like(), &ops, false);
+
+    // Native XML database over the published history.
+    let tamino = XmlDb::new(now());
+    tamino.store("employees.xml", &heap.publish("employee").unwrap());
+
+    let probe = {
+        let date = Date::from_ymd(1992, 7, 1).unwrap();
+        *salaries_at(&ops, date).keys().min().unwrap()
+    };
+    let d = Date::from_ymd(1992, 7, 1).unwrap();
+    let w2 = Date::from_ymd(1993, 7, 1).unwrap();
+    let j2 = Date::from_ymd(1995, 7, 1).unwrap();
+    let qs = [
+        queries::q1_xquery(probe, d),
+        queries::q2_xquery(d),
+        queries::q3_xquery(probe),
+        queries::q4_xquery(),
+        queries::q5_xquery(50_000, d, w2),
+        queries::q6_xquery(d, j2),
+    ];
+    for q in &qs {
+        let native = tamino.query_xml(q).unwrap().replace('\n', "");
+        let via_heap = render(&heap, q);
+        let via_clustered = render(&clustered, q);
+        let via_unseg = render(&unsegmented, q);
+        assert_eq!(via_heap, via_clustered, "heap vs clustered on {q}");
+        assert_eq!(via_heap, via_unseg, "segmented vs unsegmented on {q}");
+        assert_eq!(via_heap, native, "SQL path vs native XQuery on {q}");
+    }
+}
+
+fn render(a: &ArchIS, q: &str) -> String {
+    let out = a.query(q).unwrap();
+    let xml = out.xml_fragments().join("");
+    if xml.is_empty() {
+        out.rows
+            .iter()
+            .flat_map(|r| r.iter().map(|v| v.render()))
+            .collect::<Vec<_>>()
+            .join("")
+    } else {
+        xml
+    }
+}
+
+#[test]
+fn incremental_hdoc_maintenance_equals_publication() {
+    // Maintaining the H-document change by change (the native XML DB path)
+    // must produce the same view as publishing from the H-tables.
+    let ops = workload();
+    let a = load(ArchConfig::db2_like(), &ops, true);
+    let tamino = XmlDb::new(now());
+    tamino.store("employees.xml", &xmldom::Element::new("employees"));
+    for op in &ops {
+        let change = match op {
+            Op::Hire { id, name, salary, title, deptno, at } => xmldb::DocChange::Insert {
+                tuple: "employee".into(),
+                key_child: "id".into(),
+                key: id.to_string(),
+                attrs: vec![
+                    ("name".into(), name.clone()),
+                    ("salary".into(), salary.to_string()),
+                    ("title".into(), title.clone()),
+                    ("deptno".into(), deptno.clone()),
+                ],
+                at: *at,
+            },
+            Op::Raise { id, salary, at } => xmldb::DocChange::Update {
+                tuple: "employee".into(),
+                key_child: "id".into(),
+                key: id.to_string(),
+                attr: "salary".into(),
+                value: salary.to_string(),
+                at: *at,
+            },
+            Op::TitleChange { id, title, at } => xmldb::DocChange::Update {
+                tuple: "employee".into(),
+                key_child: "id".into(),
+                key: id.to_string(),
+                attr: "title".into(),
+                value: title.clone(),
+                at: *at,
+            },
+            Op::DeptChange { id, deptno, at } => xmldb::DocChange::Update {
+                tuple: "employee".into(),
+                key_child: "id".into(),
+                key: id.to_string(),
+                attr: "deptno".into(),
+                value: deptno.clone(),
+                at: *at,
+            },
+            Op::Leave { id, at } => xmldb::DocChange::Delete {
+                tuple: "employee".into(),
+                key_child: "id".into(),
+                key: id.to_string(),
+                at: *at,
+            },
+        };
+        tamino.apply_change("employees.xml", &change).unwrap();
+    }
+    // Compare the two views query by query (element order can differ, so
+    // compare per-employee salary histories).
+    let published = XmlDb::new(now());
+    published.store("employees.xml", &a.publish("employee").unwrap());
+    let ids: Vec<String> = {
+        let out = published
+            .query_xml(r#"for $e in doc("employees.xml")/employees/employee return string($e/id)"#)
+            .unwrap();
+        out.lines().map(String::from).collect()
+    };
+    assert!(!ids.is_empty());
+    for id in &ids {
+        let q = format!(
+            r#"for $s in doc("employees.xml")/employees/employee[id = {id}]/salary
+               return $s"#
+        );
+        assert_eq!(
+            tamino.query_xml(&q).unwrap(),
+            published.query_xml(&q).unwrap(),
+            "salary history of {id} differs between maintenance paths"
+        );
+    }
+}
+
+#[test]
+fn compression_preserves_every_salary_period() {
+    let ops = workload();
+    let mut a = load(ArchConfig::db2_like(), &ops, true);
+    let last = ops.last().unwrap().at();
+    a.force_archive("employee", last).unwrap();
+
+    // Ground truth before compression via the SQL path.
+    let count_before = a.query(&queries::q4_xquery()).unwrap().scalar_rows().unwrap()[0][0]
+        .as_int()
+        .unwrap();
+
+    a.compress_archived("employee").unwrap();
+    let store = a.compressed_store("employee").unwrap();
+    let count_after = queries::q4_compressed(&a, store).unwrap() as i64;
+    assert_eq!(count_before, count_after);
+
+    // Per-employee histories survive byte for byte.
+    let date = Date::from_ymd(1992, 7, 1).unwrap();
+    for (&id, &salary) in salaries_at(&ops, date).iter().take(10) {
+        assert_eq!(
+            queries::q1_compressed(&a, store, id, date).unwrap(),
+            Some(salary),
+            "employee {id} on {date}"
+        );
+        let hist = queries::q3_compressed(&a, store, id).unwrap();
+        assert!(!hist.is_empty());
+        // Periods are disjoint and ordered.
+        for w in hist.windows(2) {
+            assert!(w[0].1.end() < w[1].1.start());
+        }
+    }
+}
+
+#[test]
+fn segment_invariants_hold_across_the_whole_load() {
+    // Paper §6.1 invariants (1) and (2) for every tuple of every archived
+    // segment of every attribute.
+    let ops = workload();
+    let a = load(ArchConfig::db2_like().with_umin(0.4), &ops, true);
+    for attr in ["name", "salary", "title", "deptno"] {
+        let segs = a.segments_of("employee", attr).unwrap();
+        let table = a
+            .database()
+            .table(&format!("employee_{attr}"))
+            .unwrap();
+        for seg in segs.iter().filter(|s| s.segno != archis::htable::LIVE_SEGNO) {
+            let rows = table
+                .index_lookup(&format!("employee_{attr}_by_seg"), &[Value::Int(seg.segno)])
+                .unwrap();
+            assert!(!rows.is_empty(), "empty archived segment {} of {attr}", seg.segno);
+            for r in rows {
+                let ts = r[3].as_date().unwrap();
+                let te = r[4].as_date().unwrap();
+                assert!(ts <= seg.end, "invariant (1) violated in {attr} seg {}", seg.segno);
+                assert!(te >= seg.start, "invariant (2) violated in {attr} seg {}", seg.segno);
+            }
+        }
+        // Archived segments tile time without overlap.
+        let archived: Vec<_> =
+            segs.iter().filter(|s| s.segno != archis::htable::LIVE_SEGNO).collect();
+        for w in archived.windows(2) {
+            assert_eq!(w[0].end.succ(), w[1].start, "segments of {attr} must tile time");
+        }
+    }
+}
+
+#[test]
+fn publication_respects_the_covering_constraint() {
+    // "the interval of a parent node always covers that of its child
+    // nodes" (paper §3).
+    let ops = workload();
+    let a = load(ArchConfig::db2_like(), &ops, true);
+    let doc = a.publish("employee").unwrap();
+    let root_iv = doc.interval().unwrap();
+    for emp in doc.children_named("employee") {
+        let emp_iv = emp.interval().unwrap();
+        assert!(root_iv.contains(&emp_iv) || root_iv.start() <= emp_iv.start());
+        for child in emp.child_elements() {
+            let civ = child.interval().unwrap();
+            assert!(
+                emp_iv.contains(&civ),
+                "covering constraint violated: {} {civ:?} not in {emp_iv:?}",
+                child.name
+            );
+        }
+        // Attribute periods of one attribute are coalesced: no two
+        // adjacent value-equivalent periods.
+        for attr in ["salary", "title", "deptno", "name"] {
+            let periods: Vec<(String, Interval)> = emp
+                .children_named(attr)
+                .map(|e| (e.text_content(), e.interval().unwrap()))
+                .collect();
+            for w in periods.windows(2) {
+                assert!(w[0].1.end() < w[1].1.start(), "{attr} periods must be ordered");
+                if w[0].0 == w[1].0 {
+                    assert!(
+                        !w[0].1.joinable(&w[1].1),
+                        "{attr} has uncoalesced value-equivalent periods"
+                    );
+                }
+            }
+        }
+    }
+    let _ = END_OF_TIME;
+}
+
+#[test]
+fn publication_stays_complete_after_compression() {
+    let ops = workload();
+    let mut a = load(ArchConfig::db2_like(), &ops, true);
+    let before = a.publish("employee").unwrap().to_xml();
+    a.force_archive("employee", ops.last().unwrap().at()).unwrap();
+    a.compress_archived("employee").unwrap();
+    let after = a.publish("employee").unwrap().to_xml();
+    assert_eq!(before, after, "compression must not change the H-document view");
+}
+
+#[test]
+fn compression_is_incremental_across_archival_cycles() {
+    let ops = workload();
+    let split = ops.len() / 2;
+    let mut a = load(ArchConfig::db2_like(), &ops[..split], false);
+    // Cycle 1: archive + compress the first half.
+    a.force_archive("employee", ops[split - 1].at()).unwrap();
+    let blocks1 = a.compress_archived("employee").unwrap();
+    // Keep living: replay the second half, archive + compress again.
+    for op in &ops[split..] {
+        a.apply(&to_change(op)).unwrap();
+    }
+    a.force_archive("employee", ops.last().unwrap().at()).unwrap();
+    let blocks2 = a.compress_archived("employee").unwrap();
+    assert!(blocks2 > blocks1, "second pass must add blocks ({blocks1} -> {blocks2})");
+    // Every query still answers from the two-generation store.
+    let store = a.compressed_store("employee").unwrap();
+    let d_early = Date::from_ymd(1987, 7, 1).unwrap();
+    let d_late = ops.last().unwrap().at() - 30;
+    for d in [d_early, d_late] {
+        let truth = salaries_at(&ops, d);
+        for (&id, &salary) in truth.iter().take(5) {
+            assert_eq!(
+                queries::q1_compressed(&a, store, id, d).unwrap(),
+                Some(salary),
+                "employee {id} on {d}"
+            );
+        }
+    }
+    // And the published view equals an uncompressed twin's.
+    let twin = load(ArchConfig::db2_like(), &ops, false);
+    assert_eq!(
+        a.publish("employee").unwrap().to_xml(),
+        twin.publish("employee").unwrap().to_xml()
+    );
+}
+
+#[test]
+fn snapshot_on_segment_boundary_dates_is_exact() {
+    // A snapshot on the exact segend / segstart day must not lose rows.
+    let ops = workload();
+    let a = load(ArchConfig::db2_like().with_umin(0.4), &ops, true);
+    let segs = a.segments_of("employee", "salary").unwrap();
+    for seg in segs.iter().filter(|s| s.segno != archis::htable::LIVE_SEGNO).take(3) {
+        for d in [seg.start, seg.end] {
+            let truth = salaries_at(&ops, d);
+            if truth.is_empty() {
+                continue;
+            }
+            let expected: f64 =
+                truth.values().map(|&s| s as f64).sum::<f64>() / truth.len() as f64;
+            let got = a.query(&queries::q2_xquery(d)).unwrap().scalar_rows().unwrap()[0][0]
+                .as_f64()
+                .unwrap_or(f64::NAN);
+            assert!(
+                (got - expected).abs() < 1e-6,
+                "snapshot on boundary {d} (segment {}): {got} vs {expected}",
+                seg.segno
+            );
+        }
+    }
+}

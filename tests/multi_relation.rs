@@ -1,0 +1,171 @@
+//! Multi-relation histories: the paper's employee + dept pair, archived
+//! side by side, queried through both paths (including the paper's
+//! QUERY 2, the snapshot over depts.xml).
+
+use archis::{ArchConfig, ArchIS, RelationSpec};
+use relstore::Value;
+use temporal::Date;
+use xquery::{Engine, MapResolver};
+
+fn d(s: &str) -> Date {
+    Date::parse(s).unwrap()
+}
+
+/// Build the paper's Table 2 dept history (keys surrogated to ints).
+fn setup() -> ArchIS {
+    let mut a = ArchIS::new(ArchConfig::default());
+    a.create_relation(RelationSpec::employee()).unwrap();
+    a.create_relation(RelationSpec::dept()).unwrap();
+    // d01 QA mgr 2501, 1994-01-01 .. 1998-12-31 (closed by delete).
+    a.insert(
+        "dept",
+        1,
+        vec![
+            ("deptno".into(), Value::Str("d01".into())),
+            ("deptname".into(), Value::Str("QA".into())),
+            ("mgrno".into(), Value::Int(2501)),
+        ],
+        d("1994-01-01"),
+    )
+    .unwrap();
+    // d02 RD mgr 3402 then 1009.
+    a.insert(
+        "dept",
+        2,
+        vec![
+            ("deptno".into(), Value::Str("d02".into())),
+            ("deptname".into(), Value::Str("RD".into())),
+            ("mgrno".into(), Value::Int(3402)),
+        ],
+        d("1992-01-01"),
+    )
+    .unwrap();
+    a.update("dept", 2, vec![("mgrno".into(), Value::Int(1009))], d("1997-01-01")).unwrap();
+    // d03 Sales mgr 4748, later dissolved.
+    a.insert(
+        "dept",
+        3,
+        vec![
+            ("deptno".into(), Value::Str("d03".into())),
+            ("deptname".into(), Value::Str("Sales".into())),
+            ("mgrno".into(), Value::Int(4748)),
+        ],
+        d("1993-01-01"),
+    )
+    .unwrap();
+    a.delete("dept", 3, d("1998-01-01")).unwrap();
+    // One employee so the employee H-tables are non-trivial too.
+    a.insert(
+        "employee",
+        1001,
+        vec![
+            ("name".into(), Value::Str("Bob".into())),
+            ("salary".into(), Value::Int(60000)),
+            ("title".into(), Value::Str("Engineer".into())),
+            ("deptno".into(), Value::Str("d01".into())),
+        ],
+        d("1995-01-01"),
+    )
+    .unwrap();
+    a
+}
+
+#[test]
+fn paper_query2_translates_and_matches_native() {
+    let a = setup();
+    // The paper's QUERY 2: managers on 1994-05-06.
+    let q = r#"for $m in doc("depts.xml")/depts/dept/mgrno
+                   [tstart(.) <= xs:date("1994-05-06") and tend(.) >= xs:date("1994-05-06")]
+               return $m"#;
+    let sql = a.translate(q).unwrap();
+    assert!(sql.contains("dept_mgrno"), "{sql}");
+    let via_sql = a.query(q).unwrap().xml_fragments().join("\n");
+    // Managers on that date: 2501 (d01), 3402 (d02), 4748 (d03).
+    for m in ["2501", "3402", "4748"] {
+        assert!(via_sql.contains(m), "missing manager {m} in {via_sql}");
+    }
+    assert!(!via_sql.contains("1009"), "1009 starts 1997: {via_sql}");
+
+    let mut resolver = MapResolver::new();
+    resolver.insert("depts.xml", a.publish("dept").unwrap());
+    let engine = Engine::new(resolver);
+    let native = engine.eval_to_xml(q).unwrap();
+    assert_eq!(native, via_sql);
+}
+
+#[test]
+fn relations_catalog_tracks_both() {
+    let a = setup();
+    let rels = a.database().table("relations").unwrap().scan().unwrap();
+    assert_eq!(rels.len(), 2);
+    let names: Vec<String> = rels.iter().map(|r| r[0].to_string()).collect();
+    assert!(names.contains(&"employee".to_string()));
+    assert!(names.contains(&"dept".to_string()));
+}
+
+#[test]
+fn dept_history_publication_matches_table2() {
+    let a = setup();
+    let doc = a.publish("dept").unwrap();
+    assert_eq!(doc.name, "depts");
+    let d02 = doc
+        .children_named("dept")
+        .find(|e| e.first_child("deptno").unwrap().text_content() == "d02")
+        .unwrap();
+    let mgrs: Vec<String> =
+        d02.children_named("mgrno").map(|e| e.text_content()).collect();
+    assert_eq!(mgrs, vec!["3402".to_string(), "1009".to_string()]);
+    let first = d02.children_named("mgrno").next().unwrap();
+    assert_eq!(first.attr("tend"), Some("1996-12-31"));
+    // The dissolved dept's periods are all closed.
+    let d03 = doc
+        .children_named("dept")
+        .find(|e| e.first_child("deptno").unwrap().text_content() == "d03")
+        .unwrap();
+    assert_eq!(d03.attr("tend"), Some("1997-12-31"));
+}
+
+#[test]
+fn cross_relation_join_runs_natively() {
+    // The paper's QUERY 4 (temporal join across documents) on published
+    // views — the shape the translator does not cover runs natively.
+    let a = setup();
+    let mut resolver = MapResolver::new();
+    resolver.insert("depts.xml", a.publish("dept").unwrap());
+    resolver.insert("employees.xml", a.publish("employee").unwrap());
+    let engine = Engine::new(resolver);
+    let out = engine
+        .eval_to_xml(
+            r#"element manages {
+                for $dep in doc("depts.xml")/depts/dept[deptno = "d01"]
+                for $m in $dep/mgrno
+                return element manage {
+                    string($m),
+                    for $e in doc("employees.xml")/employees/employee
+                    where $e/deptno = "d01" and not(empty(overlapinterval($e, $m)))
+                    return ($e/name, overlapinterval($e, $m)) } }"#,
+        )
+        .unwrap();
+    assert!(out.contains("2501"), "{out}");
+    assert!(out.contains("Bob"), "{out}");
+    assert!(out.contains("interval"), "{out}");
+}
+
+#[test]
+fn per_relation_archival_is_independent() {
+    let a = setup();
+    a.force_archive("dept", d("1999-12-31")).unwrap();
+    // dept attributes got archived; employee ones did not.
+    let dept_segs = a.segments_of("dept", "mgrno").unwrap();
+    assert_eq!(dept_segs.len(), 2, "one archived + live");
+    let emp_segs = a.segments_of("employee", "salary").unwrap();
+    assert_eq!(emp_segs.len(), 1, "live only");
+    // Queries still correct after dept archival.
+    let q = r#"for $m in doc("depts.xml")/depts/dept/mgrno
+                   [tstart(.) <= xs:date("1994-05-06") and tend(.) >= xs:date("1994-05-06")]
+               return $m"#;
+    let sql = a.translate(q).unwrap();
+    assert!(sql.contains(".segno = 1"), "snapshot restricted to segment 1: {sql}");
+    let out = a.query(q).unwrap().xml_fragments().join("\n");
+    assert!(out.contains("2501") && out.contains("3402") && out.contains("4748"));
+}
