@@ -1,0 +1,71 @@
+//! Criterion benches for the streaming-scan work: sequential-scan
+//! throughput (full drain and LIMIT-style early take) and snapshot point
+//! lookups, at 1k / 10k / 100k rows on both storage layouts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use relstore::exec::SeqScan;
+use relstore::{DataType, Database, Field, Schema, StorageKind, Value};
+
+fn populated(rows: i64, kind: StorageKind) -> Database {
+    let db = Database::with_capacity(4096);
+    let t = db
+        .create_table(
+            "t",
+            Schema::new(vec![
+                Field::new("k", DataType::Int),
+                Field::new("payload", DataType::Str),
+            ]),
+            kind,
+            &["k"],
+        )
+        .unwrap();
+    t.create_index("t_by_k", &["k"]).unwrap();
+    t.insert_all(
+        (0..rows).map(|i| vec![Value::Int(i), Value::Str(format!("payload-{i:08}"))]),
+    )
+    .unwrap();
+    db
+}
+
+fn bench_scans(c: &mut Criterion) {
+    for rows in [1_000i64, 10_000, 100_000] {
+        for kind in [StorageKind::Heap, StorageKind::Clustered] {
+            let label = match kind {
+                StorageKind::Heap => "heap",
+                StorageKind::Clustered => "clustered",
+            };
+            let db = populated(rows, kind);
+            let t = db.table("t").unwrap();
+
+            let mut group = c.benchmark_group(format!("seq-scan/{label}/{rows}"));
+            group.sample_size(10);
+            group.bench_function("full", |b| {
+                b.iter(|| {
+                    db.pool().flush_all().unwrap();
+                    SeqScan::new(&t).map(|r| r.unwrap()).count()
+                });
+            });
+            group.bench_function("take5", |b| {
+                b.iter(|| {
+                    db.pool().flush_all().unwrap();
+                    SeqScan::new(&t).take(5).map(|r| r.unwrap()).count()
+                });
+            });
+            group.finish();
+
+            let mut group = c.benchmark_group(format!("point-lookup/{label}/{rows}"));
+            group.sample_size(10);
+            let probe = [Value::Int(rows / 2)];
+            group.bench_function("by-index", |b| {
+                b.iter(|| {
+                    db.pool().flush_all().unwrap();
+                    t.index_lookup("t_by_k", &probe).unwrap().len()
+                });
+            });
+            group.finish();
+        }
+    }
+}
+
+criterion_group!(benches, bench_scans);
+criterion_main!(benches);

@@ -4,13 +4,32 @@
 //! reproduce [-e EXPERIMENT]... [--scale N] [--runs N]
 //!
 //! EXPERIMENT: fig7 | fig8 | translate | fig9 | snapcur | fig10 |
-//!             fig11 | fig13 | fig14 | updates | all   (default: all)
+//!             fig11 | fig13 | fig14 | updates | scan | all   (default: all)
 //! --scale N   initial employee population (default 100; fig10 also
 //!             loads 7N)
 //! --runs N    cold runs per query, median reported (default 3)
 //! ```
+//!
+//! After each experiment the harness prints the buffer-pool I/O it
+//! accumulated — logical reads, physical reads, and the hit rate — so a
+//! change in caching or scan behaviour shows up as a delta even when wall
+//! times are noisy.
 
 use bench::experiments as exp;
+
+/// Run one experiment and report the pool I/O it accumulated.
+fn section(name: &str, f: impl FnOnce()) {
+    let _ = bench::iostat::take(); // drop anything a prior phase leaked
+    f();
+    let (logical, physical) = bench::iostat::take();
+    if logical > 0 {
+        let hits = logical - physical.min(logical);
+        println!(
+            "   [{name}] pool I/O: {logical} logical / {physical} physical reads, hit rate {:.1}%",
+            100.0 * hits as f64 / logical as f64
+        );
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -37,7 +56,7 @@ fn main() {
             }
             "-h" | "--help" => {
                 println!(
-                    "reproduce [-e fig7|fig8|translate|fig9|snapcur|fig10|fig11|fig13|fig14|updates|all] [--scale N] [--runs N]"
+                    "reproduce [-e fig7|fig8|translate|fig9|snapcur|fig10|fig11|fig13|fig14|updates|scan|all] [--scale N] [--runs N]"
                 );
                 return;
             }
@@ -55,33 +74,58 @@ fn main() {
 
     println!("ArchIS reproduction harness — scale {scale} employees, {runs} cold run(s) per query");
     if want("fig7") {
-        exp::fig7(scale);
+        section("fig7", || {
+            exp::fig7(scale);
+        });
     }
     if want("fig8") {
-        exp::fig8(scale, runs);
+        section("fig8", || {
+            exp::fig8(scale, runs);
+        });
     }
     if want("translate") {
-        exp::translate_cost(scale);
+        section("translate", || {
+            exp::translate_cost(scale);
+        });
     }
     if want("fig9") {
-        exp::fig9(scale, runs);
+        section("fig9", || {
+            exp::fig9(scale, runs);
+        });
     }
     if want("snapcur") {
-        exp::snapshot_vs_current(scale, runs);
+        section("snapcur", || {
+            exp::snapshot_vs_current(scale, runs);
+        });
     }
     if want("fig10") {
-        exp::fig10(scale, runs);
+        section("fig10", || {
+            exp::fig10(scale, runs);
+        });
     }
     if want("fig11") {
-        exp::fig11(scale);
+        section("fig11", || {
+            exp::fig11(scale);
+        });
     }
     if want("fig13") {
-        exp::fig13(scale);
+        section("fig13", || {
+            exp::fig13(scale);
+        });
     }
     if want("fig14") {
-        exp::fig14(scale, runs);
+        section("fig14", || {
+            exp::fig14(scale, runs);
+        });
     }
     if want("updates") {
-        exp::updates(scale);
+        section("updates", || {
+            exp::updates(scale);
+        });
+    }
+    if want("scan") {
+        section("scan", || {
+            exp::scan_streaming(100_000, runs);
+        });
     }
 }

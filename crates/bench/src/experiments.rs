@@ -63,8 +63,8 @@ pub fn fig8(employees: usize, runs: usize) -> Vec<Vec<String>> {
             format!("{:.2}", c.ms()),
             format!("{:.1}x", t.ms() / h.ms().max(1e-6)),
             format!("{:.1}x", t.ms() / c.ms().max(1e-6)),
-            h.logical_reads.to_string(),
-            c.logical_reads.to_string(),
+            h.physical_reads.to_string(),
+            c.physical_reads.to_string(),
         ]);
     }
     print_table(
@@ -118,8 +118,8 @@ pub fn fig9(employees: usize, runs: usize) -> Vec<Vec<String>> {
             format!("{:.2}", w.ms()),
             format!("{:.2}", wo.ms()),
             format!("{:.2}x", wo.ms() / w.ms().max(1e-6)),
-            w.logical_reads.to_string(),
-            wo.logical_reads.to_string(),
+            w.physical_reads.to_string(),
+            wo.physical_reads.to_string(),
         ]);
     }
     print_table(
@@ -170,7 +170,7 @@ pub fn fig10(employees: usize, runs: usize) -> Vec<Vec<String>> {
             format!("{:.2}", s.ms()),
             format!("{:.2}", b.ms()),
             format!("{:.1}x", b.ms() / s.ms().max(1e-6)),
-            format!("{:.1}x", b.logical_reads as f64 / s.logical_reads.max(1) as f64),
+            format!("{:.1}x", b.physical_reads as f64 / s.physical_reads.max(1) as f64),
         ]);
     }
     print_table(
@@ -267,9 +267,12 @@ pub fn fig14(employees: usize, runs: usize) -> Vec<Vec<String>> {
         heap.database().pool().reset_stats();
         let start = Instant::now();
         f();
+        let stats = heap.database().pool().stats();
+        crate::iostat::record(stats.logical_reads, stats.physical_reads);
         RunCost {
             time: start.elapsed(),
-            logical_reads: heap.database().pool().stats().physical_reads,
+            logical_reads: stats.logical_reads,
+            physical_reads: stats.physical_reads,
         }
     };
     let (w1, w2) = qs.window;
@@ -430,6 +433,97 @@ pub fn updates(employees: usize) -> Vec<Vec<String>> {
     rows
 }
 
+/// Streaming-scan microbenchmark: LIMIT-style early termination against
+/// the old materialize-everything execution, on a `rows`-row table
+/// (default 100k). Prints the table and writes `BENCH_scan.json` next to
+/// the working directory so CI can diff the numbers.
+pub fn scan_streaming(rows: usize, runs: usize) -> Vec<Vec<String>> {
+    use relstore::exec::SeqScan;
+    use relstore::{DataType, Database, Field, Schema, StorageKind, Value};
+
+    let db = Database::with_capacity(256);
+    let t = db
+        .create_table(
+            "t",
+            Schema::new(vec![
+                Field::new("k", DataType::Int),
+                Field::new("payload", DataType::Str),
+            ]),
+            StorageKind::Clustered,
+            &["k"],
+        )
+        .unwrap();
+    t.insert_all(
+        (0..rows as i64).map(|i| vec![Value::Int(i), Value::Str(format!("payload-{i:08}"))]),
+    )
+    .unwrap();
+
+    let cold = |f: &dyn Fn() -> usize| -> (f64, u64, u64) {
+        let mut best = f64::MAX;
+        let mut io = (0, 0);
+        for _ in 0..runs.max(1) {
+            db.pool().flush_all().unwrap();
+            db.pool().reset_stats();
+            let start = Instant::now();
+            std::hint::black_box(f());
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            let stats = db.pool().stats();
+            crate::iostat::record(stats.logical_reads, stats.physical_reads);
+            if ms < best {
+                best = ms;
+                io = (stats.logical_reads, stats.physical_reads);
+            }
+        }
+        (best, io.0, io.1)
+    };
+
+    let take_n = 5usize;
+    // Streaming: the executor pulls pages only until the take is satisfied.
+    let (s_ms, s_log, s_phys) =
+        cold(&|| SeqScan::new(&t).take(take_n).map(|r| r.unwrap()).count());
+    // Materialized: what every scan paid before cursors — drain the whole
+    // table, then truncate.
+    let (m_ms, m_log, m_phys) = cold(&|| {
+        let mut all: Vec<_> = t.scan().unwrap();
+        all.truncate(take_n);
+        all.len()
+    });
+    // Full drain, both ways (streaming must not regress the full scan).
+    let (fs_ms, _, fs_phys) = cold(&|| SeqScan::new(&t).map(|r| r.unwrap()).count());
+    let (fm_ms, _, fm_phys) = cold(&|| t.scan().unwrap().len());
+
+    let speedup = m_ms / s_ms.max(1e-6);
+    let out_rows = vec![
+        vec![
+            format!("take({take_n}) streaming"),
+            format!("{s_ms:.3}"),
+            s_log.to_string(),
+            s_phys.to_string(),
+        ],
+        vec![
+            format!("take({take_n}) materialized"),
+            format!("{m_ms:.3}"),
+            m_log.to_string(),
+            m_phys.to_string(),
+        ],
+        vec!["full scan streaming".into(), format!("{fs_ms:.3}"), "-".into(), fs_phys.to_string()],
+        vec!["full scan materialized".into(), format!("{fm_ms:.3}"), "-".into(), fm_phys.to_string()],
+        vec!["early-termination speedup".into(), format!("{speedup:.1}x"), "-".into(), "-".into()],
+    ];
+    print_table(
+        &format!("Streaming scans: {rows}-row seq scan, cold (ms)"),
+        &["variant", "ms", "logical", "physical"],
+        &out_rows,
+    );
+    let json = format!(
+        "{{\n  \"rows\": {rows},\n  \"take\": {take_n},\n  \"streaming_ms\": {s_ms:.4},\n  \"materialized_ms\": {m_ms:.4},\n  \"speedup\": {speedup:.2},\n  \"streaming_physical_reads\": {s_phys},\n  \"materialized_physical_reads\": {m_phys},\n  \"full_scan_streaming_ms\": {fs_ms:.4},\n  \"full_scan_materialized_ms\": {fm_ms:.4},\n  \"full_scan_physical_reads\": {fs_phys}\n}}\n"
+    );
+    if let Err(e) = std::fs::write("BENCH_scan.json", &json) {
+        eprintln!("warning: could not write BENCH_scan.json: {e}");
+    }
+    out_rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -492,5 +586,19 @@ mod tests {
         assert_eq!(fig14(10, 1).len(), 6);
         let rows = updates(10);
         assert_eq!(rows.len(), 4);
+    }
+
+    #[test]
+    fn streaming_scan_terminates_early_and_wins() {
+        let rows = scan_streaming(20_000, 3);
+        let s_phys: u64 = rows[0][3].parse().unwrap();
+        let m_phys: u64 = rows[1][3].parse().unwrap();
+        assert!(
+            s_phys * 10 < m_phys,
+            "take(5) must fault far fewer pages than a drain: {s_phys} vs {m_phys}"
+        );
+        let speedup: f64 = rows[4][1].trim_end_matches('x').parse().unwrap();
+        assert!(speedup >= 2.0, "early termination only {speedup}x faster");
+        let _ = std::fs::remove_file("BENCH_scan.json");
     }
 }

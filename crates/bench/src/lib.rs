@@ -97,16 +97,48 @@ pub fn base_config(employees: usize) -> DatasetConfig {
 pub struct RunCost {
     /// Wall time.
     pub time: Duration,
-    /// Physical page reads — distinct pages faulted from storage
-    /// (relational systems) — or bytes decompressed / 4096 (native XML),
-    /// as a deterministic I/O proxy.
+    /// Buffer-pool page requests (every `get`, hit or miss).
     pub logical_reads: u64,
+    /// Pages actually faulted from storage (relational systems) — or
+    /// bytes decompressed / 4096 (native XML) — the deterministic I/O
+    /// proxy the figures report.
+    pub physical_reads: u64,
 }
 
 impl RunCost {
     /// Milliseconds as f64.
     pub fn ms(&self) -> f64 {
         self.time.as_secs_f64() * 1e3
+    }
+
+    /// Buffer-pool hit rate for this run (1.0 when nothing was read).
+    pub fn hit_rate(&self) -> f64 {
+        if self.logical_reads == 0 {
+            return 1.0;
+        }
+        let misses = self.physical_reads.min(self.logical_reads);
+        (self.logical_reads - misses) as f64 / self.logical_reads as f64
+    }
+}
+
+/// Process-wide I/O accumulator so the `reproduce` binary can print a
+/// logical/physical/hit-rate delta after each experiment (the experiments
+/// build their pools internally, so the binary can't reach them directly).
+pub mod iostat {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static LOGICAL: AtomicU64 = AtomicU64::new(0);
+    static PHYSICAL: AtomicU64 = AtomicU64::new(0);
+
+    /// Fold one run's reads into the running totals.
+    pub fn record(logical: u64, physical: u64) {
+        LOGICAL.fetch_add(logical, Ordering::Relaxed);
+        PHYSICAL.fetch_add(physical, Ordering::Relaxed);
+    }
+
+    /// Drain the totals accumulated since the last call.
+    pub fn take() -> (u64, u64) {
+        (LOGICAL.swap(0, Ordering::Relaxed), PHYSICAL.swap(0, Ordering::Relaxed))
     }
 }
 
@@ -119,7 +151,9 @@ pub fn run_archis_cold(archis: &ArchIS, xq: &str) -> RunCost {
     let out = archis.query(xq).expect("query");
     std::hint::black_box(&out);
     let time = start.elapsed();
-    RunCost { time, logical_reads: pool.stats().physical_reads }
+    let stats = pool.stats();
+    iostat::record(stats.logical_reads, stats.physical_reads);
+    RunCost { time, logical_reads: stats.logical_reads, physical_reads: stats.physical_reads }
 }
 
 /// Run raw SQL cold on an ArchIS system.
@@ -131,7 +165,9 @@ pub fn run_sql_cold(archis: &ArchIS, sql: &str) -> RunCost {
     let out = archis.execute_sql(sql).expect("query");
     std::hint::black_box(&out);
     let time = start.elapsed();
-    RunCost { time, logical_reads: pool.stats().physical_reads }
+    let stats = pool.stats();
+    iostat::record(stats.logical_reads, stats.physical_reads);
+    RunCost { time, logical_reads: stats.logical_reads, physical_reads: stats.physical_reads }
 }
 
 /// Run a query cold on the native XML database (cache flushed, so the
@@ -142,7 +178,8 @@ pub fn run_xmldb_cold(db: &XmlDb, xq: &str) -> RunCost {
     let out = db.query_xml(xq).expect("query");
     std::hint::black_box(&out);
     let time = start.elapsed();
-    RunCost { time, logical_reads: (db.raw_bytes() / 4096) as u64 }
+    let proxy = (db.raw_bytes() / 4096) as u64;
+    RunCost { time, logical_reads: proxy, physical_reads: proxy }
 }
 
 /// Median of several cold runs (the paper averages 7 runs).

@@ -395,14 +395,33 @@ impl Archiver {
                     }
                 }
                 Some(_) => {
-                    // Close the open period at `at - 1`...
+                    // Close the open period at `at - 1`. When several
+                    // changes share a date an archival may already have run
+                    // *today*, making `at - 1 < live_start`: the closed
+                    // period then lies entirely inside an archived segment,
+                    // so the row moves there to keep the §6.1 invariants
+                    // (an archived copy with `tend = ∞` exists but is
+                    // superseded by this closed copy under the translator's
+                    // duplicate-elimination rule).
+                    let end = at.pred();
+                    let seg = if end < s.live_start {
+                        self.covering_segment(db, &htable::attr_table(&self.spec, attr), end)?
+                    } else {
+                        LIVE_SEGNO
+                    };
                     t.update_via_index(
                         &idx,
                         &[Value::Int(key)],
                         |r| r[0] == Value::Int(LIVE_SEGNO) && r[4] == Value::Date(END_OF_TIME),
-                        move |r| r[4] = Value::Date(at.pred()),
+                        move |r| {
+                            r[4] = Value::Date(end);
+                            r[0] = Value::Int(seg);
+                        },
                     )?;
                     s.nlive -= 1;
+                    if seg != LIVE_SEGNO {
+                        s.nall -= 1;
+                    }
                     // ... and open a new one unless the attribute was NULLed.
                     if !new_value.is_null() {
                         t.insert(vec![
@@ -460,22 +479,45 @@ impl Archiver {
                 r[ts_at + 1] = Value::Date(end);
             },
         )?;
-        // Close every open attribute period.
+        // Close every open attribute period. As in `update`, a close date
+        // that falls before the live segment's start (same-day changes
+        // after an archival) moves the row into the archived segment that
+        // covers it.
         let mut state = self.state.lock();
         for (attr, _) in &self.spec.attrs {
-            let t = db.table(&htable::attr_table(&self.spec, attr))?;
-            let idx = format!("{}_by_id", htable::attr_table(&self.spec, attr));
+            let tname = htable::attr_table(&self.spec, attr);
+            let t = db.table(&tname)?;
+            let idx = format!("{tname}_by_id");
+            let live_start = state.get(attr).expect("spec attr").live_start;
+            let seg_of = |end: Date| -> Result<i64> {
+                if end < live_start {
+                    self.covering_segment(db, &tname, end)
+                } else {
+                    Ok(LIVE_SEGNO)
+                }
+            };
+            let seg_at = seg_of(at)?;
+            let seg_pred = seg_of(at.pred())?;
+            let moved = std::cell::Cell::new(0u64);
             let n = t.update_via_index(
                 &idx,
                 &[Value::Int(key)],
                 |r| r[0] == Value::Int(LIVE_SEGNO) && r[4] == Value::Date(END_OF_TIME),
-                move |r| {
-                    let end = if r[3] == Value::Date(at) { at } else { at.pred() };
+                |r| {
+                    // A tuple deleted the day it was created keeps a
+                    // one-day life.
+                    let (end, seg) =
+                        if r[3] == Value::Date(at) { (at, seg_at) } else { (at.pred(), seg_pred) };
                     r[4] = Value::Date(end);
+                    if seg != LIVE_SEGNO {
+                        r[0] = Value::Int(seg);
+                        moved.set(moved.get() + 1);
+                    }
                 },
             )?;
             let s = state.get_mut(attr).expect("spec attr");
             s.nlive -= n as u64;
+            s.nall -= moved.get();
         }
         Ok(())
     }
@@ -510,6 +552,23 @@ impl Archiver {
             }
         }
         Ok(archived)
+    }
+
+    /// The archived segment of `tname` whose interval contains `end`:
+    /// the one with the greatest start ≤ `end` (segments tile time).
+    /// Falls back to the live segment if none is recorded yet.
+    fn covering_segment(&self, db: &Database, tname: &str, end: Date) -> Result<i64> {
+        let st = db.table(htable::SEGMENTS_TABLE)?;
+        let mut best: Option<(Date, i64)> = None;
+        for row in st.index_lookup("segments_by_tbl", &[Value::Str(tname.to_string())])? {
+            let (Some(segno), Some(start)) = (row[1].as_int(), row[2].as_date()) else {
+                continue;
+            };
+            if start <= end && best.map_or(true, |(bs, _)| start > bs) {
+                best = Some((start, segno));
+            }
+        }
+        Ok(best.map_or(LIVE_SEGNO, |(_, segno)| segno))
     }
 
     /// The paper's §6.1 archival procedure for one attribute table.

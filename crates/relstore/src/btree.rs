@@ -160,6 +160,13 @@ impl BTree {
         *self.root.lock()
     }
 
+    /// An independent handle to the same tree: shares the pool, snapshots
+    /// the current root. Lets owning iterators (streaming scans) keep
+    /// reading without borrowing the original.
+    pub fn clone_handle(&self) -> BTree {
+        BTree { pool: self.pool.clone(), root: Mutex::new(self.root_page()) }
+    }
+
     fn load(&self, id: PageId) -> Result<Node> {
         let frame = self.pool.get(id)?;
         let guard = frame.read();

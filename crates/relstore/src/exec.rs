@@ -24,41 +24,39 @@ pub type RowResult = Result<Row>;
 /// Object-safe alias for a boxed operator.
 pub type Executor = Box<dyn Iterator<Item = RowResult>>;
 
-/// Full-table scan.
+/// Full-table scan. Streams rows page-at-a-time through
+/// [`Table::stream`], so downstream early termination (LIMIT, point
+/// probes) stops pulling pages instead of paying full-table cost.
 pub struct SeqScan {
-    rows: std::vec::IntoIter<Row>,
-    err: Option<StoreError>,
+    inner: Executor,
 }
 
 impl SeqScan {
     /// Scan all rows of `table`.
     pub fn new(table: &Table) -> Self {
-        match table.scan() {
-            Ok(rows) => SeqScan { rows: rows.into_iter(), err: None },
-            Err(e) => SeqScan { rows: Vec::new().into_iter(), err: Some(e) },
+        match table.stream() {
+            Ok(stream) => SeqScan { inner: Box::new(stream) },
+            Err(e) => SeqScan { inner: Box::new(std::iter::once(Err(e))) },
         }
     }
 
     /// Wrap pre-materialized rows (used by table functions and tests).
     pub fn from_rows(rows: Vec<Row>) -> Self {
-        SeqScan { rows: rows.into_iter(), err: None }
+        SeqScan { inner: Box::new(rows.into_iter().map(Ok)) }
     }
 }
 
 impl Iterator for SeqScan {
     type Item = RowResult;
     fn next(&mut self) -> Option<RowResult> {
-        if let Some(e) = self.err.take() {
-            return Some(Err(e));
-        }
-        self.rows.next().map(Ok)
+        self.inner.next()
     }
 }
 
-/// B+tree index range scan.
+/// B+tree index range scan. Streams index entries leaf-by-leaf and fetches
+/// rows on demand (see [`Table::index_range_stream`]).
 pub struct IndexRangeScan {
-    rows: std::vec::IntoIter<Row>,
-    err: Option<StoreError>,
+    inner: Executor,
 }
 
 impl IndexRangeScan {
@@ -70,9 +68,9 @@ impl IndexRangeScan {
         lo: Bound<&[Value]>,
         hi: Bound<&[Value]>,
     ) -> Self {
-        match table.index_range(index, lo, hi) {
-            Ok(rows) => IndexRangeScan { rows: rows.into_iter(), err: None },
-            Err(e) => IndexRangeScan { rows: Vec::new().into_iter(), err: Some(e) },
+        match table.index_range_stream(index, lo, hi) {
+            Ok(stream) => IndexRangeScan { inner: Box::new(stream) },
+            Err(e) => IndexRangeScan { inner: Box::new(std::iter::once(Err(e))) },
         }
     }
 }
@@ -80,10 +78,7 @@ impl IndexRangeScan {
 impl Iterator for IndexRangeScan {
     type Item = RowResult;
     fn next(&mut self) -> Option<RowResult> {
-        if let Some(e) = self.err.take() {
-            return Some(Err(e));
-        }
-        self.rows.next().map(Ok)
+        self.inner.next()
     }
 }
 

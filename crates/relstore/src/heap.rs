@@ -159,18 +159,26 @@ impl HeapFile {
 
     /// All live `(address, record)` pairs in chain order.
     pub fn scan(&self) -> Result<Vec<(RecordId, Vec<u8>)>> {
-        let mut out = Vec::new();
-        let mut pid = Some(self.first);
-        while let Some(id) = pid {
-            let frame = self.pool.get(id)?;
-            let mut guard = frame.write();
-            let page = SlottedPage::new(&mut guard.data[..]);
-            for (slot, rec) in page.records() {
-                out.push((RecordId { page: id, slot: slot as u16 }, rec.to_vec()));
-            }
-            pid = page.next_page();
+        self.cursor().collect()
+    }
+
+    /// Streaming cursor over the chain: records arrive one page at a time,
+    /// and at most one frame is pinned at any moment (the page currently
+    /// being copied out). This is what lets executor scans terminate early
+    /// without paying for the whole table.
+    pub fn cursor(&self) -> HeapCursor {
+        HeapCursor {
+            pool: self.pool.clone(),
+            next_page: Some(self.first),
+            batch: Vec::new().into_iter(),
+            failed: false,
         }
-        Ok(out)
+    }
+
+    /// A read-only record fetcher that does not borrow the heap file
+    /// (shares the pool). Used by owning index-scan iterators.
+    pub fn reader(&self) -> HeapReader {
+        HeapReader { pool: self.pool.clone() }
     }
 
     /// Number of pages in the chain.
@@ -185,6 +193,68 @@ impl HeapFile {
             pid = page.next_page();
         }
         Ok(n)
+    }
+}
+
+/// Streaming iterator over a heap file's live records (see
+/// [`HeapFile::cursor`]). Owns its pool handle, so it outlives the borrow
+/// of the heap file that created it.
+pub struct HeapCursor {
+    pool: Arc<BufferPool>,
+    next_page: Option<PageId>,
+    batch: std::vec::IntoIter<(RecordId, Vec<u8>)>,
+    failed: bool,
+}
+
+impl HeapCursor {
+    /// Copy one page's records into the batch and release the frame.
+    fn load(&mut self, id: PageId) -> Result<()> {
+        let frame = self.pool.get(id)?;
+        let mut guard = frame.write();
+        let page = SlottedPage::new(&mut guard.data[..]);
+        let recs: Vec<(RecordId, Vec<u8>)> = page
+            .records()
+            .map(|(slot, rec)| (RecordId { page: id, slot: slot as u16 }, rec.to_vec()))
+            .collect();
+        self.next_page = page.next_page();
+        self.batch = recs.into_iter();
+        Ok(())
+    }
+}
+
+impl Iterator for HeapCursor {
+    type Item = Result<(RecordId, Vec<u8>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.failed {
+                return None;
+            }
+            if let Some(item) = self.batch.next() {
+                return Some(Ok(item));
+            }
+            let id = self.next_page.take()?;
+            if let Err(e) = self.load(id) {
+                self.failed = true;
+                return Some(Err(e));
+            }
+        }
+    }
+}
+
+/// Fetches records by address through the buffer pool without borrowing a
+/// [`HeapFile`] (see [`HeapFile::reader`]).
+pub struct HeapReader {
+    pool: Arc<BufferPool>,
+}
+
+impl HeapReader {
+    /// Read a record by address. `None` if it was deleted.
+    pub fn get(&self, rid: RecordId) -> Result<Option<Vec<u8>>> {
+        let frame = self.pool.get(rid.page)?;
+        let mut guard = frame.write();
+        let page = SlottedPage::new(&mut guard.data[..]);
+        Ok(page.get(rid.slot as usize).map(|r| r.to_vec()))
     }
 }
 

@@ -11,10 +11,10 @@
 //!   cluster key. The paper notes this layout's extra storage overhead
 //!   (Figure 11: ArchIS-ATLaS ratio 1.02 vs ArchIS-DB2 0.75).
 
-use crate::btree::BTree;
+use crate::btree::{BTree, RangeIter};
 use crate::buffer::BufferPool;
 use crate::catalog::StorageKind;
-use crate::heap::{HeapFile, RecordId};
+use crate::heap::{HeapCursor, HeapFile, HeapReader, RecordId};
 use crate::value::{decode_row, encode_key, encode_row, Schema, Value};
 use crate::{Result, StoreError};
 use std::ops::Bound;
@@ -304,7 +304,20 @@ impl Table {
     /// return cluster-key order (the temporally grouped order ArchIS relies
     /// on, paper §6).
     pub fn scan(&self) -> Result<Vec<Vec<Value>>> {
-        Ok(self.scan_with_handles()?.into_iter().map(|(_, r)| r).collect())
+        self.stream()?.collect()
+    }
+
+    /// Streaming full scan: rows arrive page-at-a-time with at most one
+    /// frame pinned, in the same order as [`Table::scan`]. The iterator
+    /// owns its storage handles, so it does not borrow the table.
+    pub fn stream(&self) -> Result<RowStream> {
+        let inner = match self.kind {
+            StorageKind::Heap => RowStreamInner::Heap(self.heap.as_ref().unwrap().cursor()),
+            StorageKind::Clustered => RowStreamInner::Clustered(
+                self.clustered.as_ref().unwrap().range(Bound::Unbounded, Bound::Unbounded)?,
+            ),
+        };
+        Ok(RowStream { inner })
     }
 
     /// Fetch the row behind an index payload handle.
@@ -369,6 +382,39 @@ impl Table {
         lo: Bound<&[u8]>,
         hi: Bound<&[u8]>,
     ) -> Result<Vec<Vec<Value>>> {
+        self.index_stream_raw(index, lo, hi)?.collect()
+    }
+
+    /// Streaming variant of [`Table::index_range`]: index entries are
+    /// walked leaf-by-leaf and rows fetched on demand, so early
+    /// termination (LIMIT, point probes) does not pay for the whole range.
+    pub fn index_range_stream(
+        &self,
+        index: &str,
+        lo: Bound<&[Value]>,
+        hi: Bound<&[Value]>,
+    ) -> Result<IndexRowStream> {
+        let lo_k = map_bound_enc(lo);
+        let hi_k = match hi {
+            Bound::Included(vals) => {
+                let enc = encode_key(vals);
+                match crate::btree::prefix_upper(&enc) {
+                    Some(h) => Bound::Excluded(h),
+                    None => Bound::Unbounded,
+                }
+            }
+            Bound::Excluded(vals) => Bound::Excluded(encode_key(vals)),
+            Bound::Unbounded => Bound::Unbounded,
+        };
+        self.index_stream_raw(index, as_bound_slice(&lo_k), as_bound_slice(&hi_k))
+    }
+
+    fn index_stream_raw(
+        &self,
+        index: &str,
+        lo: Bound<&[u8]>,
+        hi: Bound<&[u8]>,
+    ) -> Result<IndexRowStream> {
         let indexes = self.indexes.read();
         let idx = indexes
             .iter()
@@ -387,13 +433,14 @@ impl Table {
             },
             other => other,
         };
-        let mut out = Vec::new();
-        for (_, handle) in idx.tree.range(lo, hi)? {
-            if let Some(row) = self.fetch(&handle)? {
-                out.push(row);
+        let entries = idx.tree.range(lo, hi)?;
+        let fetch = match self.kind {
+            StorageKind::Heap => RowFetcher::Heap(self.heap.as_ref().unwrap().reader()),
+            StorageKind::Clustered => {
+                RowFetcher::Clustered(self.clustered.as_ref().unwrap().clone_handle())
             }
-        }
-        Ok(out)
+        };
+        Ok(IndexRowStream { entries, fetch })
     }
 
     /// Range scan over the *primary* clustered B+tree by a cluster-key
@@ -404,14 +451,20 @@ impl Table {
         lo: Bound<&[Value]>,
         hi: Bound<&[Value]>,
     ) -> Result<Vec<Vec<Value>>> {
+        self.cluster_range_stream(lo, hi)?.collect()
+    }
+
+    /// Streaming variant of [`Table::cluster_range`]: walks the primary
+    /// tree's leaf chain lazily in cluster-key order.
+    pub fn cluster_range_stream(
+        &self,
+        lo: Bound<&[Value]>,
+        hi: Bound<&[Value]>,
+    ) -> Result<RowStream> {
         let tree = self.clustered.as_ref().ok_or_else(|| {
             StoreError::SchemaMismatch(format!("{} is not clustered", self.name))
         })?;
-        let lo_k = match lo {
-            Bound::Included(v) => Bound::Included(encode_key(v)),
-            Bound::Excluded(v) => Bound::Excluded(encode_key(v)),
-            Bound::Unbounded => Bound::Unbounded,
-        };
+        let lo_k = map_bound_enc(lo);
         // Inclusive upper bounds on prefixes must cover longer keys.
         let hi_k = match hi {
             Bound::Included(v) => match crate::btree::prefix_upper(&encode_key(v)) {
@@ -421,17 +474,8 @@ impl Table {
             Bound::Excluded(v) => Bound::Excluded(encode_key(v)),
             Bound::Unbounded => Bound::Unbounded,
         };
-        let lo_ref = match &lo_k {
-            Bound::Included(v) => Bound::Included(v.as_slice()),
-            Bound::Excluded(v) => Bound::Excluded(v.as_slice()),
-            Bound::Unbounded => Bound::Unbounded,
-        };
-        let hi_ref = match &hi_k {
-            Bound::Included(v) => Bound::Included(v.as_slice()),
-            Bound::Excluded(v) => Bound::Excluded(v.as_slice()),
-            Bound::Unbounded => Bound::Unbounded,
-        };
-        tree.range(lo_ref, hi_ref)?.map(|(_, bytes)| decode_row(&bytes)).collect()
+        let iter = tree.range(as_bound_slice(&lo_k), as_bound_slice(&hi_k))?;
+        Ok(RowStream { inner: RowStreamInner::Clustered(iter) })
     }
 
     /// `(handle, row)` pairs whose index key equals `key_values` (prefix
@@ -565,6 +609,68 @@ impl Table {
             total += idx.tree.page_count()?;
         }
         Ok(total)
+    }
+}
+
+/// Streaming iterator over a table's rows (see [`Table::stream`] and
+/// [`Table::cluster_range_stream`]). Owns its storage handles; at most one
+/// buffer-pool frame is pinned at any moment.
+pub struct RowStream {
+    inner: RowStreamInner,
+}
+
+enum RowStreamInner {
+    Heap(HeapCursor),
+    Clustered(RangeIter),
+}
+
+impl Iterator for RowStream {
+    type Item = Result<Vec<Value>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match &mut self.inner {
+            RowStreamInner::Heap(c) => {
+                c.next().map(|r| r.and_then(|(_, bytes)| decode_row(&bytes)))
+            }
+            RowStreamInner::Clustered(it) => it.next().map(|(_, bytes)| decode_row(&bytes)),
+        }
+    }
+}
+
+/// Streaming iterator over index-selected rows (see
+/// [`Table::index_range_stream`]): walks index entries lazily and fetches
+/// each row on demand through an owning fetcher.
+pub struct IndexRowStream {
+    entries: RangeIter,
+    fetch: RowFetcher,
+}
+
+enum RowFetcher {
+    Heap(HeapReader),
+    Clustered(BTree),
+}
+
+impl Iterator for IndexRowStream {
+    type Item = Result<Vec<Value>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let (_, handle) = self.entries.next()?;
+            let fetched: Result<Option<Vec<Value>>> = match &self.fetch {
+                RowFetcher::Heap(reader) => RecordId::from_bytes(&handle)
+                    .and_then(|rid| reader.get(rid))
+                    .and_then(|b| b.map(|bytes| decode_row(&bytes)).transpose()),
+                RowFetcher::Clustered(tree) => tree
+                    .get(&handle)
+                    .and_then(|vals| vals.first().map(|bytes| decode_row(bytes)).transpose()),
+            };
+            match fetched {
+                Ok(Some(row)) => return Some(Ok(row)),
+                // Entry points at a deleted row (lazy index deletion).
+                Ok(None) => continue,
+                Err(e) => return Some(Err(e)),
+            }
+        }
     }
 }
 

@@ -1,0 +1,110 @@
+//! Streaming-scan guarantees: early termination bounds physical I/O, and
+//! cursors see exactly what a materialized scan sees.
+
+use relstore::exec::SeqScan;
+use relstore::{DataType, Database, Field, Schema, StorageKind, Value};
+
+const ROWS: i64 = 10_000;
+
+fn populated(kind: StorageKind) -> Database {
+    // Small pool so a full scan cannot hide in cache: pages must be
+    // faulted in as the cursor reaches them.
+    let db = Database::with_capacity(64);
+    let t = db
+        .create_table(
+            "t",
+            Schema::new(vec![
+                Field::new("k", DataType::Int),
+                Field::new("payload", DataType::Str),
+            ]),
+            kind,
+            &["k"],
+        )
+        .unwrap();
+    t.insert_all(
+        (0..ROWS).map(|i| vec![Value::Int(i), Value::Str(format!("payload-{i:06}"))]),
+    )
+    .unwrap();
+    db
+}
+
+/// `SeqScan` + `take(5)` must not pay full-table cost: the scan pulls
+/// pages on demand, so five rows touch a handful of pages, not hundreds.
+#[test]
+fn seq_scan_with_early_take_does_bounded_io() {
+    for kind in [StorageKind::Heap, StorageKind::Clustered] {
+        let db = populated(kind);
+        let t = db.table("t").unwrap();
+        let total_pages = t.page_count().unwrap();
+        assert!(total_pages > 50, "need a multi-page table, got {total_pages}");
+
+        db.pool().flush_all().unwrap();
+        db.pool().reset_stats();
+        let first5: Vec<_> = SeqScan::new(&t)
+            .take(5)
+            .collect::<relstore::Result<Vec<_>>>()
+            .unwrap();
+        assert_eq!(first5.len(), 5);
+        let reads = db.pool().stats().physical_reads;
+        assert!(
+            reads <= 8,
+            "{kind:?}: take(5) faulted {reads} pages of a {total_pages}-page table"
+        );
+
+        // A full drain from cold really does touch the whole table, so the
+        // bound above is meaningful.
+        db.pool().flush_all().unwrap();
+        db.pool().reset_stats();
+        let all: Vec<_> = SeqScan::new(&t).collect::<relstore::Result<Vec<_>>>().unwrap();
+        assert_eq!(all.len(), ROWS as usize);
+        assert!(db.pool().stats().physical_reads > reads * 4);
+    }
+}
+
+/// Row-for-row: streaming must be a pure re-expression of the
+/// materialized scan, in the same order.
+#[test]
+fn cursor_iteration_equals_materialized_scan() {
+    for kind in [StorageKind::Heap, StorageKind::Clustered] {
+        let db = populated(kind);
+        let t = db.table("t").unwrap();
+        let materialized = t.scan().unwrap();
+        let streamed: Vec<_> =
+            t.stream().unwrap().collect::<relstore::Result<Vec<_>>>().unwrap();
+        assert_eq!(materialized.len(), ROWS as usize);
+        assert_eq!(streamed, materialized, "{kind:?}: stream diverged from scan");
+    }
+}
+
+/// Index-range streaming agrees with the materialized index range and
+/// stays lazy (five rows from a 10k-row range must not drain the index).
+#[test]
+fn index_stream_matches_index_range() {
+    use std::ops::Bound;
+    let db = populated(StorageKind::Heap);
+    let t = db.table("t").unwrap();
+    t.create_index("t_by_k", &["k"]).unwrap();
+    let lo = [Value::Int(100)];
+    let hi = [Value::Int(9_900)];
+    let materialized = t
+        .index_range("t_by_k", Bound::Included(&lo[..]), Bound::Excluded(&hi[..]))
+        .unwrap();
+    let streamed: Vec<_> = t
+        .index_range_stream("t_by_k", Bound::Included(&lo[..]), Bound::Excluded(&hi[..]))
+        .unwrap()
+        .collect::<relstore::Result<Vec<_>>>()
+        .unwrap();
+    assert_eq!(streamed, materialized);
+
+    db.pool().flush_all().unwrap();
+    db.pool().reset_stats();
+    let first5: Vec<_> = t
+        .index_range_stream("t_by_k", Bound::Included(&lo[..]), Bound::Excluded(&hi[..]))
+        .unwrap()
+        .take(5)
+        .collect::<relstore::Result<Vec<_>>>()
+        .unwrap();
+    assert_eq!(first5.len(), 5);
+    let reads = db.pool().stats().physical_reads;
+    assert!(reads <= 16, "early-take over index stream faulted {reads} pages");
+}

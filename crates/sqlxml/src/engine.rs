@@ -115,8 +115,8 @@ pub fn execute_stmt_with(
     overrides: &HashMap<String, Vec<Row>>,
 ) -> Result<QueryResult> {
     let scope = Scope::build(db, stmt)?;
-    let rows = run_from_where(db, stmt, &scope, fns, overrides)?;
-    project(stmt, &scope, rows, fns)
+    let exec = run_from_where(db, stmt, &scope, fns, overrides)?;
+    project(stmt, &scope, exec, fns)
 }
 
 /// Name-resolution scope: the concatenated schema of the FROM tables.
@@ -287,14 +287,16 @@ fn conjuncts(e: &SqlExpr, out: &mut Vec<SqlExpr>) {
     }
 }
 
-/// Run FROM + WHERE, returning joined rows over the scope's schema.
+/// Run FROM + WHERE, returning a streaming executor of joined rows over
+/// the scope's schema. Single-table plans stream all the way from the
+/// base scan; joins materialize inside the join operators as before.
 fn run_from_where(
     db: &Database,
     stmt: &SelectStmt,
     scope: &Scope,
     fns: &Arc<FnRegistry>,
     overrides: &HashMap<String, Vec<Row>>,
-) -> Result<Vec<Row>> {
+) -> Result<Executor> {
     let mut table_preds: HashMap<String, Vec<SqlExpr>> = HashMap::new();
     let mut join_conds: Vec<(String, String, SqlExpr)> = Vec::new();
     let mut residual: Vec<SqlExpr> = Vec::new();
@@ -318,25 +320,25 @@ fn run_from_where(
         }
     }
 
-    // Per-table access paths.
-    let mut sources: HashMap<String, Vec<Row>> = HashMap::new();
+    // Per-table access paths (streaming executors).
+    let mut sources: HashMap<String, Executor> = HashMap::new();
     for (tname, alias) in &stmt.from {
         let t = db.table(tname)?;
         let preds = table_preds.remove(alias).unwrap_or_default();
-        let rows = match overrides.get(tname) {
+        let exec = match overrides.get(tname) {
             Some(provided) => filter_rows(provided.clone(), alias, &preds, scope, fns)?,
             None => scan_table(&t, alias, &preds, scope, fns)?,
         };
-        sources.insert(alias.clone(), rows);
+        sources.insert(alias.clone(), exec);
     }
 
     // Left-deep joins in FROM order.
-    let mut joined: Vec<Row> = Vec::new();
+    let mut joined: Option<Executor> = None;
     let mut joined_aliases: Vec<String> = Vec::new();
     for (i, (_tname, alias)) in stmt.from.iter().enumerate() {
-        let right_rows = sources.remove(alias).expect("scanned above");
+        let right_exec = sources.remove(alias).expect("scanned above");
         if i == 0 {
-            joined = right_rows;
+            joined = Some(right_exec);
             joined_aliases.push(alias.clone());
             continue;
         }
@@ -364,12 +366,10 @@ fn run_from_where(
                 break;
             }
         }
-        let left_exec: Executor = Box::new(SeqScan::from_rows(joined));
-        let right_exec: Executor = Box::new(SeqScan::from_rows(right_rows));
-        let out: Vec<Row> = if let Some((lk, rk)) = key_pair {
+        let left_exec: Executor = joined.take().expect("first table seeds the join");
+        let out: Executor = if let Some((lk, rk)) = key_pair {
             join_conds.remove(used);
-            SortMergeJoin::new(left_exec, right_exec, lk, rk)
-                .collect::<relstore::Result<Vec<Row>>>()?
+            Box::new(SortMergeJoin::new(left_exec, right_exec, lk, rk))
         } else {
             // Cross / theta join with any conds that connect now.
             let mut conds = Vec::new();
@@ -395,12 +395,13 @@ fn run_from_where(
                     .collect::<Result<Vec<_>>>()?;
                 Expr::and_all(compiled)
             };
-            NestedLoopJoin::new(left_exec, right_exec, cond_expr, fns.clone())
-                .collect::<relstore::Result<Vec<Row>>>()?
+            Box::new(NestedLoopJoin::new(left_exec, right_exec, cond_expr, fns.clone()))
         };
-        joined = out;
+        joined = Some(out);
         joined_aliases.push(alias.clone());
     }
+    let mut result: Executor =
+        joined.unwrap_or_else(|| Box::new(SeqScan::from_rows(Vec::new())));
 
     // Residual predicates (multi-table non-equi, or join conds that never
     // connected — e.g. a condition between tables 1 and 3 joined crosswise).
@@ -412,10 +413,9 @@ fn run_from_where(
             .map(|c| compile(c, scope, 0))
             .collect::<Result<Vec<_>>>()?;
         let pred = Expr::and_all(compiled);
-        joined = Filter::new(Box::new(SeqScan::from_rows(joined)), pred, fns.clone())
-            .collect::<relstore::Result<Vec<Row>>>()?;
+        result = Box::new(Filter::new(result, pred, fns.clone()));
     }
-    Ok(joined)
+    Ok(result)
 }
 
 fn is_col_eq_col(e: &SqlExpr) -> bool {
@@ -441,26 +441,28 @@ fn filter_rows(
     preds: &[SqlExpr],
     scope: &Scope,
     fns: &Arc<FnRegistry>,
-) -> Result<Vec<Row>> {
+) -> Result<Executor> {
+    let base: Executor = Box::new(SeqScan::from_rows(rows));
     if preds.is_empty() {
-        return Ok(rows);
+        return Ok(base);
     }
     let (offset, _arity) = scope.tables[alias];
     let compiled =
         preds.iter().map(|p| compile(p, scope, offset)).collect::<Result<Vec<_>>>()?;
     let pred = Expr::and_all(compiled);
-    Ok(Filter::new(Box::new(SeqScan::from_rows(rows)), pred, fns.clone())
-        .collect::<relstore::Result<Vec<Row>>>()?)
+    Ok(Box::new(Filter::new(base, pred, fns.clone())))
 }
 
 /// Scan one table with pushed-down predicates, via an index when possible.
+/// Returns a streaming executor: base scans pull pages on demand, so a
+/// downstream LIMIT stops the scan early.
 fn scan_table(
     table: &Table,
     alias: &str,
     preds: &[SqlExpr],
     scope: &Scope,
     fns: &Arc<FnRegistry>,
-) -> Result<Vec<Row>> {
+) -> Result<Executor> {
     let (offset, _arity) = scope.tables[alias];
     // Look for an indexable bound: col op literal on an indexed column.
     let mut best: Option<(String, Vec<(BinOp, Value)>)> = None;
@@ -493,7 +495,7 @@ fn scan_table(
             }
         }
     }
-    let base_rows: Vec<Row> = if let Some((col, bounds)) = best {
+    let base: Executor = if let Some((col, bounds)) = best {
         let index = table.index_on(&col).expect("checked above");
         let mut lo: Bound<Vec<Value>> = Bound::Unbounded;
         let mut hi: Bound<Vec<Value>> = Bound::Unbounded;
@@ -517,24 +519,82 @@ fn scan_table(
         if table.kind() == relstore::StorageKind::Clustered
             && table.cluster_columns().first().map(String::as_str) == Some(col.as_str())
         {
-            table.cluster_range(as_slice(&lo), as_slice(&hi))?
+            match parallel_cluster_scan(table, &lo, &hi)? {
+                Some(rows) => Box::new(SeqScan::from_rows(rows)),
+                None => Box::new(table.cluster_range_stream(as_slice(&lo), as_slice(&hi))?),
+            }
         } else {
-            IndexRangeScan::new(table, &index, as_slice(&lo), as_slice(&hi))
-                .collect::<relstore::Result<Vec<Row>>>()?
+            Box::new(IndexRangeScan::new(table, &index, as_slice(&lo), as_slice(&hi)))
         }
     } else {
-        SeqScan::new(table).collect::<relstore::Result<Vec<Row>>>()?
+        Box::new(SeqScan::new(table))
     };
     // Apply ALL pushed predicates (the index bound is a superset filter;
     // re-checking is cheap and keeps correctness independent of planning).
     if preds.is_empty() {
-        return Ok(base_rows);
+        return Ok(base);
     }
     let compiled =
         preds.iter().map(|p| compile(p, scope, offset)).collect::<Result<Vec<_>>>()?;
     let pred = Expr::and_all(compiled);
-    Ok(Filter::new(Box::new(SeqScan::from_rows(base_rows)), pred, fns.clone())
-        .collect::<relstore::Result<Vec<Row>>>()?)
+    Ok(Box::new(Filter::new(base, pred, fns.clone())))
+}
+
+/// Fan a multi-segment cluster-range scan across threads.
+///
+/// The translator's segment restriction (`segno >= lo and segno <= hi`,
+/// paper §6.3) bounds the leading cluster column to a small set of
+/// integers. Each segment occupies a contiguous cluster-key range, so
+/// scanning every segment in its own thread and concatenating the results
+/// in ascending segment order is byte-identical to the sequential primary
+/// range scan. Returns `None` (caller falls back to the sequential scan)
+/// unless both bounds are inclusive integers spanning 2..=64 segments and
+/// [`relstore::parallel`] is enabled.
+fn parallel_cluster_scan(
+    table: &Table,
+    lo: &Bound<Vec<Value>>,
+    hi: &Bound<Vec<Value>>,
+) -> Result<Option<Vec<Row>>> {
+    if !relstore::parallel::parallel_scans_enabled() {
+        return Ok(None);
+    }
+    let one_int = |b: &Bound<Vec<Value>>| -> Option<i64> {
+        match b {
+            Bound::Included(v) => match v.as_slice() {
+                [Value::Int(i)] => Some(*i),
+                _ => None,
+            },
+            _ => None,
+        }
+    };
+    let (Some(a), Some(b)) = (one_int(lo), one_int(hi)) else {
+        return Ok(None);
+    };
+    if !(a < b && b - a < 64) {
+        return Ok(None); // single segment or implausibly wide range
+    }
+    let segnos: Vec<i64> = (a..=b).collect();
+    let results: Vec<relstore::Result<Vec<Row>>> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = segnos
+            .iter()
+            .map(|&sn| {
+                s.spawn(move |_| {
+                    let key = [Value::Int(sn)];
+                    table.cluster_range(Bound::Included(&key[..]), Bound::Included(&key[..]))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("segment scan thread panicked"))
+            .collect()
+    })
+    .expect("scoped segment scan threads");
+    let mut out = Vec::new();
+    for r in results {
+        out.extend(r?);
+    }
+    Ok(Some(out))
 }
 
 fn flip(op: BinOp) -> BinOp {
@@ -602,7 +662,7 @@ fn as_slice(b: &Bound<Vec<Value>>) -> Bound<&[Value]> {
 fn project(
     stmt: &SelectStmt,
     scope: &Scope,
-    rows: Vec<Row>,
+    input: Executor,
     fns: &Arc<FnRegistry>,
 ) -> Result<QueryResult> {
     let grouped = !stmt.group_by.is_empty()
@@ -619,6 +679,18 @@ fn project(
             })
         })
         .collect();
+
+    // LIMIT without grouping or ordering can stop pulling from the pipeline
+    // as soon as enough rows have arrived — with streaming scans underneath,
+    // this bounds physical I/O by the limit, not the table size.
+    let rows: Vec<Row> = if !grouped && stmt.order_by.is_empty() {
+        match stmt.limit {
+            Some(n) => input.take(n).collect::<relstore::Result<Vec<Row>>>()?,
+            None => input.collect::<relstore::Result<Vec<Row>>>()?,
+        }
+    } else {
+        input.collect::<relstore::Result<Vec<Row>>>()?
+    };
 
     let groups: Vec<Vec<Row>> = if grouped {
         if stmt.group_by.is_empty() {

@@ -5,7 +5,6 @@
 //! arithmetic a plain integer subtraction and keeps ordering cheap — the
 //! property the paper relies on for temporal clustering and B+tree indexing.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
@@ -40,7 +39,7 @@ impl std::error::Error for DateError {}
 /// assert_eq!(d.to_string(), "1995-06-01");
 /// assert_eq!((d + 30).to_string(), "1995-07-01");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Date(i32);
 
 /// The internal representation of *now* / *until changed*: `9999-12-31`

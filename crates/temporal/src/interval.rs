@@ -3,7 +3,6 @@
 
 use crate::date::{Date, END_OF_TIME};
 use crate::TemporalError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A closed (inclusive) interval `[start, end]` of day-granularity dates.
@@ -22,7 +21,7 @@ use std::fmt;
 ///     Interval::parse("1995-06-01", "1995-06-30").unwrap()
 /// );
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Interval {
     start: Date,
     end: Date,

@@ -1,0 +1,213 @@
+//! Minimal API-compatible stand-in for the `criterion` crate (offline
+//! build). It runs each benchmark for a fixed number of timed iterations
+//! and prints min/median/mean wall times plus optional throughput — no
+//! statistical analysis, no HTML reports, but the same macro/API surface
+//! (`criterion_group!`, `criterion_main!`, `Criterion::benchmark_group`,
+//! `Bencher::iter`/`iter_with_setup`, `Throughput`), so `cargo bench`
+//! keeps working on every bench target with `harness = false`.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        run_bench("", name, sample_size, None, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl std::fmt::Display, f: F) -> &mut Self {
+        run_bench(&self.name, &name.to_string(), self.sample_size, self.throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; times the hot loop.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u32,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up (also primes caches the way criterion's warm-up does).
+        std::hint::black_box(f());
+        for _ in 0..self.samples.capacity() {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(f());
+            }
+            self.samples.push(start.elapsed() / self.iters_per_sample);
+        }
+    }
+
+    pub fn iter_with_setup<S, O, SF: FnMut() -> S, F: FnMut(S) -> O>(&mut self, mut setup: SF, mut f: F) {
+        std::hint::black_box(f(setup()));
+        for _ in 0..self.samples.capacity() {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(f(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    pub fn iter_batched<S, O, SF: FnMut() -> S, F: FnMut(S) -> O>(&mut self, setup: SF, f: F, _size: BatchSize) {
+        self.iter_with_setup(setup, f)
+    }
+}
+
+/// Batch-size hint (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    group: &str,
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let label = if group.is_empty() { name.to_string() } else { format!("{group}/{name}") };
+    let mut b = Bencher { samples: Vec::with_capacity(sample_size), iters_per_sample: 1 };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<40} (no samples)");
+        return;
+    }
+    b.samples.sort();
+    let median = b.samples[b.samples.len() / 2];
+    let min = b.samples[0];
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    let thrpt = match throughput {
+        Some(Throughput::Bytes(bytes)) if median.as_nanos() > 0 => {
+            let mibs = bytes as f64 / (1 << 20) as f64 / median.as_secs_f64();
+            format!("  thrpt {mibs:.1} MiB/s")
+        }
+        Some(Throughput::Elements(n)) if median.as_nanos() > 0 => {
+            let eps = n as f64 / median.as_secs_f64();
+            format!("  thrpt {eps:.0} elem/s")
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{label:<40} min {:>10}  median {:>10}  mean {:>10}{thrpt}",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(mean),
+    );
+}
+
+/// Same shape as criterion's macro: defines a function running each bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Same shape as criterion's macro: defines `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(5);
+        group.throughput(Throughput::Bytes(4096));
+        let mut ran = 0usize;
+        group.bench_function("noop", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            ran += 1;
+        });
+        group.bench_function("setup", |b| {
+            b.iter_with_setup(|| vec![1u8; 64], |v| v.len());
+            ran += 1;
+        });
+        group.finish();
+        assert_eq!(ran, 2);
+    }
+}

@@ -1,0 +1,76 @@
+//! Minimal API-compatible stand-in for `crossbeam`'s scoped threads,
+//! backed by `std::thread::scope` (available since Rust 1.63). Offline
+//! builds cannot fetch the real crate; this covers the subset used here:
+//! `crossbeam::thread::scope(|s| { s.spawn(|_| ...); }).unwrap()`.
+
+pub mod thread {
+    use std::thread as stdthread;
+
+    /// Scope handle passed to the `scope` closure and to each spawned
+    /// closure (crossbeam passes the scope so children can spawn
+    /// grandchildren).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: stdthread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Run `f` with a scope; all threads spawned in it are joined before
+    /// this returns. Like crossbeam, returns `Result` (`Err` if a child
+    /// panicked — std re-raises child panics on scope exit, so in practice
+    /// a child panic propagates as a panic here, which is what the tests'
+    /// `.unwrap()` expects on success paths).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(stdthread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_join_and_see_borrows() {
+        let counter = AtomicUsize::new(0);
+        crate::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn spawn_returns_joinable_handle() {
+        let out = crate::thread::scope(|s| {
+            let h = s.spawn(|_| 21 * 2);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+    }
+}

@@ -1,0 +1,744 @@
+//! Minimal API-compatible stand-in for the `proptest` crate (offline
+//! build — the real crate cannot be fetched). It keeps the same surface
+//! the workspace's property tests use — `proptest!`, `prop_assert!`,
+//! `prop_assert_eq!`, `prop_oneof!`, `Strategy` with `prop_map` /
+//! `prop_filter` / `prop_recursive`, `collection::vec`, `any::<T>()`,
+//! regex-pattern string strategies, `Just`, `ProptestConfig` — but runs
+//! pure generation with deterministic per-test seeds and reports failures
+//! by panicking with the failing inputs' `Debug` rendering instead of
+//! shrinking. Case counts honour `ProptestConfig::with_cases` and the
+//! `PROPTEST_CASES` environment variable.
+
+pub mod test_runner {
+    /// Deterministic xoshiro256** generator seeded from the test name and
+    /// case index, so failures reproduce run-to-run.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> Self {
+            let mut sm = seed;
+            TestRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+
+        /// Seed for one test case: FNV-1a of the test path mixed with the
+        /// case index.
+        pub fn for_case(test_path: &str, case: u32) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_path.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            Self::from_seed(h ^ ((case as u64) << 32 | case as u64))
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+
+        /// Uniform value in `[0, n)`, `n > 0`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            loop {
+                let x = self.next_u64();
+                let hi = ((x as u128 * n as u128) >> 64) as u64;
+                let lo = x.wrapping_mul(n);
+                if lo >= n || lo >= n.wrapping_neg() % n {
+                    return hi;
+                }
+            }
+        }
+    }
+
+    /// Runner configuration. Only `cases` is meaningful here.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64);
+            ProptestConfig { cases }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::string::generate_from_pattern;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { source: self, reason, pred }
+        }
+
+        /// Build a recursive strategy. `depth` bounds nesting; `_size` and
+        /// `_branch` are accepted for API compatibility. Implemented by
+        /// eagerly stacking `recurse` `depth` times over the leaf strategy,
+        /// which bounds generated trees to `depth` levels as long as the
+        /// closure mixes `inner` with leaf alternatives (the standard
+        /// `prop_oneof!` usage).
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _size: u32,
+            _branch: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let mut strat: BoxedStrategy<Self::Value> = self.boxed();
+            for _ in 0..depth {
+                strat = recurse(strat).boxed();
+            }
+            strat
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// Type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` adapter.
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// `prop_filter` adapter: rejection-samples the source.
+    pub struct Filter<S, F> {
+        source: S,
+        reason: &'static str,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1_000 {
+                let v = self.source.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 1000 candidates in a row: {}", self.reason)
+        }
+    }
+
+    /// Weighted union of strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! needs at least one arm with nonzero weight");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total);
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    fn uniform_i128(rng: &mut TestRng, lo: i128, span: u64) -> i128 {
+        lo + rng.below(span) as i128
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    uniform_i128(rng, self.start as i128, span) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u128;
+                    if span > u64::MAX as u128 {
+                        return rng.next_u64() as $t;
+                    }
+                    uniform_i128(rng, lo as i128, span as u64) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+
+    /// String-literal strategies: the pattern is a small regex subset
+    /// (char classes, `{m,n}`/`*`/`+`/`?` quantifiers, `\PC`).
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        min: usize,
+        max: usize, // exclusive
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { elem, min: size.start, max: size.end }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.min + rng.below((self.max - self.min) as u64) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// The canonical strategy for `T` (`any::<u8>()` etc.).
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod string {
+    //! Tiny regex-subset string generator backing `&str` strategies.
+    //! Supports: literals, `[...]` classes (ranges, escapes, literal `-`
+    //! at the edges), `\PC` (any non-control char, generated as printable
+    //! ASCII), and the quantifiers `{n}`, `{m,n}`, `*`, `+`, `?`.
+
+    use crate::test_runner::TestRng;
+
+    enum Atom {
+        Literal(char),
+        /// Inclusive char ranges; single chars are `(c, c)`.
+        Class(Vec<(char, char)>),
+        NonControl,
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: u32,
+        max: u32, // inclusive
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>) -> Vec<(char, char)> {
+        let mut ranges = Vec::new();
+        let mut pending: Option<char> = None;
+        loop {
+            let c = chars.next().expect("unterminated character class in pattern");
+            match c {
+                ']' => {
+                    if let Some(p) = pending {
+                        ranges.push((p, p));
+                    }
+                    return ranges;
+                }
+                '\\' => {
+                    let esc = chars.next().expect("dangling escape in class");
+                    if let Some(p) = pending {
+                        ranges.push((p, p));
+                    }
+                    pending = Some(match esc {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        other => other,
+                    });
+                }
+                '-' => {
+                    let prev = pending.take();
+                    if prev.is_none() || chars.peek() == Some(&']') || chars.peek().is_none() {
+                        // `-` at the start or end of the class: a literal
+                        // dash. Flush any pending single char first.
+                        if let Some(p) = prev {
+                            ranges.push((p, p));
+                        }
+                        pending = Some('-');
+                    } else {
+                        let lo = prev.unwrap();
+                        let hi = chars.next().unwrap();
+                        let hi = if hi == '\\' { chars.next().expect("dangling escape") } else { hi };
+                        assert!(lo <= hi, "inverted class range {lo}-{hi}");
+                        ranges.push((lo, hi));
+                    }
+                }
+                other => {
+                    if let Some(p) = pending {
+                        ranges.push((p, p));
+                    }
+                    pending = Some(other);
+                }
+            }
+        }
+    }
+
+    fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars>) -> (u32, u32) {
+        match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut body = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    body.push(c);
+                }
+                if let Some((m, n)) = body.split_once(',') {
+                    (m.trim().parse().expect("bad {m,n}"), n.trim().parse().expect("bad {m,n}"))
+                } else {
+                    let n: u32 = body.trim().parse().expect("bad {n}");
+                    (n, n)
+                }
+            }
+            Some('*') => {
+                chars.next();
+                (0, 16)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 16)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => Atom::Class(parse_class(&mut chars)),
+                '\\' => match chars.next().expect("dangling escape in pattern") {
+                    'P' => {
+                        let prop = chars.next().expect("\\P needs a property letter");
+                        assert_eq!(prop, 'C', "only \\PC (non-control) is supported");
+                        Atom::NonControl
+                    }
+                    'n' => Atom::Literal('\n'),
+                    't' => Atom::Literal('\t'),
+                    'r' => Atom::Literal('\r'),
+                    other => Atom::Literal(other),
+                },
+                '.' => Atom::NonControl,
+                other => Atom::Literal(other),
+            };
+            let (min, max) = parse_quantifier(&mut chars);
+            assert!(min <= max, "inverted quantifier in {pattern:?}");
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    fn sample_class(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+        let total: u64 = ranges.iter().map(|(lo, hi)| *hi as u64 - *lo as u64 + 1).sum();
+        let mut pick = rng.below(total);
+        for (lo, hi) in ranges {
+            let span = *hi as u64 - *lo as u64 + 1;
+            if pick < span {
+                return char::from_u32(*lo as u32 + pick as u32).expect("class range spans a surrogate gap");
+            }
+            pick -= span;
+        }
+        unreachable!()
+    }
+
+    pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(pattern) {
+            let count = piece.min + rng.below((piece.max - piece.min + 1) as u64) as u32;
+            for _ in 0..count {
+                match &piece.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(ranges) => out.push(sample_class(ranges, rng)),
+                    Atom::NonControl => out.push(sample_class(&[(' ', '~')], rng)),
+                }
+            }
+        }
+        out
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// The test-definition macro. Each generated `#[test]` runs `cases`
+/// deterministic generations of its inputs and executes the body; assert
+/// failures panic with the failing inputs appended for reproduction.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    let __inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    // Like upstream proptest, the body runs as a function
+                    // returning Result so `return Ok(())` early-exits work.
+                    let __outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                        || -> ::std::result::Result<(), ::std::string::String> { $body Ok(()) },
+                    ));
+                    match __outcome {
+                        Ok(Ok(())) => {}
+                        Ok(Err(reject)) => panic!(
+                            "proptest case {}/{} rejected ({reject}) with inputs: {}",
+                            __case + 1,
+                            __config.cases,
+                            __inputs
+                        ),
+                        Err(panic) => {
+                            eprintln!(
+                                "proptest case {}/{} failed with inputs: {}",
+                                __case + 1,
+                                __config.cases,
+                                __inputs
+                            );
+                            std::panic::resume_unwind(panic);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::for_case("self::ranges", 0);
+        let strat = (0i64..10, 5u8..=9);
+        for _ in 0..500 {
+            let (a, b) = strat.generate(&mut rng);
+            assert!((0..10).contains(&a));
+            assert!((5..=9).contains(&b));
+        }
+    }
+
+    #[test]
+    fn regex_patterns_generate_matching_strings() {
+        let mut rng = TestRng::for_case("self::regex", 0);
+        for _ in 0..200 {
+            let name = "[a-z][a-z0-9_]{0,8}".generate(&mut rng);
+            assert!(!name.is_empty() && name.len() <= 9);
+            assert!(name.chars().next().unwrap().is_ascii_lowercase());
+            assert!(name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+
+            let printable = "[ -~]{1,20}".generate(&mut rng);
+            assert!((1..=20).contains(&printable.len()));
+            assert!(printable.chars().all(|c| (' '..='~').contains(&c)));
+
+            let free = "\\PC*".generate(&mut rng);
+            assert!(free.chars().all(|c| !c.is_control()));
+
+            let tricky = "[<>a-z\"'=/ &;{}\\[\\]0-9-]{0,120}".generate(&mut rng);
+            assert!(tricky.len() <= 120);
+            for c in tricky.chars() {
+                assert!(
+                    "<>\"'=/ &;{}[]-".contains(c) || c.is_ascii_lowercase() || c.is_ascii_digit(),
+                    "unexpected char {c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oneof_and_filter_and_recursive_compose() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0u8..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 8, 4, |inner| {
+                crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
+        let mut rng = TestRng::for_case("self::tree", 1);
+        for _ in 0..200 {
+            let t = strat.generate(&mut rng);
+            assert!(depth(&t) <= 4, "depth-bounded: {t:?}");
+        }
+
+        let even = (0u32..100).prop_filter("even only", |v| v % 2 == 0);
+        for _ in 0..100 {
+            assert_eq!(even.generate(&mut rng) % 2, 0);
+        }
+
+        let weighted = prop_oneof![
+            9 => (0i32..1).prop_map(|_| "common"),
+            1 => Just("rare"),
+        ];
+        let rare = (0..1_000).filter(|_| weighted.generate(&mut rng) == "rare").count();
+        assert!((20..350).contains(&rare), "weights respected: {rare}/1000 rare");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works(xs in crate::collection::vec(any::<u8>(), 0..10), k in 1i64..5) {
+            prop_assert!(xs.len() < 10);
+            prop_assert_eq!(k.signum(), 1, "k positive {}", k);
+        }
+    }
+}
