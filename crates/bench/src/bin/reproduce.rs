@@ -4,7 +4,8 @@
 //! reproduce [-e EXPERIMENT]... [--scale N] [--runs N]
 //!
 //! EXPERIMENT: fig7 | fig8 | translate | fig9 | snapcur | fig10 |
-//!             fig11 | fig13 | fig14 | updates | scan | all   (default: all)
+//!             fig11 | fig13 | fig14 | updates | scan | commit |
+//!             all   (default: all)
 //! --scale N   initial employee population (default 100; fig10 also
 //!             loads 7N)
 //! --runs N    cold runs per query, median reported (default 3)
@@ -56,7 +57,7 @@ fn main() {
             }
             "-h" | "--help" => {
                 println!(
-                    "reproduce [-e fig7|fig8|translate|fig9|snapcur|fig10|fig11|fig13|fig14|updates|scan|all] [--scale N] [--runs N]"
+                    "reproduce [-e fig7|fig8|translate|fig9|snapcur|fig10|fig11|fig13|fig14|updates|scan|commit|all] [--scale N] [--runs N]"
                 );
                 return;
             }
@@ -126,6 +127,11 @@ fn main() {
     if want("scan") {
         section("scan", || {
             exp::scan_streaming(100_000, runs);
+        });
+    }
+    if want("commit") {
+        section("commit", || {
+            exp::commit_throughput(512, runs);
         });
     }
 }

@@ -524,6 +524,89 @@ pub fn scan_streaming(rows: usize, runs: usize) -> Vec<Vec<String>> {
     out_rows
 }
 
+/// Commit-throughput microbenchmark: single-row transactions against a
+/// WAL-backed store on a real filesystem, sweeping the group-commit batch
+/// size. Batch 1 pays one fsync per commit (DB2's MINCOMMIT=1); larger
+/// batches amortize the fsync across the group at the cost of a wider
+/// durability window. Prints the table and writes `BENCH_commit.json`.
+pub fn commit_throughput(txns: usize, runs: usize) -> Vec<Vec<String>> {
+    use relstore::wal::WalConfig;
+    use relstore::{DataType, Database, Field, Schema, StorageKind, Value};
+
+    let dir = std::env::temp_dir().join(format!("archis-commit-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench temp dir");
+    let schema = || {
+        Schema::new(vec![Field::new("id", DataType::Int), Field::new("payload", DataType::Str)])
+    };
+
+    let batches = [1usize, 8, 64];
+    let mut best_ms = [f64::MAX; 3];
+    for run in 0..runs.max(1) {
+        for (bi, &batch) in batches.iter().enumerate() {
+            let path = dir.join(format!("commit-b{batch}-r{run}.db"));
+            let wal = {
+                let mut p = path.as_os_str().to_os_string();
+                p.push(".wal");
+                std::path::PathBuf::from(p)
+            };
+            let _ = std::fs::remove_file(&path);
+            let _ = std::fs::remove_file(&wal);
+            {
+                let db = Database::open_wal(&path, 256, WalConfig::with_group_commit(batch))
+                    .expect("open WAL-backed store");
+                let t = db.create_table("t", schema(), StorageKind::Heap, &[]).unwrap();
+                let start = Instant::now();
+                for i in 0..txns as i64 {
+                    t.insert(vec![Value::Int(i), Value::Str(format!("payload-{i:08}"))]).unwrap();
+                    db.commit().unwrap();
+                }
+                let ms = start.elapsed().as_secs_f64() * 1e3;
+                if ms < best_ms[bi] {
+                    best_ms[bi] = ms;
+                }
+            }
+            let _ = std::fs::remove_file(&path);
+            let _ = std::fs::remove_file(&wal);
+        }
+    }
+    let _ = std::fs::remove_dir(&dir);
+
+    let cps: Vec<f64> = best_ms.iter().map(|ms| txns as f64 / (ms / 1e3)).collect();
+    let speedup = cps[2] / cps[0].max(1e-9);
+    let mut rows: Vec<Vec<String>> = batches
+        .iter()
+        .zip(best_ms.iter())
+        .zip(cps.iter())
+        .map(|((b, ms), c)| {
+            vec![
+                format!("batch {b}"),
+                format!("{ms:.1}"),
+                format!("{c:.0}"),
+                format!("{:.0}", (txns as f64 / *b as f64).ceil()),
+            ]
+        })
+        .collect();
+    rows.push(vec![
+        "batch-64 / batch-1".into(),
+        "-".into(),
+        format!("{speedup:.1}x"),
+        "-".into(),
+    ]);
+    print_table(
+        &format!("Group commit: {txns} single-row txns, fsync-per-batch (best of {runs})"),
+        &["group size", "total ms", "commits/sec", "fsyncs"],
+        &rows,
+    );
+    let json = format!(
+        "{{\n  \"txns\": {txns},\n  \"batch_1\": {{ \"ms\": {:.2}, \"commits_per_sec\": {:.1} }},\n  \"batch_8\": {{ \"ms\": {:.2}, \"commits_per_sec\": {:.1} }},\n  \"batch_64\": {{ \"ms\": {:.2}, \"commits_per_sec\": {:.1} }},\n  \"speedup_64_over_1\": {speedup:.2}\n}}\n",
+        best_ms[0], cps[0], best_ms[1], cps[1], best_ms[2], cps[2]
+    );
+    if let Err(e) = std::fs::write("BENCH_commit.json", &json) {
+        eprintln!("warning: could not write BENCH_commit.json: {e}");
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -600,5 +683,20 @@ mod tests {
         let speedup: f64 = rows[4][1].trim_end_matches('x').parse().unwrap();
         assert!(speedup >= 2.0, "early termination only {speedup}x faster");
         let _ = std::fs::remove_file("BENCH_scan.json");
+    }
+
+    #[test]
+    fn commit_throughput_rewards_group_commit() {
+        let rows = commit_throughput(96, 1);
+        assert_eq!(rows.len(), 4);
+        for r in &rows[..3] {
+            let cps: f64 = r[2].parse().unwrap();
+            assert!(cps > 0.0, "{}: nonpositive throughput", r[0]);
+        }
+        // Loose bound for debug builds / fast disks; the release run
+        // recorded in BENCH_commit.json is held to the ≥5x target.
+        let speedup: f64 = rows[3][2].trim_end_matches('x').parse().unwrap();
+        assert!(speedup >= 1.2, "group commit only {speedup}x over fsync-per-commit");
+        let _ = std::fs::remove_file("BENCH_commit.json");
     }
 }

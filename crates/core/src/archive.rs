@@ -615,6 +615,163 @@ impl Archiver {
         Ok(())
     }
 
+    /// Audit every structural invariant of this relation's H-tables and
+    /// return a human-readable description of each violation (empty =
+    /// consistent). Used by the crash-recovery torture tests: whatever
+    /// prefix of history a recovery restores, it must be *internally*
+    /// consistent — the §6.1 segment invariants, period sanity, coalesced
+    /// per-key timelines, and archiver counters that match the data.
+    pub fn verify_invariants(&self, db: &Database) -> Result<Vec<String>> {
+        let mut bad = Vec::new();
+        let state = self.state.lock();
+        for (attr, _) in &self.spec.attrs {
+            let tname = htable::attr_table(&self.spec, attr);
+            let rows = db.table(&tname)?.scan()?;
+            let segs = {
+                // Inline `segments` to avoid re-locking state.
+                let st = db.table(htable::SEGMENTS_TABLE)?;
+                let mut out = Vec::new();
+                for row in st.index_lookup("segments_by_tbl", &[Value::Str(tname.clone())])? {
+                    out.push(SegmentInfo {
+                        segno: row[1].as_int().unwrap_or(0),
+                        start: row[2].as_date().unwrap_or(END_OF_TIME),
+                        end: row[3].as_date().unwrap_or(END_OF_TIME),
+                    });
+                }
+                out.sort_by_key(|s| s.segno);
+                out
+            };
+            let by_segno: HashMap<i64, &SegmentInfo> =
+                segs.iter().map(|s| (s.segno, s)).collect();
+
+            // Per-row checks: period sanity + the §6.1 segment invariants.
+            for r in &rows {
+                let (Some(segno), Some(key), Some(ts), Some(te)) =
+                    (r[0].as_int(), r[1].as_int(), r[3].as_date(), r[4].as_date())
+                else {
+                    bad.push(format!("{tname}: malformed history row {r:?}"));
+                    continue;
+                };
+                if ts > te {
+                    bad.push(format!("{tname} key {key}: tstart {ts} > tend {te}"));
+                }
+                if segno == LIVE_SEGNO {
+                    continue;
+                }
+                match by_segno.get(&segno) {
+                    None => bad.push(format!(
+                        "{tname} key {key}: row in segment {segno} missing from the catalog"
+                    )),
+                    Some(seg) => {
+                        if ts > seg.end {
+                            bad.push(format!(
+                                "{tname} key {key}: tstart {ts} > segment {segno} end {}",
+                                seg.end
+                            ));
+                        }
+                        if te < seg.start {
+                            bad.push(format!(
+                                "{tname} key {key}: tend {te} < segment {segno} start {}",
+                                seg.start
+                            ));
+                        }
+                    }
+                }
+            }
+
+            // Per-key timeline checks. Archival copies duplicate rows
+            // across segments; an open archived copy is superseded by its
+            // closed counterpart (same key + tstart), so dedupe to the
+            // earliest tend before checking coalescing.
+            let mut timeline: HashMap<i64, HashMap<Date, Date>> = HashMap::new();
+            for r in &rows {
+                let (Some(key), Some(ts), Some(te)) =
+                    (r[1].as_int(), r[3].as_date(), r[4].as_date())
+                else {
+                    continue;
+                };
+                let periods = timeline.entry(key).or_default();
+                match periods.get_mut(&ts) {
+                    Some(end) => *end = (*end).min(te),
+                    None => {
+                        periods.insert(ts, te);
+                    }
+                }
+            }
+            for (key, periods) in &timeline {
+                let mut sorted: Vec<(Date, Date)> =
+                    periods.iter().map(|(a, b)| (*a, *b)).collect();
+                sorted.sort();
+                let mut open = 0;
+                for w in sorted.windows(2) {
+                    if w[1].0 <= w[0].1 {
+                        bad.push(format!(
+                            "{tname} key {key}: periods [{}, {}] and [{}, {}] overlap",
+                            w[0].0, w[0].1, w[1].0, w[1].1
+                        ));
+                    }
+                }
+                for (_, te) in &sorted {
+                    if *te == END_OF_TIME {
+                        open += 1;
+                    }
+                }
+                if open > 1 {
+                    bad.push(format!("{tname} key {key}: {open} open periods"));
+                }
+            }
+
+            // Archiver counters must describe the data they claim to.
+            if let Some(s) = state.get(attr) {
+                let nall =
+                    rows.iter().filter(|r| r[0] == Value::Int(LIVE_SEGNO)).count() as u64;
+                let nlive = rows
+                    .iter()
+                    .filter(|r| {
+                        r[0] == Value::Int(LIVE_SEGNO) && r[4] == Value::Date(END_OF_TIME)
+                    })
+                    .count() as u64;
+                if s.nall != nall {
+                    bad.push(format!(
+                        "{tname}: state says nall={} but live segment holds {nall} rows",
+                        s.nall
+                    ));
+                }
+                if s.nlive != nlive {
+                    bad.push(format!(
+                        "{tname}: state says nlive={} but live segment holds {nlive} open rows",
+                        s.nlive
+                    ));
+                }
+            }
+        }
+
+        // Key table: period sanity + at most one open period per key.
+        let kt = db.table(&htable::key_table(&self.spec))?;
+        let ts_at = 1 + self.spec.composite.len();
+        let mut open_per_key: HashMap<i64, usize> = HashMap::new();
+        for r in kt.scan()? {
+            let (Some(key), Some(ts), Some(te)) =
+                (r[0].as_int(), r[ts_at].as_date(), r[ts_at + 1].as_date())
+            else {
+                bad.push(format!("{}: malformed key row {r:?}", htable::key_table(&self.spec)));
+                continue;
+            };
+            if ts > te {
+                bad.push(format!("key table key {key}: tstart {ts} > tend {te}"));
+            }
+            if te == END_OF_TIME {
+                *open_per_key.entry(key).or_default() += 1;
+            }
+        }
+        for (key, n) in open_per_key {
+            if n > 1 {
+                bad.push(format!("key table key {key}: {n} open periods"));
+            }
+        }
+        Ok(bad)
+    }
+
     /// Segment catalog for an attribute: archived segments in order, then
     /// the live segment.
     pub fn segments(&self, db: &Database, attr: &str) -> Result<Vec<SegmentInfo>> {

@@ -173,12 +173,31 @@ impl ArchIS {
         Self::new(ArchConfig::default())
     }
 
-    /// Open (or create) a **durable** ArchIS instance in a page file.
-    /// Relation specs and archiver state are stored in meta tables and
-    /// restored on reopen; call [`ArchIS::checkpoint`] before dropping the
-    /// handle.
+    /// Open (or create) a **durable** ArchIS instance: a page file at
+    /// `path` plus a write-ahead log at `<path>.wal`. Every archival
+    /// operation (apply / archive / compress) commits as an atomic unit,
+    /// fsynced per [`ArchConfig::group_commit`]; after a crash, reopening
+    /// replays the committed log tail, so the store recovers to the last
+    /// durable archival transaction. Relation specs and archiver state are
+    /// stored in meta tables and restored on reopen; [`ArchIS::checkpoint`]
+    /// folds the log into the page file and truncates it.
     pub fn open_file(path: impl AsRef<std::path::Path>, config: ArchConfig) -> Result<Self> {
-        let db = Database::open_file(path, config.buffer_pages)?;
+        let batch = std::env::var("ARCHIS_GROUP_COMMIT")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(config.group_commit);
+        let db = Database::open_wal(
+            path,
+            config.buffer_pages,
+            relstore::WalConfig::with_group_commit(batch),
+        )?;
+        Self::open_with_database(db, config)
+    }
+
+    /// Build an ArchIS instance over a caller-supplied [`Database`] (e.g.
+    /// one opened over a fault-injected or custom WAL pager), restoring
+    /// relation specs and archiver state from its meta tables if present.
+    pub fn open_with_database(db: Database, config: ArchConfig) -> Result<Self> {
         let mut registry = FnRegistry::new();
         udf::register_temporal_udfs(&mut registry, config.now);
         let mut archis = ArchIS {
@@ -194,8 +213,30 @@ impl ArchIS {
     }
 
     /// Persist relation specs + archiver state and checkpoint the
-    /// underlying database.
+    /// underlying database (folding and truncating the WAL when present).
     pub fn checkpoint(&self) -> Result<()> {
+        self.persist_meta()?;
+        self.db.checkpoint()?;
+        Ok(())
+    }
+
+    /// Commit the current archival transaction on durable WAL-backed
+    /// instances: rewrite the meta tables (archiver counters move with
+    /// every change) so the committed state is self-describing, then flush
+    /// dirty pages to the log and append a commit record. No-op for
+    /// in-memory / plain-file instances.
+    fn txn_commit(&self) -> Result<()> {
+        if !self.db.is_transactional() {
+            return Ok(());
+        }
+        self.persist_meta()?;
+        self.db.commit()?;
+        Ok(())
+    }
+
+    /// Rewrite the meta tables (relation specs + archiver live-segment
+    /// state), creating them on first use.
+    fn persist_meta(&self) -> Result<()> {
         use relstore::value::{DataType, Field, Schema};
         if !self.db.has_table(META_RELATIONS) {
             self.db.create_table(
@@ -263,7 +304,6 @@ impl ArchIS {
                 ])?;
             }
         }
-        self.db.checkpoint()?;
         Ok(())
     }
 
@@ -363,6 +403,7 @@ impl ArchIS {
         )?;
         self.relations.insert(spec.name.clone(), spec.clone());
         self.archivers.insert(spec.name.clone(), archiver);
+        self.txn_commit()?;
         Ok(())
     }
 
@@ -384,10 +425,12 @@ impl ArchIS {
             .ok_or_else(|| ArchError::NotFound(format!("relation {name}")))
     }
 
-    /// Apply one tracked change (the trigger path of paper §5.2).
+    /// Apply one tracked change (the trigger path of paper §5.2). On
+    /// durable instances the change commits as one atomic transaction.
     pub fn apply(&self, change: &Change) -> Result<()> {
         let archiver = self.archiver(&change.relation())?;
-        archiver.apply(&self.db, change)
+        archiver.apply(&self.db, change)?;
+        self.txn_commit()
     }
 
     /// Apply a batch of changes (the update-log path of paper §5.2).
@@ -431,13 +474,19 @@ impl ArchIS {
     /// live segments that dropped below `Umin` (paper §6.1). Returns how
     /// many segments were archived.
     pub fn maybe_archive(&self, relation: &str, at: Date) -> Result<usize> {
-        self.archiver(relation)?.maybe_archive(&self.db, at)
+        let archived = self.archiver(relation)?.maybe_archive(&self.db, at)?;
+        if archived > 0 {
+            self.txn_commit()?;
+        }
+        Ok(archived)
     }
 
     /// Force-archive the live segment of every attribute table (used when
     /// enabling compression or at end of load).
     pub fn force_archive(&self, relation: &str, at: Date) -> Result<usize> {
-        self.archiver(relation)?.force_archive(&self.db, at)
+        let archived = self.archiver(relation)?.force_archive(&self.db, at)?;
+        self.txn_commit()?;
+        Ok(archived)
     }
 
     /// Publish the H-document view of a relation's history (paper §3).
@@ -502,6 +551,7 @@ impl ArchIS {
         let store = CompressedStore::build(&self.db, &spec, archiver, self.config.block_size)?;
         let blocks = store.block_count();
         self.compressed.insert(relation.to_string(), store);
+        self.txn_commit()?;
         Ok(blocks)
     }
 
@@ -536,6 +586,7 @@ impl ArchIS {
         for t in tables {
             self.db.vacuum_table(&t)?;
         }
+        self.txn_commit()?;
         Ok(())
     }
 

@@ -115,6 +115,12 @@ pub struct ArchConfig {
     pub buffer_pages: usize,
     /// Pinned `current-date` for *now* semantics (determinism).
     pub now: Date,
+    /// WAL group-commit batch size for durable ([`crate::ArchIS::open_file`])
+    /// instances: commits per log fsync. 1 = fsync-per-commit durability;
+    /// larger batches amortize the fsync across a window of archival
+    /// transactions. Ignored by in-memory instances. Overridable at open
+    /// time via the `ARCHIS_GROUP_COMMIT` environment variable.
+    pub group_commit: usize,
 }
 
 impl Default for ArchConfig {
@@ -125,6 +131,7 @@ impl Default for ArchConfig {
             block_size: 4000,
             buffer_pages: 4096,
             now: Date::from_ymd(2005, 1, 1).expect("valid"),
+            group_commit: 8,
         }
     }
 }
@@ -155,6 +162,12 @@ impl ArchConfig {
     /// Builder: set buffer pool pages.
     pub fn with_buffer_pages(mut self, pages: usize) -> Self {
         self.buffer_pages = pages;
+        self
+    }
+
+    /// Builder: set the WAL group-commit batch size (clamped to ≥ 1).
+    pub fn with_group_commit(mut self, batch: usize) -> Self {
+        self.group_commit = batch.max(1);
         self
     }
 }
@@ -196,5 +209,8 @@ mod tests {
         assert_eq!(c.storage, StorageKind::Clustered);
         assert_eq!(c.umin, 0.26);
         assert_eq!(ArchConfig::default().block_size, 4000);
+        assert_eq!(ArchConfig::default().group_commit, 8);
+        assert_eq!(ArchConfig::default().with_group_commit(0).group_commit, 1);
+        assert_eq!(ArchConfig::default().with_group_commit(64).group_commit, 64);
     }
 }

@@ -40,10 +40,16 @@ pub struct IoStats {
     pub logical_reads: u64,
     /// Pages faulted in from the pager.
     pub physical_reads: u64,
-    /// Dirty pages written back.
+    /// Dirty pages written back (evictions + checkpoint/commit flushes).
     pub physical_writes: u64,
     /// Frames evicted by the CLOCK sweep (excludes `flush_all` drops).
     pub evictions: u64,
+    /// Dirty write-backs caused by CLOCK eviction pressure.
+    pub writes_evict: u64,
+    /// Dirty write-backs caused by explicit flushes
+    /// ([`BufferPool::flush_all`] / [`BufferPool::flush_dirty`], i.e.
+    /// commits and checkpoints).
+    pub writes_checkpoint: u64,
 }
 
 impl IoStats {
@@ -87,6 +93,8 @@ pub struct BufferPool {
     physical_reads: AtomicU64,
     physical_writes: AtomicU64,
     evictions: AtomicU64,
+    writes_evict: AtomicU64,
+    writes_checkpoint: AtomicU64,
 }
 
 impl BufferPool {
@@ -107,6 +115,8 @@ impl BufferPool {
             physical_reads: AtomicU64::new(0),
             physical_writes: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            writes_evict: AtomicU64::new(0),
+            writes_checkpoint: AtomicU64::new(0),
         }
     }
 
@@ -216,6 +226,7 @@ impl BufferPool {
             let guard = slot.frame.read();
             if guard.dirty {
                 self.physical_writes.fetch_add(1, Ordering::Relaxed);
+                self.writes_evict.fetch_add(1, Ordering::Relaxed);
                 self.pager.write_page(slot.id, &guard.data[..])?;
             }
             self.evictions.fetch_add(1, Ordering::Relaxed);
@@ -233,6 +244,7 @@ impl BufferPool {
                 let mut guard = slot.frame.write();
                 if guard.dirty {
                     self.physical_writes.fetch_add(1, Ordering::Relaxed);
+                    self.writes_checkpoint.fetch_add(1, Ordering::Relaxed);
                     self.pager.write_page(slot.id, &guard.data[..])?;
                     guard.dirty = false;
                 }
@@ -244,6 +256,26 @@ impl BufferPool {
         Ok(())
     }
 
+    /// Write back every dirty page but keep the cache resident. This is
+    /// the commit-time flush: the WAL pager underneath logs the images, so
+    /// after this call plus [`Pager::commit`] the transaction is replayable
+    /// without paying `flush_all`'s cold-cache penalty.
+    pub fn flush_dirty(&self) -> Result<()> {
+        for shard in &self.shards {
+            let shard = shard.lock();
+            for slot in shard.slots.iter().flatten() {
+                let mut guard = slot.frame.write();
+                if guard.dirty {
+                    self.physical_writes.fetch_add(1, Ordering::Relaxed);
+                    self.writes_checkpoint.fetch_add(1, Ordering::Relaxed);
+                    self.pager.write_page(slot.id, &guard.data[..])?;
+                    guard.dirty = false;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Current counter values.
     pub fn stats(&self) -> IoStats {
         IoStats {
@@ -251,6 +283,8 @@ impl BufferPool {
             physical_reads: self.physical_reads.load(Ordering::Relaxed),
             physical_writes: self.physical_writes.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            writes_evict: self.writes_evict.load(Ordering::Relaxed),
+            writes_checkpoint: self.writes_checkpoint.load(Ordering::Relaxed),
         }
     }
 
@@ -260,6 +294,8 @@ impl BufferPool {
         self.physical_reads.store(0, Ordering::Relaxed);
         self.physical_writes.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
+        self.writes_evict.store(0, Ordering::Relaxed);
+        self.writes_checkpoint.store(0, Ordering::Relaxed);
     }
 }
 
@@ -370,5 +406,47 @@ mod tests {
     #[test]
     fn hit_rate_of_idle_pool_is_one() {
         assert_eq!(IoStats::default().hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn write_back_counters_split_evict_from_checkpoint() {
+        let p = pool(8);
+        // Dirty pages under pressure → eviction write-backs.
+        for _ in 0..32 {
+            let (_, f) = p.allocate().unwrap();
+            f.write().data[0] = 1;
+            drop(f); // allocate() marks frames dirty
+        }
+        let s = p.stats();
+        assert!(s.writes_evict > 0, "pressure produced eviction write-backs");
+        assert_eq!(s.writes_checkpoint, 0);
+        // Explicit flush → checkpoint write-backs for the remaining dirty set.
+        p.flush_all().unwrap();
+        let s = p.stats();
+        assert!(s.writes_checkpoint > 0);
+        assert_eq!(
+            s.physical_writes,
+            s.writes_evict + s.writes_checkpoint,
+            "the two causes partition total write-backs"
+        );
+    }
+
+    #[test]
+    fn flush_dirty_keeps_cache_resident() {
+        let p = pool(8);
+        let (id, f) = p.allocate().unwrap();
+        f.write().data[3] = 7;
+        drop(f);
+        p.flush_dirty().unwrap();
+        let writes = p.stats().physical_writes;
+        assert_eq!(p.stats().writes_checkpoint, writes);
+        p.reset_stats();
+        let f = p.get(id).unwrap();
+        assert_eq!(f.read().data[3], 7);
+        assert_eq!(p.stats().physical_reads, 0, "page stayed cached across the flush");
+        // Clean pages are not rewritten by a second flush.
+        drop(f);
+        p.flush_dirty().unwrap();
+        assert_eq!(p.stats().physical_writes, 0);
     }
 }

@@ -2,9 +2,10 @@
 
 use crate::buffer::BufferPool;
 use crate::heap::HeapFile;
-use crate::pager::{FilePager, MemPager, Pager};
+use crate::pager::{FilePager, MemPager};
 use crate::table::{IndexDef, Table, TableRoots};
 use crate::value::{decode_row, encode_row, DataType, Field, Schema, Value};
+use crate::wal::{FileLog, WalConfig, WalPager};
 use crate::{Result, StoreError};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -55,10 +56,34 @@ impl Database {
     /// Open (or create) a **durable** database in a page file. Page 0
     /// anchors the catalog; call [`Database::checkpoint`] to persist table
     /// roots and flush dirty pages before dropping the handle.
+    ///
+    /// This path writes pages in place with no log — a crash mid-write can
+    /// corrupt the file. Prefer [`Database::open_wal`] for crash safety.
     pub fn open_file(path: impl AsRef<Path>, pool_pages: usize) -> Result<Self> {
         let pager = Arc::new(FilePager::open(path)?);
-        let fresh = pager.num_pages() == 0;
-        let pool = Arc::new(BufferPool::new(pager, pool_pages));
+        Self::open_pool(Arc::new(BufferPool::new(pager, pool_pages)))
+    }
+
+    /// Open (or create) a durable **crash-safe** database: a page file at
+    /// `path` plus a write-ahead log at `<path>.wal`. Page writes are
+    /// staged in the log, [`Database::commit`] marks atomic transaction
+    /// boundaries (fsynced per `wal`'s group-commit policy), and opening
+    /// replays any committed log tail left behind by a crash.
+    pub fn open_wal(path: impl AsRef<Path>, pool_pages: usize, wal: WalConfig) -> Result<Self> {
+        let mut wal_path = path.as_ref().as_os_str().to_os_string();
+        wal_path.push(".wal");
+        let base = Arc::new(FilePager::open(path)?);
+        let log = Arc::new(FileLog::open(wal_path)?);
+        let pager = Arc::new(WalPager::open(base, log, wal)?);
+        Self::open_pool(Arc::new(BufferPool::new(pager, pool_pages)))
+    }
+
+    /// Open (or create) a durable database over an arbitrary pool whose
+    /// pager persists pages (file-backed, WAL-backed, fault-injected, ...).
+    /// Fresh stores (zero pages) get a catalog heap anchored at page 0;
+    /// existing stores reload every table from it.
+    pub fn open_pool(pool: Arc<BufferPool>) -> Result<Self> {
+        let fresh = pool.pager().num_pages() == 0;
         if fresh {
             let catalog = HeapFile::create(pool.clone())?;
             debug_assert_eq!(catalog.first_page(), 0, "catalog must anchor at page 0");
@@ -86,14 +111,16 @@ impl Database {
         Ok(Database { pool, tables: RwLock::new(tables), catalog: Some(catalog) })
     }
 
-    /// Persist the catalog (every table's schema + current roots) and
-    /// write back all dirty pages. Required before closing a durable
-    /// database: B+tree roots move when they split.
-    pub fn checkpoint(&self) -> Result<()> {
+    /// Rewrite the durable catalog records (every table's schema + current
+    /// roots). Must happen inside every transaction that touches a table:
+    /// B+tree roots move when they split and the per-table row/sequence
+    /// counters advance on every insert, so recovery to the last commit is
+    /// only self-consistent if the catalog committed with the data.
+    fn persist_catalog(&self) -> Result<()> {
         let catalog = self
             .catalog
             .as_ref()
-            .ok_or_else(|| StoreError::Io("checkpoint needs a file-backed database".into()))?;
+            .ok_or_else(|| StoreError::Io("persist needs a durable database".into()))?;
         // Replace all catalog records (tombstoning the old ones).
         for (rid, _) in catalog.scan()? {
             catalog.delete(rid)?;
@@ -108,7 +135,40 @@ impl Database {
             };
             catalog.insert(&encode_row(&entry.to_row()))?;
         }
+        Ok(())
+    }
+
+    /// Whether this database stages writes in a WAL (i.e. whether
+    /// [`Database::commit`] provides atomic crash recovery).
+    pub fn is_transactional(&self) -> bool {
+        self.pool.pager().is_transactional()
+    }
+
+    /// Commit a transaction: persist the catalog, push every dirty page to
+    /// the (WAL) pager, and append a commit record under the group-commit
+    /// policy. The cache stays resident. On non-transactional databases
+    /// this is a no-op — writes there are applied in place and there is no
+    /// atomicity to provide.
+    pub fn commit(&self) -> Result<()> {
+        if !self.is_transactional() {
+            return Ok(());
+        }
+        if self.catalog.is_some() {
+            self.persist_catalog()?;
+        }
+        self.pool.flush_dirty()?;
+        self.pool.pager().commit()
+    }
+
+    /// Persist the catalog (every table's schema + current roots), write
+    /// back all dirty pages, and — on WAL-backed databases — fold the log
+    /// into the page file and truncate it. Required before closing a
+    /// non-WAL durable database; on WAL databases it bounds recovery time
+    /// and reclaims log space.
+    pub fn checkpoint(&self) -> Result<()> {
+        self.persist_catalog()?;
         self.pool.flush_all()?;
+        self.pool.pager().checkpoint()?;
         Ok(())
     }
 

@@ -53,11 +53,13 @@ pub mod parallel {
 pub mod catalog;
 pub mod exec;
 pub mod expr;
+pub mod failpoint;
 pub mod heap;
 pub mod page;
 pub mod pager;
 pub mod table;
 pub mod value;
+pub mod wal;
 
 pub use btree::BTree;
 pub use buffer::{BufferPool, IoStats};
@@ -67,11 +69,13 @@ pub use exec::{
     SeqScan, Sort, SortMergeJoin,
 };
 pub use expr::{AggFunc, BinOp, Expr, ScalarFn, UnOp};
+pub use failpoint::{FailLog, FailPager, Failpoints};
 pub use heap::{HeapFile, RecordId};
 pub use page::{PageId, PAGE_SIZE};
 pub use pager::{FilePager, MemPager, Pager};
 pub use table::{IndexDef, Table};
 pub use value::{decode_row, encode_key, encode_row, DataType, Field, Schema, Value};
+pub use wal::{FileLog, LogFile, MemLog, RecoveryInfo, RecoveryStop, WalConfig, WalPager, WalStats};
 
 use std::fmt;
 

@@ -20,6 +20,36 @@ pub trait Pager: Send + Sync {
     fn allocate(&self) -> Result<PageId>;
     /// Number of allocated pages (also the next id to be allocated).
     fn num_pages(&self) -> u64;
+
+    /// Force all durable state to stable storage.
+    ///
+    /// Non-durable pagers (e.g. [`MemPager`]) treat this as a no-op.
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+
+    /// Mark a transaction boundary.
+    ///
+    /// Transactional pagers ([`crate::wal::WalPager`]) append a commit
+    /// record and schedule an fsync under the group-commit policy; plain
+    /// pagers, which write pages in place, treat every write as already
+    /// "committed" and do nothing.
+    fn commit(&self) -> Result<()> {
+        Ok(())
+    }
+
+    /// Fold logged state into the base page file and reclaim the log.
+    ///
+    /// For plain pagers this degenerates to [`Pager::sync`].
+    fn checkpoint(&self) -> Result<()> {
+        self.sync()
+    }
+
+    /// Whether [`Pager::commit`] is meaningful (i.e. writes are staged in a
+    /// log and crash recovery rolls the store back to the last commit).
+    fn is_transactional(&self) -> bool {
+        false
+    }
 }
 
 /// An in-memory pager: pages live in a `Vec`. The default for tests and
@@ -112,6 +142,11 @@ impl Pager for FilePager {
 
     fn num_pages(&self) -> u64 {
         *self.len_pages.lock()
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.file.lock().sync_data()?;
+        Ok(())
     }
 }
 

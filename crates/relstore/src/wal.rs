@@ -1,0 +1,828 @@
+//! Physical page-level write-ahead logging.
+//!
+//! The paper's H-tables are transaction-time history: once a tuple version
+//! is archived it must survive anything short of media loss. The seed
+//! engine wrote dirty pages in place, so a crash mid-archival could corrupt
+//! both the live tables and the history itself. This module adds the
+//! standard fix: full page images go to an append-only, CRC-framed log
+//! first; the base page file is only rewritten at checkpoints; recovery
+//! replays the committed tail of the log.
+//!
+//! Log record framing (all integers little-endian):
+//!
+//! ```text
+//! [kind: u8][page_id: u64][len: u32][crc32: u32][payload: len bytes]
+//! ```
+//!
+//! * `kind` is [`WAL_REC_PAGE`] (payload = full page image) or
+//!   [`WAL_REC_COMMIT`] (payload empty; `page_id` reuses its slot to carry
+//!   the allocated page count at commit time).
+//! * `crc32` is the IEEE CRC-32 of `kind ++ page_id ++ len ++ payload`, so
+//!   a torn header is rejected just like a torn payload.
+//!
+//! Because records carry *full* page images, replay is idempotent and
+//! needs no undo pass: recovery scans forward, buffering page images, and
+//! only publishes them when it sees the transaction's commit record. The
+//! scan stops at the first truncated or CRC-invalid record — everything
+//! after a torn write is garbage by definition.
+//!
+//! Group commit: [`WalPager::commit`] seals the transaction's page images
+//! into the current batch but only writes-and-fsyncs the log once every
+//! [`WalConfig::group_commit`] commits (or on an explicit [`Pager::sync`] /
+//! checkpoint / drop). Deferring the appends lets the batch *dedupe* page
+//! images — hot pages (the catalog, a heap tail) that every transaction in
+//! the batch rewrites are logged once per batch, not once per commit — so
+//! larger batches amortize both the fsync and the log volume. The cost is
+//! a bounded durability window: a crash mid-batch rolls back to the
+//! previous batch boundary, which is itself a commit boundary — the same
+//! trade DB2 exposes as `MINCOMMIT`.
+
+use crate::page::{PageId, PAGE_SIZE};
+use crate::pager::Pager;
+use crate::{Result, StoreError};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Record kind: a full page image staged for the in-flight transaction.
+pub const WAL_REC_PAGE: u8 = 1;
+/// Record kind: transaction commit (the `page_id` field carries the
+/// allocated page count so recovery can restore `num_pages`).
+pub const WAL_REC_COMMIT: u8 = 2;
+
+/// Bytes of framing before the payload: kind (1) + page_id (8) + len (4) +
+/// crc (4).
+pub const WAL_HEADER_LEN: usize = 17;
+
+/// Upper bound on a record payload; anything larger in the log is treated
+/// as corruption (a page image is exactly [`PAGE_SIZE`] bytes).
+const MAX_PAYLOAD: u32 = PAGE_SIZE as u32;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected). Table-driven; no external crates.
+// ---------------------------------------------------------------------------
+
+fn crc32_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        table
+    })
+}
+
+/// IEEE CRC-32 of `data` (the checksum used to frame log records).
+pub fn crc32(data: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Encode one framed log record.
+pub fn encode_record(kind: u8, page_id: u64, payload: &[u8]) -> Vec<u8> {
+    let mut rec = Vec::with_capacity(WAL_HEADER_LEN + payload.len());
+    rec.push(kind);
+    rec.extend_from_slice(&page_id.to_le_bytes());
+    rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    // CRC covers kind ++ page_id ++ len ++ payload; splice it in after.
+    let mut crc_input = Vec::with_capacity(13 + payload.len());
+    crc_input.extend_from_slice(&rec[..13]);
+    crc_input.extend_from_slice(payload);
+    rec.extend_from_slice(&crc32(&crc_input).to_le_bytes());
+    rec.extend_from_slice(payload);
+    rec
+}
+
+/// Why a recovery scan stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryStop {
+    /// Scanned the whole log; every byte was a valid record.
+    CleanEof,
+    /// The final record was cut short (torn write of the header or payload).
+    TornRecord,
+    /// A record's CRC did not match its contents (bit flip / garbage tail).
+    BadChecksum,
+    /// An unknown record kind — treated exactly like a bad checksum.
+    BadKind,
+}
+
+/// Outcome of replaying the log tail on open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryInfo {
+    /// Total log bytes present at open.
+    pub log_bytes: u64,
+    /// Committed transactions replayed into the page table.
+    pub commits_applied: u64,
+    /// Page-image records belonging to those committed transactions.
+    pub pages_applied: u64,
+    /// Records discarded because no commit record followed them.
+    pub records_discarded: u64,
+    /// Bytes ignored at the tail (from the first bad record onward).
+    pub bytes_discarded: u64,
+    /// What terminated the scan.
+    pub stop: RecoveryStop,
+}
+
+/// Running counters for the log writer (mirrors [`crate::IoStats`] for the
+/// buffer pool; used by the commit microbench and the torture tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Page-image records appended.
+    pub page_records: u64,
+    /// Commit records appended.
+    pub commits: u64,
+    /// Physical fsyncs issued on the log device.
+    pub syncs: u64,
+    /// Checkpoints taken (log folded into the base file and truncated).
+    pub checkpoints: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Log devices
+// ---------------------------------------------------------------------------
+
+/// An append-only byte log. `append` makes bytes *visible* (a subsequent
+/// `read_all` sees them) but only `sync` makes them *durable*; the
+/// fault-injection wrappers model exactly that distinction.
+pub trait LogFile: Send + Sync {
+    /// Append raw bytes to the log.
+    fn append(&self, bytes: &[u8]) -> Result<()>;
+    /// Force appended bytes to stable storage.
+    fn sync(&self) -> Result<()>;
+    /// Read the entire log contents.
+    fn read_all(&self) -> Result<Vec<u8>>;
+    /// Discard the log contents.
+    fn truncate(&self) -> Result<()>;
+    /// Current log length in bytes.
+    fn len(&self) -> Result<u64>;
+    /// Whether the log is empty.
+    fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+/// In-memory log for tests. Exposes raw-byte accessors so corruption tests
+/// can chop or flip committed bytes, plus a sync counter for group-commit
+/// assertions.
+#[derive(Default)]
+pub struct MemLog {
+    bytes: Mutex<Vec<u8>>,
+    syncs: Mutex<u64>,
+}
+
+impl MemLog {
+    /// An empty in-memory log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of the raw log bytes.
+    pub fn raw(&self) -> Vec<u8> {
+        self.bytes.lock().clone()
+    }
+
+    /// Replace the raw log bytes (corruption injection for tests).
+    pub fn set_raw(&self, bytes: Vec<u8>) {
+        *self.bytes.lock() = bytes;
+    }
+
+    /// Number of `sync` calls observed.
+    pub fn sync_count(&self) -> u64 {
+        *self.syncs.lock()
+    }
+}
+
+impl LogFile for MemLog {
+    fn append(&self, bytes: &[u8]) -> Result<()> {
+        self.bytes.lock().extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<()> {
+        *self.syncs.lock() += 1;
+        Ok(())
+    }
+
+    fn read_all(&self) -> Result<Vec<u8>> {
+        Ok(self.bytes.lock().clone())
+    }
+
+    fn truncate(&self) -> Result<()> {
+        self.bytes.lock().clear();
+        Ok(())
+    }
+
+    fn len(&self) -> Result<u64> {
+        Ok(self.bytes.lock().len() as u64)
+    }
+}
+
+/// File-backed log. Appends go straight to the OS (`write_all`); `sync`
+/// maps to `fdatasync`, which is the expensive call group commit exists to
+/// amortize.
+pub struct FileLog {
+    file: Mutex<File>,
+}
+
+impl FileLog {
+    /// Open (or create) a log file at `path`.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).create(true).open(path)?;
+        Ok(FileLog { file: Mutex::new(file) })
+    }
+}
+
+impl LogFile for FileLog {
+    fn append(&self, bytes: &[u8]) -> Result<()> {
+        let mut f = self.file.lock();
+        f.seek(SeekFrom::End(0))?;
+        f.write_all(bytes)?;
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.file.lock().sync_data()?;
+        Ok(())
+    }
+
+    fn read_all(&self) -> Result<Vec<u8>> {
+        let mut f = self.file.lock();
+        f.seek(SeekFrom::Start(0))?;
+        let mut buf = Vec::new();
+        f.read_to_end(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn truncate(&self) -> Result<()> {
+        let f = self.file.lock();
+        f.set_len(0)?;
+        Ok(())
+    }
+
+    fn len(&self) -> Result<u64> {
+        Ok(self.file.lock().metadata()?.len())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WalPager
+// ---------------------------------------------------------------------------
+
+/// Tuning knobs for the WAL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalConfig {
+    /// Commits per fsync: 1 = fsync every commit, N = one fsync per N
+    /// commits (the last N-1 commits ride in the volatile tail until the
+    /// batch fills or someone syncs).
+    pub group_commit: usize,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig { group_commit: 8 }
+    }
+}
+
+impl WalConfig {
+    /// Config with the given group-commit batch size (clamped to ≥ 1).
+    pub fn with_group_commit(batch: usize) -> Self {
+        WalConfig { group_commit: batch.max(1) }
+    }
+}
+
+struct WalState {
+    /// Latest image of every page written since the last checkpoint
+    /// (committed or not — in-process readers must see their own writes).
+    table: HashMap<PageId, Box<[u8; PAGE_SIZE]>>,
+    /// Pages dirtied since the last commit. Their images live in `table`
+    /// and are snapshotted into `batch` only when the transaction commits
+    /// — a page rewritten ten times in one transaction is copied once,
+    /// and uncommitted images never reach the log at all.
+    uncommitted: HashSet<PageId>,
+    /// Committed images awaiting the batch flush, deduped by page: a page
+    /// rewritten by five transactions in the batch is logged once.
+    batch: HashMap<PageId, Box<[u8; PAGE_SIZE]>>,
+    /// Logical page count (base pages + allocations since checkpoint).
+    num_pages: u64,
+    /// `num_pages` as of the last commit — what the batch's commit record
+    /// must carry, so allocations after it roll back.
+    committed_num_pages: u64,
+    /// Commits sealed into `batch` but not yet written + fsynced.
+    pending_commits: usize,
+    stats: WalStats,
+}
+
+/// A [`Pager`] that stages all writes in a write-ahead log.
+///
+/// * `write_page` caches the image in an in-memory page table — the base
+///   pager is never touched, and nothing reaches the log until a commit
+///   seals the image into the current batch.
+/// * `commit` seals the transaction's images; the batch is written (one
+///   deduped image per page plus a commit record) and fsynced once per
+///   [`WalConfig::group_commit`] commits.
+/// * `checkpoint` fsyncs the log, folds the page table into the base
+///   pager, fsyncs that, then truncates the log.
+/// * `open` replays the committed log tail (stopping at the first torn or
+///   corrupt record) so a reopened store serves reads as of the last
+///   durable commit.
+pub struct WalPager {
+    base: Arc<dyn Pager>,
+    log: Arc<dyn LogFile>,
+    cfg: WalConfig,
+    state: Mutex<WalState>,
+    recovery: RecoveryInfo,
+}
+
+impl WalPager {
+    /// Open a WAL-backed pager over `base`, replaying any committed tail
+    /// already present in `log`.
+    pub fn open(base: Arc<dyn Pager>, log: Arc<dyn LogFile>, cfg: WalConfig) -> Result<Self> {
+        let bytes = log.read_all()?;
+        let mut table: HashMap<PageId, Box<[u8; PAGE_SIZE]>> = HashMap::new();
+        let mut num_pages = base.num_pages();
+        let mut info = RecoveryInfo {
+            log_bytes: bytes.len() as u64,
+            commits_applied: 0,
+            pages_applied: 0,
+            records_discarded: 0,
+            bytes_discarded: 0,
+            stop: RecoveryStop::CleanEof,
+        };
+
+        // Scan forward; publish staged images only at commit records.
+        let mut staged: Vec<(PageId, Box<[u8; PAGE_SIZE]>)> = Vec::new();
+        let mut pos = 0usize;
+        loop {
+            if pos == bytes.len() {
+                break;
+            }
+            if bytes.len() - pos < WAL_HEADER_LEN {
+                info.stop = RecoveryStop::TornRecord;
+                break;
+            }
+            let kind = bytes[pos];
+            let page_id = u64::from_le_bytes(bytes[pos + 1..pos + 9].try_into().unwrap());
+            let len = u32::from_le_bytes(bytes[pos + 9..pos + 13].try_into().unwrap());
+            let crc = u32::from_le_bytes(bytes[pos + 13..pos + 17].try_into().unwrap());
+            if len > MAX_PAYLOAD {
+                info.stop = RecoveryStop::BadChecksum;
+                break;
+            }
+            let end = pos + WAL_HEADER_LEN + len as usize;
+            if end > bytes.len() {
+                info.stop = RecoveryStop::TornRecord;
+                break;
+            }
+            let payload = &bytes[pos + WAL_HEADER_LEN..end];
+            let mut crc_input = Vec::with_capacity(13 + payload.len());
+            crc_input.extend_from_slice(&bytes[pos..pos + 13]);
+            crc_input.extend_from_slice(payload);
+            if crc32(&crc_input) != crc {
+                info.stop = RecoveryStop::BadChecksum;
+                break;
+            }
+            match kind {
+                WAL_REC_PAGE => {
+                    if payload.len() != PAGE_SIZE {
+                        info.stop = RecoveryStop::BadChecksum;
+                        break;
+                    }
+                    let mut img = Box::new([0u8; PAGE_SIZE]);
+                    img.copy_from_slice(payload);
+                    staged.push((page_id, img));
+                }
+                WAL_REC_COMMIT => {
+                    info.commits_applied += 1;
+                    info.pages_applied += staged.len() as u64;
+                    for (id, img) in staged.drain(..) {
+                        table.insert(id, img);
+                    }
+                    num_pages = num_pages.max(page_id);
+                }
+                _ => {
+                    info.stop = RecoveryStop::BadKind;
+                    break;
+                }
+            }
+            pos = end;
+        }
+        info.bytes_discarded = (bytes.len() - pos) as u64;
+        info.records_discarded = staged.len() as u64;
+
+        Ok(WalPager {
+            base,
+            log,
+            cfg,
+            state: Mutex::new(WalState {
+                table,
+                uncommitted: HashSet::new(),
+                batch: HashMap::new(),
+                num_pages,
+                committed_num_pages: num_pages,
+                pending_commits: 0,
+                stats: WalStats::default(),
+            }),
+            recovery: info,
+        })
+    }
+
+    /// What the opening replay found in the log.
+    pub fn recovery(&self) -> RecoveryInfo {
+        self.recovery
+    }
+
+    /// Log-writer counters since open.
+    pub fn wal_stats(&self) -> WalStats {
+        self.state.lock().stats
+    }
+
+    /// Current log length in bytes (grows until the next checkpoint).
+    pub fn log_len(&self) -> Result<u64> {
+        self.log.len()
+    }
+
+    /// Pages currently staged in the WAL page table.
+    pub fn staged_pages(&self) -> usize {
+        self.state.lock().table.len()
+    }
+
+    /// Write the sealed batch to the log — deduped page images in page
+    /// order, then one commit record — and fsync it. No-op when nothing
+    /// has committed since the last flush.
+    fn flush_batch(&self, st: &mut WalState) -> Result<()> {
+        if st.pending_commits == 0 {
+            return Ok(());
+        }
+        let mut ids: Vec<PageId> = st.batch.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            self.log.append(&encode_record(WAL_REC_PAGE, id, &st.batch[&id][..]))?;
+            st.stats.page_records += 1;
+        }
+        self.log.append(&encode_record(WAL_REC_COMMIT, st.committed_num_pages, &[]))?;
+        self.log.sync()?;
+        st.stats.syncs += 1;
+        st.batch.clear();
+        st.pending_commits = 0;
+        Ok(())
+    }
+}
+
+impl Pager for WalPager {
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        let st = self.state.lock();
+        if let Some(img) = st.table.get(&id) {
+            buf.copy_from_slice(&img[..]);
+            return Ok(());
+        }
+        if id >= st.num_pages {
+            return Err(StoreError::NotFound(format!("page {id}")));
+        }
+        if id < self.base.num_pages() {
+            self.base.read_page(id, buf)
+        } else {
+            // Allocated since the last checkpoint but never written: the
+            // base file has no bytes for it yet, so it reads as zeroes.
+            buf.fill(0);
+            Ok(())
+        }
+    }
+
+    fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()> {
+        let mut st = self.state.lock();
+        if id >= st.num_pages {
+            return Err(StoreError::NotFound(format!("page {id}")));
+        }
+        match st.table.get_mut(&id) {
+            Some(img) => img.copy_from_slice(buf),
+            None => {
+                let mut img = Box::new([0u8; PAGE_SIZE]);
+                img.copy_from_slice(buf);
+                st.table.insert(id, img);
+            }
+        }
+        st.uncommitted.insert(id);
+        Ok(())
+    }
+
+    fn allocate(&self) -> Result<PageId> {
+        // Allocation is not logged: the commit record carries the page
+        // count, and unwritten pages read back as zeroes.
+        let mut st = self.state.lock();
+        let id = st.num_pages;
+        st.num_pages += 1;
+        Ok(id)
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.state.lock().num_pages
+    }
+
+    fn sync(&self) -> Result<()> {
+        let st = &mut *self.state.lock();
+        self.flush_batch(st)
+    }
+
+    fn commit(&self) -> Result<()> {
+        let st = &mut *self.state.lock();
+        // Seal this transaction's images into the batch; a page already in
+        // the batch keeps only the newest committed image.
+        for id in st.uncommitted.drain() {
+            st.batch.insert(id, st.table[&id].clone());
+        }
+        st.committed_num_pages = st.num_pages;
+        st.stats.commits += 1;
+        st.pending_commits += 1;
+        if st.pending_commits >= self.cfg.group_commit.max(1) {
+            self.flush_batch(st)?;
+        }
+        Ok(())
+    }
+
+    fn checkpoint(&self) -> Result<()> {
+        let st = &mut *self.state.lock();
+        // Seal whatever is in flight — a checkpoint is a commit point, so
+        // images dirtied since the last commit go with it — and flush the
+        // batch so the log is complete before the base file changes.
+        for id in st.uncommitted.drain() {
+            st.batch.insert(id, st.table[&id].clone());
+        }
+        st.committed_num_pages = st.num_pages;
+        st.stats.commits += 1;
+        st.pending_commits += 1;
+        self.flush_batch(st)?;
+
+        // Fold the page table into the base file in page order.
+        while self.base.num_pages() < st.num_pages {
+            self.base.allocate()?;
+        }
+        let mut ids: Vec<PageId> = st.table.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            self.base.write_page(id, &st.table[&id][..])?;
+        }
+        self.base.sync()?;
+
+        // The base now holds everything the log did; reclaim the log.
+        self.log.truncate()?;
+        self.log.sync()?;
+        st.stats.syncs += 1;
+        st.stats.checkpoints += 1;
+        st.table.clear();
+        Ok(())
+    }
+
+    fn is_transactional(&self) -> bool {
+        true
+    }
+}
+
+impl Drop for WalPager {
+    fn drop(&mut self) {
+        // Best-effort: write + fsync any sealed-but-unflushed batch so a
+        // clean process exit never loses commits. Uncommitted images are
+        // deliberately left behind. Errors are unreportable here; crash
+        // tests exercise the failure path explicitly.
+        let st = &mut *self.state.lock();
+        let _ = self.flush_batch(st);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::MemPager;
+
+    fn wal_over_mem(cfg: WalConfig) -> (Arc<MemPager>, Arc<MemLog>, WalPager) {
+        let base = Arc::new(MemPager::new());
+        let log = Arc::new(MemLog::new());
+        let pager = WalPager::open(base.clone(), log.clone(), cfg).unwrap();
+        (base, log, pager)
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // Standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn record_roundtrip_survives_encode() {
+        let payload = vec![7u8; PAGE_SIZE];
+        let rec = encode_record(WAL_REC_PAGE, 42, &payload);
+        assert_eq!(rec.len(), WAL_HEADER_LEN + PAGE_SIZE);
+        assert_eq!(rec[0], WAL_REC_PAGE);
+        assert_eq!(u64::from_le_bytes(rec[1..9].try_into().unwrap()), 42);
+    }
+
+    #[test]
+    fn reads_fall_through_to_base_and_zero_fill() {
+        let (base, _log, pager) = wal_over_mem(WalConfig::default());
+        base.allocate().unwrap();
+        let mut img = [0u8; PAGE_SIZE];
+        img[0] = 9;
+        base.write_page(0, &img).unwrap();
+
+        // Reopen so the WalPager sees the base page.
+        let log = Arc::new(MemLog::new());
+        let pager2 = WalPager::open(base, log, WalConfig::default()).unwrap();
+        drop(pager);
+        let mut buf = [0u8; PAGE_SIZE];
+        pager2.read_page(0, &mut buf).unwrap();
+        assert_eq!(buf[0], 9);
+
+        // Freshly allocated, never-written page reads as zeroes.
+        let id = pager2.allocate().unwrap();
+        pager2.read_page(id, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn uncommitted_writes_do_not_survive_reopen() {
+        let base = Arc::new(MemPager::new());
+        let log = Arc::new(MemLog::new());
+        {
+            let pager = WalPager::open(base.clone(), log.clone(), WalConfig::default()).unwrap();
+            let id = pager.allocate().unwrap();
+            let img = [3u8; PAGE_SIZE];
+            pager.write_page(id, &img).unwrap();
+            // no commit
+        }
+        let pager = WalPager::open(base, log.clone(), WalConfig::default()).unwrap();
+        assert_eq!(pager.num_pages(), 0, "uncommitted allocation rolled back");
+        // Deferred appends mean an uncommitted image never even reaches
+        // the log — there is nothing to discard.
+        assert_eq!(log.len().unwrap(), 0);
+        assert_eq!(pager.recovery().records_discarded, 0);
+        assert_eq!(pager.recovery().commits_applied, 0);
+    }
+
+    #[test]
+    fn committed_writes_survive_reopen_without_checkpoint() {
+        let base = Arc::new(MemPager::new());
+        let log = Arc::new(MemLog::new());
+        {
+            let pager =
+                WalPager::open(base.clone(), log.clone(), WalConfig::with_group_commit(1)).unwrap();
+            let id = pager.allocate().unwrap();
+            let img = [5u8; PAGE_SIZE];
+            pager.write_page(id, &img).unwrap();
+            pager.commit().unwrap();
+        }
+        assert_eq!(base.num_pages(), 0, "base untouched before checkpoint");
+        let pager = WalPager::open(base, log, WalConfig::default()).unwrap();
+        assert_eq!(pager.num_pages(), 1);
+        assert_eq!(pager.recovery().commits_applied, 1);
+        let mut buf = [0u8; PAGE_SIZE];
+        pager.read_page(0, &mut buf).unwrap();
+        assert_eq!(buf[0], 5);
+    }
+
+    #[test]
+    fn group_commit_batches_fsyncs() {
+        let (_base, log, pager) = wal_over_mem(WalConfig::with_group_commit(8));
+        let id = pager.allocate().unwrap();
+        let img = [1u8; PAGE_SIZE];
+        for _ in 0..64 {
+            pager.write_page(id, &img).unwrap();
+            pager.commit().unwrap();
+        }
+        assert_eq!(log.sync_count(), 8, "64 commits / batch 8 = 8 fsyncs");
+        assert_eq!(pager.wal_stats().commits, 64);
+
+        // fsync-per-commit for comparison.
+        let (_b2, log2, p2) = wal_over_mem(WalConfig::with_group_commit(1));
+        let id2 = p2.allocate().unwrap();
+        for _ in 0..64 {
+            p2.write_page(id2, &img).unwrap();
+            p2.commit().unwrap();
+        }
+        assert_eq!(log2.sync_count(), 64);
+    }
+
+    #[test]
+    fn explicit_sync_flushes_partial_batch() {
+        let (_base, log, pager) = wal_over_mem(WalConfig::with_group_commit(100));
+        let id = pager.allocate().unwrap();
+        pager.write_page(id, &[2u8; PAGE_SIZE]).unwrap();
+        pager.commit().unwrap();
+        assert_eq!(log.sync_count(), 0, "batch not full yet");
+        pager.sync().unwrap();
+        assert_eq!(log.sync_count(), 1);
+        pager.sync().unwrap();
+        assert_eq!(log.sync_count(), 1, "nothing pending, no extra fsync");
+    }
+
+    #[test]
+    fn drop_flushes_pending_commits() {
+        let base = Arc::new(MemPager::new());
+        let log = Arc::new(MemLog::new());
+        {
+            let pager =
+                WalPager::open(base.clone(), log.clone(), WalConfig::with_group_commit(100))
+                    .unwrap();
+            let id = pager.allocate().unwrap();
+            pager.write_page(id, &[4u8; PAGE_SIZE]).unwrap();
+            pager.commit().unwrap();
+            assert_eq!(log.sync_count(), 0);
+        }
+        assert_eq!(log.sync_count(), 1, "Drop fsynced the tail");
+    }
+
+    #[test]
+    fn checkpoint_folds_into_base_and_truncates_log() {
+        let (base, log, pager) = wal_over_mem(WalConfig::default());
+        let a = pager.allocate().unwrap();
+        let b = pager.allocate().unwrap();
+        pager.write_page(a, &[0xAA; PAGE_SIZE]).unwrap();
+        pager.write_page(b, &[0xBB; PAGE_SIZE]).unwrap();
+        pager.commit().unwrap();
+        pager.checkpoint().unwrap();
+
+        assert_eq!(base.num_pages(), 2);
+        let mut buf = [0u8; PAGE_SIZE];
+        base.read_page(1, &mut buf).unwrap();
+        assert_eq!(buf[0], 0xBB);
+        assert_eq!(log.len().unwrap(), 0, "checkpoint truncated the log");
+        assert_eq!(pager.staged_pages(), 0);
+
+        // Post-checkpoint reads come from the base.
+        pager.read_page(0, &mut buf).unwrap();
+        assert_eq!(buf[0], 0xAA);
+    }
+
+    #[test]
+    fn replay_stops_at_torn_record() {
+        let base = Arc::new(MemPager::new());
+        let log = Arc::new(MemLog::new());
+        {
+            let pager =
+                WalPager::open(base.clone(), log.clone(), WalConfig::with_group_commit(1)).unwrap();
+            let id = pager.allocate().unwrap();
+            pager.write_page(id, &[1u8; PAGE_SIZE]).unwrap();
+            pager.commit().unwrap(); // txn 1: durable
+            pager.write_page(id, &[2u8; PAGE_SIZE]).unwrap();
+            pager.commit().unwrap(); // txn 2: will be torn below
+        }
+        let mut raw = log.raw();
+        raw.truncate(raw.len() - 10); // tear the final commit record
+        log.set_raw(raw);
+
+        let pager = WalPager::open(base, log, WalConfig::default()).unwrap();
+        assert_eq!(pager.recovery().stop, RecoveryStop::TornRecord);
+        assert_eq!(pager.recovery().commits_applied, 1);
+        assert_eq!(pager.recovery().records_discarded, 1, "txn 2's page image dropped");
+        let mut buf = [0u8; PAGE_SIZE];
+        pager.read_page(0, &mut buf).unwrap();
+        assert_eq!(buf[0], 1, "state is as of txn 1");
+    }
+
+    #[test]
+    fn replay_rejects_bit_flip_via_crc() {
+        let base = Arc::new(MemPager::new());
+        let log = Arc::new(MemLog::new());
+        let rec1_end;
+        {
+            let pager =
+                WalPager::open(base.clone(), log.clone(), WalConfig::with_group_commit(1)).unwrap();
+            let id = pager.allocate().unwrap();
+            pager.write_page(id, &[1u8; PAGE_SIZE]).unwrap();
+            pager.commit().unwrap();
+            rec1_end = log.len().unwrap() as usize;
+            pager.write_page(id, &[2u8; PAGE_SIZE]).unwrap();
+            pager.commit().unwrap();
+        }
+        let mut raw = log.raw();
+        // Flip one payload bit inside txn 2's page image.
+        raw[rec1_end + WAL_HEADER_LEN + 100] ^= 0x01;
+        log.set_raw(raw);
+
+        let pager = WalPager::open(base, log, WalConfig::default()).unwrap();
+        assert_eq!(pager.recovery().stop, RecoveryStop::BadChecksum);
+        assert_eq!(pager.recovery().commits_applied, 1);
+        let mut buf = [0u8; PAGE_SIZE];
+        pager.read_page(0, &mut buf).unwrap();
+        assert_eq!(buf[0], 1, "corrupt txn 2 discarded, txn 1 intact");
+    }
+
+    #[test]
+    fn write_to_unallocated_page_fails() {
+        let (_base, _log, pager) = wal_over_mem(WalConfig::default());
+        assert!(pager.write_page(3, &[0u8; PAGE_SIZE]).is_err());
+        assert!(pager.read_page(3, &mut [0u8; PAGE_SIZE]).is_err());
+    }
+}

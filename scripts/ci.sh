@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Full CI pipeline: tier-1 build + tests, then the extended fault-injection
+# torture suites, then (optionally) the benchmark smoke jobs.
+#
+#   scripts/ci.sh            # build + tests + failpoints torture
+#   CI_BENCH=1 scripts/ci.sh # additionally run the commit + scan microbenches
+#
+# Fully offline: all external deps are path shims under shims/ — this
+# script never touches the network.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: root test suite =="
+cargo test -q
+
+echo "== workspace test suite =="
+cargo test -q --workspace
+
+echo "== failpoints torture: relstore crash sweeps =="
+# Exhaustive crash-at-every-write / crash-at-every-fsync sweeps plus the
+# 200-seed random sweep with torn writes.
+cargo test -q -p relstore --features failpoints
+
+echo "== failpoints torture: 200-seed ArchIS archival crash runs =="
+# Seeded kills mid-archival; each recovery is checked against the §6.1
+# segment invariants and tstart/tend timeline coalescing.
+cargo test -q --features failpoints --test durability --test wal_props
+
+if [[ "${CI_BENCH:-0}" != "0" ]]; then
+    echo "== bench: commit + scan microbenches =="
+    ./target/release/reproduce -e commit --runs 3
+    ./target/release/reproduce -e scan --runs 3
+fi
+
+echo "CI OK"

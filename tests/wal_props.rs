@@ -1,0 +1,169 @@
+//! Property test (ISSUE satellite 2): random insert / update / delete /
+//! archive interleavings, crashed at *every* fsync boundary in turn, must
+//! recover to a state byte-identical to one of the shadow run's commit
+//! snapshots — WAL replay equals the in-memory model, never a hybrid.
+//!
+//! The shadow model is the same workload executed on fault-free media with
+//! a full table dump captured after every transaction; a crash at fsync
+//! `n` (group commit batch 1 ⇒ one fsync per commit) must land exactly on
+//! one of those dumps, or on the empty pre-creation store.
+
+use archis::{ArchConfig, ArchIS, RelationSpec};
+use proptest::prelude::*;
+use relstore::failpoint::{FailLog, FailPager, Failpoints};
+use relstore::pager::MemPager;
+use relstore::wal::{MemLog, WalConfig, WalPager};
+use relstore::{BufferPool, Database, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use temporal::Date;
+
+/// Canonical whole-store image: every table, rows rendered and sorted.
+type Dump = BTreeMap<String, Vec<String>>;
+
+fn dump(db: &Database) -> Dump {
+    let mut out = Dump::new();
+    for name in db.table_names() {
+        let mut rows: Vec<String> = db
+            .table(&name)
+            .expect("cataloged table opens")
+            .scan()
+            .expect("scan succeeds")
+            .iter()
+            .map(|r| format!("{r:?}"))
+            .collect();
+        rows.sort();
+        out.insert(name, rows);
+    }
+    out
+}
+
+struct Media {
+    fp: Arc<Failpoints>,
+    base: Arc<FailPager>,
+    log: Arc<FailLog>,
+}
+
+fn media(seed: u64) -> Media {
+    let fp = Failpoints::new(seed);
+    let base = Arc::new(FailPager::new(fp.clone(), Arc::new(MemPager::new())));
+    let log = Arc::new(FailLog::new(fp.clone(), Arc::new(MemLog::new())));
+    Media { fp, base, log }
+}
+
+fn archis_on(m: &Media) -> archis::Result<ArchIS> {
+    let pager =
+        Arc::new(WalPager::open(m.base.clone(), m.log.clone(), WalConfig::with_group_commit(1))?);
+    let db = Database::open_pool(Arc::new(BufferPool::new(pager, 256)))?;
+    ArchIS::open_with_database(db, ArchConfig::default())
+}
+
+/// Deterministically replay the raw op stream. Kinds: 0/1 = upsert (insert
+/// if the key is new, salary update otherwise), 2 = delete if alive,
+/// 3 = archival pass. Dates advance five days per op so periods coalesce.
+/// When `snapshots` is given, a full dump is pushed after every op — those
+/// are the only states a crash is ever allowed to recover to.
+fn workload(
+    m: &Media,
+    raw: &[(u8, i64)],
+    mut snapshots: Option<&mut Vec<Dump>>,
+) -> archis::Result<()> {
+    let base_day = Date::parse("1990-01-01").unwrap().day_number();
+    let mut a = archis_on(m)?;
+    a.create_relation(RelationSpec::employee())?;
+    if let Some(s) = snapshots.as_deref_mut() {
+        s.push(dump(a.database()));
+    }
+    let mut alive = BTreeSet::new();
+    for (i, (kind, key)) in raw.iter().enumerate() {
+        let at = Date::from_day_number(base_day + i as i32 * 5);
+        match kind {
+            0 | 1 => {
+                if alive.insert(*key) {
+                    a.insert(
+                        "employee",
+                        *key,
+                        vec![
+                            ("name".into(), Value::Str(format!("e{key}"))),
+                            ("salary".into(), Value::Int(1000 + i as i64)),
+                            ("title".into(), Value::Str("Engineer".into())),
+                            ("deptno".into(), Value::Str("d001".into())),
+                        ],
+                        at,
+                    )?;
+                } else {
+                    a.update(
+                        "employee",
+                        *key,
+                        vec![("salary".into(), Value::Int(1000 + i as i64))],
+                        at,
+                    )?;
+                }
+            }
+            2 => {
+                if alive.remove(key) {
+                    a.delete("employee", *key, at)?;
+                }
+            }
+            _ => {
+                a.maybe_archive("employee", at)?;
+            }
+        }
+        if let Some(s) = snapshots.as_deref_mut() {
+            s.push(dump(a.database()));
+        }
+    }
+    let end = Date::from_day_number(base_day + raw.len() as i32 * 5 + 30);
+    a.force_archive("employee", end)?;
+    if let Some(s) = snapshots.as_deref_mut() {
+        s.push(dump(a.database()));
+    }
+    a.checkpoint()?;
+    if let Some(s) = snapshots.as_deref_mut() {
+        s.push(dump(a.database()));
+    }
+    Ok(())
+}
+
+/// Reopen crashed media at the raw Database level and dump it.
+fn recovered_dump(m: &Media) -> Dump {
+    let pager = Arc::new(
+        WalPager::open(m.base.clone(), m.log.clone(), WalConfig::with_group_commit(1))
+            .expect("recovery open"),
+    );
+    let db = Database::open_pool(Arc::new(BufferPool::new(pager, 256))).expect("catalog reload");
+    dump(&db)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn crash_at_every_fsync_recovers_a_shadow_snapshot(
+        raw in proptest::collection::vec((0u8..4, 0i64..6), 1..20)
+    ) {
+        // Shadow run: fault-free (disarmed failpoints), collect the legal
+        // post-commit states and the total fsync count.
+        let shadow = media(0);
+        let mut snapshots: Vec<Dump> = vec![Dump::new()]; // pre-creation store
+        workload(&shadow, &raw, Some(&mut snapshots)).expect("shadow run is fault-free");
+        let total_syncs = shadow.fp.syncs();
+        prop_assert!(total_syncs > 0);
+
+        for n in 1..=total_syncs {
+            let m = media(n);
+            m.fp.crash_after_syncs(n);
+            match workload(&m, &raw, None) {
+                Ok(()) => {} // the n-th sync was the workload's last
+                Err(_) => prop_assert!(m.fp.crashed(), "sync {}: non-injected failure", n),
+            }
+            m.fp.revive();
+            let got = recovered_dump(&m);
+            prop_assert!(
+                snapshots.contains(&got),
+                "crash at fsync {}/{} recovered a state outside the shadow model:\n{:#?}",
+                n, total_syncs, got
+            );
+        }
+    }
+}
