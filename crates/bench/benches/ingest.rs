@@ -1,0 +1,78 @@
+//! Criterion benches for the batched write path: `apply_all` ingest at
+//! batch sizes 1 / 64 / 1024 against an in-memory ArchIS (isolating the
+//! per-transaction meta-rewrite + commit overhead from disk noise), and
+//! `BTree::bulk_load` against incremental insertion.
+
+use archis::{ArchConfig, ArchIS, Change, RelationSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+use relstore::{BTree, BufferPool, MemPager, Value};
+use std::sync::Arc;
+use temporal::Date;
+
+fn hires(n: i64) -> Vec<Change> {
+    (1..=n)
+        .map(|id| Change::Insert {
+            relation: "employee".into(),
+            key: id,
+            values: vec![
+                ("name".into(), Value::Str(format!("employee-{id:06}"))),
+                ("salary".into(), Value::Int(40_000 + id)),
+                ("title".into(), Value::Str("Engineer".into())),
+                ("deptno".into(), Value::Str(format!("d{:02}", id % 20))),
+            ],
+            at: Date::from_ymd(
+                1985 + (id / 336) as i32,
+                1 + ((id % 336) / 28) as u32,
+                1 + (id % 28) as u32,
+            )
+            .unwrap(),
+        })
+        .collect()
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let changes = hires(1024);
+    let mut group = c.benchmark_group("ingest/apply_all/1024-hires");
+    group.sample_size(10);
+    for batch in [1usize, 64, 1024] {
+        group.bench_function(format!("batch-{batch}"), |b| {
+            b.iter(|| {
+                let mut a = ArchIS::new(ArchConfig::default());
+                a.create_relation(RelationSpec::employee()).unwrap();
+                for chunk in changes.chunks(batch) {
+                    a.apply_all(chunk).unwrap();
+                }
+                a
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_bulk_load(c: &mut Criterion) {
+    let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..20_000u32)
+        .map(|i| (i.to_be_bytes().to_vec(), format!("value-{i:08}").into_bytes()))
+        .collect();
+    let mut group = c.benchmark_group("ingest/btree/20k-entries");
+    group.sample_size(10);
+    group.bench_function("bulk_load", |b| {
+        b.iter(|| {
+            let pool = Arc::new(BufferPool::new(Arc::new(MemPager::new()), 4096));
+            BTree::bulk_load(pool, entries.iter().cloned()).unwrap()
+        });
+    });
+    group.bench_function("incremental", |b| {
+        b.iter(|| {
+            let pool = Arc::new(BufferPool::new(Arc::new(MemPager::new()), 4096));
+            let t = BTree::create(pool).unwrap();
+            for (k, v) in &entries {
+                t.insert(k, v).unwrap();
+            }
+            t
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_bulk_load);
+criterion_main!(benches);

@@ -5,7 +5,7 @@
 //!
 //! EXPERIMENT: fig7 | fig8 | translate | fig9 | snapcur | fig10 |
 //!             fig11 | fig13 | fig14 | updates | scan | commit |
-//!             all   (default: all)
+//!             ingest | all   (default: all)
 //! --scale N   initial employee population (default 100; fig10 also
 //!             loads 7N)
 //! --runs N    cold runs per query, median reported (default 3)
@@ -57,7 +57,7 @@ fn main() {
             }
             "-h" | "--help" => {
                 println!(
-                    "reproduce [-e fig7|fig8|translate|fig9|snapcur|fig10|fig11|fig13|fig14|updates|scan|commit|all] [--scale N] [--runs N]"
+                    "reproduce [-e fig7|fig8|translate|fig9|snapcur|fig10|fig11|fig13|fig14|updates|scan|commit|ingest|all] [--scale N] [--runs N]"
                 );
                 return;
             }
@@ -132,6 +132,11 @@ fn main() {
     if want("commit") {
         section("commit", || {
             exp::commit_throughput(512, runs);
+        });
+    }
+    if want("ingest") {
+        section("ingest", || {
+            exp::ingest(2048, runs);
         });
     }
 }

@@ -262,17 +262,28 @@ pub fn fig14(employees: usize, runs: usize) -> Vec<Vec<String>> {
     heap.compress_archived("employee").unwrap();
     let store = heap.compressed_store("employee").unwrap();
 
-    let time_compressed = |f: &dyn Fn()| -> RunCost {
+    // `cold` evicts the decompressed-block cache so BlockZIP unpacking is
+    // part of the measurement; a warm rerun keeps it, so the hit-rate
+    // column shows what the cache buys on repeated queries.
+    let time_compressed = |f: &dyn Fn(), cold: bool| -> RunCost {
+        if cold {
+            store.clear_cache();
+        }
         heap.database().pool().flush_all().unwrap();
         heap.database().pool().reset_stats();
+        let (h0, m0) = store.cache_stats();
         let start = Instant::now();
         f();
+        let time = start.elapsed();
         let stats = heap.database().pool().stats();
+        let (h1, m1) = store.cache_stats();
         crate::iostat::record(stats.logical_reads, stats.physical_reads);
         RunCost {
-            time: start.elapsed(),
+            time,
             logical_reads: stats.logical_reads,
             physical_reads: stats.physical_reads,
+            cache_hits: h1 - h0,
+            cache_misses: m1 - m0,
         }
     };
     let (w1, w2) = qs.window;
@@ -302,9 +313,13 @@ pub fn fig14(employees: usize, runs: usize) -> Vec<Vec<String>> {
     ];
     let mut rows = Vec::new();
     for ((label, f), (_, xq)) in compressed_runs.iter().zip(qs.all()) {
-        let mut cs: Vec<RunCost> = (0..runs).map(|_| time_compressed(f.as_ref())).collect();
+        let mut cs: Vec<RunCost> =
+            (0..runs).map(|_| time_compressed(f.as_ref(), true)).collect();
         cs.sort_by_key(|c| c.time);
         let c = cs[cs.len() / 2];
+        // Warm rerun straight after: the block cache still holds whatever
+        // the cold run decompressed.
+        let w = time_compressed(f.as_ref(), false);
         let t = median_of(runs, || run_xmldb_cold(&tamino, xq));
         let u = median_of(runs, || run_archis_cold(&uncompressed, xq));
         rows.push(vec![
@@ -313,11 +328,21 @@ pub fn fig14(employees: usize, runs: usize) -> Vec<Vec<String>> {
             format!("{:.2}", c.ms()),
             format!("{:.2}", u.ms()),
             format!("{:.1}x", t.ms() / c.ms().max(1e-6)),
+            format!("{:.2}", w.ms()),
+            format!("{:.2}", w.cache_hit_rate()),
         ]);
     }
     print_table(
-        "Figure 14: query performance with compression (cold, ms)",
-        &["query", "Tamino", "ArchIS+BlockZIP", "ArchIS uncompressed", "speedup vs Tamino"],
+        "Figure 14: query performance with compression (cold, ms; warm rerun via block cache)",
+        &[
+            "query",
+            "Tamino",
+            "ArchIS+BlockZIP",
+            "ArchIS uncompressed",
+            "speedup vs Tamino",
+            "warm ms",
+            "cache hit rate",
+        ],
         &rows,
     );
     rows
@@ -607,6 +632,112 @@ pub fn commit_throughput(txns: usize, runs: usize) -> Vec<Vec<String>> {
     rows
 }
 
+/// Ingest-throughput microbenchmark: distinct-key hires pushed through
+/// `ArchIS::apply_all` against a WAL-backed store on a real filesystem,
+/// sweeping the application batch size. Batch 1 pays a meta-table rewrite,
+/// a commit record and an fsync per row; larger batches amortize all three
+/// across the batch and route the row inserts through sorted
+/// `insert_batch` (B+tree bulk-load on empty tables, sorted insertion
+/// afterwards). Prints the table and writes `BENCH_ingest.json`.
+pub fn ingest(rows: usize, runs: usize) -> Vec<Vec<String>> {
+    use archis::Change;
+    use relstore::Value;
+    use temporal::Date;
+
+    let dir = std::env::temp_dir().join(format!("archis-ingest-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench temp dir");
+
+    // Monotone hire dates: one per day on a 28-day-month calendar (every
+    // month has 28 days, so no Feb-29 edge cases).
+    let at = |id: i64| {
+        Date::from_ymd(
+            1985 + (id / 336) as i32,
+            1 + ((id % 336) / 28) as u32,
+            1 + (id % 28) as u32,
+        )
+        .expect("valid bench date")
+    };
+    let changes: Vec<Change> = (1..=rows as i64)
+        .map(|id| Change::Insert {
+            relation: "employee".into(),
+            key: id,
+            values: vec![
+                ("name".into(), Value::Str(format!("employee-{id:06}"))),
+                ("salary".into(), Value::Int(40_000 + id)),
+                ("title".into(), Value::Str("Engineer".into())),
+                ("deptno".into(), Value::Str(format!("d{:02}", id % 20))),
+            ],
+            at: at(id),
+        })
+        .collect();
+
+    let batches = [1usize, 64, 1024];
+    let mut best_ms = [f64::MAX; 3];
+    for run in 0..runs.max(1) {
+        for (bi, &batch) in batches.iter().enumerate() {
+            let path = dir.join(format!("ingest-b{batch}-r{run}.db"));
+            let wal = {
+                let mut p = path.as_os_str().to_os_string();
+                p.push(".wal");
+                std::path::PathBuf::from(p)
+            };
+            let _ = std::fs::remove_file(&path);
+            let _ = std::fs::remove_file(&wal);
+            {
+                let mut a = ArchIS::open_file(&path, ArchConfig::default())
+                    .expect("open WAL-backed ArchIS");
+                a.create_relation(archis::RelationSpec::employee()).unwrap();
+                let start = Instant::now();
+                for chunk in changes.chunks(batch) {
+                    a.apply_all(chunk).expect("ingest batch");
+                }
+                let ms = start.elapsed().as_secs_f64() * 1e3;
+                if ms < best_ms[bi] {
+                    best_ms[bi] = ms;
+                }
+            }
+            let _ = std::fs::remove_file(&path);
+            let _ = std::fs::remove_file(&wal);
+        }
+    }
+    let _ = std::fs::remove_dir(&dir);
+
+    let rps: Vec<f64> = best_ms.iter().map(|ms| rows as f64 / (ms / 1e3)).collect();
+    let speedup = rps[2] / rps[0].max(1e-9);
+    let mut out: Vec<Vec<String>> = batches
+        .iter()
+        .zip(best_ms.iter())
+        .zip(rps.iter())
+        .map(|((b, ms), r)| {
+            vec![
+                format!("batch {b}"),
+                format!("{ms:.1}"),
+                format!("{r:.0}"),
+                format!("{:.0}", (rows as f64 / *b as f64).ceil()),
+            ]
+        })
+        .collect();
+    out.push(vec![
+        "batch-1024 / batch-1".into(),
+        "-".into(),
+        format!("{speedup:.1}x"),
+        "-".into(),
+    ]);
+    print_table(
+        &format!("Batched ingest: {rows} hires via apply_all, txn-per-batch (best of {runs})"),
+        &["batch size", "total ms", "rows/sec", "transactions"],
+        &out,
+    );
+    let json = format!(
+        "{{\n  \"rows\": {rows},\n  \"batch_1\": {{ \"ms\": {:.2}, \"rows_per_sec\": {:.1} }},\n  \"batch_64\": {{ \"ms\": {:.2}, \"rows_per_sec\": {:.1} }},\n  \"batch_1024\": {{ \"ms\": {:.2}, \"rows_per_sec\": {:.1} }},\n  \"speedup_1024_over_1\": {speedup:.2}\n}}\n",
+        best_ms[0], rps[0], best_ms[1], rps[1], best_ms[2], rps[2]
+    );
+    if let Err(e) = std::fs::write("BENCH_ingest.json", &json) {
+        eprintln!("warning: could not write BENCH_ingest.json: {e}");
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -666,9 +797,32 @@ mod tests {
 
     #[test]
     fn fig14_and_updates_run() {
-        assert_eq!(fig14(10, 1).len(), 6);
+        let f14 = fig14(10, 1);
+        assert_eq!(f14.len(), 6);
+        // Warm reruns must be served out of the decompressed-block cache:
+        // at smoke scale every block a query touches fits, so the hit-rate
+        // column reads 1.00 for all of Q1–Q6.
+        for r in &f14 {
+            let hit_rate: f64 = r[6].parse().unwrap();
+            assert!(hit_rate >= 0.99, "{}: warm cache hit rate only {hit_rate}", r[0]);
+        }
         let rows = updates(10);
         assert_eq!(rows.len(), 4);
+    }
+
+    #[test]
+    fn ingest_rewards_batching() {
+        let rows = ingest(96, 1);
+        assert_eq!(rows.len(), 4);
+        for r in &rows[..3] {
+            let rps: f64 = r[2].parse().unwrap();
+            assert!(rps > 0.0, "{}: nonpositive throughput", r[0]);
+        }
+        // Loose bound for debug builds / fast disks; the release run
+        // recorded in BENCH_ingest.json is held to the ≥5x target by CI.
+        let speedup: f64 = rows[3][2].trim_end_matches('x').parse().unwrap();
+        assert!(speedup >= 1.2, "batched ingest only {speedup}x over row-at-a-time");
+        let _ = std::fs::remove_file("BENCH_ingest.json");
     }
 
     #[test]

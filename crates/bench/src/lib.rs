@@ -103,6 +103,12 @@ pub struct RunCost {
     /// bytes decompressed / 4096 (native XML) — the deterministic I/O
     /// proxy the figures report.
     pub physical_reads: u64,
+    /// Decompressed-block cache hits during the run (compressed-store
+    /// queries only; zero elsewhere).
+    pub cache_hits: u64,
+    /// Decompressed-block cache misses — each one is a real BlockZIP
+    /// unpack.
+    pub cache_misses: u64,
 }
 
 impl RunCost {
@@ -118,6 +124,16 @@ impl RunCost {
         }
         let misses = self.physical_reads.min(self.logical_reads);
         (self.logical_reads - misses) as f64 / self.logical_reads as f64
+    }
+
+    /// Decompressed-block cache hit rate (1.0 when no blocks were
+    /// requested).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            return 1.0;
+        }
+        self.cache_hits as f64 / total as f64
     }
 }
 
@@ -153,7 +169,12 @@ pub fn run_archis_cold(archis: &ArchIS, xq: &str) -> RunCost {
     let time = start.elapsed();
     let stats = pool.stats();
     iostat::record(stats.logical_reads, stats.physical_reads);
-    RunCost { time, logical_reads: stats.logical_reads, physical_reads: stats.physical_reads }
+    RunCost {
+        time,
+        logical_reads: stats.logical_reads,
+        physical_reads: stats.physical_reads,
+        ..Default::default()
+    }
 }
 
 /// Run raw SQL cold on an ArchIS system.
@@ -167,7 +188,12 @@ pub fn run_sql_cold(archis: &ArchIS, sql: &str) -> RunCost {
     let time = start.elapsed();
     let stats = pool.stats();
     iostat::record(stats.logical_reads, stats.physical_reads);
-    RunCost { time, logical_reads: stats.logical_reads, physical_reads: stats.physical_reads }
+    RunCost {
+        time,
+        logical_reads: stats.logical_reads,
+        physical_reads: stats.physical_reads,
+        ..Default::default()
+    }
 }
 
 /// Run a query cold on the native XML database (cache flushed, so the
@@ -179,7 +205,7 @@ pub fn run_xmldb_cold(db: &XmlDb, xq: &str) -> RunCost {
     std::hint::black_box(&out);
     let time = start.elapsed();
     let proxy = (db.raw_bytes() / 4096) as u64;
-    RunCost { time, logical_reads: proxy, physical_reads: proxy }
+    RunCost { time, logical_reads: proxy, physical_reads: proxy, ..Default::default() }
 }
 
 /// Median of several cold runs (the paper averages 7 runs).

@@ -255,6 +255,107 @@ impl Archiver {
         }
     }
 
+    /// Apply a batch of changes, in order — semantically identical to
+    /// calling [`Archiver::apply`] per change, but maximal runs of inserts
+    /// with distinct keys go through one [`relstore::Table::insert_batch`]
+    /// per touched table, amortizing B+tree descents and page pins.
+    /// [`crate::ArchIS::apply_all`] wraps the whole batch in a single WAL
+    /// transaction; the batch is the unit of atomicity there.
+    pub fn apply_batch(&self, db: &Database, changes: &[Change]) -> Result<()> {
+        let mut i = 0;
+        while i < changes.len() {
+            if matches!(changes[i], Change::Insert { .. }) {
+                let mut seen = std::collections::HashSet::new();
+                let mut j = i;
+                while j < changes.len() {
+                    let Change::Insert { key, .. } = &changes[j] else { break };
+                    if !seen.insert(*key) {
+                        break; // re-insert of a batch key must take the checked path
+                    }
+                    j += 1;
+                }
+                if j - i > 1 {
+                    self.insert_run(db, &changes[i..j])?;
+                    i = j;
+                    continue;
+                }
+            }
+            self.apply(db, &changes[i])?;
+            i += 1;
+        }
+        Ok(())
+    }
+
+    /// Batched variant of [`Archiver::insert`] for a run of inserts with
+    /// distinct keys: validate every key up front, then write the current
+    /// table, the key table, and each attribute H-table with one batch
+    /// insert apiece.
+    fn insert_run(&self, db: &Database, run: &[Change]) -> Result<()> {
+        let current = db.table(&self.spec.name)?;
+        let cur_idx = format!("cur_{}_{}", self.spec.name, self.spec.key);
+        let mut cur_rows = Vec::with_capacity(run.len());
+        let mut key_rows = Vec::with_capacity(run.len());
+        let mut attr_rows: std::collections::HashMap<&str, Vec<Vec<Value>>> =
+            std::collections::HashMap::new();
+        for change in run {
+            let Change::Insert { key, values, at, .. } = change else { unreachable!() };
+            if !current.index_lookup(&cur_idx, &[Value::Int(*key)])?.is_empty() {
+                return Err(ArchError::BadUpdate(format!(
+                    "insert: key {key} already current in {}",
+                    self.spec.name
+                )));
+            }
+            let lookup = |name: &str| -> Value {
+                values
+                    .iter()
+                    .find(|(a, _)| a == name)
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or(Value::Null)
+            };
+            let mut row = vec![Value::Int(*key)];
+            for (c, _) in &self.spec.composite {
+                row.push(lookup(c));
+            }
+            for (attr, _) in &self.spec.attrs {
+                row.push(lookup(attr));
+            }
+            cur_rows.push(row);
+            let mut key_row = vec![Value::Int(*key)];
+            for (c, _) in &self.spec.composite {
+                key_row.push(lookup(c));
+            }
+            key_row.push(Value::Date(*at));
+            key_row.push(Value::Date(END_OF_TIME));
+            key_rows.push(key_row);
+            for (attr, value) in values {
+                if value.is_null() || self.spec.is_composite_col(attr) {
+                    continue;
+                }
+                if !self.spec.has_attr(attr) {
+                    return Err(ArchError::NotFound(format!("attribute {attr}")));
+                }
+                attr_rows.entry(attr.as_str()).or_default().push(vec![
+                    Value::Int(LIVE_SEGNO),
+                    Value::Int(*key),
+                    value.clone(),
+                    Value::Date(*at),
+                    Value::Date(END_OF_TIME),
+                ]);
+            }
+        }
+        current.insert_batch(cur_rows)?;
+        db.table(&htable::key_table(&self.spec))?.insert_batch(key_rows)?;
+        let mut state = self.state.lock();
+        for (attr, rows) in attr_rows {
+            let n = rows.len() as u64;
+            db.table(&htable::attr_table(&self.spec, attr))?.insert_batch(rows)?;
+            let s = state.get_mut(attr).expect("spec attr");
+            s.nall += n;
+            s.nlive += n;
+        }
+        Ok(())
+    }
+
     fn insert(
         &self,
         db: &Database,
@@ -593,20 +694,21 @@ impl Archiver {
         // 3. Copy ALL live-segment tuples into the new segment, sorted by id.
         let mut rows = t.index_lookup(&seg_idx, &[Value::Int(LIVE_SEGNO)])?;
         rows.sort_by(|a, b| a[1].total_cmp(&b[1]));
+        let mut copies = Vec::with_capacity(rows.len());
         let mut live_rows = Vec::new();
         for row in &rows {
             let mut copy = row.clone();
             copy[0] = Value::Int(segno);
-            t.insert(copy)?;
+            copies.push(copy);
             if row[4] == Value::Date(END_OF_TIME) {
                 live_rows.push(row.clone());
             }
         }
+        // Already id-sorted, so the batch path appends in tree order.
+        t.insert_batch(copies)?;
         // 4. Replace the live segment with only the still-live tuples.
         t.delete_via_index(&seg_idx, &[Value::Int(LIVE_SEGNO)], |_| true)?;
-        for row in &live_rows {
-            t.insert(row.clone())?;
-        }
+        t.insert_batch(live_rows.clone())?;
         let mut state = self.state.lock();
         let s = state.get_mut(attr).expect("spec attr");
         s.nall = live_rows.len() as u64;

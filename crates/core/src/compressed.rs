@@ -22,7 +22,96 @@ use relstore::value::{DataType, Field, Schema, Value};
 use relstore::{Database, StorageKind};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use temporal::Date;
+
+/// Decompressed rows of one block, shared between the cache and readers.
+type BlockRows = Arc<Vec<Vec<Value>>>;
+
+/// Sharded LRU cache of decompressed blocks, keyed by
+/// `(blob_table, blockno)`. Compressed blocks are immutable once written
+/// (archived segments never change; incremental compression only appends
+/// new block numbers), so entries never need invalidation — only LRU
+/// eviction bounds the memory. Sharding keeps the parallel decompression
+/// paths from serializing on one lock.
+struct BlockCache {
+    shards: Vec<parking_lot::Mutex<HashMap<(String, usize), (u64, BlockRows)>>>,
+    per_shard: usize,
+    /// Logical clock for LRU ordering.
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl BlockCache {
+    const SHARDS: usize = 8;
+    /// Default capacity: 8 shards × 32 blocks ≈ 1 MiB of 4000-byte blocks.
+    const PER_SHARD: usize = 32;
+
+    fn new() -> Self {
+        BlockCache {
+            shards: (0..Self::SHARDS).map(|_| parking_lot::Mutex::new(HashMap::new())).collect(),
+            per_shard: Self::PER_SHARD,
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, table: &str, blockno: usize) -> usize {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        table.hash(&mut h);
+        blockno.hash(&mut h);
+        (h.finish() as usize) % self.shards.len()
+    }
+
+    fn get(&self, table: &str, blockno: usize) -> Option<BlockRows> {
+        let shard = &self.shards[self.shard_of(table, blockno)];
+        let mut map = shard.lock();
+        match map.get_mut(&(table.to_string(), blockno)) {
+            Some((stamp, rows)) => {
+                *stamp = self.tick.fetch_add(1, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(rows.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn put(&self, table: &str, blockno: usize, rows: BlockRows) {
+        let shard = &self.shards[self.shard_of(table, blockno)];
+        let mut map = shard.lock();
+        let stamp = self.tick.fetch_add(1, Ordering::Relaxed);
+        map.insert((table.to_string(), blockno), (stamp, rows));
+        while map.len() > self.per_shard {
+            // O(per_shard) eviction; capacity is small by design.
+            let oldest = map.iter().min_by_key(|(_, (s, _))| *s).map(|(k, _)| k.clone());
+            match oldest {
+                Some(k) => map.remove(&k),
+                None => break,
+            };
+        }
+    }
+
+    fn stats(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
+    }
+}
 
 /// Block metadata kept in memory for fast range location (mirrors the
 /// `_blob` table's key columns).
@@ -47,6 +136,9 @@ pub struct CompressedStore {
     attrs: HashMap<String, AttrBlocks>,
     /// Blocks decompressed since the last reset (benchmark I/O proxy).
     blocks_read: AtomicU64,
+    /// LRU of decompressed blocks — warm reruns of Q1–Q6 skip BlockZIP
+    /// entirely.
+    cache: BlockCache,
 }
 
 impl CompressedStore {
@@ -128,12 +220,13 @@ impl CompressedStore {
             // (52 bytes of row overhead); only oversized blocks split.
             const PART: usize = 4000;
             let new_meta_start = meta.len();
+            let mut blob_rows = Vec::new();
             for (i, b) in blocks.iter().enumerate() {
                 let no = first_new_block + i;
                 let start_sid = sid_of(&rows[b.first_record]);
                 let end_sid = sid_of(&rows[b.last_record]);
                 for (part, chunk) in b.data.chunks(PART).enumerate() {
-                    bt.insert(vec![
+                    blob_rows.push(vec![
                         Value::Int(no as i64),
                         Value::Int(part as i64),
                         Value::Int(start_sid.0),
@@ -141,10 +234,13 @@ impl CompressedStore {
                         Value::Int(end_sid.0),
                         Value::Int(end_sid.1),
                         Value::Blob(chunk.to_vec()),
-                    ])?;
+                    ]);
                 }
                 meta.push(BlockMeta { blockno: no, start_sid, end_sid });
             }
+            // One batch: blob pages append heap-sequentially and the
+            // blockno index is maintained in a single sorted pass.
+            bt.insert_batch(blob_rows)?;
 
             // Record block ranges for the newly compressed segments.
             let segs = archiver.segments(db, attr)?;
@@ -185,6 +281,7 @@ impl CompressedStore {
             spec: spec.clone(),
             attrs,
             blocks_read: AtomicU64::new(0),
+            cache: BlockCache::new(),
         })
     }
 
@@ -216,6 +313,7 @@ impl CompressedStore {
             spec: spec.clone(),
             attrs,
             blocks_read: AtomicU64::new(0),
+            cache: BlockCache::new(),
         })
     }
 
@@ -263,13 +361,30 @@ impl CompressedStore {
     }
 
     /// Blocks decompressed since the last [`CompressedStore::reset_stats`].
+    /// Cache hits do not count — this is the number of real BlockZIP
+    /// unpacks.
     pub fn blocks_read(&self) -> u64 {
         self.blocks_read.load(Ordering::Relaxed)
     }
 
-    /// Reset the decompression counter.
+    /// Block-cache `(hits, misses)` since the last
+    /// [`CompressedStore::reset_stats`].
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+
+    /// Reset the decompression and cache counters (cached blocks stay
+    /// cached).
     pub fn reset_stats(&self) {
         self.blocks_read.store(0, Ordering::Relaxed);
+        self.cache.reset();
+    }
+
+    /// Evict every cached decompressed block (counters are untouched).
+    /// Benchmarks call this before a cold run so block decompression is
+    /// part of the measurement again.
+    pub fn clear_cache(&self) {
+        self.cache.clear();
     }
 
     fn attr(&self, attr: &str) -> Result<&AttrBlocks> {
@@ -278,9 +393,13 @@ impl CompressedStore {
             .ok_or_else(|| ArchError::NotFound(format!("compressed attribute {attr}")))
     }
 
-    /// Decompress one block into rows (the paper's "user-defined
-    /// uncompression table function").
-    fn read_block(&self, db: &Database, ab: &AttrBlocks, blockno: usize) -> Result<Vec<Vec<Value>>> {
+    /// One block's rows: served from the LRU cache when warm, otherwise
+    /// decompressed (the paper's "user-defined uncompression table
+    /// function") and cached.
+    fn read_block(&self, db: &Database, ab: &AttrBlocks, blockno: usize) -> Result<BlockRows> {
+        if let Some(rows) = self.cache.get(&ab.blob_table, blockno) {
+            return Ok(rows);
+        }
         self.blocks_read.fetch_add(1, Ordering::Relaxed);
         let bt = db.table(&ab.blob_table)?;
         let mut parts: Vec<(i64, Vec<u8>)> = bt
@@ -294,10 +413,53 @@ impl CompressedStore {
         parts.sort_by_key(|(p, _)| *p);
         let data: Vec<u8> = parts.into_iter().flat_map(|(_, b)| b).collect();
         let records = blockzip::unpack_records(&data)?;
-        records
-            .iter()
-            .map(|r| relstore::decode_row(r).map_err(ArchError::from))
-            .collect()
+        let rows: BlockRows = Arc::new(
+            records
+                .iter()
+                .map(|r| relstore::decode_row(r).map_err(ArchError::from))
+                .collect::<Result<Vec<_>>>()?,
+        );
+        self.cache.put(&ab.blob_table, blockno, rows.clone());
+        Ok(rows)
+    }
+
+    /// Read many blocks, fanning decompression out across threads when
+    /// [`relstore::parallel`] scans are enabled (every independent block is
+    /// its own unit of work, paper §8.2). Results come back in `blocknos`
+    /// order, so callers behave identically with parallelism on or off.
+    fn read_blocks(
+        &self,
+        db: &Database,
+        ab: &AttrBlocks,
+        blocknos: &[usize],
+    ) -> Result<Vec<BlockRows>> {
+        const MIN_PARALLEL: usize = 4;
+        if blocknos.len() < MIN_PARALLEL || !relstore::parallel::parallel_scans_enabled() {
+            return blocknos.iter().map(|&no| self.read_block(db, ab, no)).collect();
+        }
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(8)
+            .min(blocknos.len());
+        let chunk = blocknos.len().div_ceil(threads);
+        let results: Vec<Result<Vec<BlockRows>>> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = blocknos
+                .chunks(chunk)
+                .map(|nos| {
+                    s.spawn(move |_| {
+                        nos.iter().map(|&no| self.read_block(db, ab, no)).collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("block reader panicked")).collect()
+        })
+        .expect("crossbeam scope");
+        let mut out = Vec::with_capacity(blocknos.len());
+        for r in results {
+            out.extend(r?);
+        }
+        Ok(out)
     }
 
     /// All archived rows of one segment of an attribute (decompresses only
@@ -307,13 +469,10 @@ impl CompressedStore {
         let Some(&(lo, hi)) = ab.segranges.get(&segno) else {
             return Ok(Vec::new());
         };
+        let blocknos: Vec<usize> = (lo..=hi).collect();
         let mut out = Vec::new();
-        for no in lo..=hi {
-            for row in self.read_block(db, ab, no)? {
-                if row[0] == Value::Int(segno) {
-                    out.push(row);
-                }
-            }
+        for rows in self.read_blocks(db, ab, &blocknos)? {
+            out.extend(rows.iter().filter(|row| row[0] == Value::Int(segno)).cloned());
         }
         Ok(out)
     }
@@ -332,16 +491,18 @@ impl CompressedStore {
         let sid = (segno, id);
         // Blocks are sorted by start_sid; find candidates via partition.
         let start = ab.meta.partition_point(|m| m.end_sid < sid);
+        let blocknos: Vec<usize> = ab.meta[start..]
+            .iter()
+            .take_while(|m| m.start_sid <= sid)
+            .map(|m| m.blockno)
+            .collect();
         let mut out = Vec::new();
-        for m in &ab.meta[start..] {
-            if m.start_sid > sid {
-                break;
-            }
-            for row in self.read_block(db, ab, m.blockno)? {
-                if row[0] == Value::Int(segno) && row[1] == Value::Int(id) {
-                    out.push(row);
-                }
-            }
+        for rows in self.read_blocks(db, ab, &blocknos)? {
+            out.extend(
+                rows.iter()
+                    .filter(|row| row[0] == Value::Int(segno) && row[1] == Value::Int(id))
+                    .cloned(),
+            );
         }
         Ok(out)
     }
@@ -350,9 +511,10 @@ impl CompressedStore {
     /// history-query path).
     pub fn scan_all(&self, db: &Database, attr: &str) -> Result<Vec<Vec<Value>>> {
         let ab = self.attr(attr)?;
+        let blocknos: Vec<usize> = ab.meta.iter().map(|m| m.blockno).collect();
         let mut out = Vec::new();
-        for m in &ab.meta {
-            out.extend(self.read_block(db, ab, m.blockno)?);
+        for rows in self.read_blocks(db, ab, &blocknos)? {
+            out.extend(rows.iter().cloned());
         }
         Ok(out)
     }

@@ -417,16 +417,30 @@ mod tests {
         let mut a = setup();
         a.compress_archived("employee").unwrap();
         let store = a.compressed_store("employee").unwrap();
+        // Blocks *touched* = cache hits + misses; `blocks_read` alone only
+        // counts real decompressions, which the block cache elides on
+        // reruns.
+        let touched = |s: &crate::CompressedStore| {
+            let (h, m) = s.cache_stats();
+            h + m
+        };
         store.reset_stats();
         q1_compressed(&a, store, 100001, d("1994-06-01")).unwrap();
-        let point = store.blocks_read();
+        let point = touched(store);
         store.reset_stats();
         q4_compressed(&a, store).unwrap();
-        let full = store.blocks_read();
+        let full = touched(store);
         assert!(
             point <= full,
             "single-object snapshot ({point} blocks) must not exceed a full scan ({full})"
         );
+        // A warm rerun of the full scan is served from the cache.
+        store.reset_stats();
+        q4_compressed(&a, store).unwrap();
+        let (hits, misses) = store.cache_stats();
+        assert!(hits > 0, "warm rerun must hit the block cache");
+        assert_eq!(misses, 0, "warm rerun must not decompress anything");
+        assert_eq!(store.blocks_read(), 0);
     }
 
     #[test]
@@ -461,7 +475,14 @@ mod tests {
             let store = a.compressed_store("employee").unwrap();
             let q5c =
                 q5_compressed(a, store, 45_000, d("1993-01-01"), d("1999-06-01")).unwrap();
-            (q2, q5_sql, q5c)
+            // Every compressed variant decompresses blocks through the
+            // parallel fan-out; all must be invariant under the flag.
+            let q1c = q1_compressed(a, store, 100001, d("1994-06-01")).unwrap();
+            let q2c = q2_compressed(a, store, d("1994-06-01")).unwrap();
+            let q3c = q3_compressed(a, store, 100001).unwrap();
+            let q4c = q4_compressed(a, store).unwrap();
+            let q6c = q6_compressed(a, store, d("1993-01-01"), d("1995-01-01")).unwrap();
+            (q2, q5_sql, q5c, q1c, q2c.to_bits(), q3c, q4c, q6c)
         };
         relstore::parallel::set_parallel_scans(false);
         let serial = run(&mut a);

@@ -14,6 +14,7 @@ use crate::page::{PageId, PAGE_SIZE};
 use crate::{Result, StoreError};
 use parking_lot::Mutex;
 use std::ops::Bound;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
 const LEAF_TAG: u8 = 0;
@@ -134,6 +135,14 @@ impl Node {
 pub struct BTree {
     pool: Arc<BufferPool>,
     root: Mutex<PageId>,
+    /// Cached page count; 0 means "unknown" (a tree always has ≥ 1 page).
+    /// Pages are only ever added (deletion is lazy), so once known the
+    /// counter stays exact by bumping it on every allocation.
+    pages: AtomicU64,
+    /// Cached entry count; −1 means "unknown". `create`/`bulk_load` seed
+    /// it and insert/delete keep it exact, so `len` on a handle that built
+    /// the tree never walks the leaves.
+    entries: AtomicI64,
 }
 
 impl BTree {
@@ -146,12 +155,22 @@ impl BTree {
             node.serialize(&mut guard.data[..]);
             guard.dirty = true;
         }
-        Ok(BTree { pool, root: Mutex::new(id) })
+        Ok(BTree {
+            pool,
+            root: Mutex::new(id),
+            pages: AtomicU64::new(1),
+            entries: AtomicI64::new(0),
+        })
     }
 
     /// Reattach to an existing tree by its root page.
     pub fn open(pool: Arc<BufferPool>, root: PageId) -> Self {
-        BTree { pool, root: Mutex::new(root) }
+        BTree {
+            pool,
+            root: Mutex::new(root),
+            pages: AtomicU64::new(0),
+            entries: AtomicI64::new(-1),
+        }
     }
 
     /// The current root page id (persist as the index root; note it changes
@@ -164,7 +183,135 @@ impl BTree {
     /// the current root. Lets owning iterators (streaming scans) keep
     /// reading without borrowing the original.
     pub fn clone_handle(&self) -> BTree {
-        BTree { pool: self.pool.clone(), root: Mutex::new(self.root_page()) }
+        BTree {
+            pool: self.pool.clone(),
+            root: Mutex::new(self.root_page()),
+            pages: AtomicU64::new(self.pages.load(Ordering::Relaxed)),
+            entries: AtomicI64::new(self.entries.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Build a tree bottom-up from entries already sorted by `(key, value)`
+    /// — the tree's native order. Leaves are packed to capacity and chained
+    /// left to right, then each internal level is built from the first key
+    /// of every right sibling (the same separator convention `insert`'s
+    /// splits produce), so the result obeys every invariant of an
+    /// incrementally built tree while writing each page exactly once: no
+    /// top-down descent, no splits, no rewritten WAL page images.
+    ///
+    /// Returns `Corrupt` if the input is out of order and `RecordTooLarge`
+    /// for entries `insert` would also reject.
+    pub fn bulk_load<I>(pool: Arc<BufferPool>, entries: I) -> Result<BTree>
+    where
+        I: IntoIterator<Item = (Vec<u8>, Vec<u8>)>,
+    {
+        let mut pages = 0u64;
+        let mut alloc_blank = |pool: &Arc<BufferPool>| -> Result<PageId> {
+            pages += 1;
+            Ok(pool.allocate()?.0)
+        };
+        let store_at = |pid: PageId, node: &Node| -> Result<()> {
+            let frame = pool.get(pid)?;
+            let mut guard = frame.write();
+            guard.data[..].fill(0);
+            node.serialize(&mut guard.data[..]);
+            guard.dirty = true;
+            Ok(())
+        };
+
+        // Leaf level: stream entries into packed leaves. The next-pointer
+        // forces allocating a leaf's page before its contents are final, so
+        // each leaf's page id is claimed when the previous one closes.
+        let mut level: Vec<(Vec<u8>, PageId)> = Vec::new(); // (first key, page)
+        let mut cur: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        let mut cur_size = LEAF_HEADER;
+        let mut cur_pid = alloc_blank(&pool)?;
+        let mut prev: Option<(Vec<u8>, Vec<u8>)> = None;
+        let mut total = 0i64;
+        for (k, v) in entries {
+            if 4 + k.len() + v.len() > PAGE_SIZE - LEAF_HEADER {
+                return Err(StoreError::RecordTooLarge(k.len() + v.len()));
+            }
+            if let Some((pk, pv)) = &prev {
+                if (pk.as_slice(), pv.as_slice()) > (k.as_slice(), v.as_slice()) {
+                    return Err(StoreError::Corrupt(
+                        "bulk_load input not sorted by (key, value)".into(),
+                    ));
+                }
+            }
+            let cost = 4 + k.len() + v.len();
+            if cur_size + cost > PAGE_SIZE {
+                let next_pid = alloc_blank(&pool)?;
+                let first_key = cur[0].0.clone();
+                store_at(
+                    cur_pid,
+                    &Node::Leaf { entries: std::mem::take(&mut cur), next: Some(next_pid) },
+                )?;
+                level.push((first_key, cur_pid));
+                cur_pid = next_pid;
+                cur_size = LEAF_HEADER;
+            }
+            cur_size += cost;
+            prev = Some((k.clone(), v.clone()));
+            cur.push((k, v));
+            total += 1;
+        }
+        let first_key = cur.first().map(|(k, _)| k.clone()).unwrap_or_default();
+        store_at(cur_pid, &Node::Leaf { entries: cur, next: None })?;
+        level.push((first_key, cur_pid));
+
+        // Internal levels: group children under packed internal nodes until
+        // one node remains. Every key fitting in a leaf also fits as a
+        // separator (10 + klen ≤ PAGE_SIZE − INTERNAL_HEADER), so each node
+        // absorbs ≥ 2 children when available and the level count shrinks.
+        while level.len() > 1 {
+            let mut parents: Vec<(Vec<u8>, PageId)> = Vec::new();
+            let mut i = 0;
+            while i < level.len() {
+                let (first_key, first_child) = level[i].clone();
+                i += 1;
+                let mut node_entries: Vec<(Vec<u8>, PageId)> = Vec::new();
+                let mut size = INTERNAL_HEADER;
+                while i < level.len() {
+                    let cost = 10 + level[i].0.len();
+                    if size + cost > PAGE_SIZE {
+                        break;
+                    }
+                    node_entries.push(level[i].clone());
+                    size += cost;
+                    i += 1;
+                }
+                let pid = alloc_blank(&pool)?;
+                store_at(pid, &Node::Internal { first_child, entries: node_entries })?;
+                parents.push((first_key, pid));
+            }
+            level = parents;
+        }
+
+        let root = level[0].1;
+        Ok(BTree {
+            pool,
+            root: Mutex::new(root),
+            pages: AtomicU64::new(pages),
+            entries: AtomicI64::new(total),
+        })
+    }
+
+    /// Bulk-load `entries` (sorted by `(key, value)`) into this tree,
+    /// replacing its contents. Intended for trees known to be empty or
+    /// being rewritten wholesale (fresh indexes, vacuum, segment
+    /// rewrites): the previous pages are abandoned to lazy reclamation,
+    /// like every other delete path in this store.
+    pub fn bulk_fill<I>(&self, entries: I) -> Result<()>
+    where
+        I: IntoIterator<Item = (Vec<u8>, Vec<u8>)>,
+    {
+        let built = BTree::bulk_load(self.pool.clone(), entries)?;
+        let mut root = self.root.lock();
+        *root = built.root_page();
+        self.pages.store(built.pages.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.entries.store(built.entries.load(Ordering::Relaxed), Ordering::Relaxed);
+        Ok(())
     }
 
     fn load(&self, id: PageId) -> Result<Node> {
@@ -187,6 +334,10 @@ impl BTree {
         let mut guard = frame.write();
         node.serialize(&mut guard.data[..]);
         guard.dirty = true;
+        // Keep the cached page count exact once it is known.
+        let _ = self
+            .pages
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| (n != 0).then(|| n + 1));
         Ok(id)
     }
 
@@ -201,6 +352,10 @@ impl BTree {
                 Node::Internal { first_child: *root, entries: vec![(sep, right)] };
             *root = self.alloc(&new_root)?;
         }
+        // Keep the cached entry count exact once it is known.
+        let _ = self
+            .entries
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| (n >= 0).then(|| n + 1));
         Ok(())
     }
 
@@ -308,6 +463,9 @@ impl BTree {
             if let Some(pos) = entries.iter().position(|(k, v)| k == key && v == value) {
                 entries.remove(pos);
                 self.store(pid, &node)?;
+                let _ = self.entries.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                    (n > 0).then(|| n - 1)
+                });
                 return Ok(true);
             }
             // Stop once past the key.
@@ -336,14 +494,25 @@ impl BTree {
         loop {
             match self.load(pid)? {
                 Node::Internal { first_child, entries } => {
-                    let idx = entries.partition_point(|(k, _)| k.as_slice() <= start_key);
+                    // Descend with strict `<`: a separator equal to the
+                    // start key may leave duplicates of that key in the
+                    // left subtree (splits cut by bytes, and bulk-loaded
+                    // leaf boundaries fall wherever a page fills), so land
+                    // one child early and let the iterator's lo-bound
+                    // filter skip ahead along the leaf chain.
+                    let idx = entries.partition_point(|(k, _)| k.as_slice() < start_key);
                     pid = if idx == 0 { first_child } else { entries[idx - 1].1 };
                 }
                 Node::Leaf { .. } => break,
             }
         }
         Ok(RangeIter {
-            tree: BTree { pool: self.pool.clone(), root: Mutex::new(*root) },
+            tree: BTree {
+                pool: self.pool.clone(),
+                root: Mutex::new(*root),
+                pages: AtomicU64::new(0),
+                entries: AtomicI64::new(-1),
+            },
             leaf: Some(pid),
             entries: Vec::new(),
             pos: 0,
@@ -362,9 +531,24 @@ impl BTree {
         }
     }
 
-    /// Total entries (walks every leaf).
+    /// Total entries. O(1) once the count is known: `create`/`bulk_load`
+    /// seed it and insert/delete keep it exact; only a tree reattached
+    /// with `open` pays one full leaf walk, on the first call.
     pub fn len(&self) -> Result<usize> {
-        Ok(self.range(Bound::Unbounded, Bound::Unbounded)?.count())
+        let cached = self.entries.load(Ordering::Relaxed);
+        if cached >= 0 {
+            return Ok(cached as usize);
+        }
+        let n = self.range(Bound::Unbounded, Bound::Unbounded)?.count();
+        // Racy double-compute is fine: competing walks publish the same
+        // value, and insert/delete only adjust an already-published count.
+        let _ = self.entries.compare_exchange(
+            -1,
+            n as i64,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+        Ok(n)
     }
 
     /// True when the tree holds no entries.
@@ -372,8 +556,15 @@ impl BTree {
         Ok(self.len()? == 0)
     }
 
-    /// Pages used by the tree (for storage-size experiments).
+    /// Pages used by the tree (for storage-size experiments). O(1) once the
+    /// count is known: `create`/`bulk_load` seed it and `alloc` keeps it
+    /// exact; only a tree reattached with `open` pays one full walk, on the
+    /// first call.
     pub fn page_count(&self) -> Result<u64> {
+        let cached = self.pages.load(Ordering::Relaxed);
+        if cached != 0 {
+            return Ok(cached);
+        }
         fn rec(t: &BTree, pid: PageId) -> Result<u64> {
             match t.load(pid)? {
                 Node::Leaf { .. } => Ok(1),
@@ -387,7 +578,109 @@ impl BTree {
             }
         }
         let root = *self.root.lock();
-        rec(self, root)
+        let n = rec(self, root)?;
+        // Racy double-compute is fine; both walks see the same tree or a
+        // superset, and alloc only bumps an already-published count.
+        let _ = self.pages.compare_exchange(0, n, Ordering::Relaxed, Ordering::Relaxed);
+        Ok(n)
+    }
+
+    /// Test/debug aid: walk the whole tree and check its structural
+    /// invariants — uniform leaf depth, sorted entries and separators,
+    /// separator bounds on every subtree (keys under a child lie between
+    /// its flanking separators, inclusively: duplicates of a separator may
+    /// legally sit in the left sibling), and a leaf chain that visits
+    /// exactly the tree's leaves in order. Both `insert`-built and
+    /// `bulk_load`-built trees must satisfy these.
+    pub fn verify_structure(&self) -> Result<()> {
+        let bad = |m: String| StoreError::Corrupt(format!("btree structure: {m}"));
+        struct Walk<'a> {
+            t: &'a BTree,
+            leaves: Vec<PageId>,
+            leaf_depth: Option<usize>,
+        }
+        impl Walk<'_> {
+            fn rec(
+                &mut self,
+                pid: PageId,
+                depth: usize,
+                lo: Option<&[u8]>,
+                hi: Option<&[u8]>,
+            ) -> Result<()> {
+                let bad = |m: String| StoreError::Corrupt(format!("btree structure: {m}"));
+                match self.t.load(pid)? {
+                    Node::Leaf { entries, .. } => {
+                        match self.leaf_depth {
+                            None => self.leaf_depth = Some(depth),
+                            Some(d) if d != depth => {
+                                return Err(bad(format!(
+                                    "leaf {pid} at depth {depth}, expected {d}"
+                                )))
+                            }
+                            _ => {}
+                        }
+                        let mut prev: Option<(&Vec<u8>, &Vec<u8>)> = None;
+                        for (k, v) in &entries {
+                            if let Some((pk, pv)) = prev {
+                                if (pk, pv) > (k, v) {
+                                    return Err(bad(format!("leaf {pid} entries unsorted")));
+                                }
+                            }
+                            if lo.is_some_and(|lo| k.as_slice() < lo) {
+                                return Err(bad(format!("leaf {pid} key below separator")));
+                            }
+                            if hi.is_some_and(|hi| k.as_slice() > hi) {
+                                return Err(bad(format!("leaf {pid} key above separator")));
+                            }
+                            prev = Some((k, v));
+                        }
+                        self.leaves.push(pid);
+                        Ok(())
+                    }
+                    Node::Internal { first_child, entries } => {
+                        let mut prev: Option<&[u8]> = None;
+                        for (k, _) in &entries {
+                            if prev.is_some_and(|p| p > k.as_slice()) {
+                                return Err(bad(format!("internal {pid} separators unsorted")));
+                            }
+                            prev = Some(k);
+                        }
+                        // Recurse with flanking separators as inclusive
+                        // bounds; clone to drop the borrow of `entries`.
+                        let seps: Vec<Vec<u8>> = entries.iter().map(|(k, _)| k.clone()).collect();
+                        let first_hi = seps.first().map(|k| k.as_slice()).or(hi);
+                        self.rec(first_child, depth + 1, lo, first_hi)?;
+                        for (i, (k, child)) in entries.iter().enumerate() {
+                            let child_hi = seps.get(i + 1).map(|k| k.as_slice()).or(hi);
+                            self.rec(*child, depth + 1, Some(k), child_hi)?;
+                        }
+                        Ok(())
+                    }
+                }
+            }
+        }
+        let root = *self.root.lock();
+        let mut walk = Walk { t: self, leaves: Vec::new(), leaf_depth: None };
+        walk.rec(root, 0, None, None)?;
+        // The leaf chain must visit exactly the in-order leaves.
+        let mut pid = walk.leaves[0];
+        for (i, want) in walk.leaves.iter().enumerate() {
+            if pid != *want {
+                return Err(bad(format!("leaf chain diverges at position {i}")));
+            }
+            match self.load(pid)? {
+                Node::Leaf { next, .. } => match next {
+                    Some(n) => pid = n,
+                    None => {
+                        if i + 1 != walk.leaves.len() {
+                            return Err(bad("leaf chain ends early".into()));
+                        }
+                    }
+                },
+                _ => unreachable!(),
+            }
+        }
+        Ok(())
     }
 }
 
@@ -603,6 +896,153 @@ mod tests {
             t.insert(b"k", &vec![0u8; PAGE_SIZE]),
             Err(StoreError::RecordTooLarge(_))
         ));
+    }
+
+    #[test]
+    fn bulk_load_matches_incremental_scan() {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemPager::new()), 512));
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = (0u32..5000)
+            .map(|i| (i.to_be_bytes().to_vec(), format!("val{i}").into_bytes()))
+            .collect();
+        let bulk = BTree::bulk_load(pool.clone(), entries.clone()).unwrap();
+        let inc = BTree::create(pool).unwrap();
+        for (k, v) in &entries {
+            inc.insert(k, v).unwrap();
+        }
+        let scan = |t: &BTree| -> Vec<(Vec<u8>, Vec<u8>)> {
+            t.range(Bound::Unbounded, Bound::Unbounded).unwrap().collect()
+        };
+        assert_eq!(scan(&bulk), scan(&inc));
+        assert_eq!(bulk.get(&1234u32.to_be_bytes()).unwrap(), vec![b"val1234".to_vec()]);
+        assert!(bulk.page_count().unwrap() > 3, "bulk tree must have multiple pages");
+        // Packed leaves: the bulk tree never uses more pages than splits do.
+        assert!(bulk.page_count().unwrap() <= inc.page_count().unwrap());
+    }
+
+    #[test]
+    fn bulk_load_empty_and_single() {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemPager::new()), 64));
+        let empty = BTree::bulk_load(pool.clone(), Vec::new()).unwrap();
+        assert!(empty.is_empty().unwrap());
+        empty.insert(b"k", b"v").unwrap();
+        assert_eq!(empty.get(b"k").unwrap(), vec![b"v".to_vec()]);
+        let one =
+            BTree::bulk_load(pool, vec![(b"a".to_vec(), b"1".to_vec())]).unwrap();
+        assert_eq!(one.len().unwrap(), 1);
+        assert_eq!(one.page_count().unwrap(), 1);
+    }
+
+    #[test]
+    fn bulk_load_duplicates_across_pages() {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemPager::new()), 256));
+        // 3000 copies of one key span many leaves; range must see them all.
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = (0u32..3000)
+            .map(|i| (b"dup".to_vec(), i.to_be_bytes().to_vec()))
+            .collect();
+        let t = BTree::bulk_load(pool, entries).unwrap();
+        assert_eq!(t.get(b"dup").unwrap().len(), 3000);
+        assert!(t.page_count().unwrap() > 3);
+    }
+
+    #[test]
+    fn bulk_load_rejects_unsorted_and_oversized() {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemPager::new()), 64));
+        let unsorted = vec![(b"b".to_vec(), vec![]), (b"a".to_vec(), vec![])];
+        assert!(matches!(
+            BTree::bulk_load(pool.clone(), unsorted),
+            Err(StoreError::Corrupt(_))
+        ));
+        let oversized = vec![(b"k".to_vec(), vec![0u8; PAGE_SIZE])];
+        assert!(matches!(
+            BTree::bulk_load(pool, oversized),
+            Err(StoreError::RecordTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn bulk_loaded_tree_accepts_inserts() {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemPager::new()), 512));
+        let entries: Vec<(Vec<u8>, Vec<u8>)> =
+            (0u32..2000).map(|i| ((i * 2).to_be_bytes().to_vec(), vec![7u8; 8])).collect();
+        let t = BTree::bulk_load(pool, entries).unwrap();
+        // Odd keys land between packed leaves and force immediate splits.
+        for i in 0u32..2000 {
+            t.insert(&(i * 2 + 1).to_be_bytes(), &[9u8; 8]).unwrap();
+        }
+        let all: Vec<_> = t.range(Bound::Unbounded, Bound::Unbounded).unwrap().collect();
+        assert_eq!(all.len(), 4000);
+        for (i, (k, _)) in all.iter().enumerate() {
+            assert_eq!(k, &(i as u32).to_be_bytes().to_vec());
+        }
+    }
+
+    #[test]
+    fn page_count_is_cached_without_io() {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemPager::new()), 8));
+        let t = BTree::create(pool.clone()).unwrap();
+        for i in 0u32..4000 {
+            t.insert(&i.to_be_bytes(), &[0u8; 16]).unwrap();
+        }
+        let walked = {
+            // A fresh handle must pay exactly one full walk...
+            let reopened = BTree::open(pool.clone(), t.root_page());
+            let n = reopened.page_count().unwrap();
+            pool.reset_stats();
+            assert_eq!(reopened.page_count().unwrap(), n);
+            let after = pool.stats();
+            assert_eq!(after.physical_reads, 0, "second page_count must not hit disk");
+            assert_eq!(after.logical_reads, 0, "second page_count must not touch the pool");
+            n
+        };
+        // ...while the tree that allocated its own pages never walks at all.
+        assert!(walked as usize > 8, "tree must outgrow the pool for this test");
+        pool.reset_stats();
+        assert_eq!(t.page_count().unwrap(), walked);
+        assert_eq!(pool.stats().logical_reads, 0);
+    }
+
+    #[test]
+    fn len_is_cached_without_io() {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemPager::new()), 8));
+        let t = BTree::create(pool.clone()).unwrap();
+        for i in 0u32..4000 {
+            t.insert(&i.to_be_bytes(), &[0u8; 16]).unwrap();
+        }
+        for i in 0u32..100 {
+            assert!(t.delete(&i.to_be_bytes(), &[0u8; 16]).unwrap());
+        }
+        // The building handle tracked every insert/delete: len is free.
+        pool.reset_stats();
+        assert_eq!(t.len().unwrap(), 3900);
+        assert!(!t.is_empty().unwrap());
+        assert_eq!(pool.stats().logical_reads, 0, "len on a tracked handle must not do I/O");
+        // A reopened handle pays one walk, then answers from the cache.
+        let reopened = BTree::open(pool.clone(), t.root_page());
+        assert_eq!(reopened.len().unwrap(), 3900);
+        pool.reset_stats();
+        assert_eq!(reopened.len().unwrap(), 3900);
+        assert_eq!(pool.stats().logical_reads, 0, "second len must not touch the pool");
+        // Deleting a missing pair leaves the count alone.
+        assert!(!t.delete(b"missing", b"none").unwrap());
+        assert_eq!(t.len().unwrap(), 3900);
+    }
+
+    #[test]
+    fn range_finds_duplicates_left_of_separator() {
+        // Force duplicates of one key to straddle a leaf boundary, then ask
+        // for exactly that key: the descent must land left of the equal
+        // separator or the left leaf's copies are lost.
+        let pool = Arc::new(BufferPool::new(Arc::new(MemPager::new()), 256));
+        let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        for i in 0u32..500 {
+            entries.push((b"aa".to_vec(), i.to_be_bytes().to_vec()));
+        }
+        for i in 0u32..500 {
+            entries.push((b"bb".to_vec(), i.to_be_bytes().to_vec()));
+        }
+        let t = BTree::bulk_load(pool, entries).unwrap();
+        assert_eq!(t.get(b"aa").unwrap().len(), 500);
+        assert_eq!(t.get(b"bb").unwrap().len(), 500);
     }
 
     #[test]

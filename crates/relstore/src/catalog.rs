@@ -241,9 +241,10 @@ impl Database {
         let indexes = old.index_defs();
         let fresh =
             Arc::new(Table::create(self.pool.clone(), name, schema, kind, &cluster_refs)?);
-        for row in rows {
-            fresh.insert(row)?;
-        }
+        // Bulk-load into the fresh table: clustered scans arrive in key
+        // order already, so the rewrite packs pages bottom-up instead of
+        // re-splitting its way through row-at-a-time inserts.
+        fresh.insert_batch(rows)?;
         for def in indexes {
             let cols: Vec<&str> = def.columns.iter().map(String::as_str).collect();
             fresh.create_index(&def.name, &cols)?;

@@ -1,0 +1,97 @@
+//! Property tests: `BTree::bulk_load` over random sorted datasets is
+//! observably identical to a tree built by incremental `insert` —
+//! byte-identical full scans, point gets, and range scans at random
+//! bounds, including duplicate keys — and both trees satisfy the
+//! structural invariants (`BTree::verify_structure`).
+
+use proptest::prelude::*;
+use relstore::{BTree, BufferPool, MemPager};
+use std::ops::Bound;
+use std::sync::Arc;
+
+/// Small alphabet + short keys maximize duplicate collisions.
+fn arb_entry() -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
+    (
+        proptest::collection::vec(0u8..6, 1..4),
+        proptest::collection::vec(proptest::arbitrary::any::<u8>(), 0..24),
+    )
+}
+
+fn pool() -> Arc<BufferPool> {
+    Arc::new(BufferPool::new(Arc::new(MemPager::new()), 256))
+}
+
+fn build_both(entries: &[(Vec<u8>, Vec<u8>)]) -> (BTree, BTree) {
+    let mut sorted = entries.to_vec();
+    sorted.sort();
+    let bulk = BTree::bulk_load(pool(), sorted.clone()).unwrap();
+    let inc = BTree::create(pool()).unwrap();
+    for (k, v) in &sorted {
+        inc.insert(k, v).unwrap();
+    }
+    (bulk, inc)
+}
+
+fn full_scan(t: &BTree) -> Vec<(Vec<u8>, Vec<u8>)> {
+    t.range(Bound::Unbounded, Bound::Unbounded).unwrap().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bulk_load_equals_incremental(
+        entries in proptest::collection::vec(arb_entry(), 0..600),
+        probes in proptest::collection::vec(arb_entry(), 0..8),
+    ) {
+        let (bulk, inc) = build_both(&entries);
+        bulk.verify_structure().unwrap();
+        inc.verify_structure().unwrap();
+
+        // Full scans are byte-identical (the sorted input itself).
+        let mut want = entries.clone();
+        want.sort();
+        prop_assert_eq!(full_scan(&bulk), want.clone());
+        prop_assert_eq!(full_scan(&inc), want);
+
+        // Point gets and random range scans agree between the two trees.
+        for (k, _) in &probes {
+            prop_assert_eq!(bulk.get(k).unwrap(), inc.get(k).unwrap(), "get {:?}", k);
+        }
+        for w in probes.windows(2) {
+            let (a, b) = (&w[0].0, &w[1].0);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let got: Vec<_> = bulk
+                .range(Bound::Included(&lo[..]), Bound::Excluded(&hi[..]))
+                .unwrap()
+                .collect();
+            let exp: Vec<_> = inc
+                .range(Bound::Included(&lo[..]), Bound::Excluded(&hi[..]))
+                .unwrap()
+                .collect();
+            prop_assert_eq!(got, exp, "range [{:?}, {:?})", lo, hi);
+        }
+
+        // Packed leaves: bulk never uses more pages than split-built.
+        prop_assert!(bulk.page_count().unwrap() <= inc.page_count().unwrap());
+    }
+
+    #[test]
+    fn bulk_loaded_tree_survives_further_mutation(
+        entries in proptest::collection::vec(arb_entry(), 0..300),
+        extra in proptest::collection::vec(arb_entry(), 0..100),
+    ) {
+        let (bulk, inc) = build_both(&entries);
+        for (k, v) in &extra {
+            bulk.insert(k, v).unwrap();
+            inc.insert(k, v).unwrap();
+        }
+        // Delete half the extras again, from both.
+        for (k, v) in extra.iter().step_by(2) {
+            prop_assert_eq!(bulk.delete(k, v).unwrap(), inc.delete(k, v).unwrap());
+        }
+        bulk.verify_structure().unwrap();
+        inc.verify_structure().unwrap();
+        prop_assert_eq!(full_scan(&bulk), full_scan(&inc));
+    }
+}

@@ -29,10 +29,20 @@ echo "== failpoints torture: 200-seed ArchIS archival crash runs =="
 # segment invariants and tstart/tend timeline coalescing.
 cargo test -q --features failpoints --test durability --test wal_props
 
+echo "== failpoints torture: apply_all fsync-boundary sweep =="
+# Crash at every fsync boundary of the batched ingest workload; recovery
+# must always land on a whole-batch state.
+cargo test -q --features failpoints --test batch_apply
+
 if [[ "${CI_BENCH:-0}" != "0" ]]; then
-    echo "== bench: commit + scan microbenches =="
+    echo "== bench: commit + scan + ingest microbenches =="
     ./target/release/reproduce -e commit --runs 3
     ./target/release/reproduce -e scan --runs 3
+    ./target/release/reproduce -e ingest --runs 3
+    # Batched ingest must beat row-at-a-time transactions by ≥5x (the
+    # PR's acceptance bar); the JSON is written by the ingest experiment.
+    speedup=$(awk -F': ' '/speedup_1024_over_1/ { gsub(/[ ,]/, "", $2); print $2 }' BENCH_ingest.json)
+    awk -v s="$speedup" 'BEGIN { if (s + 0 < 5.0) { print "ingest speedup " s "x < 5x"; exit 1 } else { print "ingest speedup " s "x >= 5x" } }'
 fi
 
 echo "CI OK"

@@ -1,0 +1,292 @@
+//! Batched write path (`ArchIS::apply_all` / `Archiver::apply_batch`):
+//! batching is a performance optimization, not a semantic change. A store
+//! fed whole batches must be table-for-table identical to one fed the same
+//! changes one at a time, and each `apply_all` call is a unit of atomicity
+//! — a crash at any fsync boundary recovers to a batch boundary, never to
+//! a half-applied batch.
+
+use archis::{ArchConfig, ArchIS, Change, RelationSpec};
+use dataset::{DatasetConfig, Op};
+use relstore::failpoint::{FailLog, FailPager, Failpoints};
+use relstore::pager::MemPager;
+use relstore::wal::{MemLog, WalConfig, WalPager};
+use relstore::{BufferPool, Database, Value};
+use std::sync::Arc;
+use temporal::Date;
+
+fn d(s: &str) -> Date {
+    Date::parse(s).unwrap()
+}
+
+fn to_change(op: &Op) -> Change {
+    match op {
+        Op::Hire { id, name, salary, title, deptno, at } => Change::Insert {
+            relation: "employee".into(),
+            key: *id,
+            values: vec![
+                ("name".into(), Value::Str(name.clone())),
+                ("salary".into(), Value::Int(*salary)),
+                ("title".into(), Value::Str(title.clone())),
+                ("deptno".into(), Value::Str(deptno.clone())),
+            ],
+            at: *at,
+        },
+        Op::Raise { id, salary, at } => Change::Update {
+            relation: "employee".into(),
+            key: *id,
+            changes: vec![("salary".into(), Value::Int(*salary))],
+            at: *at,
+        },
+        Op::TitleChange { id, title, at } => Change::Update {
+            relation: "employee".into(),
+            key: *id,
+            changes: vec![("title".into(), Value::Str(title.clone()))],
+            at: *at,
+        },
+        Op::DeptChange { id, deptno, at } => Change::Update {
+            relation: "employee".into(),
+            key: *id,
+            changes: vec![("deptno".into(), Value::Str(deptno.clone()))],
+            at: *at,
+        },
+        Op::Leave { id, at } => {
+            Change::Delete { relation: "employee".into(), key: *id, at: *at }
+        }
+    }
+}
+
+/// Every table in the database as (name, sorted rows) — the full observable
+/// relational state, independent of physical row order.
+fn table_dump(a: &ArchIS) -> Vec<(String, Vec<Vec<Value>>)> {
+    let db = a.database();
+    db.table_names()
+        .into_iter()
+        .map(|name| {
+            let mut rows = db.table(&name).unwrap().scan().unwrap();
+            rows.sort_by(|x, y| format!("{x:?}").cmp(&format!("{y:?}")));
+            (name, rows)
+        })
+        .collect()
+}
+
+fn assert_no_violations(a: &ArchIS, ctx: &str) {
+    let violations =
+        a.archiver_of("employee").unwrap().verify_invariants(a.database()).unwrap();
+    assert!(violations.is_empty(), "{ctx}: invariant violations: {violations:#?}");
+}
+
+/// Feeding the archiver whole batches produces byte-for-byte the same
+/// H-tables as feeding it the same changes one at a time — including with
+/// archival passes interleaved between batches, so the batched counters
+/// drive identical usefulness decisions.
+#[test]
+fn batch_apply_matches_one_at_a_time() {
+    let ops = dataset::generate(&DatasetConfig {
+        employees: 24,
+        years: 6,
+        seed: 11,
+        ..Default::default()
+    });
+    let changes: Vec<Change> = ops.iter().map(to_change).collect();
+    assert!(changes.len() > 60, "dataset too small to exercise batching");
+
+    let mut single = ArchIS::new(ArchConfig::default());
+    single.create_relation(RelationSpec::employee()).unwrap();
+    let mut batched = ArchIS::new(ArchConfig::default());
+    batched.create_relation(RelationSpec::employee()).unwrap();
+
+    // Batch size 7 deliberately straddles hire runs, so batches mix the
+    // distinct-key insert fast path with update/delete fallbacks.
+    for chunk in changes.chunks(7) {
+        for c in chunk {
+            single.apply(c).unwrap();
+        }
+        batched.apply_all(chunk).unwrap();
+        // Archive at the same stream position on both stores; identical
+        // usefulness counters must yield identical segmentation.
+        let at = chunk.last().unwrap().at();
+        let n1 = single.maybe_archive("employee", at).unwrap();
+        let n2 = batched.maybe_archive("employee", at).unwrap();
+        assert_eq!(n1, n2, "archival decisions diverged at {at}");
+    }
+    let end = changes.last().unwrap().at();
+    single.force_archive("employee", end).unwrap();
+    batched.force_archive("employee", end).unwrap();
+
+    assert_no_violations(&single, "single");
+    assert_no_violations(&batched, "batched");
+
+    let dump_s = table_dump(&single);
+    let dump_b = table_dump(&batched);
+    assert_eq!(
+        dump_s.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+        dump_b.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+        "table sets differ"
+    );
+    for ((name, rows_s), (_, rows_b)) in dump_s.iter().zip(dump_b.iter()) {
+        assert_eq!(rows_s, rows_b, "table {name} diverged between batched and single apply");
+    }
+}
+
+/// A batch with a bad change (duplicate-key insert) must fail and the
+/// failed `apply_all` must not commit — the store still matches its state
+/// from before the call after a WAL-backed reopen-style rollback check.
+#[test]
+fn batch_apply_rejects_duplicate_key_insert() {
+    let hire = |id: i64, day: &str| Change::Insert {
+        relation: "employee".into(),
+        key: id,
+        values: vec![
+            ("name".into(), Value::Str(format!("e{id}"))),
+            ("salary".into(), Value::Int(1000 + id)),
+            ("title".into(), Value::Str("Engineer".into())),
+            ("deptno".into(), Value::Str("d01".into())),
+        ],
+        at: d(day),
+    };
+    let mut a = ArchIS::new(ArchConfig::default());
+    a.create_relation(RelationSpec::employee()).unwrap();
+    a.apply_all(&[hire(1, "1995-01-01"), hire(2, "1995-01-02")]).unwrap();
+    // Re-hiring key 2 in a batch must error like the one-at-a-time path.
+    let err = a.apply_all(&[hire(3, "1995-02-01"), hire(2, "1995-02-02")]);
+    assert!(err.is_err(), "duplicate-key insert slipped through the batch path");
+    assert_no_violations(&a, "after rejected batch");
+}
+
+// ---------------------------------------------------------------------------
+// Crash torture: each `apply_all` call commits atomically, so crashing the
+// machine at *every* fsync boundary (and at seeded raw-write positions
+// within a boundary) must always recover to a whole-batch state. The full
+// boundary sweep runs under `--features failpoints`; the default build
+// strides through it so `cargo test -q` stays fast.
+// ---------------------------------------------------------------------------
+
+const BATCH: usize = 5;
+const HIRES: i64 = 40;
+
+struct Media {
+    fp: Arc<Failpoints>,
+    base: Arc<FailPager>,
+    log: Arc<FailLog>,
+}
+
+fn media(seed: u64) -> Media {
+    let fp = Failpoints::new(seed);
+    let base = Arc::new(FailPager::new(fp.clone(), Arc::new(MemPager::new())));
+    let log = Arc::new(FailLog::new(fp.clone(), Arc::new(MemLog::new())));
+    Media { fp, base, log }
+}
+
+fn archis_on(m: &Media, group: usize) -> archis::Result<ArchIS> {
+    let pager = Arc::new(WalPager::open(
+        m.base.clone(),
+        m.log.clone(),
+        WalConfig::with_group_commit(group),
+    )?);
+    let db = Database::open_pool(Arc::new(BufferPool::new(pager, 256)))?;
+    ArchIS::open_with_database(db, ArchConfig::default())
+}
+
+fn hires() -> Vec<Change> {
+    (1..=HIRES)
+        .map(|id| Change::Insert {
+            relation: "employee".into(),
+            key: id,
+            values: vec![
+                ("name".into(), Value::Str(format!("e{id}"))),
+                ("salary".into(), Value::Int(1000 * id)),
+                ("title".into(), Value::Str("Engineer".into())),
+                ("deptno".into(), Value::Str("d01".into())),
+            ],
+            at: Date::from_ymd(1990 + (id / 12) as i32, 1 + (id % 12) as u32, 1).unwrap(),
+        })
+        .collect()
+}
+
+/// Distinct-key hires applied in batches of `BATCH` through `apply_all`;
+/// each call is one WAL transaction.
+fn batched_workload(m: &Media, group: usize, changes: &[Change]) -> archis::Result<()> {
+    let mut a = archis_on(m, group)?;
+    a.create_relation(RelationSpec::employee())?;
+    for chunk in changes.chunks(BATCH) {
+        a.apply_all(chunk)?;
+    }
+    a.checkpoint()?;
+    Ok(())
+}
+
+/// Reboot and assert the recovered store sits exactly on a batch boundary:
+/// the key table holds a multiple of `BATCH` rows (every insert adds one),
+/// and the archiver invariants hold. Returns the recovered row count, or
+/// None if the crash predates the relation's creating transaction.
+fn recovered_batch_boundary(m: &Media, ctx: &str) -> Option<i64> {
+    let a = archis_on(m, 1).unwrap_or_else(|e| panic!("{ctx}: recovery open failed: {e}"));
+    if a.relation("employee").is_err() {
+        return None;
+    }
+    assert_no_violations(&a, ctx);
+    let kt = archis::htable::key_table(&RelationSpec::employee());
+    let rows = a.database().table(&kt).unwrap().row_count() as i64;
+    assert!(
+        rows % BATCH as i64 == 0 && rows <= HIRES,
+        "{ctx}: recovered {rows} key rows — inside a batch, not at a boundary"
+    );
+    // The current table must agree (inserts only, no deletes in this load).
+    let cur = a.database().table("employee").unwrap().row_count() as i64;
+    assert_eq!(cur, rows, "{ctx}: current table disagrees with key table");
+    Some(rows)
+}
+
+#[test]
+fn apply_batch_crashes_recover_to_batch_boundaries() {
+    let changes = hires();
+
+    // Dry run on disarmed media to learn how many fsyncs and raw writes
+    // the workload performs end to end.
+    let dry = media(0);
+    batched_workload(&dry, 1, &changes).expect("dry run must not crash");
+    let total_syncs = dry.fp.syncs();
+    let total_writes = dry.fp.writes();
+    assert!(total_syncs >= changes.len() as u64 / BATCH as u64, "workload barely syncs");
+    assert_eq!(
+        recovered_batch_boundary(&dry, "dry run"),
+        Some(HIRES),
+        "dry run lost hires"
+    );
+
+    // Sweep every fsync boundary (strided in the default build) with both
+    // group-commit settings and torn/clean tails.
+    let stride = if cfg!(feature = "failpoints") { 1 } else { 4 };
+    let mut boundaries_hit = 0u64;
+    for pos in (1..=total_syncs).step_by(stride) {
+        let m = media(pos);
+        m.fp.set_tear_writes(pos % 2 == 0);
+        let group = [1usize, 4][(pos % 2) as usize];
+        m.fp.crash_after_syncs(pos);
+        match batched_workload(&m, group, &changes) {
+            Ok(()) => {} // higher group-commit setting syncs less; crash never fired
+            Err(_) => assert!(m.fp.crashed(), "sync pos {pos}: died to a non-injected error"),
+        }
+        m.fp.revive();
+        if recovered_batch_boundary(&m, &format!("sync pos {pos} group {group}")).is_some() {
+            boundaries_hit += 1;
+        }
+    }
+    assert!(boundaries_hit > 0, "no sweep position recovered a non-empty store");
+
+    // Seeded raw-write positions catch crashes *between* fsyncs (mid-page,
+    // torn log tail) — recovery must still land on a batch boundary.
+    let wseeds: u64 = if cfg!(feature = "failpoints") { 120 } else { 24 };
+    for seed in 0..wseeds {
+        let m = media(seed);
+        m.fp.set_tear_writes(seed % 3 != 0);
+        let pos = (seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) % total_writes + 1;
+        m.fp.crash_after_writes(pos);
+        match batched_workload(&m, 1, &changes) {
+            Ok(()) => {}
+            Err(_) => assert!(m.fp.crashed(), "seed {seed}: died to a non-injected error"),
+        }
+        m.fp.revive();
+        recovered_batch_boundary(&m, &format!("write seed {seed} pos {pos}"));
+    }
+}
