@@ -33,9 +33,11 @@ type BlockRows = Arc<Vec<Vec<Value>>>;
 /// (archived segments never change; incremental compression only appends
 /// new block numbers), so entries never need invalidation — only LRU
 /// eviction bounds the memory. Sharding keeps the parallel decompression
-/// paths from serializing on one lock.
+/// paths from serializing on one lock. The table name is an `Arc<str>`
+/// (each `AttrBlocks` owns one) so the hot warm-read path builds its
+/// lookup key with a refcount bump, not a per-call `String` allocation.
 struct BlockCache {
-    shards: Vec<parking_lot::Mutex<HashMap<(String, usize), (u64, BlockRows)>>>,
+    shards: Vec<parking_lot::Mutex<HashMap<(Arc<str>, usize), (u64, BlockRows)>>>,
     per_shard: usize,
     /// Logical clock for LRU ordering.
     tick: AtomicU64,
@@ -66,10 +68,10 @@ impl BlockCache {
         (h.finish() as usize) % self.shards.len()
     }
 
-    fn get(&self, table: &str, blockno: usize) -> Option<BlockRows> {
+    fn get(&self, table: &Arc<str>, blockno: usize) -> Option<BlockRows> {
         let shard = &self.shards[self.shard_of(table, blockno)];
         let mut map = shard.lock();
-        match map.get_mut(&(table.to_string(), blockno)) {
+        match map.get_mut(&(table.clone(), blockno)) {
             Some((stamp, rows)) => {
                 *stamp = self.tick.fetch_add(1, Ordering::Relaxed);
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -82,11 +84,11 @@ impl BlockCache {
         }
     }
 
-    fn put(&self, table: &str, blockno: usize, rows: BlockRows) {
+    fn put(&self, table: &Arc<str>, blockno: usize, rows: BlockRows) {
         let shard = &self.shards[self.shard_of(table, blockno)];
         let mut map = shard.lock();
         let stamp = self.tick.fetch_add(1, Ordering::Relaxed);
-        map.insert((table.to_string(), blockno), (stamp, rows));
+        map.insert((table.clone(), blockno), (stamp, rows));
         while map.len() > self.per_shard {
             // O(per_shard) eviction; capacity is small by design.
             let oldest = map.iter().min_by_key(|(_, (s, _))| *s).map(|(k, _)| k.clone());
@@ -124,7 +126,7 @@ struct BlockMeta {
 
 /// Per-attribute compressed storage.
 struct AttrBlocks {
-    blob_table: String,
+    blob_table: Arc<str>,
     meta: Vec<BlockMeta>,
     /// segno → (startblock, endblock inclusive).
     segranges: HashMap<i64, (usize, usize)>,
@@ -275,7 +277,10 @@ impl CompressedStore {
             }
             db.vacuum_table(&tname)?;
 
-            attrs.insert(attr.clone(), AttrBlocks { blob_table, meta, segranges });
+            attrs.insert(
+                attr.clone(),
+                AttrBlocks { blob_table: blob_table.into(), meta, segranges },
+            );
         }
         Ok(CompressedStore {
             spec: spec.clone(),
@@ -307,7 +312,10 @@ impl CompressedStore {
             let segrange_table = format!("{tname}_segrange");
             let (meta, segranges) =
                 Self::reattach_inner_attr(db, &blob_table, &segrange_table)?;
-            attrs.insert(attr.clone(), AttrBlocks { blob_table, meta, segranges });
+            attrs.insert(
+                attr.clone(),
+                AttrBlocks { blob_table: blob_table.into(), meta, segranges },
+            );
         }
         Ok(CompressedStore {
             spec: spec.clone(),

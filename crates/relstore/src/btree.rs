@@ -137,12 +137,16 @@ pub struct BTree {
     root: Mutex<PageId>,
     /// Cached page count; 0 means "unknown" (a tree always has ≥ 1 page).
     /// Pages are only ever added (deletion is lazy), so once known the
-    /// counter stays exact by bumping it on every allocation.
-    pages: AtomicU64,
+    /// counter stays exact by bumping it on every allocation. Shared
+    /// (`Arc`) across `clone_handle` so writes through any handle keep
+    /// every clone's view exact; only independently `open`ed handles have
+    /// separate counters, and such a tree must have a single writer handle.
+    pages: Arc<AtomicU64>,
     /// Cached entry count; −1 means "unknown". `create`/`bulk_load` seed
     /// it and insert/delete keep it exact, so `len` on a handle that built
-    /// the tree never walks the leaves.
-    entries: AtomicI64,
+    /// the tree never walks the leaves. Shared across `clone_handle` like
+    /// `pages`.
+    entries: Arc<AtomicI64>,
 }
 
 impl BTree {
@@ -158,18 +162,22 @@ impl BTree {
         Ok(BTree {
             pool,
             root: Mutex::new(id),
-            pages: AtomicU64::new(1),
-            entries: AtomicI64::new(0),
+            pages: Arc::new(AtomicU64::new(1)),
+            entries: Arc::new(AtomicI64::new(0)),
         })
     }
 
-    /// Reattach to an existing tree by its root page.
+    /// Reattach to an existing tree by its root page. The counters start
+    /// unknown and are private to this handle (use [`BTree::clone_handle`]
+    /// to share them): open the same root twice and the two handles'
+    /// cached `len`/`page_count` diverge on writes, so an opened tree must
+    /// have at most one writing handle.
     pub fn open(pool: Arc<BufferPool>, root: PageId) -> Self {
         BTree {
             pool,
             root: Mutex::new(root),
-            pages: AtomicU64::new(0),
-            entries: AtomicI64::new(-1),
+            pages: Arc::new(AtomicU64::new(0)),
+            entries: Arc::new(AtomicI64::new(-1)),
         }
     }
 
@@ -179,15 +187,17 @@ impl BTree {
         *self.root.lock()
     }
 
-    /// An independent handle to the same tree: shares the pool, snapshots
-    /// the current root. Lets owning iterators (streaming scans) keep
-    /// reading without borrowing the original.
+    /// An independent handle to the same tree: shares the pool and the
+    /// cached size counters, snapshots the current root. Lets owning
+    /// iterators (streaming scans) keep reading without borrowing the
+    /// original, and writes through either handle keep both handles'
+    /// `len`/`page_count` exact.
     pub fn clone_handle(&self) -> BTree {
         BTree {
             pool: self.pool.clone(),
             root: Mutex::new(self.root_page()),
-            pages: AtomicU64::new(self.pages.load(Ordering::Relaxed)),
-            entries: AtomicI64::new(self.entries.load(Ordering::Relaxed)),
+            pages: self.pages.clone(),
+            entries: self.entries.clone(),
         }
     }
 
@@ -292,8 +302,8 @@ impl BTree {
         Ok(BTree {
             pool,
             root: Mutex::new(root),
-            pages: AtomicU64::new(pages),
-            entries: AtomicI64::new(total),
+            pages: Arc::new(AtomicU64::new(pages)),
+            entries: Arc::new(AtomicI64::new(total)),
         })
     }
 
@@ -450,7 +460,12 @@ impl BTree {
             let mut node = self.load(pid)?;
             match &mut node {
                 Node::Internal { first_child, entries } => {
-                    let idx = entries.partition_point(|(k, _)| k.as_slice() <= key);
+                    // Strict `<`, matching `range`: a separator equal to
+                    // `key` may leave duplicates of that key in the left
+                    // subtree (bulk-loaded leaf boundaries fall wherever a
+                    // page fills), so land one child early and let the
+                    // forward leaf-chain scan below skip ahead.
+                    let idx = entries.partition_point(|(k, _)| k.as_slice() < key);
                     pid = if idx == 0 { *first_child } else { entries[idx - 1].1 };
                 }
                 Node::Leaf { .. } => break,
@@ -510,8 +525,8 @@ impl BTree {
             tree: BTree {
                 pool: self.pool.clone(),
                 root: Mutex::new(*root),
-                pages: AtomicU64::new(0),
-                entries: AtomicI64::new(-1),
+                pages: self.pages.clone(),
+                entries: self.entries.clone(),
             },
             leaf: Some(pid),
             entries: Vec::new(),
@@ -1043,6 +1058,33 @@ mod tests {
         let t = BTree::bulk_load(pool, entries).unwrap();
         assert_eq!(t.get(b"aa").unwrap().len(), 500);
         assert_eq!(t.get(b"bb").unwrap().len(), 500);
+    }
+
+    #[test]
+    fn delete_finds_duplicates_left_of_separator() {
+        // Delete-side twin of range_finds_duplicates_left_of_separator:
+        // bulk_load packs duplicates of one key across leaf boundaries, so
+        // internal separators equal the key and the copies sit in the left
+        // subtree. Every (key, value) pair must still be deletable.
+        let pool = Arc::new(BufferPool::new(Arc::new(MemPager::new()), 256));
+        let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        for i in 0u32..500 {
+            entries.push((b"aa".to_vec(), i.to_be_bytes().to_vec()));
+        }
+        for i in 0u32..500 {
+            entries.push((b"bb".to_vec(), i.to_be_bytes().to_vec()));
+        }
+        let t = BTree::bulk_load(pool, entries).unwrap();
+        for i in 0u32..500 {
+            assert!(
+                t.delete(b"aa", &i.to_be_bytes()).unwrap(),
+                "aa/{i} must be found despite equal separators"
+            );
+        }
+        assert_eq!(t.get(b"aa").unwrap().len(), 0);
+        assert_eq!(t.get(b"bb").unwrap().len(), 500);
+        // Deleting the already-deleted pairs reports false, not a hang.
+        assert!(!t.delete(b"aa", &0u32.to_be_bytes()).unwrap());
     }
 
     #[test]

@@ -641,7 +641,16 @@ impl Table {
         }
         for idx in self.indexes.read().iter() {
             let key = encode_key(&select(row, &idx.cols));
-            idx.tree.delete(&key, handle)?;
+            // Every live row has exactly one entry per index; a missed
+            // delete means the index has already diverged from the base
+            // storage, and index_lookup would start returning handles of
+            // deleted rows. Fail loudly instead of corrupting silently.
+            if !idx.tree.delete(&key, handle)? {
+                return Err(StoreError::Corrupt(format!(
+                    "table {}: index {} has no entry for deleted row",
+                    self.name, idx.def.name
+                )));
+            }
         }
         self.rows.fetch_sub(1, Ordering::Relaxed);
         Ok(())
