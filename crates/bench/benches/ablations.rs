@@ -12,10 +12,12 @@ use relstore::Value;
 use std::sync::Arc;
 
 fn join_inputs(n: i64) -> (Vec<Vec<Value>>, Vec<Vec<Value>>) {
-    let left: Vec<Vec<Value>> =
-        (0..n).map(|i| vec![Value::Int(i % (n / 4).max(1)), Value::Int(i)]).collect();
-    let right: Vec<Vec<Value>> =
-        (0..n).map(|i| vec![Value::Int(i % (n / 4).max(1)), Value::Int(-i)]).collect();
+    let left: Vec<Vec<Value>> = (0..n)
+        .map(|i| vec![Value::Int(i % (n / 4).max(1)), Value::Int(i)])
+        .collect();
+    let right: Vec<Vec<Value>> = (0..n)
+        .map(|i| vec![Value::Int(i % (n / 4).max(1)), Value::Int(-i)])
+        .collect();
     (left, right)
 }
 
@@ -45,7 +47,11 @@ fn bench_ablations(c: &mut Criterion) {
     // Index range scan vs seq scan + filter, and the canonical-row
     // rewrite's cost, on real H-tables.
     let ops = dataset::generate(&base_config(60));
-    let a = load_archis(archis::ArchConfig::db2_like().with_now(bench_now()), &ops, true);
+    let a = load_archis(
+        archis::ArchConfig::db2_like().with_now(bench_now()),
+        &ops,
+        true,
+    );
     let mut group = c.benchmark_group("access-path");
     group.sample_size(10);
     group.bench_function("id index lookup", |b| {
@@ -56,8 +62,7 @@ fn bench_ablations(c: &mut Criterion) {
     group.bench_function("full scan + filter", |b| {
         let probe = ops[0].id();
         // An opaque predicate the planner cannot push into an index.
-        let sql =
-            format!("select s.salary from employee_salary s where s.id + 0 = {probe}");
+        let sql = format!("select s.salary from employee_salary s where s.id + 0 = {probe}");
         b.iter(|| run_sql_cold(&a, &sql));
     });
     group.finish();

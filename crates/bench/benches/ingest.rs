@@ -51,7 +51,12 @@ fn bench_ingest(c: &mut Criterion) {
 
 fn bench_bulk_load(c: &mut Criterion) {
     let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..20_000u32)
-        .map(|i| (i.to_be_bytes().to_vec(), format!("value-{i:08}").into_bytes()))
+        .map(|i| {
+            (
+                i.to_be_bytes().to_vec(),
+                format!("value-{i:08}").into_bytes(),
+            )
+        })
         .collect();
     let mut group = c.benchmark_group("ingest/btree/20k-entries");
     group.sample_size(10);

@@ -9,9 +9,16 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_queries(c: &mut Criterion) {
     let ops = dataset::generate(&base_config(60));
-    let heap = load_archis(archis::ArchConfig::db2_like().with_now(bench_now()), &ops, true);
-    let clustered =
-        load_archis(archis::ArchConfig::atlas_like().with_now(bench_now()), &ops, true);
+    let heap = load_archis(
+        archis::ArchConfig::db2_like().with_now(bench_now()),
+        &ops,
+        true,
+    );
+    let clustered = load_archis(
+        archis::ArchConfig::atlas_like().with_now(bench_now()),
+        &ops,
+        true,
+    );
     let tamino = build_xmldb(&heap);
     let qs = BenchQuerySet::standard(ops[0].id());
 

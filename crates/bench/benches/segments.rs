@@ -16,9 +16,16 @@ fn bench_segments(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("force_archive_all_attrs", |b| {
         b.iter_with_setup(
-            || load_archis(archis::ArchConfig::db2_like().with_now(bench_now()), &small_ops, false),
+            || {
+                load_archis(
+                    archis::ArchConfig::db2_like().with_now(bench_now()),
+                    &small_ops,
+                    false,
+                )
+            },
             |a| {
-                a.force_archive("employee", small_ops.last().unwrap().at()).unwrap();
+                a.force_archive("employee", small_ops.last().unwrap().at())
+                    .unwrap();
                 a
             },
         );
@@ -26,8 +33,16 @@ fn bench_segments(c: &mut Criterion) {
     group.finish();
 
     // Snapshot with and without segment clustering (Figure 9's headline).
-    let clustered = load_archis(archis::ArchConfig::atlas_like().with_now(bench_now()), &ops, true);
-    let flat = load_archis(archis::ArchConfig::atlas_like().with_now(bench_now()), &ops, false);
+    let clustered = load_archis(
+        archis::ArchConfig::atlas_like().with_now(bench_now()),
+        &ops,
+        true,
+    );
+    let flat = load_archis(
+        archis::ArchConfig::atlas_like().with_now(bench_now()),
+        &ops,
+        false,
+    );
     let q = archis::queries::q2_xquery(temporal::Date::from_ymd(1993, 5, 16).unwrap());
     let mut group = c.benchmark_group("snapshot");
     group.sample_size(20);

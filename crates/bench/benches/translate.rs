@@ -7,7 +7,11 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_translate(c: &mut Criterion) {
     let ops = dataset::generate(&base_config(40));
-    let a = load_archis(archis::ArchConfig::db2_like().with_now(bench_now()), &ops, true);
+    let a = load_archis(
+        archis::ArchConfig::db2_like().with_now(bench_now()),
+        &ops,
+        true,
+    );
     let qs = BenchQuerySet::standard(ops[0].id());
     let mut group = c.benchmark_group("translate");
     for (label, xq) in qs.all() {

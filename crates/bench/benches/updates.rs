@@ -7,7 +7,11 @@ use relstore::Value;
 
 fn bench_updates(c: &mut Criterion) {
     let ops = dataset::generate(&base_config(60));
-    let a = load_archis(archis::ArchConfig::db2_like().with_now(bench_now()), &ops, true);
+    let a = load_archis(
+        archis::ArchConfig::db2_like().with_now(bench_now()),
+        &ops,
+        true,
+    );
     let tamino = build_xmldb(&a);
     let current = a.database().table("employee").unwrap().scan().unwrap();
     let probe = current[0][0].as_int().unwrap();
@@ -20,8 +24,13 @@ fn bench_updates(c: &mut Criterion) {
         b.iter(|| {
             day = day.succ();
             salary += 1;
-            a.update("employee", probe, vec![("salary".into(), Value::Int(salary))], day)
-                .unwrap();
+            a.update(
+                "employee",
+                probe,
+                vec![("salary".into(), Value::Int(salary))],
+                day,
+            )
+            .unwrap();
         });
     });
     let mut day2 = day + 100_000;

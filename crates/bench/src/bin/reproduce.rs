@@ -16,6 +16,8 @@
 //! change in caching or scan behaviour shows up as a delta even when wall
 //! times are noisy.
 
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 use bench::experiments as exp;
 
 /// Run one experiment and report the pool I/O it accumulated.

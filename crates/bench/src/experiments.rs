@@ -12,12 +12,19 @@ use archis::queries as q;
 use archis::ArchConfig;
 use std::time::Instant;
 
+/// Labelled benchmark closures, run in order by the fig14 harness.
+type NamedRuns<'a> = Vec<(&'a str, Box<dyn Fn() + 'a>)>;
+
 /// Figure 7: storage size against `Umin` (plus the paper's bound
 /// `Nseg/Nnoseg ≤ 1/(1−Umin)`).
 pub fn fig7(employees: usize) -> Vec<Vec<String>> {
     let ops = dataset::generate(&base_config(employees));
     let baseline = load_archis(ArchConfig::db2_like().with_now(bench_now()), &ops, false);
-    let base_rows = baseline.database().table("employee_salary").unwrap().row_count();
+    let base_rows = baseline
+        .database()
+        .table("employee_salary")
+        .unwrap()
+        .row_count();
     let mut rows = Vec::new();
     for umin in [0.2, 0.26, 0.36, 0.4] {
         let a = load_archis(
@@ -97,9 +104,16 @@ pub fn translate_cost(employees: usize) -> Vec<Vec<String>> {
             std::hint::black_box(a.translate(xq).unwrap());
         }
         let per = start.elapsed() / n;
-        rows.push(vec![label.to_string(), format!("{:.1}", per.as_secs_f64() * 1e6)]);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.1}", per.as_secs_f64() * 1e6),
+        ]);
     }
-    print_table("§7.1: XQuery → SQL/XML translation cost", &["query", "µs/translation"], &rows);
+    print_table(
+        "§7.1: XQuery → SQL/XML translation cost",
+        &["query", "µs/translation"],
+        &rows,
+    );
     rows
 }
 
@@ -124,7 +138,14 @@ pub fn fig9(employees: usize, runs: usize) -> Vec<Vec<String>> {
     }
     print_table(
         "Figure 9: with vs without segment clustering (cold, ms)",
-        &["query", "clustered", "non-clustered", "speedup", "reads(c)", "reads(nc)"],
+        &[
+            "query",
+            "clustered",
+            "non-clustered",
+            "speedup",
+            "reads(c)",
+            "reads(nc)",
+        ],
         &rows,
     );
     rows
@@ -139,7 +160,9 @@ pub fn snapshot_vs_current(employees: usize, runs: usize) -> Vec<Vec<String>> {
     let today_q = q::q2_xquery(bench_now());
     let hist = median_of(runs, || run_archis_cold(&a, &today_q));
     // ... vs the same aggregate on the current table.
-    let cur = median_of(runs, || run_sql_cold(&a, "select avg(e.salary) from employee e"));
+    let cur = median_of(runs, || {
+        run_sql_cold(&a, "select avg(e.salary) from employee e")
+    });
     let rows = vec![vec![
         format!("{:.2}", hist.ms()),
         format!("{:.2}", cur.ms()),
@@ -157,7 +180,11 @@ pub fn snapshot_vs_current(employees: usize, runs: usize) -> Vec<Vec<String>> {
 pub fn fig10(employees: usize, runs: usize) -> Vec<Vec<String>> {
     let small_ops = dataset::generate(&base_config(employees));
     let big_ops = dataset::generate(&base_config(employees * 7));
-    let small = load_archis(ArchConfig::db2_like().with_now(bench_now()), &small_ops, true);
+    let small = load_archis(
+        ArchConfig::db2_like().with_now(bench_now()),
+        &small_ops,
+        true,
+    );
     let big = load_archis(ArchConfig::db2_like().with_now(bench_now()), &big_ops, true);
     let qs_small = BenchQuerySet::standard(small_ops[0].id());
     let qs_big = BenchQuerySet::standard(big_ops[0].id());
@@ -170,7 +197,10 @@ pub fn fig10(employees: usize, runs: usize) -> Vec<Vec<String>> {
             format!("{:.2}", s.ms()),
             format!("{:.2}", b.ms()),
             format!("{:.1}x", b.ms() / s.ms().max(1e-6)),
-            format!("{:.1}x", b.physical_reads as f64 / s.physical_reads.max(1) as f64),
+            format!(
+                "{:.1}x",
+                b.physical_reads as f64 / s.physical_reads.max(1) as f64
+            ),
         ]);
     }
     print_table(
@@ -194,7 +224,10 @@ pub fn fig11(employees: usize) -> Vec<Vec<String>> {
     let tamino = build_xmldb(&heap);
     let hdoc = tamino.raw_bytes() as f64;
     let rows = vec![
-        vec!["Tamino (auto-compressed)".into(), format!("{:.2}", tamino.stored_bytes() as f64 / hdoc)],
+        vec![
+            "Tamino (auto-compressed)".into(),
+            format!("{:.2}", tamino.stored_bytes() as f64 / hdoc),
+        ],
         vec![
             "ArchIS-DB2 (heap + indexes)".into(),
             format!("{:.2}", heap.storage_bytes().unwrap() as f64 / hdoc),
@@ -229,7 +262,10 @@ pub fn fig13(employees: usize) -> Vec<Vec<String>> {
     heap.vacuum_relation("employee").unwrap();
     clustered.vacuum_relation("employee").unwrap();
     let rows = vec![
-        vec!["Tamino (compressed)".into(), format!("{:.2}", tamino.stored_bytes() as f64 / hdoc)],
+        vec![
+            "Tamino (compressed)".into(),
+            format!("{:.2}", tamino.stored_bytes() as f64 / hdoc),
+        ],
         vec!["Tamino (uncompressed H-doc)".into(), "1.00".into()],
         vec![
             "ArchIS-DB2 + BlockZIP".into(),
@@ -291,30 +327,49 @@ pub fn fig14(employees: usize, runs: usize) -> Vec<Vec<String>> {
         temporal::Date::from_ymd(1996, 4, 1).unwrap(),
         temporal::Date::from_ymd(1998, 4, 1).unwrap(),
     );
-    let compressed_runs: Vec<(&str, Box<dyn Fn()>)> = vec![
-        ("Q1 snapshot(single)", Box::new(|| {
-            std::hint::black_box(q::q1_compressed(&heap, store, probe, qs.snap).unwrap());
-        })),
-        ("Q2 snapshot", Box::new(|| {
-            std::hint::black_box(q::q2_compressed(&heap, store, qs.snap).unwrap());
-        })),
-        ("Q3 history(single)", Box::new(|| {
-            std::hint::black_box(q::q3_compressed(&heap, store, probe).unwrap());
-        })),
-        ("Q4 history", Box::new(|| {
-            std::hint::black_box(q::q4_compressed(&heap, store).unwrap());
-        })),
-        ("Q5 slicing", Box::new(|| {
-            std::hint::black_box(q::q5_compressed(&heap, store, 60_000, w1, w2).unwrap());
-        })),
-        ("Q6 temporal join", Box::new(|| {
-            std::hint::black_box(q::q6_compressed(&heap, store, j1, j2).unwrap());
-        })),
+    let compressed_runs: NamedRuns = vec![
+        (
+            "Q1 snapshot(single)",
+            Box::new(|| {
+                std::hint::black_box(q::q1_compressed(&heap, store, probe, qs.snap).unwrap());
+            }),
+        ),
+        (
+            "Q2 snapshot",
+            Box::new(|| {
+                std::hint::black_box(q::q2_compressed(&heap, store, qs.snap).unwrap());
+            }),
+        ),
+        (
+            "Q3 history(single)",
+            Box::new(|| {
+                std::hint::black_box(q::q3_compressed(&heap, store, probe).unwrap());
+            }),
+        ),
+        (
+            "Q4 history",
+            Box::new(|| {
+                std::hint::black_box(q::q4_compressed(&heap, store).unwrap());
+            }),
+        ),
+        (
+            "Q5 slicing",
+            Box::new(|| {
+                std::hint::black_box(q::q5_compressed(&heap, store, 60_000, w1, w2).unwrap());
+            }),
+        ),
+        (
+            "Q6 temporal join",
+            Box::new(|| {
+                std::hint::black_box(q::q6_compressed(&heap, store, j1, j2).unwrap());
+            }),
+        ),
     ];
     let mut rows = Vec::new();
     for ((label, f), (_, xq)) in compressed_runs.iter().zip(qs.all()) {
-        let mut cs: Vec<RunCost> =
-            (0..runs).map(|_| time_compressed(f.as_ref(), true)).collect();
+        let mut cs: Vec<RunCost> = (0..runs)
+            .map(|_| time_compressed(f.as_ref(), true))
+            .collect();
         cs.sort_by_key(|c| c.time);
         let c = cs[cs.len() / 2];
         // Warm rerun straight after: the block cache still holds whatever
@@ -359,14 +414,22 @@ pub fn updates(employees: usize) -> Vec<Vec<String>> {
 
     // Single update: +10% raise for one still-current employee.
     let cur = a.database().table("employee").unwrap();
-    let first_current = cur.scan().unwrap().into_iter().next().expect("someone is employed");
+    let first_current = cur
+        .scan()
+        .unwrap()
+        .into_iter()
+        .next()
+        .expect("someone is employed");
     let probe = first_current[0].as_int().unwrap();
     let cur_salary = first_current[2].as_int().unwrap_or(50_000);
     let start = Instant::now();
     a.update(
         "employee",
         probe,
-        vec![("salary".into(), relstore::Value::Int(cur_salary + cur_salary / 10))],
+        vec![(
+            "salary".into(),
+            relstore::Value::Int(cur_salary + cur_salary / 10),
+        )],
         day,
     )
     .unwrap();
@@ -398,8 +461,11 @@ pub fn updates(employees: usize) -> Vec<Vec<String>> {
         .filter_map(|r| r[0].as_int())
         .collect();
     // ~5% of the workforce gets a raise on one day.
-    let batch: Vec<i64> =
-        current_ids.iter().step_by((current_ids.len() / 20).max(1)).copied().collect();
+    let batch: Vec<i64> = current_ids
+        .iter()
+        .step_by((current_ids.len() / 20).max(1))
+        .copied()
+        .collect();
     let day2 = day.succ();
     let start = Instant::now();
     for (i, id) in batch.iter().enumerate() {
@@ -447,8 +513,16 @@ pub fn updates(employees: usize) -> Vec<Vec<String>> {
             ms(archis_daily),
             ms(tamino_daily),
         ],
-        vec!["segment archival (one-off)".into(), ms(archive_cost), "-".into()],
-        vec!["segment compression (one-off)".into(), ms(compress_cost), "-".into()],
+        vec![
+            "segment archival (one-off)".into(),
+            ms(archive_cost),
+            "-".into(),
+        ],
+        vec![
+            "segment compression (one-off)".into(),
+            ms(compress_cost),
+            "-".into(),
+        ],
     ];
     print_table(
         "§8.4: update performance (ms)",
@@ -504,8 +578,11 @@ pub fn scan_streaming(rows: usize, runs: usize) -> Vec<Vec<String>> {
 
     let take_n = 5usize;
     // Streaming: the executor pulls pages only until the take is satisfied.
-    let (s_ms, s_log, s_phys) =
-        cold(&|| SeqScan::new(&t).take(take_n).map(|r| r.unwrap()).count());
+    let (s_ms, s_log, s_phys) = cold(&|| {
+        SeqScan::new(&t)
+            .take(take_n)
+            .fold(0usize, |n, r| n + r.map(|_| 1).unwrap())
+    });
     // Materialized: what every scan paid before cursors — drain the whole
     // table, then truncate.
     let (m_ms, m_log, m_phys) = cold(&|| {
@@ -514,7 +591,8 @@ pub fn scan_streaming(rows: usize, runs: usize) -> Vec<Vec<String>> {
         all.len()
     });
     // Full drain, both ways (streaming must not regress the full scan).
-    let (fs_ms, _, fs_phys) = cold(&|| SeqScan::new(&t).map(|r| r.unwrap()).count());
+    let (fs_ms, _, fs_phys) =
+        cold(&|| SeqScan::new(&t).fold(0usize, |n, r| n + r.map(|_| 1).unwrap()));
     let (fm_ms, _, fm_phys) = cold(&|| t.scan().unwrap().len());
 
     let speedup = m_ms / s_ms.max(1e-6);
@@ -531,9 +609,24 @@ pub fn scan_streaming(rows: usize, runs: usize) -> Vec<Vec<String>> {
             m_log.to_string(),
             m_phys.to_string(),
         ],
-        vec!["full scan streaming".into(), format!("{fs_ms:.3}"), "-".into(), fs_phys.to_string()],
-        vec!["full scan materialized".into(), format!("{fm_ms:.3}"), "-".into(), fm_phys.to_string()],
-        vec!["early-termination speedup".into(), format!("{speedup:.1}x"), "-".into(), "-".into()],
+        vec![
+            "full scan streaming".into(),
+            format!("{fs_ms:.3}"),
+            "-".into(),
+            fs_phys.to_string(),
+        ],
+        vec![
+            "full scan materialized".into(),
+            format!("{fm_ms:.3}"),
+            "-".into(),
+            fm_phys.to_string(),
+        ],
+        vec![
+            "early-termination speedup".into(),
+            format!("{speedup:.1}x"),
+            "-".into(),
+            "-".into(),
+        ],
     ];
     print_table(
         &format!("Streaming scans: {rows}-row seq scan, cold (ms)"),
@@ -561,7 +654,10 @@ pub fn commit_throughput(txns: usize, runs: usize) -> Vec<Vec<String>> {
     let dir = std::env::temp_dir().join(format!("archis-commit-bench-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("bench temp dir");
     let schema = || {
-        Schema::new(vec![Field::new("id", DataType::Int), Field::new("payload", DataType::Str)])
+        Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::new("payload", DataType::Str),
+        ])
     };
 
     let batches = [1usize, 8, 64];
@@ -579,10 +675,13 @@ pub fn commit_throughput(txns: usize, runs: usize) -> Vec<Vec<String>> {
             {
                 let db = Database::open_wal(&path, 256, WalConfig::with_group_commit(batch))
                     .expect("open WAL-backed store");
-                let t = db.create_table("t", schema(), StorageKind::Heap, &[]).unwrap();
+                let t = db
+                    .create_table("t", schema(), StorageKind::Heap, &[])
+                    .unwrap();
                 let start = Instant::now();
                 for i in 0..txns as i64 {
-                    t.insert(vec![Value::Int(i), Value::Str(format!("payload-{i:08}"))]).unwrap();
+                    t.insert(vec![Value::Int(i), Value::Str(format!("payload-{i:08}"))])
+                        .unwrap();
                     db.commit().unwrap();
                 }
                 let ms = start.elapsed().as_secs_f64() * 1e3;
@@ -750,7 +849,10 @@ mod tests {
         for r in &rows {
             let ratio: f64 = r[2].parse().unwrap();
             let bound: f64 = r[3].parse().unwrap();
-            assert!(ratio <= bound + 0.35, "ratio {ratio} far above bound {bound}");
+            assert!(
+                ratio <= bound + 0.35,
+                "ratio {ratio} far above bound {bound}"
+            );
             assert!(ratio >= 1.0, "segmentation never shrinks data");
         }
     }
@@ -804,7 +906,11 @@ mod tests {
         // column reads 1.00 for all of Q1–Q6.
         for r in &f14 {
             let hit_rate: f64 = r[6].parse().unwrap();
-            assert!(hit_rate >= 0.99, "{}: warm cache hit rate only {hit_rate}", r[0]);
+            assert!(
+                hit_rate >= 0.99,
+                "{}: warm cache hit rate only {hit_rate}",
+                r[0]
+            );
         }
         let rows = updates(10);
         assert_eq!(rows.len(), 4);
@@ -821,7 +927,10 @@ mod tests {
         // Loose bound for debug builds / fast disks; the release run
         // recorded in BENCH_ingest.json is held to the ≥5x target by CI.
         let speedup: f64 = rows[3][2].trim_end_matches('x').parse().unwrap();
-        assert!(speedup >= 1.2, "batched ingest only {speedup}x over row-at-a-time");
+        assert!(
+            speedup >= 1.2,
+            "batched ingest only {speedup}x over row-at-a-time"
+        );
         let _ = std::fs::remove_file("BENCH_ingest.json");
     }
 
@@ -850,7 +959,10 @@ mod tests {
         // Loose bound for debug builds / fast disks; the release run
         // recorded in BENCH_commit.json is held to the ≥5x target.
         let speedup: f64 = rows[3][2].trim_end_matches('x').parse().unwrap();
-        assert!(speedup >= 1.2, "group commit only {speedup}x over fsync-per-commit");
+        assert!(
+            speedup >= 1.2,
+            "group commit only {speedup}x over fsync-per-commit"
+        );
         let _ = std::fs::remove_file("BENCH_commit.json");
     }
 }

@@ -11,6 +11,8 @@
 //! the data drive); besides wall time we report the buffer pool's logical
 //! page reads — a deterministic I/O proxy that is immune to machine noise.
 
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 pub mod experiments;
 
 use archis::{ArchConfig, ArchIS, Change, RelationSpec};
@@ -28,7 +30,14 @@ pub fn bench_now() -> Date {
 /// Convert a dataset event into an ArchIS change.
 pub fn op_to_change(op: &Op) -> Change {
     match op {
-        Op::Hire { id, name, salary, title, deptno, at } => Change::Insert {
+        Op::Hire {
+            id,
+            name,
+            salary,
+            title,
+            deptno,
+            at,
+        } => Change::Insert {
             relation: "employee".into(),
             key: *id,
             values: vec![
@@ -57,9 +66,11 @@ pub fn op_to_change(op: &Op) -> Change {
             changes: vec![("deptno".into(), Value::Str(deptno.clone()))],
             at: *at,
         },
-        Op::Leave { id, at } => {
-            Change::Delete { relation: "employee".into(), key: *id, at: *at }
-        }
+        Op::Leave { id, at } => Change::Delete {
+            relation: "employee".into(),
+            key: *id,
+            at: *at,
+        },
     }
 }
 
@@ -68,7 +79,8 @@ pub fn op_to_change(op: &Op) -> Change {
 /// pass `false` for the "without clustering" baselines.
 pub fn load_archis(config: ArchConfig, ops: &[Op], archive: bool) -> ArchIS {
     let mut a = ArchIS::new(config);
-    a.create_relation(RelationSpec::employee()).expect("create relation");
+    a.create_relation(RelationSpec::employee())
+        .expect("create relation");
     for op in ops {
         a.apply(&op_to_change(op)).expect("replay");
         if archive {
@@ -89,7 +101,12 @@ pub fn build_xmldb(archis: &ArchIS) -> XmlDb {
 /// A standard small workload (laptop-scale stand-in for the paper's
 /// 334 MB data set) and its 7× companion for the scalability experiment.
 pub fn base_config(employees: usize) -> DatasetConfig {
-    DatasetConfig { employees, years: 17, seed: 42, ..Default::default() }
+    DatasetConfig {
+        employees,
+        years: 17,
+        seed: 42,
+        ..Default::default()
+    }
 }
 
 /// Measured result of one query run.
@@ -154,7 +171,10 @@ pub mod iostat {
 
     /// Drain the totals accumulated since the last call.
     pub fn take() -> (u64, u64) {
-        (LOGICAL.swap(0, Ordering::Relaxed), PHYSICAL.swap(0, Ordering::Relaxed))
+        (
+            LOGICAL.swap(0, Ordering::Relaxed),
+            PHYSICAL.swap(0, Ordering::Relaxed),
+        )
     }
 }
 
@@ -205,13 +225,18 @@ pub fn run_xmldb_cold(db: &XmlDb, xq: &str) -> RunCost {
     std::hint::black_box(&out);
     let time = start.elapsed();
     let proxy = (db.raw_bytes() / 4096) as u64;
-    RunCost { time, logical_reads: proxy, physical_reads: proxy, ..Default::default() }
+    RunCost {
+        time,
+        logical_reads: proxy,
+        physical_reads: proxy,
+        ..Default::default()
+    }
 }
 
 /// Median of several cold runs (the paper averages 7 runs).
 pub fn median_of<F: FnMut() -> RunCost>(runs: usize, mut f: F) -> RunCost {
     let mut costs: Vec<RunCost> = (0..runs).map(|_| f()).collect();
-    costs.sort_by(|a, b| a.time.cmp(&b.time));
+    costs.sort_by_key(|c| c.time);
     costs[costs.len() / 2]
 }
 
@@ -292,8 +317,18 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
-    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }

@@ -57,7 +57,12 @@ pub struct BitReader<'a> {
 impl<'a> BitReader<'a> {
     /// Reader over `data`.
     pub fn new(data: &'a [u8]) -> Self {
-        BitReader { data, pos: 0, cur: 0, nbits: 0 }
+        BitReader {
+            data,
+            pos: 0,
+            cur: 0,
+            nbits: 0,
+        }
     }
 
     /// Read `n` bits (n ≤ 24). Returns `None` past end of input.
@@ -88,7 +93,14 @@ mod tests {
     #[test]
     fn roundtrip_mixed_widths() {
         let mut w = BitWriter::new();
-        let fields = [(0b1u32, 1u32), (0b1011, 4), (0x5A5A, 16), (0, 3), (0x7FFFFF, 23), (1, 1)];
+        let fields = [
+            (0b1u32, 1u32),
+            (0b1011, 4),
+            (0x5A5A, 16),
+            (0, 3),
+            (0x7FFFFF, 23),
+            (1, 1),
+        ];
         for (v, n) in fields {
             w.write(v, n);
         }

@@ -78,7 +78,12 @@ impl Decoder {
                 }
             }
         }
-        Ok(Decoder { first_code, first_index, count, symbols })
+        Ok(Decoder {
+            first_code,
+            first_index,
+            count,
+            symbols,
+        })
     }
 
     /// Decode one symbol.
@@ -132,10 +137,7 @@ pub fn build_lengths(freqs: &[u64]) -> Vec<u32> {
     while heap.len() > 1 {
         let (Reverse(w1), _, i1) = heap.pop().unwrap();
         let (Reverse(w2), _, i2) = heap.pop().unwrap();
-        let merged = Node::Internal(
-            Box::new(nodes[i1].clone()),
-            Box::new(nodes[i2].clone()),
-        );
+        let merged = Node::Internal(Box::new(nodes[i1].clone()), Box::new(nodes[i2].clone()));
         nodes.push(merged);
         weights.push(w1 + w2);
         heap.push((Reverse(w1 + w2), Reverse(nodes.len() - 1), nodes.len() - 1));
@@ -176,7 +178,7 @@ fn limit_lengths(lengths: &mut [u32], max: u32) {
         // Find a symbol with the smallest length < max and lengthen it.
         let mut best: Option<usize> = None;
         for (i, &l) in lengths.iter().enumerate() {
-            if l > 0 && l < max && best.map_or(true, |b| lengths[b] > l) {
+            if l > 0 && l < max && best.is_none_or(|b| lengths[b] > l) {
                 best = Some(i);
             }
         }
@@ -270,7 +272,11 @@ mod tests {
         let lengths = build_lengths(&freqs);
         assert!(lengths.iter().all(|&l| l <= MAX_BITS));
         // Kraft inequality holds — decodable.
-        let kraft: f64 = lengths.iter().filter(|&&l| l > 0).map(|&l| 2f64.powi(-(l as i32))).sum();
+        let kraft: f64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-(l as i32)))
+            .sum();
         assert!(kraft <= 1.0 + 1e-9, "kraft = {kraft}");
         let stream: Vec<usize> = (0..40).chain((0..40).rev()).collect();
         roundtrip(&freqs, &stream);

@@ -28,6 +28,8 @@
 //! assert_eq!(back, records);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 pub mod bits;
 pub mod huffman;
 pub mod lz77;
@@ -62,8 +64,8 @@ const EOB: usize = 256;
 const NDIST: usize = 30;
 
 const LEN_BASE: [u16; 29] = [
-    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115,
-    131, 163, 195, 227, 258,
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
 ];
 const LEN_EXTRA: [u32; 29] = [
     0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
@@ -73,15 +75,19 @@ const DIST_BASE: [u16; 30] = [
     2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
 ];
 const DIST_EXTRA: [u32; 30] = [
-    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12,
-    13, 13,
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
 ];
 
 fn len_code(len: u16) -> (usize, u32, u32) {
     debug_assert!((3..=258).contains(&len));
     let mut code = 28;
     for (i, &base) in LEN_BASE.iter().enumerate() {
-        let next = if i + 1 < LEN_BASE.len() { LEN_BASE[i + 1] } else { 259 };
+        let next = if i + 1 < LEN_BASE.len() {
+            LEN_BASE[i + 1]
+        } else {
+            259
+        };
         if len >= base && len < next {
             code = i;
             break;
@@ -98,7 +104,11 @@ fn dist_code(dist: u16) -> (usize, u32, u32) {
     let d = dist as u32;
     let mut code = NDIST - 1;
     for (i, &base) in DIST_BASE.iter().enumerate() {
-        let next = if i + 1 < DIST_BASE.len() { DIST_BASE[i + 1] as u32 } else { 32769 };
+        let next = if i + 1 < DIST_BASE.len() {
+            DIST_BASE[i + 1] as u32
+        } else {
+            32769
+        };
         if d >= base as u32 && d < next {
             code = i;
             break;
@@ -191,7 +201,9 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, BlockZipError> {
     let ddec = Decoder::new(dlens)?;
     let p0 = 7 + tab_bytes;
     let payload_len = u32::from_le_bytes(
-        data[p0..p0 + 4].try_into().map_err(|_| corrupt("truncated payload length"))?,
+        data[p0..p0 + 4]
+            .try_into()
+            .map_err(|_| corrupt("truncated payload length"))?,
     ) as usize;
     let payload = data
         .get(p0 + 4..p0 + 4 + payload_len)
@@ -213,7 +225,8 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, BlockZipError> {
             return Err(corrupt("invalid length code"));
         }
         let extra = if LEN_EXTRA[code] > 0 {
-            r.read(LEN_EXTRA[code]).ok_or_else(|| corrupt("truncated length extra"))?
+            r.read(LEN_EXTRA[code])
+                .ok_or_else(|| corrupt("truncated length extra"))?
         } else {
             0
         };
@@ -223,12 +236,16 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, BlockZipError> {
             return Err(corrupt("invalid distance code"));
         }
         let dextra = if DIST_EXTRA[dcode] > 0 {
-            r.read(DIST_EXTRA[dcode]).ok_or_else(|| corrupt("truncated distance extra"))?
+            r.read(DIST_EXTRA[dcode])
+                .ok_or_else(|| corrupt("truncated distance extra"))?
         } else {
             0
         };
         let dist = DIST_BASE[dcode] as u32 + dextra;
-        tokens.push(Token::Match { len: len as u16, dist: dist as u16 });
+        tokens.push(Token::Match {
+            len: len as u16,
+            dist: dist as u16,
+        });
     }
     let out = lz77::detokenize(&tokens)?;
     if out.len() != orig_len {
@@ -346,7 +363,11 @@ pub fn pack_records(records: &[Vec<u8>], block_size: usize) -> Vec<Block> {
         if data.len() < block_size {
             data.resize(block_size, 0); // the paper's blank padding
         }
-        blocks.push(Block { data, first_record: start, last_record: start + k - 1 });
+        blocks.push(Block {
+            data,
+            first_record: start,
+            last_record: start + k - 1,
+        });
         start += k;
     }
     blocks
@@ -409,7 +430,10 @@ mod tests {
         let data = join_records(&salary_records(2000));
         let c = compress(&data);
         let ratio = c.len() as f64 / data.len() as f64;
-        assert!(ratio < 0.5, "record data should compress >2x, got ratio {ratio:.2}");
+        assert!(
+            ratio < 0.5,
+            "record data should compress >2x, got ratio {ratio:.2}"
+        );
     }
 
     #[test]
@@ -454,12 +478,19 @@ mod tests {
         let records = salary_records(3000);
         let blocks = pack_records(&records, 4000);
         for b in &blocks[..blocks.len() - 1] {
-            assert_eq!(b.data.len(), 4000, "non-final blocks are exactly block-sized");
+            assert_eq!(
+                b.data.len(),
+                4000,
+                "non-final blocks are exactly block-sized"
+            );
         }
         assert!(blocks.last().unwrap().data.len() <= 4000);
         // Utilization: each full block holds a decent number of records.
         let avg = records.len() as f64 / blocks.len() as f64;
-        assert!(avg > 50.0, "expected dozens of records per block, got {avg:.0}");
+        assert!(
+            avg > 50.0,
+            "expected dozens of records per block, got {avg:.0}"
+        );
     }
 
     #[test]
@@ -476,10 +507,15 @@ mod tests {
             .collect();
         let records = vec![b"small".to_vec(), big.clone(), b"another".to_vec()];
         let blocks = pack_records(&records, 4000);
-        let all: Vec<Vec<u8>> =
-            blocks.iter().flat_map(|b| unpack_records(&b.data).unwrap()).collect();
+        let all: Vec<Vec<u8>> = blocks
+            .iter()
+            .flat_map(|b| unpack_records(&b.data).unwrap())
+            .collect();
         assert_eq!(all, records);
-        assert!(blocks.iter().any(|b| b.data.len() > 4000), "oversized block expected");
+        assert!(
+            blocks.iter().any(|b| b.data.len() > 4000),
+            "oversized block expected"
+        );
     }
 
     #[test]

@@ -76,7 +76,10 @@ pub fn tokenize(data: &[u8]) -> Vec<Token> {
             cand = prev[cand % WINDOW];
         }
         if best_len >= MIN_MATCH {
-            tokens.push(Token::Match { len: best_len as u16, dist: best_dist as u16 });
+            tokens.push(Token::Match {
+                len: best_len as u16,
+                dist: best_dist as u16,
+            });
             // Insert all covered positions into the chains.
             let end = i + best_len;
             while i < end && i + MIN_MATCH <= data.len() {
@@ -156,7 +159,11 @@ mod tests {
         // "aaaa..." compresses to a literal + overlapping match.
         let data = vec![b'a'; 1000];
         let tokens = tokenize(&data);
-        assert!(tokens.len() < 20, "RLE case should be tiny, got {}", tokens.len());
+        assert!(
+            tokens.len() < 20,
+            "RLE case should be tiny, got {}",
+            tokens.len()
+        );
         roundtrip(&data);
     }
 
@@ -196,7 +203,12 @@ mod tests {
         let mut data = Vec::new();
         for i in 0..2000 {
             data.extend_from_slice(
-                format!("<salary tstart=\"19{:02}-01-01\" tend=\"9999-12-31\">{}</salary>", i % 100, 40000 + i).as_bytes(),
+                format!(
+                    "<salary tstart=\"19{:02}-01-01\" tend=\"9999-12-31\">{}</salary>",
+                    i % 100,
+                    40000 + i
+                )
+                .as_bytes(),
             );
         }
         roundtrip(&data);

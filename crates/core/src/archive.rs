@@ -135,6 +135,19 @@ pub struct SegmentInfo {
     pub end: Date,
 }
 
+/// Fetch one attribute's archival state. Attributes are seeded at
+/// [`Archiver::create`] / reattach, so a miss means the caller named an
+/// attribute outside the relation spec — surfaced as an error rather than
+/// a panic so a bad request can never abort a commit in flight.
+fn attr_state<'a>(
+    state: &'a mut HashMap<String, AttrState>,
+    attr: &str,
+) -> Result<&'a mut AttrState> {
+    state
+        .get_mut(attr)
+        .ok_or_else(|| ArchError::NotFound(format!("attribute state {attr}")))
+}
+
 #[derive(Debug, Clone)]
 struct AttrState {
     /// Rows in the live segment.
@@ -182,7 +195,7 @@ impl Archiver {
         storage: StorageKind,
         umin: f64,
     ) -> Result<Archiver> {
-        htable::create_htables(db, spec, storage, Date::from_ymd(1, 1, 1).expect("valid"))?;
+        htable::create_htables(db, spec, storage, temporal::DAWN_OF_TIME)?;
         let mut state = HashMap::new();
         for (attr, _) in &spec.attrs {
             state.insert(
@@ -190,12 +203,16 @@ impl Archiver {
                 AttrState {
                     nall: 0,
                     nlive: 0,
-                    live_start: Date::from_ymd(1, 1, 1).expect("valid"),
+                    live_start: temporal::DAWN_OF_TIME,
                     next_segno: 1,
                 },
             );
         }
-        Ok(Archiver { spec: spec.clone(), umin, state: Mutex::new(state) })
+        Ok(Archiver {
+            spec: spec.clone(),
+            umin,
+            state: Mutex::new(state),
+        })
     }
 
     /// The relation spec.
@@ -227,14 +244,23 @@ impl Archiver {
             let saved = rows.iter().find(|(a, ..)| a == attr);
             let (nall, nlive, live_start, next_segno) = match saved {
                 Some((_, nall, nlive, ls, ns)) => (*nall, *nlive, *ls, *ns),
-                None => (0, 0, Date::from_ymd(1, 1, 1).expect("valid"), 1),
+                None => (0, 0, temporal::DAWN_OF_TIME, 1),
             };
             state.insert(
                 attr.clone(),
-                AttrState { nall, nlive, live_start, next_segno },
+                AttrState {
+                    nall,
+                    nlive,
+                    live_start,
+                    next_segno,
+                },
             );
         }
-        Archiver { spec: spec.clone(), umin, state: Mutex::new(state) }
+        Archiver {
+            spec: spec.clone(),
+            umin,
+            state: Mutex::new(state),
+        }
     }
 
     /// Usefulness of an attribute's live segment (1.0 when empty).
@@ -249,8 +275,12 @@ impl Archiver {
     /// Apply one change to the current table and the H-tables.
     pub fn apply(&self, db: &Database, change: &Change) -> Result<()> {
         match change {
-            Change::Insert { key, values, at, .. } => self.insert(db, *key, values, *at),
-            Change::Update { key, changes, at, .. } => self.update(db, *key, changes, *at),
+            Change::Insert {
+                key, values, at, ..
+            } => self.insert(db, *key, values, *at),
+            Change::Update {
+                key, changes, at, ..
+            } => self.update(db, *key, changes, *at),
             Change::Delete { key, at, .. } => self.delete(db, *key, *at),
         }
     }
@@ -268,7 +298,9 @@ impl Archiver {
                 let mut seen = std::collections::HashSet::new();
                 let mut j = i;
                 while j < changes.len() {
-                    let Change::Insert { key, .. } = &changes[j] else { break };
+                    let Change::Insert { key, .. } = &changes[j] else {
+                        break;
+                    };
                     if !seen.insert(*key) {
                         break; // re-insert of a batch key must take the checked path
                     }
@@ -298,8 +330,16 @@ impl Archiver {
         let mut attr_rows: std::collections::HashMap<&str, Vec<Vec<Value>>> =
             std::collections::HashMap::new();
         for change in run {
-            let Change::Insert { key, values, at, .. } = change else { unreachable!() };
-            if !current.index_lookup(&cur_idx, &[Value::Int(*key)])?.is_empty() {
+            let Change::Insert {
+                key, values, at, ..
+            } = change
+            else {
+                unreachable!()
+            };
+            if !current
+                .index_lookup(&cur_idx, &[Value::Int(*key)])?
+                .is_empty()
+            {
                 return Err(ArchError::BadUpdate(format!(
                     "insert: key {key} already current in {}",
                     self.spec.name
@@ -344,28 +384,27 @@ impl Archiver {
             }
         }
         current.insert_batch(cur_rows)?;
-        db.table(&htable::key_table(&self.spec))?.insert_batch(key_rows)?;
+        db.table(&htable::key_table(&self.spec))?
+            .insert_batch(key_rows)?;
         let mut state = self.state.lock();
         for (attr, rows) in attr_rows {
             let n = rows.len() as u64;
-            db.table(&htable::attr_table(&self.spec, attr))?.insert_batch(rows)?;
-            let s = state.get_mut(attr).expect("spec attr");
+            db.table(&htable::attr_table(&self.spec, attr))?
+                .insert_batch(rows)?;
+            let s = attr_state(&mut state, attr)?;
             s.nall += n;
             s.nlive += n;
         }
         Ok(())
     }
 
-    fn insert(
-        &self,
-        db: &Database,
-        key: i64,
-        values: &[(String, Value)],
-        at: Date,
-    ) -> Result<()> {
+    fn insert(&self, db: &Database, key: i64, values: &[(String, Value)], at: Date) -> Result<()> {
         let current = db.table(&self.spec.name)?;
         let cur_idx = format!("cur_{}_{}", self.spec.name, self.spec.key);
-        if !current.index_lookup(&cur_idx, &[Value::Int(key)])?.is_empty() {
+        if !current
+            .index_lookup(&cur_idx, &[Value::Int(key)])?
+            .is_empty()
+        {
             return Err(ArchError::BadUpdate(format!(
                 "insert: key {key} already current in {}",
                 self.spec.name
@@ -415,23 +454,20 @@ impl Archiver {
                 Value::Date(at),
                 Value::Date(END_OF_TIME),
             ])?;
-            let s = state.get_mut(attr).expect("spec attr");
+            let s = attr_state(&mut state, attr)?;
             s.nall += 1;
             s.nlive += 1;
         }
         Ok(())
     }
 
-    fn update(
-        &self,
-        db: &Database,
-        key: i64,
-        changes: &[(String, Value)],
-        at: Date,
-    ) -> Result<()> {
+    fn update(&self, db: &Database, key: i64, changes: &[(String, Value)], at: Date) -> Result<()> {
         let current = db.table(&self.spec.name)?;
         let cur_idx = format!("cur_{}_{}", self.spec.name, self.spec.key);
-        if current.index_lookup(&cur_idx, &[Value::Int(key)])?.is_empty() {
+        if current
+            .index_lookup(&cur_idx, &[Value::Int(key)])?
+            .is_empty()
+        {
             return Err(ArchError::BadUpdate(format!(
                 "update: key {key} is not current in {}",
                 self.spec.name
@@ -464,7 +500,7 @@ impl Archiver {
                 .into_iter()
                 .filter(|r| r[0] == Value::Int(LIVE_SEGNO) && r[4] == Value::Date(END_OF_TIME))
                 .collect();
-            let s = state.get_mut(attr).expect("spec attr");
+            let s = attr_state(&mut state, attr)?;
             match open.first() {
                 Some(row) if &row[2] == new_value => {
                     // Value-equivalent: the open period simply continues
@@ -482,15 +518,11 @@ impl Archiver {
                     )?;
                     if closed {
                         // NULLing an attribute on its start day removes it.
-                        t.delete_via_index(
-                            &idx,
-                            &[Value::Int(key)],
-                            |r| {
-                                r[0] == Value::Int(LIVE_SEGNO)
-                                    && r[4] == Value::Date(END_OF_TIME)
-                                    && r[2].is_null()
-                            },
-                        )?;
+                        t.delete_via_index(&idx, &[Value::Int(key)], |r| {
+                            r[0] == Value::Int(LIVE_SEGNO)
+                                && r[4] == Value::Date(END_OF_TIME)
+                                && r[2].is_null()
+                        })?;
                         s.nall -= 1;
                         s.nlive -= 1;
                     }
@@ -576,7 +608,11 @@ impl Archiver {
             move |r| r[ts_at + 1] == Value::Date(END_OF_TIME),
             move |r| {
                 // A tuple deleted the day it was created keeps a one-day life.
-                let end = if r[ts_at] == Value::Date(at) { at } else { at.pred() };
+                let end = if r[ts_at] == Value::Date(at) {
+                    at
+                } else {
+                    at.pred()
+                };
                 r[ts_at + 1] = Value::Date(end);
             },
         )?;
@@ -589,7 +625,7 @@ impl Archiver {
             let tname = htable::attr_table(&self.spec, attr);
             let t = db.table(&tname)?;
             let idx = format!("{tname}_by_id");
-            let live_start = state.get(attr).expect("spec attr").live_start;
+            let live_start = attr_state(&mut state, attr)?.live_start;
             let seg_of = |end: Date| -> Result<i64> {
                 if end < live_start {
                     self.covering_segment(db, &tname, end)
@@ -607,8 +643,11 @@ impl Archiver {
                 |r| {
                     // A tuple deleted the day it was created keeps a
                     // one-day life.
-                    let (end, seg) =
-                        if r[3] == Value::Date(at) { (at, seg_at) } else { (at.pred(), seg_pred) };
+                    let (end, seg) = if r[3] == Value::Date(at) {
+                        (at, seg_at)
+                    } else {
+                        (at.pred(), seg_pred)
+                    };
                     r[4] = Value::Date(end);
                     if seg != LIVE_SEGNO {
                         r[0] = Value::Int(seg);
@@ -616,7 +655,7 @@ impl Archiver {
                     }
                 },
             )?;
-            let s = state.get_mut(attr).expect("spec attr");
+            let s = attr_state(&mut state, attr)?;
             s.nlive -= n as u64;
             s.nall -= moved.get();
         }
@@ -665,7 +704,7 @@ impl Archiver {
             let (Some(segno), Some(start)) = (row[1].as_int(), row[2].as_date()) else {
                 continue;
             };
-            if start <= end && best.map_or(true, |(bs, _)| start > bs) {
+            if start <= end && best.is_none_or(|(bs, _)| start > bs) {
                 best = Some((start, segno));
             }
         }
@@ -679,7 +718,7 @@ impl Archiver {
         let seg_idx = format!("{tname}_by_seg");
         let (segno, live_start) = {
             let mut state = self.state.lock();
-            let s = state.get_mut(attr).expect("spec attr");
+            let s = attr_state(&mut state, attr)?;
             let segno = s.next_segno;
             s.next_segno += 1;
             (segno, s.live_start)
@@ -710,7 +749,7 @@ impl Archiver {
         t.delete_via_index(&seg_idx, &[Value::Int(LIVE_SEGNO)], |_| true)?;
         t.insert_batch(live_rows.clone())?;
         let mut state = self.state.lock();
-        let s = state.get_mut(attr).expect("spec attr");
+        let s = attr_state(&mut state, attr)?;
         s.nall = live_rows.len() as u64;
         s.nlive = live_rows.len() as u64;
         s.live_start = at.succ();
@@ -743,8 +782,7 @@ impl Archiver {
                 out.sort_by_key(|s| s.segno);
                 out
             };
-            let by_segno: HashMap<i64, &SegmentInfo> =
-                segs.iter().map(|s| (s.segno, s)).collect();
+            let by_segno: HashMap<i64, &SegmentInfo> = segs.iter().map(|s| (s.segno, s)).collect();
 
             // Per-row checks: period sanity + the §6.1 segment invariants.
             for r in &rows {
@@ -801,8 +839,7 @@ impl Archiver {
                 }
             }
             for (key, periods) in &timeline {
-                let mut sorted: Vec<(Date, Date)> =
-                    periods.iter().map(|(a, b)| (*a, *b)).collect();
+                let mut sorted: Vec<(Date, Date)> = periods.iter().map(|(a, b)| (*a, *b)).collect();
                 sorted.sort();
                 let mut open = 0;
                 for w in sorted.windows(2) {
@@ -825,13 +862,13 @@ impl Archiver {
 
             // Archiver counters must describe the data they claim to.
             if let Some(s) = state.get(attr) {
-                let nall =
-                    rows.iter().filter(|r| r[0] == Value::Int(LIVE_SEGNO)).count() as u64;
+                let nall = rows
+                    .iter()
+                    .filter(|r| r[0] == Value::Int(LIVE_SEGNO))
+                    .count() as u64;
                 let nlive = rows
                     .iter()
-                    .filter(|r| {
-                        r[0] == Value::Int(LIVE_SEGNO) && r[4] == Value::Date(END_OF_TIME)
-                    })
+                    .filter(|r| r[0] == Value::Int(LIVE_SEGNO) && r[4] == Value::Date(END_OF_TIME))
                     .count() as u64;
                 if s.nall != nall {
                     bad.push(format!(
@@ -856,7 +893,10 @@ impl Archiver {
             let (Some(key), Some(ts), Some(te)) =
                 (r[0].as_int(), r[ts_at].as_date(), r[ts_at + 1].as_date())
             else {
-                bad.push(format!("{}: malformed key row {r:?}", htable::key_table(&self.spec)));
+                bad.push(format!(
+                    "{}: malformed key row {r:?}",
+                    htable::key_table(&self.spec)
+                ));
                 continue;
             };
             if ts > te {
@@ -893,8 +933,12 @@ impl Archiver {
             .lock()
             .get(attr)
             .map(|s| s.live_start)
-            .unwrap_or_else(|| Date::from_ymd(1, 1, 1).expect("valid"));
-        out.push(SegmentInfo { segno: LIVE_SEGNO, start: live_start, end: END_OF_TIME });
+            .unwrap_or(temporal::DAWN_OF_TIME);
+        out.push(SegmentInfo {
+            segno: LIVE_SEGNO,
+            start: live_start,
+            end: END_OF_TIME,
+        });
         Ok(out)
     }
 }
@@ -935,11 +979,14 @@ mod tests {
         a.apply(&db, &bob_insert()).unwrap();
         assert_eq!(db.table("employee").unwrap().row_count(), 1);
         let kt = db.table("employee_id").unwrap().scan().unwrap();
-        assert_eq!(kt, vec![vec![
-            Value::Int(1001),
-            Value::Date(d("1995-01-01")),
-            Value::Date(END_OF_TIME)
-        ]]);
+        assert_eq!(
+            kt,
+            vec![vec![
+                Value::Int(1001),
+                Value::Date(d("1995-01-01")),
+                Value::Date(END_OF_TIME)
+            ]]
+        );
         let sal = db.table("employee_salary").unwrap().scan().unwrap();
         assert_eq!(sal.len(), 1);
         assert_eq!(sal[0][0], Value::Int(LIVE_SEGNO));
@@ -965,7 +1012,11 @@ mod tests {
         let mut sal = db.table("employee_salary").unwrap().scan().unwrap();
         sal.sort_by(|x, y| x[3].total_cmp(&y[3]));
         assert_eq!(sal.len(), 2);
-        assert_eq!(sal[0][4], Value::Date(d("1995-05-31")), "old period closed at day-1");
+        assert_eq!(
+            sal[0][4],
+            Value::Date(d("1995-05-31")),
+            "old period closed at day-1"
+        );
         assert_eq!(sal[1][3], Value::Date(d("1995-06-01")));
         assert_eq!(sal[1][4], Value::Date(END_OF_TIME));
         // name has ONE period (unchanged attribute keeps growing).
@@ -1002,13 +1053,22 @@ mod tests {
         a.apply(&db, &bob_insert()).unwrap();
         a.apply(
             &db,
-            &Change::Delete { relation: "employee".into(), key: 1001, at: d("1996-12-31") },
+            &Change::Delete {
+                relation: "employee".into(),
+                key: 1001,
+                at: d("1996-12-31"),
+            },
         )
         .unwrap();
         assert_eq!(db.table("employee").unwrap().row_count(), 0);
         let kt = db.table("employee_id").unwrap().scan().unwrap();
         assert_eq!(kt[0][2], Value::Date(d("1996-12-30")));
-        for t in ["employee_salary", "employee_name", "employee_title", "employee_deptno"] {
+        for t in [
+            "employee_salary",
+            "employee_name",
+            "employee_title",
+            "employee_deptno",
+        ] {
             for row in db.table(t).unwrap().scan().unwrap() {
                 assert_ne!(row[4], Value::Date(END_OF_TIME), "{t} period still open");
             }
@@ -1035,7 +1095,11 @@ mod tests {
         assert!(a
             .apply(
                 &db,
-                &Change::Delete { relation: "employee".into(), key: 9, at: d("1995-01-01") }
+                &Change::Delete {
+                    relation: "employee".into(),
+                    key: 9,
+                    at: d("1995-01-01")
+                }
             )
             .is_err());
         assert!(a
@@ -1056,7 +1120,10 @@ mod tests {
         let (db, a) = setup(0.0);
         a.apply(&db, &bob_insert()).unwrap();
         assert_eq!(a.usefulness("salary"), 1.0);
-        for (i, date) in ["1996-01-01", "1997-01-01", "1998-01-01"].iter().enumerate() {
+        for (i, date) in ["1996-01-01", "1997-01-01", "1998-01-01"]
+            .iter()
+            .enumerate()
+        {
             a.apply(
                 &db,
                 &Change::Update {
@@ -1077,7 +1144,10 @@ mod tests {
     fn archive_respects_umin_and_invariants() {
         let (db, a) = setup(0.4);
         a.apply(&db, &bob_insert()).unwrap();
-        for (i, date) in ["1996-01-01", "1997-01-01", "1998-01-01"].iter().enumerate() {
+        for (i, date) in ["1996-01-01", "1997-01-01", "1998-01-01"]
+            .iter()
+            .enumerate()
+        {
             a.apply(
                 &db,
                 &Change::Update {
@@ -1101,18 +1171,24 @@ mod tests {
         // Paper invariants (1) tstart <= segend, (2) tend >= segstart for
         // every tuple in the archived segment.
         let rows = db.table("employee_salary").unwrap().scan().unwrap();
-        let seg1: Vec<_> =
-            rows.iter().filter(|r| r[0] == Value::Int(1)).collect();
+        let seg1: Vec<_> = rows.iter().filter(|r| r[0] == Value::Int(1)).collect();
         assert_eq!(seg1.len(), 4, "all tuples copied into the archived segment");
         for r in &seg1 {
             assert!(r[3].as_date().unwrap() <= segs[0].end, "invariant (1)");
             assert!(r[4].as_date().unwrap() >= segs[0].start, "invariant (2)");
         }
         // Live segment holds exactly the one still-open tuple.
-        let live: Vec<_> = rows.iter().filter(|r| r[0] == Value::Int(LIVE_SEGNO)).collect();
+        let live: Vec<_> = rows
+            .iter()
+            .filter(|r| r[0] == Value::Int(LIVE_SEGNO))
+            .collect();
         assert_eq!(live.len(), 1);
         assert_eq!(live[0][4], Value::Date(END_OF_TIME));
-        assert_eq!(a.usefulness("salary"), 1.0, "fresh live segment is 100% useful");
+        assert_eq!(
+            a.usefulness("salary"),
+            1.0,
+            "fresh live segment is 100% useful"
+        );
     }
 
     #[test]

@@ -28,6 +28,9 @@ use temporal::Date;
 /// Decompressed rows of one block, shared between the cache and readers.
 type BlockRows = Arc<Vec<Vec<Value>>>;
 
+/// segno → (startblock, endblock inclusive) for one attribute's blob table.
+type SegBlockRanges = HashMap<i64, (usize, usize)>;
+
 /// Sharded LRU cache of decompressed blocks, keyed by
 /// `(blob_table, blockno)`. Compressed blocks are immutable once written
 /// (archived segments never change; incremental compression only appends
@@ -36,8 +39,11 @@ type BlockRows = Arc<Vec<Vec<Value>>>;
 /// paths from serializing on one lock. The table name is an `Arc<str>`
 /// (each `AttrBlocks` owns one) so the hot warm-read path builds its
 /// lookup key with a refcount bump, not a per-call `String` allocation.
+/// One cache shard: `(blob_table, blockno) -> (lru_tick, decompressed rows)`.
+type CacheShard = HashMap<(Arc<str>, usize), (u64, BlockRows)>;
+
 struct BlockCache {
-    shards: Vec<parking_lot::Mutex<HashMap<(Arc<str>, usize), (u64, BlockRows)>>>,
+    shards: Vec<parking_lot::Mutex<CacheShard>>,
     per_shard: usize,
     /// Logical clock for LRU ordering.
     tick: AtomicU64,
@@ -52,7 +58,9 @@ impl BlockCache {
 
     fn new() -> Self {
         BlockCache {
-            shards: (0..Self::SHARDS).map(|_| parking_lot::Mutex::new(HashMap::new())).collect(),
+            shards: (0..Self::SHARDS)
+                .map(|_| parking_lot::Mutex::new(HashMap::new()))
+                .collect(),
             per_shard: Self::PER_SHARD,
             tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
@@ -91,7 +99,10 @@ impl BlockCache {
         map.insert((table.clone(), blockno), (stamp, rows));
         while map.len() > self.per_shard {
             // O(per_shard) eviction; capacity is small by design.
-            let oldest = map.iter().min_by_key(|(_, (s, _))| *s).map(|(k, _)| k.clone());
+            let oldest = map
+                .iter()
+                .min_by_key(|(_, (s, _))| *s)
+                .map(|(k, _)| k.clone());
             match oldest {
                 Some(k) => map.remove(&k),
                 None => break,
@@ -100,7 +111,10 @@ impl BlockCache {
     }
 
     fn stats(&self) -> (u64, u64) {
-        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
     }
 
     fn reset(&self) {
@@ -129,7 +143,7 @@ struct AttrBlocks {
     blob_table: Arc<str>,
     meta: Vec<BlockMeta>,
     /// segno → (startblock, endblock inclusive).
-    segranges: HashMap<i64, (usize, usize)>,
+    segranges: SegBlockRanges,
 }
 
 /// The compressed store of one relation's archived history.
@@ -169,8 +183,7 @@ impl CompressedStore {
             rows.sort_by(|a, b| {
                 (a[0].as_int(), a[1].as_int()).cmp(&(b[0].as_int(), b[1].as_int()))
             });
-            let records: Vec<Vec<u8>> =
-                rows.iter().map(|r| relstore::encode_row(r)).collect();
+            let records: Vec<Vec<u8>> = rows.iter().map(|r| relstore::encode_row(r)).collect();
             let blocks = blockzip::pack_records(&records, block_size);
 
             // The BLOB table (paper §8.2). `part` splits oversized blocks
@@ -238,7 +251,11 @@ impl CompressedStore {
                         Value::Blob(chunk.to_vec()),
                     ]);
                 }
-                meta.push(BlockMeta { blockno: no, start_sid, end_sid });
+                meta.push(BlockMeta {
+                    blockno: no,
+                    start_sid,
+                    end_sid,
+                });
             }
             // One batch: blob pages append heap-sequentially and the
             // blockno index is maintained in a single sorted pass.
@@ -279,7 +296,11 @@ impl CompressedStore {
 
             attrs.insert(
                 attr.clone(),
-                AttrBlocks { blob_table: blob_table.into(), meta, segranges },
+                AttrBlocks {
+                    blob_table: blob_table.into(),
+                    meta,
+                    segranges,
+                },
             );
         }
         Ok(CompressedStore {
@@ -310,11 +331,14 @@ impl CompressedStore {
             let tname = htable::attr_table(spec, attr);
             let blob_table = format!("{tname}_blob");
             let segrange_table = format!("{tname}_segrange");
-            let (meta, segranges) =
-                Self::reattach_inner_attr(db, &blob_table, &segrange_table)?;
+            let (meta, segranges) = Self::reattach_inner_attr(db, &blob_table, &segrange_table)?;
             attrs.insert(
                 attr.clone(),
-                AttrBlocks { blob_table: blob_table.into(), meta, segranges },
+                AttrBlocks {
+                    blob_table: blob_table.into(),
+                    meta,
+                    segranges,
+                },
             );
         }
         Ok(CompressedStore {
@@ -331,7 +355,7 @@ impl CompressedStore {
         db: &Database,
         blob_table: &str,
         segrange_table: &str,
-    ) -> Result<(Vec<BlockMeta>, HashMap<i64, (usize, usize)>)> {
+    ) -> Result<(Vec<BlockMeta>, SegBlockRanges)> {
         let mut by_block: HashMap<usize, BlockMeta> = HashMap::new();
         for r in db.table(blob_table)?.scan()? {
             let (Some(no), Some(ss), Some(si), Some(es), Some(ei)) = (
@@ -345,7 +369,11 @@ impl CompressedStore {
             };
             by_block.insert(
                 no as usize,
-                BlockMeta { blockno: no as usize, start_sid: (ss, si), end_sid: (es, ei) },
+                BlockMeta {
+                    blockno: no as usize,
+                    start_sid: (ss, si),
+                    end_sid: (es, ei),
+                },
             );
         }
         let mut meta: Vec<BlockMeta> = by_block.into_values().collect();
@@ -411,7 +439,10 @@ impl CompressedStore {
         self.blocks_read.fetch_add(1, Ordering::Relaxed);
         let bt = db.table(&ab.blob_table)?;
         let mut parts: Vec<(i64, Vec<u8>)> = bt
-            .index_lookup(&format!("{}_by_no", ab.blob_table), &[Value::Int(blockno as i64)])?
+            .index_lookup(
+                &format!("{}_by_no", ab.blob_table),
+                &[Value::Int(blockno as i64)],
+            )?
             .into_iter()
             .filter_map(|r| match (&r[1], &r[6]) {
                 (Value::Int(p), Value::Blob(b)) => Some((*p, b.clone())),
@@ -443,7 +474,10 @@ impl CompressedStore {
     ) -> Result<Vec<BlockRows>> {
         const MIN_PARALLEL: usize = 4;
         if blocknos.len() < MIN_PARALLEL || !relstore::parallel::parallel_scans_enabled() {
-            return blocknos.iter().map(|&no| self.read_block(db, ab, no)).collect();
+            return blocknos
+                .iter()
+                .map(|&no| self.read_block(db, ab, no))
+                .collect();
         }
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -455,12 +489,13 @@ impl CompressedStore {
             let handles: Vec<_> = blocknos
                 .chunks(chunk)
                 .map(|nos| {
-                    s.spawn(move |_| {
-                        nos.iter().map(|&no| self.read_block(db, ab, no)).collect()
-                    })
+                    s.spawn(move |_| nos.iter().map(|&no| self.read_block(db, ab, no)).collect())
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("block reader panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("block reader panicked"))
+                .collect()
         })
         .expect("crossbeam scope");
         let mut out = Vec::with_capacity(blocknos.len());
@@ -480,7 +515,11 @@ impl CompressedStore {
         let blocknos: Vec<usize> = (lo..=hi).collect();
         let mut out = Vec::new();
         for rows in self.read_blocks(db, ab, &blocknos)? {
-            out.extend(rows.iter().filter(|row| row[0] == Value::Int(segno)).cloned());
+            out.extend(
+                rows.iter()
+                    .filter(|row| row[0] == Value::Int(segno))
+                    .cloned(),
+            );
         }
         Ok(out)
     }
@@ -530,8 +569,11 @@ impl CompressedStore {
     /// Archived segment infos recorded in the segrange table.
     pub fn segment_ranges(&self, attr: &str) -> Result<Vec<(i64, usize, usize)>> {
         let ab = self.attr(attr)?;
-        let mut out: Vec<(i64, usize, usize)> =
-            ab.segranges.iter().map(|(&s, &(lo, hi))| (s, lo, hi)).collect();
+        let mut out: Vec<(i64, usize, usize)> = ab
+            .segranges
+            .iter()
+            .map(|(&s, &(lo, hi))| (s, lo, hi))
+            .collect();
         out.sort();
         Ok(out)
     }
@@ -579,12 +621,27 @@ mod tests {
             seg(LIVE_SEGNO, "1996-01-01", "9999-12-31"),
         ];
         let d = |s: &str| Date::parse(s).unwrap();
-        assert_eq!(CompressedStore::covering_segment(&segs, d("1991-05-01")), Some(1));
-        assert_eq!(CompressedStore::covering_segment(&segs, d("1992-07-01")), Some(2));
-        assert_eq!(CompressedStore::covering_segment(&segs, d("1995-12-31")), Some(2));
+        assert_eq!(
+            CompressedStore::covering_segment(&segs, d("1991-05-01")),
+            Some(1)
+        );
+        assert_eq!(
+            CompressedStore::covering_segment(&segs, d("1992-07-01")),
+            Some(2)
+        );
+        assert_eq!(
+            CompressedStore::covering_segment(&segs, d("1995-12-31")),
+            Some(2)
+        );
         // Live dates are not covered by any archived segment.
-        assert_eq!(CompressedStore::covering_segment(&segs, d("1997-01-01")), None);
-        assert_eq!(CompressedStore::covering_segment(&segs, d("1989-01-01")), None);
+        assert_eq!(
+            CompressedStore::covering_segment(&segs, d("1997-01-01")),
+            None
+        );
+        assert_eq!(
+            CompressedStore::covering_segment(&segs, d("1989-01-01")),
+            None
+        );
     }
 
     #[test]

@@ -55,8 +55,12 @@ pub fn create_htables(
     for (a, t) in &spec.attrs {
         current_fields.push(Field::new(a.clone(), *t));
     }
-    let current =
-        db.create_table(&spec.name, Schema::new(current_fields), storage, &[spec.key.as_str()])?;
+    let current = db.create_table(
+        &spec.name,
+        Schema::new(current_fields),
+        storage,
+        &[spec.key.as_str()],
+    )?;
     current.create_index(&format!("cur_{}_{}", spec.name, spec.key), &[&spec.key])?;
 
     // Key table (`lineitem_id(id, supplierno, itemno, tstart, tend)` for
@@ -67,9 +71,12 @@ pub fn create_htables(
     }
     key_fields.push(Field::new("tstart", DataType::Date));
     key_fields.push(Field::new("tend", DataType::Date));
-    let kt = db.create_table(&key_table(spec), Schema::new(key_fields), storage, &[spec
-        .key
-        .as_str()])?;
+    let kt = db.create_table(
+        &key_table(spec),
+        Schema::new(key_fields),
+        storage,
+        &[spec.key.as_str()],
+    )?;
     kt.create_index(&format!("{}_by_id", key_table(spec)), &[&spec.key])?;
 
     // Attribute history tables.
@@ -134,8 +141,13 @@ mod tests {
     fn creates_all_htables() {
         let db = Database::in_memory();
         let spec = RelationSpec::employee();
-        create_htables(&db, &spec, StorageKind::Heap, Date::parse("1985-01-01").unwrap())
-            .unwrap();
+        create_htables(
+            &db,
+            &spec,
+            StorageKind::Heap,
+            Date::parse("1985-01-01").unwrap(),
+        )
+        .unwrap();
         for t in [
             "employee",
             "employee_id",

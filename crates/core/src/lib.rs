@@ -29,6 +29,8 @@
 //!
 //! See `DESIGN.md` at the repository root for the full system inventory.
 
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 pub mod archive;
 pub mod compressed;
 pub mod htable;
@@ -363,9 +365,7 @@ impl ArchIS {
                 .collect();
             let archiver = archive::Archiver::reopen(&spec, self.config.umin, &rows);
             // Reattach compressed stores if their blob tables exist.
-            if let Some(store) =
-                CompressedStore::reattach(&self.db, &spec).transpose()?
-            {
+            if let Some(store) = CompressedStore::reattach(&self.db, &spec).transpose()? {
                 self.compressed.insert(spec.name.clone(), store);
             }
             self.archivers.insert(spec.name.clone(), archiver);
@@ -393,14 +393,13 @@ impl ArchIS {
     /// its H-tables (paper §5.1).
     pub fn create_relation(&mut self, spec: RelationSpec) -> Result<()> {
         if self.relations.contains_key(&spec.name) {
-            return Err(ArchError::Store(format!("relation {} already exists", spec.name)));
+            return Err(ArchError::Store(format!(
+                "relation {} already exists",
+                spec.name
+            )));
         }
-        let archiver = archive::Archiver::create(
-            &self.db,
-            &spec,
-            self.config.storage,
-            self.config.umin,
-        )?;
+        let archiver =
+            archive::Archiver::create(&self.db, &spec, self.config.storage, self.config.umin)?;
         self.relations.insert(spec.name.clone(), spec.clone());
         self.archivers.insert(spec.name.clone(), archiver);
         self.txn_commit()?;
@@ -471,7 +470,12 @@ impl ArchIS {
         values: Vec<(String, relstore::Value)>,
         at: Date,
     ) -> Result<()> {
-        self.apply(&Change::Insert { relation: relation.to_string(), key, values, at })
+        self.apply(&Change::Insert {
+            relation: relation.to_string(),
+            key,
+            values,
+            at,
+        })
     }
 
     /// Update attributes of a current tuple at `at` (only changed
@@ -484,12 +488,21 @@ impl ArchIS {
         changes: Vec<(String, relstore::Value)>,
         at: Date,
     ) -> Result<()> {
-        self.apply(&Change::Update { relation: relation.to_string(), key, changes, at })
+        self.apply(&Change::Update {
+            relation: relation.to_string(),
+            key,
+            changes,
+            at,
+        })
     }
 
     /// Delete a current tuple at `at` (closes all its open periods).
     pub fn delete(&self, relation: &str, key: i64, at: Date) -> Result<()> {
-        self.apply(&Change::Delete { relation: relation.to_string(), key, at })
+        self.apply(&Change::Delete {
+            relation: relation.to_string(),
+            key,
+            at,
+        })
     }
 
     /// Check usefulness on every attribute table of `relation` and archive
@@ -518,9 +531,9 @@ impl ArchIS {
         let spec = self.relation(relation)?;
         match self.compressed.get(relation) {
             None => publish::publish(&self.db, spec),
-            Some(store) => publish::publish_with(&self.db, spec, &|attr| {
-                store.scan_all(&self.db, attr)
-            }),
+            Some(store) => {
+                publish::publish_with(&self.db, spec, &|attr| store.scan_all(&self.db, attr))
+            }
         }
     }
 
@@ -561,7 +574,9 @@ impl ArchIS {
                 }
             }
         }
-        Ok(sqlxml::engine::execute_stmt_with(&self.db, &stmt, &self.fns, &overrides)?)
+        Ok(sqlxml::engine::execute_stmt_with(
+            &self.db, &stmt, &self.fns, &overrides,
+        )?)
     }
 
     /// Compress all *archived* segments of a relation's attribute tables

@@ -19,6 +19,9 @@ use std::collections::BTreeMap;
 use temporal::{Date, Interval, END_OF_TIME};
 use xmldom::Element;
 
+/// One attribute's deduplicated history: `(id, tstart) -> (value, tend)`.
+type AttrHistory = BTreeMap<(i64, Date), (Value, Date)>;
+
 /// Build the H-document of a relation from its H-tables.
 pub fn publish(db: &Database, spec: &RelationSpec) -> Result<Element> {
     publish_with(db, spec, &|_| Ok(Vec::new()))
@@ -64,14 +67,13 @@ pub fn publish_with(
     keys.sort_by_key(|(id, _, iv)| (*id, iv.start()));
 
     // Attribute histories, deduplicated across segments.
-    let mut attr_rows: Vec<(String, BTreeMap<(i64, Date), (Value, Date)>)> = Vec::new();
+    let mut attr_rows: Vec<(String, AttrHistory)> = Vec::new();
     for (attr, _) in &spec.attrs {
         let mut rows = db.table(&htable::attr_table(spec, attr))?.scan()?;
         rows.extend(supplement(attr)?);
-        let mut dedup: BTreeMap<(i64, Date), (Value, Date)> = BTreeMap::new();
+        let mut dedup = AttrHistory::new();
         for r in rows {
-            let (Some(id), Some(ts), Some(te)) =
-                (r[1].as_int(), r[3].as_date(), r[4].as_date())
+            let (Some(id), Some(ts), Some(te)) = (r[1].as_int(), r[3].as_date(), r[4].as_date())
             else {
                 continue;
             };
@@ -104,7 +106,9 @@ pub fn publish_with(
                 if *rid != id {
                     break;
                 }
-                let Ok(iv) = Interval::new(*ts, *te) else { continue };
+                let Ok(iv) = Interval::new(*ts, *te) else {
+                    continue;
+                };
                 let e = Element::new(attr.clone())
                     .with_interval(iv)
                     .with_text(value.to_string());
@@ -188,7 +192,10 @@ mod tests {
         // The temporal covering constraint: tuple interval covers children.
         let tuple_iv = emp.interval().unwrap();
         for c in emp.child_elements() {
-            assert!(tuple_iv.contains(&c.interval().unwrap()), "covering constraint");
+            assert!(
+                tuple_iv.contains(&c.interval().unwrap()),
+                "covering constraint"
+            );
         }
     }
 
@@ -215,7 +222,11 @@ mod tests {
         let emp = doc.first_child("employee").unwrap();
         let salaries: Vec<&Element> = emp.children_named("salary").collect();
         assert_eq!(salaries.len(), 3, "three real periods, duplicates merged");
-        assert_eq!(salaries[1].attr("tend"), Some("1996-05-31"), "closed copy wins");
+        assert_eq!(
+            salaries[1].attr("tend"),
+            Some("1996-05-31"),
+            "closed copy wins"
+        );
         assert_eq!(salaries[2].text_content(), "80000");
     }
 
@@ -224,9 +235,10 @@ mod tests {
         let db = Database::in_memory();
         let spec = RelationSpec::employee();
         let a = Archiver::create(&db, &spec, StorageKind::Heap, 0.0).unwrap();
-        for (key, name, date) in
-            [(1002i64, "Alice", "1994-03-01"), (1001, "Bob", "1995-01-01")]
-        {
+        for (key, name, date) in [
+            (1002i64, "Alice", "1994-03-01"),
+            (1001, "Bob", "1995-01-01"),
+        ] {
             a.apply(
                 &db,
                 &Change::Insert {
@@ -243,6 +255,10 @@ mod tests {
             .children_named("employee")
             .map(|e| e.first_child("name").unwrap().text_content())
             .collect();
-        assert_eq!(names, vec!["Bob".to_string(), "Alice".to_string()], "ordered by id");
+        assert_eq!(
+            names,
+            vec!["Bob".to_string(), "Alice".to_string()],
+            "ordered by id"
+        );
     }
 }

@@ -189,7 +189,10 @@ fn all_salary_periods(
 ) -> Result<Vec<(i64, i64, Interval)>> {
     let db = archis.database();
     let mut dedup: HashMap<(i64, Date), (i64, Date)> = HashMap::new();
-    for row in store.scan_all(db, "salary")?.iter().chain(store.live_rows(db, "salary")?.iter())
+    for row in store
+        .scan_all(db, "salary")?
+        .iter()
+        .chain(store.live_rows(db, "salary")?.iter())
     {
         if let Some((id, sal, iv)) = decode_salary_row(row) {
             let e = dedup.entry((id, iv.start())).or_insert((sal, iv.end()));
@@ -200,9 +203,7 @@ fn all_salary_periods(
     }
     let mut out: Vec<(i64, i64, Interval)> = dedup
         .into_iter()
-        .filter_map(|((id, s), (sal, e))| {
-            Interval::new(s, e).ok().map(|iv| (id, sal, iv))
-        })
+        .filter_map(|((id, s), (sal, e))| Interval::new(s, e).ok().map(|iv| (id, sal, iv)))
         .collect();
     out.sort_by_key(|(id, _, iv)| (*id, iv.start()));
     Ok(out)
@@ -289,7 +290,7 @@ pub fn q6_compressed(
         let (id2, s2, iv2) = &w[1];
         if id1 == id2 && iv1.meets(iv2) && iv1.overlaps(&window) {
             let raise = s2 - s1;
-            if best.map_or(true, |b| raise > b) {
+            if best.is_none_or(|b| raise > b) {
                 best = Some(raise);
             }
         }
@@ -370,11 +371,7 @@ mod tests {
             .unwrap()[0][0]
             .as_f64()
             .unwrap();
-        let q4_sql = a
-            .query(&q4_xquery())
-            .unwrap()
-            .scalar_rows()
-            .unwrap()[0][0]
+        let q4_sql = a.query(&q4_xquery()).unwrap().scalar_rows().unwrap()[0][0]
             .as_int()
             .unwrap();
         let q5_sql = a
@@ -395,7 +392,10 @@ mod tests {
         a.compress_archived("employee").unwrap();
         let store = a.compressed_store("employee").unwrap();
         // Q1: 1994 salary of Bob = 40000 + 4*2000 = 48000.
-        assert_eq!(q1_compressed(&a, store, 100001, d("1994-06-01")).unwrap(), Some(48_000));
+        assert_eq!(
+            q1_compressed(&a, store, 100001, d("1994-06-01")).unwrap(),
+            Some(48_000)
+        );
         assert!(q1_sql.xml_fragments().join("").contains("48000"));
         let q2c = q2_compressed(&a, store, d("1994-06-01")).unwrap();
         assert!((q2c - q2_sql).abs() < 1e-9, "Q2: {q2c} vs {q2_sql}");
@@ -473,8 +473,7 @@ mod tests {
                 .as_int()
                 .unwrap();
             let store = a.compressed_store("employee").unwrap();
-            let q5c =
-                q5_compressed(a, store, 45_000, d("1993-01-01"), d("1999-06-01")).unwrap();
+            let q5c = q5_compressed(a, store, 45_000, d("1993-01-01"), d("1999-06-01")).unwrap();
             // Every compressed variant decompresses blocks through the
             // parallel fan-out; all must be invariant under the flag.
             let q1c = q1_compressed(a, store, 100001, d("1994-06-01")).unwrap();

@@ -34,12 +34,7 @@ impl RelationSpec {
     /// Build a spec with the usual naming conventions
     /// (`name` → root `names` + `names.xml` is *not* assumed; callers pass
     /// the plural explicitly, matching the paper's `employee`/`employees`).
-    pub fn new(
-        name: &str,
-        root: &str,
-        key: &str,
-        attrs: Vec<(&str, DataType)>,
-    ) -> Self {
+    pub fn new(name: &str, root: &str, key: &str, attrs: Vec<(&str, DataType)>) -> Self {
         RelationSpec {
             name: name.to_string(),
             root: root.to_string(),
@@ -85,7 +80,11 @@ impl RelationSpec {
             "dept",
             "depts",
             "id",
-            vec![("deptno", DataType::Str), ("deptname", DataType::Str), ("mgrno", DataType::Int)],
+            vec![
+                ("deptno", DataType::Str),
+                ("deptname", DataType::Str),
+                ("mgrno", DataType::Int),
+            ],
         )
     }
 
@@ -139,12 +138,18 @@ impl Default for ArchConfig {
 impl ArchConfig {
     /// The DB2-style configuration (heap tables + secondary indexes).
     pub fn db2_like() -> Self {
-        ArchConfig { storage: StorageKind::Heap, ..Default::default() }
+        ArchConfig {
+            storage: StorageKind::Heap,
+            ..Default::default()
+        }
     }
 
     /// The ATLaS/BerkeleyDB-style configuration (clustered B+trees).
     pub fn atlas_like() -> Self {
-        ArchConfig { storage: StorageKind::Clustered, ..Default::default() }
+        ArchConfig {
+            storage: StorageKind::Clustered,
+            ..Default::default()
+        }
     }
 
     /// Builder: set Umin.
@@ -191,13 +196,11 @@ mod tests {
 
     #[test]
     fn composite_key_builder() {
-        let li = RelationSpec::new(
-            "lineitem",
-            "lineitems",
-            "id",
-            vec![("qty", DataType::Int)],
-        )
-        .with_composite_key(vec![("supplierno", DataType::Str), ("itemno", DataType::Int)]);
+        let li = RelationSpec::new("lineitem", "lineitems", "id", vec![("qty", DataType::Int)])
+            .with_composite_key(vec![
+                ("supplierno", DataType::Str),
+                ("itemno", DataType::Int),
+            ]);
         assert!(li.is_composite_col("supplierno"));
         assert!(!li.is_composite_col("qty"));
         assert_eq!(li.composite.len(), 2);

@@ -89,8 +89,10 @@ impl Ctx {
     fn add_table(&mut self, table: String, relation: &str, attr: Option<&str>) -> String {
         let alias = self.fresh_alias();
         self.from.push((table, alias.clone()));
-        self.alias_tables
-            .insert(alias.clone(), (relation.to_string(), attr.map(|s| s.to_string())));
+        self.alias_tables.insert(
+            alias.clone(),
+            (relation.to_string(), attr.map(|s| s.to_string())),
+        );
         alias
     }
 }
@@ -122,15 +124,18 @@ impl<'a> Translator<'a> {
                     }
                     other => (other, false),
                 };
-                self.translate_flwor(inner, OutputMode::Aggregate {
-                    func: normalize_agg(name),
-                    distinct,
-                })
+                self.translate_flwor(
+                    inner,
+                    OutputMode::Aggregate {
+                        func: normalize_agg(name),
+                        distinct,
+                    },
+                )
             }
-            Expr::ElementCtor { name, content: Some(content) } => self.translate_flwor(
-                content,
-                OutputMode::WrappedElement { name: name.clone() },
-            ),
+            Expr::ElementCtor {
+                name,
+                content: Some(content),
+            } => self.translate_flwor(content, OutputMode::WrappedElement { name: name.clone() }),
             Expr::Flwor { .. } => self.translate_flwor(expr, OutputMode::Rows),
             other => Err(ArchError::Unsupported(format!(
                 "top-level expression {other:?} is not translatable"
@@ -146,20 +151,30 @@ impl<'a> Translator<'a> {
             Vec<xquery::ast::OrderSpec>,
             Expr,
         ) = match expr {
-            Expr::Flwor { bindings, where_clause, order_by, ret } => (
+            Expr::Flwor {
+                bindings,
+                where_clause,
+                order_by,
+                ret,
+            } => (
                 bindings.clone(),
                 where_clause.as_deref().cloned(),
                 order_by.clone(),
                 (**ret).clone(),
             ),
             Expr::Path { .. } => (
-                vec![Binding::For { var: "__p".to_string(), seq: expr.clone() }],
+                vec![Binding::For {
+                    var: "__p".to_string(),
+                    seq: expr.clone(),
+                }],
                 None,
                 Vec::new(),
                 Expr::Var("__p".to_string()),
             ),
             other => {
-                return Err(ArchError::Unsupported(format!("expected FLWOR, got {other:?}")))
+                return Err(ArchError::Unsupported(format!(
+                    "expected FLWOR, got {other:?}"
+                )))
             }
         };
 
@@ -194,22 +209,22 @@ impl<'a> Translator<'a> {
             format!("select {}", items.join(", "))
         } else {
             match &mode {
-            OutputMode::Aggregate { func, distinct } => {
-                let scalar = self.scalar_output(&mut ctx, &ret)?;
-                if *distinct {
-                    format!("select {func}(distinct {scalar})")
-                } else {
-                    format!("select {func}({scalar})")
+                OutputMode::Aggregate { func, distinct } => {
+                    let scalar = self.scalar_output(&mut ctx, &ret)?;
+                    if *distinct {
+                        format!("select {func}(distinct {scalar})")
+                    } else {
+                        format!("select {func}({scalar})")
+                    }
                 }
-            }
-            OutputMode::WrappedElement { name } => {
-                let content = self.xml_output(&mut ctx, &ret)?;
-                format!("select XMLElement(Name \"{name}\", XMLAgg({content}))")
-            }
-            OutputMode::Rows => {
-                let content = self.xml_output(&mut ctx, &ret)?;
-                format!("select {content}")
-            }
+                OutputMode::WrappedElement { name } => {
+                    let content = self.xml_output(&mut ctx, &ret)?;
+                    format!("select XMLElement(Name \"{name}\", XMLAgg({content}))")
+                }
+                OutputMode::Rows => {
+                    let content = self.xml_output(&mut ctx, &ret)?;
+                    format!("select {content}")
+                }
             }
         };
         // ORDER BY: keys must be scalar operands over bound variables.
@@ -227,7 +242,9 @@ impl<'a> Translator<'a> {
         self.add_segment_conditions(&mut ctx, distinct_mode)?;
 
         if ctx.from.is_empty() {
-            return Err(ArchError::Unsupported("query binds no H-table variables".into()));
+            return Err(ArchError::Unsupported(
+                "query binds no H-table variables".into(),
+            ));
         }
         let from = ctx
             .from
@@ -258,7 +275,9 @@ impl<'a> Translator<'a> {
             // doc("employees.xml")/employees/employee[...]/attr[...]
             Expr::Call(f, args) if (f == "doc" || f == "document") && args.len() == 1 => {
                 let Expr::StrLit(uri) = &args[0] else {
-                    return Err(ArchError::Unsupported("doc() needs a string literal".into()));
+                    return Err(ArchError::Unsupported(
+                        "doc() needs a string literal".into(),
+                    ));
                 };
                 let spec = self
                     .archis
@@ -296,8 +315,7 @@ impl<'a> Translator<'a> {
                         )))
                     }
                 };
-                let tuple_alias =
-                    ctx.add_table(htable::key_table(&spec), &spec.name, None);
+                let tuple_alias = ctx.add_table(htable::key_table(&spec), &spec.name, None);
                 let tuple_var = VarInfo {
                     relation: spec.name.clone(),
                     kind: VarKind::Tuple,
@@ -311,8 +329,7 @@ impl<'a> Translator<'a> {
                         ctx.vars.insert(var.to_string(), tuple_var);
                     }
                     [(Step::Child(attr), attr_preds)] => {
-                        let attr_var =
-                            self.join_attribute(ctx, &spec, &tuple_var, attr)?;
+                        let attr_var = self.join_attribute(ctx, &spec, &tuple_var, attr)?;
                         for p in attr_preds {
                             self.predicate_to_sql(ctx, &attr_var, p)?;
                         }
@@ -366,10 +383,16 @@ impl<'a> Translator<'a> {
         attr: &str,
     ) -> Result<VarInfo> {
         if !spec.has_attr(attr) {
-            return Err(ArchError::NotFound(format!("attribute {attr} of {}", spec.name)));
+            return Err(ArchError::NotFound(format!(
+                "attribute {attr} of {}",
+                spec.name
+            )));
         }
         let alias = ctx.add_table(htable::attr_table(spec, attr), &spec.name, Some(attr));
-        ctx.conds.push(format!("{}.{} = {}.{}", tuple_var.alias, spec.key, alias, spec.key));
+        ctx.conds.push(format!(
+            "{}.{} = {}.{}",
+            tuple_var.alias, spec.key, alias, spec.key
+        ));
         Ok(VarInfo {
             relation: spec.name.clone(),
             kind: VarKind::Attr(attr.to_string()),
@@ -450,9 +473,8 @@ impl<'a> Translator<'a> {
     ) -> Result<(String, String)> {
         match e {
             Expr::ContextItem => {
-                let v = ctx_var.ok_or_else(|| {
-                    ArchError::Unsupported("'.' outside a predicate".into())
-                })?;
+                let v = ctx_var
+                    .ok_or_else(|| ArchError::Unsupported("'.' outside a predicate".into()))?;
                 Ok((format!("{}.tstart", v.alias), format!("{}.tend", v.alias)))
             }
             Expr::Var(name) => {
@@ -467,14 +489,14 @@ impl<'a> Translator<'a> {
                 let d2 = date_literal(&args[1])?;
                 // Record a slicing window on the context variable.
                 if let Some(v) = ctx_var {
-                    ctx.bounds.push((v.alias.clone(), TimeBound::Overlaps(d1, d2)));
+                    ctx.bounds
+                        .push((v.alias.clone(), TimeBound::Overlaps(d1, d2)));
                 }
                 Ok((format!("'{d1}'"), format!("'{d2}'")))
             }
             // $e/attr used as an interval — join the attribute table.
             Expr::Path { base: b, steps } => {
-                if let (Expr::Var(parent), [(Step::Child(attr), preds)]) =
-                    (&**b, steps.as_slice())
+                if let (Expr::Var(parent), [(Step::Child(attr), preds)]) = (&**b, steps.as_slice())
                 {
                     let parent_var = ctx
                         .vars
@@ -490,7 +512,9 @@ impl<'a> Translator<'a> {
                 }
                 Err(ArchError::Unsupported(format!("interval operand {e:?}")))
             }
-            other => Err(ArchError::Unsupported(format!("interval operand {other:?}"))),
+            other => Err(ArchError::Unsupported(format!(
+                "interval operand {other:?}"
+            ))),
         }
     }
 
@@ -529,9 +553,7 @@ impl<'a> Translator<'a> {
     fn record_bound(&self, ctx: &mut Ctx, l: &Operand, op: CmpOp, r: &Operand) {
         if let (Some((alias, which)), Some(d)) = (&l.time_col, r.date) {
             match (which.as_str(), op) {
-                ("tstart", CmpOp::Le) => {
-                    ctx.bounds.push((alias.clone(), TimeBound::StartLe(d)))
-                }
+                ("tstart", CmpOp::Le) => ctx.bounds.push((alias.clone(), TimeBound::StartLe(d))),
                 ("tend", CmpOp::Ge) => ctx.bounds.push((alias.clone(), TimeBound::EndGe(d))),
                 _ => {}
             }
@@ -539,23 +561,30 @@ impl<'a> Translator<'a> {
     }
 
     /// A scalar operand: literal, temporal accessor, value path, ...
-    fn value_operand(
-        &self,
-        ctx: &mut Ctx,
-        ctx_var: Option<&VarInfo>,
-        e: &Expr,
-    ) -> Result<Operand> {
+    fn value_operand(&self, ctx: &mut Ctx, ctx_var: Option<&VarInfo>, e: &Expr) -> Result<Operand> {
         match e {
             Expr::StrLit(s) => Ok(Operand {
                 sql: format!("'{}'", s.replace('\'', "''")),
                 time_col: None,
                 date: Date::parse(s).ok(),
             }),
-            Expr::IntLit(i) => Ok(Operand { sql: i.to_string(), time_col: None, date: None }),
-            Expr::DecLit(d) => Ok(Operand { sql: d.to_string(), time_col: None, date: None }),
+            Expr::IntLit(i) => Ok(Operand {
+                sql: i.to_string(),
+                time_col: None,
+                date: None,
+            }),
+            Expr::DecLit(d) => Ok(Operand {
+                sql: d.to_string(),
+                time_col: None,
+                date: None,
+            }),
             Expr::Call(f, args) if f == "xs:date" || f == "date" => {
                 let d = date_literal(&args[0])?;
-                Ok(Operand { sql: format!("'{d}'"), time_col: None, date: Some(d) })
+                Ok(Operand {
+                    sql: format!("'{d}'"),
+                    time_col: None,
+                    date: Some(d),
+                })
             }
             Expr::Call(f, args) if (f == "tstart" || f == "tend") && args.len() == 1 => {
                 let v = self.var_of(ctx, ctx_var, &args[0])?;
@@ -580,9 +609,8 @@ impl<'a> Translator<'a> {
                 self.value_operand(ctx, ctx_var, &args[0])
             }
             Expr::ContextItem => {
-                let v = ctx_var.ok_or_else(|| {
-                    ArchError::Unsupported("'.' outside a predicate".into())
-                })?;
+                let v = ctx_var
+                    .ok_or_else(|| ArchError::Unsupported("'.' outside a predicate".into()))?;
                 let VarKind::Attr(attr) = &v.kind else {
                     return Err(ArchError::Unsupported(
                         "'.' compared as a value on a tuple variable".into(),
@@ -627,9 +655,10 @@ impl<'a> Translator<'a> {
                         (v.clone(), attr.clone(), preds.clone())
                     }
                     (Expr::Var(parent), [(Step::Child(attr), preds)]) => {
-                        let v = ctx.vars.get(parent).cloned().ok_or_else(|| {
-                            ArchError::Unsupported(format!("unbound ${parent}"))
-                        })?;
+                        let v =
+                            ctx.vars.get(parent).cloned().ok_or_else(|| {
+                                ArchError::Unsupported(format!("unbound ${parent}"))
+                            })?;
                         (v, attr.clone(), preds.clone())
                     }
                     _ => {
@@ -666,7 +695,11 @@ impl<'a> Translator<'a> {
                 for p in &preds {
                     self.predicate_to_sql(ctx, &v, p)?;
                 }
-                Ok(Operand { sql: format!("{}.{attr}", v.alias), time_col: None, date: None })
+                Ok(Operand {
+                    sql: format!("{}.{attr}", v.alias),
+                    time_col: None,
+                    date: None,
+                })
             }
             Expr::Arith(op, l, r) => {
                 let ls = self.value_operand(ctx, ctx_var, l)?;
@@ -695,15 +728,17 @@ impl<'a> Translator<'a> {
     /// The variable an accessor argument refers to (`.` or `$x`).
     fn var_of(&self, ctx: &Ctx, ctx_var: Option<&VarInfo>, e: &Expr) -> Result<VarInfo> {
         match e {
-            Expr::ContextItem => ctx_var.cloned().ok_or_else(|| {
-                ArchError::Unsupported("'.' outside a predicate".into())
-            }),
+            Expr::ContextItem => ctx_var
+                .cloned()
+                .ok_or_else(|| ArchError::Unsupported("'.' outside a predicate".into())),
             Expr::Var(name) => ctx
                 .vars
                 .get(name)
                 .cloned()
                 .ok_or_else(|| ArchError::Unsupported(format!("unbound ${name}"))),
-            other => Err(ArchError::Unsupported(format!("accessor argument {other:?}"))),
+            other => Err(ArchError::Unsupported(format!(
+                "accessor argument {other:?}"
+            ))),
         }
     }
 
@@ -729,7 +764,11 @@ impl<'a> Translator<'a> {
                 }
                 Ok(format!("XMLElement({})", parts.join(", ")))
             }
-            Expr::DirectCtor { name, attrs, content } => {
+            Expr::DirectCtor {
+                name,
+                attrs,
+                content,
+            } => {
                 let mut parts = vec![format!("Name \"{name}\"")];
                 if !attrs.is_empty() {
                     let mut attr_parts = Vec::new();
@@ -739,8 +778,7 @@ impl<'a> Translator<'a> {
                                 "computed attributes in direct constructors".into(),
                             ));
                         };
-                        attr_parts
-                            .push(format!("'{}' as \"{aname}\"", t.replace('\'', "''")));
+                        attr_parts.push(format!("'{}' as \"{aname}\"", t.replace('\'', "''")));
                     }
                     parts.push(format!("XMLAttributes({})", attr_parts.join(", ")));
                 }
@@ -807,9 +845,11 @@ impl<'a> Translator<'a> {
                 if let (Expr::Var(parent), [(Step::Child(attr), preds)]) =
                     (&**base, steps.as_slice())
                 {
-                    let parent_var = ctx.vars.get(parent).cloned().ok_or_else(|| {
-                        ArchError::Unsupported(format!("unbound ${parent}"))
-                    })?;
+                    let parent_var = ctx
+                        .vars
+                        .get(parent)
+                        .cloned()
+                        .ok_or_else(|| ArchError::Unsupported(format!("unbound ${parent}")))?;
                     let spec = self.archis.relation(&parent_var.relation)?.clone();
                     if *attr == spec.key {
                         // `$e/id`: the key element carries the tuple period.
@@ -867,9 +907,7 @@ impl<'a> Translator<'a> {
             let entry = per_alias.entry(alias.clone()).or_default();
             match b {
                 // tstart <= D: the window cannot start after D.
-                TimeBound::StartLe(d) => {
-                    entry.1 = Some(entry.1.map_or(*d, |x: Date| x.min(*d)))
-                }
+                TimeBound::StartLe(d) => entry.1 = Some(entry.1.map_or(*d, |x: Date| x.min(*d))),
                 // tend >= D: the window cannot end before D.
                 TimeBound::EndGe(d) => entry.0 = Some(entry.0.map_or(*d, |x: Date| x.max(*d))),
                 TimeBound::Overlaps(d1, d2) => {
@@ -880,7 +918,9 @@ impl<'a> Translator<'a> {
         }
         let mut restricted: std::collections::HashSet<String> = std::collections::HashSet::new();
         for (alias, (lo, hi)) in per_alias {
-            let (Some(lo), Some(hi)) = (lo, hi) else { continue };
+            let (Some(lo), Some(hi)) = (lo, hi) else {
+                continue;
+            };
             if hi < lo {
                 continue;
             }
@@ -918,8 +958,9 @@ impl<'a> Translator<'a> {
                 (many, false) if distinct => {
                     let lo_s = many.first().unwrap();
                     let hi_s = many.last().unwrap();
-                    ctx.conds
-                        .push(format!("{alias}.segno >= {lo_s} and {alias}.segno <= {hi_s}"));
+                    ctx.conds.push(format!(
+                        "{alias}.segno >= {lo_s} and {alias}.segno <= {hi_s}"
+                    ));
                     restricted.insert(alias.clone());
                 }
                 (many, true) if distinct => {
@@ -975,7 +1016,10 @@ fn normalize_agg(name: &str) -> String {
 }
 
 fn is_interval_pred(name: &str) -> bool {
-    matches!(name, "toverlaps" | "tcontains" | "tequals" | "tmeets" | "tprecedes")
+    matches!(
+        name,
+        "toverlaps" | "tcontains" | "tequals" | "tmeets" | "tprecedes"
+    )
 }
 
 fn cmp_sql(op: CmpOp) -> &'static str {
@@ -1007,7 +1051,9 @@ fn date_literal(e: &Expr) -> Result<Date> {
         Expr::Call(f, args) if (f == "xs:date" || f == "date") && args.len() == 1 => {
             date_literal(&args[0])
         }
-        other => Err(ArchError::Unsupported(format!("expected a date literal, got {other:?}"))),
+        other => Err(ArchError::Unsupported(format!(
+            "expected a date literal, got {other:?}"
+        ))),
     }
 }
 
@@ -1065,8 +1111,13 @@ mod tests {
             d("1995-01-01"),
         )
         .unwrap();
-        a.update("employee", 1001, vec![("salary".into(), Value::Int(70000))], d("1995-06-01"))
-            .unwrap();
+        a.update(
+            "employee",
+            1001,
+            vec![("salary".into(), Value::Int(70000))],
+            d("1995-06-01"),
+        )
+        .unwrap();
         a.update(
             "employee",
             1001,
@@ -1112,7 +1163,10 @@ mod tests {
         let out = a.execute_sql(&sql).unwrap();
         let xml = out.xml_fragments().join("");
         assert!(xml.starts_with("<title_history>"), "{xml}");
-        assert!(xml.contains(">Engineer<") && xml.contains(">Sr Engineer<"), "{xml}");
+        assert!(
+            xml.contains(">Engineer<") && xml.contains(">Sr Engineer<"),
+            "{xml}"
+        );
         assert!(!xml.contains("Manager"), "{xml}");
     }
 
@@ -1159,7 +1213,10 @@ mod tests {
                    return $s"#,
             )
             .unwrap();
-        assert!(sql.contains(".segno = 1"), "snapshot must hit segment 1: {sql}");
+        assert!(
+            sql.contains(".segno = 1"),
+            "snapshot must hit segment 1: {sql}"
+        );
         let out = a.execute_sql(&sql).unwrap().xml_fragments().join("");
         assert!(out.contains("60000") && out.contains("80000"), "{out}");
     }
@@ -1246,7 +1303,10 @@ mod tests {
                    return <employee>{$e/id}</employee>"#;
         let sql = a.translate(q).unwrap();
         assert!(sql.contains("tcontains("), "{sql}");
-        assert!(sql.contains("= '9999-12-31'"), "current-date() comparison: {sql}");
+        assert!(
+            sql.contains("= '9999-12-31'"),
+            "current-date() comparison: {sql}"
+        );
         let xml = a.execute_sql(&sql).unwrap().xml_fragments().join("");
         assert!(xml.contains("1001"), "Bob qualifies: {xml}");
         assert!(!xml.contains("1002"), "{xml}");
@@ -1283,7 +1343,11 @@ mod tests {
         let values: Vec<i64> = out
             .iter()
             .map(|f| {
-                xmldom::parse(f).unwrap().text_content().parse::<i64>().unwrap()
+                xmldom::parse(f)
+                    .unwrap()
+                    .text_content()
+                    .parse::<i64>()
+                    .unwrap()
             })
             .collect();
         let mut sorted = values.clone();
@@ -1300,13 +1364,22 @@ mod tests {
         let sql = a.translate(q).unwrap();
         assert!(sql.contains("externalnow("), "{sql}");
         let xml = a.execute_sql(&sql).unwrap().xml_fragments().join("");
-        assert!(xml.contains("tend=\"now\""), "current period shown as now: {xml}");
-        assert!(xml.contains("tend=\"1995-05-31\""), "closed period untouched: {xml}");
+        assert!(
+            xml.contains("tend=\"now\""),
+            "current period shown as now: {xml}"
+        );
+        assert!(
+            xml.contains("tend=\"1995-05-31\""),
+            "closed period untouched: {xml}"
+        );
 
         let q2 = r#"for $s in doc("employees.xml")/employees/employee[name="Bob"]/salary
                     return rtend($s)"#;
         let xml2 = a.query(q2).unwrap().xml_fragments().join("");
-        assert!(xml2.contains("tend=\"2005-01-01\""), "now instantiated: {xml2}");
+        assert!(
+            xml2.contains("tend=\"2005-01-01\""),
+            "now instantiated: {xml2}"
+        );
         assert!(!xml2.contains("9999-12-31"), "{xml2}");
     }
 

@@ -111,13 +111,23 @@ mod tests {
 
     #[test]
     fn overlap_predicates() {
-        let args = [dv("1995-01-01"), dv("1995-06-30"), dv("1995-06-01"), dv("1995-12-31")];
+        let args = [
+            dv("1995-01-01"),
+            dv("1995-06-30"),
+            dv("1995-06-01"),
+            dv("1995-12-31"),
+        ];
         assert_eq!(call("toverlaps", &args), Value::Int(1));
         assert_eq!(call("tprecedes", &args), Value::Int(0));
         assert_eq!(call("overlapstart", &args), dv("1995-06-01"));
         assert_eq!(call("overlapend", &args), dv("1995-06-30"));
         assert_eq!(call("overlapdays", &args), Value::Int(30));
-        let disjoint = [dv("1995-01-01"), dv("1995-01-31"), dv("1995-06-01"), dv("1995-12-31")];
+        let disjoint = [
+            dv("1995-01-01"),
+            dv("1995-01-31"),
+            dv("1995-06-01"),
+            dv("1995-12-31"),
+        ];
         assert_eq!(call("toverlaps", &disjoint), Value::Int(0));
         assert_eq!(call("overlapstart", &disjoint), Value::Null);
         assert_eq!(call("tprecedes", &disjoint), Value::Int(1));
@@ -125,11 +135,26 @@ mod tests {
 
     #[test]
     fn containment_equality_adjacency() {
-        let a = [dv("1995-01-01"), dv("1995-12-31"), dv("1995-03-01"), dv("1995-04-30")];
+        let a = [
+            dv("1995-01-01"),
+            dv("1995-12-31"),
+            dv("1995-03-01"),
+            dv("1995-04-30"),
+        ];
         assert_eq!(call("tcontains", &a), Value::Int(1));
-        let e = [dv("1995-01-01"), dv("1995-12-31"), dv("1995-01-01"), dv("1995-12-31")];
+        let e = [
+            dv("1995-01-01"),
+            dv("1995-12-31"),
+            dv("1995-01-01"),
+            dv("1995-12-31"),
+        ];
         assert_eq!(call("tequals", &e), Value::Int(1));
-        let m = [dv("1995-01-01"), dv("1995-05-31"), dv("1995-06-01"), dv("1995-12-31")];
+        let m = [
+            dv("1995-01-01"),
+            dv("1995-05-31"),
+            dv("1995-06-01"),
+            dv("1995-12-31"),
+        ];
         assert_eq!(call("tmeets", &m), Value::Int(1));
     }
 
@@ -137,7 +162,10 @@ mod tests {
     fn tend_substitutes_now() {
         assert_eq!(call("tend", &[dv("9999-12-31")]), dv("2005-01-01"));
         assert_eq!(call("tend", &[dv("1995-05-31")]), dv("1995-05-31"));
-        assert_eq!(call("externalnow", &[dv("9999-12-31")]), Value::Str("now".into()));
+        assert_eq!(
+            call("externalnow", &[dv("9999-12-31")]),
+            Value::Str("now".into())
+        );
     }
 
     #[test]

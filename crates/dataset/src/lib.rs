@@ -18,6 +18,8 @@
 //! assert_eq!(ops.len(), again.len());
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use temporal::Date;
@@ -195,7 +197,13 @@ pub fn generate(config: &DatasetConfig) -> Vec<Op> {
             deptno: format!("d{:03}", dept + 1),
             at,
         });
-        emps.push(Emp { id, salary, title, dept, active: true });
+        emps.push(Emp {
+            id,
+            salary,
+            title,
+            dept,
+            active: true,
+        });
     };
 
     // Year 0: the initial population, hired through the year.
@@ -229,7 +237,11 @@ pub fn generate(config: &DatasetConfig) -> Vec<Op> {
             if new_salary != e.salary {
                 e.salary = new_salary;
                 let day = year_start + rng.gen_range(0..year_days);
-                ops.push(Op::Raise { id: e.id, salary: e.salary, at: day });
+                ops.push(Op::Raise {
+                    id: e.id,
+                    salary: e.salary,
+                    at: day,
+                });
             }
             // Title change.
             if rng.gen_bool(config.title_change_prob) {
@@ -284,9 +296,8 @@ fn sanitize(ops: Vec<Op>) -> Vec<Op> {
     let mut out = Vec::with_capacity(ops.len());
     for op in ops {
         let s = state.entry(op.id()).or_default();
-        let alive = |s: &S, at: Date| {
-            s.hired.is_some_and(|h| h <= at) && s.left.is_none_or(|l| at < l)
-        };
+        let alive =
+            |s: &S, at: Date| s.hired.is_some_and(|h| h <= at) && s.left.is_none_or(|l| at < l);
         match &op {
             Op::Hire { at, .. } => {
                 if s.hired.is_some() {
@@ -364,7 +375,12 @@ mod tests {
     use std::collections::HashMap;
 
     fn small() -> DatasetConfig {
-        DatasetConfig { employees: 40, years: 10, seed: 7, ..Default::default() }
+        DatasetConfig {
+            employees: 40,
+            years: 10,
+            seed: 7,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -421,7 +437,10 @@ mod tests {
         assert!(s.hires >= 100);
         assert!(s.raises > s.title_changes);
         assert!(s.raises > s.dept_changes);
-        assert!(s.raises as f64 > s.hires as f64 * 5.0, "many raises over 17 years");
+        assert!(
+            s.raises as f64 > s.hires as f64 * 5.0,
+            "many raises over 17 years"
+        );
         assert!(s.leaves > 0);
         // Horizon respected.
         let last = ops.iter().map(Op::at).max().unwrap();
@@ -430,8 +449,16 @@ mod tests {
 
     #[test]
     fn scaling_the_population_scales_the_stream() {
-        let small_n = generate(&DatasetConfig { employees: 50, ..Default::default() }).len();
-        let big_n = generate(&DatasetConfig { employees: 350, ..Default::default() }).len();
+        let small_n = generate(&DatasetConfig {
+            employees: 50,
+            ..Default::default()
+        })
+        .len();
+        let big_n = generate(&DatasetConfig {
+            employees: 350,
+            ..Default::default()
+        })
+        .len();
         let ratio = big_n as f64 / small_n as f64;
         assert!(
             (5.0..=9.0).contains(&ratio),

@@ -1,0 +1,100 @@
+//! Minimal reader/writer for `lint-baseline.toml`.
+//!
+//! The baseline is a deliberately tiny TOML subset — `[section]` headers
+//! and `"key" = integer` entries — written deterministically (sorted keys)
+//! so diffs stay reviewable and the ratchet check can demand an exact
+//! match. No external TOML crate is available offline, and nothing more is
+//! needed.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+pub type Section = BTreeMap<String, usize>;
+
+#[derive(Default, Debug, PartialEq, Eq)]
+pub struct Baseline {
+    pub sections: BTreeMap<String, Section>,
+}
+
+impl Baseline {
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut sections: BTreeMap<String, Section> = BTreeMap::new();
+        let mut current: Option<String> = None;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                let name = name.trim().to_string();
+                sections.entry(name.clone()).or_default();
+                current = Some(name);
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("baseline line {}: expected `key = value`", lineno + 1))?;
+            let key = key.trim().trim_matches('"').to_string();
+            let value: usize = value.trim().parse().map_err(|_| {
+                format!("baseline line {}: bad count {:?}", lineno + 1, value.trim())
+            })?;
+            let section = current.as_ref().ok_or_else(|| {
+                format!("baseline line {}: entry before any [section]", lineno + 1)
+            })?;
+            sections
+                .entry(section.clone())
+                .or_default()
+                .insert(key, value);
+        }
+        Ok(Baseline { sections })
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# Panic-path ratchet baseline, maintained by `archis-lint`.\n\
+             # Counts cover non-test code and may only decrease; after a burndown,\n\
+             # regenerate with `cargo run -p archis-lint --release -- --update-baseline`.\n",
+        );
+        for (name, section) in &self.sections {
+            let _ = writeln!(out, "\n[{name}]");
+            for (key, value) in section {
+                let _ = writeln!(out, "\"{key}\" = {value}");
+            }
+        }
+        out
+    }
+
+    pub fn section(&self, name: &str) -> Section {
+        self.sections.get(name).cloned().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut b = Baseline::default();
+        b.sections
+            .entry("panic-path".into())
+            .or_default()
+            .insert("crates/relstore/src/btree.rs".into(), 8);
+        b.sections
+            .entry("slice-index".into())
+            .or_default()
+            .insert("crates/core/src/value.rs".into(), 3);
+        let text = b.render();
+        assert_eq!(Baseline::parse(&text).unwrap(), b);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(
+            Baseline::parse("\"k\" = 3").is_err(),
+            "entry before section"
+        );
+        assert!(Baseline::parse("[s]\nk = x").is_err(), "non-numeric count");
+        assert!(Baseline::parse("[s]\njunk").is_err(), "missing equals");
+    }
+}

@@ -1,0 +1,353 @@
+//! A hand-rolled Rust token scanner.
+//!
+//! The lint pass cannot depend on `syn`/`proc-macro2` (offline build), so
+//! this module produces just enough structure for the rules: identifiers,
+//! single-character punctuation, literals and lifetimes, each tagged with a
+//! 1-based line number. Comments and whitespace are skipped, but
+//! `// lint:allow(reason)` markers are collected so diagnostics can be
+//! suppressed at specific sites.
+
+/// One lexical token. Punctuation is kept as single characters (`::` is two
+/// `Punct(':')` tokens) — the rules match short sequences, so there is no
+/// need for compound operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`fn`, `self`, `unwrap`, ...).
+    Ident(String),
+    /// Single punctuation character.
+    Punct(char),
+    /// String / raw-string / byte / char / numeric literal (content dropped).
+    Lit,
+    /// Lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+impl Token {
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.ident() == Some(s)
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+}
+
+/// Result of lexing one file: the token stream plus the lines on which a
+/// `lint:allow(...)` marker comment appears.
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub allow_marker_lines: Vec<u32>,
+}
+
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut allow_marker_lines = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    macro_rules! bump_lines {
+        ($slice:expr) => {
+            line += $slice.iter().filter(|&&c| c == b'\n').count() as u32
+        };
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                if src[start..i].contains("lint:allow(") {
+                    allow_marker_lines.push(line);
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Block comment, possibly nested.
+                let start = i;
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                bump_lines!(&b[start..i]);
+            }
+            b'"' => {
+                let start = i;
+                i = skip_string(b, i);
+                bump_lines!(&b[start..i]);
+                tokens.push(Token {
+                    tok: Tok::Lit,
+                    line,
+                });
+            }
+            b'r' | b'b' if starts_raw_or_byte_literal(b, i) => {
+                let start = i;
+                i = skip_raw_or_byte_literal(b, i);
+                let lit_line = line;
+                bump_lines!(&b[start..i]);
+                tokens.push(Token {
+                    tok: Tok::Lit,
+                    line: lit_line,
+                });
+            }
+            b'\'' => {
+                // Lifetime or char literal.
+                let next = b.get(i + 1).copied();
+                match next {
+                    Some(b'\\') => {
+                        // Escaped char literal: '\n', '\'', '\u{..}'.
+                        i += 2; // past '\ and the escape introducer
+                        while i < b.len() && b[i] != b'\'' {
+                            i += 1;
+                        }
+                        i += 1;
+                        tokens.push(Token {
+                            tok: Tok::Lit,
+                            line,
+                        });
+                    }
+                    Some(n) if n.is_ascii_alphabetic() || n == b'_' => {
+                        // Consume the identifier; a trailing quote makes it a
+                        // char literal ('a'), otherwise it is a lifetime.
+                        let mut j = i + 1;
+                        while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                            j += 1;
+                        }
+                        if b.get(j) == Some(&b'\'') {
+                            i = j + 1;
+                            tokens.push(Token {
+                                tok: Tok::Lit,
+                                line,
+                            });
+                        } else {
+                            i = j;
+                            tokens.push(Token {
+                                tok: Tok::Lifetime,
+                                line,
+                            });
+                        }
+                    }
+                    Some(_) => {
+                        // Char literal like '(' or '0'.
+                        i += 2;
+                        while i < b.len() && b[i] != b'\'' {
+                            i += 1;
+                        }
+                        i += 1;
+                        tokens.push(Token {
+                            tok: Tok::Lit,
+                            line,
+                        });
+                    }
+                    None => i += 1,
+                }
+            }
+            c if c.is_ascii_digit() => {
+                i = skip_number(b, i);
+                tokens.push(Token {
+                    tok: Tok::Lit,
+                    line,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    tok: Tok::Ident(src[start..i].to_string()),
+                    line,
+                });
+            }
+            c => {
+                tokens.push(Token {
+                    tok: Tok::Punct(c as char),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+
+    Lexed {
+        tokens,
+        allow_marker_lines,
+    }
+}
+
+/// Past-the-end index of a `"..."` string starting at `i`.
+fn skip_string(b: &[u8], mut i: usize) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Does `r`/`b` at position `i` introduce a raw string, byte string, raw
+/// byte string or byte char literal (`r"`, `r#`, `b"`, `b'`, `br"`, `br#`)?
+fn starts_raw_or_byte_literal(b: &[u8], i: usize) -> bool {
+    matches!(
+        &b[i..],
+        [b'r', b'"', ..]
+            | [b'r', b'#', ..]
+            | [b'b', b'"', ..]
+            | [b'b', b'\'', ..]
+            | [b'b', b'r', b'"', ..]
+            | [b'b', b'r', b'#', ..]
+    )
+}
+
+fn skip_raw_or_byte_literal(b: &[u8], mut i: usize) -> usize {
+    // Skip the prefix letters.
+    let raw = b[i] == b'r' || (b[i] == b'b' && b.get(i + 1) == Some(&b'r'));
+    while i < b.len() && (b[i] == b'r' || b[i] == b'b') {
+        i += 1;
+    }
+    if raw {
+        let mut hashes = 0;
+        while b.get(i) == Some(&b'#') {
+            hashes += 1;
+            i += 1;
+        }
+        // Opening quote.
+        i += 1;
+        // Find closing quote followed by the same number of hashes.
+        while i < b.len() {
+            if b[i] == b'"' && b[i + 1..].iter().take(hashes).all(|&c| c == b'#') {
+                return i + 1 + hashes;
+            }
+            i += 1;
+        }
+        i
+    } else if b.get(i) == Some(&b'\'') {
+        // Byte char literal b'x' / b'\n'.
+        i += 1;
+        while i < b.len() && b[i] != b'\'' {
+            if b[i] == b'\\' {
+                i += 1;
+            }
+            i += 1;
+        }
+        i + 1
+    } else {
+        skip_string(b, i)
+    }
+}
+
+/// Past-the-end index of a numeric literal starting at `i`. Stops before a
+/// `..` range operator so `0..10` lexes as two literals.
+fn skip_number(b: &[u8], mut i: usize) -> usize {
+    i += 1;
+    while i < b.len() {
+        let c = b[i];
+        let continues = c.is_ascii_alphanumeric()
+            || c == b'_'
+            || (c == b'.'
+                && b.get(i + 1) != Some(&b'.')
+                && b.get(i + 1).is_some_and(|d| d.is_ascii_digit()))
+            || ((c == b'+' || c == b'-')
+                && matches!(b.get(i.wrapping_sub(1)), Some(b'e') | Some(b'E')));
+        if !continues {
+            break;
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn comments_strings_and_chars_are_opaque() {
+        let src = r##"
+            // fn not_here() {}
+            /* fn also /* nested */ not_here() {} */
+            let s = "fn not_here() {}";
+            let r = r#"fn not_here() { "quoted" }"#;
+            let c = '{';
+            let e = '\'';
+            let b = b"fn bytes";
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|s| s == "not_here"));
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; }").tokens;
+        let lifetimes = toks.iter().filter(|t| t.tok == Tok::Lifetime).count();
+        assert_eq!(lifetimes, 2);
+        assert!(toks.iter().any(|t| t.tok == Tok::Lit), "char literal lexed");
+    }
+
+    #[test]
+    fn allow_markers_record_their_line() {
+        let src = "fn f() {}\n// lint:allow(reason here)\nfn g() {}\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.allow_marker_lines, vec![2]);
+    }
+
+    #[test]
+    fn range_does_not_swallow_dots() {
+        let toks = lex("&x[1..n]").tokens;
+        assert!(toks.iter().filter(|t| t.is_punct('.')).count() == 2);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let src = "let a = \"one\ntwo\";\nlet b = 1;";
+        let toks = lex(src).tokens;
+        let b_line = toks
+            .iter()
+            .find(|t| t.is_ident("b"))
+            .map(|t| t.line)
+            .unwrap();
+        assert_eq!(b_line, 3);
+    }
+}

@@ -1,0 +1,286 @@
+//! `archis-lint` — repo-specific static analysis for the ArchIS engine.
+//!
+//! Four analyses run over the storage-engine sources (`crates/relstore/src`
+//! and `crates/core/src` by default), built on a hand-rolled token scanner
+//! (no external parser crates; the build is offline):
+//!
+//! 1. **WAL discipline** (`wal-discipline`) — direct page writes, file
+//!    truncation or raw file creation outside the sanctioned modules.
+//! 2. **Lock order** (`lock-order`, `lock-across-io`) — cycles in the
+//!    inter-procedural lock-acquisition graph, and engine-level locks held
+//!    across pager/file I/O.
+//! 3. **Panic-path ratchet** (`panic-path`, `slice-index`) — per-file
+//!    counts of `unwrap`/`expect`/`panic!` and slice indexing in non-test
+//!    code, compared against the committed `lint-baseline.toml`.
+//! 4. **Error-drop audit** (`error-drop`) — `let _ =` and statement-final
+//!    `.ok()` on the commit/recovery/vacuum paths.
+//!
+//! Individual sites are suppressed with a `// lint:allow(reason)` comment
+//! on the same line or the line(s) immediately above; the reason is
+//! mandatory by convention and should say why the invariant holds.
+
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod model;
+pub mod rules {
+    pub mod error_drop;
+    pub mod lock_order;
+    pub mod panic_ratchet;
+    pub mod wal_discipline;
+}
+
+use baseline::Baseline;
+use model::SourceFile;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One finding, printed as `file:line: [rule] message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub file: PathBuf,
+    pub line: u32,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn new(file: &Path, line: u32, rule: &'static str, message: String) -> Diagnostic {
+        Diagnostic {
+            file: file.to_path_buf(),
+            line,
+            rule,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// What to scan and where the policy knobs sit. `Config::for_root` is the
+/// real tree's configuration; fixture tests build their own.
+pub struct Config {
+    /// Repo root; scanned paths and diagnostics are relative to it.
+    pub root: PathBuf,
+    /// Directories (relative to `root`) whose `.rs` files are scanned.
+    pub scan_dirs: Vec<PathBuf>,
+    /// File-name suffixes allowed to write pages / truncate / open files.
+    pub wal_allow: Vec<String>,
+    /// File-name suffixes audited by the error-drop rule (the
+    /// commit/recovery/vacuum paths).
+    pub error_drop_files: Vec<String>,
+    /// Receiver-field → candidate impl types, used to resolve calls like
+    /// `self.pool.get(...)` through the stoplist of common method names.
+    pub receiver_hints: Vec<(String, Vec<String>)>,
+    /// Path (relative to `root`) of the panic-ratchet baseline.
+    pub baseline_path: PathBuf,
+}
+
+impl Config {
+    /// The production configuration for the ArchIS repo rooted at `root`.
+    pub fn for_root(root: PathBuf) -> Config {
+        Config {
+            root,
+            scan_dirs: vec![
+                PathBuf::from("crates/relstore/src"),
+                PathBuf::from("crates/core/src"),
+            ],
+            wal_allow: vec!["wal.rs".into(), "pager.rs".into(), "failpoint.rs".into()],
+            error_drop_files: vec![
+                "wal.rs".into(),
+                "pager.rs".into(),
+                "catalog.rs".into(),
+                "archive.rs".into(),
+            ],
+            receiver_hints: vec![
+                ("pool".into(), vec!["BufferPool".into()]),
+                (
+                    "pager".into(),
+                    vec!["FilePager".into(), "MemPager".into(), "WalPager".into()],
+                ),
+                ("base".into(), vec!["FilePager".into(), "MemPager".into()]),
+                ("log".into(), vec!["FileLog".into(), "MemLog".into()]),
+                ("clustered".into(), vec!["BTree".into()]),
+                ("heap".into(), vec!["HeapFile".into()]),
+            ],
+            baseline_path: PathBuf::from("lint-baseline.toml"),
+        }
+    }
+
+    pub fn is_wal_allowed_file(&self, rel: &Path) -> bool {
+        Self::name_matches(rel, &self.wal_allow)
+    }
+
+    pub fn is_error_drop_audited(&self, rel: &Path) -> bool {
+        Self::name_matches(rel, &self.error_drop_files)
+    }
+
+    pub fn receiver_types(&self, field: &str) -> &[String] {
+        self.receiver_hints
+            .iter()
+            .find(|(f, _)| f == field)
+            .map(|(_, t)| t.as_slice())
+            .unwrap_or(&[])
+    }
+
+    fn name_matches(rel: &Path, names: &[String]) -> bool {
+        rel.file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| names.iter().any(|m| m == n))
+    }
+}
+
+/// Everything one run produces: site diagnostics plus the freshly counted
+/// ratchet sections (so `--update-baseline` can write them out).
+pub struct Outcome {
+    pub diagnostics: Vec<Diagnostic>,
+    pub counted: Baseline,
+}
+
+impl Outcome {
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Load the scanned files, run all four analyses and compare the panic
+/// counts against the committed baseline (unless `update_baseline`).
+pub fn run(cfg: &Config, update_baseline: bool) -> Result<Outcome, String> {
+    let files = load_files(cfg)?;
+    let mut diagnostics = Vec::new();
+
+    rules::wal_discipline::check(cfg, &files, &mut diagnostics);
+    rules::lock_order::check(cfg, &files, &mut diagnostics);
+    rules::error_drop::check(cfg, &files, &mut diagnostics);
+
+    let (panics, indexing) = rules::panic_ratchet::count(&files);
+    let mut counted = Baseline::default();
+    counted
+        .sections
+        .insert(rules::panic_ratchet::RULE_PANIC.into(), panics);
+    counted
+        .sections
+        .insert(rules::panic_ratchet::RULE_INDEX.into(), indexing);
+
+    if !update_baseline {
+        let path = cfg.root.join(&cfg.baseline_path);
+        let committed = match std::fs::read_to_string(&path) {
+            Ok(text) => Baseline::parse(&text)?,
+            Err(e) => {
+                return Err(format!(
+                    "cannot read baseline {}: {e}; run with --update-baseline to create it",
+                    path.display()
+                ))
+            }
+        };
+        ratchet_diagnostics(&counted, &committed, &mut diagnostics);
+    }
+
+    diagnostics.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(Outcome {
+        diagnostics,
+        counted,
+    })
+}
+
+/// Compare fresh counts to the committed baseline. Counts above baseline
+/// are regressions; counts below (or files that vanished) make the
+/// baseline stale — also an error, so the committed file always matches
+/// reality and every burndown tightens the ratchet in the same commit.
+fn ratchet_diagnostics(counted: &Baseline, committed: &Baseline, out: &mut Vec<Diagnostic>) {
+    for (section, rule) in [
+        (
+            rules::panic_ratchet::RULE_PANIC,
+            rules::panic_ratchet::RULE_PANIC,
+        ),
+        (
+            rules::panic_ratchet::RULE_INDEX,
+            rules::panic_ratchet::RULE_INDEX,
+        ),
+    ] {
+        let fresh = counted.section(section);
+        let base = committed.section(section);
+        for (file, &n) in &fresh {
+            let b = base.get(file).copied().unwrap_or(0);
+            if n > b {
+                out.push(Diagnostic::new(
+                    Path::new(file),
+                    0,
+                    rule,
+                    format!(
+                        "{section} count rose to {n} (baseline {b}); convert the new \
+                         sites to Result or annotate with lint:allow(reason)"
+                    ),
+                ));
+            } else if n < b {
+                out.push(Diagnostic::new(
+                    Path::new(file),
+                    0,
+                    rule,
+                    format!(
+                        "{section} count improved to {n} (baseline {b}); baseline is \
+                         stale, run --update-baseline to ratchet down"
+                    ),
+                ));
+            }
+        }
+        for (file, &b) in &base {
+            if !fresh.contains_key(file) && b > 0 {
+                out.push(Diagnostic::new(
+                    Path::new(file),
+                    0,
+                    rule,
+                    format!(
+                        "{section} count improved to 0 (baseline {b}); baseline is \
+                         stale, run --update-baseline to ratchet down"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn load_files(cfg: &Config) -> Result<Vec<SourceFile>, String> {
+    let mut paths = Vec::new();
+    for dir in &cfg.scan_dirs {
+        collect_rs(&cfg.root.join(dir), &mut paths)
+            .map_err(|e| format!("scanning {}: {e}", dir.display()))?;
+    }
+    paths.sort();
+    let mut files = Vec::new();
+    for path in paths {
+        let src = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let rel = path.strip_prefix(&cfg.root).unwrap_or(&path).to_path_buf();
+        files.push(SourceFile::parse(rel, &src));
+    }
+    if files.is_empty() {
+        return Err("no .rs files found under the scan directories".into());
+    }
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

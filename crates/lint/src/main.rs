@@ -1,0 +1,110 @@
+//! CLI for the ArchIS repo lint. Exit codes: 0 clean, 1 violations,
+//! 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
+
+use archis_lint::{run, Config};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+archis-lint [options]
+
+  --root DIR              repo root (default: nearest ancestor with Cargo.toml)
+  --scan DIR              scan directory relative to root (repeatable;
+                          replaces the default engine source dirs)
+  --baseline FILE         baseline path relative to root
+  --error-drop-file NAME  audit NAME for dropped errors (repeatable;
+                          replaces the default durability-path file set)
+  --update-baseline       rewrite the baseline from current counts
+  -h, --help              this text";
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("archis-lint: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn real_main() -> Result<ExitCode, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut scan: Vec<PathBuf> = Vec::new();
+    let mut baseline: Option<PathBuf> = None;
+    let mut error_drop: Vec<String> = Vec::new();
+    let mut update = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--root" => root = Some(PathBuf::from(value("--root")?)),
+            "--scan" => scan.push(PathBuf::from(value("--scan")?)),
+            "--baseline" => baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--error-drop-file" => error_drop.push(value("--error-drop-file")?),
+            "--update-baseline" => update = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => find_repo_root()?,
+    };
+    let mut cfg = Config::for_root(root);
+    if !scan.is_empty() {
+        cfg.scan_dirs = scan;
+    }
+    if let Some(b) = baseline {
+        cfg.baseline_path = b;
+    }
+    if !error_drop.is_empty() {
+        cfg.error_drop_files = error_drop;
+    }
+
+    let outcome = run(&cfg, update)?;
+    for d in &outcome.diagnostics {
+        println!("{d}");
+    }
+    if update {
+        let path = cfg.root.join(&cfg.baseline_path);
+        std::fs::write(&path, outcome.counted.render())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        eprintln!("archis-lint: baseline updated at {}", path.display());
+    }
+    if outcome.is_clean() {
+        eprintln!("archis-lint: clean");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!("archis-lint: {} violation(s)", outcome.diagnostics.len());
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+/// Walk up from the current directory to the workspace root (the first
+/// ancestor holding a `Cargo.toml` with a `[workspace]` table).
+fn find_repo_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| e.to_string())?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest).unwrap_or_default();
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("could not locate the workspace root; pass --root".into());
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! Per-file source model built on the token stream: `#[cfg(test)]` region
+//! detection, `lint:allow` suppression, and a lightweight function/impl
+//! index used by the lock-order analysis.
+
+use crate::lexer::{lex, Tok, Token};
+use std::path::PathBuf;
+
+/// One scanned source file.
+pub struct SourceFile {
+    /// Path relative to the lint root (what diagnostics print).
+    pub rel_path: PathBuf,
+    pub tokens: Vec<Token>,
+    /// `in_test[i]` is true when token `i` sits inside a `#[cfg(test)]`
+    /// item or a `#[test]` function body.
+    pub in_test: Vec<bool>,
+    /// Lines whose diagnostics are suppressed by a `lint:allow` marker.
+    suppressed_lines: Vec<u32>,
+    /// Functions defined in this file (token ranges index into `tokens`).
+    pub functions: Vec<Function>,
+}
+
+/// A `fn` item: its name, the `impl`/`trait` type it belongs to (if any)
+/// and the token range of its body (exclusive of the outer braces).
+pub struct Function {
+    pub name: String,
+    pub owner: Option<String>,
+    pub body: std::ops::Range<usize>,
+    pub line: u32,
+}
+
+impl Function {
+    /// `Type::name` when the function is a method, else just `name`.
+    pub fn qualified(&self) -> String {
+        match &self.owner {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+impl SourceFile {
+    pub fn parse(rel_path: PathBuf, src: &str) -> SourceFile {
+        let lexed = lex(src);
+        let tokens = lexed.tokens;
+        let in_test = mark_test_regions(&tokens);
+        let suppressed_lines = suppressed_lines(&tokens, &lexed.allow_marker_lines);
+        let functions = index_functions(&tokens);
+        SourceFile {
+            rel_path,
+            tokens,
+            in_test,
+            suppressed_lines,
+            functions,
+        }
+    }
+
+    pub fn is_suppressed(&self, line: u32) -> bool {
+        self.suppressed_lines.contains(&line)
+    }
+
+    pub fn token_in_test(&self, idx: usize) -> bool {
+        self.in_test.get(idx).copied().unwrap_or(false)
+    }
+}
+
+/// A `lint:allow` marker suppresses diagnostics on its own line when the
+/// line also holds code (suffix form), otherwise on the next line that
+/// holds a token — which skips continuation comment lines, so a multi-line
+/// allow comment still reaches the statement below it.
+fn suppressed_lines(tokens: &[Token], markers: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    for &m in markers {
+        if tokens.iter().any(|t| t.line == m) {
+            out.push(m);
+        } else if let Some(next) = tokens.iter().map(|t| t.line).find(|&l| l > m) {
+            out.push(next);
+        }
+    }
+    out
+}
+
+/// Mark every token inside a `#[cfg(test)]` / `#[test]` item. The attribute
+/// arms the *next* braced block; an intervening `;` (attribute on a
+/// brace-less item) disarms it.
+fn mark_test_regions(tokens: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            // Collect the attribute tokens up to the matching `]`.
+            let mut j = i + 2;
+            let mut depth = 1;
+            let mut names = Vec::new();
+            while j < tokens.len() && depth > 0 {
+                match &tokens[j].tok {
+                    Tok::Punct('[') => depth += 1,
+                    Tok::Punct(']') => depth -= 1,
+                    Tok::Ident(s) => names.push(s.as_str().to_string()),
+                    _ => {}
+                }
+                j += 1;
+            }
+            let is_test_attr = match names.first().map(String::as_str) {
+                Some("test") => true,
+                Some("cfg") => names.iter().any(|n| n == "test"),
+                _ => false,
+            };
+            if is_test_attr {
+                // Find the block the attribute applies to.
+                let mut k = j;
+                let mut found = None;
+                while k < tokens.len() {
+                    match &tokens[k].tok {
+                        Tok::Punct('{') => {
+                            found = Some(k);
+                            break;
+                        }
+                        Tok::Punct(';') => break,
+                        _ => k += 1,
+                    }
+                }
+                if let Some(open) = found {
+                    let close = matching_brace(tokens, open);
+                    for flag in in_test.iter_mut().take(close + 1).skip(i) {
+                        *flag = true;
+                    }
+                    i = j;
+                    continue;
+                }
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    in_test
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token).
+pub fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        match t.tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Walk the token stream recording `impl`/`trait` owners and `fn` bodies.
+fn index_functions(tokens: &[Token]) -> Vec<Function> {
+    let mut functions = Vec::new();
+    // Stack of (close_brace_index, owner_name) for impl/trait blocks.
+    let mut owners: Vec<(usize, String)> = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_ident("impl") || t.is_ident("trait") {
+            if let Some((open, name)) = impl_target(tokens, i) {
+                owners.push((matching_brace(tokens, open), name));
+                i = open + 1;
+                continue;
+            }
+        }
+        if t.is_ident("fn") {
+            if let Some(name_tok) = tokens.get(i + 1) {
+                if let Some(name) = name_tok.ident() {
+                    // Find the body `{` (or `;` for a trait signature) at
+                    // paren/bracket depth 0.
+                    let mut j = i + 2;
+                    let mut depth = 0i32;
+                    let mut body = None;
+                    while j < tokens.len() {
+                        match tokens[j].tok {
+                            Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+                            Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+                            Tok::Punct('{') if depth == 0 => {
+                                body = Some(j);
+                                break;
+                            }
+                            Tok::Punct(';') if depth == 0 => break,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    if let Some(open) = body {
+                        let close = matching_brace(tokens, open);
+                        let owner = owners
+                            .iter()
+                            .rev()
+                            .find(|(end, _)| *end > i)
+                            .map(|(_, n)| n.clone());
+                        functions.push(Function {
+                            name: name.to_string(),
+                            owner,
+                            body: open + 1..close,
+                            line: t.line,
+                        });
+                        // Keep scanning inside the body too: nested fns are
+                        // rare but harmless to index twice-removed.
+                        i = open + 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    functions
+}
+
+/// For an `impl`/`trait` keyword at `i`, return the opening brace index and
+/// the implemented type's name (last path segment; for `impl Trait for T`
+/// the segment after `for`).
+fn impl_target(tokens: &[Token], i: usize) -> Option<(usize, String)> {
+    let mut j = i + 1;
+    let mut after_for = false;
+    let mut angle = 0i32;
+    let mut last_ident: Option<String> = None;
+    let mut for_ident: Option<String> = None;
+    while j < tokens.len() {
+        match &tokens[j].tok {
+            // Generic parameter lists (`impl<P: Pager> WalPager<P>`) must
+            // not contribute type names; only depth-0 idents count.
+            Tok::Punct('<') => angle += 1,
+            Tok::Punct('>') => angle -= 1,
+            Tok::Punct('{') => {
+                let name = if after_for { for_ident } else { last_ident };
+                return name.map(|n| (j, n));
+            }
+            Tok::Punct(';') => return None,
+            _ if angle > 0 => {}
+            Tok::Ident(s) if s == "for" => after_for = true,
+            Tok::Ident(s) if s == "where" => {
+                // Type name is settled before the where clause.
+                let mut k = j;
+                while k < tokens.len() && !tokens[k].is_punct('{') {
+                    k += 1;
+                }
+                let name = if after_for { for_ident } else { last_ident };
+                return name.map(|n| (k, n));
+            }
+            Tok::Ident(s) => {
+                if after_for {
+                    for_ident = Some(s.clone());
+                } else {
+                    last_ident = Some(s.clone());
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> SourceFile {
+        SourceFile::parse(PathBuf::from("x.rs"), src)
+    }
+
+    #[test]
+    fn cfg_test_mod_is_marked() {
+        let src =
+            "fn live() { a.unwrap(); }\n#[cfg(test)]\nmod tests {\n  fn t() { b.unwrap(); }\n}\n";
+        let f = parse(src);
+        let unwraps: Vec<(u32, bool)> = f
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("unwrap"))
+            .map(|(i, t)| (t.line, f.token_in_test(i)))
+            .collect();
+        assert_eq!(unwraps, vec![(1, false), (4, true)]);
+    }
+
+    #[test]
+    fn functions_and_owners_are_indexed() {
+        let src = "impl<P: Pager> WalPager<P> { fn commit(&self) {} }\n\
+                   impl Pager for MemPager { fn write_page(&self) {} }\n\
+                   fn free() {}\n\
+                   trait Log { fn append(&self) { } fn sig(&self); }";
+        let f = parse(src);
+        let names: Vec<String> = f.functions.iter().map(Function::qualified).collect();
+        assert_eq!(
+            names,
+            vec![
+                "WalPager::commit",
+                "MemPager::write_page",
+                "free",
+                "Log::append"
+            ]
+        );
+    }
+
+    #[test]
+    fn suffix_and_preceding_allow_markers_suppress() {
+        let src = "do_thing(); // lint:allow(suffix)\n\
+                   // lint:allow(block form spanning\n\
+                   // two comment lines)\n\
+                   other_thing();\n\
+                   third_thing();\n";
+        let f = parse(src);
+        assert!(f.is_suppressed(1));
+        assert!(f.is_suppressed(4));
+        assert!(!f.is_suppressed(5));
+    }
+}

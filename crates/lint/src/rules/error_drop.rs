@@ -1,0 +1,66 @@
+//! Error-drop audit for the commit / recovery / vacuum paths.
+//!
+//! `#![deny(unused_must_use)]` already forbids silently ignoring a
+//! `Result`, but two idioms launder one past the compiler: `let _ = ...`
+//! and a statement-final `.ok()`. In most code that is a style choice; on
+//! the durability paths it hides exactly the failures (short write, failed
+//! fsync, lost lock file) that recovery depends on surfacing. This rule
+//! flags both idioms in the audited files (`wal.rs`, `pager.rs`,
+//! `catalog.rs`, `archive.rs` by default) outside test code. Intentional
+//! drops — e.g. best-effort flush in a `Drop` impl — carry a
+//! `// lint:allow(reason)` marker.
+
+use crate::model::SourceFile;
+use crate::{Config, Diagnostic};
+
+pub const RULE: &str = "error-drop";
+
+pub fn check(cfg: &Config, files: &[SourceFile], out: &mut Vec<Diagnostic>) {
+    for file in files {
+        if !cfg.is_error_drop_audited(&file.rel_path) {
+            continue;
+        }
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if file.token_in_test(i) {
+                continue;
+            }
+            let t = &toks[i];
+            // `let _ =` (exactly the wildcard pattern, not `_name`).
+            if t.is_ident("let")
+                && toks.get(i + 1).is_some_and(|a| a.is_ident("_"))
+                && toks.get(i + 2).is_some_and(|a| a.is_punct('='))
+                && !file.is_suppressed(t.line)
+            {
+                out.push(Diagnostic::new(
+                    &file.rel_path,
+                    t.line,
+                    RULE,
+                    "`let _ =` discards a Result on a durability path; handle or \
+                     log the error"
+                        .into(),
+                ));
+            }
+            // Statement-final `.ok();` — using `.ok()` as a combinator
+            // (e.g. `.ok().map(...)`) is fine.
+            if t.is_punct('.')
+                && toks.get(i + 1).is_some_and(|a| a.is_ident("ok"))
+                && toks.get(i + 2).is_some_and(|a| a.is_punct('('))
+                && toks.get(i + 3).is_some_and(|a| a.is_punct(')'))
+                && toks.get(i + 4).is_some_and(|a| a.is_punct(';'))
+            {
+                let line = toks[i + 1].line;
+                if !file.is_suppressed(line) {
+                    out.push(Diagnostic::new(
+                        &file.rel_path,
+                        line,
+                        RULE,
+                        "statement-final `.ok()` swallows an error on a durability \
+                         path"
+                            .into(),
+                    ));
+                }
+            }
+        }
+    }
+}

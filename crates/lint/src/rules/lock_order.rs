@@ -1,0 +1,822 @@
+//! Lock-order analysis: guard scopes, an inter-procedural lock-acquisition
+//! graph, cycle detection, and locks held across pager/file I/O.
+//!
+//! The engine uses `parking_lot`-style locks (`Mutex::lock`,
+//! `RwLock::read`/`write` — all zero-argument calls), which makes
+//! acquisitions recognisable in the token stream without type information.
+//!
+//! **Lock identity.** `self.state.lock()` inside `impl WalPager` is the
+//! lock `WalPager.state`; `self.shard_of(id).lock()` is `WalPager.shard_of()`
+//! (all shards conflated — ordering between shards of one array is the
+//! caller's problem, ordering against *other* locks is ours). A guard on a
+//! plain local (`frame.write()` where `frame` came from a pool lookup) gets
+//! a function-scoped identity: page latches are fine-grained and
+//! deliberately held across pool calls (B+tree lock coupling), so they
+//! participate in the graph but are exempt from the held-across-I/O rule.
+//!
+//! **Guard scope.** A `let`-bound guard lives to the end of its enclosing
+//! block, or to `drop(guard)`; a temporary guard
+//! (`self.file.lock().sync_data()`) lives to the end of its statement.
+//!
+//! **Inter-procedural.** Each function's may-acquire set is propagated
+//! through a resolved call graph to a fixpoint and feeds the ordering
+//! edges. Calls resolve only when the callee is identifiable: `self.x(...)`
+//! within the owning type, `Type::x(...)` by path, `self.pool.get(...)`
+//! via the receiver-type hints in the [`Config`], and free `helper(...)`
+//! calls to free functions. Method calls on arbitrary receivers are left
+//! unresolved — bare-name matching of common verbs (`delete`, `scan`)
+//! across impls fabricates edges and with them phantom cycles.
+//!
+//! The held-across-I/O check, by contrast, stays *intra*-procedural: only
+//! a direct call to a syscall-adjacent function (`sync_data`,
+//! `write_page`, ...) under a field lock is flagged. Propagating I/O
+//! transitively condemns the entire engine — by design every mutation
+//! path ends at the pager while some coarse lock serialises it.
+
+use crate::lexer::Tok;
+use crate::model::{Function, SourceFile};
+use crate::{Config, Diagnostic};
+use std::collections::{BTreeMap, BTreeSet};
+
+pub const RULE_CYCLE: &str = "lock-order";
+pub const RULE_IO: &str = "lock-across-io";
+
+/// Function names that perform pager or file I/O directly.
+const IO_FNS: &[&str] = &[
+    "sync_all",
+    "sync_data",
+    "fsync",
+    "flush",
+    "write_page",
+    "read_page",
+    "write_all",
+    "write_vectored",
+    "read_exact",
+    "read_to_end",
+    "set_len",
+];
+
+/// Common std method names: never resolved to engine functions by bare
+/// name (only via a receiver-type hint), to keep the call graph sane.
+const STOPLIST: &[&str] = &[
+    "new",
+    "default",
+    "clone",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "len",
+    "is_empty",
+    "contains",
+    "contains_key",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "map",
+    "and_then",
+    "or_else",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "expect",
+    "ok",
+    "err",
+    "ok_or",
+    "ok_or_else",
+    "entry",
+    "or_insert",
+    "or_insert_with",
+    "keys",
+    "values",
+    "drain",
+    "clear",
+    "extend",
+    "extend_from_slice",
+    "copy_from_slice",
+    "to_vec",
+    "to_string",
+    "as_ref",
+    "as_mut",
+    "as_slice",
+    "as_bytes",
+    "split",
+    "split_at",
+    "join",
+    "find",
+    "position",
+    "filter",
+    "filter_map",
+    "fold",
+    "any",
+    "all",
+    "count",
+    "sum",
+    "min",
+    "max",
+    "rev",
+    "chain",
+    "zip",
+    "enumerate",
+    "collect",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "binary_search",
+    "binary_search_by",
+    "retain",
+    "take",
+    "replace",
+    "swap",
+    "resize",
+    "truncate",
+    "reserve",
+    "with_capacity",
+    "from",
+    "into",
+    "try_into",
+    "try_from",
+    "parse",
+    "eq",
+    "ne",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "fmt",
+    "starts_with",
+    "ends_with",
+    "trim",
+    "last",
+    "first",
+    "cloned",
+    "copied",
+    "flat_map",
+    "flatten",
+    "windows",
+    "chunks",
+    "to_le_bytes",
+    "drop",
+    "lock",
+    "read",
+    "write",
+    "try_lock",
+    "display",
+    "min_by_key",
+    "max_by_key",
+    "saturating_sub",
+    "saturating_add",
+    "metadata",
+];
+
+/// One lock acquisition inside a function body.
+struct Acq {
+    id: String,
+    tok: usize,
+    scope_end: usize,
+    /// True for `Type.field` identities (coarse, engine-level locks);
+    /// false for function-local guard identities (page latches).
+    is_field: bool,
+}
+
+/// One call site inside a function body.
+struct Call {
+    name: String,
+    kind: CallKind,
+    tok: usize,
+    line: u32,
+}
+
+enum CallKind {
+    /// `self.name(...)` — resolve within the owning type.
+    SelfMethod,
+    /// `Type::name(...)` — resolve within `Type`.
+    Path(String),
+    /// Method call whose receiver resolves to a known engine field.
+    Hinted(String),
+    /// Free-standing call `name(...)` — resolve among free functions.
+    Free,
+    /// Method call on an unknown receiver: never resolved. Bare-name
+    /// resolution of common verbs (`delete`, `scan`, ...) across impls
+    /// fabricates call edges — and with them phantom lock cycles.
+    Unresolved,
+}
+
+struct FnInfo {
+    file: usize,
+    qualified: String,
+    name: String,
+    owner: Option<String>,
+    acquires: Vec<Acq>,
+    calls: Vec<Call>,
+}
+
+pub fn check(cfg: &Config, files: &[SourceFile], out: &mut Vec<Diagnostic>) {
+    let mut fns: Vec<FnInfo> = Vec::new();
+    for (fidx, file) in files.iter().enumerate() {
+        for f in &file.functions {
+            if file.token_in_test(f.body.start) {
+                continue;
+            }
+            fns.push(analyze_fn(fidx, file, f));
+        }
+    }
+
+    // --- Fixpoint: may-acquire sets through the resolved call graph. ---
+    let by_name = index_fns(&fns);
+    let mut may_acquire: Vec<BTreeSet<String>> = fns
+        .iter()
+        .map(|f| f.acquires.iter().map(|a| a.id.clone()).collect())
+        .collect();
+    loop {
+        let mut changed = false;
+        for i in 0..fns.len() {
+            for c in &fns[i].calls {
+                for j in resolve(cfg, &fns, &by_name, i, c) {
+                    if !may_acquire[j].is_subset(&may_acquire[i]) {
+                        let extra: Vec<String> = may_acquire[j]
+                            .difference(&may_acquire[i])
+                            .cloned()
+                            .collect();
+                        may_acquire[i].extend(extra);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // --- Per-guard-scope events: order edges and I/O-under-lock. ---
+    // Edge: (from, to) -> (file idx, line, description).
+    let mut edges: BTreeMap<(String, String), (usize, u32, String)> = BTreeMap::new();
+    for (i, f) in fns.iter().enumerate() {
+        let file = &files[f.file];
+        for a in &f.acquires {
+            for b in &f.acquires {
+                if b.tok > a.tok && b.tok < a.scope_end {
+                    let line = file.tokens[b.tok].line;
+                    edges
+                        .entry((a.id.clone(), b.id.clone()))
+                        .or_insert_with(|| (f.file, line, format!("in `{}`", f.qualified)));
+                }
+            }
+            for c in &f.calls {
+                if c.tok <= a.tok || c.tok >= a.scope_end {
+                    continue;
+                }
+                let cands = resolve(cfg, &fns, &by_name, i, c);
+                // Direct I/O calls only: transitive propagation flags the
+                // whole engine (every path bottoms out in pager I/O under
+                // the single-writer design); a *new* lexically visible
+                // syscall under a coarse lock is the reviewable event.
+                let io = IO_FNS.contains(&c.name.as_str());
+                if io && a.is_field && !file.token_in_test(c.tok) && !file.is_suppressed(c.line) {
+                    out.push(Diagnostic::new(
+                        &file.rel_path,
+                        c.line,
+                        RULE_IO,
+                        format!(
+                            "lock `{}` held across I/O call `{}` in `{}`; \
+                             a slow disk stalls every thread waiting on this lock",
+                            a.id, c.name, f.qualified
+                        ),
+                    ));
+                }
+                for &j in &cands {
+                    for x in &may_acquire[j] {
+                        edges.entry((a.id.clone(), x.clone())).or_insert_with(|| {
+                            (
+                                f.file,
+                                c.line,
+                                format!("via call to `{}` in `{}`", c.name, f.qualified),
+                            )
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    report_cycles(files, &edges, out);
+}
+
+/// Find elementary cycles among the lock-order edges and report each SCC
+/// once. A cycle is suppressed when any of its edge sites carries a
+/// `lint:allow` marker (the marker documents the sanctioned ordering).
+fn report_cycles(
+    files: &[SourceFile],
+    edges: &BTreeMap<(String, String), (usize, u32, String)>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut nodes: BTreeSet<&String> = BTreeSet::new();
+    for (from, to) in edges.keys() {
+        nodes.insert(from);
+        nodes.insert(to);
+    }
+    let idx: BTreeMap<&String, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let names: Vec<&String> = nodes.into_iter().collect();
+    let mut adj = vec![Vec::new(); names.len()];
+    for (from, to) in edges.keys() {
+        adj[idx[from]].push(idx[to]);
+    }
+    for scc in tarjan(&adj) {
+        let cyclic = scc.len() > 1 || (scc.len() == 1 && adj[scc[0]].contains(&scc[0]));
+        if !cyclic {
+            continue;
+        }
+        let members: BTreeSet<usize> = scc.iter().copied().collect();
+        // Collect the edges inside the SCC, in deterministic order.
+        let mut sites = Vec::new();
+        let mut suppressed = false;
+        for ((from, to), (file, line, how)) in edges {
+            if members.contains(&idx[from]) && members.contains(&idx[to]) {
+                if files[*file].is_suppressed(*line) {
+                    suppressed = true;
+                }
+                sites.push(format!(
+                    "`{from}` then `{to}` ({how} at {}:{line})",
+                    files[*file].rel_path.display()
+                ));
+            }
+        }
+        if suppressed || sites.is_empty() {
+            continue;
+        }
+        let ((_, _), (file, line, _)) = edges
+            .iter()
+            .find(|((f, t), _)| members.contains(&idx[f]) && members.contains(&idx[t]))
+            .expect("scc has at least one edge");
+        out.push(Diagnostic::new(
+            &files[*file].rel_path,
+            *line,
+            RULE_CYCLE,
+            format!("lock-order cycle: {}", sites.join("; ")),
+        ));
+    }
+}
+
+/// Iterative Tarjan SCC.
+fn tarjan(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    #[derive(Clone)]
+    struct NodeState {
+        index: Option<usize>,
+        low: usize,
+        on_stack: bool,
+    }
+    let n = adj.len();
+    let mut st = vec![
+        NodeState {
+            index: None,
+            low: 0,
+            on_stack: false
+        };
+        n
+    ];
+    let mut stack = Vec::new();
+    let mut sccs = Vec::new();
+    let mut counter = 0usize;
+    for start in 0..n {
+        if st[start].index.is_some() {
+            continue;
+        }
+        // Explicit DFS stack: (node, next-neighbour index).
+        let mut dfs: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&(v, ni)) = dfs.last() {
+            if st[v].index.is_none() {
+                st[v].index = Some(counter);
+                st[v].low = counter;
+                counter += 1;
+                stack.push(v);
+                st[v].on_stack = true;
+            }
+            if ni < adj[v].len() {
+                if let Some(frame) = dfs.last_mut() {
+                    frame.1 += 1;
+                }
+                let w = adj[v][ni];
+                if st[w].index.is_none() {
+                    dfs.push((w, 0));
+                } else if st[w].on_stack {
+                    st[v].low = st[v].low.min(st[w].index.unwrap_or(usize::MAX));
+                }
+            } else {
+                dfs.pop();
+                if let Some(&(parent, _)) = dfs.last() {
+                    let vlow = st[v].low;
+                    st[parent].low = st[parent].low.min(vlow);
+                }
+                if Some(st[v].low) == st[v].index {
+                    let mut scc = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        st[w].on_stack = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(scc);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+fn index_fns(fns: &[FnInfo]) -> BTreeMap<String, Vec<usize>> {
+    let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (i, f) in fns.iter().enumerate() {
+        by_name.entry(f.name.clone()).or_default().push(i);
+    }
+    by_name
+}
+
+/// Candidate callees for a call site, as indices into `fns`. Call sites
+/// are few enough that recomputing the small Vec each time is cheap.
+fn resolve(
+    cfg: &Config,
+    fns: &[FnInfo],
+    by_name: &BTreeMap<String, Vec<usize>>,
+    caller: usize,
+    c: &Call,
+) -> Vec<usize> {
+    let all = match by_name.get(&c.name) {
+        Some(v) => v.as_slice(),
+        None => return Vec::new(),
+    };
+    let caller_owner = fns[caller].owner.clone();
+    match &c.kind {
+        CallKind::SelfMethod => all
+            .iter()
+            .copied()
+            .filter(|&j| fns[j].owner == caller_owner)
+            .collect(),
+        CallKind::Path(t) => all
+            .iter()
+            .copied()
+            .filter(|&j| fns[j].owner.as_deref() == Some(t.as_str()))
+            .collect(),
+        CallKind::Hinted(field) => {
+            let types = cfg.receiver_types(field);
+            all.iter()
+                .copied()
+                .filter(|&j| {
+                    j != caller
+                        && fns[j]
+                            .owner
+                            .as_deref()
+                            .is_some_and(|o| types.iter().any(|t| t == o))
+                })
+                .collect()
+        }
+        CallKind::Free => {
+            if STOPLIST.contains(&c.name.as_str()) {
+                Vec::new()
+            } else {
+                all.iter()
+                    .copied()
+                    .filter(|&j| j != caller && fns[j].owner.is_none())
+                    .collect()
+            }
+        }
+        CallKind::Unresolved => Vec::new(),
+    }
+}
+
+/// Extract acquisitions, calls and direct-I/O facts from one function body.
+fn analyze_fn(fidx: usize, file: &SourceFile, f: &Function) -> FnInfo {
+    let toks = &file.tokens;
+    let body = f.body.clone();
+    let locals = local_field_map(toks, &body);
+    let mut acquires = Vec::new();
+    let mut calls = Vec::new();
+
+    let mut i = body.start;
+    while i < body.end {
+        let t = &toks[i];
+        // Acquisition: `.lock()` / `.read()` / `.write()` with no args.
+        if t.is_punct('.')
+            && toks
+                .get(i + 1)
+                .is_some_and(|n| n.is_ident("lock") || n.is_ident("read") || n.is_ident("write"))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct('('))
+            && toks.get(i + 3).is_some_and(|n| n.is_punct(')'))
+        {
+            let (id, is_field) = lock_identity(toks, i, f, &locals);
+            // The binding holds the guard only when the statement ends
+            // right after the call (`let g = x.lock();`, including the
+            // `&mut *` form, via temporary lifetime extension). In
+            // `let n = x.lock().field;` the guard is a temporary that
+            // dies at the `;` — n binds a copy, not the guard.
+            let named = if toks.get(i + 4).is_some_and(|t| t.is_punct(';')) {
+                guard_name(toks, &body, i)
+            } else {
+                None
+            };
+            let scope_end = match &named {
+                Some(name) => {
+                    let end = enclosing_close(toks, &body, i);
+                    drop_site(toks, i + 4, end, name).unwrap_or(end)
+                }
+                None => statement_end(toks, &body, i + 4),
+            };
+            acquires.push(Acq {
+                id,
+                tok: i + 1,
+                scope_end,
+                is_field,
+            });
+            i += 4;
+            continue;
+        }
+        // Call sites: `name(`, `.name(`, `Type::name(` — but not macros
+        // (`name!(`) and not definitions (`fn name(`).
+        if let Tok::Ident(name) = &t.tok {
+            let next_is_paren = toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+            if next_is_paren && i > 0 && !toks[i - 1].is_ident("fn") && !toks[i - 1].is_punct('!') {
+                let kind = call_kind(toks, i, &locals);
+                calls.push(Call {
+                    name: name.clone(),
+                    kind,
+                    tok: i,
+                    line: t.line,
+                });
+            }
+        }
+        i += 1;
+    }
+
+    FnInfo {
+        file: fidx,
+        qualified: f.qualified(),
+        name: f.name.clone(),
+        owner: f.owner.clone(),
+        acquires,
+        calls,
+    }
+}
+
+/// Map `let v = [&][mut][*] self.field ...;` locals to their field name.
+fn local_field_map(
+    toks: &[crate::lexer::Token],
+    body: &std::ops::Range<usize>,
+) -> BTreeMap<String, String> {
+    let mut map = BTreeMap::new();
+    let mut i = body.start;
+    while i + 4 < body.end {
+        if toks[i].is_ident("let") {
+            let mut j = i + 1;
+            if toks[j].is_ident("mut") {
+                j += 1;
+            }
+            if let Tok::Ident(var) = &toks[j].tok {
+                if toks.get(j + 1).is_some_and(|t| t.is_punct('=')) {
+                    let mut k = j + 2;
+                    while k < body.end
+                        && (toks[k].is_punct('&')
+                            || toks[k].is_punct('*')
+                            || toks[k].is_ident("mut"))
+                    {
+                        k += 1;
+                    }
+                    if toks.get(k).is_some_and(|t| t.is_ident("self"))
+                        && toks.get(k + 1).is_some_and(|t| t.is_punct('.'))
+                    {
+                        if let Some(Tok::Ident(field)) = toks.get(k + 2).map(|t| &t.tok) {
+                            map.insert(var.clone(), field.clone());
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    map
+}
+
+/// Walk the receiver chain backwards from the `.` at `dot` and build the
+/// lock identity.
+fn lock_identity(
+    toks: &[crate::lexer::Token],
+    dot: usize,
+    f: &Function,
+    locals: &BTreeMap<String, String>,
+) -> (String, bool) {
+    let chain = receiver_chain(toks, dot);
+    let owner = f.owner.clone().unwrap_or_else(|| "fn".into());
+    match chain.first().map(String::as_str) {
+        Some("self") if chain.len() >= 2 => (format!("{owner}.{}", chain[1]), true),
+        Some(var) => {
+            if let Some(field) = locals.get(var) {
+                (format!("{owner}.{field}"), true)
+            } else {
+                (format!("{}:{}", f.qualified(), chain.join(".")), false)
+            }
+        }
+        None => (format!("{}:anon@{}", f.qualified(), toks[dot].line), false),
+    }
+}
+
+/// Classify a call site by its receiver.
+fn call_kind(
+    toks: &[crate::lexer::Token],
+    name_idx: usize,
+    locals: &BTreeMap<String, String>,
+) -> CallKind {
+    if name_idx >= 1 && toks[name_idx - 1].is_punct('.') {
+        let chain = receiver_chain(toks, name_idx - 1);
+        return match chain.as_slice() {
+            [only] if only == "self" => CallKind::SelfMethod,
+            [.., last] => {
+                // `self.base.read_page(...)` → hint "base";
+                // `pool.get(...)` with `let pool = self.pool` → hint "pool".
+                let field = if chain.first().map(String::as_str) == Some("self") {
+                    Some(last.clone())
+                } else {
+                    locals.get(chain[0].as_str()).cloned()
+                };
+                match field {
+                    Some(fld) => CallKind::Hinted(fld),
+                    None => CallKind::Unresolved,
+                }
+            }
+            [] => CallKind::Unresolved,
+        };
+    }
+    if name_idx >= 2 && toks[name_idx - 1].is_punct(':') && toks[name_idx - 2].is_punct(':') {
+        if let Some(Tok::Ident(t)) = toks.get(name_idx.wrapping_sub(3)).map(|t| &t.tok) {
+            return CallKind::Path(t.clone());
+        }
+    }
+    CallKind::Free
+}
+
+/// The dotted receiver chain ending at the `.` token `dot`, in source
+/// order. Method calls in the chain keep `()` (`self.shard_of(id).lock()`
+/// → `["self", "shard_of()"]`); index expressions are skipped
+/// (`self.shards[i]` → `["self", "shards"]`).
+fn receiver_chain(toks: &[crate::lexer::Token], dot: usize) -> Vec<String> {
+    let mut chain = Vec::new();
+    let mut j = dot as isize - 1;
+    while j >= 0 {
+        match &toks[j as usize].tok {
+            Tok::Punct(')') => {
+                // Balance back to the matching `(`; the ident before it is
+                // a method or function name.
+                let mut depth = 1;
+                let mut k = j - 1;
+                while k >= 0 && depth > 0 {
+                    match toks[k as usize].tok {
+                        Tok::Punct(')') => depth += 1,
+                        Tok::Punct('(') => depth -= 1,
+                        _ => {}
+                    }
+                    if depth > 0 {
+                        k -= 1;
+                    }
+                }
+                let name_at = k - 1;
+                if name_at >= 0 {
+                    if let Tok::Ident(m) = &toks[name_at as usize].tok {
+                        chain.push(format!("{m}()"));
+                        j = name_at - 1;
+                        if j >= 0 && toks[j as usize].is_punct('.') {
+                            j -= 1;
+                            continue;
+                        }
+                    }
+                }
+                break;
+            }
+            Tok::Punct(']') => {
+                let mut depth = 1;
+                let mut k = j - 1;
+                while k >= 0 && depth > 0 {
+                    match toks[k as usize].tok {
+                        Tok::Punct(']') => depth += 1,
+                        Tok::Punct('[') => depth -= 1,
+                        _ => {}
+                    }
+                    if depth > 0 {
+                        k -= 1;
+                    }
+                }
+                j = k - 1;
+            }
+            Tok::Ident(s) => {
+                chain.push(s.clone());
+                j -= 1;
+                if j >= 0 && toks[j as usize].is_punct('.') {
+                    j -= 1;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    chain.reverse();
+    chain
+}
+
+/// If the statement containing the acquisition at `dot` is
+/// `let [mut] NAME = ...`, return the guard's name.
+fn guard_name(
+    toks: &[crate::lexer::Token],
+    body: &std::ops::Range<usize>,
+    dot: usize,
+) -> Option<String> {
+    // Scan back to the statement start at balanced depth.
+    let mut depth = 0i32;
+    let mut j = dot as isize - 1;
+    let start = loop {
+        if j < body.start as isize {
+            break body.start;
+        }
+        match toks[j as usize].tok {
+            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => depth += 1,
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') if depth > 0 => depth -= 1,
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => break j as usize + 1,
+            Tok::Punct(';') if depth == 0 => break j as usize + 1,
+            _ => {}
+        }
+        j -= 1;
+    };
+    let mut k = start;
+    if !toks.get(k)?.is_ident("let") {
+        return None;
+    }
+    k += 1;
+    if toks.get(k)?.is_ident("mut") {
+        k += 1;
+    }
+    let name = toks.get(k)?.ident()?.to_string();
+    if !toks.get(k + 1)?.is_punct('=') {
+        return None;
+    }
+    // `let v = *x.lock();` copies the value out — the guard is a temporary
+    // dying at the `;`. A leading `&` (`let g = &mut *x.lock();`) borrows
+    // through it with temporary lifetime extension, so the guard lives on.
+    if toks.get(k + 2)?.is_punct('*') {
+        return None;
+    }
+    Some(name)
+}
+
+/// Matching close of the nearest block enclosing token `i` (capped at the
+/// function body).
+fn enclosing_close(toks: &[crate::lexer::Token], body: &std::ops::Range<usize>, i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < body.end {
+        match toks[j].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                if depth == 0 {
+                    return j;
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    body.end
+}
+
+/// End of the current statement: the next `;` at brace depth 0 relative to
+/// `i`, else the enclosing block close.
+fn statement_end(toks: &[crate::lexer::Token], body: &std::ops::Range<usize>, i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < body.end {
+        match toks[j].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                if depth == 0 {
+                    return j;
+                }
+                depth -= 1;
+            }
+            Tok::Punct(';') if depth == 0 => return j,
+            _ => {}
+        }
+        j += 1;
+    }
+    body.end
+}
+
+/// First `drop(NAME)` call between `from` and `to`.
+fn drop_site(toks: &[crate::lexer::Token], from: usize, to: usize, name: &str) -> Option<usize> {
+    (from..to.saturating_sub(3)).find(|&j| {
+        toks[j].is_ident("drop")
+            && toks[j + 1].is_punct('(')
+            && toks[j + 2].is_ident(name)
+            && toks[j + 3].is_punct(')')
+    })
+}

@@ -1,0 +1,122 @@
+//! Panic-path ratchet: the number of potential panic sites in non-test
+//! engine code may only go down.
+//!
+//! Counted constructs, per file:
+//!
+//! * `[panic-path]` — `.unwrap()`, `.expect(...)` and `panic!(...)`
+//! * `[slice-index]` — bracket indexing (`buf[i]`, `&b[a..b]`), which
+//!   panics on out-of-range rather than returning an error
+//!
+//! Counts are compared against the committed `lint-baseline.toml`. A count
+//! above baseline is a violation; a count below baseline is reported as a
+//! stale baseline (run `--update-baseline`), so the committed file always
+//! matches reality and every burndown tightens the ratchet. Sites inside
+//! `#[cfg(test)]` code never count; deliberate panics on invariants carry a
+//! `// lint:allow(reason)` marker and are excluded from the counts.
+
+use crate::lexer::Tok;
+use crate::model::SourceFile;
+use std::collections::BTreeMap;
+
+pub const RULE_PANIC: &str = "panic-path";
+pub const RULE_INDEX: &str = "slice-index";
+
+/// Per-file counts for one section of the baseline.
+pub type Counts = BTreeMap<String, usize>;
+
+pub fn count(files: &[SourceFile]) -> (Counts, Counts) {
+    let mut panics: Counts = BTreeMap::new();
+    let mut indexing: Counts = BTreeMap::new();
+    for file in files {
+        let key = file.rel_path.display().to_string();
+        let toks = &file.tokens;
+        let mut n_panic = 0usize;
+        let mut n_index = 0usize;
+        for i in 0..toks.len() {
+            if file.token_in_test(i) || file.is_suppressed(toks[i].line) {
+                continue;
+            }
+            let t = &toks[i];
+            // `.unwrap()` / `.expect(` — method position only, so local
+            // functions named `unwrap` or fields are not miscounted.
+            if t.is_punct('.') {
+                if let (Some(name), Some(open)) = (toks.get(i + 1), toks.get(i + 2)) {
+                    if open.is_punct('(')
+                        && (name.is_ident("unwrap") || name.is_ident("expect"))
+                        && !file.is_suppressed(name.line)
+                    {
+                        n_panic += 1;
+                    }
+                }
+            }
+            // `panic!(`
+            if t.is_ident("panic")
+                && toks.get(i + 1).is_some_and(|a| a.is_punct('!'))
+                && toks.get(i + 2).is_some_and(|a| a.is_punct('('))
+            {
+                n_panic += 1;
+            }
+            // Indexing: `[` whose previous token ends an indexable
+            // expression. Macro brackets (`vec![`), attributes (`#[`),
+            // array/slice types and literals all have a different
+            // preceding token and are skipped.
+            if t.is_punct('[') && i > 0 {
+                let prev = &toks[i - 1];
+                let indexable = matches!(prev.tok, Tok::Ident(_))
+                    && !is_keyword(prev.ident().unwrap_or(""))
+                    || prev.is_punct(']')
+                    || prev.is_punct(')');
+                if indexable {
+                    n_index += 1;
+                }
+            }
+        }
+        if n_panic > 0 {
+            panics.insert(key.clone(), n_panic);
+        }
+        if n_index > 0 {
+            indexing.insert(key, n_index);
+        }
+    }
+    (panics, indexing)
+}
+
+/// Keywords that can directly precede `[` without forming an index
+/// expression (`let [a, b] = ...`, `in [1, 2]`, `return [x]`, ...).
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "let"
+            | "in"
+            | "return"
+            | "break"
+            | "match"
+            | "if"
+            | "else"
+            | "mut"
+            | "ref"
+            | "move"
+            | "const"
+            | "static"
+            | "as"
+            | "dyn"
+            | "impl"
+            | "where"
+            | "for"
+            | "while"
+            | "loop"
+            | "unsafe"
+            | "crate"
+            | "pub"
+            | "use"
+            | "mod"
+            | "fn"
+            | "type"
+            | "struct"
+            | "enum"
+            | "trait"
+            | "box"
+            | "yield"
+            | "await"
+    )
+}

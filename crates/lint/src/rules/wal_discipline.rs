@@ -1,0 +1,85 @@
+//! WAL discipline: every page write must flow through the WAL layer.
+//!
+//! Durability in the engine rests on one invariant — a page image reaches
+//! the base file only after its full-page WAL record is fsynced. Any code
+//! that writes pages or truncates files outside the sanctioned modules can
+//! silently break crash recovery, so this rule flags:
+//!
+//! * `.write_page(...)` calls,
+//! * `.set_len(...)` calls (file truncation),
+//! * raw file-creation APIs (`File::create`, `OpenOptions`, `fs::write`)
+//!
+//! in any scanned file not on the allowlist (`wal.rs`, `pager.rs`,
+//! `failpoint.rs` by default). Sanctioned call sites elsewhere carry a
+//! `// lint:allow(reason)` marker.
+
+use crate::model::SourceFile;
+use crate::{Config, Diagnostic};
+
+pub const RULE: &str = "wal-discipline";
+
+pub fn check(cfg: &Config, files: &[SourceFile], out: &mut Vec<Diagnostic>) {
+    for file in files {
+        if cfg.is_wal_allowed_file(&file.rel_path) {
+            continue;
+        }
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if file.token_in_test(i) {
+                continue;
+            }
+            let t = &toks[i];
+            let mut flag = |line: u32, msg: String| {
+                if !file.is_suppressed(line) {
+                    out.push(Diagnostic::new(&file.rel_path, line, RULE, msg));
+                }
+            };
+            // `.write_page(` / `.set_len(` method calls.
+            if t.is_punct('.') {
+                if let (Some(name), Some(open)) = (toks.get(i + 1), toks.get(i + 2)) {
+                    if open.is_punct('(') {
+                        match name.ident() {
+                            Some("write_page") => flag(
+                                name.line,
+                                "direct page write bypasses the WAL; route through the \
+                                 pager handed out by the catalog"
+                                    .into(),
+                            ),
+                            Some("set_len") => flag(
+                                name.line,
+                                "file truncation outside the pager/WAL layer can discard \
+                                 committed pages"
+                                    .into(),
+                            ),
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            // Raw file-creation APIs. `File::create` is three tokens; a
+            // plain `OpenOptions` mention is enough to flag.
+            if t.is_ident("OpenOptions") {
+                flag(t.line, "raw file open outside the pager/WAL layer".into());
+            }
+            if t.is_ident("File")
+                && toks.get(i + 1).is_some_and(|a| a.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|a| a.is_punct(':'))
+                && toks
+                    .get(i + 3)
+                    .is_some_and(|a| a.is_ident("create") || a.is_ident("options"))
+            {
+                flag(
+                    t.line,
+                    "raw file creation outside the pager/WAL layer".into(),
+                );
+            }
+            if t.is_ident("fs")
+                && toks.get(i + 1).is_some_and(|a| a.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|a| a.is_punct(':'))
+                && toks.get(i + 3).is_some_and(|a| a.is_ident("write"))
+            {
+                flag(t.line, "raw fs::write outside the pager/WAL layer".into());
+            }
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! The fixture corpus under `tests/fixtures/` seeds one violation per
+//! `//~ rule` marker; these tests assert that the lint reports *exactly*
+//! the marked (file, line, rule) set — no misses, no extras — plus the
+//! ratchet's regression/stale reports and the binary's exit codes.
+
+use archis_lint::{run, Config};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn fixture_config() -> Config {
+    let mut cfg = Config::for_root(fixture_root());
+    cfg.scan_dirs = vec![PathBuf::from("src")];
+    cfg.error_drop_files = vec!["errdrop.rs".into()];
+    cfg
+}
+
+/// `(file, line, rule)` triples declared by `//~` markers in the fixtures.
+fn expected_sites() -> BTreeSet<(String, u32, String)> {
+    let mut expected = BTreeSet::new();
+    let src = fixture_root().join("src");
+    let mut entries: Vec<_> = std::fs::read_dir(&src)
+        .expect("fixture src dir")
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let rel = format!("src/{}", path.file_name().unwrap().to_str().unwrap());
+        let text = std::fs::read_to_string(&path).expect("fixture readable");
+        for (i, line) in text.lines().enumerate() {
+            if let Some(pos) = line.find("//~") {
+                const RULES: &[&str] = &[
+                    "wal-discipline",
+                    "lock-order",
+                    "lock-across-io",
+                    "panic-path",
+                    "slice-index",
+                    "error-drop",
+                ];
+                for rule in line[pos + 3..]
+                    .split_whitespace()
+                    .filter(|r| RULES.contains(r))
+                {
+                    expected.insert((rel.clone(), i as u32 + 1, rule.to_string()));
+                }
+            }
+        }
+    }
+    assert!(!expected.is_empty(), "fixtures declare at least one marker");
+    expected
+}
+
+#[test]
+fn fixtures_report_exactly_the_marked_sites() {
+    let outcome = run(&fixture_config(), false).expect("lint runs");
+    let got: BTreeSet<(String, u32, String)> = outcome
+        .diagnostics
+        .iter()
+        .filter(|d| d.line > 0) // line 0 = ratchet summaries, checked below
+        .map(|d| (d.file.display().to_string(), d.line, d.rule.to_string()))
+        .collect();
+    let expected = expected_sites();
+    let missed: Vec<_> = expected.difference(&got).collect();
+    let extra: Vec<_> = got.difference(&expected).collect();
+    assert!(
+        missed.is_empty() && extra.is_empty(),
+        "diagnostic mismatch\n  missed: {missed:#?}\n  extra: {extra:#?}"
+    );
+}
+
+#[test]
+fn ratchet_reports_regressions_and_stale_entries() {
+    let outcome = run(&fixture_config(), false).expect("lint runs");
+    let ratchet: Vec<(String, &str, String)> = outcome
+        .diagnostics
+        .iter()
+        .filter(|d| d.line == 0)
+        .map(|d| (d.file.display().to_string(), d.rule, d.message.clone()))
+        .collect();
+    assert_eq!(
+        ratchet.len(),
+        3,
+        "exactly three ratchet reports: {ratchet:#?}"
+    );
+    let has = |file: &str, rule: &str, frag: &str| {
+        ratchet
+            .iter()
+            .any(|(f, r, m)| f == file && *r == rule && m.contains(frag))
+    };
+    assert!(has("src/panics.rs", "panic-path", "rose to 3 (baseline 2)"));
+    assert!(has(
+        "src/gone.rs",
+        "panic-path",
+        "improved to 0 (baseline 4)"
+    ));
+    assert!(has(
+        "src/panics.rs",
+        "slice-index",
+        "improved to 3 (baseline 5)"
+    ));
+}
+
+#[test]
+fn fixture_counts_are_exact() {
+    let outcome = run(&fixture_config(), false).expect("lint runs");
+    let panics = outcome.counted.section("panic-path");
+    let index = outcome.counted.section("slice-index");
+    assert_eq!(panics.get("src/panics.rs"), Some(&3));
+    assert_eq!(index.get("src/panics.rs"), Some(&3));
+    // The other fixtures are free of countable sites by construction.
+    assert_eq!(panics.len(), 1, "panic-path counts: {panics:#?}");
+    assert_eq!(index.len(), 1, "slice-index counts: {index:#?}");
+}
+
+#[test]
+fn binary_exits_nonzero_on_fixtures() {
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_archis-lint"))
+        .arg("--root")
+        .arg(fixture_root())
+        .args(["--scan", "src", "--error-drop-file", "errdrop.rs"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(status.status.code(), Some(1), "violations exit 1");
+    let stdout = String::from_utf8_lossy(&status.stdout);
+    assert!(
+        stdout.contains("src/wal_bad.rs:7: [wal-discipline]"),
+        "machine-readable file:line diagnostics on stdout; got:\n{stdout}"
+    );
+}
+
+#[test]
+fn binary_exits_two_on_usage_error() {
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_archis-lint"))
+        .arg("--no-such-flag")
+        .output()
+        .expect("binary runs");
+    assert_eq!(status.status.code(), Some(2));
+}

@@ -1,0 +1,20 @@
+//! Seeded error-drop sites. The fixture config audits exactly this file,
+//! mirroring how the real config audits the commit/recovery/vacuum paths.
+//! Lexed, not compiled.
+
+pub fn commit_path(r: Result<(), E>, s: Result<u32, E>) {
+    let _ = r; //~ error-drop
+    s.ok(); //~ error-drop
+    let _kept = s.ok().map(|v| v + 1);
+    let _named = r;
+    // lint:allow(best-effort flush in a Drop impl; errors are unreportable)
+    let _ = r;
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn cleanup(r: Result<(), E>) {
+        let _ = r;
+        r.ok();
+    }
+}

@@ -1,0 +1,70 @@
+//! Seeded lock-order and lock-across-I/O violations, plus negative cases
+//! proving guard scopes end where they should. Lexed by the lint, not
+//! compiled.
+
+pub struct Engine {
+    m1: Mutex<u32>,
+    m2: Mutex<u32>,
+    m3: Mutex<u32>,
+    m4: Mutex<u32>,
+    file: Mutex<F>,
+}
+
+impl Engine {
+    /// First half of a two-function cycle: m1 -> m2. The cycle diagnostic
+    /// anchors at the second acquisition of the lexicographically first
+    /// edge, which is this one.
+    pub fn forward(&self) {
+        let g1 = self.m1.lock();
+        let g2 = self.m2.lock(); //~ lock-order
+        *g2 += *g1;
+    }
+
+    /// Second half: m2 -> m1.
+    pub fn backward(&self) {
+        let g2 = self.m2.lock();
+        let g1 = self.m1.lock();
+        *g1 += *g2;
+    }
+
+    /// `drop(guard)` ends the scope: no m2 -> m1 edge arises here, so this
+    /// function must NOT add an extra cycle report.
+    pub fn dropped_before_second(&self) {
+        let g2 = self.m2.lock();
+        drop(g2);
+        let g1 = self.m1.lock();
+        *g1 += 1;
+    }
+
+    /// Inter-procedural half of a second cycle: m3 -> m4 via a callee.
+    pub fn m3_then_helper(&self) {
+        let g = self.m3.lock();
+        self.acquire_m4(); //~ lock-order
+        *g += 1;
+    }
+
+    fn acquire_m4(&self) {
+        let g = self.m4.lock();
+        *g += 1;
+    }
+
+    /// Direct half of the second cycle: m4 -> m3.
+    pub fn m4_then_m3(&self) {
+        let g = self.m4.lock();
+        let h = self.m3.lock();
+        *h += *g;
+    }
+
+    /// A field lock held across a direct I/O call.
+    pub fn io_under_lock(&self) {
+        let f = self.file.lock();
+        f.write_all(b"x"); //~ lock-across-io
+    }
+
+    /// Temporary guard: dies at its `;`, so the I/O call below runs
+    /// lock-free and must NOT be flagged.
+    pub fn temp_guard_then_io(&self) {
+        let v = *self.m1.lock();
+        sync_all(v);
+    }
+}

@@ -1,0 +1,38 @@
+//! Seeded panic-path and slice-index sites for the ratchet counters.
+//! Expected non-test counts: panic-path = 3, slice-index = 3. The fixture
+//! baseline records panic-path = 2 (to provoke a regression report) and
+//! slice-index = 5 (to provoke a stale-baseline report). Lexed, not
+//! compiled.
+
+pub fn counts(v: Vec<u32>, o: Option<u32>) -> u32 {
+    let a = o.unwrap();
+    let b = o.expect("fixture");
+    if v[0] > 3 {
+        panic!("boom");
+    }
+    let c = v[1] + v[2];
+    a + b + c
+}
+
+// lint:allow(escape hatch demo: this unwrap is excluded from the counts)
+pub fn allowed(o: Option<u32>) -> u32 { o.unwrap() }
+
+pub fn not_indexing() -> Vec<u32> {
+    // Macro brackets, array literals, types and patterns are not index
+    // expressions and must not count.
+    let v: Vec<[u8; 2]> = vec![[1, 2], [3, 4]];
+    let [_x, _y] = [1u8, 2u8];
+    let _ = v.len();
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        let v = vec![9, 9, 9];
+        assert_eq!(v[0], super::counts(v.clone(), Some(1)));
+        Some(3u32).unwrap();
+        panic!("test-only");
+    }
+}

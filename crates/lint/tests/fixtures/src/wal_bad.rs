@@ -1,0 +1,31 @@
+//! Seeded WAL-discipline violations. A `//~ rule` marker names the rule
+//! expected to fire on that line; the fixture test treats the marker set
+//! as the exact expected diagnostics. This file is lexed by the lint, not
+//! compiled.
+
+pub fn direct_page_write(pager: &P, buf: &[u8]) {
+    pager.write_page(3, buf); //~ wal-discipline
+}
+
+pub fn truncates_file(f: &F) {
+    f.set_len(0); //~ wal-discipline
+}
+
+pub fn raw_open(path: &str) {
+    let _o = std::fs::OpenOptions::new(); //~ wal-discipline
+    let _f = std::fs::File::create(path); //~ wal-discipline
+    std::fs::write(path, b"bytes"); //~ wal-discipline
+}
+
+pub fn sanctioned(pager: &P, buf: &[u8]) {
+    // lint:allow(fixture demo: this write is routed through the WAL-aware
+    // pager, mirroring the buffer pool's sanctioned eviction path)
+    pager.write_page(4, buf);
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn test_only(pager: &super::P, buf: &[u8]) {
+        pager.write_page(5, buf);
+    }
+}

@@ -1,0 +1,64 @@
+//! The production configuration must report a clean tree: every sanctioned
+//! site is annotated, the committed baseline matches reality, and the
+//! durability-critical files are panic-free. This is the test-suite twin
+//! of the CI gate (`cargo run -p archis-lint --release`).
+
+use archis_lint::{run, Config};
+use std::path::Path;
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels under the repo root")
+}
+
+#[test]
+fn real_tree_is_clean() {
+    let cfg = Config::for_root(repo_root().to_path_buf());
+    let outcome = run(&cfg, false).expect("lint runs on the real tree");
+    assert!(
+        outcome.is_clean(),
+        "the tree must lint clean; findings:\n{}",
+        outcome
+            .diagnostics
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn wal_and_archive_commit_paths_are_panic_free() {
+    let cfg = Config::for_root(repo_root().to_path_buf());
+    let outcome = run(&cfg, false).expect("lint runs on the real tree");
+    let panics = outcome.counted.section("panic-path");
+    for file in [
+        "crates/relstore/src/wal.rs",
+        "crates/core/src/archive.rs",
+        "crates/relstore/src/buffer.rs",
+        "crates/relstore/src/catalog.rs",
+    ] {
+        assert_eq!(
+            panics.get(file),
+            None,
+            "{file} must stay free of unwrap/expect/panic in non-test code"
+        );
+    }
+}
+
+#[test]
+fn binary_exits_zero_on_real_tree() {
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_archis-lint"))
+        .arg("--root")
+        .arg(repo_root())
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        status.status.code(),
+        Some(0),
+        "stderr:\n{}",
+        String::from_utf8_lossy(&status.stderr)
+    );
+}

@@ -28,15 +28,25 @@ const INTERNAL_HEADER: usize = 11;
 
 #[derive(Debug, Clone)]
 enum Node {
-    Leaf { entries: Vec<(Vec<u8>, Vec<u8>)>, next: Option<PageId> },
-    Internal { first_child: PageId, entries: Vec<(Vec<u8>, PageId)> },
+    Leaf {
+        entries: Vec<(Vec<u8>, Vec<u8>)>,
+        next: Option<PageId>,
+    },
+    Internal {
+        first_child: PageId,
+        entries: Vec<(Vec<u8>, PageId)>,
+    },
 }
 
 impl Node {
     fn serialized_size(&self) -> usize {
         match self {
             Node::Leaf { entries, .. } => {
-                LEAF_HEADER + entries.iter().map(|(k, v)| 4 + k.len() + v.len()).sum::<usize>()
+                LEAF_HEADER
+                    + entries
+                        .iter()
+                        .map(|(k, v)| 4 + k.len() + v.len())
+                        .sum::<usize>()
             }
             Node::Internal { entries, .. } => {
                 INTERNAL_HEADER + entries.iter().map(|(k, _)| 10 + k.len()).sum::<usize>()
@@ -62,7 +72,10 @@ impl Node {
                     pos += v.len();
                 }
             }
-            Node::Internal { first_child, entries } => {
+            Node::Internal {
+                first_child,
+                entries,
+            } => {
                 out[0] = INTERNAL_TAG;
                 out[1..3].copy_from_slice(&(entries.len() as u16).to_be_bytes());
                 out[3..11].copy_from_slice(&first_child.to_be_bytes());
@@ -89,8 +102,7 @@ impl Node {
                 let mut entries = Vec::with_capacity(count);
                 let mut pos = LEAF_HEADER;
                 for _ in 0..count {
-                    let klen =
-                        u16::from_be_bytes(data[pos..pos + 2].try_into().unwrap()) as usize;
+                    let klen = u16::from_be_bytes(data[pos..pos + 2].try_into().unwrap()) as usize;
                     let vlen =
                         u16::from_be_bytes(data[pos + 2..pos + 4].try_into().unwrap()) as usize;
                     pos += 4;
@@ -111,8 +123,7 @@ impl Node {
                 let mut entries = Vec::with_capacity(count);
                 let mut pos = INTERNAL_HEADER;
                 for _ in 0..count {
-                    let klen =
-                        u16::from_be_bytes(data[pos..pos + 2].try_into().unwrap()) as usize;
+                    let klen = u16::from_be_bytes(data[pos..pos + 2].try_into().unwrap()) as usize;
                     pos += 2;
                     if pos + klen + 8 > data.len() {
                         return Err(corrupt("internal entry overruns page"));
@@ -123,7 +134,10 @@ impl Node {
                     pos += 8;
                     entries.push((k, child));
                 }
-                Ok(Node::Internal { first_child, entries })
+                Ok(Node::Internal {
+                    first_child,
+                    entries,
+                })
             }
             t => Err(corrupt(&format!("unknown tag {t}"))),
         }
@@ -152,7 +166,10 @@ pub struct BTree {
 impl BTree {
     /// Create an empty tree (one empty leaf).
     pub fn create(pool: Arc<BufferPool>) -> Result<Self> {
-        let node = Node::Leaf { entries: Vec::new(), next: None };
+        let node = Node::Leaf {
+            entries: Vec::new(),
+            next: None,
+        };
         let (id, frame) = pool.allocate()?;
         {
             let mut guard = frame.write();
@@ -255,7 +272,10 @@ impl BTree {
                 let first_key = cur[0].0.clone();
                 store_at(
                     cur_pid,
-                    &Node::Leaf { entries: std::mem::take(&mut cur), next: Some(next_pid) },
+                    &Node::Leaf {
+                        entries: std::mem::take(&mut cur),
+                        next: Some(next_pid),
+                    },
                 )?;
                 level.push((first_key, cur_pid));
                 cur_pid = next_pid;
@@ -267,7 +287,13 @@ impl BTree {
             total += 1;
         }
         let first_key = cur.first().map(|(k, _)| k.clone()).unwrap_or_default();
-        store_at(cur_pid, &Node::Leaf { entries: cur, next: None })?;
+        store_at(
+            cur_pid,
+            &Node::Leaf {
+                entries: cur,
+                next: None,
+            },
+        )?;
         level.push((first_key, cur_pid));
 
         // Internal levels: group children under packed internal nodes until
@@ -292,7 +318,13 @@ impl BTree {
                     i += 1;
                 }
                 let pid = alloc_blank(&pool)?;
-                store_at(pid, &Node::Internal { first_child, entries: node_entries })?;
+                store_at(
+                    pid,
+                    &Node::Internal {
+                        first_child,
+                        entries: node_entries,
+                    },
+                )?;
                 parents.push((first_key, pid));
             }
             level = parents;
@@ -319,8 +351,10 @@ impl BTree {
         let built = BTree::bulk_load(self.pool.clone(), entries)?;
         let mut root = self.root.lock();
         *root = built.root_page();
-        self.pages.store(built.pages.load(Ordering::Relaxed), Ordering::Relaxed);
-        self.entries.store(built.entries.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.pages
+            .store(built.pages.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.entries
+            .store(built.entries.load(Ordering::Relaxed), Ordering::Relaxed);
         Ok(())
     }
 
@@ -347,7 +381,9 @@ impl BTree {
         // Keep the cached page count exact once it is known.
         let _ = self
             .pages
-            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| (n != 0).then(|| n + 1));
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                (n != 0).then(|| n + 1)
+            });
         Ok(id)
     }
 
@@ -358,14 +394,18 @@ impl BTree {
         }
         let mut root = self.root.lock();
         if let Some((sep, right)) = self.insert_rec(*root, key, value)? {
-            let new_root =
-                Node::Internal { first_child: *root, entries: vec![(sep, right)] };
+            let new_root = Node::Internal {
+                first_child: *root,
+                entries: vec![(sep, right)],
+            };
             *root = self.alloc(&new_root)?;
         }
         // Keep the cached entry count exact once it is known.
         let _ = self
             .entries
-            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| (n >= 0).then(|| n + 1));
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                (n >= 0).then(|| n + 1)
+            });
         Ok(())
     }
 
@@ -379,8 +419,8 @@ impl BTree {
         let mut node = self.load(pid)?;
         match &mut node {
             Node::Leaf { entries, next: _ } => {
-                let pos = entries
-                    .partition_point(|(k, v)| (k.as_slice(), v.as_slice()) <= (key, value));
+                let pos =
+                    entries.partition_point(|(k, v)| (k.as_slice(), v.as_slice()) <= (key, value));
                 entries.insert(pos, (key.to_vec(), value.to_vec()));
                 let appended_at_end = pos == entries.len() - 1;
                 if node.serialized_size() <= PAGE_SIZE {
@@ -388,7 +428,9 @@ impl BTree {
                     return Ok(None);
                 }
                 // Split by bytes so oversized entries still distribute.
-                let Node::Leaf { entries, next } = node else { unreachable!() };
+                let Node::Leaf { entries, next } = node else {
+                    unreachable!()
+                };
                 let total: usize = entries.iter().map(|(k, v)| 4 + k.len() + v.len()).sum();
                 let mut acc = 0usize;
                 let mut cut = entries.len() - 1;
@@ -408,23 +450,42 @@ impl BTree {
                 let right_entries = entries[cut..].to_vec();
                 let left_entries = entries[..cut].to_vec();
                 let sep = right_entries[0].0.clone();
-                let right = Node::Leaf { entries: right_entries, next };
+                let right = Node::Leaf {
+                    entries: right_entries,
+                    next,
+                };
                 let right_pid = self.alloc(&right)?;
-                let left = Node::Leaf { entries: left_entries, next: Some(right_pid) };
+                let left = Node::Leaf {
+                    entries: left_entries,
+                    next: Some(right_pid),
+                };
                 self.store(pid, &left)?;
                 Ok(Some((sep, right_pid)))
             }
-            Node::Internal { first_child, entries } => {
+            Node::Internal {
+                first_child,
+                entries,
+            } => {
                 // Route to the rightmost child whose separator <= key.
                 let idx = entries.partition_point(|(k, _)| k.as_slice() <= key);
-                let child = if idx == 0 { *first_child } else { entries[idx - 1].1 };
+                let child = if idx == 0 {
+                    *first_child
+                } else {
+                    entries[idx - 1].1
+                };
                 if let Some((sep, new_child)) = self.insert_rec(child, key, value)? {
                     entries.insert(idx, (sep, new_child));
                     if node.serialized_size() <= PAGE_SIZE {
                         self.store(pid, &node)?;
                         return Ok(None);
                     }
-                    let Node::Internal { first_child, entries } = node else { unreachable!() };
+                    let Node::Internal {
+                        first_child,
+                        entries,
+                    } = node
+                    else {
+                        unreachable!()
+                    };
                     let mid = entries.len() / 2;
                     let (up_key, up_child) = entries[mid].clone();
                     let right = Node::Internal {
@@ -432,8 +493,10 @@ impl BTree {
                         entries: entries[mid + 1..].to_vec(),
                     };
                     let right_pid = self.alloc(&right)?;
-                    let left =
-                        Node::Internal { first_child, entries: entries[..mid].to_vec() };
+                    let left = Node::Internal {
+                        first_child,
+                        entries: entries[..mid].to_vec(),
+                    };
                     self.store(pid, &left)?;
                     Ok(Some((up_key, right_pid)))
                 } else {
@@ -459,14 +522,21 @@ impl BTree {
         loop {
             let mut node = self.load(pid)?;
             match &mut node {
-                Node::Internal { first_child, entries } => {
+                Node::Internal {
+                    first_child,
+                    entries,
+                } => {
                     // Strict `<`, matching `range`: a separator equal to
                     // `key` may leave duplicates of that key in the left
                     // subtree (bulk-loaded leaf boundaries fall wherever a
                     // page fills), so land one child early and let the
                     // forward leaf-chain scan below skip ahead.
                     let idx = entries.partition_point(|(k, _)| k.as_slice() < key);
-                    pid = if idx == 0 { *first_child } else { entries[idx - 1].1 };
+                    pid = if idx == 0 {
+                        *first_child
+                    } else {
+                        entries[idx - 1].1
+                    };
                 }
                 Node::Leaf { .. } => break,
             }
@@ -474,17 +544,21 @@ impl BTree {
         // The pair may sit in a later leaf if duplicates span pages.
         loop {
             let mut node = self.load(pid)?;
-            let Node::Leaf { entries, next } = &mut node else { unreachable!() };
+            let Node::Leaf { entries, next } = &mut node else {
+                unreachable!()
+            };
             if let Some(pos) = entries.iter().position(|(k, v)| k == key && v == value) {
                 entries.remove(pos);
                 self.store(pid, &node)?;
-                let _ = self.entries.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
-                    (n > 0).then(|| n - 1)
-                });
+                let _ = self
+                    .entries
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                        (n > 0).then(|| n - 1)
+                    });
                 return Ok(true);
             }
             // Stop once past the key.
-            if entries.last().map_or(false, |(k, _)| k.as_slice() > key) {
+            if entries.last().is_some_and(|(k, _)| k.as_slice() > key) {
                 return Ok(false);
             }
             match next {
@@ -495,31 +569,29 @@ impl BTree {
     }
 
     /// Iterate entries with keys in the given bounds, in key order.
-    pub fn range(
-        &self,
-        lo: Bound<&[u8]>,
-        hi: Bound<&[u8]>,
-    ) -> Result<RangeIter> {
+    pub fn range(&self, lo: Bound<&[u8]>, hi: Bound<&[u8]>) -> Result<RangeIter> {
         let start_key: &[u8] = match lo {
             Bound::Included(k) | Bound::Excluded(k) => k,
             Bound::Unbounded => &[],
         };
         let root = self.root.lock();
         let mut pid = *root;
-        loop {
-            match self.load(pid)? {
-                Node::Internal { first_child, entries } => {
-                    // Descend with strict `<`: a separator equal to the
-                    // start key may leave duplicates of that key in the
-                    // left subtree (splits cut by bytes, and bulk-loaded
-                    // leaf boundaries fall wherever a page fills), so land
-                    // one child early and let the iterator's lo-bound
-                    // filter skip ahead along the leaf chain.
-                    let idx = entries.partition_point(|(k, _)| k.as_slice() < start_key);
-                    pid = if idx == 0 { first_child } else { entries[idx - 1].1 };
-                }
-                Node::Leaf { .. } => break,
-            }
+        // Descend with strict `<`: a separator equal to the start key may
+        // leave duplicates of that key in the left subtree (splits cut by
+        // bytes, and bulk-loaded leaf boundaries fall wherever a page
+        // fills), so land one child early and let the iterator's lo-bound
+        // filter skip ahead along the leaf chain.
+        while let Node::Internal {
+            first_child,
+            entries,
+        } = self.load(pid)?
+        {
+            let idx = entries.partition_point(|(k, _)| k.as_slice() < start_key);
+            pid = if idx == 0 {
+                first_child
+            } else {
+                entries[idx - 1].1
+            };
         }
         Ok(RangeIter {
             tree: BTree {
@@ -557,12 +629,9 @@ impl BTree {
         let n = self.range(Bound::Unbounded, Bound::Unbounded)?.count();
         // Racy double-compute is fine: competing walks publish the same
         // value, and insert/delete only adjust an already-published count.
-        let _ = self.entries.compare_exchange(
-            -1,
-            n as i64,
-            Ordering::Relaxed,
-            Ordering::Relaxed,
-        );
+        let _ = self
+            .entries
+            .compare_exchange(-1, n as i64, Ordering::Relaxed, Ordering::Relaxed);
         Ok(n)
     }
 
@@ -583,7 +652,10 @@ impl BTree {
         fn rec(t: &BTree, pid: PageId) -> Result<u64> {
             match t.load(pid)? {
                 Node::Leaf { .. } => Ok(1),
-                Node::Internal { first_child, entries } => {
+                Node::Internal {
+                    first_child,
+                    entries,
+                } => {
                     let mut n = 1 + rec(t, first_child)?;
                     for (_, c) in entries {
                         n += rec(t, c)?;
@@ -596,7 +668,9 @@ impl BTree {
         let n = rec(self, root)?;
         // Racy double-compute is fine; both walks see the same tree or a
         // superset, and alloc only bumps an already-published count.
-        let _ = self.pages.compare_exchange(0, n, Ordering::Relaxed, Ordering::Relaxed);
+        let _ = self
+            .pages
+            .compare_exchange(0, n, Ordering::Relaxed, Ordering::Relaxed);
         Ok(n)
     }
 
@@ -652,7 +726,10 @@ impl BTree {
                         self.leaves.push(pid);
                         Ok(())
                     }
-                    Node::Internal { first_child, entries } => {
+                    Node::Internal {
+                        first_child,
+                        entries,
+                    } => {
                         let mut prev: Option<&[u8]> = None;
                         for (k, _) in &entries {
                             if prev.is_some_and(|p| p > k.as_slice()) {
@@ -675,7 +752,11 @@ impl BTree {
             }
         }
         let root = *self.root.lock();
-        let mut walk = Walk { t: self, leaves: Vec::new(), leaf_depth: None };
+        let mut walk = Walk {
+            t: self,
+            leaves: Vec::new(),
+            leaf_depth: None,
+        };
         walk.rec(root, 0, None, None)?;
         // The leaf chain must visit exactly the in-order leaves.
         let mut pid = walk.leaves[0];
@@ -816,9 +897,13 @@ mod tests {
             keys.swap(i, j);
         }
         for k in &keys {
-            t.insert(&k.to_be_bytes(), format!("val{k}").as_bytes()).unwrap();
+            t.insert(&k.to_be_bytes(), format!("val{k}").as_bytes())
+                .unwrap();
         }
-        let all: Vec<_> = t.range(Bound::Unbounded, Bound::Unbounded).unwrap().collect();
+        let all: Vec<_> = t
+            .range(Bound::Unbounded, Bound::Unbounded)
+            .unwrap()
+            .collect();
         assert_eq!(all.len(), 5000);
         for (i, (k, v)) in all.iter().enumerate() {
             assert_eq!(k, &(i as u32).to_be_bytes().to_vec());
@@ -841,10 +926,22 @@ mod tests {
         };
         let lo = 10u32.to_be_bytes();
         let hi = 20u32.to_be_bytes();
-        assert_eq!(collect(Bound::Included(&lo), Bound::Excluded(&hi)), (10..20).collect::<Vec<_>>());
-        assert_eq!(collect(Bound::Excluded(&lo), Bound::Included(&hi)), (11..=20).collect::<Vec<_>>());
-        assert_eq!(collect(Bound::Unbounded, Bound::Excluded(&lo)), (0..10).collect::<Vec<_>>());
-        assert_eq!(collect(Bound::Included(&hi), Bound::Unbounded), (20..100).collect::<Vec<_>>());
+        assert_eq!(
+            collect(Bound::Included(&lo), Bound::Excluded(&hi)),
+            (10..20).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            collect(Bound::Excluded(&lo), Bound::Included(&hi)),
+            (11..=20).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            collect(Bound::Unbounded, Bound::Excluded(&lo)),
+            (0..10).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            collect(Bound::Included(&hi), Bound::Unbounded),
+            (20..100).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -855,7 +952,10 @@ mod tests {
         t.insert(b"emp:2:salary", b"c").unwrap();
         t.insert(b"dept:1", b"d").unwrap();
         let hits: Vec<_> = t.scan_prefix(b"emp:1:").unwrap().map(|(k, _)| k).collect();
-        assert_eq!(hits, vec![b"emp:1:salary".to_vec(), b"emp:1:title".to_vec()]);
+        assert_eq!(
+            hits,
+            vec![b"emp:1:salary".to_vec(), b"emp:1:title".to_vec()]
+        );
         assert_eq!(t.scan_prefix(b"zzz").unwrap().count(), 0);
     }
 
@@ -885,7 +985,10 @@ mod tests {
             t.insert(&i.to_be_bytes(), &[0u8; 16]).unwrap();
         }
         for i in (0u32..2000).step_by(3) {
-            assert!(t.delete(&i.to_be_bytes(), &[0u8; 16]).unwrap(), "delete {i}");
+            assert!(
+                t.delete(&i.to_be_bytes(), &[0u8; 16]).unwrap(),
+                "delete {i}"
+            );
         }
         assert_eq!(t.len().unwrap(), 2000 - 2000usize.div_ceil(3));
     }
@@ -896,7 +999,10 @@ mod tests {
         for i in 0u32..16 {
             t.insert(&i.to_be_bytes(), &vec![i as u8; 800]).unwrap();
         }
-        let all: Vec<_> = t.range(Bound::Unbounded, Bound::Unbounded).unwrap().collect();
+        let all: Vec<_> = t
+            .range(Bound::Unbounded, Bound::Unbounded)
+            .unwrap()
+            .collect();
         assert_eq!(all.len(), 16);
         for (i, (_, v)) in all.iter().enumerate() {
             assert_eq!(v.len(), 800);
@@ -925,11 +1031,19 @@ mod tests {
             inc.insert(k, v).unwrap();
         }
         let scan = |t: &BTree| -> Vec<(Vec<u8>, Vec<u8>)> {
-            t.range(Bound::Unbounded, Bound::Unbounded).unwrap().collect()
+            t.range(Bound::Unbounded, Bound::Unbounded)
+                .unwrap()
+                .collect()
         };
         assert_eq!(scan(&bulk), scan(&inc));
-        assert_eq!(bulk.get(&1234u32.to_be_bytes()).unwrap(), vec![b"val1234".to_vec()]);
-        assert!(bulk.page_count().unwrap() > 3, "bulk tree must have multiple pages");
+        assert_eq!(
+            bulk.get(&1234u32.to_be_bytes()).unwrap(),
+            vec![b"val1234".to_vec()]
+        );
+        assert!(
+            bulk.page_count().unwrap() > 3,
+            "bulk tree must have multiple pages"
+        );
         // Packed leaves: the bulk tree never uses more pages than splits do.
         assert!(bulk.page_count().unwrap() <= inc.page_count().unwrap());
     }
@@ -941,8 +1055,7 @@ mod tests {
         assert!(empty.is_empty().unwrap());
         empty.insert(b"k", b"v").unwrap();
         assert_eq!(empty.get(b"k").unwrap(), vec![b"v".to_vec()]);
-        let one =
-            BTree::bulk_load(pool, vec![(b"a".to_vec(), b"1".to_vec())]).unwrap();
+        let one = BTree::bulk_load(pool, vec![(b"a".to_vec(), b"1".to_vec())]).unwrap();
         assert_eq!(one.len().unwrap(), 1);
         assert_eq!(one.page_count().unwrap(), 1);
     }
@@ -977,14 +1090,18 @@ mod tests {
     #[test]
     fn bulk_loaded_tree_accepts_inserts() {
         let pool = Arc::new(BufferPool::new(Arc::new(MemPager::new()), 512));
-        let entries: Vec<(Vec<u8>, Vec<u8>)> =
-            (0u32..2000).map(|i| ((i * 2).to_be_bytes().to_vec(), vec![7u8; 8])).collect();
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = (0u32..2000)
+            .map(|i| ((i * 2).to_be_bytes().to_vec(), vec![7u8; 8]))
+            .collect();
         let t = BTree::bulk_load(pool, entries).unwrap();
         // Odd keys land between packed leaves and force immediate splits.
         for i in 0u32..2000 {
             t.insert(&(i * 2 + 1).to_be_bytes(), &[9u8; 8]).unwrap();
         }
-        let all: Vec<_> = t.range(Bound::Unbounded, Bound::Unbounded).unwrap().collect();
+        let all: Vec<_> = t
+            .range(Bound::Unbounded, Bound::Unbounded)
+            .unwrap()
+            .collect();
         assert_eq!(all.len(), 4000);
         for (i, (k, _)) in all.iter().enumerate() {
             assert_eq!(k, &(i as u32).to_be_bytes().to_vec());
@@ -1005,12 +1122,21 @@ mod tests {
             pool.reset_stats();
             assert_eq!(reopened.page_count().unwrap(), n);
             let after = pool.stats();
-            assert_eq!(after.physical_reads, 0, "second page_count must not hit disk");
-            assert_eq!(after.logical_reads, 0, "second page_count must not touch the pool");
+            assert_eq!(
+                after.physical_reads, 0,
+                "second page_count must not hit disk"
+            );
+            assert_eq!(
+                after.logical_reads, 0,
+                "second page_count must not touch the pool"
+            );
             n
         };
         // ...while the tree that allocated its own pages never walks at all.
-        assert!(walked as usize > 8, "tree must outgrow the pool for this test");
+        assert!(
+            walked as usize > 8,
+            "tree must outgrow the pool for this test"
+        );
         pool.reset_stats();
         assert_eq!(t.page_count().unwrap(), walked);
         assert_eq!(pool.stats().logical_reads, 0);
@@ -1030,13 +1156,21 @@ mod tests {
         pool.reset_stats();
         assert_eq!(t.len().unwrap(), 3900);
         assert!(!t.is_empty().unwrap());
-        assert_eq!(pool.stats().logical_reads, 0, "len on a tracked handle must not do I/O");
+        assert_eq!(
+            pool.stats().logical_reads,
+            0,
+            "len on a tracked handle must not do I/O"
+        );
         // A reopened handle pays one walk, then answers from the cache.
         let reopened = BTree::open(pool.clone(), t.root_page());
         assert_eq!(reopened.len().unwrap(), 3900);
         pool.reset_stats();
         assert_eq!(reopened.len().unwrap(), 3900);
-        assert_eq!(pool.stats().logical_reads, 0, "second len must not touch the pool");
+        assert_eq!(
+            pool.stats().logical_reads,
+            0,
+            "second len must not touch the pool"
+        );
         // Deleting a missing pair leaves the count alone.
         assert!(!t.delete(b"missing", b"none").unwrap());
         assert_eq!(t.len().unwrap(), 3900);

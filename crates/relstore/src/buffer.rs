@@ -18,7 +18,7 @@
 
 use crate::page::{PageId, PAGE_SIZE};
 use crate::pager::Pager;
-use crate::Result;
+use crate::{Result, StoreError};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -105,7 +105,11 @@ impl BufferPool {
         // deterministic cold-read counts the benchmarks rely on) match the
         // unsharded pool exactly; big pools split into up to 16 shards.
         let nshards = (capacity / 64).clamp(1, 16).next_power_of_two();
-        let nshards = if nshards * 64 > capacity { (nshards / 2).max(1) } else { nshards };
+        let nshards = if nshards * 64 > capacity {
+            (nshards / 2).max(1)
+        } else {
+            nshards
+        };
         BufferPool {
             pager,
             capacity,
@@ -139,8 +143,8 @@ impl BufferPool {
         // Fibonacci multiplicative hash spreads the sequential page ids
         // the pager hands out evenly across shards.
         let h = id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        &self.shards[(h >> (64 - self.shards.len().trailing_zeros().max(1))) as usize
-            % self.shards.len()]
+        &self.shards
+            [(h >> (64 - self.shards.len().trailing_zeros().max(1))) as usize % self.shards.len()]
     }
 
     /// Fetch a page, faulting it in if needed. The returned frame stays
@@ -149,7 +153,9 @@ impl BufferPool {
         self.logical_reads.fetch_add(1, Ordering::Relaxed);
         let mut shard = self.shard_of(id).lock();
         if let Some(&pos) = shard.map.get(&id) {
-            let slot = shard.slots[pos].as_mut().expect("mapped slot is occupied");
+            let slot = shard.slots[pos].as_mut().ok_or_else(|| {
+                StoreError::Corrupt(format!("buffer pool: page {id} maps to an empty slot"))
+            })?;
             slot.referenced = true;
             return Ok(slot.frame.clone());
         }
@@ -157,6 +163,8 @@ impl BufferPool {
         // page cannot create duplicate frames.
         self.physical_reads.fetch_add(1, Ordering::Relaxed);
         let mut data = Box::new([0u8; PAGE_SIZE]);
+        // lint:allow(page-miss read stays under the shard lock on purpose:
+        // dropping it would let two threads load the same page into two frames)
         self.pager.read_page(id, &mut data[..])?;
         let frame = Arc::new(RwLock::new(Frame { data, dirty: false }));
         self.admit(&mut shard, id, frame.clone())?;
@@ -167,8 +175,10 @@ impl BufferPool {
     /// created dirty so it reaches the pager even if never written again.
     pub fn allocate(&self) -> Result<(PageId, Arc<RwLock<Frame>>)> {
         let id = self.pager.allocate()?;
-        let frame =
-            Arc::new(RwLock::new(Frame { data: Box::new([0u8; PAGE_SIZE]), dirty: true }));
+        let frame = Arc::new(RwLock::new(Frame {
+            data: Box::new([0u8; PAGE_SIZE]),
+            dirty: true,
+        }));
         let mut shard = self.shard_of(id).lock();
         self.admit(&mut shard, id, frame.clone())?;
         Ok((id, frame))
@@ -183,7 +193,11 @@ impl BufferPool {
                 break; // everything pinned: allow temporary overflow
             }
         }
-        let slot = Slot { id, frame, referenced: true };
+        let slot = Slot {
+            id,
+            frame,
+            referenced: true,
+        };
         let pos = match shard.free.pop() {
             Some(pos) => {
                 shard.slots[pos] = Some(slot);
@@ -220,13 +234,19 @@ impl BufferPool {
                 slot.referenced = false; // second chance
                 continue;
             }
-            let slot = shard.slots[pos].take().expect("slot occupied");
+            // The `as_mut` guard above saw this slot occupied; re-check via
+            // take() so a logic slip degrades to "skip victim", not a panic.
+            let Some(slot) = shard.slots[pos].take() else {
+                continue;
+            };
             shard.map.remove(&slot.id);
             shard.free.push(pos);
             let guard = slot.frame.read();
             if guard.dirty {
                 self.physical_writes.fetch_add(1, Ordering::Relaxed);
                 self.writes_evict.fetch_add(1, Ordering::Relaxed);
+                // lint:allow(eviction writes go through self.pager, the WAL-aware pager
+                // the catalog handed in — this is the sanctioned write path, not a bypass)
                 self.pager.write_page(slot.id, &guard.data[..])?;
             }
             self.evictions.fetch_add(1, Ordering::Relaxed);
@@ -245,6 +265,8 @@ impl BufferPool {
                 if guard.dirty {
                     self.physical_writes.fetch_add(1, Ordering::Relaxed);
                     self.writes_checkpoint.fetch_add(1, Ordering::Relaxed);
+                    // lint:allow(checkpoint flush writes through the catalog's WAL-aware
+                    // pager; the frame lock keeps the image stable while it is written)
                     self.pager.write_page(slot.id, &guard.data[..])?;
                     guard.dirty = false;
                 }
@@ -268,6 +290,8 @@ impl BufferPool {
                 if guard.dirty {
                     self.physical_writes.fetch_add(1, Ordering::Relaxed);
                     self.writes_checkpoint.fetch_add(1, Ordering::Relaxed);
+                    // lint:allow(checkpoint flush writes through the catalog's WAL-aware
+                    // pager; the frame lock keeps the image stable while it is written)
                     self.pager.write_page(slot.id, &guard.data[..])?;
                     guard.dirty = false;
                 }
@@ -349,7 +373,11 @@ mod tests {
         // Still the same frame (no fault): logical counter grows, physical doesn't.
         let before = p.stats().physical_reads;
         let again = p.get(id).unwrap();
-        assert_eq!(p.stats().physical_reads, before, "pinned page was a cache hit");
+        assert_eq!(
+            p.stats().physical_reads,
+            before,
+            "pinned page was a cache hit"
+        );
         assert!(Arc::ptr_eq(&pinned, &again));
     }
 
@@ -443,7 +471,11 @@ mod tests {
         p.reset_stats();
         let f = p.get(id).unwrap();
         assert_eq!(f.read().data[3], 7);
-        assert_eq!(p.stats().physical_reads, 0, "page stayed cached across the flush");
+        assert_eq!(
+            p.stats().physical_reads,
+            0,
+            "page stayed cached across the flush"
+        );
         // Clean pages are not rewritten by a second flush.
         drop(f);
         p.flush_dirty().unwrap();

@@ -45,12 +45,20 @@ impl Database {
     /// constrained buffer memory in benchmarks).
     pub fn with_capacity(pages: usize) -> Self {
         let pool = Arc::new(BufferPool::new(Arc::new(MemPager::new()), pages));
-        Database { pool, tables: RwLock::new(HashMap::new()), catalog: None }
+        Database {
+            pool,
+            tables: RwLock::new(HashMap::new()),
+            catalog: None,
+        }
     }
 
     /// A database over a caller-supplied pool (e.g. file-backed).
     pub fn with_pool(pool: Arc<BufferPool>) -> Self {
-        Database { pool, tables: RwLock::new(HashMap::new()), catalog: None }
+        Database {
+            pool,
+            tables: RwLock::new(HashMap::new()),
+            catalog: None,
+        }
     }
 
     /// Open (or create) a **durable** database in a page file. Page 0
@@ -108,7 +116,11 @@ impl Database {
             )?;
             tables.insert(entry.name, Arc::new(table));
         }
-        Ok(Database { pool, tables: RwLock::new(tables), catalog: Some(catalog) })
+        Ok(Database {
+            pool,
+            tables: RwLock::new(tables),
+            catalog: Some(catalog),
+        })
     }
 
     /// Rewrite the durable catalog records (every table's schema + current
@@ -190,8 +202,13 @@ impl Database {
         if tables.contains_key(name) {
             return Err(StoreError::AlreadyExists(format!("table {name}")));
         }
-        let table =
-            Arc::new(Table::create(self.pool.clone(), name, schema, kind, cluster_columns)?);
+        let table = Arc::new(Table::create(
+            self.pool.clone(),
+            name,
+            schema,
+            kind,
+            cluster_columns,
+        )?);
         tables.insert(name.to_string(), table.clone());
         Ok(table)
     }
@@ -239,8 +256,13 @@ impl Database {
         let cluster: Vec<String> = old.cluster_columns();
         let cluster_refs: Vec<&str> = cluster.iter().map(String::as_str).collect();
         let indexes = old.index_defs();
-        let fresh =
-            Arc::new(Table::create(self.pool.clone(), name, schema, kind, &cluster_refs)?);
+        let fresh = Arc::new(Table::create(
+            self.pool.clone(),
+            name,
+            schema,
+            kind,
+            &cluster_refs,
+        )?);
         // Bulk-load into the fresh table: clustered scans arrive in key
         // order already, so the rewrite packs pages bottom-up instead of
         // re-splitting its way through row-at-a-time inserts.
@@ -344,13 +366,21 @@ impl CatalogEntry {
             return Err(corrupt("wrong arity"));
         }
         let get_str = |i: usize| -> Result<&str> {
-            row[i].as_str().ok_or_else(|| corrupt("expected a string field"))
+            row[i]
+                .as_str()
+                .ok_or_else(|| corrupt("expected a string field"))
         };
         let get_int = |i: usize| -> Result<i64> {
-            row[i].as_int().ok_or_else(|| corrupt("expected an int field"))
+            row[i]
+                .as_int()
+                .ok_or_else(|| corrupt("expected an int field"))
         };
         let name = get_str(0)?.to_string();
-        let kind = if get_int(1)? == 1 { StorageKind::Clustered } else { StorageKind::Heap };
+        let kind = if get_int(1)? == 1 {
+            StorageKind::Clustered
+        } else {
+            StorageKind::Heap
+        };
         let cluster: Vec<String> = get_str(2)?
             .split(',')
             .filter(|s| !s.is_empty())
@@ -366,8 +396,12 @@ impl CatalogEntry {
         let mut indexes = Vec::new();
         for spec in get_str(7)?.split(';').filter(|s| !s.is_empty()) {
             let mut parts = spec.split('|');
-            let iname = parts.next().ok_or_else(|| corrupt("malformed index spec"))?;
-            let cols = parts.next().ok_or_else(|| corrupt("malformed index spec"))?;
+            let iname = parts
+                .next()
+                .ok_or_else(|| corrupt("malformed index spec"))?;
+            let cols = parts
+                .next()
+                .ok_or_else(|| corrupt("malformed index spec"))?;
             let root: u64 = parts
                 .next()
                 .ok_or_else(|| corrupt("malformed index spec"))?
@@ -402,15 +436,21 @@ mod tests {
     use crate::value::{DataType, Field, Value};
 
     fn schema() -> Schema {
-        Schema::new(vec![Field::new("id", DataType::Int), Field::new("v", DataType::Str)])
+        Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::new("v", DataType::Str),
+        ])
     }
 
     #[test]
     fn create_lookup_drop() {
         let db = Database::in_memory();
-        db.create_table("t", schema(), StorageKind::Heap, &[]).unwrap();
+        db.create_table("t", schema(), StorageKind::Heap, &[])
+            .unwrap();
         assert!(db.has_table("t"));
-        assert!(db.create_table("t", schema(), StorageKind::Heap, &[]).is_err());
+        assert!(db
+            .create_table("t", schema(), StorageKind::Heap, &[])
+            .is_err());
         db.table("t").unwrap();
         assert!(db.table("nope").is_err());
         db.drop_table("t").unwrap();
@@ -421,12 +461,21 @@ mod tests {
     #[test]
     fn tables_share_the_pool() {
         let db = Database::in_memory();
-        let a = db.create_table("a", schema(), StorageKind::Heap, &[]).unwrap();
-        let b = db.create_table("b", schema(), StorageKind::Clustered, &["id"]).unwrap();
-        a.insert(vec![Value::Int(1), Value::Str("x".into())]).unwrap();
-        b.insert(vec![Value::Int(2), Value::Str("y".into())]).unwrap();
+        let a = db
+            .create_table("a", schema(), StorageKind::Heap, &[])
+            .unwrap();
+        let b = db
+            .create_table("b", schema(), StorageKind::Clustered, &["id"])
+            .unwrap();
+        a.insert(vec![Value::Int(1), Value::Str("x".into())])
+            .unwrap();
+        b.insert(vec![Value::Int(2), Value::Str("y".into())])
+            .unwrap();
         assert_eq!(db.table_names(), vec!["a".to_string(), "b".to_string()]);
         assert!(db.reachable_pages().unwrap() >= 2);
-        assert_eq!(db.reachable_bytes().unwrap() % crate::page::PAGE_SIZE as u64, 0);
+        assert_eq!(
+            db.reachable_bytes().unwrap() % crate::page::PAGE_SIZE as u64,
+            0
+        );
     }
 }

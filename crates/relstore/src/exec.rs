@@ -35,14 +35,20 @@ impl SeqScan {
     /// Scan all rows of `table`.
     pub fn new(table: &Table) -> Self {
         match table.stream() {
-            Ok(stream) => SeqScan { inner: Box::new(stream) },
-            Err(e) => SeqScan { inner: Box::new(std::iter::once(Err(e))) },
+            Ok(stream) => SeqScan {
+                inner: Box::new(stream),
+            },
+            Err(e) => SeqScan {
+                inner: Box::new(std::iter::once(Err(e))),
+            },
         }
     }
 
     /// Wrap pre-materialized rows (used by table functions and tests).
     pub fn from_rows(rows: Vec<Row>) -> Self {
-        SeqScan { inner: Box::new(rows.into_iter().map(Ok)) }
+        SeqScan {
+            inner: Box::new(rows.into_iter().map(Ok)),
+        }
     }
 }
 
@@ -62,15 +68,14 @@ pub struct IndexRangeScan {
 impl IndexRangeScan {
     /// Scan `table` through `index` for keys in `[lo, hi]` (value bounds;
     /// prefixes of composite keys are allowed).
-    pub fn new(
-        table: &Table,
-        index: &str,
-        lo: Bound<&[Value]>,
-        hi: Bound<&[Value]>,
-    ) -> Self {
+    pub fn new(table: &Table, index: &str, lo: Bound<&[Value]>, hi: Bound<&[Value]>) -> Self {
         match table.index_range_stream(index, lo, hi) {
-            Ok(stream) => IndexRangeScan { inner: Box::new(stream) },
-            Err(e) => IndexRangeScan { inner: Box::new(std::iter::once(Err(e))) },
+            Ok(stream) => IndexRangeScan {
+                inner: Box::new(stream),
+            },
+            Err(e) => IndexRangeScan {
+                inner: Box::new(std::iter::once(Err(e))),
+            },
         }
     }
 }
@@ -132,8 +137,7 @@ impl Iterator for Project {
         match self.input.next()? {
             Err(e) => Some(Err(e)),
             Ok(row) => {
-                let out: Result<Row> =
-                    self.exprs.iter().map(|e| e.eval(&row, &self.fns)).collect();
+                let out: Result<Row> = self.exprs.iter().map(|e| e.eval(&row, &self.fns)).collect();
                 Some(out)
             }
         }
@@ -188,12 +192,19 @@ impl Sort {
                     Ordering::Equal
                 });
                 return Sort {
-                    sorted: keyed.into_iter().map(|(_, r)| r).collect::<Vec<_>>().into_iter(),
+                    sorted: keyed
+                        .into_iter()
+                        .map(|(_, r)| r)
+                        .collect::<Vec<_>>()
+                        .into_iter(),
                     err: None,
                 };
             }
         }
-        Sort { sorted: Vec::new().into_iter(), err }
+        Sort {
+            sorted: Vec::new().into_iter(),
+            err,
+        }
     }
 }
 
@@ -216,7 +227,10 @@ pub struct Limit {
 impl Limit {
     /// Pass through at most `n` rows.
     pub fn new(input: Executor, n: usize) -> Self {
-        Limit { input, remaining: n }
+        Limit {
+            input,
+            remaining: n,
+        }
     }
 }
 
@@ -262,7 +276,15 @@ impl NestedLoopJoin {
         };
         let left = collect(left, &mut err);
         let right = collect(right, &mut err);
-        NestedLoopJoin { left, right, cond, fns, li: 0, ri: 0, err }
+        NestedLoopJoin {
+            left,
+            right,
+            cond,
+            fns,
+            li: 0,
+            ri: 0,
+            err,
+        }
     }
 }
 
@@ -321,7 +343,10 @@ impl SortMergeJoin {
         let mut left = collect(left);
         let mut right = collect(right);
         if let Some(e) = err {
-            return SortMergeJoin { output: Vec::new().into_iter(), err: Some(e) };
+            return SortMergeJoin {
+                output: Vec::new().into_iter(),
+                err: Some(e),
+            };
         }
         left.sort_by(|a, b| a[lkey].total_cmp(&b[lkey]));
         right.sort_by(|a, b| a[rkey].total_cmp(&b[rkey]));
@@ -368,7 +393,10 @@ impl SortMergeJoin {
                 }
             }
         }
-        SortMergeJoin { output: out.into_iter(), err: None }
+        SortMergeJoin {
+            output: out.into_iter(),
+            err: None,
+        }
     }
 }
 
@@ -476,7 +504,10 @@ impl GroupAggregate {
             }
         }
         if err.is_some() {
-            return GroupAggregate { output: Vec::new().into_iter(), err };
+            return GroupAggregate {
+                output: Vec::new().into_iter(),
+                err,
+            };
         }
         if groups.is_empty() && group_exprs.is_empty() {
             groups.push((Vec::new(), vec![AggState::default(); aggs.len()]));
@@ -509,7 +540,10 @@ impl GroupAggregate {
             }
             out.push(row);
         }
-        GroupAggregate { output: out.into_iter(), err: None }
+        GroupAggregate {
+            output: out.into_iter(),
+            err: None,
+        }
     }
 }
 
@@ -540,7 +574,9 @@ mod tests {
     }
 
     fn rows(n: i64) -> Vec<Row> {
-        (0..n).map(|i| vec![Value::Int(i), Value::Str(format!("r{i}"))]).collect()
+        (0..n)
+            .map(|i| vec![Value::Int(i), Value::Str(format!("r{i}"))])
+            .collect()
     }
 
     fn boxed(rows: Vec<Row>) -> Executor {
@@ -577,12 +613,18 @@ mod tests {
             vec![Value::Int(1)],
         ];
         let asc = Sort::new(boxed(input.clone()), vec![(Expr::col(0), true)], fns());
-        let got: Vec<i64> =
-            collect_rows(asc).unwrap().iter().map(|r| r[0].as_int().unwrap()).collect();
+        let got: Vec<i64> = collect_rows(asc)
+            .unwrap()
+            .iter()
+            .map(|r| r[0].as_int().unwrap())
+            .collect();
         assert_eq!(got, vec![0, 1, 2]);
         let desc = Sort::new(boxed(input), vec![(Expr::col(0), false)], fns());
-        let got: Vec<i64> =
-            collect_rows(desc).unwrap().iter().map(|r| r[0].as_int().unwrap()).collect();
+        let got: Vec<i64> = collect_rows(desc)
+            .unwrap()
+            .iter()
+            .map(|r| r[0].as_int().unwrap())
+            .collect();
         assert_eq!(got, vec![2, 1, 0]);
     }
 
@@ -647,12 +689,30 @@ mod tests {
             vec![Value::Str("b".into()), Value::Int(5)],
         ];
         let aggs = vec![
-            AggSpec { func: AggFunc::Count, arg: Expr::col(1) },
-            AggSpec { func: AggFunc::CountStar, arg: Expr::col(1) },
-            AggSpec { func: AggFunc::Sum, arg: Expr::col(1) },
-            AggSpec { func: AggFunc::Avg, arg: Expr::col(1) },
-            AggSpec { func: AggFunc::Min, arg: Expr::col(1) },
-            AggSpec { func: AggFunc::Max, arg: Expr::col(1) },
+            AggSpec {
+                func: AggFunc::Count,
+                arg: Expr::col(1),
+            },
+            AggSpec {
+                func: AggFunc::CountStar,
+                arg: Expr::col(1),
+            },
+            AggSpec {
+                func: AggFunc::Sum,
+                arg: Expr::col(1),
+            },
+            AggSpec {
+                func: AggFunc::Avg,
+                arg: Expr::col(1),
+            },
+            AggSpec {
+                func: AggFunc::Min,
+                arg: Expr::col(1),
+            },
+            AggSpec {
+                func: AggFunc::Max,
+                arg: Expr::col(1),
+            },
         ];
         let g = GroupAggregate::new(boxed(input), vec![Expr::col(0)], aggs, fns());
         let out = collect_rows(g).unwrap();
@@ -670,8 +730,14 @@ mod tests {
     #[test]
     fn global_aggregate_on_empty_input() {
         let aggs = vec![
-            AggSpec { func: AggFunc::CountStar, arg: Expr::col(0) },
-            AggSpec { func: AggFunc::Sum, arg: Expr::col(0) },
+            AggSpec {
+                func: AggFunc::CountStar,
+                arg: Expr::col(0),
+            },
+            AggSpec {
+                func: AggFunc::Sum,
+                arg: Expr::col(0),
+            },
         ];
         let g = GroupAggregate::new(boxed(vec![]), vec![], aggs, fns());
         let out = collect_rows(g).unwrap();
@@ -684,7 +750,10 @@ mod tests {
         let t = db
             .create_table(
                 "t",
-                Schema::new(vec![Field::new("id", DataType::Int), Field::new("v", DataType::Int)]),
+                Schema::new(vec![
+                    Field::new("id", DataType::Int),
+                    Field::new("v", DataType::Int),
+                ]),
                 StorageKind::Heap,
                 &[],
             )

@@ -136,9 +136,7 @@ impl Expr {
                         Value::Int(i) => Value::Int(-i),
                         Value::Double(d) => Value::Double(-d),
                         Value::Null => Value::Null,
-                        other => {
-                            return Err(StoreError::Eval(format!("cannot negate {other}")))
-                        }
+                        other => return Err(StoreError::Eval(format!("cannot negate {other}"))),
                     },
                 })
             }
@@ -185,8 +183,10 @@ impl Expr {
             }
             Expr::Call(name, args) => {
                 let f = fns.get(name)?;
-                let vals =
-                    args.iter().map(|a| a.eval(row, fns)).collect::<Result<Vec<Value>>>()?;
+                let vals = args
+                    .iter()
+                    .map(|a| a.eval(row, fns))
+                    .collect::<Result<Vec<Value>>>()?;
                 f(&vals)
             }
         }
@@ -328,7 +328,10 @@ mod tests {
         // NULL propagates as unknown.
         let vs_null = Expr::bin(BinOp::Eq, Expr::col(0), Expr::lit(Value::Null));
         assert_eq!(ev(&vs_null, &row), Value::Null);
-        assert!(!vs_null.eval_bool(&row, &reg()).unwrap(), "unknown filters out");
+        assert!(
+            !vs_null.eval_bool(&row, &reg()).unwrap(),
+            "unknown filters out"
+        );
     }
 
     #[test]
@@ -342,7 +345,10 @@ mod tests {
         assert_eq!(and(&f, &n), Value::Int(0), "false AND unknown = false");
         assert_eq!(or(&t, &n), Value::Int(1), "true OR unknown = true");
         assert_eq!(or(&f, &n), Value::Null);
-        assert_eq!(ev(&Expr::Un(UnOp::Not, Box::new(Expr::lit(Value::Null))), &[]), Value::Null);
+        assert_eq!(
+            ev(&Expr::Un(UnOp::Not, Box::new(Expr::lit(Value::Null))), &[]),
+            Value::Null
+        );
     }
 
     #[test]
@@ -362,16 +368,27 @@ mod tests {
 
     #[test]
     fn arithmetic_and_division_by_zero() {
-        let add = Expr::bin(BinOp::Add, Expr::lit(Value::Int(2)), Expr::lit(Value::Int(3)));
+        let add = Expr::bin(
+            BinOp::Add,
+            Expr::lit(Value::Int(2)),
+            Expr::lit(Value::Int(3)),
+        );
         assert_eq!(ev(&add, &[]), Value::Int(5));
-        let div0 = Expr::bin(BinOp::Div, Expr::lit(Value::Int(1)), Expr::lit(Value::Int(0)));
+        let div0 = Expr::bin(
+            BinOp::Div,
+            Expr::lit(Value::Int(1)),
+            Expr::lit(Value::Int(0)),
+        );
         assert_eq!(ev(&div0, &[]), Value::Null);
         let date_plus = Expr::bin(
             BinOp::Add,
             Expr::lit(Value::Date(Date::parse("1995-01-01").unwrap())),
             Expr::lit(Value::Int(30)),
         );
-        assert_eq!(ev(&date_plus, &[]), Value::Date(Date::parse("1995-01-31").unwrap()));
+        assert_eq!(
+            ev(&date_plus, &[]),
+            Value::Date(Date::parse("1995-01-31").unwrap())
+        );
         let date_diff = Expr::bin(
             BinOp::Sub,
             Expr::lit(Value::Date(Date::parse("1995-02-01").unwrap())),

@@ -239,7 +239,10 @@ impl FailLog {
         FailLog {
             fp,
             inner,
-            state: Mutex::new(FailLogState { volatile: Vec::new(), seen_epoch: 0 }),
+            state: Mutex::new(FailLogState {
+                volatile: Vec::new(),
+                seen_epoch: 0,
+            }),
         }
     }
 
@@ -402,6 +405,8 @@ impl Pager for FailPager {
             return Ok(());
         }
         if id < self.inner.num_pages() {
+            // lint:allow(fault-injection wrapper: state stays locked across the
+            // inner read so a concurrent crash() cannot interleave with it)
             return self.inner.read_page(id, buf);
         }
         if id < st.num_pages {
@@ -435,8 +440,11 @@ impl Pager for FailPager {
                         self.inner.allocate()?;
                     }
                     let mut old = [0u8; PAGE_SIZE];
+                    // lint:allow(torn-write simulation must be atomic under the state lock,
+                    // or a concurrent writer could observe a half-torn page)
                     self.inner.read_page(id, &mut old)?;
                     old[..keep].copy_from_slice(&buf[..keep]);
+                    // lint:allow(second half of the torn-write simulation, same guard)
                     self.inner.write_page(id, &old)?;
                 }
                 st.volatile.clear();
@@ -503,10 +511,17 @@ mod tests {
         fp.crash_after_writes(1);
         assert!(is_crash(&log.append(b"cccc").unwrap_err()));
         assert!(fp.crashed());
-        assert!(is_crash(&log.append(b"dddd").unwrap_err()), "dead until revive");
+        assert!(
+            is_crash(&log.append(b"dddd").unwrap_err()),
+            "dead until revive"
+        );
 
         fp.revive();
-        assert_eq!(log.read_all().unwrap(), b"aaaa", "only synced bytes survived");
+        assert_eq!(
+            log.read_all().unwrap(),
+            b"aaaa",
+            "only synced bytes survived"
+        );
     }
 
     #[test]
@@ -523,7 +538,10 @@ mod tests {
             fp.revive();
             let got = log.read_all().unwrap();
             assert!(got.starts_with(b"aaaa"));
-            assert!(got.len() <= 8, "survivors are a prefix of the unsynced tail");
+            assert!(
+                got.len() <= 8,
+                "survivors are a prefix of the unsynced tail"
+            );
             assert!(b"aaaabbbb".starts_with(&got[..]));
         }
     }
@@ -568,7 +586,11 @@ mod tests {
         fp.crash_after_syncs(1);
         assert!(is_crash(&log.sync().unwrap_err()));
         fp.revive();
-        assert_eq!(log.read_all().unwrap(), b"aaaa", "the fsync completed before power loss");
+        assert_eq!(
+            log.read_all().unwrap(),
+            b"aaaa",
+            "the fsync completed before power loss"
+        );
     }
 
     #[test]
@@ -591,7 +613,10 @@ mod tests {
         // Durable content is the synced 0x11 image with a (possibly empty)
         // 0x22 torn prefix.
         let torn = buf.iter().take_while(|&&b| b == 0x22).count();
-        assert!(buf[torn..].iter().all(|&b| b == 0x11), "suffix keeps the old image");
+        assert!(
+            buf[torn..].iter().all(|&b| b == 0x11),
+            "suffix keeps the old image"
+        );
     }
 
     #[test]
@@ -624,6 +649,10 @@ mod tests {
         let mut buf = [0u8; PAGE_SIZE];
         pager.read_page(id, &mut buf).unwrap();
         assert_eq!(buf[0], 7);
-        assert_eq!(inner.num_pages(), 1, "flushed through to the durable medium");
+        assert_eq!(
+            inner.num_pages(),
+            1,
+            "flushed through to the durable medium"
+        );
     }
 }

@@ -57,7 +57,11 @@ impl HeapFile {
             SlottedPage::init(&mut guard.data[..]);
             guard.dirty = true;
         }
-        Ok(HeapFile { pool, first: id, last: Mutex::new(id) })
+        Ok(HeapFile {
+            pool,
+            first: id,
+            last: Mutex::new(id),
+        })
     }
 
     /// Reattach to an existing heap file given its first page.
@@ -73,7 +77,11 @@ impl HeapFile {
                 None => break,
             }
         }
-        Ok(HeapFile { pool, first, last: Mutex::new(last) })
+        Ok(HeapFile {
+            pool,
+            first,
+            last: Mutex::new(last),
+        })
     }
 
     /// First page of the chain (persist this as the table root).
@@ -91,7 +99,10 @@ impl HeapFile {
             if page.fits(record.len()) {
                 let slot = page.insert(record)?;
                 guard.dirty = true;
-                return Ok(RecordId { page: *last, slot: slot as u16 });
+                return Ok(RecordId {
+                    page: *last,
+                    slot: slot as u16,
+                });
             }
         }
         // Tail is full: allocate and link a new page.
@@ -114,7 +125,10 @@ impl HeapFile {
         let mut page = SlottedPage::new(&mut guard.data[..]);
         let slot = page.insert(record)?;
         guard.dirty = true;
-        Ok(RecordId { page: new_id, slot: slot as u16 })
+        Ok(RecordId {
+            page: new_id,
+            slot: slot as u16,
+        })
     }
 
     /// Read a record by address. `None` if it was deleted.
@@ -178,7 +192,9 @@ impl HeapFile {
     /// A read-only record fetcher that does not borrow the heap file
     /// (shares the pool). Used by owning index-scan iterators.
     pub fn reader(&self) -> HeapReader {
-        HeapReader { pool: self.pool.clone() }
+        HeapReader {
+            pool: self.pool.clone(),
+        }
     }
 
     /// Number of pages in the chain.
@@ -214,7 +230,15 @@ impl HeapCursor {
         let page = SlottedPage::new(&mut guard.data[..]);
         let recs: Vec<(RecordId, Vec<u8>)> = page
             .records()
-            .map(|(slot, rec)| (RecordId { page: id, slot: slot as u16 }, rec.to_vec()))
+            .map(|(slot, rec)| {
+                (
+                    RecordId {
+                        page: id,
+                        slot: slot as u16,
+                    },
+                    rec.to_vec(),
+                )
+            })
             .collect();
         self.next_page = page.next_page();
         self.batch = recs.into_iter();
@@ -312,7 +336,7 @@ mod tests {
         let same = h.update(a, b"short").unwrap();
         assert_eq!(same, a);
         assert_eq!(h.get(a).unwrap().unwrap(), b"short");
-        let moved = h.update(a, &vec![b'z'; 100]).unwrap();
+        let moved = h.update(a, &[b'z'; 100]).unwrap();
         assert_ne!(moved, a);
         assert_eq!(h.get(a).unwrap(), None, "old address tombstoned");
         assert_eq!(h.get(moved).unwrap().unwrap(), vec![b'z'; 100]);
@@ -335,7 +359,10 @@ mod tests {
 
     #[test]
     fn record_id_bytes_roundtrip() {
-        let rid = RecordId { page: 123456, slot: 42 };
+        let rid = RecordId {
+            page: 123456,
+            slot: 42,
+        };
         assert_eq!(RecordId::from_bytes(&rid.to_bytes()).unwrap(), rid);
         assert!(RecordId::from_bytes(&[1, 2, 3]).is_err());
     }

@@ -26,6 +26,8 @@
 //! storage ("ArchIS-ATLaS"), whose extra storage overhead the paper calls
 //! out in its Figure 11.
 
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 pub mod btree;
 pub mod buffer;
 
@@ -65,8 +67,8 @@ pub use btree::BTree;
 pub use buffer::{BufferPool, IoStats};
 pub use catalog::{Database, StorageKind};
 pub use exec::{
-    Executor, Filter, GroupAggregate, IndexRangeScan, Limit, NestedLoopJoin, Project, Row,
-    SeqScan, Sort, SortMergeJoin,
+    Executor, Filter, GroupAggregate, IndexRangeScan, Limit, NestedLoopJoin, Project, Row, SeqScan,
+    Sort, SortMergeJoin,
 };
 pub use expr::{AggFunc, BinOp, Expr, ScalarFn, UnOp};
 pub use failpoint::{FailLog, FailPager, Failpoints};
@@ -75,7 +77,9 @@ pub use page::{PageId, PAGE_SIZE};
 pub use pager::{FilePager, MemPager, Pager};
 pub use table::{IndexDef, Table};
 pub use value::{decode_row, encode_key, encode_row, DataType, Field, Schema, Value};
-pub use wal::{FileLog, LogFile, MemLog, RecoveryInfo, RecoveryStop, WalConfig, WalPager, WalStats};
+pub use wal::{
+    FileLog, LogFile, MemLog, RecoveryInfo, RecoveryStop, WalConfig, WalPager, WalStats,
+};
 
 use std::fmt;
 

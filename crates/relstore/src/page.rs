@@ -96,7 +96,8 @@ impl<'a> SlottedPage<'a> {
 
     /// Contiguous free bytes available for one more record plus its slot.
     pub fn free_space(&self) -> usize {
-        self.free_offset().saturating_sub(HEADER + self.slot_count() * SLOT)
+        self.free_offset()
+            .saturating_sub(HEADER + self.slot_count() * SLOT)
     }
 
     /// Whether a record of `len` bytes fits.
@@ -221,7 +222,10 @@ mod tests {
     fn rejects_oversized_record() {
         let mut buf = fresh();
         let mut p = SlottedPage::new(&mut buf);
-        assert!(matches!(p.insert(&[0u8; PAGE_SIZE]), Err(StoreError::RecordTooLarge(_))));
+        assert!(matches!(
+            p.insert(&[0u8; PAGE_SIZE]),
+            Err(StoreError::RecordTooLarge(_))
+        ));
     }
 
     #[test]

@@ -105,8 +105,18 @@ pub struct FilePager {
 
 impl FilePager {
     /// Open (or create) a page file at `path`.
+    ///
+    /// Existing contents are deliberately kept (`truncate(false)`): a page
+    /// file is the durable store, and reopening it after a restart *is*
+    /// the recovery path — `num_pages` is derived from the surviving file
+    /// length.
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
-        let file = OpenOptions::new().read(true).write(true).create(true).open(path)?;
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
         let len = file.metadata()?.len();
         Ok(FilePager {
             file: Mutex::new(file),
@@ -119,6 +129,8 @@ impl Pager for FilePager {
     fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
         let mut f = self.file.lock();
         f.seek(SeekFrom::Start(id * PAGE_SIZE as u64))?;
+        // lint:allow(the file mutex exists precisely to make seek+read atomic
+        // on the single shared descriptor)
         f.read_exact(buf)?;
         Ok(())
     }
@@ -126,6 +138,8 @@ impl Pager for FilePager {
     fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()> {
         let mut f = self.file.lock();
         f.seek(SeekFrom::Start(id * PAGE_SIZE as u64))?;
+        // lint:allow(the file mutex exists precisely to make seek+write atomic
+        // on the single shared descriptor)
         f.write_all(buf)?;
         Ok(())
     }
@@ -135,6 +149,8 @@ impl Pager for FilePager {
         let id = *len;
         let mut f = self.file.lock();
         f.seek(SeekFrom::Start(id * PAGE_SIZE as u64))?;
+        // lint:allow(allocation must extend the file and bump len_pages as one
+        // step; both locks guard exactly this pairing)
         f.write_all(&[0u8; PAGE_SIZE])?;
         *len += 1;
         Ok(id)
@@ -145,6 +161,8 @@ impl Pager for FilePager {
     }
 
     fn sync(&self) -> Result<()> {
+        // lint:allow(sync_data under the file lock orders the fsync after every
+        // buffered write that raced it)
         self.file.lock().sync_data()?;
         Ok(())
     }

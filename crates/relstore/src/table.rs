@@ -103,6 +103,23 @@ impl Table {
         })
     }
 
+    /// The heap file backing this table. `create`/`open` set exactly one
+    /// backing store per [`StorageKind`], so a miss means the catalog
+    /// handed out a table whose roots were corrupted — an error, not a
+    /// panic, so readers can't take down a commit in flight.
+    fn heap_store(&self) -> Result<&HeapFile> {
+        self.heap
+            .as_ref()
+            .ok_or_else(|| StoreError::Corrupt(format!("table {}: heap store missing", self.name)))
+    }
+
+    /// The clustered B+tree backing this table (see [`Table::heap_store`]).
+    fn tree_store(&self) -> Result<&BTree> {
+        self.clustered
+            .as_ref()
+            .ok_or_else(|| StoreError::Corrupt(format!("table {}: b+tree missing", self.name)))
+    }
+
     /// Table name.
     pub fn name(&self) -> &str {
         &self.name
@@ -120,15 +137,20 @@ impl Table {
 
     /// Names of the cluster columns (empty for heap tables).
     pub fn cluster_columns(&self) -> Vec<String> {
-        self.cluster_cols.iter().map(|&i| self.schema.fields[i].name.clone()).collect()
+        self.cluster_cols
+            .iter()
+            .map(|&i| self.schema.fields[i].name.clone())
+            .collect()
     }
 
     /// Snapshot of the table's persistent roots (for the durable catalog).
     pub fn roots(&self) -> TableRoots {
         TableRoots {
             base: match self.kind {
-                StorageKind::Heap => self.heap.as_ref().unwrap().first_page(),
-                StorageKind::Clustered => self.clustered.as_ref().unwrap().root_page(),
+                // lint:allow(construction invariant: create/open_existing set
+                // the backing store matching `kind` before handing the table out)
+                StorageKind::Heap => self.heap.as_ref().expect("heap store").first_page(),
+                StorageKind::Clustered => self.clustered.as_ref().expect("b+tree").root_page(),
             },
             seq: self.seq.load(Ordering::Relaxed),
             rows: self.rows.load(Ordering::Relaxed),
@@ -168,7 +190,11 @@ impl Table {
                     .iter()
                     .map(|c| schema.require(c))
                     .collect::<Result<Vec<_>>>()?;
-                Ok(Index { def: def.clone(), cols, tree: BTree::open(pool.clone(), *root) })
+                Ok(Index {
+                    def: def.clone(),
+                    cols,
+                    tree: BTree::open(pool.clone(), *root),
+                })
             })
             .collect::<Result<Vec<_>>>()?;
         Ok(Table {
@@ -204,7 +230,10 @@ impl Table {
                 return Err(StoreError::AlreadyExists(format!("index {name}")));
             }
         }
-        let cols = columns.iter().map(|c| self.schema.require(c)).collect::<Result<Vec<_>>>()?;
+        let cols = columns
+            .iter()
+            .map(|c| self.schema.require(c))
+            .collect::<Result<Vec<_>>>()?;
         // Build from existing data, bottom-up: sort the (key, handle)
         // entries into tree order and bulk-load instead of splitting our
         // way through random inserts.
@@ -216,7 +245,10 @@ impl Table {
         entries.sort();
         let tree = BTree::bulk_load(self.pool.clone(), entries)?;
         self.indexes.write().push(Index {
-            def: IndexDef { name: name.into(), columns: columns.iter().map(|s| s.to_string()).collect() },
+            def: IndexDef {
+                name: name.into(),
+                columns: columns.iter().map(|s| s.to_string()).collect(),
+            },
             cols,
             tree,
         });
@@ -225,12 +257,20 @@ impl Table {
 
     /// Names of the table's indexes.
     pub fn index_names(&self) -> Vec<String> {
-        self.indexes.read().iter().map(|i| i.def.name.clone()).collect()
+        self.indexes
+            .read()
+            .iter()
+            .map(|i| i.def.name.clone())
+            .collect()
     }
 
     /// The index definition for `name`, if present.
     pub fn index_def(&self, name: &str) -> Option<IndexDef> {
-        self.indexes.read().iter().find(|i| i.def.name == name).map(|i| i.def.clone())
+        self.indexes
+            .read()
+            .iter()
+            .find(|i| i.def.name == name)
+            .map(|i| i.def.clone())
     }
 
     /// Find an index whose leading column is `column`.
@@ -254,14 +294,14 @@ impl Table {
         let bytes = encode_row(&row);
         let handle: Vec<u8> = match self.kind {
             StorageKind::Heap => {
-                let rid = self.heap.as_ref().unwrap().insert(&bytes)?;
+                let rid = self.heap_store()?.insert(&bytes)?;
                 rid.to_bytes().to_vec()
             }
             StorageKind::Clustered => {
                 let mut key = encode_key(&select(&row, &self.cluster_cols));
                 let uniq = self.seq.fetch_add(1, Ordering::Relaxed);
                 key.extend_from_slice(&uniq.to_be_bytes());
-                self.clustered.as_ref().unwrap().insert(&key, &bytes)?;
+                self.tree_store()?.insert(&key, &bytes)?;
                 Self::handle_of_cluster_key(&key)
             }
         };
@@ -300,14 +340,14 @@ impl Table {
         let mut handles: Vec<(Vec<u8>, Vec<Value>)> = Vec::with_capacity(n);
         match self.kind {
             StorageKind::Heap => {
-                let heap = self.heap.as_ref().unwrap();
+                let heap = self.heap_store()?;
                 for row in rows {
                     let rid = heap.insert(&encode_row(&row))?;
                     handles.push((rid.to_bytes().to_vec(), row));
                 }
             }
             StorageKind::Clustered => {
-                let tree = self.clustered.as_ref().unwrap();
+                let tree = self.tree_store()?;
                 let mut keyed: Vec<(Vec<u8>, Vec<u8>, Vec<Value>)> = rows
                     .into_iter()
                     .map(|row| {
@@ -367,15 +407,16 @@ impl Table {
         match self.kind {
             StorageKind::Heap => {
                 let mut out = Vec::new();
-                for (rid, bytes) in self.heap.as_ref().unwrap().scan()? {
+                for (rid, bytes) in self.heap_store()?.scan()? {
                     out.push((rid.to_bytes().to_vec(), decode_row(&bytes)?));
                 }
                 Ok(out)
             }
             StorageKind::Clustered => {
                 let mut out = Vec::new();
-                let iter =
-                    self.clustered.as_ref().unwrap().range(Bound::Unbounded, Bound::Unbounded)?;
+                let iter = self
+                    .tree_store()?
+                    .range(Bound::Unbounded, Bound::Unbounded)?;
                 for (key, bytes) in iter {
                     out.push((Self::handle_of_cluster_key(&key), decode_row(&bytes)?));
                 }
@@ -396,9 +437,10 @@ impl Table {
     /// owns its storage handles, so it does not borrow the table.
     pub fn stream(&self) -> Result<RowStream> {
         let inner = match self.kind {
-            StorageKind::Heap => RowStreamInner::Heap(self.heap.as_ref().unwrap().cursor()),
+            StorageKind::Heap => RowStreamInner::Heap(self.heap_store()?.cursor()),
             StorageKind::Clustered => RowStreamInner::Clustered(
-                self.clustered.as_ref().unwrap().range(Bound::Unbounded, Bound::Unbounded)?,
+                self.tree_store()?
+                    .range(Bound::Unbounded, Bound::Unbounded)?,
             ),
         };
         Ok(RowStream { inner })
@@ -409,13 +451,13 @@ impl Table {
         match self.kind {
             StorageKind::Heap => {
                 let rid = RecordId::from_bytes(handle)?;
-                match self.heap.as_ref().unwrap().get(rid)? {
+                match self.heap_store()?.get(rid)? {
                     Some(bytes) => Ok(Some(decode_row(&bytes)?)),
                     None => Ok(None),
                 }
             }
             StorageKind::Clustered => {
-                let vals = self.clustered.as_ref().unwrap().get(handle)?;
+                let vals = self.tree_store()?.get(handle)?;
                 match vals.first() {
                     Some(bytes) => Ok(Some(decode_row(bytes)?)),
                     None => Ok(None),
@@ -453,11 +495,7 @@ impl Table {
             Bound::Excluded(vals) => Bound::Excluded(encode_key(vals)),
             Bound::Unbounded => Bound::Unbounded,
         };
-        self.index_range_raw(
-            index,
-            as_bound_slice(&lo_k),
-            as_bound_slice(&hi_k),
-        )
+        self.index_range_raw(index, as_bound_slice(&lo_k), as_bound_slice(&hi_k))
     }
 
     fn index_range_raw(
@@ -519,10 +557,8 @@ impl Table {
         };
         let entries = idx.tree.range(lo, hi)?;
         let fetch = match self.kind {
-            StorageKind::Heap => RowFetcher::Heap(self.heap.as_ref().unwrap().reader()),
-            StorageKind::Clustered => {
-                RowFetcher::Clustered(self.clustered.as_ref().unwrap().clone_handle())
-            }
+            StorageKind::Heap => RowFetcher::Heap(self.heap_store()?.reader()),
+            StorageKind::Clustered => RowFetcher::Clustered(self.tree_store()?.clone_handle()),
         };
         Ok(IndexRowStream { entries, fetch })
     }
@@ -545,9 +581,10 @@ impl Table {
         lo: Bound<&[Value]>,
         hi: Bound<&[Value]>,
     ) -> Result<RowStream> {
-        let tree = self.clustered.as_ref().ok_or_else(|| {
-            StoreError::SchemaMismatch(format!("{} is not clustered", self.name))
-        })?;
+        let tree = self
+            .clustered
+            .as_ref()
+            .ok_or_else(|| StoreError::SchemaMismatch(format!("{} is not clustered", self.name)))?;
         let lo_k = map_bound_enc(lo);
         // Inclusive upper bounds on prefixes must cover longer keys.
         let hi_k = match hi {
@@ -559,7 +596,9 @@ impl Table {
             Bound::Unbounded => Bound::Unbounded,
         };
         let iter = tree.range(as_bound_slice(&lo_k), as_bound_slice(&hi_k))?;
-        Ok(RowStream { inner: RowStreamInner::Clustered(iter) })
+        Ok(RowStream {
+            inner: RowStreamInner::Clustered(iter),
+        })
     }
 
     /// `(handle, row)` pairs whose index key equals `key_values` (prefix
@@ -633,10 +672,10 @@ impl Table {
     fn remove_physical(&self, handle: &[u8], row: &[Value]) -> Result<()> {
         match self.kind {
             StorageKind::Heap => {
-                self.heap.as_ref().unwrap().delete(RecordId::from_bytes(handle)?)?;
+                self.heap_store()?.delete(RecordId::from_bytes(handle)?)?;
             }
             StorageKind::Clustered => {
-                self.clustered.as_ref().unwrap().delete(handle, &encode_row(row))?;
+                self.tree_store()?.delete(handle, &encode_row(row))?;
             }
         }
         for idx in self.indexes.read().iter() {
@@ -694,8 +733,8 @@ impl Table {
     /// Pages used by base storage plus all indexes (storage experiments).
     pub fn page_count(&self) -> Result<u64> {
         let base = match self.kind {
-            StorageKind::Heap => self.heap.as_ref().unwrap().page_count()?,
-            StorageKind::Clustered => self.clustered.as_ref().unwrap().page_count()?,
+            StorageKind::Heap => self.heap_store()?.page_count()?,
+            StorageKind::Clustered => self.tree_store()?.page_count()?,
         };
         let mut total = base;
         for idx in self.indexes.read().iter() {
@@ -722,9 +761,9 @@ impl Iterator for RowStream {
 
     fn next(&mut self) -> Option<Self::Item> {
         match &mut self.inner {
-            RowStreamInner::Heap(c) => {
-                c.next().map(|r| r.and_then(|(_, bytes)| decode_row(&bytes)))
-            }
+            RowStreamInner::Heap(c) => c
+                .next()
+                .map(|r| r.and_then(|(_, bytes)| decode_row(&bytes))),
             RowStreamInner::Clustered(it) => it.next().map(|(_, bytes)| decode_row(&bytes)),
         }
     }
@@ -827,8 +866,10 @@ mod tests {
     #[test]
     fn insert_scan_roundtrip_both_layouts() {
         for t in both() {
-            t.insert(row(2, 50_000, "1989-01-01", "1990-01-01")).unwrap();
-            t.insert(row(1, 60_000, "1995-01-01", "1995-05-31")).unwrap();
+            t.insert(row(2, 50_000, "1989-01-01", "1990-01-01"))
+                .unwrap();
+            t.insert(row(1, 60_000, "1995-01-01", "1995-05-31"))
+                .unwrap();
             assert_eq!(t.row_count(), 2);
             let rows = t.scan().unwrap();
             assert_eq!(rows.len(), 2);
@@ -843,7 +884,12 @@ mod tests {
         let t = table(StorageKind::Heap);
         assert!(t.insert(vec![Value::Int(1)]).is_err());
         assert!(t
-            .insert(vec![Value::Str("x".into()), Value::Int(1), Value::Null, Value::Null])
+            .insert(vec![
+                Value::Str("x".into()),
+                Value::Int(1),
+                Value::Null,
+                Value::Null
+            ])
             .is_err());
     }
 
@@ -852,7 +898,8 @@ mod tests {
         for t in both() {
             t.create_index("by_id", &["id"]).unwrap();
             for id in 0..50 {
-                t.insert(row(id, 1000 * id, "1990-01-01", "1991-01-01")).unwrap();
+                t.insert(row(id, 1000 * id, "1990-01-01", "1991-01-01"))
+                    .unwrap();
             }
             let hits = t.index_lookup("by_id", &[Value::Int(7)]).unwrap();
             assert_eq!(hits.len(), 1);
@@ -875,7 +922,10 @@ mod tests {
         }
         t.create_index("by_id", &["id"]).unwrap();
         assert_eq!(t.index_lookup("by_id", &[Value::Int(13)]).unwrap().len(), 1);
-        assert!(t.create_index("by_id", &["id"]).is_err(), "duplicate index name");
+        assert!(
+            t.create_index("by_id", &["id"]).is_err(),
+            "duplicate index name"
+        );
     }
 
     #[test]
@@ -901,7 +951,10 @@ mod tests {
             let n = t.delete_where(|r| r[0].as_int().unwrap() % 2 == 0).unwrap();
             assert_eq!(n, 5);
             assert_eq!(t.row_count(), 5);
-            assert!(t.index_lookup("by_id", &[Value::Int(4)]).unwrap().is_empty());
+            assert!(t
+                .index_lookup("by_id", &[Value::Int(4)])
+                .unwrap()
+                .is_empty());
             assert_eq!(t.index_lookup("by_id", &[Value::Int(5)]).unwrap().len(), 1);
             assert_eq!(t.scan().unwrap().len(), 5);
         }
@@ -911,17 +964,23 @@ mod tests {
     fn update_where_rewrites_row_and_indexes() {
         for t in both() {
             t.create_index("by_salary", &["salary"]).unwrap();
-            t.insert(row(1, 60_000, "1995-01-01", "1995-05-31")).unwrap();
+            t.insert(row(1, 60_000, "1995-01-01", "1995-05-31"))
+                .unwrap();
             // The ArchIS archival update: close the current period.
             let n = t
-                .update_where(
-                    |r| r[0] == Value::Int(1),
-                    |r| r[1] = Value::Int(70_000),
-                )
+                .update_where(|r| r[0] == Value::Int(1), |r| r[1] = Value::Int(70_000))
                 .unwrap();
             assert_eq!(n, 1);
-            assert!(t.index_lookup("by_salary", &[Value::Int(60_000)]).unwrap().is_empty());
-            assert_eq!(t.index_lookup("by_salary", &[Value::Int(70_000)]).unwrap().len(), 1);
+            assert!(t
+                .index_lookup("by_salary", &[Value::Int(60_000)])
+                .unwrap()
+                .is_empty());
+            assert_eq!(
+                t.index_lookup("by_salary", &[Value::Int(70_000)])
+                    .unwrap()
+                    .len(),
+                1
+            );
         }
     }
 
@@ -966,8 +1025,14 @@ mod tests {
             assert_eq!(norm(&batched), norm(&one_by_one));
             for sal in 1000..1007 {
                 assert_eq!(
-                    batched.index_lookup("by_salary", &[Value::Int(sal)]).unwrap().len(),
-                    one_by_one.index_lookup("by_salary", &[Value::Int(sal)]).unwrap().len(),
+                    batched
+                        .index_lookup("by_salary", &[Value::Int(sal)])
+                        .unwrap()
+                        .len(),
+                    one_by_one
+                        .index_lookup("by_salary", &[Value::Int(sal)])
+                        .unwrap()
+                        .len(),
                     "salary {sal}"
                 );
             }

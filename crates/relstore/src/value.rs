@@ -6,9 +6,9 @@
 //! the B+tree stay type-agnostic.
 
 use crate::{Result, StoreError};
-use temporal::Date;
 use std::cmp::Ordering;
 use std::fmt;
+use temporal::Date;
 
 /// The column types the engine supports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -156,7 +156,10 @@ pub struct Field {
 impl Field {
     /// Construct a field.
     pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
-        Field { name: name.into(), dtype }
+        Field {
+            name: name.into(),
+            dtype,
+        }
     }
 }
 
@@ -296,7 +299,9 @@ pub fn decode_row(data: &[u8]) -> Result<Vec<Value>> {
             }
             TAG_DATE => {
                 let b = take(&mut pos, 4)?;
-                Value::Date(Date::from_day_number(i32::from_be_bytes(b.try_into().unwrap())))
+                Value::Date(Date::from_day_number(i32::from_be_bytes(
+                    b.try_into().unwrap(),
+                )))
             }
             TAG_BLOB => {
                 let lb = take(&mut pos, 4)?;
@@ -333,7 +338,11 @@ pub fn encode_key_value(v: &Value, out: &mut Vec<u8>) {
             // in one indexed column, so cross-type key order is irrelevant.
             out.push(0x02);
             let bits = d.to_bits();
-            let ordered = if d.is_sign_negative() { !bits } else { bits ^ (1 << 63) };
+            let ordered = if d.is_sign_negative() {
+                !bits
+            } else {
+                bits ^ (1 << 63)
+            };
             out.extend_from_slice(&ordered.to_be_bytes());
         }
         Value::Str(s) => {
@@ -454,7 +463,10 @@ mod tests {
     fn sql_cmp_three_valued() {
         assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
         assert_eq!(Value::Int(1).sql_cmp(&Value::Str("1".into())), None);
-        assert_eq!(Value::Int(2).sql_cmp(&Value::Double(2.0)), Some(Ordering::Equal));
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Double(2.0)),
+            Some(Ordering::Equal)
+        );
         assert_eq!(
             Value::Str("abc".into()).sql_cmp(&Value::Str("abd".into())),
             Some(Ordering::Less)
@@ -471,15 +483,25 @@ mod tests {
         assert_eq!(s.index_of("name"), Some(1));
         assert!(s.require("missing").is_err());
         assert!(s
-            .check_row(&[Value::Int(1), Value::Str("Bob".into()), Value::Date(d("1995-01-01"))])
+            .check_row(&[
+                Value::Int(1),
+                Value::Str("Bob".into()),
+                Value::Date(d("1995-01-01"))
+            ])
             .is_ok());
         assert!(s.check_row(&[Value::Int(1)]).is_err(), "arity");
         assert!(
-            s.check_row(&[Value::Str("x".into()), Value::Str("Bob".into()), Value::Null]).is_err(),
+            s.check_row(&[
+                Value::Str("x".into()),
+                Value::Str("Bob".into()),
+                Value::Null
+            ])
+            .is_err(),
             "type"
         );
         assert!(
-            s.check_row(&[Value::Null, Value::Null, Value::Null]).is_ok(),
+            s.check_row(&[Value::Null, Value::Null, Value::Null])
+                .is_ok(),
             "NULL fits any column"
         );
     }

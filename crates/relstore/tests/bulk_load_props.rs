@@ -33,7 +33,9 @@ fn build_both(entries: &[(Vec<u8>, Vec<u8>)]) -> (BTree, BTree) {
 }
 
 fn full_scan(t: &BTree) -> Vec<(Vec<u8>, Vec<u8>)> {
-    t.range(Bound::Unbounded, Bound::Unbounded).unwrap().collect()
+    t.range(Bound::Unbounded, Bound::Unbounded)
+        .unwrap()
+        .collect()
 }
 
 proptest! {

@@ -7,7 +7,10 @@ use relstore::{DataType, Database, Field, Schema, StorageKind, Value};
 use std::sync::Arc;
 
 fn schema() -> Schema {
-    Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Str)])
+    Schema::new(vec![
+        Field::new("k", DataType::Int),
+        Field::new("v", DataType::Str),
+    ])
 }
 
 #[test]
@@ -47,15 +50,20 @@ fn concurrent_inserts_land_exactly_once() {
 #[test]
 fn readers_run_while_writers_append() {
     let db = Arc::new(Database::in_memory());
-    let t = db.create_table("t", schema(), StorageKind::Heap, &[]).unwrap();
+    let t = db
+        .create_table("t", schema(), StorageKind::Heap, &[])
+        .unwrap();
     for i in 0..100 {
-        t.insert(vec![Value::Int(i), Value::Str("seed".into())]).unwrap();
+        t.insert(vec![Value::Int(i), Value::Str("seed".into())])
+            .unwrap();
     }
     thread::scope(|s| {
         let writer = t.clone();
         s.spawn(move |_| {
             for i in 100..400 {
-                writer.insert(vec![Value::Int(i), Value::Str("more".into())]).unwrap();
+                writer
+                    .insert(vec![Value::Int(i), Value::Str("more".into())])
+                    .unwrap();
             }
         });
         for _ in 0..3 {

@@ -17,7 +17,10 @@ const TXNS: i64 = 30;
 const CHECKPOINT_AT: i64 = 15;
 
 fn schema() -> Schema {
-    Schema::new(vec![Field::new("id", DataType::Int), Field::new("v", DataType::Str)])
+    Schema::new(vec![
+        Field::new("id", DataType::Int),
+        Field::new("v", DataType::Str),
+    ])
 }
 
 struct Media {
@@ -59,15 +62,21 @@ fn workload(m: &Media, batch: usize) -> Result<(), StoreError> {
 /// the first commit) or holds keys 0..k in order for some k ≤ TXNS.
 fn assert_prefix_consistent(m: &Media, ctx: &str) -> i64 {
     let pager = Arc::new(
-        WalPager::open(m.base.clone(), m.log.clone(), WalConfig::with_group_commit(1))
-            .unwrap_or_else(|e| panic!("{ctx}: recovery open failed: {e}")),
+        WalPager::open(
+            m.base.clone(),
+            m.log.clone(),
+            WalConfig::with_group_commit(1),
+        )
+        .unwrap_or_else(|e| panic!("{ctx}: recovery open failed: {e}")),
     );
     let db = Database::open_pool(Arc::new(BufferPool::new(pager, 64)))
         .unwrap_or_else(|e| panic!("{ctx}: catalog reload failed: {e}"));
     let Ok(t) = db.table("t") else {
         return 0; // crashed before the creating transaction committed
     };
-    let rows = t.scan().unwrap_or_else(|e| panic!("{ctx}: scan failed: {e}"));
+    let rows = t
+        .scan()
+        .unwrap_or_else(|e| panic!("{ctx}: scan failed: {e}"));
     for (i, r) in rows.iter().enumerate() {
         assert_eq!(
             r[0],
@@ -76,7 +85,10 @@ fn assert_prefix_consistent(m: &Media, ctx: &str) -> i64 {
         );
         assert_eq!(r[1], Value::Str(format!("v{i}")), "{ctx}: torn row content");
     }
-    assert!(rows.len() as i64 <= TXNS, "{ctx}: more rows than ever inserted");
+    assert!(
+        rows.len() as i64 <= TXNS,
+        "{ctx}: more rows than ever inserted"
+    );
     rows.len() as i64
 }
 
@@ -103,7 +115,10 @@ fn crash_at_every_write_recovers_to_a_commit_prefix() {
         recovered_rows_seen.len() > 5,
         "sweep recovered only {recovered_rows_seen:?} distinct prefixes"
     );
-    assert!(recovered_rows_seen.contains(&TXNS), "late crashes keep everything");
+    assert!(
+        recovered_rows_seen.contains(&TXNS),
+        "late crashes keep everything"
+    );
 }
 
 #[test]
@@ -111,7 +126,10 @@ fn crash_at_every_sync_recovers_to_a_commit_prefix() {
     let dry = media(0);
     workload(&dry, 1).expect("dry run must not crash");
     let total_syncs = dry.fp.syncs();
-    assert!(total_syncs >= TXNS as u64, "fsync-per-commit implies one sync per txn");
+    assert!(
+        total_syncs >= TXNS as u64,
+        "fsync-per-commit implies one sync per txn"
+    );
 
     for n in 1..=total_syncs {
         let m = media(1000 + n);

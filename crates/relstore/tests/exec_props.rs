@@ -2,9 +2,7 @@
 //! reference implementations.
 
 use proptest::prelude::*;
-use relstore::exec::{
-    collect_rows, Filter, NestedLoopJoin, Row, SeqScan, Sort, SortMergeJoin,
-};
+use relstore::exec::{collect_rows, Filter, NestedLoopJoin, Row, SeqScan, Sort, SortMergeJoin};
 use relstore::expr::{BinOp, Expr, FnRegistry};
 use relstore::Value;
 use std::sync::Arc;

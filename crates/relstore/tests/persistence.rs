@@ -33,36 +33,55 @@ fn checkpoint_and_reopen_heap_and_clustered() {
     std::fs::remove_file(&path).ok();
     {
         let db = Database::open_file(&path, 64).unwrap();
-        let h = db.create_table("heap_t", schema(), StorageKind::Heap, &[]).unwrap();
+        let h = db
+            .create_table("heap_t", schema(), StorageKind::Heap, &[])
+            .unwrap();
         h.create_index("heap_by_id", &["id"]).unwrap();
-        let c = db.create_table("clus_t", schema(), StorageKind::Clustered, &["id"]).unwrap();
+        let c = db
+            .create_table("clus_t", schema(), StorageKind::Clustered, &["id"])
+            .unwrap();
         c.create_index("clus_by_name", &["name"]).unwrap();
         for i in 0..500 {
             h.insert(row(i)).unwrap();
             c.insert(row(i)).unwrap();
         }
-        h.delete_where(|r| r[0].as_int().unwrap() % 10 == 0).unwrap();
+        h.delete_where(|r| r[0].as_int().unwrap() % 10 == 0)
+            .unwrap();
         db.checkpoint().unwrap();
     }
     {
         let db = Database::open_file(&path, 64).unwrap();
-        assert_eq!(db.table_names(), vec!["clus_t".to_string(), "heap_t".to_string()]);
+        assert_eq!(
+            db.table_names(),
+            vec!["clus_t".to_string(), "heap_t".to_string()]
+        );
         let h = db.table("heap_t").unwrap();
         let c = db.table("clus_t").unwrap();
         assert_eq!(h.row_count(), 450);
         assert_eq!(c.row_count(), 500);
         // Indexes survived.
-        assert_eq!(h.index_lookup("heap_by_id", &[Value::Int(11)]).unwrap().len(), 1);
-        assert!(h.index_lookup("heap_by_id", &[Value::Int(10)]).unwrap().is_empty());
         assert_eq!(
-            c.index_lookup("clus_by_name", &[Value::Str("row-77".into())]).unwrap().len(),
+            h.index_lookup("heap_by_id", &[Value::Int(11)])
+                .unwrap()
+                .len(),
+            1
+        );
+        assert!(h
+            .index_lookup("heap_by_id", &[Value::Int(10)])
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            c.index_lookup("clus_by_name", &[Value::Str("row-77".into())])
+                .unwrap()
+                .len(),
             1
         );
         // Clustered range scans still ordered.
         let lo = [Value::Int(100)];
         let hi = [Value::Int(110)];
-        let rows =
-            c.cluster_range(Bound::Included(&lo[..]), Bound::Excluded(&hi[..])).unwrap();
+        let rows = c
+            .cluster_range(Bound::Included(&lo[..]), Bound::Excluded(&hi[..]))
+            .unwrap();
         assert_eq!(rows.len(), 10);
         assert_eq!(rows[0][0], Value::Int(100));
         // Keep writing after reopen, checkpoint again, reopen again.
@@ -95,7 +114,9 @@ fn unflushed_changes_after_checkpoint_are_lost_but_consistent() {
     std::fs::remove_file(&path).ok();
     {
         let db = Database::open_file(&path, 64).unwrap();
-        let t = db.create_table("t", schema(), StorageKind::Heap, &[]).unwrap();
+        let t = db
+            .create_table("t", schema(), StorageKind::Heap, &[])
+            .unwrap();
         t.insert(row(1)).unwrap();
         db.checkpoint().unwrap();
         // Insert after the checkpoint, then "crash" (drop without

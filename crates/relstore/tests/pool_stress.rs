@@ -66,17 +66,29 @@ fn concurrent_gets_lose_no_writes_under_eviction() {
         "every get must count as one logical read"
     );
     assert!(stats.physical_reads <= stats.logical_reads);
-    assert!(stats.evictions > 0, "256 pages through 128 frames must evict");
-    assert!(stats.writes_evict > 0, "dirty victims must be attributed to eviction");
+    assert!(
+        stats.evictions > 0,
+        "256 pages through 128 frames must evict"
+    );
+    assert!(
+        stats.writes_evict > 0,
+        "dirty victims must be attributed to eviction"
+    );
     assert_eq!(
         stats.writes_checkpoint, 0,
         "no explicit flush has run yet, so no checkpoint write-backs"
     );
-    assert_eq!(stats.physical_writes, stats.writes_evict + stats.writes_checkpoint);
+    assert_eq!(
+        stats.physical_writes,
+        stats.writes_evict + stats.writes_checkpoint
+    );
 
     pool.flush_all().unwrap();
     let stats = pool.stats();
-    assert!(stats.writes_checkpoint > 0, "flush_all write-backs count as checkpoint writes");
+    assert!(
+        stats.writes_checkpoint > 0,
+        "flush_all write-backs count as checkpoint writes"
+    );
     assert_eq!(
         stats.physical_writes,
         stats.writes_evict + stats.writes_checkpoint,

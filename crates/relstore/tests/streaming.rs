@@ -21,10 +21,8 @@ fn populated(kind: StorageKind) -> Database {
             &["k"],
         )
         .unwrap();
-    t.insert_all(
-        (0..ROWS).map(|i| vec![Value::Int(i), Value::Str(format!("payload-{i:06}"))]),
-    )
-    .unwrap();
+    t.insert_all((0..ROWS).map(|i| vec![Value::Int(i), Value::Str(format!("payload-{i:06}"))]))
+        .unwrap();
     db
 }
 
@@ -36,7 +34,10 @@ fn seq_scan_with_early_take_does_bounded_io() {
         let db = populated(kind);
         let t = db.table("t").unwrap();
         let total_pages = t.page_count().unwrap();
-        assert!(total_pages > 50, "need a multi-page table, got {total_pages}");
+        assert!(
+            total_pages > 50,
+            "need a multi-page table, got {total_pages}"
+        );
 
         db.pool().flush_all().unwrap();
         db.pool().reset_stats();
@@ -55,7 +56,9 @@ fn seq_scan_with_early_take_does_bounded_io() {
         // bound above is meaningful.
         db.pool().flush_all().unwrap();
         db.pool().reset_stats();
-        let all: Vec<_> = SeqScan::new(&t).collect::<relstore::Result<Vec<_>>>().unwrap();
+        let all: Vec<_> = SeqScan::new(&t)
+            .collect::<relstore::Result<Vec<_>>>()
+            .unwrap();
         assert_eq!(all.len(), ROWS as usize);
         assert!(db.pool().stats().physical_reads > reads * 4);
     }
@@ -69,10 +72,16 @@ fn cursor_iteration_equals_materialized_scan() {
         let db = populated(kind);
         let t = db.table("t").unwrap();
         let materialized = t.scan().unwrap();
-        let streamed: Vec<_> =
-            t.stream().unwrap().collect::<relstore::Result<Vec<_>>>().unwrap();
+        let streamed: Vec<_> = t
+            .stream()
+            .unwrap()
+            .collect::<relstore::Result<Vec<_>>>()
+            .unwrap();
         assert_eq!(materialized.len(), ROWS as usize);
-        assert_eq!(streamed, materialized, "{kind:?}: stream diverged from scan");
+        assert_eq!(
+            streamed, materialized,
+            "{kind:?}: stream diverged from scan"
+        );
     }
 }
 
@@ -106,5 +115,8 @@ fn index_stream_matches_index_range() {
         .unwrap();
     assert_eq!(first5.len(), 5);
     let reads = db.pool().stats().physical_reads;
-    assert!(reads <= 16, "early-take over index stream faulted {reads} pages");
+    assert!(
+        reads <= 16,
+        "early-take over index stream faulted {reads} pages"
+    );
 }

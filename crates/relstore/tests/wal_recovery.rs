@@ -11,7 +11,10 @@ use relstore::{BufferPool, Database, StorageKind};
 use std::sync::Arc;
 
 fn schema() -> Schema {
-    Schema::new(vec![Field::new("id", DataType::Int), Field::new("v", DataType::Str)])
+    Schema::new(vec![
+        Field::new("id", DataType::Int),
+        Field::new("v", DataType::Str),
+    ])
 }
 
 fn row(id: i64, v: &str) -> Vec<Value> {
@@ -19,8 +22,7 @@ fn row(id: i64, v: &str) -> Vec<Value> {
 }
 
 fn wal_db(base: Arc<MemPager>, log: Arc<MemLog>, batch: usize) -> Database {
-    let pager =
-        Arc::new(WalPager::open(base, log, WalConfig::with_group_commit(batch)).unwrap());
+    let pager = Arc::new(WalPager::open(base, log, WalConfig::with_group_commit(batch)).unwrap());
     Database::open_pool(Arc::new(BufferPool::new(pager, 256))).unwrap()
 }
 
@@ -31,7 +33,9 @@ fn committed_transactions_survive_unclean_close() {
     {
         let db = wal_db(base.clone(), log.clone(), 1);
         assert!(db.is_transactional());
-        let t = db.create_table("t", schema(), StorageKind::Heap, &[]).unwrap();
+        let t = db
+            .create_table("t", schema(), StorageKind::Heap, &[])
+            .unwrap();
         t.insert(row(1, "one")).unwrap();
         t.insert(row(2, "two")).unwrap();
         db.commit().unwrap();
@@ -50,7 +54,9 @@ fn uncommitted_transaction_rolls_back_on_reopen() {
     let log = Arc::new(MemLog::new());
     {
         let db = wal_db(base.clone(), log.clone(), 1);
-        let t = db.create_table("t", schema(), StorageKind::Heap, &[]).unwrap();
+        let t = db
+            .create_table("t", schema(), StorageKind::Heap, &[])
+            .unwrap();
         t.insert(row(1, "committed")).unwrap();
         db.commit().unwrap();
         t.insert(row(2, "lost")).unwrap();
@@ -61,7 +67,11 @@ fn uncommitted_transaction_rolls_back_on_reopen() {
     }
     let db = wal_db(base, log, 1);
     let rows = db.table("t").unwrap().scan().unwrap();
-    assert_eq!(rows, vec![row(1, "committed")], "uncommitted insert discarded");
+    assert_eq!(
+        rows,
+        vec![row(1, "committed")],
+        "uncommitted insert discarded"
+    );
 }
 
 #[test]
@@ -72,7 +82,9 @@ fn recovery_state_is_the_last_commit_not_a_mix() {
     let log = Arc::new(MemLog::new());
     {
         let db = wal_db(base.clone(), log.clone(), 1);
-        let t = db.create_table("t", schema(), StorageKind::Clustered, &["id"]).unwrap();
+        let t = db
+            .create_table("t", schema(), StorageKind::Clustered, &["id"])
+            .unwrap();
         t.create_index("pk_t", &["id"]).unwrap();
         // Enough clustered inserts to split B+tree roots repeatedly.
         for i in 0..500 {
@@ -103,7 +115,9 @@ fn checkpoint_then_more_commits_recovers_both_layers() {
     let log = Arc::new(MemLog::new());
     {
         let db = wal_db(base.clone(), log.clone(), 1);
-        let t = db.create_table("t", schema(), StorageKind::Heap, &[]).unwrap();
+        let t = db
+            .create_table("t", schema(), StorageKind::Heap, &[])
+            .unwrap();
         t.insert(row(1, "in-base")).unwrap();
         db.checkpoint().unwrap();
         assert!(base.num_pages() > 0, "checkpoint reached the base file");
@@ -123,7 +137,9 @@ fn torn_log_tail_loses_only_the_torn_transaction() {
     let committed_len;
     {
         let db = wal_db(base.clone(), log.clone(), 1);
-        let t = db.create_table("t", schema(), StorageKind::Heap, &[]).unwrap();
+        let t = db
+            .create_table("t", schema(), StorageKind::Heap, &[])
+            .unwrap();
         t.insert(row(1, "safe")).unwrap();
         db.commit().unwrap();
         committed_len = log.raw().len();
@@ -148,7 +164,9 @@ fn bit_flip_in_log_is_caught_by_crc() {
     let committed_len;
     {
         let db = wal_db(base.clone(), log.clone(), 1);
-        let t = db.create_table("t", schema(), StorageKind::Heap, &[]).unwrap();
+        let t = db
+            .create_table("t", schema(), StorageKind::Heap, &[])
+            .unwrap();
         t.insert(row(1, "safe")).unwrap();
         db.commit().unwrap();
         committed_len = log.raw().len();
@@ -176,8 +194,11 @@ fn injected_crash_mid_transaction_recovers_to_last_commit() {
     let log = Arc::new(FailLog::new(fp.clone(), durable_log.clone()));
 
     let result = (|| -> relstore::Result<()> {
-        let pager =
-            Arc::new(WalPager::open(base.clone(), log.clone(), WalConfig::with_group_commit(1))?);
+        let pager = Arc::new(WalPager::open(
+            base.clone(),
+            log.clone(),
+            WalConfig::with_group_commit(1),
+        )?);
         let db = Database::open_pool(Arc::new(BufferPool::new(pager, 64)))?;
         let t = db.create_table("t", schema(), StorageKind::Heap, &[])?;
         t.insert(row(1, "first"))?;
@@ -194,8 +215,7 @@ fn injected_crash_mid_transaction_recovers_to_last_commit() {
     assert!(fp.crashed());
     fp.revive();
 
-    let pager =
-        Arc::new(WalPager::open(base, log, WalConfig::with_group_commit(1)).unwrap());
+    let pager = Arc::new(WalPager::open(base, log, WalConfig::with_group_commit(1)).unwrap());
     let db = Database::open_pool(Arc::new(BufferPool::new(pager, 64))).unwrap();
     let rows = db.table("t").unwrap().scan().unwrap();
     // Some committed prefix survives — at least the synced first commit,
@@ -217,8 +237,11 @@ fn group_commit_trades_durability_window_not_consistency() {
     let log = Arc::new(FailLog::new(fp.clone(), Arc::new(MemLog::new())));
 
     let _ = (|| -> relstore::Result<()> {
-        let pager =
-            Arc::new(WalPager::open(base.clone(), log.clone(), WalConfig::with_group_commit(8))?);
+        let pager = Arc::new(WalPager::open(
+            base.clone(),
+            log.clone(),
+            WalConfig::with_group_commit(8),
+        )?);
         let db = Database::open_pool(Arc::new(BufferPool::new(pager, 64)))?;
         let t = db.create_table("t", schema(), StorageKind::Heap, &[])?;
         for i in 0..20 {

@@ -97,7 +97,11 @@ pub fn execute(db: &Database, sql: &str, fns: &Arc<FnRegistry>) -> Result<QueryR
 }
 
 /// Execute a parsed select.
-pub fn execute_stmt(db: &Database, stmt: &SelectStmt, fns: &Arc<FnRegistry>) -> Result<QueryResult> {
+pub fn execute_stmt(
+    db: &Database,
+    stmt: &SelectStmt,
+    fns: &Arc<FnRegistry>,
+) -> Result<QueryResult> {
     execute_stmt_with(db, stmt, fns, &HashMap::new())
 }
 
@@ -151,7 +155,7 @@ impl Scope {
             .fields
             .iter()
             .enumerate()
-            .filter(|(_, (a, f))| f.name == name && qualifier.map_or(true, |q| q == a))
+            .filter(|(_, (a, f))| f.name == name && qualifier.is_none_or(|q| q == a))
             .map(|(i, _)| i)
             .collect();
         match hits.len() {
@@ -216,15 +220,23 @@ fn compile(e: &SqlExpr, scope: &Scope, shift: usize) -> Result<Expr> {
         SqlExpr::Bin(op, l, r) => {
             // Coerce date-typed comparisons with string literals.
             let (l2, r2) = coerce_dates(op, l, r, scope);
-            Expr::Bin(*op, Box::new(compile(&l2, scope, shift)?), Box::new(compile(&r2, scope, shift)?))
+            Expr::Bin(
+                *op,
+                Box::new(compile(&l2, scope, shift)?),
+                Box::new(compile(&r2, scope, shift)?),
+            )
         }
         SqlExpr::Un(op, x) => Expr::Un(*op, Box::new(compile(x, scope, shift)?)),
         SqlExpr::Call(name, args) => {
-            let compiled =
-                args.iter().map(|a| compile(a, scope, shift)).collect::<Result<Vec<_>>>()?;
+            let compiled = args
+                .iter()
+                .map(|a| compile(a, scope, shift))
+                .collect::<Result<Vec<_>>>()?;
             Expr::Call(name.clone(), compiled)
         }
-        SqlExpr::Agg(..) | SqlExpr::AggDistinct(..) | SqlExpr::XmlAgg(..)
+        SqlExpr::Agg(..)
+        | SqlExpr::AggDistinct(..)
+        | SqlExpr::XmlAgg(..)
         | SqlExpr::XmlElement { .. } => {
             return Err(SqlError::Xml(
                 "aggregates and XML constructors are only allowed in the select list".into(),
@@ -236,13 +248,11 @@ fn compile(e: &SqlExpr, scope: &Scope, shift: usize) -> Result<Expr> {
 /// Rewrite `typed_col <op> 'literal'` so string literals compared against
 /// Date or Int columns become typed values (SQL string literals are the
 /// only literal form the paper's translated queries use for dates).
-fn coerce_dates(
-    op: &BinOp,
-    l: &SqlExpr,
-    r: &SqlExpr,
-    scope: &Scope,
-) -> (SqlExpr, SqlExpr) {
-    if !matches!(op, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge) {
+fn coerce_dates(op: &BinOp, l: &SqlExpr, r: &SqlExpr, scope: &Scope) -> (SqlExpr, SqlExpr) {
+    if !matches!(
+        op,
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+    ) {
         return (l.clone(), r.clone());
     }
     let col_type = |e: &SqlExpr| -> Option<DataType> {
@@ -257,7 +267,11 @@ fn coerce_dates(
         if let SqlExpr::Lit(Value::Str(s)) = e {
             match ty {
                 DataType::Date => Date::parse(s).ok().map(|d| SqlExpr::Lit(Value::Date(d))),
-                DataType::Int => s.trim().parse::<i64>().ok().map(|i| SqlExpr::Lit(Value::Int(i))),
+                DataType::Int => s
+                    .trim()
+                    .parse::<i64>()
+                    .ok()
+                    .map(|i| SqlExpr::Lit(Value::Int(i))),
                 _ => None,
             }
         } else {
@@ -308,8 +322,10 @@ fn run_from_where(
             scope.aliases_in(&c, &mut aliases)?;
             match aliases.len() {
                 0 | 1 => {
-                    let key =
-                        aliases.first().cloned().unwrap_or_else(|| stmt.from[0].1.clone());
+                    let key = aliases
+                        .first()
+                        .cloned()
+                        .unwrap_or_else(|| stmt.from[0].1.clone());
                     table_preds.entry(key).or_default().push(c);
                 }
                 2 if is_col_eq_col(&c) => {
@@ -395,13 +411,17 @@ fn run_from_where(
                     .collect::<Result<Vec<_>>>()?;
                 Expr::and_all(compiled)
             };
-            Box::new(NestedLoopJoin::new(left_exec, right_exec, cond_expr, fns.clone()))
+            Box::new(NestedLoopJoin::new(
+                left_exec,
+                right_exec,
+                cond_expr,
+                fns.clone(),
+            ))
         };
         joined = Some(out);
         joined_aliases.push(alias.clone());
     }
-    let mut result: Executor =
-        joined.unwrap_or_else(|| Box::new(SeqScan::from_rows(Vec::new())));
+    let mut result: Executor = joined.unwrap_or_else(|| Box::new(SeqScan::from_rows(Vec::new())));
 
     // Residual predicates (multi-table non-equi, or join conds that never
     // connected — e.g. a condition between tables 1 and 3 joined crosswise).
@@ -447,8 +467,10 @@ fn filter_rows(
         return Ok(base);
     }
     let (offset, _arity) = scope.tables[alias];
-    let compiled =
-        preds.iter().map(|p| compile(p, scope, offset)).collect::<Result<Vec<_>>>()?;
+    let compiled = preds
+        .iter()
+        .map(|p| compile(p, scope, offset))
+        .collect::<Result<Vec<_>>>()?;
     let pred = Expr::and_all(compiled);
     Ok(Box::new(Filter::new(base, pred, fns.clone())))
 }
@@ -468,7 +490,10 @@ fn scan_table(
     let mut best: Option<(String, Vec<(BinOp, Value)>)> = None;
     for p in preds {
         if let SqlExpr::Bin(op, l, r) = p {
-            if !matches!(op, BinOp::Eq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge) {
+            if !matches!(
+                op,
+                BinOp::Eq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+            ) {
                 continue;
             }
             // Normalize literal-side.
@@ -485,10 +510,10 @@ fn scan_table(
             }
             match &mut best {
                 Some((bcol, bounds)) if *bcol == col => bounds.push((op, lit)),
-                Some((_, bounds)) if !bounds.iter().any(|(o, _)| *o == BinOp::Eq) => {
-                    if op == BinOp::Eq {
-                        best = Some((col, vec![(op, lit)]));
-                    }
+                Some((_, bounds))
+                    if !bounds.iter().any(|(o, _)| *o == BinOp::Eq) && op == BinOp::Eq =>
+                {
+                    best = Some((col, vec![(op, lit)]));
                 }
                 None => best = Some((col, vec![(op, lit)])),
                 _ => {}
@@ -524,7 +549,12 @@ fn scan_table(
                 None => Box::new(table.cluster_range_stream(as_slice(&lo), as_slice(&hi))?),
             }
         } else {
-            Box::new(IndexRangeScan::new(table, &index, as_slice(&lo), as_slice(&hi)))
+            Box::new(IndexRangeScan::new(
+                table,
+                &index,
+                as_slice(&lo),
+                as_slice(&hi),
+            ))
         }
     } else {
         Box::new(SeqScan::new(table))
@@ -534,8 +564,10 @@ fn scan_table(
     if preds.is_empty() {
         return Ok(base);
     }
-    let compiled =
-        preds.iter().map(|p| compile(p, scope, offset)).collect::<Result<Vec<_>>>()?;
+    let compiled = preds
+        .iter()
+        .map(|p| compile(p, scope, offset))
+        .collect::<Result<Vec<_>>>()?;
     let pred = Expr::and_all(compiled);
     Ok(Box::new(Filter::new(base, pred, fns.clone())))
 }
@@ -665,8 +697,7 @@ fn project(
     input: Executor,
     fns: &Arc<FnRegistry>,
 ) -> Result<QueryResult> {
-    let grouped = !stmt.group_by.is_empty()
-        || stmt.items.iter().any(|i| i.expr.has_aggregate());
+    let grouped = !stmt.group_by.is_empty() || stmt.items.iter().any(|i| i.expr.has_aggregate());
     let columns: Vec<String> = stmt
         .items
         .iter()
@@ -763,21 +794,22 @@ fn project(
     if let Some(n) = stmt.limit {
         out_rows.truncate(n);
     }
-    Ok(QueryResult { columns, rows: out_rows })
+    Ok(QueryResult {
+        columns,
+        rows: out_rows,
+    })
 }
 
 /// Evaluate one select item over a group of rows. Scalar leaves read the
 /// first row; aggregates fold over all rows.
-fn eval_item(
-    e: &SqlExpr,
-    group: &[Row],
-    scope: &Scope,
-    fns: &Arc<FnRegistry>,
-) -> Result<SqlValue> {
+fn eval_item(e: &SqlExpr, group: &[Row], scope: &Scope, fns: &Arc<FnRegistry>) -> Result<SqlValue> {
     match e {
         SqlExpr::Agg(func, arg, _star) => {
             let compiled = compile(arg, scope, 0)?;
-            let spec = AggSpec { func: *func, arg: compiled };
+            let spec = AggSpec {
+                func: *func,
+                arg: compiled,
+            };
             let agg = relstore::exec::GroupAggregate::new(
                 Box::new(SeqScan::from_rows(group.to_vec())),
                 vec![],
@@ -796,12 +828,18 @@ fn eval_item(
                 if v.is_null() {
                     continue;
                 }
-                if !seen.iter().any(|s| s.total_cmp(&v) == std::cmp::Ordering::Equal) {
+                if !seen
+                    .iter()
+                    .any(|s| s.total_cmp(&v) == std::cmp::Ordering::Equal)
+                {
                     seen.push(v);
                 }
             }
             let distinct_rows: Vec<Row> = seen.into_iter().map(|v| vec![v]).collect();
-            let spec = AggSpec { func: *func, arg: Expr::Col(0) };
+            let spec = AggSpec {
+                func: *func,
+                arg: Expr::Col(0),
+            };
             let agg = relstore::exec::GroupAggregate::new(
                 Box::new(SeqScan::from_rows(distinct_rows)),
                 vec![],
@@ -822,7 +860,11 @@ fn eval_item(
             }
             Ok(SqlValue::Xml(nodes))
         }
-        SqlExpr::XmlElement { name, attrs, content } => {
+        SqlExpr::XmlElement {
+            name,
+            attrs,
+            content,
+        } => {
             let mut elem = Element::new(name.clone());
             for (aname, aexpr) in attrs {
                 match eval_item(aexpr, group, scope, fns)? {
@@ -899,12 +941,27 @@ mod tests {
             )
             .unwrap();
         title.create_index("emp_title_id", &["id"]).unwrap();
-        name.insert(vec![Value::Int(1001), Value::Str("Bob".into()), d("1995-01-01"), d("9999-12-31")])
-            .unwrap();
-        name.insert(vec![Value::Int(1002), Value::Str("Alice".into()), d("1994-03-01"), d("1996-06-30")])
-            .unwrap();
+        name.insert(vec![
+            Value::Int(1001),
+            Value::Str("Bob".into()),
+            d("1995-01-01"),
+            d("9999-12-31"),
+        ])
+        .unwrap();
+        name.insert(vec![
+            Value::Int(1002),
+            Value::Str("Alice".into()),
+            d("1994-03-01"),
+            d("1996-06-30"),
+        ])
+        .unwrap();
         title
-            .insert(vec![Value::Int(1001), Value::Str("Engineer".into()), d("1995-01-01"), d("1995-09-30")])
+            .insert(vec![
+                Value::Int(1001),
+                Value::Str("Engineer".into()),
+                d("1995-01-01"),
+                d("1995-09-30"),
+            ])
             .unwrap();
         title
             .insert(vec![
@@ -915,7 +972,12 @@ mod tests {
             ])
             .unwrap();
         title
-            .insert(vec![Value::Int(1002), Value::Str("Manager".into()), d("1994-03-01"), d("1996-06-30")])
+            .insert(vec![
+                Value::Int(1002),
+                Value::Str("Manager".into()),
+                d("1994-03-01"),
+                d("1996-06-30"),
+            ])
             .unwrap();
         db
     }
@@ -1032,7 +1094,12 @@ mod tests {
     #[test]
     fn global_aggregate_without_group_by() {
         let db = setup();
-        let out = execute(&db, "select count(*), avg(n.id) from employee_name n", &fns()).unwrap();
+        let out = execute(
+            &db,
+            "select count(*), avg(n.id) from employee_name n",
+            &fns(),
+        )
+        .unwrap();
         let rows = out.scalar_rows().unwrap();
         assert_eq!(rows, vec![vec![Value::Int(2), Value::Double(1001.5)]]);
     }
@@ -1042,7 +1109,9 @@ mod tests {
         let db = setup();
         let mut reg = FnRegistry::new();
         reg.register("is_senior", |args| {
-            Ok(Value::Int(args[0].as_str().map_or(0, |s| s.starts_with("Sr") as i64)))
+            Ok(Value::Int(
+                args[0].as_str().map_or(0, |s| s.starts_with("Sr") as i64),
+            ))
         });
         let out = execute(
             &db,
@@ -1066,7 +1135,11 @@ mod tests {
         ));
         // Ambiguous column.
         assert!(matches!(
-            execute(&db, "select tstart from employee_name a, employee_title b where a.id = b.id", &fns()),
+            execute(
+                &db,
+                "select tstart from employee_name a, employee_title b where a.id = b.id",
+                &fns()
+            ),
             Err(SqlError::Unresolved(_))
         ));
     }
@@ -1093,8 +1166,12 @@ mod tests {
             &fns(),
         )
         .unwrap();
-        let titles: Vec<String> =
-            out.scalar_rows().unwrap().into_iter().map(|r| r[0].to_string()).collect();
+        let titles: Vec<String> = out
+            .scalar_rows()
+            .unwrap()
+            .into_iter()
+            .map(|r| r[0].to_string())
+            .collect();
         assert_eq!(titles, vec!["Engineer".to_string(), "Manager".to_string()]);
     }
 

@@ -33,6 +33,8 @@
 //! assert_eq!(out.xml_fragments().join(""), "<employee>Bob</employee>");
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 pub mod engine;
 pub mod parser;
 

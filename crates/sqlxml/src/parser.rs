@@ -213,8 +213,7 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>> {
                 while i < b.len() && b[i].is_ascii_digit() {
                     i += 1;
                 }
-                if i < b.len() && b[i] == b'.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())
-                {
+                if i < b.len() && b[i] == b'.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
                     i += 1;
                     while i < b.len() && b[i].is_ascii_digit() {
                         i += 1;
@@ -238,7 +237,10 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>> {
                 out.push((Tok::Name(src[start..i].to_string()), start));
             }
             other => {
-                return Err(SqlError::Parse(i, format!("unexpected character {:?}", other as char)))
+                return Err(SqlError::Parse(
+                    i,
+                    format!("unexpected character {:?}", other as char),
+                ))
             }
         }
     }
@@ -252,7 +254,11 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>> {
 /// Parse one `SELECT` statement.
 pub fn parse_sql(src: &str) -> Result<SelectStmt> {
     let toks = lex(src)?;
-    let mut p = P { toks, pos: 0, len: src.len() };
+    let mut p = P {
+        toks,
+        pos: 0,
+        len: src.len(),
+    };
     let stmt = p.parse_select()?;
     if p.pos < p.toks.len() {
         return Err(p.err("unexpected trailing tokens"));
@@ -405,7 +411,14 @@ impl P {
         } else {
             None
         };
-        Ok(SelectStmt { items, from, where_clause, group_by, order_by, limit })
+        Ok(SelectStmt {
+            items,
+            from,
+            where_clause,
+            group_by,
+            order_by,
+            limit,
+        })
     }
 
     fn name_or_string(&mut self) -> Result<String> {
@@ -467,7 +480,11 @@ impl P {
                 false
             };
             self.eat_kw("null")?;
-            let op = if negated { UnOp::IsNotNull } else { UnOp::IsNull };
+            let op = if negated {
+                UnOp::IsNotNull
+            } else {
+                UnOp::IsNull
+            };
             return Ok(SqlExpr::Un(op, Box::new(l)));
         }
         let op = match self.peek() {
@@ -550,9 +567,7 @@ impl P {
                 self.pos += 1;
                 Ok(SqlExpr::Lit(Value::Null))
             }
-            Some(Tok::Name(n)) if n.eq_ignore_ascii_case("xmlelement") => {
-                self.parse_xmlelement()
-            }
+            Some(Tok::Name(n)) if n.eq_ignore_ascii_case("xmlelement") => self.parse_xmlelement(),
             Some(Tok::Name(n)) if n.eq_ignore_ascii_case("xmlagg") => {
                 self.pos += 1;
                 self.eat(&Tok::LParen)?;
@@ -604,9 +619,15 @@ impl P {
                 if self.peek() == Some(&Tok::Dot) {
                     self.pos += 1;
                     let col = self.name()?;
-                    return Ok(SqlExpr::Col { qualifier: Some(n), name: col });
+                    return Ok(SqlExpr::Col {
+                        qualifier: Some(n),
+                        name: col,
+                    });
                 }
-                Ok(SqlExpr::Col { qualifier: None, name: n })
+                Ok(SqlExpr::Col {
+                    qualifier: None,
+                    name: n,
+                })
             }
             other => Err(self.err(format!("unexpected token {other:?}"))),
         }
@@ -634,11 +655,7 @@ impl P {
                         // Default attribute name from a column reference.
                         match &e {
                             SqlExpr::Col { name, .. } => name.clone(),
-                            _ => {
-                                return Err(self.err(
-                                    "XMLAttributes entry needs AS \"name\"",
-                                ))
-                            }
+                            _ => return Err(self.err("XMLAttributes entry needs AS \"name\"")),
                         }
                     };
                     attrs.push((aname, e));
@@ -654,7 +671,11 @@ impl P {
             }
         }
         self.eat(&Tok::RParen)?;
-        Ok(SqlExpr::XmlElement { name, attrs, content })
+        Ok(SqlExpr::XmlElement {
+            name,
+            attrs,
+            content,
+        })
     }
 }
 
@@ -680,7 +701,10 @@ fn is_keyword(n: &str) -> bool {
 }
 
 fn is_agg(n: &str) -> bool {
-    matches!(n.to_ascii_lowercase().as_str(), "count" | "sum" | "avg" | "min" | "max")
+    matches!(
+        n.to_ascii_lowercase().as_str(),
+        "count" | "sum" | "avg" | "min" | "max"
+    )
 }
 
 fn agg_of(n: &str) -> AggFunc {
@@ -710,7 +734,9 @@ mod tests {
         assert_eq!(stmt.from.len(), 2);
         assert_eq!(stmt.from[0], ("employee_title".into(), "T".into()));
         assert_eq!(stmt.group_by.len(), 1);
-        let SqlExpr::XmlElement { name, content, .. } = &stmt.items[0].expr else { panic!() };
+        let SqlExpr::XmlElement { name, content, .. } = &stmt.items[0].expr else {
+            panic!()
+        };
         assert_eq!(name, "title_history");
         assert!(matches!(&content[0], SqlExpr::XmlAgg(_)));
         assert!(stmt.items[0].expr.has_aggregate());
@@ -720,7 +746,9 @@ mod tests {
     fn parses_xmlattributes_with_defaults() {
         let sql = r#"select XMLElement(Name e, XMLAttributes(t.tstart, t.tend as "end")) from t"#;
         let stmt = parse_sql(sql).unwrap();
-        let SqlExpr::XmlElement { attrs, .. } = &stmt.items[0].expr else { panic!() };
+        let SqlExpr::XmlElement { attrs, .. } = &stmt.items[0].expr else {
+            panic!()
+        };
         assert_eq!(attrs[0].0, "tstart");
         assert_eq!(attrs[1].0, "end");
     }
@@ -734,7 +762,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(stmt.items.len(), 2);
-        assert!(matches!(stmt.items[1].expr, SqlExpr::Agg(AggFunc::CountStar, _, true)));
+        assert!(matches!(
+            stmt.items[1].expr,
+            SqlExpr::Agg(AggFunc::CountStar, _, true)
+        ));
         assert_eq!(stmt.limit, Some(10));
         assert!(!stmt.order_by[0].1);
     }
@@ -746,15 +777,16 @@ mod tests {
              where toverlaps(e.tstart, e.tend, '1994-05-06', '1995-05-06')",
         )
         .unwrap();
-        let Some(SqlExpr::Call(name, args)) = stmt.where_clause else { panic!() };
+        let Some(SqlExpr::Call(name, args)) = stmt.where_clause else {
+            panic!()
+        };
         assert_eq!(name, "toverlaps");
         assert_eq!(args.len(), 4);
     }
 
     #[test]
     fn parses_is_null_and_not() {
-        let stmt =
-            parse_sql("select a from t where not (a is null) and b is not null").unwrap();
+        let stmt = parse_sql("select a from t where not (a is null) and b is not null").unwrap();
         assert!(stmt.where_clause.is_some());
     }
 
@@ -786,7 +818,9 @@ mod tests {
     #[test]
     fn arithmetic_precedence() {
         let stmt = parse_sql("select a + b * 2 from t").unwrap();
-        let SqlExpr::Bin(BinOp::Add, _, r) = &stmt.items[0].expr else { panic!() };
+        let SqlExpr::Bin(BinOp::Add, _, r) = &stmt.items[0].expr else {
+            panic!()
+        };
         assert!(matches!(**r, SqlExpr::Bin(BinOp::Mul, _, _)));
     }
 }

@@ -15,7 +15,10 @@ fn setup(rows: &[(i64, i64)], kind: StorageKind) -> Database {
     let t = db
         .create_table(
             "t",
-            Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Int)]),
+            Schema::new(vec![
+                Field::new("k", DataType::Int),
+                Field::new("v", DataType::Int),
+            ]),
             kind,
             &["k"],
         )

@@ -102,11 +102,17 @@ pub fn temporal_aggregate(kind: AggregateKind, items: &[(f64, Interval)]) -> Tem
         match (open.take(), new_value) {
             (Some((value, since)), Some(nv)) if value == nv => open = Some((value, since)),
             (Some((value, since)), Some(nv)) => {
-                out.push((value, Interval::new(since, day.pred()).expect("sweep order")));
+                out.push((
+                    value,
+                    Interval::new(since, day.pred()).expect("sweep order"),
+                ));
                 open = Some((nv, day));
             }
             (Some((value, since)), None) => {
-                out.push((value, Interval::new(since, day.pred()).expect("sweep order")));
+                out.push((
+                    value,
+                    Interval::new(since, day.pred()).expect("sweep order"),
+                ));
             }
             (None, Some(nv)) => open = Some((nv, day)),
             (None, None) => {}
@@ -135,8 +141,15 @@ pub fn moving_window(
     let extended: Vec<(f64, Interval)> = items
         .iter()
         .map(|(v, iv)| {
-            let end = if iv.end().is_forever() { iv.end() } else { iv.end() + extend };
-            (*v, Interval::new(iv.start(), end).expect("extension keeps order"))
+            let end = if iv.end().is_forever() {
+                iv.end()
+            } else {
+                iv.end() + extend
+            };
+            (
+                *v,
+                Interval::new(iv.start(), end).expect("extension keeps order"),
+            )
         })
         .collect();
     temporal_aggregate(kind, &extended)
@@ -155,9 +168,8 @@ pub fn rising(series: &TemporalSeries) -> Option<Interval> {
     let mut prev_end = series[0].1.end();
     let consider = |start: Date, end: Date, best: &mut Option<Interval>| {
         let cand = Interval::new(start, end).expect("series ordered");
-        if best.map_or(true, |b| {
-            cand.end().days_since(cand.start()) > b.end().days_since(b.start())
-        }) {
+        if best.is_none_or(|b| cand.end().days_since(cand.start()) > b.end().days_since(b.start()))
+        {
             *best = Some(cand);
         }
     };
@@ -184,14 +196,26 @@ mod tests {
 
     #[test]
     fn avg_of_disjoint_periods() {
-        let items = vec![(10.0, iv("1995-01-01", "1995-01-31")), (20.0, iv("1995-03-01", "1995-03-31"))];
+        let items = vec![
+            (10.0, iv("1995-01-01", "1995-01-31")),
+            (20.0, iv("1995-03-01", "1995-03-31")),
+        ];
         let s = temporal_aggregate(AggregateKind::Avg, &items);
-        assert_eq!(s, vec![(10.0, iv("1995-01-01", "1995-01-31")), (20.0, iv("1995-03-01", "1995-03-31"))]);
+        assert_eq!(
+            s,
+            vec![
+                (10.0, iv("1995-01-01", "1995-01-31")),
+                (20.0, iv("1995-03-01", "1995-03-31"))
+            ]
+        );
     }
 
     #[test]
     fn avg_with_overlap_steps() {
-        let items = vec![(60000.0, iv("1995-01-01", "1995-05-31")), (40000.0, iv("1995-03-01", "1995-12-31"))];
+        let items = vec![
+            (60000.0, iv("1995-01-01", "1995-05-31")),
+            (40000.0, iv("1995-03-01", "1995-12-31")),
+        ];
         let s = temporal_aggregate(AggregateKind::Avg, &items);
         assert_eq!(
             s,
@@ -205,7 +229,10 @@ mod tests {
 
     #[test]
     fn count_and_sum() {
-        let items = vec![(1.0, iv("1995-01-01", "1995-01-10")), (2.0, iv("1995-01-05", "1995-01-20"))];
+        let items = vec![
+            (1.0, iv("1995-01-01", "1995-01-10")),
+            (2.0, iv("1995-01-05", "1995-01-20")),
+        ];
         let c = temporal_aggregate(AggregateKind::Count, &items);
         assert_eq!(
             c,
@@ -247,7 +274,10 @@ mod tests {
     fn equal_adjacent_values_coalesce_in_output() {
         // Two employees swap: one leaves the day the other arrives with the
         // same salary — the average must stay one interval.
-        let items = vec![(10.0, iv("1995-01-01", "1995-06-30")), (10.0, iv("1995-07-01", "1995-12-31"))];
+        let items = vec![
+            (10.0, iv("1995-01-01", "1995-06-30")),
+            (10.0, iv("1995-07-01", "1995-12-31")),
+        ];
         let s = temporal_aggregate(AggregateKind::Avg, &items);
         assert_eq!(s, vec![(10.0, iv("1995-01-01", "1995-12-31"))]);
     }
@@ -260,7 +290,10 @@ mod tests {
 
     #[test]
     fn negative_values_order_correctly() {
-        let items = vec![(-5.0, iv("1995-01-01", "1995-01-31")), (2.0, iv("1995-01-01", "1995-01-31"))];
+        let items = vec![
+            (-5.0, iv("1995-01-01", "1995-01-31")),
+            (2.0, iv("1995-01-01", "1995-01-31")),
+        ];
         let mn = temporal_aggregate(AggregateKind::Min, &items);
         assert_eq!(mn[0].0, -5.0);
         let mx = temporal_aggregate(AggregateKind::Max, &items);
@@ -291,7 +324,10 @@ mod tests {
         // so the count never drops to zero between the periods.
         let s = moving_window(AggregateKind::Count, &items, 10);
         assert!(s.iter().all(|(v, _)| *v >= 1.0));
-        assert!(s.iter().any(|(v, _)| *v == 2.0), "overlap region counts both");
+        assert!(
+            s.iter().any(|(v, _)| *v == 2.0),
+            "overlap region counts both"
+        );
         // Plain aggregate has a gap.
         let plain = temporal_aggregate(AggregateKind::Count, &items);
         assert_eq!(plain.len(), 2);

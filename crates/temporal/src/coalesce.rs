@@ -133,7 +133,13 @@ mod tests {
             iv("1995-04-01", "1995-06-30"),
             iv("1996-01-01", "1996-01-31"),
         ]);
-        assert_eq!(merged, vec![iv("1995-01-01", "1995-06-30"), iv("1996-01-01", "1996-01-31")]);
+        assert_eq!(
+            merged,
+            vec![
+                iv("1995-01-01", "1995-06-30"),
+                iv("1996-01-01", "1996-01-31")
+            ]
+        );
     }
 
     #[test]
@@ -147,10 +153,16 @@ mod tests {
         let grouped = coalesce(hist.clone());
         for day_off in 0..90 {
             let day = Date::parse("1995-01-01").unwrap() + day_off;
-            let before: Vec<_> =
-                hist.iter().filter(|(_, iv)| iv.contains_date(day)).map(|(v, _)| *v).collect();
-            let after: Vec<_> =
-                grouped.iter().filter(|(_, iv)| iv.contains_date(day)).map(|(v, _)| *v).collect();
+            let before: Vec<_> = hist
+                .iter()
+                .filter(|(_, iv)| iv.contains_date(day))
+                .map(|(v, _)| *v)
+                .collect();
+            let after: Vec<_> = grouped
+                .iter()
+                .filter(|(_, iv)| iv.contains_date(day))
+                .map(|(v, _)| *v)
+                .collect();
             assert_eq!(before, after, "value on {day} changed");
         }
     }

@@ -48,14 +48,22 @@ pub struct Date(i32);
 /// `"now"`.
 pub const END_OF_TIME: Date = Date(3652364);
 
+/// The earliest representable date, `0001-01-01` — used as the "before any
+/// history" sentinel (e.g. the initial `live_start` of a fresh H-table).
+pub const DAWN_OF_TIME: Date = Date(306);
+
 impl Date {
     /// Build a date from calendar fields. Years 1–9999 are accepted.
     pub fn from_ymd(year: i32, month: u32, day: u32) -> Result<Self, DateError> {
         if !(1..=9999).contains(&year) || !(1..=12).contains(&month) {
-            return Err(DateError::OutOfRange(format!("{year:04}-{month:02}-{day:02}")));
+            return Err(DateError::OutOfRange(format!(
+                "{year:04}-{month:02}-{day:02}"
+            )));
         }
         if day == 0 || day > days_in_month(year, month) {
-            return Err(DateError::OutOfRange(format!("{year:04}-{month:02}-{day:02}")));
+            return Err(DateError::OutOfRange(format!(
+                "{year:04}-{month:02}-{day:02}"
+            )));
         }
         Ok(Date(days_from_civil(year, month, day)))
     }
@@ -130,9 +138,18 @@ impl Date {
             let d = it.next().ok_or_else(|| DateError::Malformed(s.into()))?;
             (y, m, d)
         };
-        let year: i32 = y.trim().parse().map_err(|_| DateError::Malformed(s.into()))?;
-        let month: u32 = m.trim().parse().map_err(|_| DateError::Malformed(s.into()))?;
-        let day: u32 = d.trim().parse().map_err(|_| DateError::Malformed(s.into()))?;
+        let year: i32 = y
+            .trim()
+            .parse()
+            .map_err(|_| DateError::Malformed(s.into()))?;
+        let month: u32 = m
+            .trim()
+            .parse()
+            .map_err(|_| DateError::Malformed(s.into()))?;
+        let day: u32 = d
+            .trim()
+            .parse()
+            .map_err(|_| DateError::Malformed(s.into()))?;
         Date::from_ymd(year, month, day)
     }
 }
@@ -231,6 +248,7 @@ mod tests {
 
     #[test]
     fn end_of_time_is_9999_12_31() {
+        assert_eq!(DAWN_OF_TIME, Date::from_ymd(1, 1, 1).unwrap());
         assert_eq!(END_OF_TIME, Date::from_ymd(9999, 12, 31).unwrap());
         assert!(END_OF_TIME.is_forever());
         assert_eq!(END_OF_TIME.to_string(), "9999-12-31");
@@ -257,7 +275,10 @@ mod tests {
         assert!(Date::parse("").is_err());
         assert!(Date::from_ymd(0, 1, 1).is_err());
         assert!(Date::from_ymd(10000, 1, 1).is_err());
-        assert!(Date::from_ymd(1900, 2, 29).is_err(), "1900 is not a leap year");
+        assert!(
+            Date::from_ymd(1900, 2, 29).is_err(),
+            "1900 is not a leap year"
+        );
     }
 
     #[test]

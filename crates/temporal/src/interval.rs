@@ -44,7 +44,10 @@ impl Interval {
 
     /// An interval open toward the future: `[start, 9999-12-31]`.
     pub fn from(start: Date) -> Self {
-        Interval { start, end: END_OF_TIME }
+        Interval {
+            start,
+            end: END_OF_TIME,
+        }
     }
 
     /// The single-day interval `[d, d]`.
@@ -139,7 +142,10 @@ impl Interval {
     /// Clamp an end-of-time end to `as_of` (the `rtend` view of a period).
     pub fn instantiate_now(&self, as_of: Date) -> Interval {
         if self.is_current() {
-            Interval { start: self.start, end: as_of.max(self.start) }
+            Interval {
+                start: self.start,
+                end: as_of.max(self.start),
+            }
         } else {
             *self
         }
@@ -192,7 +198,10 @@ mod tests {
         let a = iv("1995-01-01", "1995-05-31");
         assert!(a.overlaps(&iv("1995-05-31", "1995-12-31")), "share one day");
         assert!(a.overlaps(&iv("1994-01-01", "1996-01-01")), "contained");
-        assert!(!a.overlaps(&iv("1995-06-01", "1995-12-31")), "adjacent is not overlap");
+        assert!(
+            !a.overlaps(&iv("1995-06-01", "1995-12-31")),
+            "adjacent is not overlap"
+        );
         assert!(!a.overlaps(&iv("1996-01-01", "1996-12-31")));
     }
 
@@ -229,7 +238,10 @@ mod tests {
         // Temporal slicing window of QUERY 3.
         let window = iv("1994-05-06", "1995-05-06");
         let bob = iv("1995-01-01", "1995-05-31");
-        assert_eq!(bob.intersect(&window).unwrap(), iv("1995-01-01", "1995-05-06"));
+        assert_eq!(
+            bob.intersect(&window).unwrap(),
+            iv("1995-01-01", "1995-05-06")
+        );
         assert!(iv("1996-01-01", "1996-02-01").intersect(&window).is_none());
     }
 
@@ -253,14 +265,20 @@ mod tests {
         assert_eq!(cur.timespan(today), 166);
         // A period opened "today" instantiates to a one-day period.
         let opened_today = Interval::from(today);
-        assert_eq!(opened_today.instantiate_now(today), iv("1995-06-15", "1995-06-15"));
+        assert_eq!(
+            opened_today.instantiate_now(today),
+            iv("1995-06-15", "1995-06-15")
+        );
     }
 
     #[test]
     fn restructure_pairs() {
         // Bob's depts and titles (paper Table 1): overlap periods of the
         // (dept, title) histories.
-        let depts = vec![iv("1995-01-01", "1995-09-30"), iv("1995-10-01", "1996-12-31")];
+        let depts = vec![
+            iv("1995-01-01", "1995-09-30"),
+            iv("1995-10-01", "1996-12-31"),
+        ];
         let titles = vec![
             iv("1995-01-01", "1995-09-30"),
             iv("1995-10-01", "1996-01-31"),

@@ -22,6 +22,8 @@
 //! * sweep-based temporal aggregates ([`aggregate`]) such as the `tavg`
 //!   of QUERY 5, computed in a single scan.
 
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 pub mod aggregate;
 pub mod coalesce;
 pub mod date;
@@ -29,7 +31,7 @@ pub mod interval;
 
 pub use aggregate::{moving_window, rising, temporal_aggregate, AggregateKind, TemporalSeries};
 pub use coalesce::{coalesce, coalesce_intervals};
-pub use date::{Date, DateError, END_OF_TIME};
+pub use date::{Date, DateError, DAWN_OF_TIME, END_OF_TIME};
 pub use interval::{restructure, Interval};
 
 /// Errors produced by temporal primitives.

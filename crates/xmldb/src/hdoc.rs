@@ -88,17 +88,26 @@ fn find_tuple<'a>(
     key_child: &str,
     key: &str,
 ) -> Option<&'a mut Element> {
-    root.children.iter_mut().filter_map(Node::as_element_mut).find(|e| {
-        e.name == tuple
-            && is_open(e)
-            && e.first_child(key_child).map(|k| k.text_content()) == Some(key.to_string())
-    })
+    root.children
+        .iter_mut()
+        .filter_map(Node::as_element_mut)
+        .find(|e| {
+            e.name == tuple
+                && is_open(e)
+                && e.first_child(key_child).map(|k| k.text_content()) == Some(key.to_string())
+        })
 }
 
 /// Apply one change to the H-document rooted at `root`.
 pub fn apply(root: &mut Element, change: &DocChange) -> Result<(), HDocError> {
     match change {
-        DocChange::Insert { tuple, key_child, key, attrs, at } => {
+        DocChange::Insert {
+            tuple,
+            key_child,
+            key,
+            attrs,
+            at,
+        } => {
             if find_tuple(root, tuple, key_child, key).is_some() {
                 return Err(HDocError::DuplicateKey(key.clone()));
             }
@@ -123,16 +132,21 @@ pub fn apply(root: &mut Element, change: &DocChange) -> Result<(), HDocError> {
             root.push(t);
             Ok(())
         }
-        DocChange::Update { tuple, key_child, key, attr, value, at } => {
+        DocChange::Update {
+            tuple,
+            key_child,
+            key,
+            attr,
+            value,
+            at,
+        } => {
             let t = find_tuple(root, tuple, key_child, key)
                 .ok_or_else(|| HDocError::NoSuchTuple(key.clone()))?;
             // Find the open period of the attribute.
-            let open_idx = t
-                .children
-                .iter()
-                .position(|c| {
-                    c.as_element().is_some_and(|e| e.name == *attr && is_open(e))
-                });
+            let open_idx = t.children.iter().position(|c| {
+                c.as_element()
+                    .is_some_and(|e| e.name == *attr && is_open(e))
+            });
             if let Some(i) = open_idx {
                 let e = t.children[i].as_element_mut().expect("checked");
                 if e.text_content() == *value {
@@ -165,7 +179,12 @@ pub fn apply(root: &mut Element, change: &DocChange) -> Result<(), HDocError> {
             );
             Ok(())
         }
-        DocChange::Delete { tuple, key_child, key, at } => {
+        DocChange::Delete {
+            tuple,
+            key_child,
+            key,
+            at,
+        } => {
             let t = find_tuple(root, tuple, key_child, key)
                 .ok_or_else(|| HDocError::NoSuchTuple(key.clone()))?;
             let close = |e: &mut Element, at: Date| {

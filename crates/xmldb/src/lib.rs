@@ -16,12 +16,14 @@
 //! re-compress it — the whole-document cost that makes native-XML updates
 //! slow in §8.4 ("live data and historical data are mixed together").
 
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 pub mod hdoc;
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 use temporal::Date;
 use xmldom::Element;
 use xquery::{DocResolver, Engine, Sequence, XNode, XQueryError};
@@ -84,14 +86,16 @@ impl Store {
             return Ok(n.clone());
         }
         let docs = self.docs.lock();
-        let stored = docs.get(uri).ok_or_else(|| XmlDbError::UnknownDoc(uri.to_string()))?;
+        let stored = docs
+            .get(uri)
+            .ok_or_else(|| XmlDbError::UnknownDoc(uri.to_string()))?;
         let raw = blockzip::decompress(&stored.compressed)
             .map_err(|e| XmlDbError::Corrupt(e.to_string()))?;
-        self.bytes_decompressed.fetch_add(raw.len() as u64, Ordering::Relaxed);
+        self.bytes_decompressed
+            .fetch_add(raw.len() as u64, Ordering::Relaxed);
         let text = String::from_utf8(raw)
             .map_err(|_| XmlDbError::Corrupt("stored document is not UTF-8".into()))?;
-        let element =
-            xmldom::parse(&text).map_err(|e| XmlDbError::Corrupt(e.to_string()))?;
+        let element = xmldom::parse(&text).map_err(|e| XmlDbError::Corrupt(e.to_string()))?;
         self.parses.fetch_add(1, Ordering::Relaxed);
         let node = xquery::eval::wrap_document(XNode::from_dom(&element));
         self.cache.lock().insert(uri.to_string(), node.clone());
@@ -99,7 +103,10 @@ impl Store {
     }
 }
 
-struct StoreResolver(Arc<Store>);
+// `Rc`, not `Arc`: the DOM cache holds `XNode`s, which are `Rc`/`RefCell`
+// trees, so a `Store` can never cross threads anyway — sharing it with the
+// resolver through an `Arc` would only imply a thread-safety it cannot have.
+struct StoreResolver(Rc<Store>);
 
 impl DocResolver for StoreResolver {
     fn resolve(&self, uri: &str) -> Option<XNode> {
@@ -109,14 +116,14 @@ impl DocResolver for StoreResolver {
 
 /// The native XML database: compressed document store + XQuery engine.
 pub struct XmlDb {
-    store: Arc<Store>,
+    store: Rc<Store>,
     engine: Engine,
 }
 
 impl XmlDb {
     /// An empty database with `current-date()` pinned to `now`.
     pub fn new(now: Date) -> Self {
-        let store = Arc::new(Store::default());
+        let store = Rc::new(Store::default());
         let mut engine = Engine::new(StoreResolver(store.clone()));
         engine.set_now(now);
         XmlDb { store, engine }
@@ -128,7 +135,10 @@ impl XmlDb {
         let compressed = blockzip::compress(raw.as_bytes());
         self.store.docs.lock().insert(
             uri.to_string(),
-            StoredDoc { compressed, raw_size: raw.len() },
+            StoredDoc {
+                compressed,
+                raw_size: raw.len(),
+            },
         );
         self.store.cache.lock().remove(uri);
     }
@@ -150,7 +160,12 @@ impl XmlDb {
 
     /// Compressed bytes on "disk".
     pub fn stored_bytes(&self) -> usize {
-        self.store.docs.lock().values().map(|d| d.compressed.len()).sum()
+        self.store
+            .docs
+            .lock()
+            .values()
+            .map(|d| d.compressed.len())
+            .sum()
     }
 
     /// Uncompressed (serialized) bytes of all documents.
@@ -213,7 +228,10 @@ mod tests {
     fn stores_compressed_and_queries() {
         let db = db();
         assert!(db.stored_bytes() > 0);
-        assert!(db.stored_bytes() < db.raw_bytes(), "compression must shrink the doc");
+        assert!(
+            db.stored_bytes() < db.raw_bytes(),
+            "compression must shrink the doc"
+        );
         let out = db
             .query_xml(r#"for $s in doc("employees.xml")/employees/employee[id = 1001]/salary return string($s)"#)
             .unwrap();
@@ -223,12 +241,15 @@ mod tests {
     #[test]
     fn cold_queries_reparse_warm_queries_do_not() {
         let db = db();
-        db.query_xml(r#"count(doc("employees.xml")//salary)"#).unwrap();
+        db.query_xml(r#"count(doc("employees.xml")//salary)"#)
+            .unwrap();
         assert_eq!(db.parse_count(), 1);
-        db.query_xml(r#"count(doc("employees.xml")//salary)"#).unwrap();
+        db.query_xml(r#"count(doc("employees.xml")//salary)"#)
+            .unwrap();
         assert_eq!(db.parse_count(), 1, "warm query hits the DOM cache");
         db.flush_cache();
-        db.query_xml(r#"count(doc("employees.xml")//salary)"#).unwrap();
+        db.query_xml(r#"count(doc("employees.xml")//salary)"#)
+            .unwrap();
         assert_eq!(db.parse_count(), 2, "cold query decompresses + reparses");
     }
 
@@ -288,13 +309,17 @@ mod tests {
                 tuple: "employee".into(),
                 key_child: "id".into(),
                 key: "1002".into(),
-                attrs: vec![("name".into(), "Alice".into()), ("salary".into(), "80000".into())],
+                attrs: vec![
+                    ("name".into(), "Alice".into()),
+                    ("salary".into(), "80000".into()),
+                ],
                 at: Date::parse("1996-03-01").unwrap(),
             },
         )
         .unwrap();
         assert_eq!(
-            db.query_xml(r#"count(doc("employees.xml")/employees/employee)"#).unwrap(),
+            db.query_xml(r#"count(doc("employees.xml")/employees/employee)"#)
+                .unwrap(),
             "2"
         );
         db.apply_change(
@@ -308,9 +333,7 @@ mod tests {
         )
         .unwrap();
         let iv = db
-            .query_xml(
-                r#"string(doc("employees.xml")/employees/employee[id = 1002]/@tend)"#,
-            )
+            .query_xml(r#"string(doc("employees.xml")/employees/employee[id = 1002]/@tend)"#)
             .unwrap();
         assert_eq!(iv, "1996-12-31");
         let _ = Interval::parse("1996-03-01", "1996-12-31").unwrap();

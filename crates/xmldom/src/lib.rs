@@ -12,6 +12,8 @@
 //! (compact and pretty-printed), and navigation helpers used by the XQuery
 //! evaluator.
 
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 mod node;
 mod parse;
 

@@ -76,12 +76,19 @@ pub struct Element {
 impl Element {
     /// A new element with no attributes or children.
     pub fn new(name: impl Into<String>) -> Self {
-        Element { name: name.into(), attributes: Vec::new(), children: Vec::new() }
+        Element {
+            name: name.into(),
+            attributes: Vec::new(),
+            children: Vec::new(),
+        }
     }
 
     /// Attribute value by name.
     pub fn attr(&self, name: &str) -> Option<&str> {
-        self.attributes.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+        self.attributes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
     }
 
     /// Set (or replace) an attribute.
@@ -165,7 +172,10 @@ impl Element {
 
     /// Total number of element nodes in the subtree rooted here.
     pub fn subtree_size(&self) -> usize {
-        1 + self.child_elements().map(Element::subtree_size).sum::<usize>()
+        1 + self
+            .child_elements()
+            .map(Element::subtree_size)
+            .sum::<usize>()
     }
 
     /// Serialize compactly (no added whitespace).
@@ -313,7 +323,9 @@ mod tests {
 
     #[test]
     fn escapes_special_characters() {
-        let e = Element::new("t").with_attr("a", "x\"<y").with_text("a<b&c>d");
+        let e = Element::new("t")
+            .with_attr("a", "x\"<y")
+            .with_text("a<b&c>d");
         assert_eq!(e.to_xml(), "<t a=\"x&quot;&lt;y\">a&lt;b&amp;c&gt;d</t>");
     }
 

@@ -22,7 +22,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "XML parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -32,7 +36,10 @@ impl std::error::Error for ParseError {}
 /// trailing whitespace, declarations and comments around the root are
 /// skipped; trailing non-whitespace content is an error.
 pub fn parse(input: &str) -> Result<Element, ParseError> {
-    let mut p = Parser { input: input.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+    };
     p.skip_misc();
     let root = p.parse_element()?;
     p.skip_misc();
@@ -49,7 +56,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError { offset: self.pos, message: msg.into() }
+        ParseError {
+            offset: self.pos,
+            message: msg.into(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -162,7 +172,9 @@ impl<'a> Parser<'a> {
                     if element.attr(&attr_name).is_some() {
                         return Err(self.err(format!("duplicate attribute {attr_name:?}")));
                     }
-                    element.attributes.push((attr_name, unescape(&raw, vstart)?));
+                    element
+                        .attributes
+                        .push((attr_name, unescape(&raw, vstart)?));
                 }
                 None => return Err(self.err("eof in start tag")),
             }

@@ -11,20 +11,23 @@ fn arb_name() -> impl Strategy<Value = String> {
 
 fn arb_text() -> impl Strategy<Value = String> {
     // Non-empty, non-whitespace-only text with XML specials included.
-    "[ -~]{1,20}"
-        .prop_filter("whitespace-only text is dropped by the parser", |s| !s.trim().is_empty())
+    "[ -~]{1,20}".prop_filter("whitespace-only text is dropped by the parser", |s| {
+        !s.trim().is_empty()
+    })
 }
 
 fn arb_element() -> impl Strategy<Value = Element> {
-    let leaf = (arb_name(), proptest::collection::vec((arb_name(), arb_text()), 0..3)).prop_map(
-        |(name, attrs)| {
+    let leaf = (
+        arb_name(),
+        proptest::collection::vec((arb_name(), arb_text()), 0..3),
+    )
+        .prop_map(|(name, attrs)| {
             let mut e = Element::new(name);
             for (k, v) in attrs {
                 e.set_attr(k, v); // set_attr dedups names
             }
             e
-        },
-    );
+        });
     leaf.prop_recursive(3, 24, 4, |inner| {
         (
             arb_name(),
@@ -69,7 +72,8 @@ proptest! {
         // Pretty printing may add whitespace-only text, which parsing drops,
         // so compare element structure and attribute content only.
         let parsed = parse(&e.to_pretty_xml()).unwrap();
-        fn skeleton(e: &Element) -> (String, Vec<(String, String)>, Vec<(String, Vec<(String, String)>)>) {
+        type Skeleton = (String, Vec<(String, String)>, Vec<(String, Vec<(String, String)>)>);
+        fn skeleton(e: &Element) -> Skeleton {
             (
                 e.name.clone(),
                 e.attributes.clone(),

@@ -84,7 +84,9 @@ impl Engine {
 
     /// Resolve a document URI.
     pub fn doc(&self, uri: &str) -> Result<XNode> {
-        self.resolver.resolve(uri).ok_or_else(|| XQueryError::UnknownDoc(uri.to_string()))
+        self.resolver
+            .resolve(uri)
+            .ok_or_else(|| XQueryError::UnknownDoc(uri.to_string()))
     }
 
     /// Parse and evaluate a query, returning the result sequence.
@@ -213,7 +215,9 @@ pub(crate) fn eval_expr(ctx: &mut Ctx, expr: &Expr) -> Result<Sequence> {
         Expr::Cmp(op, l, r) => {
             let ls = eval_expr(ctx, l)?;
             let rs = eval_expr(ctx, r)?;
-            Ok(vec![Item::Atom(Atomic::Bool(general_compare(*op, &ls, &rs)))])
+            Ok(vec![Item::Atom(Atomic::Bool(general_compare(
+                *op, &ls, &rs,
+            )))])
         }
         Expr::Arith(op, l, r) => {
             let ls = eval_expr(ctx, l)?;
@@ -231,7 +235,12 @@ pub(crate) fn eval_expr(ctx: &mut Ctx, expr: &Expr) -> Result<Sequence> {
                 other => Err(XQueryError::Type(format!("cannot negate {other:?}"))),
             }
         }
-        Expr::Flwor { bindings, where_clause, order_by, ret } => {
+        Expr::Flwor {
+            bindings,
+            where_clause,
+            order_by,
+            ret,
+        } => {
             let mut out: Vec<(Vec<Atomic>, Sequence)> = Vec::new();
             flwor_rec(ctx, bindings, 0, where_clause, order_by, ret, &mut out)?;
             if !order_by.is_empty() {
@@ -248,7 +257,12 @@ pub(crate) fn eval_expr(ctx: &mut Ctx, expr: &Expr) -> Result<Sequence> {
             }
             Ok(out.into_iter().flat_map(|(_, s)| s).collect())
         }
-        Expr::Quantified { every, var, seq, pred } => {
+        Expr::Quantified {
+            every,
+            var,
+            seq,
+            pred,
+        } => {
             let items = eval_expr(ctx, seq)?;
             let saved = ctx.vars.get(var).cloned();
             let mut result = *every;
@@ -313,7 +327,11 @@ pub(crate) fn eval_expr(ctx: &mut Ctx, expr: &Expr) -> Result<Sequence> {
             };
             Ok(vec![Item::Node(construct_element(name, &[], &content_seq))])
         }
-        Expr::DirectCtor { name, attrs, content } => {
+        Expr::DirectCtor {
+            name,
+            attrs,
+            content,
+        } => {
             let mut attr_vals = Vec::with_capacity(attrs.len());
             for (aname, parts) in attrs {
                 let mut text = String::new();
@@ -340,7 +358,11 @@ pub(crate) fn eval_expr(ctx: &mut Ctx, expr: &Expr) -> Result<Sequence> {
                     DirectContent::Child(e) => content_seq.extend(eval_expr(ctx, e)?),
                 }
             }
-            Ok(vec![Item::Node(construct_element(name, &attr_vals, &content_seq))])
+            Ok(vec![Item::Node(construct_element(
+                name,
+                &attr_vals,
+                &content_seq,
+            ))])
         }
     }
 }
@@ -375,7 +397,11 @@ fn flwor_rec(
         let mut keys = Vec::with_capacity(order_by.len());
         for spec in order_by {
             let k = eval_expr(ctx, &spec.key)?;
-            keys.push(k.first().map(|i| i.atomize()).unwrap_or(Atomic::Str(String::new())));
+            keys.push(
+                k.first()
+                    .map(|i| i.atomize())
+                    .unwrap_or(Atomic::Str(String::new())),
+            );
         }
         let value = eval_expr(ctx, ret)?;
         out.push((keys, value));
@@ -573,7 +599,9 @@ fn arith(op: ArithOp, ls: &Sequence, rs: &Sequence) -> Result<Sequence> {
         if op == ArithOp::Sub {
             return Ok(vec![Item::Atom(Atomic::Int(da.days_since(db) as i64))]);
         }
-        return Err(XQueryError::Type("only '-' is defined between dates".into()));
+        return Err(XQueryError::Type(
+            "only '-' is defined between dates".into(),
+        ));
     }
     if let Atomic::Date(d) = &a {
         let n = b
@@ -587,8 +615,10 @@ fn arith(op: ArithOp, ls: &Sequence, rs: &Sequence) -> Result<Sequence> {
         }))]);
     }
     let (x, y) = (
-        a.as_number().ok_or_else(|| XQueryError::Type(format!("non-numeric operand {a:?}")))?,
-        b.as_number().ok_or_else(|| XQueryError::Type(format!("non-numeric operand {b:?}")))?,
+        a.as_number()
+            .ok_or_else(|| XQueryError::Type(format!("non-numeric operand {a:?}")))?,
+        b.as_number()
+            .ok_or_else(|| XQueryError::Type(format!("non-numeric operand {b:?}")))?,
     );
     let both_int = matches!(a, Atomic::Int(_)) && matches!(b, Atomic::Int(_));
     let result = match op {
@@ -743,9 +773,7 @@ mod tests {
     fn let_binds_whole_sequence() {
         let e = emp_engine();
         let out = e
-            .eval_to_xml(
-                r#"let $s := doc("employees.xml")//salary return count($s)"#,
-            )
+            .eval_to_xml(r#"let $s := doc("employees.xml")//salary return count($s)"#)
             .unwrap();
         assert_eq!(out, "3");
     }
@@ -754,21 +782,15 @@ mod tests {
     fn quantified_expressions() {
         let e = emp_engine();
         let every = e
-            .eval_to_xml(
-                r#"every $s in doc("employees.xml")//salary satisfies $s >= 60000"#,
-            )
+            .eval_to_xml(r#"every $s in doc("employees.xml")//salary satisfies $s >= 60000"#)
             .unwrap();
         assert_eq!(every, "true");
         let some = e
-            .eval_to_xml(
-                r#"some $s in doc("employees.xml")//salary satisfies $s > 75000"#,
-            )
+            .eval_to_xml(r#"some $s in doc("employees.xml")//salary satisfies $s > 75000"#)
             .unwrap();
         assert_eq!(some, "true");
         let none = e
-            .eval_to_xml(
-                r#"some $s in doc("employees.xml")//salary satisfies $s > 99999"#,
-            )
+            .eval_to_xml(r#"some $s in doc("employees.xml")//salary satisfies $s > 99999"#)
             .unwrap();
         assert_eq!(none, "false");
     }
@@ -777,9 +799,7 @@ mod tests {
     fn element_constructors() {
         let e = emp_engine();
         let out = e
-            .eval_to_xml(
-                r#"element res { for $n in doc("employees.xml")//name return $n }"#,
-            )
+            .eval_to_xml(r#"element res { for $n in doc("employees.xml")//name return $n }"#)
             .unwrap();
         assert!(out.starts_with("<res>"));
         assert!(out.contains("Bob") && out.contains("Alice"));
@@ -795,14 +815,19 @@ mod tests {
     #[test]
     fn positional_predicate() {
         let e = emp_engine();
-        let out = e.eval_to_xml(r#"string(doc("employees.xml")//salary[2])"#).unwrap();
+        let out = e
+            .eval_to_xml(r#"string(doc("employees.xml")//salary[2])"#)
+            .unwrap();
         assert_eq!(out, "70000");
     }
 
     #[test]
     fn atoms_in_constructors_join_with_spaces() {
         let e = emp_engine();
-        assert_eq!(e.eval_to_xml("element x { 1, 2, 3 }").unwrap(), "<x>1 2 3</x>");
+        assert_eq!(
+            e.eval_to_xml("element x { 1, 2, 3 }").unwrap(),
+            "<x>1 2 3</x>"
+        );
     }
 
     #[test]
@@ -812,7 +837,8 @@ mod tests {
         assert_eq!(e.eval_to_xml("7 div 2").unwrap(), "3.5");
         assert_eq!(e.eval_to_xml("7 mod 2").unwrap(), "1");
         assert_eq!(
-            e.eval_to_xml(r#"xs:date("1995-03-01") - xs:date("1995-01-01")"#).unwrap(),
+            e.eval_to_xml(r#"xs:date("1995-03-01") - xs:date("1995-01-01")"#)
+                .unwrap(),
             "59"
         );
         assert!(e.eval("1 div 0").is_err());
@@ -821,7 +847,10 @@ mod tests {
     #[test]
     fn if_then_else() {
         let e = emp_engine();
-        assert_eq!(e.eval_to_xml(r#"if (1 < 2) then "y" else "n""#).unwrap(), "y");
+        assert_eq!(
+            e.eval_to_xml(r#"if (1 < 2) then "y" else "n""#).unwrap(),
+            "y"
+        );
     }
 
     #[test]
@@ -872,11 +901,13 @@ mod tests {
     fn position_and_last_in_predicates() {
         let e = emp_engine();
         assert_eq!(
-            e.eval_to_xml(r#"string(doc("employees.xml")//salary[position() = 2])"#).unwrap(),
+            e.eval_to_xml(r#"string(doc("employees.xml")//salary[position() = 2])"#)
+                .unwrap(),
             "70000"
         );
         assert_eq!(
-            e.eval_to_xml(r#"string(doc("employees.xml")//salary[last()])"#).unwrap(),
+            e.eval_to_xml(r#"string(doc("employees.xml")//salary[last()])"#)
+                .unwrap(),
             "80000"
         );
         assert_eq!(
@@ -887,7 +918,10 @@ mod tests {
             .unwrap(),
             "60000\n70000"
         );
-        assert!(e.eval("position()").is_err(), "no context outside predicates");
+        assert!(
+            e.eval("position()").is_err(),
+            "no context outside predicates"
+        );
     }
 
     #[test]

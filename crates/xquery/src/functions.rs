@@ -12,8 +12,8 @@ use crate::value::*;
 use crate::{Result, XQueryError};
 use std::rc::Rc;
 use temporal::{
-    coalesce as t_coalesce, restructure as t_restructure, temporal_aggregate, AggregateKind,
-    Date, Interval, END_OF_TIME,
+    coalesce as t_coalesce, restructure as t_restructure, temporal_aggregate, AggregateKind, Date,
+    Interval, END_OF_TIME,
 };
 
 /// Dispatch a built-in by (normalized) name. Returns `None` for unknown
@@ -48,9 +48,7 @@ pub(crate) fn call_builtin(
         ("true", 0) => Ok(vec![Item::Atom(Atomic::Bool(true))]),
         ("false", 0) => Ok(vec![Item::Atom(Atomic::Bool(false))]),
         ("not", 1) => effective_boolean(&args[0]).map(|b| vec![Item::Atom(Atomic::Bool(!b))]),
-        ("boolean", 1) => {
-            effective_boolean(&args[0]).map(|b| vec![Item::Atom(Atomic::Bool(b))])
-        }
+        ("boolean", 1) => effective_boolean(&args[0]).map(|b| vec![Item::Atom(Atomic::Bool(b))]),
         ("empty", 1) => Ok(vec![Item::Atom(Atomic::Bool(args[0].is_empty()))]),
         ("exists", 1) => Ok(vec![Item::Atom(Atomic::Bool(!args[0].is_empty()))]),
         ("count", 1) => Ok(vec![Item::Atom(Atomic::Int(args[0].len() as i64))]),
@@ -62,9 +60,9 @@ pub(crate) fn call_builtin(
                 None => Ok(vec![Item::Atom(Atomic::Double(f64::NAN))]),
             }
         }
-        ("string-length", 1) => {
-            Ok(vec![Item::Atom(Atomic::Int(string_of(&args[0]).chars().count() as i64))])
-        }
+        ("string-length", 1) => Ok(vec![Item::Atom(Atomic::Int(
+            string_of(&args[0]).chars().count() as i64,
+        ))]),
         ("concat", _) => {
             let mut out = String::new();
             for a in &args {
@@ -111,9 +109,7 @@ pub(crate) fn call_builtin(
             } else {
                 let n = args[0].len() as f64;
                 match numeric_values(&args[0]) {
-                    Ok(vs) => Ok(vec![Item::Atom(Atomic::Double(
-                        vs.iter().sum::<f64>() / n,
-                    ))]),
+                    Ok(vs) => Ok(vec![Item::Atom(Atomic::Double(vs.iter().sum::<f64>() / n))]),
                     Err(e) => Err(e),
                 }
             }
@@ -160,15 +156,13 @@ pub(crate) fn call_builtin(
         ("tcontains", 2) => interval_pred(&args, now, |a, b| a.contains(&b)),
         ("tequals", 2) => interval_pred(&args, now, |a, b| a.equals(&b)),
         ("tmeets", 2) => interval_pred(&args, now, |a, b| a.meets(&b)),
-        ("overlapinterval", 2) => {
-            match (interval_of(&args[0], now), interval_of(&args[1], now)) {
-                (Some(a), Some(b)) => match a.intersect(&b) {
-                    Some(iv) => Ok(vec![Item::Node(interval_element("interval", iv))]),
-                    None => Ok(vec![]),
-                },
-                _ => Ok(vec![]),
-            }
-        }
+        ("overlapinterval", 2) => match (interval_of(&args[0], now), interval_of(&args[1], now)) {
+            (Some(a), Some(b)) => match a.intersect(&b) {
+                Some(iv) => Ok(vec![Item::Node(interval_element("interval", iv))]),
+                None => Ok(vec![]),
+            },
+            _ => Ok(vec![]),
+        },
         ("rtend", 1) => Ok(replace_eot(&args[0], &now.to_string())),
         ("externalnow", 1) => Ok(replace_eot(&args[0], "now")),
         ("coalesce", 1) => coalesce_nodes(&args[0]),
@@ -189,8 +183,7 @@ pub(crate) fn call_builtin(
         // Moving-window variants (paper §4: "moving window aggregate can
         // also be supported"): second argument is the trailing window in
         // days.
-        ("tmovavg", 2) | ("tmovsum", 2) | ("tmovcount", 2) | ("tmovmin", 2)
-        | ("tmovmax", 2) => {
+        ("tmovavg", 2) | ("tmovsum", 2) | ("tmovcount", 2) | ("tmovmin", 2) | ("tmovmax", 2) => {
             let kind = match name {
                 "tmovavg" => AggregateKind::Avg,
                 "tmovsum" => AggregateKind::Sum,
@@ -236,7 +229,9 @@ pub(crate) fn call_builtin(
 }
 
 fn string_of(seq: &Sequence) -> String {
-    seq.first().map(|i| i.atomize().to_text()).unwrap_or_default()
+    seq.first()
+        .map(|i| i.atomize().to_text())
+        .unwrap_or_default()
 }
 
 fn number_of(seq: &Sequence) -> Option<f64> {
@@ -300,16 +295,14 @@ fn extremum(seq: &Sequence, want_max: bool) -> Result<Sequence> {
 /// The period of the first item: for element nodes, their
 /// `tstart`/`tend` attributes.
 fn interval_of(seq: &Sequence, _now: Date) -> Option<Interval> {
-    seq.first().and_then(Item::as_node).and_then(XNode::interval)
+    seq.first()
+        .and_then(Item::as_node)
+        .and_then(XNode::interval)
 }
 
-fn intervals_of(seq: &Sequence, now: Date) -> Vec<Interval> {
+fn intervals_of(seq: &Sequence, _now: Date) -> Vec<Interval> {
     seq.iter()
         .filter_map(|i| i.as_node().and_then(XNode::interval))
-        .map(|iv| {
-            let _ = now;
-            iv
-        })
         .collect()
 }
 
@@ -327,7 +320,10 @@ fn interval_pred(
 fn interval_element(name: &str, iv: Interval) -> XNode {
     construct_element(
         name,
-        &[("tstart".into(), iv.start().to_string()), ("tend".into(), iv.end().to_string())],
+        &[
+            ("tstart".into(), iv.start().to_string()),
+            ("tend".into(), iv.end().to_string()),
+        ],
         &vec![],
     )
 }
@@ -374,9 +370,9 @@ fn coalesce_nodes(seq: &Sequence) -> Result<Sequence> {
         let node = item
             .as_node()
             .ok_or_else(|| XQueryError::Type("coalesce expects nodes".into()))?;
-        let iv = node.interval().ok_or_else(|| {
-            XQueryError::Type("coalesce expects timestamped elements".into())
-        })?;
+        let iv = node
+            .interval()
+            .ok_or_else(|| XQueryError::Type("coalesce expects timestamped elements".into()))?;
         let name = node
             .as_elem()
             .map(|e| e.name.clone())
@@ -407,11 +403,10 @@ fn value_interval_pairs(seq: &Sequence) -> Result<Vec<(f64, Interval)>> {
         let iv = node.interval().ok_or_else(|| {
             XQueryError::Type("temporal aggregate expects timestamped elements".into())
         })?;
-        let v: f64 = node
-            .string_value()
-            .trim()
-            .parse()
-            .map_err(|_| XQueryError::Type("temporal aggregate expects numeric values".into()))?;
+        let v: f64 =
+            node.string_value().trim().parse().map_err(|_| {
+                XQueryError::Type("temporal aggregate expects numeric values".into())
+            })?;
         items.push((v, iv));
     }
     Ok(items)
@@ -466,12 +461,14 @@ mod tests {
     fn tstart_tend_and_now_substitution() {
         let e = engine();
         assert_eq!(
-            e.eval_to_xml(r#"tstart(doc("emp.xml")/employees/employee)"#).unwrap(),
+            e.eval_to_xml(r#"tstart(doc("emp.xml")/employees/employee)"#)
+                .unwrap(),
             "1995-01-01"
         );
         // tend of a current element = current-date (pinned to 2005-01-01).
         assert_eq!(
-            e.eval_to_xml(r#"tend(doc("emp.xml")/employees/employee)"#).unwrap(),
+            e.eval_to_xml(r#"tend(doc("emp.xml")/employees/employee)"#)
+                .unwrap(),
             "2005-01-01"
         );
         assert_eq!(
@@ -510,9 +507,7 @@ mod tests {
     fn overlapinterval_returns_interval_element() {
         let e = engine();
         let out = e
-            .eval_to_xml(
-                r#"overlapinterval(doc("emp.xml")//salary[1], doc("emp.xml")//title[1])"#,
-            )
+            .eval_to_xml(r#"overlapinterval(doc("emp.xml")//salary[1], doc("emp.xml")//title[1])"#)
             .unwrap();
         assert_eq!(out, r#"<interval tstart="1995-01-01" tend="1995-05-31"/>"#);
         // Disjoint periods yield the empty sequence.
@@ -528,10 +523,22 @@ mod tests {
     fn interval_predicates() {
         let e = engine();
         for (q, want) in [
-            (r#"tcontains(doc("emp.xml")/employees/employee, doc("emp.xml")//salary[1])"#, "true"),
-            (r#"tprecedes(doc("emp.xml")//salary[1], doc("emp.xml")//title[2])"#, "true"),
-            (r#"tmeets(doc("emp.xml")//salary[1], doc("emp.xml")//salary[2])"#, "true"),
-            (r#"tequals(doc("emp.xml")//salary[1], doc("emp.xml")//title[1])"#, "false"),
+            (
+                r#"tcontains(doc("emp.xml")/employees/employee, doc("emp.xml")//salary[1])"#,
+                "true",
+            ),
+            (
+                r#"tprecedes(doc("emp.xml")//salary[1], doc("emp.xml")//title[2])"#,
+                "true",
+            ),
+            (
+                r#"tmeets(doc("emp.xml")//salary[1], doc("emp.xml")//salary[2])"#,
+                "true",
+            ),
+            (
+                r#"tequals(doc("emp.xml")//salary[1], doc("emp.xml")//title[1])"#,
+                "false",
+            ),
         ] {
             assert_eq!(e.eval_to_xml(q).unwrap(), want, "query: {q}");
         }
@@ -540,15 +547,23 @@ mod tests {
     #[test]
     fn timespan_counts_days() {
         let e = engine();
-        assert_eq!(e.eval_to_xml(r#"timespan(doc("emp.xml")//salary[1])"#).unwrap(), "151");
+        assert_eq!(
+            e.eval_to_xml(r#"timespan(doc("emp.xml")//salary[1])"#)
+                .unwrap(),
+            "151"
+        );
     }
 
     #[test]
     fn rtend_and_externalnow() {
         let e = engine();
-        let r = e.eval_to_xml(r#"rtend(doc("emp.xml")//salary[2])"#).unwrap();
+        let r = e
+            .eval_to_xml(r#"rtend(doc("emp.xml")//salary[2])"#)
+            .unwrap();
         assert!(r.contains(r#"tend="2005-01-01""#), "{r}");
-        let x = e.eval_to_xml(r#"externalnow(doc("emp.xml")//salary[2])"#).unwrap();
+        let x = e
+            .eval_to_xml(r#"externalnow(doc("emp.xml")//salary[2])"#)
+            .unwrap();
         assert!(x.contains(r#"tend="now""#), "{x}");
         // Originals are untouched (deep copy).
         let orig = e.eval_to_xml(r#"doc("emp.xml")//salary[2]"#).unwrap();
@@ -633,9 +648,16 @@ mod tests {
         );
         let e = Engine::new(r);
         // A 30-day trailing window keeps the value visible 29 extra days.
-        let out = e.eval_to_xml(r#"tmovmax(doc("s.xml")/h/salary, 30)"#).unwrap();
-        assert_eq!(out, "<tmovmax tstart=\"1995-01-01\" tend=\"1995-03-01\">100</tmovmax>");
-        let cnt = e.eval_to_xml(r#"tmovcount(doc("s.xml")/h/salary, 1)"#).unwrap();
+        let out = e
+            .eval_to_xml(r#"tmovmax(doc("s.xml")/h/salary, 30)"#)
+            .unwrap();
+        assert_eq!(
+            out,
+            "<tmovmax tstart=\"1995-01-01\" tend=\"1995-03-01\">100</tmovmax>"
+        );
+        let cnt = e
+            .eval_to_xml(r#"tmovcount(doc("s.xml")/h/salary, 1)"#)
+            .unwrap();
         assert!(cnt.contains("tend=\"1995-01-31\""), "{cnt}");
         assert!(e.eval(r#"trising(doc("s.xml")/h/salary)"#).is_ok());
     }
@@ -660,14 +682,30 @@ mod tests {
     fn core_functions() {
         let e = engine();
         assert_eq!(e.eval_to_xml(r#"concat("a", "b", 1)"#).unwrap(), "ab1");
-        assert_eq!(e.eval_to_xml(r#"contains("hello", "ell")"#).unwrap(), "true");
-        assert_eq!(e.eval_to_xml(r#"starts-with("hello", "he")"#).unwrap(), "true");
+        assert_eq!(
+            e.eval_to_xml(r#"contains("hello", "ell")"#).unwrap(),
+            "true"
+        );
+        assert_eq!(
+            e.eval_to_xml(r#"starts-with("hello", "he")"#).unwrap(),
+            "true"
+        );
         assert_eq!(e.eval_to_xml(r#"string-length("abc")"#).unwrap(), "3");
-        assert_eq!(e.eval_to_xml(r#"substring("abcdef", 2, 3)"#).unwrap(), "bcd");
+        assert_eq!(
+            e.eval_to_xml(r#"substring("abcdef", 2, 3)"#).unwrap(),
+            "bcd"
+        );
         assert_eq!(e.eval_to_xml("sum((1, 2, 3))").unwrap(), "6");
         assert_eq!(e.eval_to_xml("avg((1, 2, 3, 6))").unwrap(), "3");
         assert_eq!(e.eval_to_xml("min((3, 1, 2))").unwrap(), "1");
-        assert_eq!(e.eval_to_xml(r#"count(distinct-values(("a", "a", "b")))"#).unwrap(), "2");
-        assert_eq!(e.eval_to_xml(r#"name(doc("emp.xml")//salary[1])"#).unwrap(), "salary");
+        assert_eq!(
+            e.eval_to_xml(r#"count(distinct-values(("a", "a", "b")))"#)
+                .unwrap(),
+            "2"
+        );
+        assert_eq!(
+            e.eval_to_xml(r#"name(doc("emp.xml")//salary[1])"#).unwrap(),
+            "salary"
+        );
     }
 }

@@ -115,88 +115,151 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
                 i = j;
             }
             b'(' => {
-                toks.push(SpannedTok { tok: Tok::LParen, at: i });
+                toks.push(SpannedTok {
+                    tok: Tok::LParen,
+                    at: i,
+                });
                 i += 1;
             }
             b')' => {
-                toks.push(SpannedTok { tok: Tok::RParen, at: i });
+                toks.push(SpannedTok {
+                    tok: Tok::RParen,
+                    at: i,
+                });
                 i += 1;
             }
             b'{' => {
-                toks.push(SpannedTok { tok: Tok::LBrace, at: i });
+                toks.push(SpannedTok {
+                    tok: Tok::LBrace,
+                    at: i,
+                });
                 i += 1;
             }
             b'}' => {
-                toks.push(SpannedTok { tok: Tok::RBrace, at: i });
+                toks.push(SpannedTok {
+                    tok: Tok::RBrace,
+                    at: i,
+                });
                 i += 1;
             }
             b'[' => {
-                toks.push(SpannedTok { tok: Tok::LBracket, at: i });
+                toks.push(SpannedTok {
+                    tok: Tok::LBracket,
+                    at: i,
+                });
                 i += 1;
             }
             b']' => {
-                toks.push(SpannedTok { tok: Tok::RBracket, at: i });
+                toks.push(SpannedTok {
+                    tok: Tok::RBracket,
+                    at: i,
+                });
                 i += 1;
             }
             b',' => {
-                toks.push(SpannedTok { tok: Tok::Comma, at: i });
+                toks.push(SpannedTok {
+                    tok: Tok::Comma,
+                    at: i,
+                });
                 i += 1;
             }
             b';' => {
-                toks.push(SpannedTok { tok: Tok::Semi, at: i });
+                toks.push(SpannedTok {
+                    tok: Tok::Semi,
+                    at: i,
+                });
                 i += 1;
             }
             b'@' => {
-                toks.push(SpannedTok { tok: Tok::At, at: i });
+                toks.push(SpannedTok {
+                    tok: Tok::At,
+                    at: i,
+                });
                 i += 1;
             }
             b'+' => {
-                toks.push(SpannedTok { tok: Tok::Plus, at: i });
+                toks.push(SpannedTok {
+                    tok: Tok::Plus,
+                    at: i,
+                });
                 i += 1;
             }
             b'-' => {
-                toks.push(SpannedTok { tok: Tok::Minus, at: i });
+                toks.push(SpannedTok {
+                    tok: Tok::Minus,
+                    at: i,
+                });
                 i += 1;
             }
             b'*' => {
-                toks.push(SpannedTok { tok: Tok::Star, at: i });
+                toks.push(SpannedTok {
+                    tok: Tok::Star,
+                    at: i,
+                });
                 i += 1;
             }
             b'/' => {
                 if b.get(i + 1) == Some(&b'/') {
-                    toks.push(SpannedTok { tok: Tok::SlashSlash, at: i });
+                    toks.push(SpannedTok {
+                        tok: Tok::SlashSlash,
+                        at: i,
+                    });
                     i += 2;
                 } else {
-                    toks.push(SpannedTok { tok: Tok::Slash, at: i });
+                    toks.push(SpannedTok {
+                        tok: Tok::Slash,
+                        at: i,
+                    });
                     i += 1;
                 }
             }
             b'.' => {
                 if b.get(i + 1) == Some(&b'.') {
-                    toks.push(SpannedTok { tok: Tok::DotDot, at: i });
+                    toks.push(SpannedTok {
+                        tok: Tok::DotDot,
+                        at: i,
+                    });
                     i += 2;
                 } else {
-                    toks.push(SpannedTok { tok: Tok::Dot, at: i });
+                    toks.push(SpannedTok {
+                        tok: Tok::Dot,
+                        at: i,
+                    });
                     i += 1;
                 }
             }
             b':' if b.get(i + 1) == Some(&b'=') => {
-                toks.push(SpannedTok { tok: Tok::Assign, at: i });
+                toks.push(SpannedTok {
+                    tok: Tok::Assign,
+                    at: i,
+                });
                 i += 2;
             }
             b'=' => {
-                toks.push(SpannedTok { tok: Tok::Eq, at: i });
+                toks.push(SpannedTok {
+                    tok: Tok::Eq,
+                    at: i,
+                });
                 i += 1;
             }
             b'!' if b.get(i + 1) == Some(&b'=') => {
-                toks.push(SpannedTok { tok: Tok::Ne, at: i });
+                toks.push(SpannedTok {
+                    tok: Tok::Ne,
+                    at: i,
+                });
                 i += 2;
             }
             b'<' => {
                 if b.get(i + 1) == Some(&b'=') {
-                    toks.push(SpannedTok { tok: Tok::Le, at: i });
+                    toks.push(SpannedTok {
+                        tok: Tok::Le,
+                        at: i,
+                    });
                     i += 2;
-                } else if b.get(i + 1).is_some_and(|c| c.is_ascii_alphabetic() || *c == b'_') {
+                } else if b
+                    .get(i + 1)
+                    .is_some_and(|c| c.is_ascii_alphabetic() || *c == b'_')
+                {
                     // `<name` — a direct element constructor start. Capture
                     // the name; the parser takes over at `at`.
                     let start = i + 1;
@@ -205,19 +268,31 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
                         j += 1;
                     }
                     let name = src[start..j].to_string();
-                    toks.push(SpannedTok { tok: Tok::LtName(name), at: i });
+                    toks.push(SpannedTok {
+                        tok: Tok::LtName(name),
+                        at: i,
+                    });
                     i = j;
                 } else {
-                    toks.push(SpannedTok { tok: Tok::Lt, at: i });
+                    toks.push(SpannedTok {
+                        tok: Tok::Lt,
+                        at: i,
+                    });
                     i += 1;
                 }
             }
             b'>' => {
                 if b.get(i + 1) == Some(&b'=') {
-                    toks.push(SpannedTok { tok: Tok::Ge, at: i });
+                    toks.push(SpannedTok {
+                        tok: Tok::Ge,
+                        at: i,
+                    });
                     i += 2;
                 } else {
-                    toks.push(SpannedTok { tok: Tok::Gt, at: i });
+                    toks.push(SpannedTok {
+                        tok: Tok::Gt,
+                        at: i,
+                    });
                     i += 1;
                 }
             }
@@ -241,7 +316,10 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
                     out.push(b[j] as char);
                     j += 1;
                 }
-                toks.push(SpannedTok { tok: Tok::Str(out), at: i });
+                toks.push(SpannedTok {
+                    tok: Tok::Str(out),
+                    at: i,
+                });
                 i = j + 1;
             }
             b'0'..=b'9' => {
@@ -249,10 +327,7 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
                 while i < b.len() && b[i].is_ascii_digit() {
                     i += 1;
                 }
-                if i < b.len()
-                    && b[i] == b'.'
-                    && b.get(i + 1).is_some_and(|c| c.is_ascii_digit())
-                {
+                if i < b.len() && b[i] == b'.' && b.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
                     i += 1;
                     while i < b.len() && b[i].is_ascii_digit() {
                         i += 1;
@@ -260,12 +335,18 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
                     let v: f64 = src[start..i]
                         .parse()
                         .map_err(|_| XQueryError::Lex(start, "bad decimal".into()))?;
-                    toks.push(SpannedTok { tok: Tok::Dec(v), at: start });
+                    toks.push(SpannedTok {
+                        tok: Tok::Dec(v),
+                        at: start,
+                    });
                 } else {
                     let v: i64 = src[start..i]
                         .parse()
                         .map_err(|_| XQueryError::Lex(start, "bad integer".into()))?;
-                    toks.push(SpannedTok { tok: Tok::Int(v), at: start });
+                    toks.push(SpannedTok {
+                        tok: Tok::Int(v),
+                        at: start,
+                    });
                 }
             }
             b'$' => {
@@ -277,7 +358,10 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
                 if j == start {
                     return Err(XQueryError::Lex(i, "expected variable name after $".into()));
                 }
-                toks.push(SpannedTok { tok: Tok::Var(src[start..j].to_string()), at: i });
+                toks.push(SpannedTok {
+                    tok: Tok::Var(src[start..j].to_string()),
+                    at: i,
+                });
                 i = j;
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {
@@ -286,11 +370,17 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
                 while j < b.len() && is_name_char_at(b, j) {
                     j += 1;
                 }
-                toks.push(SpannedTok { tok: Tok::Name(src[start..j].to_string()), at: start });
+                toks.push(SpannedTok {
+                    tok: Tok::Name(src[start..j].to_string()),
+                    at: start,
+                });
                 i = j;
             }
             other => {
-                return Err(XQueryError::Lex(i, format!("unexpected character {:?}", other as char)))
+                return Err(XQueryError::Lex(
+                    i,
+                    format!("unexpected character {:?}", other as char),
+                ))
             }
         }
     }
@@ -358,10 +448,7 @@ mod tests {
     #[test]
     fn hyphenated_names_vs_minus() {
         assert_eq!(kinds("current-date()")[0], Tok::Name("current-date".into()));
-        assert_eq!(
-            kinds("1 - 2"),
-            vec![Tok::Int(1), Tok::Minus, Tok::Int(2)]
-        );
+        assert_eq!(kinds("1 - 2"), vec![Tok::Int(1), Tok::Minus, Tok::Int(2)]);
         assert_eq!(
             kinds("$a-$b"),
             vec![Tok::Var("a".into()), Tok::Minus, Tok::Var("b".into())]
@@ -373,7 +460,12 @@ mod tests {
         assert_eq!(kinds("xs:date")[0], Tok::Name("xs:date".into()));
         assert_eq!(
             kinds("let $d := 3"),
-            vec![Tok::Name("let".into()), Tok::Var("d".into()), Tok::Assign, Tok::Int(3)]
+            vec![
+                Tok::Name("let".into()),
+                Tok::Var("d".into()),
+                Tok::Assign,
+                Tok::Int(3)
+            ]
         );
     }
 

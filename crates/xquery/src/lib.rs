@@ -41,6 +41,8 @@
 //! assert!(result.contains("Sr Engineer"));
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 pub mod ast;
 pub mod eval;
 pub mod functions;

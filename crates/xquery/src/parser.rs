@@ -34,7 +34,11 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, msg: impl Into<String>) -> XQueryError {
-        let at = self.toks.get(self.pos).map(|t| t.at).unwrap_or(self.src.len());
+        let at = self
+            .toks
+            .get(self.pos)
+            .map(|t| t.at)
+            .unwrap_or(self.src.len());
         XQueryError::Parse(at, msg.into())
     }
 
@@ -234,7 +238,12 @@ impl<'a> Parser<'a> {
         }
         self.expect_name("return")?;
         let ret = Box::new(self.parse_expr_single()?);
-        Ok(Expr::Flwor { bindings, where_clause, order_by, ret })
+        Ok(Expr::Flwor {
+            bindings,
+            where_clause,
+            order_by,
+            ret,
+        })
     }
 
     fn parse_quantified(&mut self) -> Result<Expr> {
@@ -245,7 +254,12 @@ impl<'a> Parser<'a> {
         let seq = Box::new(self.parse_expr_single()?);
         self.expect_name("satisfies")?;
         let pred = Box::new(self.parse_expr_single()?);
-        Ok(Expr::Quantified { every, var, seq, pred })
+        Ok(Expr::Quantified {
+            every,
+            var,
+            seq,
+            pred,
+        })
     }
 
     fn parse_if(&mut self) -> Result<Expr> {
@@ -434,7 +448,10 @@ impl<'a> Parser<'a> {
         if steps.is_empty() {
             Ok(base)
         } else {
-            Ok(Expr::Path { base: Box::new(base), steps })
+            Ok(Expr::Path {
+                base: Box::new(base),
+                steps,
+            })
         }
     }
 
@@ -455,7 +472,10 @@ impl<'a> Parser<'a> {
         if preds.is_empty() {
             Ok(primary)
         } else {
-            Ok(Expr::Path { base: Box::new(primary), steps: vec![(Step::SelfStep, preds)] })
+            Ok(Expr::Path {
+                base: Box::new(primary),
+                steps: vec![(Step::SelfStep, preds)],
+            })
         }
     }
 
@@ -502,11 +522,17 @@ impl<'a> Parser<'a> {
                     self.expect(&Tok::LBrace)?;
                     if self.peek() == Some(&Tok::RBrace) {
                         self.pos += 1;
-                        return Ok(Expr::ElementCtor { name, content: None });
+                        return Ok(Expr::ElementCtor {
+                            name,
+                            content: None,
+                        });
                     }
                     let content = self.parse_expr()?;
                     self.expect(&Tok::RBrace)?;
-                    return Ok(Expr::ElementCtor { name, content: Some(Box::new(content)) });
+                    return Ok(Expr::ElementCtor {
+                        name,
+                        content: Some(Box::new(content)),
+                    });
                 }
                 self.parse_call_or_err()
             }
@@ -562,7 +588,8 @@ fn parse_direct_from(src: &str, at: usize) -> Result<(Expr, usize)> {
     }
     i += 1;
     let name_start = i;
-    while i < b.len() && (b[i].is_ascii_alphanumeric() || matches!(b[i], b'_' | b'-' | b':' | b'.')) {
+    while i < b.len() && (b[i].is_ascii_alphanumeric() || matches!(b[i], b'_' | b'-' | b':' | b'.'))
+    {
         i += 1;
     }
     if i == name_start {
@@ -577,7 +604,14 @@ fn parse_direct_from(src: &str, at: usize) -> Result<(Expr, usize)> {
         }
         match b.get(i) {
             Some(b'/') if b.get(i + 1) == Some(&b'>') => {
-                return Ok((Expr::DirectCtor { name, attrs, content: Vec::new() }, i + 2));
+                return Ok((
+                    Expr::DirectCtor {
+                        name,
+                        attrs,
+                        content: Vec::new(),
+                    },
+                    i + 2,
+                ));
             }
             Some(b'>') => {
                 i += 1;
@@ -663,7 +697,14 @@ fn parse_direct_from(src: &str, at: usize) -> Result<(Expr, usize)> {
                 if b.get(i) != Some(&b'>') {
                     return Err(err(i, "expected '>'"));
                 }
-                return Ok((Expr::DirectCtor { name, attrs, content }, i + 1));
+                return Ok((
+                    Expr::DirectCtor {
+                        name,
+                        attrs,
+                        content,
+                    },
+                    i + 1,
+                ));
             }
             Some(b'<') => {
                 if !text.trim().is_empty() {
@@ -725,7 +766,10 @@ fn enclosed_expr(src: &str, at: usize) -> Result<(Expr, usize)> {
         }
         i += 1;
     }
-    Err(XQueryError::Parse(at, "unbalanced '{' in constructor".into()))
+    Err(XQueryError::Parse(
+        at,
+        "unbalanced '{' in constructor".into(),
+    ))
 }
 
 #[cfg(test)]
@@ -750,9 +794,13 @@ mod tests {
         };
         assert_eq!(bindings.len(), 1);
         assert_eq!(*ret, Expr::Var("t".into()));
-        let Binding::For { var, seq } = &bindings[0] else { panic!() };
+        let Binding::For { var, seq } = &bindings[0] else {
+            panic!()
+        };
         assert_eq!(var, "t");
-        let Expr::Path { base, steps } = seq else { panic!("expected path") };
+        let Expr::Path { base, steps } = seq else {
+            panic!("expected path")
+        };
         assert!(matches!(**base, Expr::Call(ref n, _) if n == "doc"));
         assert_eq!(steps.len(), 3);
         assert!(matches!(&steps[1].0, Step::Child(n) if n == "employee"));
@@ -764,9 +812,15 @@ mod tests {
         let q = r#"for $m in doc("depts.xml")/depts/dept/mgrno
                        [tstart(.)<=xs:date("1994-05-06") and tend(.) >= xs:date("1994-05-06")]
                    return $m"#;
-        let Expr::Flwor { bindings, .. } = parse(q) else { panic!() };
-        let Binding::For { seq, .. } = &bindings[0] else { panic!() };
-        let Expr::Path { steps, .. } = seq else { panic!() };
+        let Expr::Flwor { bindings, .. } = parse(q) else {
+            panic!()
+        };
+        let Binding::For { seq, .. } = &bindings[0] else {
+            panic!()
+        };
+        let Expr::Path { steps, .. } = seq else {
+            panic!()
+        };
         let (step, preds) = steps.last().unwrap();
         assert!(matches!(step, Step::Child(n) if n == "mgrno"));
         assert!(matches!(&preds[0], Expr::And(_, _)));
@@ -777,7 +831,9 @@ mod tests {
         let q = r#"every $d1 in $e1/deptno satisfies
                    some $d2 in $e2/deptno satisfies
                    (string($d1)=string($d2) and tequals($d2,$d1))"#;
-        let Expr::Quantified { every, pred, .. } = parse(q) else { panic!() };
+        let Expr::Quantified { every, pred, .. } = parse(q) else {
+            panic!()
+        };
         assert!(every);
         assert!(matches!(*pred, Expr::Quantified { every: false, .. }));
     }
@@ -785,7 +841,14 @@ mod tests {
     #[test]
     fn parses_direct_constructor_with_enclosures() {
         let q = r#"<employee level="senior">{$e/id, $e/name}</employee>"#;
-        let Expr::DirectCtor { name, attrs, content } = parse(q) else { panic!() };
+        let Expr::DirectCtor {
+            name,
+            attrs,
+            content,
+        } = parse(q)
+        else {
+            panic!()
+        };
         assert_eq!(name, "employee");
         assert_eq!(attrs[0].0, "level");
         assert_eq!(attrs[0].1, vec![AttrPart::Text("senior".into())]);
@@ -796,10 +859,14 @@ mod tests {
     #[test]
     fn parses_nested_direct_constructors() {
         let q = r#"<a x="{1+1}"><b/>text{$v}</a>"#;
-        let Expr::DirectCtor { attrs, content, .. } = parse(q) else { panic!() };
+        let Expr::DirectCtor { attrs, content, .. } = parse(q) else {
+            panic!()
+        };
         assert!(matches!(&attrs[0].1[0], AttrPart::Expr(Expr::Arith(..))));
         assert_eq!(content.len(), 3);
-        assert!(matches!(&content[0], DirectContent::Child(Expr::DirectCtor { name, .. }) if name == "b"));
+        assert!(
+            matches!(&content[0], DirectContent::Child(Expr::DirectCtor { name, .. }) if name == "b")
+        );
         assert!(matches!(&content[1], DirectContent::Text(t) if t == "text"));
         assert!(matches!(&content[2], DirectContent::Expr(Expr::Var(v)) if v == "v"));
     }
@@ -810,7 +877,14 @@ mod tests {
                    let $d := $e/dept
                    where not(empty($d)) and $e/name != "Bob"
                    return max($d)"#;
-        let Expr::Flwor { bindings, where_clause, .. } = parse(q) else { panic!() };
+        let Expr::Flwor {
+            bindings,
+            where_clause,
+            ..
+        } = parse(q)
+        else {
+            panic!()
+        };
         assert_eq!(bindings.len(), 2);
         assert!(matches!(&bindings[1], Binding::Let { var, .. } if var == "d"));
         assert!(where_clause.is_some());
@@ -829,7 +903,9 @@ mod tests {
     #[test]
     fn parses_arithmetic_precedence() {
         let e = parse("1 + 2 * 3");
-        let Expr::Arith(ArithOp::Add, l, r) = e else { panic!() };
+        let Expr::Arith(ArithOp::Add, l, r) = e else {
+            panic!()
+        };
         assert_eq!(*l, Expr::IntLit(1));
         assert!(matches!(*r, Expr::Arith(ArithOp::Mul, _, _)));
     }
@@ -837,7 +913,9 @@ mod tests {
     #[test]
     fn parses_order_by() {
         let q = "for $x in $s order by $x descending return $x";
-        let Expr::Flwor { order_by, .. } = parse(q) else { panic!() };
+        let Expr::Flwor { order_by, .. } = parse(q) else {
+            panic!()
+        };
         assert_eq!(order_by.len(), 1);
         assert!(!order_by[0].ascending);
     }
@@ -851,7 +929,9 @@ mod tests {
     #[test]
     fn parses_descendant_and_attribute_steps() {
         let e = parse(r#"doc("x.xml")//salary/@tstart"#);
-        let Expr::Path { steps, .. } = e else { panic!() };
+        let Expr::Path { steps, .. } = e else {
+            panic!()
+        };
         assert!(matches!(&steps[0].0, Step::Descendant(n) if n == "salary"));
         assert!(matches!(&steps[1].0, Step::Attribute(n) if n == "tstart"));
     }
@@ -859,7 +939,9 @@ mod tests {
     #[test]
     fn parses_variable_with_predicate() {
         let e = parse(r#"$e/title[.="Sr Engineer" and tend(.)=current-date()]"#);
-        let Expr::Path { base, steps } = e else { panic!() };
+        let Expr::Path { base, steps } = e else {
+            panic!()
+        };
         assert_eq!(*base, Expr::Var("e".into()));
         assert_eq!(steps.len(), 1);
         assert_eq!(steps[0].1.len(), 1);
@@ -882,7 +964,9 @@ mod tests {
     #[test]
     fn relative_path_from_context() {
         let e = parse("employees/employee");
-        let Expr::Path { base, steps } = e else { panic!() };
+        let Expr::Path { base, steps } = e else {
+            panic!()
+        };
         assert_eq!(*base, Expr::ContextItem);
         assert_eq!(steps.len(), 2);
     }

@@ -123,8 +123,14 @@ impl XNode {
     pub fn interval(&self) -> Option<Interval> {
         let e = self.as_elem()?;
         let attrs = e.attrs.borrow();
-        let s = attrs.iter().find(|(n, _)| n == "tstart").map(|(_, v)| v.clone())?;
-        let t = attrs.iter().find(|(n, _)| n == "tend").map(|(_, v)| v.clone())?;
+        let s = attrs
+            .iter()
+            .find(|(n, _)| n == "tstart")
+            .map(|(_, v)| v.clone())?;
+        let t = attrs
+            .iter()
+            .find(|(n, _)| n == "tend")
+            .map(|(_, v)| v.clone())?;
         Interval::new(Date::parse(&s).ok()?, Date::parse(&t).ok()?).ok()
     }
 
@@ -132,7 +138,10 @@ impl XNode {
     pub fn attr(&self, name: &str) -> Option<String> {
         let e = self.as_elem()?;
         let attrs = e.attrs.borrow();
-        attrs.iter().find(|(n, _)| n == name).map(|(_, v)| v.clone())
+        attrs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.clone())
     }
 }
 
@@ -275,9 +284,7 @@ pub fn atomic_compare(a: &Atomic, b: &Atomic) -> Option<std::cmp::Ordering> {
         }
         (Bool(x), Bool(y)) => Some(x.cmp(y)),
         (Int(x), Int(y)) => Some(x.cmp(y)),
-        (Int(_) | Double(_), Int(_) | Double(_)) => {
-            a.as_number()?.partial_cmp(&b.as_number()?)
-        }
+        (Int(_) | Double(_), Int(_) | Double(_)) => a.as_number()?.partial_cmp(&b.as_number()?),
         (Int(_) | Double(_), Str(s)) => {
             let y: f64 = s.trim().parse().ok()?;
             a.as_number()?.partial_cmp(&y)
@@ -321,7 +328,10 @@ mod tests {
     fn string_value_and_interval() {
         let n = elem_from(r#"<salary tstart="1995-01-01" tend="1995-05-31">60000</salary>"#);
         assert_eq!(n.string_value(), "60000");
-        assert_eq!(n.interval().unwrap(), Interval::parse("1995-01-01", "1995-05-31").unwrap());
+        assert_eq!(
+            n.interval().unwrap(),
+            Interval::parse("1995-01-01", "1995-05-31").unwrap()
+        );
         assert_eq!(elem_from("<x/>").interval(), None);
     }
 
@@ -365,6 +375,9 @@ mod tests {
             atomic_compare(&Atomic::Str("abc".into()), &Atomic::Str("abd".into())),
             Some(Ordering::Less)
         );
-        assert_eq!(atomic_compare(&Atomic::Str("abc".into()), &Atomic::Int(1)), None);
+        assert_eq!(
+            atomic_compare(&Atomic::Str("abc".into()), &Atomic::Int(1)),
+            None
+        );
     }
 }

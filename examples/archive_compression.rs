@@ -18,7 +18,10 @@ use relstore::Value;
 use temporal::Date;
 
 fn main() {
-    let ops = dataset::generate(&DatasetConfig { employees: 80, ..Default::default() });
+    let ops = dataset::generate(&DatasetConfig {
+        employees: 80,
+        ..Default::default()
+    });
 
     // Umin = 0.4, the configuration of the paper's benchmarks.
     let mut db = ArchIS::new(ArchConfig::default().with_umin(0.4));
@@ -34,8 +37,16 @@ fn main() {
     println!("--- salary history segments (Umin = 0.4) ---");
     println!("{:>6}  {:>10}  {:>10}", "segno", "segstart", "segend");
     for seg in db.segments_of("employee", "salary").unwrap() {
-        let label = if seg.segno == LIVE_SEGNO { "live".to_string() } else { seg.segno.to_string() };
-        println!("{label:>6}  {:>10}  {:>10}", seg.start.to_string(), seg.end.to_string());
+        let label = if seg.segno == LIVE_SEGNO {
+            "live".to_string()
+        } else {
+            seg.segno.to_string()
+        };
+        println!(
+            "{label:>6}  {:>10}  {:>10}",
+            seg.start.to_string(),
+            seg.end.to_string()
+        );
     }
 
     // 2. Storage before compression.
@@ -46,8 +57,14 @@ fn main() {
     let blocks = db.compress_archived("employee").unwrap();
     db.vacuum_relation("employee").unwrap();
     let after = db.storage_bytes().unwrap();
-    println!("storage after BlockZIP:     {} KiB ({blocks} blocks)", after / 1024);
-    println!("compression factor:          {:.2}x", before as f64 / after as f64);
+    println!(
+        "storage after BlockZIP:     {} KiB ({blocks} blocks)",
+        after / 1024
+    );
+    println!(
+        "compression factor:          {:.2}x",
+        before as f64 / after as f64
+    );
 
     // 4. Query the compressed archive: a snapshot touches few blocks, a
     //    full history scan touches them all.
@@ -102,7 +119,14 @@ fn main() {
 fn bench_change(op: &dataset::Op) -> archis::Change {
     use dataset::Op;
     match op {
-        Op::Hire { id, name, salary, title, deptno, at } => archis::Change::Insert {
+        Op::Hire {
+            id,
+            name,
+            salary,
+            title,
+            deptno,
+            at,
+        } => archis::Change::Insert {
             relation: "employee".into(),
             key: *id,
             values: vec![
@@ -131,8 +155,10 @@ fn bench_change(op: &dataset::Op) -> archis::Change {
             changes: vec![("deptno".into(), Value::Str(deptno.clone()))],
             at: *at,
         },
-        Op::Leave { id, at } => {
-            archis::Change::Delete { relation: "employee".into(), key: *id, at: *at }
-        }
+        Op::Leave { id, at } => archis::Change::Delete {
+            relation: "employee".into(),
+            key: *id,
+            at: *at,
+        },
     }
 }

@@ -37,8 +37,13 @@ fn main() {
         d("1995-01-01"),
     )
     .unwrap();
-    db.update("employee", 1001, vec![("salary".into(), Value::Int(70000))], d("1995-06-01"))
-        .unwrap();
+    db.update(
+        "employee",
+        1001,
+        vec![("salary".into(), Value::Int(70000))],
+        d("1995-06-01"),
+    )
+    .unwrap();
     db.update(
         "employee",
         1001,

@@ -37,8 +37,13 @@ fn main() {
             d("1995-01-01"),
         )
         .unwrap();
-        db.update("employee", 1001, vec![("salary".into(), Value::Int(70000))], d("1995-06-01"))
-            .unwrap();
+        db.update(
+            "employee",
+            1001,
+            vec![("salary".into(), Value::Int(70000))],
+            d("1995-06-01"),
+        )
+        .unwrap();
         db.force_archive("employee", d("1995-12-31")).unwrap();
         db.checkpoint().unwrap();
         println!("session 1: loaded 1995, archived segment 1, checkpointed.");
@@ -58,8 +63,13 @@ fn main() {
             "session 2: Bob's salary on 1995-03-01 (answered from the reopened archive): {}",
             then.rows[0][0].render()
         );
-        db.update("employee", 1001, vec![("salary".into(), Value::Int(80000))], d("1996-06-01"))
-            .unwrap();
+        db.update(
+            "employee",
+            1001,
+            vec![("salary".into(), Value::Int(80000))],
+            d("1996-06-01"),
+        )
+        .unwrap();
         db.checkpoint().unwrap();
         println!("session 2: appended the 1996 raise, checkpointed.");
     }

@@ -10,6 +10,24 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+if [[ "${ARCHIS_SKIP_LINT:-0}" == "0" ]]; then
+    echo "== static gates: rustfmt =="
+    cargo fmt --check
+
+    echo "== static gates: clippy (zero-warning wall) =="
+    cargo clippy --workspace --all-targets -- -D warnings
+
+    echo "== static gates: archis-lint =="
+    # Repo-specific analyses: WAL write discipline, lock-order cycles,
+    # locks held across I/O, the panic-path/slice-index ratchet against
+    # lint-baseline.toml, and the error-drop audit on commit/recovery
+    # paths. Non-zero exit fails CI. ARCHIS_SKIP_LINT=1 skips all three
+    # static gates (useful while iterating locally).
+    cargo run -q -p archis-lint --release
+else
+    echo "== static gates: skipped (ARCHIS_SKIP_LINT=1) =="
+fi
+
 echo "== tier-1: release build =="
 cargo build --release
 

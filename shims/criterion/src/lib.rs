@@ -67,8 +67,18 @@ impl<'a> BenchmarkGroup<'a> {
         self
     }
 
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl std::fmt::Display, f: F) -> &mut Self {
-        run_bench(&self.name, &name.to_string(), self.sample_size, self.throughput, f);
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_bench(
+            &self.name,
+            &name.to_string(),
+            self.sample_size,
+            self.throughput,
+            f,
+        );
         self
     }
 
@@ -94,7 +104,11 @@ impl Bencher {
         }
     }
 
-    pub fn iter_with_setup<S, O, SF: FnMut() -> S, F: FnMut(S) -> O>(&mut self, mut setup: SF, mut f: F) {
+    pub fn iter_with_setup<S, O, SF: FnMut() -> S, F: FnMut(S) -> O>(
+        &mut self,
+        mut setup: SF,
+        mut f: F,
+    ) {
         std::hint::black_box(f(setup()));
         for _ in 0..self.samples.capacity() {
             let input = setup();
@@ -104,7 +118,12 @@ impl Bencher {
         }
     }
 
-    pub fn iter_batched<S, O, SF: FnMut() -> S, F: FnMut(S) -> O>(&mut self, setup: SF, f: F, _size: BatchSize) {
+    pub fn iter_batched<S, O, SF: FnMut() -> S, F: FnMut(S) -> O>(
+        &mut self,
+        setup: SF,
+        f: F,
+        _size: BatchSize,
+    ) {
         self.iter_with_setup(setup, f)
     }
 }
@@ -137,8 +156,15 @@ fn run_bench<F: FnMut(&mut Bencher)>(
     throughput: Option<Throughput>,
     mut f: F,
 ) {
-    let label = if group.is_empty() { name.to_string() } else { format!("{group}/{name}") };
-    let mut b = Bencher { samples: Vec::with_capacity(sample_size), iters_per_sample: 1 };
+    let label = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        iters_per_sample: 1,
+    };
     f(&mut b);
     if b.samples.is_empty() {
         println!("{label:<40} (no samples)");

@@ -122,7 +122,11 @@ pub mod strategy {
             Self: Sized,
             F: Fn(&Self::Value) -> bool,
         {
-            Filter { source: self, reason, pred }
+            Filter {
+                source: self,
+                reason,
+                pred,
+            }
         }
 
         /// Build a recursive strategy. `depth` bounds nesting; `_size` and
@@ -221,7 +225,10 @@ pub mod strategy {
                     return v;
                 }
             }
-            panic!("prop_filter rejected 1000 candidates in a row: {}", self.reason)
+            panic!(
+                "prop_filter rejected 1000 candidates in a row: {}",
+                self.reason
+            )
         }
     }
 
@@ -234,7 +241,10 @@ pub mod strategy {
     impl<T> Union<T> {
         pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
             let total = arms.iter().map(|(w, _)| *w as u64).sum();
-            assert!(total > 0, "prop_oneof! needs at least one arm with nonzero weight");
+            assert!(
+                total > 0,
+                "prop_oneof! needs at least one arm with nonzero weight"
+            );
             Union { arms, total }
         }
     }
@@ -333,7 +343,11 @@ pub mod collection {
 
     pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
         assert!(size.start < size.end, "empty vec size range");
-        VecStrategy { elem, min: size.start, max: size.end }
+        VecStrategy {
+            elem,
+            min: size.start,
+            max: size.end,
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -416,7 +430,9 @@ pub mod string {
         let mut ranges = Vec::new();
         let mut pending: Option<char> = None;
         loop {
-            let c = chars.next().expect("unterminated character class in pattern");
+            let c = chars
+                .next()
+                .expect("unterminated character class in pattern");
             match c {
                 ']' => {
                     if let Some(p) = pending {
@@ -438,19 +454,26 @@ pub mod string {
                 }
                 '-' => {
                     let prev = pending.take();
-                    if prev.is_none() || chars.peek() == Some(&']') || chars.peek().is_none() {
-                        // `-` at the start or end of the class: a literal
-                        // dash. Flush any pending single char first.
-                        if let Some(p) = prev {
-                            ranges.push((p, p));
+                    let at_edge = chars.peek() == Some(&']') || chars.peek().is_none();
+                    match prev {
+                        Some(lo) if !at_edge => {
+                            let hi = chars.next().unwrap();
+                            let hi = if hi == '\\' {
+                                chars.next().expect("dangling escape")
+                            } else {
+                                hi
+                            };
+                            assert!(lo <= hi, "inverted class range {lo}-{hi}");
+                            ranges.push((lo, hi));
                         }
-                        pending = Some('-');
-                    } else {
-                        let lo = prev.unwrap();
-                        let hi = chars.next().unwrap();
-                        let hi = if hi == '\\' { chars.next().expect("dangling escape") } else { hi };
-                        assert!(lo <= hi, "inverted class range {lo}-{hi}");
-                        ranges.push((lo, hi));
+                        _ => {
+                            // `-` at the start or end of the class: a literal
+                            // dash. Flush any pending single char first.
+                            if let Some(p) = prev {
+                                ranges.push((p, p));
+                            }
+                            pending = Some('-');
+                        }
                     }
                 }
                 other => {
@@ -475,7 +498,10 @@ pub mod string {
                     body.push(c);
                 }
                 if let Some((m, n)) = body.split_once(',') {
-                    (m.trim().parse().expect("bad {m,n}"), n.trim().parse().expect("bad {m,n}"))
+                    (
+                        m.trim().parse().expect("bad {m,n}"),
+                        n.trim().parse().expect("bad {m,n}"),
+                    )
                 } else {
                     let n: u32 = body.trim().parse().expect("bad {n}");
                     (n, n)
@@ -525,12 +551,16 @@ pub mod string {
     }
 
     fn sample_class(ranges: &[(char, char)], rng: &mut TestRng) -> char {
-        let total: u64 = ranges.iter().map(|(lo, hi)| *hi as u64 - *lo as u64 + 1).sum();
+        let total: u64 = ranges
+            .iter()
+            .map(|(lo, hi)| *hi as u64 - *lo as u64 + 1)
+            .sum();
         let mut pick = rng.below(total);
         for (lo, hi) in ranges {
             let span = *hi as u64 - *lo as u64 + 1;
             if pick < span {
-                return char::from_u32(*lo as u32 + pick as u32).expect("class range spans a surrogate gap");
+                return char::from_u32(*lo as u32 + pick as u32)
+                    .expect("class range spans a surrogate gap");
             }
             pick -= span;
         }
@@ -675,7 +705,9 @@ mod tests {
             let name = "[a-z][a-z0-9_]{0,8}".generate(&mut rng);
             assert!(!name.is_empty() && name.len() <= 9);
             assert!(name.chars().next().unwrap().is_ascii_lowercase());
-            assert!(name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+            assert!(name
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
 
             let printable = "[ -~]{1,20}".generate(&mut rng);
             assert!((1..=20).contains(&printable.len()));
@@ -728,8 +760,13 @@ mod tests {
             9 => (0i32..1).prop_map(|_| "common"),
             1 => Just("rare"),
         ];
-        let rare = (0..1_000).filter(|_| weighted.generate(&mut rng) == "rare").count();
-        assert!((20..350).contains(&rare), "weights respected: {rare}/1000 rare");
+        let rare = (0..1_000)
+            .filter(|_| weighted.generate(&mut rng) == "rare")
+            .count();
+        assert!(
+            (20..350).contains(&rare),
+            "weights respected: {rare}/1000 rare"
+        );
     }
 
     proptest! {

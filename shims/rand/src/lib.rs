@@ -125,7 +125,12 @@ pub mod rngs {
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             let mut sm = seed;
-            let s = [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
             StdRng { s }
         }
     }
@@ -176,8 +181,8 @@ mod tests {
     #[test]
     fn gen_bool_extremes() {
         let mut rng = StdRng::seed_from_u64(2);
-        assert!(!(0..100).map(|_| rng.gen_bool(0.0)).any(|b| b));
-        assert!((0..100).map(|_| rng.gen_bool(1.0)).all(|b| b));
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
         let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
         assert!((4_000..6_000).contains(&heads), "p=0.5 gave {heads}/10000");
     }

@@ -46,6 +46,8 @@
 //! assert!(xml.contains("60000") && xml.contains("70000"));
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 pub use archis;
 pub use blockzip;
 pub use dataset;

@@ -20,7 +20,14 @@ fn d(s: &str) -> Date {
 
 fn to_change(op: &Op) -> Change {
     match op {
-        Op::Hire { id, name, salary, title, deptno, at } => Change::Insert {
+        Op::Hire {
+            id,
+            name,
+            salary,
+            title,
+            deptno,
+            at,
+        } => Change::Insert {
             relation: "employee".into(),
             key: *id,
             values: vec![
@@ -49,9 +56,11 @@ fn to_change(op: &Op) -> Change {
             changes: vec![("deptno".into(), Value::Str(deptno.clone()))],
             at: *at,
         },
-        Op::Leave { id, at } => {
-            Change::Delete { relation: "employee".into(), key: *id, at: *at }
-        }
+        Op::Leave { id, at } => Change::Delete {
+            relation: "employee".into(),
+            key: *id,
+            at: *at,
+        },
     }
 }
 
@@ -70,9 +79,15 @@ fn table_dump(a: &ArchIS) -> Vec<(String, Vec<Vec<Value>>)> {
 }
 
 fn assert_no_violations(a: &ArchIS, ctx: &str) {
-    let violations =
-        a.archiver_of("employee").unwrap().verify_invariants(a.database()).unwrap();
-    assert!(violations.is_empty(), "{ctx}: invariant violations: {violations:#?}");
+    let violations = a
+        .archiver_of("employee")
+        .unwrap()
+        .verify_invariants(a.database())
+        .unwrap();
+    assert!(
+        violations.is_empty(),
+        "{ctx}: invariant violations: {violations:#?}"
+    );
 }
 
 /// Feeding the archiver whole batches produces byte-for-byte the same
@@ -124,7 +139,10 @@ fn batch_apply_matches_one_at_a_time() {
         "table sets differ"
     );
     for ((name, rows_s), (_, rows_b)) in dump_s.iter().zip(dump_b.iter()) {
-        assert_eq!(rows_s, rows_b, "table {name} diverged between batched and single apply");
+        assert_eq!(
+            rows_s, rows_b,
+            "table {name} diverged between batched and single apply"
+        );
     }
 }
 
@@ -146,10 +164,14 @@ fn batch_apply_rejects_duplicate_key_insert() {
     };
     let mut a = ArchIS::new(ArchConfig::default());
     a.create_relation(RelationSpec::employee()).unwrap();
-    a.apply_all(&[hire(1, "1995-01-01"), hire(2, "1995-01-02")]).unwrap();
+    a.apply_all(&[hire(1, "1995-01-01"), hire(2, "1995-01-02")])
+        .unwrap();
     // Re-hiring key 2 in a batch must error like the one-at-a-time path.
     let err = a.apply_all(&[hire(3, "1995-02-01"), hire(2, "1995-02-02")]);
-    assert!(err.is_err(), "duplicate-key insert slipped through the batch path");
+    assert!(
+        err.is_err(),
+        "duplicate-key insert slipped through the batch path"
+    );
     assert_no_violations(&a, "after rejected batch");
 }
 
@@ -247,7 +269,10 @@ fn apply_batch_crashes_recover_to_batch_boundaries() {
     batched_workload(&dry, 1, &changes).expect("dry run must not crash");
     let total_syncs = dry.fp.syncs();
     let total_writes = dry.fp.writes();
-    assert!(total_syncs >= changes.len() as u64 / BATCH as u64, "workload barely syncs");
+    assert!(
+        total_syncs >= changes.len() as u64 / BATCH as u64,
+        "workload barely syncs"
+    );
     assert_eq!(
         recovered_batch_boundary(&dry, "dry run"),
         Some(HIRES),
@@ -265,18 +290,28 @@ fn apply_batch_crashes_recover_to_batch_boundaries() {
         m.fp.crash_after_syncs(pos);
         match batched_workload(&m, group, &changes) {
             Ok(()) => {} // higher group-commit setting syncs less; crash never fired
-            Err(_) => assert!(m.fp.crashed(), "sync pos {pos}: died to a non-injected error"),
+            Err(_) => assert!(
+                m.fp.crashed(),
+                "sync pos {pos}: died to a non-injected error"
+            ),
         }
         m.fp.revive();
         if recovered_batch_boundary(&m, &format!("sync pos {pos} group {group}")).is_some() {
             boundaries_hit += 1;
         }
     }
-    assert!(boundaries_hit > 0, "no sweep position recovered a non-empty store");
+    assert!(
+        boundaries_hit > 0,
+        "no sweep position recovered a non-empty store"
+    );
 
     // Seeded raw-write positions catch crashes *between* fsyncs (mid-page,
     // torn log tail) — recovery must still land on a batch boundary.
-    let wseeds: u64 = if cfg!(feature = "failpoints") { 120 } else { 24 };
+    let wseeds: u64 = if cfg!(feature = "failpoints") {
+        120
+    } else {
+        24
+    };
     for seed in 0..wseeds {
         let m = media(seed);
         m.fp.set_tear_writes(seed % 3 != 0);

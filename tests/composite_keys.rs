@@ -12,7 +12,10 @@ fn d(s: &str) -> Date {
 
 fn lineitem_spec() -> RelationSpec {
     RelationSpec::new("lineitem", "lineitems", "id", vec![("qty", DataType::Int)])
-        .with_composite_key(vec![("supplierno", DataType::Str), ("itemno", DataType::Int)])
+        .with_composite_key(vec![
+            ("supplierno", DataType::Str),
+            ("itemno", DataType::Int),
+        ])
 }
 
 fn setup() -> ArchIS {
@@ -40,7 +43,13 @@ fn setup() -> ArchIS {
         d("1995-02-01"),
     )
     .unwrap();
-    a.update("lineitem", 1, vec![("qty".into(), Value::Int(20))], d("1995-06-01")).unwrap();
+    a.update(
+        "lineitem",
+        1,
+        vec![("qty".into(), Value::Int(20))],
+        d("1995-06-01"),
+    )
+    .unwrap();
     a
 }
 
@@ -59,7 +68,12 @@ fn key_table_carries_composite_columns() {
 fn composite_columns_are_immutable() {
     let a = setup();
     let err = a
-        .update("lineitem", 1, vec![("supplierno".into(), Value::Str("S09".into()))], d("1996-01-01"))
+        .update(
+            "lineitem",
+            1,
+            vec![("supplierno".into(), Value::Str("S09".into()))],
+            d("1996-01-01"),
+        )
         .unwrap_err();
     assert!(matches!(err, archis::ArchError::BadUpdate(_)), "{err}");
 }
@@ -76,7 +90,11 @@ fn publication_includes_composite_children() {
         li.first_child("supplierno").unwrap().interval(),
         li.interval(),
     );
-    assert_eq!(li.children_named("qty").count(), 2, "attribute history still grouped");
+    assert_eq!(
+        li.children_named("qty").count(),
+        2,
+        "attribute history still grouped"
+    );
 }
 
 #[test]

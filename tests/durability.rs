@@ -44,8 +44,13 @@ fn load_bob(a: &mut ArchIS) {
         d("1995-01-01"),
     )
     .unwrap();
-    a.update("employee", 1001, vec![("salary".into(), Value::Int(70000))], d("1995-06-01"))
-        .unwrap();
+    a.update(
+        "employee",
+        1001,
+        vec![("salary".into(), Value::Int(70000))],
+        d("1995-06-01"),
+    )
+    .unwrap();
 }
 
 #[test]
@@ -76,11 +81,20 @@ fn archis_survives_reopen() {
         assert_eq!(segs[0].segno, 1);
         assert_eq!(segs[0].end, d("1995-12-31"));
         // Updates keep working and usefulness accounting resumes.
-        a.update("employee", 1001, vec![("salary".into(), Value::Int(80000))], d("1996-06-01"))
-            .unwrap();
+        a.update(
+            "employee",
+            1001,
+            vec![("salary".into(), Value::Int(80000))],
+            d("1996-06-01"),
+        )
+        .unwrap();
         a.force_archive("employee", d("1996-12-31")).unwrap();
         let segs = a.segments_of("employee", "salary").unwrap();
-        assert_eq!(segs.iter().filter(|s| s.segno < 1000).count(), 2, "segno 2 was allocated");
+        assert_eq!(
+            segs.iter().filter(|s| s.segno < 1000).count(),
+            2,
+            "segno 2 was allocated"
+        );
         a.checkpoint().unwrap();
     }
     {
@@ -104,7 +118,10 @@ fn compressed_store_reattaches() {
     {
         let mut a = ArchIS::open_file(&path, ArchConfig::default()).unwrap();
         load_bob(&mut a);
-        for (i, date) in ["1996-02-01", "1997-02-01", "1998-02-01"].iter().enumerate() {
+        for (i, date) in ["1996-02-01", "1997-02-01", "1998-02-01"]
+            .iter()
+            .enumerate()
+        {
             a.update(
                 "employee",
                 1001,
@@ -141,7 +158,11 @@ fn compressed_store_reattaches() {
 // 40-seed smoke slice so `cargo test -q` stays fast.
 // ---------------------------------------------------------------------------
 
-const TORTURE_SEEDS: u64 = if cfg!(feature = "failpoints") { 200 } else { 40 };
+const TORTURE_SEEDS: u64 = if cfg!(feature = "failpoints") {
+    200
+} else {
+    40
+};
 
 struct Media {
     fp: Arc<Failpoints>,
@@ -187,7 +208,14 @@ fn archival_workload(m: &Media, batch: usize, ops: &[Op]) -> archis::Result<()> 
             a.maybe_archive("employee", op.at())?;
         }
         match op {
-            Op::Hire { id, name, salary, title, deptno, at } => a.insert(
+            Op::Hire {
+                id,
+                name,
+                salary,
+                title,
+                deptno,
+                at,
+            } => a.insert(
                 "employee",
                 *id,
                 vec![
@@ -198,9 +226,12 @@ fn archival_workload(m: &Media, batch: usize, ops: &[Op]) -> archis::Result<()> 
                 ],
                 *at,
             )?,
-            Op::Raise { id, salary, at } => {
-                a.update("employee", *id, vec![("salary".into(), Value::Int(*salary))], *at)?
-            }
+            Op::Raise { id, salary, at } => a.update(
+                "employee",
+                *id,
+                vec![("salary".into(), Value::Int(*salary))],
+                *at,
+            )?,
             Op::TitleChange { id, title, at } => a.update(
                 "employee",
                 *id,
@@ -216,7 +247,10 @@ fn archival_workload(m: &Media, batch: usize, ops: &[Op]) -> archis::Result<()> 
             Op::Leave { id, at } => a.delete("employee", *id, *at)?,
         }
     }
-    let end = ops.last().map(|o| o.at()).unwrap_or_else(|| d("1999-12-31"));
+    let end = ops
+        .last()
+        .map(|o| o.at())
+        .unwrap_or_else(|| d("1999-12-31"));
     a.force_archive("employee", end)?;
     a.checkpoint()?;
     Ok(())
@@ -237,7 +271,10 @@ fn verify_recovered(m: &Media, ctx: &str) -> Option<ArchIS> {
     let violations = arch
         .verify_invariants(a.database())
         .unwrap_or_else(|e| panic!("{ctx}: invariant scan failed: {e}"));
-    assert!(violations.is_empty(), "{ctx}: invariant violations: {violations:#?}");
+    assert!(
+        violations.is_empty(),
+        "{ctx}: invariant violations: {violations:#?}"
+    );
     Some(a)
 }
 
@@ -290,7 +327,10 @@ fn seeded_crash_torture_preserves_archive_invariants() {
                 .unwrap()
                 .verify_invariants(a.database())
                 .unwrap();
-            assert!(violations.is_empty(), "{ctx}: post-recovery violations: {violations:#?}");
+            assert!(
+                violations.is_empty(),
+                "{ctx}: post-recovery violations: {violations:#?}"
+            );
         }
     }
     // The sweep must actually recover real states, not just empty stores.

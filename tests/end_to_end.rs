@@ -17,7 +17,14 @@ fn now() -> Date {
 
 fn to_change(op: &Op) -> Change {
     match op {
-        Op::Hire { id, name, salary, title, deptno, at } => Change::Insert {
+        Op::Hire {
+            id,
+            name,
+            salary,
+            title,
+            deptno,
+            at,
+        } => Change::Insert {
             relation: "employee".into(),
             key: *id,
             values: vec![
@@ -46,9 +53,11 @@ fn to_change(op: &Op) -> Change {
             changes: vec![("deptno".into(), Value::Str(deptno.clone()))],
             at: *at,
         },
-        Op::Leave { id, at } => {
-            Change::Delete { relation: "employee".into(), key: *id, at: *at }
-        }
+        Op::Leave { id, at } => Change::Delete {
+            relation: "employee".into(),
+            key: *id,
+            at: *at,
+        },
     }
 }
 
@@ -92,7 +101,12 @@ fn salaries_at(ops: &[Op], date: Date) -> HashMap<i64, i64> {
 }
 
 fn workload() -> Vec<Op> {
-    dataset::generate(&DatasetConfig { employees: 30, years: 12, seed: 99, ..Default::default() })
+    dataset::generate(&DatasetConfig {
+        employees: 30,
+        years: 12,
+        seed: 99,
+        ..Default::default()
+    })
 }
 
 #[test]
@@ -113,9 +127,12 @@ fn snapshots_match_brute_force_on_many_dates() {
         }
         // The average matches too.
         if !truth.is_empty() {
-            let expected: f64 =
-                truth.values().map(|&s| s as f64).sum::<f64>() / truth.len() as f64;
-            let got = a.query(&queries::q2_xquery(date)).unwrap().scalar_rows().unwrap()[0][0]
+            let expected: f64 = truth.values().map(|&s| s as f64).sum::<f64>() / truth.len() as f64;
+            let got = a
+                .query(&queries::q2_xquery(date))
+                .unwrap()
+                .scalar_rows()
+                .unwrap()[0][0]
                 .as_f64()
                 .unwrap();
             assert!(
@@ -187,7 +204,14 @@ fn incremental_hdoc_maintenance_equals_publication() {
     tamino.store("employees.xml", &xmldom::Element::new("employees"));
     for op in &ops {
         let change = match op {
-            Op::Hire { id, name, salary, title, deptno, at } => xmldb::DocChange::Insert {
+            Op::Hire {
+                id,
+                name,
+                salary,
+                title,
+                deptno,
+                at,
+            } => xmldb::DocChange::Insert {
                 tuple: "employee".into(),
                 key_child: "id".into(),
                 key: id.to_string(),
@@ -264,7 +288,11 @@ fn compression_preserves_every_salary_period() {
     a.force_archive("employee", last).unwrap();
 
     // Ground truth before compression via the SQL path.
-    let count_before = a.query(&queries::q4_xquery()).unwrap().scalar_rows().unwrap()[0][0]
+    let count_before = a
+        .query(&queries::q4_xquery())
+        .unwrap()
+        .scalar_rows()
+        .unwrap()[0][0]
         .as_int()
         .unwrap();
 
@@ -298,27 +326,45 @@ fn segment_invariants_hold_across_the_whole_load() {
     let a = load(ArchConfig::db2_like().with_umin(0.4), &ops, true);
     for attr in ["name", "salary", "title", "deptno"] {
         let segs = a.segments_of("employee", attr).unwrap();
-        let table = a
-            .database()
-            .table(&format!("employee_{attr}"))
-            .unwrap();
-        for seg in segs.iter().filter(|s| s.segno != archis::htable::LIVE_SEGNO) {
+        let table = a.database().table(&format!("employee_{attr}")).unwrap();
+        for seg in segs
+            .iter()
+            .filter(|s| s.segno != archis::htable::LIVE_SEGNO)
+        {
             let rows = table
                 .index_lookup(&format!("employee_{attr}_by_seg"), &[Value::Int(seg.segno)])
                 .unwrap();
-            assert!(!rows.is_empty(), "empty archived segment {} of {attr}", seg.segno);
+            assert!(
+                !rows.is_empty(),
+                "empty archived segment {} of {attr}",
+                seg.segno
+            );
             for r in rows {
                 let ts = r[3].as_date().unwrap();
                 let te = r[4].as_date().unwrap();
-                assert!(ts <= seg.end, "invariant (1) violated in {attr} seg {}", seg.segno);
-                assert!(te >= seg.start, "invariant (2) violated in {attr} seg {}", seg.segno);
+                assert!(
+                    ts <= seg.end,
+                    "invariant (1) violated in {attr} seg {}",
+                    seg.segno
+                );
+                assert!(
+                    te >= seg.start,
+                    "invariant (2) violated in {attr} seg {}",
+                    seg.segno
+                );
             }
         }
         // Archived segments tile time without overlap.
-        let archived: Vec<_> =
-            segs.iter().filter(|s| s.segno != archis::htable::LIVE_SEGNO).collect();
+        let archived: Vec<_> = segs
+            .iter()
+            .filter(|s| s.segno != archis::htable::LIVE_SEGNO)
+            .collect();
         for w in archived.windows(2) {
-            assert_eq!(w[0].end.succ(), w[1].start, "segments of {attr} must tile time");
+            assert_eq!(
+                w[0].end.succ(),
+                w[1].start,
+                "segments of {attr} must tile time"
+            );
         }
     }
 }
@@ -350,7 +396,10 @@ fn publication_respects_the_covering_constraint() {
                 .map(|e| (e.text_content(), e.interval().unwrap()))
                 .collect();
             for w in periods.windows(2) {
-                assert!(w[0].1.end() < w[1].1.start(), "{attr} periods must be ordered");
+                assert!(
+                    w[0].1.end() < w[1].1.start(),
+                    "{attr} periods must be ordered"
+                );
                 if w[0].0 == w[1].0 {
                     assert!(
                         !w[0].1.joinable(&w[1].1),
@@ -368,10 +417,14 @@ fn publication_stays_complete_after_compression() {
     let ops = workload();
     let mut a = load(ArchConfig::db2_like(), &ops, true);
     let before = a.publish("employee").unwrap().to_xml();
-    a.force_archive("employee", ops.last().unwrap().at()).unwrap();
+    a.force_archive("employee", ops.last().unwrap().at())
+        .unwrap();
     a.compress_archived("employee").unwrap();
     let after = a.publish("employee").unwrap().to_xml();
-    assert_eq!(before, after, "compression must not change the H-document view");
+    assert_eq!(
+        before, after,
+        "compression must not change the H-document view"
+    );
 }
 
 #[test]
@@ -386,9 +439,13 @@ fn compression_is_incremental_across_archival_cycles() {
     for op in &ops[split..] {
         a.apply(&to_change(op)).unwrap();
     }
-    a.force_archive("employee", ops.last().unwrap().at()).unwrap();
+    a.force_archive("employee", ops.last().unwrap().at())
+        .unwrap();
     let blocks2 = a.compress_archived("employee").unwrap();
-    assert!(blocks2 > blocks1, "second pass must add blocks ({blocks1} -> {blocks2})");
+    assert!(
+        blocks2 > blocks1,
+        "second pass must add blocks ({blocks1} -> {blocks2})"
+    );
     // Every query still answers from the two-generation store.
     let store = a.compressed_store("employee").unwrap();
     let d_early = Date::from_ymd(1987, 7, 1).unwrap();
@@ -417,15 +474,22 @@ fn snapshot_on_segment_boundary_dates_is_exact() {
     let ops = workload();
     let a = load(ArchConfig::db2_like().with_umin(0.4), &ops, true);
     let segs = a.segments_of("employee", "salary").unwrap();
-    for seg in segs.iter().filter(|s| s.segno != archis::htable::LIVE_SEGNO).take(3) {
+    for seg in segs
+        .iter()
+        .filter(|s| s.segno != archis::htable::LIVE_SEGNO)
+        .take(3)
+    {
         for d in [seg.start, seg.end] {
             let truth = salaries_at(&ops, d);
             if truth.is_empty() {
                 continue;
             }
-            let expected: f64 =
-                truth.values().map(|&s| s as f64).sum::<f64>() / truth.len() as f64;
-            let got = a.query(&queries::q2_xquery(d)).unwrap().scalar_rows().unwrap()[0][0]
+            let expected: f64 = truth.values().map(|&s| s as f64).sum::<f64>() / truth.len() as f64;
+            let got = a
+                .query(&queries::q2_xquery(d))
+                .unwrap()
+                .scalar_rows()
+                .unwrap()[0][0]
                 .as_f64()
                 .unwrap_or(f64::NAN);
             assert!(

@@ -92,11 +92,13 @@ fn build(events: &[Ev]) -> ArchIS {
                 if !hired.remove(id) {
                     continue;
                 }
-                a.apply(&Change::Delete { relation: "employee".into(), key: *id, at })
+                a.apply(&Change::Delete {
+                    relation: "employee".into(),
+                    key: *id,
+                    at,
+                })
             }
-            Ev::Archive => {
-                a.force_archive("employee", at).map(|_| ())
-            }
+            Ev::Archive => a.force_archive("employee", at).map(|_| ()),
         };
         r.expect("replay");
     }
@@ -132,7 +134,10 @@ fn snapshot_facts(xml: &str, d: Date) -> Vec<(String, String)> {
     for frag in xml.split('\n').filter(|s| !s.trim().is_empty()) {
         let e = xmldom::parse(frag).expect("fragment parses");
         let iv = e.interval().expect("timestamped");
-        assert!(iv.contains_date(d), "returned period {iv:?} does not cover {d}");
+        assert!(
+            iv.contains_date(d),
+            "returned period {iv:?} does not cover {d}"
+        );
         out.push((e.attr("tstart").unwrap().to_string(), e.text_content()));
     }
     out.sort();

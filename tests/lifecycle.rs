@@ -10,7 +10,14 @@ use temporal::Date;
 
 fn to_change(op: &Op) -> Change {
     match op {
-        Op::Hire { id, name, salary, title, deptno, at } => Change::Insert {
+        Op::Hire {
+            id,
+            name,
+            salary,
+            title,
+            deptno,
+            at,
+        } => Change::Insert {
             relation: "employee".into(),
             key: *id,
             values: vec![
@@ -39,9 +46,11 @@ fn to_change(op: &Op) -> Change {
             changes: vec![("deptno".into(), Value::Str(deptno.clone()))],
             at: *at,
         },
-        Op::Leave { id, at } => {
-            Change::Delete { relation: "employee".into(), key: *id, at: *at }
-        }
+        Op::Leave { id, at } => Change::Delete {
+            relation: "employee".into(),
+            key: *id,
+            at: *at,
+        },
     }
 }
 
@@ -54,8 +63,7 @@ fn durable_segmented_compressed_lifecycle_matches_in_memory_twin() {
         ..Default::default()
     });
     let (a_end, b_end) = (ops.len() / 3, 2 * ops.len() / 3);
-    let path = std::env::temp_dir()
-        .join(format!("archis-lifecycle-{}.db", std::process::id()));
+    let path = std::env::temp_dir().join(format!("archis-lifecycle-{}.db", std::process::id()));
     std::fs::remove_file(&path).ok();
     let cfg = || ArchConfig::default().with_umin(0.4);
 
@@ -86,7 +94,8 @@ fn durable_segmented_compressed_lifecycle_matches_in_memory_twin() {
             db.apply(&to_change(op)).unwrap();
             db.maybe_archive("employee", op.at()).unwrap();
         }
-        db.force_archive("employee", ops.last().unwrap().at()).unwrap();
+        db.force_archive("employee", ops.last().unwrap().at())
+            .unwrap();
         db.compress_archived("employee").unwrap();
         db.checkpoint().unwrap();
     }

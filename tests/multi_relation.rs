@@ -40,7 +40,13 @@ fn setup() -> ArchIS {
         d("1992-01-01"),
     )
     .unwrap();
-    a.update("dept", 2, vec![("mgrno".into(), Value::Int(1009))], d("1997-01-01")).unwrap();
+    a.update(
+        "dept",
+        2,
+        vec![("mgrno".into(), Value::Int(1009))],
+        d("1997-01-01"),
+    )
+    .unwrap();
     // d03 Sales mgr 4748, later dissolved.
     a.insert(
         "dept",
@@ -112,8 +118,10 @@ fn dept_history_publication_matches_table2() {
         .children_named("dept")
         .find(|e| e.first_child("deptno").unwrap().text_content() == "d02")
         .unwrap();
-    let mgrs: Vec<String> =
-        d02.children_named("mgrno").map(|e| e.text_content()).collect();
+    let mgrs: Vec<String> = d02
+        .children_named("mgrno")
+        .map(|e| e.text_content())
+        .collect();
     assert_eq!(mgrs, vec!["3402".to_string(), "1009".to_string()]);
     let first = d02.children_named("mgrno").next().unwrap();
     assert_eq!(first.attr("tend"), Some("1996-12-31"));
@@ -165,7 +173,10 @@ fn per_relation_archival_is_independent() {
                    [tstart(.) <= xs:date("1994-05-06") and tend(.) >= xs:date("1994-05-06")]
                return $m"#;
     let sql = a.translate(q).unwrap();
-    assert!(sql.contains(".segno = 1"), "snapshot restricted to segment 1: {sql}");
+    assert!(
+        sql.contains(".segno = 1"),
+        "snapshot restricted to segment 1: {sql}"
+    );
     let out = a.query(q).unwrap().xml_fragments().join("\n");
     assert!(out.contains("2501") && out.contains("3402") && out.contains("4748"));
 }

@@ -52,8 +52,11 @@ fn media(seed: u64) -> Media {
 }
 
 fn archis_on(m: &Media) -> archis::Result<ArchIS> {
-    let pager =
-        Arc::new(WalPager::open(m.base.clone(), m.log.clone(), WalConfig::with_group_commit(1))?);
+    let pager = Arc::new(WalPager::open(
+        m.base.clone(),
+        m.log.clone(),
+        WalConfig::with_group_commit(1),
+    )?);
     let db = Database::open_pool(Arc::new(BufferPool::new(pager, 256)))?;
     ArchIS::open_with_database(db, ArchConfig::default())
 }
@@ -119,7 +122,7 @@ fn workload(
         s.push(dump(a.database()));
     }
     a.checkpoint()?;
-    if let Some(s) = snapshots.as_deref_mut() {
+    if let Some(s) = snapshots {
         s.push(dump(a.database()));
     }
     Ok(())
@@ -128,8 +131,12 @@ fn workload(
 /// Reopen crashed media at the raw Database level and dump it.
 fn recovered_dump(m: &Media) -> Dump {
     let pager = Arc::new(
-        WalPager::open(m.base.clone(), m.log.clone(), WalConfig::with_group_commit(1))
-            .expect("recovery open"),
+        WalPager::open(
+            m.base.clone(),
+            m.log.clone(),
+            WalConfig::with_group_commit(1),
+        )
+        .expect("recovery open"),
     );
     let db = Database::open_pool(Arc::new(BufferPool::new(pager, 256))).expect("catalog reload");
     dump(&db)
