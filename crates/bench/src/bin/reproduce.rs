@@ -5,7 +5,7 @@
 //!
 //! EXPERIMENT: fig7 | fig8 | translate | fig9 | snapcur | fig10 |
 //!             fig11 | fig13 | fig14 | updates | scan | commit |
-//!             ingest | all   (default: all)
+//!             ingest | scrub | all   (default: all)
 //! --scale N   initial employee population (default 100; fig10 also
 //!             loads 7N)
 //! --runs N    cold runs per query, median reported (default 3)
@@ -23,14 +23,19 @@ use bench::experiments as exp;
 /// Run one experiment and report the pool I/O it accumulated.
 fn section(name: &str, f: impl FnOnce()) {
     let _ = bench::iostat::take(); // drop anything a prior phase leaked
+    let _ = bench::iostat::take_checksums();
     f();
     let (logical, physical) = bench::iostat::take();
+    let (verified, failed) = bench::iostat::take_checksums();
     if logical > 0 {
         let hits = logical - physical.min(logical);
         println!(
             "   [{name}] pool I/O: {logical} logical / {physical} physical reads, hit rate {:.1}%",
             100.0 * hits as f64 / logical as f64
         );
+    }
+    if verified + failed > 0 {
+        println!("   [{name}] page checksums: {verified} verified, {failed} failed");
     }
 }
 
@@ -59,7 +64,7 @@ fn main() {
             }
             "-h" | "--help" => {
                 println!(
-                    "reproduce [-e fig7|fig8|translate|fig9|snapcur|fig10|fig11|fig13|fig14|updates|scan|commit|ingest|all] [--scale N] [--runs N]"
+                    "reproduce [-e fig7|fig8|translate|fig9|snapcur|fig10|fig11|fig13|fig14|updates|scan|commit|ingest|scrub|all] [--scale N] [--runs N]"
                 );
                 return;
             }
@@ -139,6 +144,11 @@ fn main() {
     if want("ingest") {
         section("ingest", || {
             exp::ingest(2048, runs);
+        });
+    }
+    if want("scrub") {
+        section("scrub", || {
+            exp::scrub_bench(scale, runs);
         });
     }
 }

@@ -314,6 +314,7 @@ pub fn fig14(employees: usize, runs: usize) -> Vec<Vec<String>> {
         let stats = heap.database().pool().stats();
         let (h1, m1) = store.cache_stats();
         crate::iostat::record(stats.logical_reads, stats.physical_reads);
+        crate::iostat::record_checksums(stats.checksum_verifications, stats.checksum_failures);
         RunCost {
             time,
             logical_reads: stats.logical_reads,
@@ -568,6 +569,7 @@ pub fn scan_streaming(rows: usize, runs: usize) -> Vec<Vec<String>> {
             let ms = start.elapsed().as_secs_f64() * 1e3;
             let stats = db.pool().stats();
             crate::iostat::record(stats.logical_reads, stats.physical_reads);
+            crate::iostat::record_checksums(stats.checksum_verifications, stats.checksum_failures);
             if ms < best {
                 best = ms;
                 io = (stats.logical_reads, stats.physical_reads);
@@ -837,6 +839,180 @@ pub fn ingest(rows: usize, runs: usize) -> Vec<Vec<String>> {
     out
 }
 
+/// Checksum/scrub microbenchmark: how fast the media scrub verifies a
+/// real checkpointed ArchIS page file, and what the CRC-32 stamps add to
+/// the scan hot path. Builds a file-backed database (employee history +
+/// archived segments + compressed blocks, plus a dense 50k-row payload
+/// table like the `scan` bench's), then measures
+///
+/// * the **media scrub** — `FilePager::read_page` over every slot, i.e.
+///   exactly what `archis-fsck scrub` does,
+/// * a **cold dense scan** of the payload table through the buffer pool
+///   (each physical read verifies its page checksum on the way in), and
+/// * a **pure CRC-32 pass** over the same page images in memory — the
+///   isolated compute the stamps add per physically-read page.
+///
+/// The acceptance number is the CRC compute attributable to the scan's
+/// physical reads as a share of the scan's wall time (target ≤ 5%).
+/// Prints the table and writes `BENCH_scrub.json`.
+pub fn scrub_bench(employees: usize, runs: usize) -> Vec<Vec<String>> {
+    use relstore::pager::page_crc;
+    use relstore::{
+        DataType, Database, Field, FilePager, PageFileLayout, Pager, Schema, StorageKind, Value,
+        PAGE_SIZE,
+    };
+
+    const DENSE_ROWS: usize = 50_000;
+    let dir = std::env::temp_dir().join(format!("archis-scrub-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench temp dir");
+    let path = dir.join("scrub.db");
+    let wal = {
+        let mut p = path.as_os_str().to_os_string();
+        p.push(".wal");
+        std::path::PathBuf::from(p)
+    };
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&wal);
+
+    {
+        let ops = dataset::generate(&base_config(employees));
+        let changes: Vec<_> = ops.iter().map(op_to_change).collect();
+        let mut a = ArchIS::open_file(&path, ArchConfig::db2_like().with_now(bench_now()))
+            .expect("open file-backed archis");
+        a.create_relation(RelationSpec::employee()).unwrap();
+        a.apply_all(&changes).unwrap();
+        a.force_archive("employee", ops.last().unwrap().at())
+            .unwrap();
+        a.compress_archived("employee").unwrap();
+        a.checkpoint().unwrap();
+    }
+    {
+        // The dense scan target, shaped like the `scan` bench's table.
+        let db = Database::open_file(&path, 256).expect("reopen for dense load");
+        let t = db
+            .create_table(
+                "scan_payload",
+                Schema::new(vec![
+                    Field::new("k", DataType::Int),
+                    Field::new("payload", DataType::Str),
+                ]),
+                StorageKind::Heap,
+                &[],
+            )
+            .unwrap();
+        t.insert_all(
+            (0..DENSE_ROWS as i64)
+                .map(|i| vec![Value::Int(i), Value::Str(format!("payload-{i:08}"))]),
+        )
+        .unwrap();
+        db.checkpoint().unwrap();
+    }
+
+    // Media scrub: verify every slot's checksum straight off the pager,
+    // exactly the `archis-fsck scrub` read loop.
+    let pager = FilePager::open(&path).expect("reopen page file");
+    let pages = pager.num_pages();
+    let mut scrub_ms = f64::MAX;
+    for _ in 0..runs.max(1) {
+        pager.reset_checksum_stats();
+        let mut buf = [0u8; PAGE_SIZE];
+        let start = Instant::now();
+        for id in 0..pages {
+            pager.read_page(id, &mut buf).expect("scrub read");
+        }
+        scrub_ms = scrub_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    let (scrub_verified, scrub_failed) = pager.checksum_stats();
+    drop(pager);
+
+    // Pure CRC-32 pass over the same page images in memory: the isolated
+    // compute the stamps add to each physical read.
+    let bytes = std::fs::read(&path).expect("read page file");
+    let layout = PageFileLayout::of_file(&path).expect("layout");
+    let mut crc_ms = f64::MAX;
+    let mut sink = 0u32;
+    for _ in 0..runs.max(1) {
+        let start = Instant::now();
+        for id in 0..pages {
+            let off = layout.slot_offset(id) as usize;
+            sink ^= page_crc(id, &bytes[off..off + PAGE_SIZE]);
+        }
+        crc_ms = crc_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    std::hint::black_box(sink);
+    let crc_us_per_page = crc_ms * 1e3 / pages as f64;
+
+    // Cold dense scan through the buffer pool (pool far smaller than the
+    // table so every page is a physical read, each verifying its stamp).
+    let db = Database::open_file(&path, 64).expect("reopen database");
+    let t = db.table("scan_payload").unwrap();
+    let mut scan_ms = f64::MAX;
+    let mut scanned_rows = 0usize;
+    for _ in 0..runs.max(1) {
+        db.pool().flush_all().unwrap();
+        db.pool().reset_stats();
+        let start = Instant::now();
+        scanned_rows = 0;
+        for r in t.stream().unwrap() {
+            r.unwrap();
+            scanned_rows += 1;
+        }
+        scan_ms = scan_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    let stats = db.pool().stats();
+    crate::iostat::record(stats.logical_reads, stats.physical_reads);
+    crate::iostat::record_checksums(stats.checksum_verifications, stats.checksum_failures);
+    drop(t);
+    drop(db);
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&wal);
+    let _ = std::fs::remove_dir(&dir);
+
+    let scrub_pps = pages as f64 / (scrub_ms / 1e3).max(1e-9);
+    let crc_mbps = (pages as f64 * PAGE_SIZE as f64 / 1e6) / (crc_ms / 1e3).max(1e-9);
+    // CRC compute attributable to the scan's physical reads, as a share
+    // of the scan's wall time: the stamps' overhead on the scan hot path.
+    let scan_crc_ms = crc_us_per_page * stats.physical_reads as f64 / 1e3;
+    let overhead_pct = 100.0 * scan_crc_ms / scan_ms.max(1e-9);
+    let rows = vec![
+        vec![
+            "media scrub (read+verify)".into(),
+            format!("{scrub_ms:.2}"),
+            format!("{scrub_pps:.0} pages/s"),
+        ],
+        vec![
+            "pure CRC-32 pass".into(),
+            format!("{crc_ms:.2}"),
+            format!("{crc_mbps:.0} MB/s"),
+        ],
+        vec![
+            "cold dense scan".into(),
+            format!("{scan_ms:.2}"),
+            format!("{scanned_rows} rows / {} pages", stats.physical_reads),
+        ],
+        vec![
+            "CRC share of scan".into(),
+            format!("{scan_crc_ms:.2}"),
+            format!("{overhead_pct:.2}%"),
+        ],
+    ];
+    print_table(
+        &format!(
+            "Scrub/checksum microbench: {pages} pages, best of {runs} (target CRC share <= 5%)"
+        ),
+        &["pass", "ms", "rate"],
+        &rows,
+    );
+    let json = format!(
+        "{{\n  \"pages\": {pages},\n  \"scrub_ms\": {scrub_ms:.3},\n  \"scrub_pages_per_sec\": {scrub_pps:.0},\n  \"scrub_verified\": {scrub_verified},\n  \"scrub_failed\": {scrub_failed},\n  \"crc_pass_ms\": {crc_ms:.3},\n  \"crc_mb_per_sec\": {crc_mbps:.0},\n  \"crc_us_per_page\": {crc_us_per_page:.3},\n  \"dense_scan_ms\": {scan_ms:.3},\n  \"dense_scan_pages\": {},\n  \"crc_share_of_scan_pct\": {overhead_pct:.2}\n}}\n",
+        stats.physical_reads
+    );
+    if let Err(e) = std::fs::write("BENCH_scrub.json", &json) {
+        eprintln!("warning: could not write BENCH_scrub.json: {e}");
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -946,6 +1122,19 @@ mod tests {
         let speedup: f64 = rows[4][1].trim_end_matches('x').parse().unwrap();
         assert!(speedup >= 2.0, "early termination only {speedup}x faster");
         let _ = std::fs::remove_file("BENCH_scan.json");
+    }
+
+    #[test]
+    fn scrub_bench_runs_and_checksums_hold() {
+        let rows = scrub_bench(20, 1);
+        assert_eq!(rows.len(), 4);
+        // A pristine checkpointed file must verify with zero failures.
+        let (verified, failed) = crate::iostat::take_checksums();
+        assert!(verified > 0, "cold scan verified no pages");
+        assert_eq!(failed, 0, "pristine file reported checksum failures");
+        let pct: f64 = rows[3][2].trim_end_matches('%').parse().unwrap();
+        assert!(pct.is_finite() && pct >= 0.0);
+        let _ = std::fs::remove_file("BENCH_scrub.json");
     }
 
     #[test]

@@ -162,6 +162,8 @@ pub mod iostat {
 
     static LOGICAL: AtomicU64 = AtomicU64::new(0);
     static PHYSICAL: AtomicU64 = AtomicU64::new(0);
+    static CRC_VERIFIED: AtomicU64 = AtomicU64::new(0);
+    static CRC_FAILED: AtomicU64 = AtomicU64::new(0);
 
     /// Fold one run's reads into the running totals.
     pub fn record(logical: u64, physical: u64) {
@@ -169,11 +171,26 @@ pub mod iostat {
         PHYSICAL.fetch_add(physical, Ordering::Relaxed);
     }
 
-    /// Drain the totals accumulated since the last call.
+    /// Fold one run's page-checksum verifications/failures into the
+    /// running totals (file-backed pagers only; in-memory runs report 0).
+    pub fn record_checksums(verified: u64, failed: u64) {
+        CRC_VERIFIED.fetch_add(verified, Ordering::Relaxed);
+        CRC_FAILED.fetch_add(failed, Ordering::Relaxed);
+    }
+
+    /// Drain the read totals accumulated since the last call.
     pub fn take() -> (u64, u64) {
         (
             LOGICAL.swap(0, Ordering::Relaxed),
             PHYSICAL.swap(0, Ordering::Relaxed),
+        )
+    }
+
+    /// Drain the checksum totals accumulated since the last call.
+    pub fn take_checksums() -> (u64, u64) {
+        (
+            CRC_VERIFIED.swap(0, Ordering::Relaxed),
+            CRC_FAILED.swap(0, Ordering::Relaxed),
         )
     }
 }
@@ -189,6 +206,7 @@ pub fn run_archis_cold(archis: &ArchIS, xq: &str) -> RunCost {
     let time = start.elapsed();
     let stats = pool.stats();
     iostat::record(stats.logical_reads, stats.physical_reads);
+    iostat::record_checksums(stats.checksum_verifications, stats.checksum_failures);
     RunCost {
         time,
         logical_reads: stats.logical_reads,
@@ -208,6 +226,7 @@ pub fn run_sql_cold(archis: &ArchIS, sql: &str) -> RunCost {
     let time = start.elapsed();
     let stats = pool.stats();
     iostat::record(stats.logical_reads, stats.physical_reads);
+    iostat::record_checksums(stats.checksum_verifications, stats.checksum_failures);
     RunCost {
         time,
         logical_reads: stats.logical_reads,

@@ -138,6 +138,14 @@ struct BlockMeta {
     end_sid: (i64, i64),
 }
 
+/// How a block read failed (see `CompressedStore::read_block`).
+enum BlockFault {
+    /// The block's stored bytes are damaged — quarantine and continue.
+    Corrupt(String),
+    /// Operational failure unrelated to the block's bytes — propagate.
+    Fatal(ArchError),
+}
+
 /// Per-attribute compressed storage.
 struct AttrBlocks {
     blob_table: Arc<str>,
@@ -155,6 +163,13 @@ pub struct CompressedStore {
     /// LRU of decompressed blocks — warm reruns of Q1–Q6 skip BlockZIP
     /// entirely.
     cache: BlockCache,
+    /// Blocks skipped because their stored bytes no longer decode
+    /// (checksum-failed pages, truncated BLOB parts, bad BlockZIP frames).
+    quarantined: AtomicU64,
+    /// One human-readable warning per quarantined block, for query-level
+    /// loss reporting. Bounded: quarantine is per *corrupt* block, not per
+    /// read — each block warns once per process.
+    quarantine_log: parking_lot::Mutex<Vec<String>>,
 }
 
 impl CompressedStore {
@@ -308,6 +323,8 @@ impl CompressedStore {
             attrs,
             blocks_read: AtomicU64::new(0),
             cache: BlockCache::new(),
+            quarantined: AtomicU64::new(0),
+            quarantine_log: parking_lot::Mutex::new(Vec::new()),
         })
     }
 
@@ -346,6 +363,8 @@ impl CompressedStore {
             attrs,
             blocks_read: AtomicU64::new(0),
             cache: BlockCache::new(),
+            quarantined: AtomicU64::new(0),
+            quarantine_log: parking_lot::Mutex::new(Vec::new()),
         })
     }
 
@@ -409,6 +428,18 @@ impl CompressedStore {
         self.cache.stats()
     }
 
+    /// Blocks quarantined as unreadable since this store was opened. Any
+    /// nonzero value means query results are missing the rows of that many
+    /// blocks — real data loss that only a backup can undo.
+    pub fn quarantined_blocks(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Drain the accumulated quarantine warnings (one per damaged block).
+    pub fn take_quarantine_warnings(&self) -> Vec<String> {
+        std::mem::take(&mut *self.quarantine_log.lock())
+    }
+
     /// Reset the decompression and cache counters (cached blocks stay
     /// cached).
     pub fn reset_stats(&self) {
@@ -432,17 +463,62 @@ impl CompressedStore {
     /// One block's rows: served from the LRU cache when warm, otherwise
     /// decompressed (the paper's "user-defined uncompression table
     /// function") and cached.
+    ///
+    /// A block whose stored bytes no longer decode is **quarantined**, not
+    /// fatal: archived blocks are immutable, so a decode failure means
+    /// silent media corruption, and one rotten block must not take down a
+    /// whole snapshot query. The block contributes no rows, the loss is
+    /// counted ([`CompressedStore::quarantined_blocks`]) and logged
+    /// ([`CompressedStore::take_quarantine_warnings`]), and the empty
+    /// result is cached so each damaged block warns once, not per query.
     fn read_block(&self, db: &Database, ab: &AttrBlocks, blockno: usize) -> Result<BlockRows> {
         if let Some(rows) = self.cache.get(&ab.blob_table, blockno) {
             return Ok(rows);
         }
         self.blocks_read.fetch_add(1, Ordering::Relaxed);
-        let bt = db.table(&ab.blob_table)?;
+        match self.decode_block(db, ab, blockno) {
+            Ok(rows) => {
+                self.cache.put(&ab.blob_table, blockno, rows.clone());
+                Ok(rows)
+            }
+            Err(BlockFault::Corrupt(why)) => {
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                self.quarantine_log.lock().push(format!(
+                    "{} block {blockno} quarantined: {why}",
+                    ab.blob_table
+                ));
+                let rows: BlockRows = Arc::new(Vec::new());
+                self.cache.put(&ab.blob_table, blockno, rows.clone());
+                Ok(rows)
+            }
+            Err(BlockFault::Fatal(e)) => Err(e),
+        }
+    }
+
+    /// Decompress one block, classifying failures: data-level rot (bad
+    /// page checksum, truncated BLOB, bad BlockZIP frame, undecodable row)
+    /// is [`BlockFault::Corrupt`]; everything else (missing table, I/O)
+    /// stays fatal.
+    fn decode_block(
+        &self,
+        db: &Database,
+        ab: &AttrBlocks,
+        blockno: usize,
+    ) -> std::result::Result<BlockRows, BlockFault> {
+        let store_fault = |e: relstore::StoreError| {
+            if e.is_corrupt() {
+                BlockFault::Corrupt(e.to_string())
+            } else {
+                BlockFault::Fatal(e.into())
+            }
+        };
+        let bt = db.table(&ab.blob_table).map_err(store_fault)?;
         let mut parts: Vec<(i64, Vec<u8>)> = bt
             .index_lookup(
                 &format!("{}_by_no", ab.blob_table),
                 &[Value::Int(blockno as i64)],
-            )?
+            )
+            .map_err(store_fault)?
             .into_iter()
             .filter_map(|r| match (&r[1], &r[6]) {
                 (Value::Int(p), Value::Blob(b)) => Some((*p, b.clone())),
@@ -451,15 +527,14 @@ impl CompressedStore {
             .collect();
         parts.sort_by_key(|(p, _)| *p);
         let data: Vec<u8> = parts.into_iter().flat_map(|(_, b)| b).collect();
-        let records = blockzip::unpack_records(&data)?;
-        let rows: BlockRows = Arc::new(
-            records
-                .iter()
-                .map(|r| relstore::decode_row(r).map_err(ArchError::from))
-                .collect::<Result<Vec<_>>>()?,
-        );
-        self.cache.put(&ab.blob_table, blockno, rows.clone());
-        Ok(rows)
+        let records =
+            blockzip::unpack_records(&data).map_err(|e| BlockFault::Corrupt(e.to_string()))?;
+        let rows = records
+            .iter()
+            .map(|r| relstore::decode_row(r))
+            .collect::<std::result::Result<Vec<_>, _>>()
+            .map_err(store_fault)?;
+        Ok(Arc::new(rows))
     }
 
     /// Read many blocks, fanning decompression out across threads when

@@ -598,6 +598,26 @@ impl ArchIS {
         self.compressed.get(relation)
     }
 
+    /// Compressed blocks quarantined as unreadable across all relations.
+    /// Nonzero means query answers are missing those blocks' rows.
+    pub fn quarantined_blocks(&self) -> u64 {
+        self.compressed
+            .values()
+            .map(|s| s.quarantined_blocks())
+            .sum()
+    }
+
+    /// Drain the corruption warnings accumulated by all compressed stores
+    /// (one line per quarantined block). Callers surface these next to
+    /// query results so data loss is reported, never silent.
+    pub fn take_corruption_warnings(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for store in self.compressed.values() {
+            out.extend(store.take_quarantine_warnings());
+        }
+        out
+    }
+
     /// Reachable storage in bytes: H-tables (+ indexes), minus raw
     /// archived rows when a compressed store replaced them.
     pub fn storage_bytes(&self) -> Result<u64> {

@@ -1,0 +1,51 @@
+//! Command-line front end: `archis-fsck <check|repair|scrub> <pagefile>`.
+//!
+//! Exit codes follow the archis-lint convention: 0 clean, 1 findings
+//! (or unrepairable damage remaining in repair mode), 2 operational error
+//! (bad usage, missing file, I/O failure).
+
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: archis-fsck <check|repair|scrub> <pagefile>");
+    eprintln!();
+    eprintln!("  scrub   verify every page checksum (raw media pass)");
+    eprintln!("  check   scrub + full structural audit (catalog, heaps,");
+    eprintln!("          b+trees, counters, archiver invariants, blocks)");
+    eprintln!("  repair  check, then rebuild corrupt indexes / counters");
+    eprintln!("          from base storage and clean orphaned pages");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [mode, file] = args.as_slice() else {
+        return usage();
+    };
+    if !std::path::Path::new(file).is_file() {
+        eprintln!("archis-fsck: {file}: no such file");
+        return ExitCode::from(2);
+    }
+    let result = match mode.as_str() {
+        "scrub" => archis_fsck::scrub(file),
+        "check" => archis_fsck::check(file),
+        "repair" => archis_fsck::repair(file),
+        _ => return usage(),
+    };
+    match result {
+        Ok(outcome) => {
+            print!("{}", outcome.render());
+            println!(
+                "{file}: {} pages, {} finding(s), {} repair(s)",
+                outcome.pages,
+                outcome.findings.len(),
+                outcome.repairs.len()
+            );
+            ExitCode::from(outcome.exit_code() as u8)
+        }
+        Err(e) => {
+            eprintln!("archis-fsck: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Property: *any* single-bit flip, at any page and any bit offset within
+//! the page slot (payload or stored checksum), is detected by the media
+//! scrub. Complements the seeded torture run (which samples randomly) by
+//! letting proptest drive the page/bit choice and shrink failures.
+
+use proptest::prelude::*;
+use relstore::value::{DataType, Field, Schema, Value};
+use relstore::{flip_bit_at, Database, PageFileLayout, StorageKind};
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+fn pristine() -> &'static PathBuf {
+    static FILE: OnceLock<PathBuf> = OnceLock::new();
+    FILE.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("archis-propflip-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pristine.pages");
+        let db = Database::open_file(&path, 256).unwrap();
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::new("payload", DataType::Str),
+        ]);
+        let t = db
+            .create_table("t", schema, StorageKind::Heap, &[])
+            .unwrap();
+        t.create_index("t_by_id", &["id"]).unwrap();
+        for id in 0..400 {
+            t.insert(vec![Value::Int(id), Value::Str(format!("row-{id:04}"))])
+                .unwrap();
+        }
+        db.checkpoint().unwrap();
+        path
+    })
+}
+
+fn scratch_copy(src: &Path, case: &str) -> PathBuf {
+    let dst = src.with_file_name(format!("scratch-{case}.pages"));
+    std::fs::copy(src, &dst).unwrap();
+    dst
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_single_bit_flip_is_detected(page_pick in any::<u64>(), bit_pick in any::<u64>()) {
+        let src = pristine();
+        let layout = PageFileLayout::of_file(src).unwrap();
+        prop_assert!(layout.pages > 0);
+        let page = page_pick % layout.pages;
+        let bit = bit_pick % (layout.slot_len * 8);
+
+        let scratch = scratch_copy(src, &format!("{page}-{bit}"));
+        let flip = flip_bit_at(&scratch, page, bit).unwrap();
+        prop_assert_eq!(flip.page_id, page);
+
+        let outcome = archis_fsck::scrub(&scratch).unwrap();
+        std::fs::remove_file(&scratch).ok();
+        prop_assert_eq!(outcome.exit_code(), 1, "flip {:?} undetected", flip);
+        prop_assert!(
+            outcome.findings.iter().any(|f| f.page == Some(page)),
+            "flip {:?} not pinned to page {}: {}", flip, page, outcome.render()
+        );
+    }
+}

@@ -97,6 +97,7 @@ impl Config {
             scan_dirs: vec![
                 PathBuf::from("crates/relstore/src"),
                 PathBuf::from("crates/core/src"),
+                PathBuf::from("crates/fsck/src"),
             ],
             wal_allow: vec!["wal.rs".into(), "pager.rs".into(), "failpoint.rs".into()],
             error_drop_files: vec![

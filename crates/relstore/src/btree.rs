@@ -92,8 +92,13 @@ impl Node {
         }
     }
 
-    fn deserialize(data: &[u8]) -> Result<Node> {
-        let corrupt = |m: &str| StoreError::Corrupt(format!("btree node: {m}"));
+    /// Decode a node from the bytes of page `pid` (threaded through so a
+    /// damaged node reports which page holds it — fsck and the
+    /// index-fallback paths match on that attribution).
+    fn deserialize(pid: PageId, data: &[u8]) -> Result<Node> {
+        let corrupt = |m: &str| {
+            StoreError::corrupt_at(pid, crate::CorruptObject::BTree, format!("node: {m}"))
+        };
         match data[0] {
             LEAF_TAG => {
                 let count = u16::from_be_bytes(data[1..3].try_into().unwrap()) as usize;
@@ -261,8 +266,9 @@ impl BTree {
             }
             if let Some((pk, pv)) = &prev {
                 if (pk.as_slice(), pv.as_slice()) > (k.as_slice(), v.as_slice()) {
-                    return Err(StoreError::Corrupt(
-                        "bulk_load input not sorted by (key, value)".into(),
+                    return Err(StoreError::corrupt(
+                        crate::CorruptObject::BTree,
+                        "bulk_load input not sorted by (key, value)",
                     ));
                 }
             }
@@ -361,7 +367,7 @@ impl BTree {
     fn load(&self, id: PageId) -> Result<Node> {
         let frame = self.pool.get(id)?;
         let guard = frame.read();
-        Node::deserialize(&guard.data[..])
+        Node::deserialize(id, &guard.data[..])
     }
 
     fn store(&self, id: PageId, node: &Node) -> Result<()> {
@@ -606,6 +612,7 @@ impl BTree {
             lo: bound_owned(lo),
             hi: bound_owned(hi),
             primed: false,
+            error: None,
         })
     }
 
@@ -626,7 +633,13 @@ impl BTree {
         if cached >= 0 {
             return Ok(cached as usize);
         }
-        let n = self.range(Bound::Unbounded, Bound::Unbounded)?.count();
+        let mut it = self.range(Bound::Unbounded, Bound::Unbounded)?;
+        let n = it.by_ref().count();
+        // A walk cut short by a corrupt leaf must not publish (or serve) a
+        // silently low count.
+        if let Some(e) = it.take_error() {
+            return Err(e);
+        }
         // Racy double-compute is fine: competing walks publish the same
         // value, and insert/delete only adjust an already-published count.
         let _ = self
@@ -682,7 +695,8 @@ impl BTree {
     /// exactly the tree's leaves in order. Both `insert`-built and
     /// `bulk_load`-built trees must satisfy these.
     pub fn verify_structure(&self) -> Result<()> {
-        let bad = |m: String| StoreError::Corrupt(format!("btree structure: {m}"));
+        let bad =
+            |m: String| StoreError::corrupt(crate::CorruptObject::BTree, format!("structure: {m}"));
         struct Walk<'a> {
             t: &'a BTree,
             leaves: Vec<PageId>,
@@ -696,7 +710,9 @@ impl BTree {
                 lo: Option<&[u8]>,
                 hi: Option<&[u8]>,
             ) -> Result<()> {
-                let bad = |m: String| StoreError::Corrupt(format!("btree structure: {m}"));
+                let bad = |m: String| {
+                    StoreError::corrupt(crate::CorruptObject::BTree, format!("structure: {m}"))
+                };
                 match self.t.load(pid)? {
                     Node::Leaf { entries, .. } => {
                         match self.leaf_depth {
@@ -802,6 +818,11 @@ fn bound_owned(b: Bound<&[u8]>) -> Bound<Vec<u8>> {
 }
 
 /// Ordered iterator over a key range; walks the leaf chain lazily.
+///
+/// A leaf that fails to load (checksum mismatch, mangled node) ends the
+/// iteration and parks the error in [`RangeIter::take_error`]; callers
+/// that must not return silently truncated results check it after
+/// draining the iterator.
 pub struct RangeIter {
     tree: BTree,
     leaf: Option<PageId>,
@@ -810,6 +831,15 @@ pub struct RangeIter {
     lo: Bound<Vec<u8>>,
     hi: Bound<Vec<u8>>,
     primed: bool,
+    error: Option<StoreError>,
+}
+
+impl RangeIter {
+    /// The error that cut the walk short, if any. `None` after a walk that
+    /// visited every in-range entry.
+    pub fn take_error(&mut self) -> Option<StoreError> {
+        self.error.take()
+    }
 }
 
 impl Iterator for RangeIter {
@@ -850,7 +880,18 @@ impl Iterator for RangeIter {
                     self.pos = 0;
                     self.leaf = next;
                 }
-                _ => return None,
+                Ok(Node::Internal { .. }) => {
+                    self.error = Some(StoreError::corrupt_at(
+                        pid,
+                        crate::CorruptObject::BTree,
+                        "internal node linked into the leaf chain",
+                    ));
+                    return None;
+                }
+                Err(e) => {
+                    self.error = Some(e);
+                    return None;
+                }
             }
         }
     }
@@ -1078,7 +1119,7 @@ mod tests {
         let unsorted = vec![(b"b".to_vec(), vec![]), (b"a".to_vec(), vec![])];
         assert!(matches!(
             BTree::bulk_load(pool.clone(), unsorted),
-            Err(StoreError::Corrupt(_))
+            Err(StoreError::Corrupt { .. })
         ));
         let oversized = vec![(b"k".to_vec(), vec![0u8; PAGE_SIZE])];
         assert!(matches!(

@@ -50,6 +50,12 @@ pub struct IoStats {
     /// ([`BufferPool::flush_all`] / [`BufferPool::flush_dirty`], i.e.
     /// commits and checkpoints).
     pub writes_checkpoint: u64,
+    /// Page reads whose on-disk checksum verified clean (file-backed
+    /// pagers only; in-memory pagers report 0).
+    pub checksum_verifications: u64,
+    /// Page reads rejected for a checksum mismatch — each one is silent
+    /// media corruption caught before it reached a caller.
+    pub checksum_failures: u64,
 }
 
 impl IoStats {
@@ -154,7 +160,11 @@ impl BufferPool {
         let mut shard = self.shard_of(id).lock();
         if let Some(&pos) = shard.map.get(&id) {
             let slot = shard.slots[pos].as_mut().ok_or_else(|| {
-                StoreError::Corrupt(format!("buffer pool: page {id} maps to an empty slot"))
+                StoreError::corrupt_at(
+                    id,
+                    crate::CorruptObject::Page,
+                    "buffer pool: page maps to an empty slot",
+                )
             })?;
             slot.referenced = true;
             return Ok(slot.frame.clone());
@@ -300,8 +310,10 @@ impl BufferPool {
         Ok(())
     }
 
-    /// Current counter values.
+    /// Current counter values, including the underlying pager's checksum
+    /// verification counters.
     pub fn stats(&self) -> IoStats {
+        let (checksum_verifications, checksum_failures) = self.pager.checksum_stats();
         IoStats {
             logical_reads: self.logical_reads.load(Ordering::Relaxed),
             physical_reads: self.physical_reads.load(Ordering::Relaxed),
@@ -309,10 +321,12 @@ impl BufferPool {
             evictions: self.evictions.load(Ordering::Relaxed),
             writes_evict: self.writes_evict.load(Ordering::Relaxed),
             writes_checkpoint: self.writes_checkpoint.load(Ordering::Relaxed),
+            checksum_verifications,
+            checksum_failures,
         }
     }
 
-    /// Zero the counters.
+    /// Zero the counters (the pager's checksum counters included).
     pub fn reset_stats(&self) {
         self.logical_reads.store(0, Ordering::Relaxed);
         self.physical_reads.store(0, Ordering::Relaxed);
@@ -320,6 +334,7 @@ impl BufferPool {
         self.evictions.store(0, Ordering::Relaxed);
         self.writes_evict.store(0, Ordering::Relaxed);
         self.writes_checkpoint.store(0, Ordering::Relaxed);
+        self.pager.reset_checksum_stats();
     }
 }
 

@@ -323,7 +323,12 @@ fn dtype_of(tag: &str) -> Result<DataType> {
         "str" => DataType::Str,
         "date" => DataType::Date,
         "blob" => DataType::Blob,
-        other => return Err(StoreError::Corrupt(format!("unknown type tag {other:?}"))),
+        other => {
+            return Err(StoreError::corrupt(
+                crate::CorruptObject::Catalog,
+                format!("unknown type tag {other:?}"),
+            ))
+        }
     })
 }
 
@@ -361,7 +366,8 @@ impl CatalogEntry {
     }
 
     fn from_row(row: &[Value]) -> Result<CatalogEntry> {
-        let corrupt = |m: &str| StoreError::Corrupt(format!("catalog record: {m}"));
+        let corrupt =
+            |m: &str| StoreError::corrupt(crate::CorruptObject::Catalog, format!("record: {m}"));
         if row.len() != 8 {
             return Err(corrupt("wrong arity"));
         }

@@ -20,6 +20,9 @@
 //! * [`Failpoints::set_drop_syncs`] — fsyncs report success but harden
 //!   nothing (a lying disk); combined with a later crash this exposes any
 //!   code path that trusts an un-checksummed tail.
+//! * [`BitRot`] / [`flip_bit_at`] — at-rest media decay: seeded bit flips
+//!   applied to a closed page file between reopen cycles, for exercising
+//!   page-checksum detection and fsck repair.
 //!
 //! All randomness comes from a caller-supplied seed through a xorshift
 //! generator, so every torture run replays bit-for-bit. After a crash,
@@ -33,6 +36,7 @@ use crate::wal::LogFile;
 use crate::{Result, StoreError};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::Arc;
 
 /// Error message marker for injected crashes; tests match on it to tell a
@@ -490,6 +494,110 @@ impl Pager for FailPager {
             }
         }
     }
+
+    fn checksum_stats(&self) -> (u64, u64) {
+        self.inner.checksum_stats()
+    }
+
+    fn reset_checksum_stats(&self) {
+        self.inner.reset_checksum_stats();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// At-rest bit rot
+// ---------------------------------------------------------------------------
+
+/// Deterministic at-rest bit-rot injector.
+///
+/// Where [`FailPager`] models faults on the *write* path (torn writes,
+/// dropped syncs, power loss), `BitRot` models silent media decay: it
+/// flips bits in a page file **on disk**, between reopen cycles, with no
+/// pager open. Seeded like [`Failpoints`] so a failing seed replays
+/// exactly.
+pub struct BitRot {
+    rng: u64,
+}
+
+/// One injected bit flip: which page, which bit of its slot, and the byte
+/// offset in the file that was damaged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlippedBit {
+    /// Page whose on-disk slot was damaged.
+    pub page_id: PageId,
+    /// Bit index within the slot (`byte * 8 + bit`), spanning payload and,
+    /// in v2 files, the trailing checksum.
+    pub bit: u64,
+    /// Absolute byte offset in the file that was modified.
+    pub file_offset: u64,
+}
+
+impl BitRot {
+    /// A bit-rot source seeded for reproducibility.
+    pub fn new(seed: u64) -> BitRot {
+        BitRot {
+            // Same SplitMix64 scramble as `Failpoints`: nearby seeds diverge.
+            rng: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64*: tiny, deterministic, good enough for fault fuzzing.
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Flip one seeded-random bit in some page slot of the page file at
+    /// `path`. Returns what was damaged, or `None` if the file holds no
+    /// complete page slots.
+    pub fn flip_random(&mut self, path: impl AsRef<Path>) -> Result<Option<FlippedBit>> {
+        let layout = crate::pager::PageFileLayout::of_file(&path)?;
+        if layout.pages == 0 {
+            return Ok(None);
+        }
+        let page_id = self.next_u64() % layout.pages;
+        let bit = self.next_u64() % (layout.slot_len * 8);
+        flip_bit_at(path, page_id, bit).map(Some)
+    }
+}
+
+/// Flip bit `bit` (counting `byte * 8 + bit_in_byte` from the start of the
+/// slot) of page `page_id`'s on-disk slot in the page file at `path`.
+///
+/// Operates on the file directly — no pager may have the file open for
+/// writing while rot is injected, exactly like real at-rest corruption.
+pub fn flip_bit_at(path: impl AsRef<Path>, page_id: PageId, bit: u64) -> Result<FlippedBit> {
+    let layout = crate::pager::PageFileLayout::of_file(&path)?;
+    if page_id >= layout.pages {
+        return Err(StoreError::NotFound(format!("page {page_id}")));
+    }
+    let bit = bit % (layout.slot_len * 8);
+    let file_offset = layout.slot_offset(page_id) + bit / 8;
+    let mask = 1u8 << (bit % 8);
+    // lint:allow(fault injection writes the durable file directly by design:
+    // at-rest rot happens beneath every pager and WAL)
+    let mut f = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(path)?;
+    use std::io::{Read, Seek, SeekFrom, Write};
+    f.seek(SeekFrom::Start(file_offset))?;
+    let mut b = [0u8; 1];
+    f.read_exact(&mut b)?;
+    b[0] ^= mask;
+    f.seek(SeekFrom::Start(file_offset))?;
+    // lint:allow(fault injection writes the durable file directly by design)
+    f.write_all(&b)?;
+    f.sync_data()?;
+    Ok(FlippedBit {
+        page_id,
+        bit,
+        file_offset,
+    })
 }
 
 #[cfg(test)]

@@ -32,7 +32,10 @@ impl RecordId {
     /// Unpack from [`RecordId::to_bytes`] output.
     pub fn from_bytes(b: &[u8]) -> Result<Self> {
         if b.len() != 10 {
-            return Err(StoreError::Corrupt("record id must be 10 bytes".into()));
+            return Err(StoreError::corrupt(
+                crate::CorruptObject::Heap,
+                "record id must be 10 bytes",
+            ));
         }
         Ok(RecordId {
             page: u64::from_be_bytes(b[..8].try_into().unwrap()),

@@ -71,17 +71,61 @@ pub use exec::{
     Sort, SortMergeJoin,
 };
 pub use expr::{AggFunc, BinOp, Expr, ScalarFn, UnOp};
-pub use failpoint::{FailLog, FailPager, Failpoints};
+pub use failpoint::{flip_bit_at, BitRot, FailLog, FailPager, Failpoints, FlippedBit};
 pub use heap::{HeapFile, RecordId};
 pub use page::{PageId, PAGE_SIZE};
-pub use pager::{FilePager, MemPager, Pager};
-pub use table::{IndexDef, Table};
+pub use pager::{FilePager, MemPager, PageFileLayout, Pager, PAGE_FORMAT_VERSION};
+pub use table::{IndexDef, Table, TableCheck};
 pub use value::{decode_row, encode_key, encode_row, DataType, Field, Schema, Value};
 pub use wal::{
     FileLog, LogFile, MemLog, RecoveryInfo, RecoveryStop, WalConfig, WalPager, WalStats,
 };
 
 use std::fmt;
+
+/// What kind of on-disk object a [`StoreError::Corrupt`] error refers to.
+///
+/// Classification lets readers react per object instead of giving up on
+/// any decode failure: a corrupt secondary-index page can fall back to a
+/// base-storage scan, a corrupt compressed block can be quarantined, and
+/// `archis-fsck` can decide between "repairable" (index, counters) and
+/// "report-only" (heap, catalog) damage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CorruptObject {
+    /// A raw page failed its checksum (or basic framing) before any typed
+    /// decode was attempted.
+    Page,
+    /// A heap page or heap record id.
+    Heap,
+    /// A B+tree node (secondary index or clustered primary storage).
+    BTree,
+    /// The durable catalog (table roots, schemas, counters).
+    Catalog,
+    /// A table whose in-memory structure contradicts its declared layout.
+    Table,
+    /// A secondary index that diverged from its base storage.
+    Index,
+    /// An encoded row (value codec).
+    Row,
+    /// A compressed BlockZIP block.
+    Block,
+}
+
+impl fmt::Display for CorruptObject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CorruptObject::Page => "page",
+            CorruptObject::Heap => "heap",
+            CorruptObject::BTree => "btree",
+            CorruptObject::Catalog => "catalog",
+            CorruptObject::Table => "table",
+            CorruptObject::Index => "index",
+            CorruptObject::Row => "row",
+            CorruptObject::Block => "block",
+        };
+        f.write_str(s)
+    }
+}
 
 /// Unified error type for the storage engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -94,12 +138,51 @@ pub enum StoreError {
     AlreadyExists(String),
     /// A row did not match the table schema.
     SchemaMismatch(String),
-    /// Corrupted on-page data.
-    Corrupt(String),
+    /// Corrupted on-disk data, classified by object so callers (query
+    /// fallbacks, quarantine, `archis-fsck`) can match on what broke and
+    /// where instead of parsing a message string.
+    Corrupt {
+        /// The page the damage was detected on, when known.
+        page_id: Option<page::PageId>,
+        /// What kind of object the damaged bytes belong to.
+        object: CorruptObject,
+        /// Human-readable detail of the specific failure.
+        kind: String,
+    },
     /// Underlying I/O failure.
     Io(String),
     /// Expression evaluation failure (type error, unknown function, ...).
     Eval(String),
+}
+
+impl StoreError {
+    /// A [`StoreError::Corrupt`] with no page attribution (the damage was
+    /// detected in decoded data, not on a specific page).
+    pub fn corrupt(object: CorruptObject, kind: impl Into<String>) -> StoreError {
+        StoreError::Corrupt {
+            page_id: None,
+            object,
+            kind: kind.into(),
+        }
+    }
+
+    /// A [`StoreError::Corrupt`] attributed to a specific page.
+    pub fn corrupt_at(
+        page_id: page::PageId,
+        object: CorruptObject,
+        kind: impl Into<String>,
+    ) -> StoreError {
+        StoreError::Corrupt {
+            page_id: Some(page_id),
+            object,
+            kind: kind.into(),
+        }
+    }
+
+    /// Whether this error reports corruption (of any object kind).
+    pub fn is_corrupt(&self) -> bool {
+        matches!(self, StoreError::Corrupt { .. })
+    }
 }
 
 impl fmt::Display for StoreError {
@@ -109,7 +192,14 @@ impl fmt::Display for StoreError {
             StoreError::NotFound(s) => write!(f, "not found: {s}"),
             StoreError::AlreadyExists(s) => write!(f, "already exists: {s}"),
             StoreError::SchemaMismatch(s) => write!(f, "schema mismatch: {s}"),
-            StoreError::Corrupt(s) => write!(f, "corrupt page data: {s}"),
+            StoreError::Corrupt {
+                page_id,
+                object,
+                kind,
+            } => match page_id {
+                Some(id) => write!(f, "corrupt {object} data at page {id}: {kind}"),
+                None => write!(f, "corrupt {object} data: {kind}"),
+            },
             StoreError::Io(s) => write!(f, "i/o error: {s}"),
             StoreError::Eval(s) => write!(f, "evaluation error: {s}"),
         }

@@ -111,7 +111,7 @@ impl<'a> SlottedPage<'a> {
             return Err(StoreError::RecordTooLarge(record.len()));
         }
         if !self.fits(record.len()) {
-            return Err(StoreError::Corrupt("page full".into()));
+            return Err(StoreError::corrupt(crate::CorruptObject::Page, "page full"));
         }
         let off = self.free_offset() - record.len();
         self.data[off..off + record.len()].copy_from_slice(record);

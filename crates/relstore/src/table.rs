@@ -50,6 +50,31 @@ pub struct TableRoots {
     pub indexes: Vec<(IndexDef, crate::page::PageId)>,
 }
 
+/// Findings from [`Table::verify`]. Base-storage damage is report-only
+/// (rows are the source of truth); index and counter damage is repairable
+/// from base storage ([`Table::rebuild_index`] / [`Table::recount_rows`]).
+#[derive(Debug, Clone, Default)]
+pub struct TableCheck {
+    /// Problems reading base storage (heap or clustered primary).
+    pub base_errors: Vec<String>,
+    /// `(index name, problem)` for each corrupt or diverged index.
+    pub bad_indexes: Vec<(String, String)>,
+    /// `(cached, actual)` when the cached row counter diverges.
+    pub row_count: Option<(u64, u64)>,
+}
+
+impl TableCheck {
+    /// No findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.base_errors.is_empty() && self.bad_indexes.is_empty() && self.row_count.is_none()
+    }
+
+    /// Findings exist but all are repairable from base storage.
+    pub fn is_repairable(&self) -> bool {
+        self.base_errors.is_empty()
+    }
+}
+
 /// A typed table.
 pub struct Table {
     name: String,
@@ -108,16 +133,22 @@ impl Table {
     /// handed out a table whose roots were corrupted — an error, not a
     /// panic, so readers can't take down a commit in flight.
     fn heap_store(&self) -> Result<&HeapFile> {
-        self.heap
-            .as_ref()
-            .ok_or_else(|| StoreError::Corrupt(format!("table {}: heap store missing", self.name)))
+        self.heap.as_ref().ok_or_else(|| {
+            StoreError::corrupt(
+                crate::CorruptObject::Table,
+                format!("{}: heap store missing", self.name),
+            )
+        })
     }
 
     /// The clustered B+tree backing this table (see [`Table::heap_store`]).
     fn tree_store(&self) -> Result<&BTree> {
-        self.clustered
-            .as_ref()
-            .ok_or_else(|| StoreError::Corrupt(format!("table {}: b+tree missing", self.name)))
+        self.clustered.as_ref().ok_or_else(|| {
+            StoreError::corrupt(
+                crate::CorruptObject::Table,
+                format!("{}: b+tree missing", self.name),
+            )
+        })
     }
 
     /// Table name.
@@ -414,11 +445,14 @@ impl Table {
             }
             StorageKind::Clustered => {
                 let mut out = Vec::new();
-                let iter = self
+                let mut iter = self
                     .tree_store()?
                     .range(Bound::Unbounded, Bound::Unbounded)?;
-                for (key, bytes) in iter {
+                for (key, bytes) in iter.by_ref() {
                     out.push((Self::handle_of_cluster_key(&key), decode_row(&bytes)?));
+                }
+                if let Some(e) = iter.take_error() {
+                    return Err(e);
                 }
                 Ok(out)
             }
@@ -504,7 +538,75 @@ impl Table {
         lo: Bound<&[u8]>,
         hi: Bound<&[u8]>,
     ) -> Result<Vec<Vec<Value>>> {
-        self.index_stream_raw(index, lo, hi)?.collect()
+        let stream = match self.index_stream_raw(index, lo, hi) {
+            Ok(s) => s,
+            Err(e) if e.is_corrupt() => return self.index_range_fallback(index, lo, hi),
+            Err(e) => return Err(e),
+        };
+        let mut out = Vec::new();
+        for r in stream {
+            match r {
+                Ok(row) => out.push(row),
+                // A corrupt index page must not fail a read-only query the
+                // base storage can still answer: degrade to a table scan.
+                Err(e) if e.is_corrupt() => return self.index_range_fallback(index, lo, hi),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Recovery path for a corrupt secondary index: answer the range from
+    /// base storage instead. Each row's key for `index` is encoded and
+    /// filtered against the same effective bounds the index scan would
+    /// use, then sorted so the result comes back in index-key order.
+    /// Slower (a full scan), but correct — the index is derived data.
+    fn index_range_fallback(
+        &self,
+        index: &str,
+        lo: Bound<&[u8]>,
+        hi: Bound<&[u8]>,
+    ) -> Result<Vec<Vec<Value>>> {
+        let cols = {
+            let indexes = self.indexes.read();
+            indexes
+                .iter()
+                .find(|i| i.def.name == index)
+                .map(|i| i.cols.clone())
+                .ok_or_else(|| StoreError::NotFound(format!("index {index} on {}", self.name)))?
+        };
+        // Same inclusive-prefix widening as the index scan path.
+        let hi_owned: Bound<Vec<u8>>;
+        let hi = match hi {
+            Bound::Included(k) => match crate::btree::prefix_upper(k) {
+                Some(h) => {
+                    hi_owned = Bound::Excluded(h);
+                    as_bound_slice(&hi_owned)
+                }
+                None => Bound::Unbounded,
+            },
+            other => other,
+        };
+        let mut keyed: Vec<(Vec<u8>, Vec<Value>)> = Vec::new();
+        for r in self.stream()? {
+            let row = r?;
+            let key = encode_key(&select(&row, &cols));
+            let above_lo = match lo {
+                Bound::Included(k) => key.as_slice() >= k,
+                Bound::Excluded(k) => key.as_slice() > k,
+                Bound::Unbounded => true,
+            };
+            let below_hi = match hi {
+                Bound::Included(k) => key.as_slice() <= k,
+                Bound::Excluded(k) => key.as_slice() < k,
+                Bound::Unbounded => true,
+            };
+            if above_lo && below_hi {
+                keyed.push((key, row));
+            }
+        }
+        keyed.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(keyed.into_iter().map(|(_, r)| r).collect())
     }
 
     /// Streaming variant of [`Table::index_range`]: index entries are
@@ -615,10 +717,16 @@ impl Table {
             .ok_or_else(|| StoreError::NotFound(format!("index {index} on {}", self.name)))?;
         let key = encode_key(key_values);
         let mut out = Vec::new();
-        for (_, handle) in idx.tree.scan_prefix(&key)? {
+        let mut entries = idx.tree.scan_prefix(&key)?;
+        for (_, handle) in entries.by_ref() {
             if let Some(row) = self.fetch(&handle)? {
                 out.push((handle, row));
             }
+        }
+        // Mutating callers (update/delete via index) must see corruption,
+        // not act on a silently truncated handle set.
+        if let Some(e) = entries.take_error() {
+            return Err(e);
         }
         Ok(out)
     }
@@ -685,10 +793,14 @@ impl Table {
             // storage, and index_lookup would start returning handles of
             // deleted rows. Fail loudly instead of corrupting silently.
             if !idx.tree.delete(&key, handle)? {
-                return Err(StoreError::Corrupt(format!(
-                    "table {}: index {} has no entry for deleted row",
-                    self.name, idx.def.name
-                )));
+                return Err(StoreError::corrupt_at(
+                    idx.tree.root_page(),
+                    crate::CorruptObject::Index,
+                    format!(
+                        "table {}: index {} has no entry for deleted row",
+                        self.name, idx.def.name
+                    ),
+                ));
             }
         }
         self.rows.fetch_sub(1, Ordering::Relaxed);
@@ -730,6 +842,122 @@ impl Table {
         Ok(n)
     }
 
+    /// Structural verification of the whole table: base storage (full
+    /// scan), every secondary index (tree structure plus a full leaf-chain
+    /// walk), and the cached row counter. Problems are *reported*, not
+    /// returned as errors, so one finding never hides the rest — the
+    /// contract fsck needs to plan repairs.
+    pub fn verify(&self) -> TableCheck {
+        let mut check = TableCheck {
+            base_errors: Vec::new(),
+            bad_indexes: Vec::new(),
+            row_count: None,
+        };
+        // Base storage: can every row still be read and decoded?
+        let mut actual = 0u64;
+        let mut base_ok = true;
+        match self.stream() {
+            Ok(stream) => {
+                for r in stream {
+                    match r {
+                        Ok(_) => actual += 1,
+                        Err(e) => {
+                            check.base_errors.push(e.to_string());
+                            base_ok = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                check.base_errors.push(e.to_string());
+                base_ok = false;
+            }
+        }
+        if base_ok {
+            let cached = self.rows.load(Ordering::Relaxed);
+            if cached != actual {
+                check.row_count = Some((cached, actual));
+            }
+        }
+        // Secondary indexes: structure check plus a full walk (the walk
+        // reads every leaf, so a checksum-failed page surfaces here).
+        for idx in self.indexes.read().iter() {
+            let walk = (|| -> Result<u64> {
+                idx.tree.verify_structure()?;
+                let mut live = 0u64;
+                let mut it = idx.tree.range(Bound::Unbounded, Bound::Unbounded)?;
+                for (_, handle) in it.by_ref() {
+                    if self.fetch(&handle)?.is_some() {
+                        live += 1;
+                    }
+                }
+                if let Some(e) = it.take_error() {
+                    return Err(e);
+                }
+                Ok(live)
+            })();
+            match walk {
+                // With clean base storage, every live row must be reachable
+                // through each index exactly once.
+                Ok(live) => {
+                    if base_ok && live != actual {
+                        check.bad_indexes.push((
+                            idx.def.name.clone(),
+                            format!("{live} live entries for {actual} rows"),
+                        ));
+                    }
+                }
+                Err(e) => check
+                    .bad_indexes
+                    .push((idx.def.name.clone(), e.to_string())),
+            }
+        }
+        check
+    }
+
+    /// Rebuild one secondary index from base storage, replacing its tree
+    /// entirely. The repair path for a corrupt index: the old tree is
+    /// never read (its pages may be damaged), and the replacement is
+    /// bulk-loaded from the rows themselves — an index is derived data,
+    /// so this loses nothing. The new root takes effect at the next
+    /// catalog checkpoint.
+    pub fn rebuild_index(&self, name: &str) -> Result<()> {
+        let cols = {
+            let indexes = self.indexes.read();
+            indexes
+                .iter()
+                .find(|i| i.def.name == name)
+                .map(|i| i.cols.clone())
+                .ok_or_else(|| StoreError::NotFound(format!("index {name} on {}", self.name)))?
+        };
+        let mut entries: Vec<(Vec<u8>, Vec<u8>)> = self
+            .scan_with_handles()?
+            .into_iter()
+            .map(|(handle, row)| (encode_key(&select(&row, &cols)), handle))
+            .collect();
+        entries.sort();
+        let tree = BTree::bulk_load(self.pool.clone(), entries)?;
+        let mut indexes = self.indexes.write();
+        if let Some(idx) = indexes.iter_mut().find(|i| i.def.name == name) {
+            idx.tree = tree;
+        }
+        Ok(())
+    }
+
+    /// Recount live rows from base storage and overwrite the cached
+    /// counter; returns `(cached, actual)`. The repair path for a
+    /// diverged row counter.
+    pub fn recount_rows(&self) -> Result<(u64, u64)> {
+        let mut actual = 0u64;
+        for r in self.stream()? {
+            r?;
+            actual += 1;
+        }
+        let cached = self.rows.swap(actual, Ordering::Relaxed);
+        Ok((cached, actual))
+    }
+
     /// Pages used by base storage plus all indexes (storage experiments).
     pub fn page_count(&self) -> Result<u64> {
         let base = match self.kind {
@@ -764,7 +992,12 @@ impl Iterator for RowStream {
             RowStreamInner::Heap(c) => c
                 .next()
                 .map(|r| r.and_then(|(_, bytes)| decode_row(&bytes))),
-            RowStreamInner::Clustered(it) => it.next().map(|(_, bytes)| decode_row(&bytes)),
+            RowStreamInner::Clustered(it) => match it.next() {
+                Some((_, bytes)) => Some(decode_row(&bytes)),
+                // A corrupt leaf ends the walk early; surface it rather
+                // than passing off a truncated scan as complete.
+                None => it.take_error().map(Err),
+            },
         }
     }
 }
@@ -787,7 +1020,11 @@ impl Iterator for IndexRowStream {
 
     fn next(&mut self) -> Option<Self::Item> {
         loop {
-            let (_, handle) = self.entries.next()?;
+            let Some((_, handle)) = self.entries.next() else {
+                // A corrupt index leaf parks an error instead of yielding;
+                // surface it so callers can fall back or report.
+                return self.entries.take_error().map(Err);
+            };
             let fetched: Result<Option<Vec<Value>>> = match &self.fetch {
                 RowFetcher::Heap(reader) => RecordId::from_bytes(&handle)
                     .and_then(|rid| reader.get(rid))

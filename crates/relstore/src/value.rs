@@ -262,7 +262,7 @@ pub fn encode_row(row: &[Value]) -> Vec<u8> {
 
 /// Deserialize a row produced by [`encode_row`].
 pub fn decode_row(data: &[u8]) -> Result<Vec<Value>> {
-    let corrupt = || StoreError::Corrupt("truncated row".into());
+    let corrupt = || StoreError::corrupt(crate::CorruptObject::Row, "truncated row");
     if data.len() < 2 {
         return Err(corrupt());
     }
@@ -293,7 +293,9 @@ pub fn decode_row(data: &[u8]) -> Result<Vec<Value>> {
                 let sb = take(&mut pos, len)?;
                 Value::Str(
                     std::str::from_utf8(sb)
-                        .map_err(|_| StoreError::Corrupt("invalid utf-8 in row".into()))?
+                        .map_err(|_| {
+                            StoreError::corrupt(crate::CorruptObject::Row, "invalid utf-8 in row")
+                        })?
                         .to_string(),
                 )
             }
@@ -308,7 +310,12 @@ pub fn decode_row(data: &[u8]) -> Result<Vec<Value>> {
                 let len = u32::from_be_bytes(lb.try_into().unwrap()) as usize;
                 Value::Blob(take(&mut pos, len)?.to_vec())
             }
-            t => return Err(StoreError::Corrupt(format!("unknown value tag {t}"))),
+            t => {
+                return Err(StoreError::corrupt(
+                    crate::CorruptObject::Row,
+                    format!("unknown value tag {t}"),
+                ))
+            }
         };
         row.push(v);
     }

@@ -52,6 +52,13 @@ echo "== failpoints torture: apply_all fsync-boundary sweep =="
 # must always land on a whole-batch state.
 cargo test -q --features failpoints --test batch_apply
 
+echo "== failpoints torture: 240-seed fsck bit-rot sweep =="
+# Seeded at-rest single-bit flips on a checkpointed archive: scrub must
+# detect every flip at the right page (zero silent wrong answers), and
+# periodic repairs of index/counter damage must round-trip to dumps
+# identical to the uncorrupted archive.
+cargo test -q -p archis-fsck --features failpoints
+
 if [[ "${CI_BENCH:-0}" != "0" ]]; then
     echo "== bench: commit + scan + ingest microbenches =="
     ./target/release/reproduce -e commit --runs 3
