@@ -597,6 +597,162 @@ pub fn scan_streaming(rows: usize, runs: usize) -> Vec<Vec<String>> {
         cold(&|| SeqScan::new(&t).fold(0usize, |n, r| n + r.map(|_| 1).unwrap()));
     let (fm_ms, _, fm_phys) = cold(&|| t.scan().unwrap().len());
 
+    // --- I/O pipeline section: a real file behind a cold-device model ---
+    //
+    // Prefetch: segment-directory readahead only pays when faulting a page
+    // actually costs something, so these scans reopen the store with a
+    // fresh (cold) pool each run *and* charge every physical page access a
+    // fixed device latency — the just-written file otherwise sits in the
+    // OS page cache and a "cold" scan measures memcpy, not I/O, hiding
+    // exactly the latency readahead exists to overlap. 25µs per page is a
+    // conservative model of a fast NVMe random fault (real devices are
+    // 80µs+). Writeback: the build dirties far more pages than the pool
+    // holds; with the flusher on, evictions find already-cleaned frames
+    // and the page writes overlap row encoding instead of stalling it.
+    use relstore::pager::{FilePager, Pager};
+    use relstore::{BufferPool, PageId};
+    use std::ops::Bound;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    struct ColdDevice {
+        inner: FilePager,
+        read: Duration,
+        write: Duration,
+    }
+    impl Pager for ColdDevice {
+        // Sleep (not spin) for the device latency: a real page fault
+        // parks the thread in the kernel without consuming CPU, which is
+        // exactly what lets background readers overlap with foreground
+        // work — including on a single-core machine. Timer slack inflates
+        // the nominal latency identically for every variant, so the
+        // reported ratios are unaffected.
+        fn read_page(&self, id: PageId, buf: &mut [u8]) -> relstore::Result<()> {
+            std::thread::sleep(self.read);
+            self.inner.read_page(id, buf)
+        }
+        fn write_page(&self, id: PageId, buf: &[u8]) -> relstore::Result<()> {
+            std::thread::sleep(self.write);
+            self.inner.write_page(id, buf)
+        }
+        fn allocate(&self) -> relstore::Result<PageId> {
+            self.inner.allocate()
+        }
+        fn num_pages(&self) -> u64 {
+            self.inner.num_pages()
+        }
+        fn sync(&self) -> relstore::Result<()> {
+            self.inner.sync()
+        }
+        fn checkpoint(&self) -> relstore::Result<()> {
+            self.inner.checkpoint()
+        }
+        fn checksum_stats(&self) -> (u64, u64) {
+            self.inner.checksum_stats()
+        }
+        fn reset_checksum_stats(&self) {
+            self.inner.reset_checksum_stats();
+        }
+    }
+    const DEVICE_LATENCY: Duration = Duration::from_micros(25);
+    let cold_open = |path: &std::path::Path| -> Arc<ColdDevice> {
+        Arc::new(ColdDevice {
+            inner: FilePager::open(path).expect("open page file"),
+            read: DEVICE_LATENCY,
+            write: DEVICE_LATENCY,
+        })
+    };
+    let dir = std::env::temp_dir().join(format!("archis-scan-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench temp dir");
+    let wide_n = (rows / 4).max(2_000) as i64;
+    let wide_payload = |i: i64| {
+        let mut s = format!("wide-{i:08}-");
+        while s.len() < 400 {
+            s.push_str("abcdefghijklmnopqrstuvwxyz0123456789");
+        }
+        s.truncate(400);
+        s
+    };
+    let wide_schema = || {
+        Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("payload", DataType::Str),
+        ])
+    };
+    let build = |path: &std::path::Path, writeback: bool| -> f64 {
+        let _ = std::fs::remove_file(path);
+        let pool = Arc::new(BufferPool::new(cold_open(path), 256));
+        if writeback {
+            pool.enable_writeback();
+        }
+        let db = Database::open_pool(pool).expect("open file store");
+        let w = db
+            .create_table("w", wide_schema(), StorageKind::Clustered, &["k"])
+            .unwrap();
+        let start = Instant::now();
+        w.insert_all((0..wide_n).map(|i| vec![Value::Int(i), Value::Str(wide_payload(i))]))
+            .unwrap();
+        db.checkpoint().unwrap();
+        start.elapsed().as_secs_f64() * 1e3
+    };
+    let scan_path = dir.join("scan-wide-off.db");
+    let wb_path = dir.join("scan-wide-on.db");
+    let mut wb_off_ms = f64::MAX;
+    let mut wb_on_ms = f64::MAX;
+    for _ in 0..runs.max(1) {
+        wb_off_ms = wb_off_ms.min(build(&scan_path, false));
+        wb_on_ms = wb_on_ms.min(build(&wb_path, true));
+    }
+    let _ = std::fs::remove_file(&wb_path);
+
+    let range = 1024i64;
+    let scan_cold = |prefetch: bool| -> (f64, u64, u64) {
+        let mut best = f64::MAX;
+        let mut hits = 0u64;
+        let mut phys = 0u64;
+        for _ in 0..runs.max(1) {
+            let pool = Arc::new(BufferPool::new(cold_open(&scan_path), 256));
+            if prefetch {
+                pool.enable_prefetch();
+            }
+            let db = Database::open_pool(pool).expect("reopen scan fixture");
+            let w = db.table("w").unwrap();
+            let start = Instant::now();
+            let mut seen = 0usize;
+            let mut lo = 0i64;
+            while lo < wide_n {
+                let lo_v = [Value::Int(lo)];
+                let hi_v = [Value::Int(lo + range)];
+                for r in w
+                    .cluster_range_stream(Bound::Included(&lo_v[..]), Bound::Excluded(&hi_v[..]))
+                    .unwrap()
+                {
+                    std::hint::black_box(r.unwrap());
+                    seen += 1;
+                }
+                lo += range;
+            }
+            if prefetch {
+                db.pool().prefetch_quiesce();
+            }
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(seen, wide_n as usize, "cold range scan lost rows");
+            let stats = db.pool().stats();
+            if ms < best {
+                best = ms;
+                hits = stats.prefetch_hits;
+                phys = stats.physical_reads;
+            }
+        }
+        (best, hits, phys)
+    };
+    let (pf_off_ms, _, pf_off_phys) = scan_cold(false);
+    let (pf_on_ms, pf_hits, pf_on_phys) = scan_cold(true);
+    let _ = std::fs::remove_file(&scan_path);
+    let _ = std::fs::remove_dir(&dir);
+    let pf_speedup = pf_off_ms / pf_on_ms.max(1e-6);
+    let wb_gain = wb_off_ms / wb_on_ms.max(1e-6);
+
     let speedup = m_ms / s_ms.max(1e-6);
     let out_rows = vec![
         vec![
@@ -629,6 +785,42 @@ pub fn scan_streaming(rows: usize, runs: usize) -> Vec<Vec<String>> {
             "-".into(),
             "-".into(),
         ],
+        vec![
+            format!("cold wide range scan ({wide_n} rows), prefetch off"),
+            format!("{pf_off_ms:.3}"),
+            "-".into(),
+            pf_off_phys.to_string(),
+        ],
+        vec![
+            "cold wide range scan, prefetch on".into(),
+            format!("{pf_on_ms:.3}"),
+            format!("{pf_hits} hits"),
+            pf_on_phys.to_string(),
+        ],
+        vec![
+            "prefetch speedup".into(),
+            format!("{pf_speedup:.2}x"),
+            "-".into(),
+            "-".into(),
+        ],
+        vec![
+            "wide build+flush, writeback off".into(),
+            format!("{wb_off_ms:.3}"),
+            "-".into(),
+            "-".into(),
+        ],
+        vec![
+            "wide build+flush, writeback on".into(),
+            format!("{wb_on_ms:.3}"),
+            "-".into(),
+            "-".into(),
+        ],
+        vec![
+            "writeback overlap gain".into(),
+            format!("{wb_gain:.2}x"),
+            "-".into(),
+            "-".into(),
+        ],
     ];
     print_table(
         &format!("Streaming scans: {rows}-row seq scan, cold (ms)"),
@@ -636,7 +828,7 @@ pub fn scan_streaming(rows: usize, runs: usize) -> Vec<Vec<String>> {
         &out_rows,
     );
     let json = format!(
-        "{{\n  \"rows\": {rows},\n  \"take\": {take_n},\n  \"streaming_ms\": {s_ms:.4},\n  \"materialized_ms\": {m_ms:.4},\n  \"speedup\": {speedup:.2},\n  \"streaming_physical_reads\": {s_phys},\n  \"materialized_physical_reads\": {m_phys},\n  \"full_scan_streaming_ms\": {fs_ms:.4},\n  \"full_scan_materialized_ms\": {fm_ms:.4},\n  \"full_scan_physical_reads\": {fs_phys}\n}}\n"
+        "{{\n  \"rows\": {rows},\n  \"take\": {take_n},\n  \"streaming_ms\": {s_ms:.4},\n  \"materialized_ms\": {m_ms:.4},\n  \"speedup\": {speedup:.2},\n  \"streaming_physical_reads\": {s_phys},\n  \"materialized_physical_reads\": {m_phys},\n  \"full_scan_streaming_ms\": {fs_ms:.4},\n  \"full_scan_materialized_ms\": {fm_ms:.4},\n  \"full_scan_physical_reads\": {fs_phys},\n  \"wide_rows\": {wide_n},\n  \"prefetch_off_ms\": {pf_off_ms:.4},\n  \"prefetch_on_ms\": {pf_on_ms:.4},\n  \"prefetch_speedup\": {pf_speedup:.2},\n  \"prefetch_hits\": {pf_hits},\n  \"writeback_off_ms\": {wb_off_ms:.4},\n  \"writeback_on_ms\": {wb_on_ms:.4},\n  \"writeback_gain\": {wb_gain:.2}\n}}\n"
     );
     if let Err(e) = std::fs::write("BENCH_scan.json", &json) {
         eprintln!("warning: could not write BENCH_scan.json: {e}");
@@ -644,14 +836,54 @@ pub fn scan_streaming(rows: usize, runs: usize) -> Vec<Vec<String>> {
     out_rows
 }
 
-/// Commit-throughput microbenchmark: single-row transactions against a
+/// Commit-throughput microbenchmark: small transactions against a
 /// WAL-backed store on a real filesystem, sweeping the group-commit batch
-/// size. Batch 1 pays one fsync per commit (DB2's MINCOMMIT=1); larger
-/// batches amortize the fsync across the group at the cost of a wider
-/// durability window. Prints the table and writes `BENCH_commit.json`.
+/// size with the WAL commit pipeline off and on. Batch 1 pays one fsync
+/// per commit (DB2's MINCOMMIT=1); larger batches amortize the fsync
+/// across the group at the cost of a wider durability window; the
+/// pipelined variants additionally overlap the fsync of one sealed batch
+/// with forming the next one on a dedicated log-writer thread. Prints the
+/// table and writes `BENCH_commit.json`.
+///
+/// Like the cold-scan experiment, the log lives on a modeled device: this
+/// container's fsync hits the OS page cache in ~0.2 ms with heavy jitter,
+/// which both understates a real drive's flush latency (NVMe ≈ 0.5–2 ms,
+/// SATA ≫ that) and drowns the overlap signal in timer noise. `ColdLog`
+/// wraps the real `FileLog` and charges a fixed 500 µs per `sync` via
+/// `thread::sleep` — parked in the kernel exactly like a hardware flush,
+/// so the sleep lands in whichever thread performs the fsync: serialized
+/// with batch formation in synchronous mode, overlapped with it on the
+/// log-writer thread in pipelined mode.
 pub fn commit_throughput(txns: usize, runs: usize) -> Vec<Vec<String>> {
-    use relstore::wal::WalConfig;
-    use relstore::{DataType, Database, Field, Schema, StorageKind, Value};
+    use relstore::wal::{FileLog, LogFile, WalConfig, WalPager};
+    use relstore::{BufferPool, DataType, Database, Field, FilePager, Schema, StorageKind, Value};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    struct ColdLog {
+        inner: FileLog,
+        sync_latency: Duration,
+    }
+    impl LogFile for ColdLog {
+        fn append(&self, bytes: &[u8]) -> relstore::Result<()> {
+            self.inner.append(bytes)
+        }
+        fn sync(&self) -> relstore::Result<()> {
+            self.inner.sync()?;
+            std::thread::sleep(self.sync_latency);
+            Ok(())
+        }
+        fn read_all(&self) -> relstore::Result<Vec<u8>> {
+            self.inner.read_all()
+        }
+        fn truncate(&self) -> relstore::Result<()> {
+            self.inner.truncate()
+        }
+        fn len(&self) -> relstore::Result<u64> {
+            self.inner.len()
+        }
+    }
+    const SYNC_LATENCY: Duration = Duration::from_micros(500);
 
     let dir = std::env::temp_dir().join(format!("archis-commit-bench-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("bench temp dir");
@@ -662,11 +894,15 @@ pub fn commit_throughput(txns: usize, runs: usize) -> Vec<Vec<String>> {
         ])
     };
 
-    let batches = [1usize, 8, 64];
-    let mut best_ms = [f64::MAX; 3];
+    // (group size, pipelined): the sync sweep plus pipelined variants of
+    // the grouped configurations.
+    let configs: [(usize, bool); 5] = [(1, false), (8, false), (64, false), (8, true), (64, true)];
+    const ROWS_PER_TXN: usize = 3;
+    let mut best_ms = [f64::MAX; 5];
     for run in 0..runs.max(1) {
-        for (bi, &batch) in batches.iter().enumerate() {
-            let path = dir.join(format!("commit-b{batch}-r{run}.db"));
+        for (ci, &(batch, pipelined)) in configs.iter().enumerate() {
+            let tag = if pipelined { "p" } else { "s" };
+            let path = dir.join(format!("commit-b{batch}{tag}-r{run}.db"));
             let wal = {
                 let mut p = path.as_os_str().to_os_string();
                 p.push(".wal");
@@ -674,22 +910,52 @@ pub fn commit_throughput(txns: usize, runs: usize) -> Vec<Vec<String>> {
             };
             let _ = std::fs::remove_file(&path);
             let _ = std::fs::remove_file(&wal);
-            {
-                let db = Database::open_wal(&path, 256, WalConfig::with_group_commit(batch))
-                    .expect("open WAL-backed store");
+            let ms = {
+                let base = Arc::new(FilePager::open(&path).expect("open base page file"));
+                let log = Arc::new(ColdLog {
+                    inner: FileLog::open(&wal).expect("open WAL log"),
+                    sync_latency: SYNC_LATENCY,
+                });
+                let pager = Arc::new(
+                    WalPager::open(
+                        base,
+                        log,
+                        WalConfig::with_group_commit(batch).pipelined(pipelined),
+                    )
+                    .expect("open WAL-backed store"),
+                );
+                let db = Database::open_pool(Arc::new(BufferPool::new(pager, 256)))
+                    .expect("open database over WAL pool");
                 let t = db
                     .create_table("t", schema(), StorageKind::Heap, &[])
                     .unwrap();
                 let start = Instant::now();
+                // Each transaction inserts a handful of ~190-byte rows:
+                // enough foreground work (encoding + heap staging) that
+                // batch formation genuinely overlaps the previous batch's
+                // fsync in pipelined mode. The WAL logs one page image per
+                // dirty page per batch, so log bytes grow sublinearly with
+                // row count while formation work grows linearly — the same
+                // shape as real OLTP commit traffic.
                 for i in 0..txns as i64 {
-                    t.insert(vec![Value::Int(i), Value::Str(format!("payload-{i:08}"))])
+                    for r in 0..ROWS_PER_TXN as i64 {
+                        let id = i * ROWS_PER_TXN as i64 + r;
+                        t.insert(vec![
+                            Value::Int(id),
+                            Value::Str(format!("payload-{id:08}-{id:0168}")),
+                        ])
                         .unwrap();
+                    }
                     db.commit().unwrap();
                 }
-                let ms = start.elapsed().as_secs_f64() * 1e3;
-                if ms < best_ms[bi] {
-                    best_ms[bi] = ms;
-                }
+                // The drop drains the pipeline (and flushes any residual
+                // batch), so the timed region ends with everything durable
+                // for both variants — no hidden deferred work.
+                drop(db);
+                start.elapsed().as_secs_f64() * 1e3
+            };
+            if ms < best_ms[ci] {
+                best_ms[ci] = ms;
             }
             let _ = std::fs::remove_file(&path);
             let _ = std::fs::remove_file(&wal);
@@ -699,13 +965,14 @@ pub fn commit_throughput(txns: usize, runs: usize) -> Vec<Vec<String>> {
 
     let cps: Vec<f64> = best_ms.iter().map(|ms| txns as f64 / (ms / 1e3)).collect();
     let speedup = cps[2] / cps[0].max(1e-9);
-    let mut rows: Vec<Vec<String>> = batches
+    let pipeline_speedup_64 = cps[4] / cps[2].max(1e-9);
+    let mut rows: Vec<Vec<String>> = configs
         .iter()
         .zip(best_ms.iter())
         .zip(cps.iter())
-        .map(|((b, ms), c)| {
+        .map(|(((b, pipelined), ms), c)| {
             vec![
-                format!("batch {b}"),
+                format!("batch {b}{}", if *pipelined { " pipelined" } else { "" }),
                 format!("{ms:.1}"),
                 format!("{c:.0}"),
                 format!("{:.0}", (txns as f64 / *b as f64).ceil()),
@@ -718,14 +985,23 @@ pub fn commit_throughput(txns: usize, runs: usize) -> Vec<Vec<String>> {
         format!("{speedup:.1}x"),
         "-".into(),
     ]);
+    rows.push(vec![
+        "pipelined-64 / batch-64".into(),
+        "-".into(),
+        format!("{pipeline_speedup_64:.2}x"),
+        "-".into(),
+    ]);
     print_table(
-        &format!("Group commit: {txns} single-row txns, fsync-per-batch (best of {runs})"),
+        &format!(
+            "Group commit: {txns} txns x {ROWS_PER_TXN} rows, fsync-per-batch (best of {runs})"
+        ),
         &["group size", "total ms", "commits/sec", "fsyncs"],
         &rows,
     );
     let json = format!(
-        "{{\n  \"txns\": {txns},\n  \"batch_1\": {{ \"ms\": {:.2}, \"commits_per_sec\": {:.1} }},\n  \"batch_8\": {{ \"ms\": {:.2}, \"commits_per_sec\": {:.1} }},\n  \"batch_64\": {{ \"ms\": {:.2}, \"commits_per_sec\": {:.1} }},\n  \"speedup_64_over_1\": {speedup:.2}\n}}\n",
-        best_ms[0], cps[0], best_ms[1], cps[1], best_ms[2], cps[2]
+        "{{\n  \"txns\": {txns},\n  \"batch_1\": {{ \"ms\": {:.2}, \"commits_per_sec\": {:.1} }},\n  \"batch_8\": {{ \"ms\": {:.2}, \"commits_per_sec\": {:.1} }},\n  \"batch_64\": {{ \"ms\": {:.2}, \"commits_per_sec\": {:.1} }},\n  \"batch_8_pipelined\": {{ \"ms\": {:.2}, \"commits_per_sec\": {:.1} }},\n  \"batch_64_pipelined\": {{ \"ms\": {:.2}, \"commits_per_sec\": {:.1} }},\n  \"speedup_64_over_1\": {speedup:.2},\n  \"pipeline_speedup_64\": {pipeline_speedup_64:.2}\n}}\n",
+        best_ms[0], cps[0], best_ms[1], cps[1], best_ms[2], cps[2], best_ms[3], cps[3], best_ms[4],
+        cps[4]
     );
     if let Err(e) = std::fs::write("BENCH_commit.json", &json) {
         eprintln!("warning: could not write BENCH_commit.json: {e}");
@@ -1113,6 +1389,7 @@ mod tests {
     #[test]
     fn streaming_scan_terminates_early_and_wins() {
         let rows = scan_streaming(20_000, 3);
+        assert_eq!(rows.len(), 11);
         let s_phys: u64 = rows[0][3].parse().unwrap();
         let m_phys: u64 = rows[1][3].parse().unwrap();
         assert!(
@@ -1121,6 +1398,18 @@ mod tests {
         );
         let speedup: f64 = rows[4][1].trim_end_matches('x').parse().unwrap();
         assert!(speedup >= 2.0, "early termination only {speedup}x faster");
+        // Prefetch must actually fire on the cold wide scans; the timing
+        // gate (≥1.5x) applies to the release run recorded in
+        // BENCH_scan.json, not this debug smoke run.
+        let hits: u64 = rows[6][2]
+            .trim_end_matches(" hits")
+            .parse()
+            .expect("prefetch hits cell");
+        assert!(hits > 0, "cold wide scans produced no prefetch hits");
+        let pf: f64 = rows[7][1].trim_end_matches('x').parse().unwrap();
+        assert!(pf.is_finite() && pf > 0.0, "prefetch ratio not sane: {pf}");
+        let wb: f64 = rows[10][1].trim_end_matches('x').parse().unwrap();
+        assert!(wb.is_finite() && wb > 0.0, "writeback ratio not sane: {wb}");
         let _ = std::fs::remove_file("BENCH_scan.json");
     }
 
@@ -1140,17 +1429,24 @@ mod tests {
     #[test]
     fn commit_throughput_rewards_group_commit() {
         let rows = commit_throughput(96, 1);
-        assert_eq!(rows.len(), 4);
-        for r in &rows[..3] {
+        assert_eq!(rows.len(), 7);
+        for r in &rows[..5] {
             let cps: f64 = r[2].parse().unwrap();
             assert!(cps > 0.0, "{}: nonpositive throughput", r[0]);
         }
         // Loose bound for debug builds / fast disks; the release run
         // recorded in BENCH_commit.json is held to the ≥5x target.
-        let speedup: f64 = rows[3][2].trim_end_matches('x').parse().unwrap();
+        let speedup: f64 = rows[5][2].trim_end_matches('x').parse().unwrap();
         assert!(
             speedup >= 1.2,
             "group commit only {speedup}x over fsync-per-commit"
+        );
+        // Pipelining must at least produce a sane, positive ratio here;
+        // the release run in BENCH_commit.json is held to ≥1.3x by CI.
+        let pipe: f64 = rows[6][2].trim_end_matches('x').parse().unwrap();
+        assert!(
+            pipe.is_finite() && pipe > 0.0,
+            "pipelined-64 ratio not sane: {pipe}"
         );
         let _ = std::fs::remove_file("BENCH_commit.json");
     }

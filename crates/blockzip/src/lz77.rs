@@ -9,6 +9,11 @@ pub const MIN_MATCH: usize = 3;
 pub const MAX_MATCH: usize = 258;
 /// How many chain links to probe per position.
 const MAX_CHAIN: usize = 64;
+/// Once a match at least this long is in hand, shrink the remaining probe
+/// budget: further improvements are unlikely to pay for the chain walk.
+const GOOD_MATCH: usize = 32;
+/// A match this long is "nice enough" — stop probing the chain entirely.
+const NICE_MATCH: usize = 128;
 
 /// One LZ77 token.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,12 +29,14 @@ pub enum Token {
     },
 }
 
-fn hash3(data: &[u8], i: usize) -> usize {
-    let h = (data[i] as u32)
-        .wrapping_mul(506832829)
-        .wrapping_add((data[i + 1] as u32).wrapping_mul(2654435761))
-        .wrapping_add((data[i + 2] as u32).wrapping_mul(2246822519));
-    (h >> 17) as usize & 0x7FFF
+/// Four-byte multiplicative hash. Only valid when `i + 4 <= data.len()`;
+/// the up-to-three-byte tail is emitted as literals instead. Hashing one
+/// extra byte (vs. the classic three) sharply cuts chain collisions on
+/// record-shaped data, so the bounded chain walk spends its probes on
+/// positions that actually share a 4-byte prefix.
+fn hash4(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    (v.wrapping_mul(2654435761) >> 17) as usize & 0x7FFF
 }
 
 /// Tokenize `data` greedily with hash-chain match search.
@@ -44,22 +51,32 @@ pub fn tokenize(data: &[u8]) -> Vec<Token> {
     let mut prev = vec![usize::MAX; WINDOW];
     let mut i = 0usize;
     while i < data.len() {
-        if i + MIN_MATCH > data.len() {
+        if i + 4 > data.len() {
+            // Too short to hash: the final (at most three-byte) tail is
+            // emitted as literals.
             tokens.push(Token::Literal(data[i]));
             i += 1;
             continue;
         }
-        let h = hash3(data, i);
+        let h = hash4(data, i);
         let mut cand = head[h];
         let mut best_len = 0usize;
         let mut best_dist = 0usize;
         let max_len = (data.len() - i).min(MAX_MATCH);
-        let mut probes = 0;
-        while cand != usize::MAX && probes < MAX_CHAIN {
-            probes += 1;
+        let nice = NICE_MATCH.min(max_len);
+        let mut budget = MAX_CHAIN;
+        while cand != usize::MAX && budget > 0 {
+            budget -= 1;
             let dist = i - cand;
             if dist > WINDOW {
                 break;
+            }
+            // Cheap reject: beating the current best requires a match of at
+            // least `best_len + 1`, which needs the bytes at offset
+            // `best_len` to agree (true even for overlapping candidates).
+            if best_len > 0 && data[cand + best_len] != data[i + best_len] {
+                cand = prev[cand % WINDOW];
+                continue;
             }
             // Extend the match.
             let mut l = 0usize;
@@ -69,8 +86,13 @@ pub fn tokenize(data: &[u8]) -> Vec<Token> {
             if l > best_len {
                 best_len = l;
                 best_dist = dist;
-                if l >= max_len {
+                if l >= nice {
+                    // Nice enough — stop probing the chain.
                     break;
+                }
+                if l >= GOOD_MATCH {
+                    // Good enough — spend at most a quarter of what's left.
+                    budget /= 4;
                 }
             }
             cand = prev[cand % WINDOW];
@@ -82,8 +104,8 @@ pub fn tokenize(data: &[u8]) -> Vec<Token> {
             });
             // Insert all covered positions into the chains.
             let end = i + best_len;
-            while i < end && i + MIN_MATCH <= data.len() {
-                let h = hash3(data, i);
+            while i < end && i + 4 <= data.len() {
+                let h = hash4(data, i);
                 prev[i % WINDOW] = head[h];
                 head[h] = i;
                 i += 1;

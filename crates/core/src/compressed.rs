@@ -110,6 +110,32 @@ impl BlockCache {
         }
     }
 
+    /// Cold-path allocation reuse: when the shard that will receive
+    /// `(table, blockno)` is already full, its LRU entry is doomed the
+    /// moment the freshly decoded block is `put`. Evict it *now* instead,
+    /// and — if no reader still holds the rows — hand the allocation back
+    /// so the decode can fill it in place. Each recycled inner row keeps
+    /// its capacity too (values are dropped, buffers are not), which is
+    /// what makes single-row cold probes cheap: the steady state is one
+    /// block in, one block out, zero net allocation.
+    fn take_reusable(&self, table: &Arc<str>, blockno: usize) -> Option<Vec<Vec<Value>>> {
+        let shard = &self.shards[self.shard_of(table, blockno)];
+        let mut map = shard.lock();
+        if map.len() < self.per_shard {
+            return None;
+        }
+        let oldest = map
+            .iter()
+            .min_by_key(|(_, (s, _))| *s)
+            .map(|(k, _)| k.clone())?;
+        let (_, rows) = map.remove(&oldest)?;
+        let mut rows = Arc::try_unwrap(rows).ok()?;
+        for row in rows.iter_mut() {
+            row.clear();
+        }
+        Some(rows)
+    }
+
     fn stats(&self) -> (u64, u64) {
         (
             self.hits.load(Ordering::Relaxed),
@@ -476,7 +502,8 @@ impl CompressedStore {
             return Ok(rows);
         }
         self.blocks_read.fetch_add(1, Ordering::Relaxed);
-        match self.decode_block(db, ab, blockno) {
+        let reuse = self.cache.take_reusable(&ab.blob_table, blockno);
+        match self.decode_block(db, ab, blockno, reuse) {
             Ok(rows) => {
                 self.cache.put(&ab.blob_table, blockno, rows.clone());
                 Ok(rows)
@@ -499,11 +526,16 @@ impl CompressedStore {
     /// page checksum, truncated BLOB, bad BlockZIP frame, undecodable row)
     /// is [`BlockFault::Corrupt`]; everything else (missing table, I/O)
     /// stays fatal.
+    ///
+    /// `reuse` is a recycled cache entry from [`BlockCache::take_reusable`]
+    /// whose row buffers are refilled in place ([`relstore::decode_row_into`]),
+    /// so a cold single-row probe replaces — rather than adds — allocations.
     fn decode_block(
         &self,
         db: &Database,
         ab: &AttrBlocks,
         blockno: usize,
+        reuse: Option<Vec<Vec<Value>>>,
     ) -> std::result::Result<BlockRows, BlockFault> {
         let store_fault = |e: relstore::StoreError| {
             if e.is_corrupt() {
@@ -529,11 +561,12 @@ impl CompressedStore {
         let data: Vec<u8> = parts.into_iter().flat_map(|(_, b)| b).collect();
         let records =
             blockzip::unpack_records(&data).map_err(|e| BlockFault::Corrupt(e.to_string()))?;
-        let rows = records
-            .iter()
-            .map(|r| relstore::decode_row(r))
-            .collect::<std::result::Result<Vec<_>, _>>()
-            .map_err(store_fault)?;
+        let mut rows = reuse.unwrap_or_default();
+        rows.truncate(records.len());
+        rows.resize_with(records.len(), Vec::new);
+        for (rec, row) in records.iter().zip(rows.iter_mut()) {
+            relstore::decode_row_into(rec, row).map_err(store_fault)?;
+        }
         Ok(Arc::new(rows))
     }
 

@@ -82,6 +82,16 @@ impl Database {
         wal_path.push(".wal");
         let base = Arc::new(FilePager::open(path)?);
         let log = Arc::new(FileLog::open(wal_path)?);
+        // `ARCHIS_WAL_PIPELINE=1` turns on the overlapped log writer for
+        // stores opened through this convenience path; programmatic
+        // configs that already ask for it are left alone. (The other I/O
+        // toggles, `ARCHIS_PREFETCH`/`ARCHIS_WRITEBACK`, apply in
+        // `open_pool` so every durable open path honours them.)
+        let wal = if env_flag("ARCHIS_WAL_PIPELINE") {
+            wal.pipelined(true)
+        } else {
+            wal
+        };
         let pager = Arc::new(WalPager::open(base, log, wal)?);
         Self::open_pool(Arc::new(BufferPool::new(pager, pool_pages)))
     }
@@ -91,6 +101,14 @@ impl Database {
     /// Fresh stores (zero pages) get a catalog heap anchored at page 0;
     /// existing stores reload every table from it.
     pub fn open_pool(pool: Arc<BufferPool>) -> Result<Self> {
+        // Opt-in I/O pipeline toggles (see EXPERIMENTS.md): both default
+        // off so benchmark read/write counts stay deterministic.
+        if env_flag("ARCHIS_PREFETCH") {
+            pool.enable_prefetch();
+        }
+        if env_flag("ARCHIS_WRITEBACK") {
+            pool.enable_writeback();
+        }
         let fresh = pool.pager().num_pages() == 0;
         if fresh {
             let catalog = HeapFile::create(pool.clone())?;
@@ -434,6 +452,13 @@ impl CatalogEntry {
             },
         })
     }
+}
+
+/// A truthy environment toggle: set to `1`, `true`, `on` or `yes`.
+fn env_flag(name: &str) -> bool {
+    std::env::var(name)
+        .map(|v| matches!(v.as_str(), "1" | "true" | "on" | "yes"))
+        .unwrap_or(false)
 }
 
 #[cfg(test)]

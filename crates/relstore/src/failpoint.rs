@@ -29,6 +29,20 @@
 //! every device errors until [`Failpoints::revive`] — the simulated
 //! reboot — at which point volatile state is gone and recovery code can
 //! be exercised against exactly what "disk" retained.
+//!
+//! **Concurrency contract.** One [`Failpoints`] schedule is shared (via
+//! `Arc`) by every wrapped device and consulted under a single internal
+//! mutex, so the write/sync counters order operations **globally across
+//! threads**: background WAL writers, pool flushers, and prefetch workers
+//! hit the same armed positions as foreground I/O — counters are
+//! per-machine, never per-thread. Each device additionally holds its own
+//! state lock across the schedule consult *and* the resulting side effect
+//! (lock order: device → schedule, never the reverse), so a crash
+//! decision and its torn-write fallout are atomic with respect to
+//! concurrent operations on that device. Reads are deliberately not
+//! counted — only mutations and fsyncs advance the schedule — so
+//! read-only background work (prefetch) can never shift a seeded crash
+//! position.
 
 use crate::page::{PageId, PAGE_SIZE};
 use crate::pager::Pager;

@@ -59,6 +59,7 @@ pub mod failpoint;
 pub mod heap;
 pub mod page;
 pub mod pager;
+pub mod prefetch;
 pub mod table;
 pub mod value;
 pub mod wal;
@@ -76,7 +77,9 @@ pub use heap::{HeapFile, RecordId};
 pub use page::{PageId, PAGE_SIZE};
 pub use pager::{FilePager, MemPager, PageFileLayout, Pager, PAGE_FORMAT_VERSION};
 pub use table::{IndexDef, Table, TableCheck};
-pub use value::{decode_row, encode_key, encode_row, DataType, Field, Schema, Value};
+pub use value::{
+    decode_row, decode_row_into, encode_key, encode_row, DataType, Field, Schema, Value,
+};
 pub use wal::{
     FileLog, LogFile, MemLog, RecoveryInfo, RecoveryStop, WalConfig, WalPager, WalStats,
 };

@@ -13,7 +13,7 @@
 //! still readable, without verification.
 
 use crate::page::{PageId, PAGE_SIZE};
-use crate::wal::{crc32, crc32_quad};
+use crate::wal::{crc32, crc32_oct};
 use crate::{CorruptObject, Result, StoreError};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
@@ -123,10 +123,14 @@ impl Pager for MemPager {
     }
 }
 
-/// Current on-disk page-file format version. Version 2 adds the file
-/// header and the per-page trailing CRC-32; "version 1" is the headerless
-/// legacy layout (`page i` at byte `i * PAGE_SIZE`, no checksums).
-pub const PAGE_FORMAT_VERSION: u32 = 2;
+/// Current on-disk page-file format version. Version 2 added the file
+/// header and the per-page trailing CRC-32; version 3 widens the checksum
+/// combine from four to eight interleaved CRC lanes (different stamp bytes
+/// for the same page, hence the bump — `open` hard-errors on a mismatch
+/// rather than silently flagging every page corrupt). "Version 1" is the
+/// headerless legacy layout (`page i` at byte `i * PAGE_SIZE`, no
+/// checksums).
+pub const PAGE_FORMAT_VERSION: u32 = 3;
 
 /// Magic bytes opening a versioned page file.
 const V2_MAGIC: [u8; 8] = *b"ARCHISPG";
@@ -202,9 +206,11 @@ const CRC_FOLD_BYTES: usize = 512;
 /// Postgres's page checksum, the hot pass is a *parallel fold*: the page
 /// is XOR-folded column-wise into a [`CRC_FOLD_BYTES`]-byte window (a
 /// linear, auto-vectorizable sweep), and only the fold goes through
-/// CRC-32 — four interleaved lanes over its quarters, combined with
-/// per-lane rotations, plus the page id folded in so a valid page served
-/// from the wrong slot (misdirected I/O) still fails verification.
+/// CRC-32 — eight interleaved lanes over its eighths (eight independent
+/// dependency chains keep the table loads pipelined where four left the
+/// load ports half idle), combined with per-lane rotations, plus the page
+/// id folded in so a valid page served from the wrong slot (misdirected
+/// I/O) still fails verification.
 ///
 /// Detection guarantees survive the fold because XOR is linear: a single
 /// flipped bit in the page flips exactly that bit of one fold column,
@@ -232,9 +238,16 @@ pub fn page_crc(id: PageId, payload: &[u8]) -> u32 {
     for (chunk, w) in buf.chunks_exact_mut(8).zip(&fold) {
         chunk.copy_from_slice(&w.to_le_bytes());
     }
-    let q = CRC_FOLD_BYTES / 4;
-    let (a, b, c, d) = crc32_quad(&buf[..q], &buf[q..2 * q], &buf[2 * q..3 * q], &buf[3 * q..]);
-    a ^ b.rotate_left(8) ^ c.rotate_left(16) ^ d.rotate_left(24) ^ crc32(&id.to_le_bytes())
+    let e = CRC_FOLD_BYTES / 8;
+    let lanes: [&[u8]; 8] = std::array::from_fn(|k| &buf[k * e..(k + 1) * e]);
+    let crcs = crc32_oct(lanes);
+    let mut stamp = crc32(&id.to_le_bytes());
+    for (k, c) in crcs.iter().enumerate() {
+        // Distinct rotations (0,4,…,28) keep the eight lanes from
+        // cancelling each other under symmetric damage.
+        stamp ^= c.rotate_left(4 * k as u32);
+    }
+    stamp
 }
 
 /// A file-backed pager.

@@ -1,0 +1,176 @@
+//! Segment-directory readahead under the buffer pool.
+//!
+//! Scans that know their future — a clustered B+tree range walk over the
+//! leaf chain, an index probe about to chase heap pages, the archiver
+//! sweeping a segment — derive exact page runs from the segment directory
+//! and hand them to [`Prefetcher::hint`]. Worker threads fault those pages
+//! in *ahead of the cursor*, so by the time the scan's `get` arrives the
+//! page is a shard-map hit instead of a synchronous `read_page` stall.
+//!
+//! Design rules that keep this layer invisible when it matters:
+//!
+//! * **Resident pages are skipped** without touching any counter, so a
+//!   hint over a warm range costs one shard-map probe per page.
+//! * **Reads happen outside the shard lock.** The worker probes residency,
+//!   reads the page from the pager into a private buffer, then re-locks
+//!   and re-checks: if the foreground faulted the page in the meantime the
+//!   private copy is discarded (counted `prefetch_wasted`) — the pool
+//!   never holds a shard lock across a prefetch I/O, and the
+//!   one-frame-per-page invariant stays with the foreground path.
+//! * **Errors are swallowed.** A failed readahead is a no-op; the
+//!   foreground will hit the same error synchronously on its own path,
+//!   where it has a caller to report to.
+//! * **Fault-injection determinism:** prefetch issues only *reads*, and
+//!   the failpoint harness counts writes and fsyncs — so enabling
+//!   prefetch cannot shift a seeded crash position.
+//!
+//! Hit/waste accounting lives in [`crate::IoStats`]: `prefetch_issued`
+//! (pages read ahead), `prefetch_hits` (first foreground `get` served
+//! from a prefetched frame) and `prefetch_wasted` (prefetched frames
+//! dropped without a hit, or reads that lost the race to the foreground).
+
+use crate::buffer::PoolCore;
+use crate::page::{PageId, PAGE_SIZE};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Pages per queued work item: hints are split into chunks this size so
+/// two workers share one long run instead of one worker owning it all.
+const CHUNK_PAGES: usize = 16;
+
+/// Queued chunks beyond which new hints are dropped (scan far ahead of
+/// I/O — reading more would only evict pages the cursor needs sooner).
+const MAX_QUEUE: usize = 64;
+
+/// Readahead worker threads.
+const WORKERS: usize = 2;
+
+struct PrefetchState {
+    queue: VecDeque<Vec<PageId>>,
+    /// Chunks being processed right now (for quiesce: queue empty is not
+    /// enough, a worker may still hold the last chunk).
+    in_flight: usize,
+    shutdown: bool,
+}
+
+/// The readahead engine: a bounded chunk queue drained by worker threads.
+/// Spawned by [`crate::BufferPool::enable_prefetch`]; hints arrive via
+/// [`crate::BufferPool::prefetch_hint`].
+pub(crate) struct Prefetcher {
+    core: Arc<PoolCore>,
+    state: Mutex<PrefetchState>,
+    cond: Condvar,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Prefetcher {
+    pub(crate) fn spawn(core: Arc<PoolCore>) -> Arc<Prefetcher> {
+        let pf = Arc::new(Prefetcher {
+            core,
+            state: Mutex::new(PrefetchState {
+                queue: VecDeque::new(),
+                in_flight: 0,
+                shutdown: false,
+            }),
+            cond: Condvar::new(),
+            handles: Mutex::new(Vec::new()),
+        });
+        let mut handles = pf.handles.lock();
+        for i in 0..WORKERS {
+            let worker = pf.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("pool-prefetch-{i}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn prefetch worker"), // lint:allow(thread spawn fails only on resource exhaustion)
+            );
+        }
+        drop(handles);
+        pf
+    }
+
+    /// Queue a run of page ids for readahead. Never blocks: when the
+    /// queue is full the overflow is dropped — the scan will simply fault
+    /// those pages itself.
+    pub(crate) fn hint(&self, run: &[PageId]) {
+        if run.is_empty() {
+            return;
+        }
+        let mut st = self.state.lock();
+        if st.shutdown {
+            return;
+        }
+        for chunk in run.chunks(CHUNK_PAGES) {
+            if st.queue.len() >= MAX_QUEUE {
+                break;
+            }
+            st.queue.push_back(chunk.to_vec());
+        }
+        self.cond.notify_all();
+    }
+
+    /// Block until every queued chunk has been fully processed.
+    pub(crate) fn quiesce(&self) {
+        let mut st = self.state.lock();
+        while !st.queue.is_empty() || st.in_flight > 0 {
+            self.cond.wait(&mut st);
+        }
+    }
+
+    /// Stop and join the workers; queued chunks are abandoned.
+    pub(crate) fn shutdown(&self) {
+        {
+            let mut st = self.state.lock();
+            st.shutdown = true;
+            st.queue.clear();
+            self.cond.notify_all();
+        }
+        let handles = std::mem::take(&mut *self.handles.lock());
+        for h in handles {
+            let _ = h.join(); // lint:allow(joining at shutdown; workers swallow their own errors)
+        }
+    }
+
+    fn run(&self) {
+        loop {
+            let chunk = {
+                let mut st = self.state.lock();
+                loop {
+                    if st.shutdown {
+                        return;
+                    }
+                    if let Some(c) = st.queue.pop_front() {
+                        st.in_flight += 1;
+                        break c;
+                    }
+                    self.cond.wait(&mut st);
+                }
+            };
+            for id in chunk {
+                self.fetch_one(id);
+            }
+            let mut st = self.state.lock();
+            st.in_flight -= 1;
+            self.cond.notify_all();
+        }
+    }
+
+    /// Read one page ahead of the cursor. See the module docs for the
+    /// probe → read-outside-lock → re-check dance.
+    fn fetch_one(&self, id: PageId) {
+        if self.core.is_resident(id) {
+            return;
+        }
+        let mut data = Box::new([0u8; PAGE_SIZE]);
+        if self.core.pager().read_page(id, &mut data[..]).is_err() {
+            return; // foreground will surface the same error with context
+        }
+        self.core.count_physical_read();
+        self.core.prefetch_issued.fetch_add(1, Ordering::Relaxed);
+        // insert_prefetched re-checks residency under the shard lock and
+        // counts the read as wasted if the foreground won the race.
+        self.core.insert_prefetched(id, data);
+    }
+}

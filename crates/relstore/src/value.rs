@@ -262,12 +262,22 @@ pub fn encode_row(row: &[Value]) -> Vec<u8> {
 
 /// Deserialize a row produced by [`encode_row`].
 pub fn decode_row(data: &[u8]) -> Result<Vec<Value>> {
+    let mut row = Vec::new();
+    decode_row_into(data, &mut row)?;
+    Ok(row)
+}
+
+/// Like [`decode_row`], but decodes into a caller-supplied buffer
+/// (cleared first) so bulk decoders — e.g. block decompression — can
+/// recycle row allocations instead of growing a fresh `Vec` per row.
+pub fn decode_row_into(data: &[u8], row: &mut Vec<Value>) -> Result<()> {
     let corrupt = || StoreError::corrupt(crate::CorruptObject::Row, "truncated row");
     if data.len() < 2 {
         return Err(corrupt());
     }
     let n = u16::from_be_bytes([data[0], data[1]]) as usize;
-    let mut row = Vec::with_capacity(n);
+    row.clear();
+    row.reserve(n);
     let mut pos = 2usize;
     let take = |pos: &mut usize, k: usize| -> Result<&[u8]> {
         let s = data.get(*pos..*pos + k).ok_or_else(corrupt)?;
@@ -319,7 +329,7 @@ pub fn decode_row(data: &[u8]) -> Result<Vec<Value>> {
         };
         row.push(v);
     }
-    Ok(row)
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,411 @@
+//! Crash torture for the I/O pipeline (feature `failpoints`): the
+//! overlapped WAL commit pipeline, background writeback, and prefetch all
+//! move I/O onto background threads — these tests prove the move is
+//! invisible to durability. The WAL writer thread performs the same log
+//! operations in the same global order as the synchronous path, so a
+//! crash armed at the Nth write recovers to the *same* commit-prefix with
+//! the pipeline on or off; writeback and prefetch never touch the fault
+//! schedule at all (staged page writes stay in memory, reads are not
+//! counted), so they cannot shift a seeded crash position. Run via
+//! `cargo test -p relstore --features failpoints` (wired into
+//! scripts/ci.sh).
+#![cfg(feature = "failpoints")]
+
+use relstore::failpoint::{is_crash, FailLog, FailPager, Failpoints};
+use relstore::pager::MemPager;
+use relstore::value::{DataType, Field, Schema, Value};
+use relstore::wal::{MemLog, WalConfig, WalPager};
+use relstore::{BufferPool, Database, StorageKind, StoreError};
+use std::ops::Bound;
+use std::sync::Arc;
+
+const TXNS: i64 = 30;
+const CHECKPOINT_AT: i64 = 15;
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Field::new("id", DataType::Int),
+        Field::new("v", DataType::Str),
+    ])
+}
+
+struct Media {
+    fp: Arc<Failpoints>,
+    base: Arc<FailPager>,
+    log: Arc<FailLog>,
+}
+
+fn media(seed: u64) -> Media {
+    let fp = Failpoints::new(seed);
+    let base = Arc::new(FailPager::new(fp.clone(), Arc::new(MemPager::new())));
+    let log = Arc::new(FailLog::new(fp.clone(), Arc::new(MemLog::new())));
+    Media { fp, base, log }
+}
+
+/// Feature knobs for one workload run.
+#[derive(Clone, Copy)]
+struct Knobs {
+    batch: usize,
+    pipeline: bool,
+    writeback: bool,
+}
+
+/// Same workload as `crash_torture.rs` — one insert + commit per
+/// transaction, a checkpoint in the middle and at the end — but with the
+/// pipeline/writeback services switchable.
+fn workload(m: &Media, k: Knobs) -> Result<(), StoreError> {
+    let cfg = WalConfig::with_group_commit(k.batch).pipelined(k.pipeline);
+    let pager = Arc::new(WalPager::open(m.base.clone(), m.log.clone(), cfg)?);
+    let pool = Arc::new(BufferPool::new(pager, 64));
+    if k.writeback {
+        pool.enable_writeback();
+    }
+    let db = Database::open_pool(pool)?;
+    let t = db.create_table("t", schema(), StorageKind::Heap, &[])?;
+    for i in 0..TXNS {
+        t.insert(vec![Value::Int(i), Value::Str(format!("v{i}"))])?;
+        db.commit()?;
+        if i == CHECKPOINT_AT {
+            db.checkpoint()?;
+        }
+    }
+    db.checkpoint()?;
+    Ok(())
+}
+
+/// Recover (always in plain synchronous mode) and check the store holds a
+/// commit-prefix; returns how many transactions survived.
+fn assert_prefix_consistent(m: &Media, ctx: &str) -> i64 {
+    assert_prefix_consistent_upto(m, ctx, TXNS)
+}
+
+fn assert_prefix_consistent_upto(m: &Media, ctx: &str, max_rows: i64) -> i64 {
+    let pager = Arc::new(
+        WalPager::open(
+            m.base.clone(),
+            m.log.clone(),
+            WalConfig::with_group_commit(1),
+        )
+        .unwrap_or_else(|e| panic!("{ctx}: recovery open failed: {e}")),
+    );
+    let db = Database::open_pool(Arc::new(BufferPool::new(pager, 64)))
+        .unwrap_or_else(|e| panic!("{ctx}: catalog reload failed: {e}"));
+    let Ok(t) = db.table("t") else {
+        return 0;
+    };
+    let rows = t
+        .scan()
+        .unwrap_or_else(|e| panic!("{ctx}: scan failed: {e}"));
+    for (i, r) in rows.iter().enumerate() {
+        assert_eq!(
+            r[0],
+            Value::Int(i as i64),
+            "{ctx}: rows are not a commit-prefix: {rows:?}"
+        );
+        assert_eq!(r[1], Value::Str(format!("v{i}")), "{ctx}: torn row content");
+    }
+    assert!(
+        rows.len() as i64 <= max_rows,
+        "{ctx}: more rows than ever inserted"
+    );
+    rows.len() as i64
+}
+
+/// The core equivalence claim: the pipelined WAL performs exactly the same
+/// fault-injection operations in exactly the same global order as the
+/// synchronous WAL — even though they now come from the wal-writer thread
+/// — so killing the machine at every write position recovers to the same
+/// prefix either way. This also proves the seeded counters are global
+/// across threads, not per-thread (the armed positions fire from the
+/// worker).
+#[test]
+fn pipelined_crash_sweep_matches_synchronous_recovery() {
+    let sync_knobs = Knobs {
+        batch: 1,
+        pipeline: false,
+        writeback: false,
+    };
+    let pipe_knobs = Knobs {
+        batch: 1,
+        pipeline: true,
+        writeback: true,
+    };
+
+    // Dry runs: identical op counts is the precondition for a 1:1 sweep.
+    let dry_sync = media(0);
+    workload(&dry_sync, sync_knobs).expect("sync dry run must not crash");
+    let dry_pipe = media(0);
+    workload(&dry_pipe, pipe_knobs).expect("pipelined dry run must not crash");
+    assert_eq!(
+        dry_sync.fp.writes(),
+        dry_pipe.fp.writes(),
+        "pipeline must not add, drop, or reorder write ops"
+    );
+    assert_eq!(
+        dry_sync.fp.syncs(),
+        dry_pipe.fp.syncs(),
+        "pipeline must not add or drop fsyncs"
+    );
+    let total_writes = dry_sync.fp.writes();
+    assert!(total_writes > 50, "workload too small to be interesting");
+
+    let mut distinct = std::collections::BTreeSet::new();
+    for n in 1..=total_writes {
+        let ms = media(n);
+        ms.fp.crash_after_writes(n);
+        let err = workload(&ms, sync_knobs).expect_err("armed crash must fire (sync)");
+        assert!(is_crash(&err), "sync write {n}: unexpected error {err}");
+        ms.fp.revive();
+        let k_sync = assert_prefix_consistent(&ms, &format!("sync crash at write {n}"));
+
+        let mp = media(n);
+        mp.fp.crash_after_writes(n);
+        let err = workload(&mp, pipe_knobs).expect_err("armed crash must fire (pipelined)");
+        assert!(
+            is_crash(&err),
+            "pipelined write {n}: unexpected error {err}"
+        );
+        mp.fp.revive();
+        let k_pipe = assert_prefix_consistent(&mp, &format!("pipelined crash at write {n}"));
+
+        assert_eq!(
+            k_sync, k_pipe,
+            "crash at write {n}: pipelined recovery diverged from synchronous"
+        );
+        distinct.insert(k_pipe);
+    }
+    assert!(
+        distinct.len() > 5,
+        "sweep recovered only {distinct:?} distinct prefixes"
+    );
+    assert!(distinct.contains(&TXNS), "late crashes keep everything");
+}
+
+/// Crash-after-fsync sweep with the pipeline on: the Nth fsync now happens
+/// on the wal-writer thread, but the durability guarantee is unchanged.
+#[test]
+fn pipelined_crash_at_every_sync_recovers_to_a_commit_prefix() {
+    let knobs = Knobs {
+        batch: 1,
+        pipeline: true,
+        writeback: false,
+    };
+    let dry = media(0);
+    workload(&dry, knobs).expect("dry run must not crash");
+    let total_syncs = dry.fp.syncs();
+    assert!(
+        total_syncs >= TXNS as u64,
+        "fsync-per-commit implies one sync per txn"
+    );
+    for n in 1..=total_syncs {
+        let m = media(2000 + n);
+        m.fp.crash_after_syncs(n);
+        let err = workload(&m, knobs).expect_err("armed crash must fire");
+        assert!(is_crash(&err), "sync {n}: unexpected error {err}");
+        m.fp.revive();
+        assert_prefix_consistent(&m, &format!("pipelined crash at sync {n}"));
+    }
+}
+
+/// Seeded random sweep with everything on at once: pipeline, background
+/// writeback, group commit, and torn writes.
+#[test]
+fn random_crashes_with_pipeline_writeback_and_tearing() {
+    for seed in 0..200u64 {
+        let m = media(seed);
+        m.fp.set_tear_writes(seed % 3 != 0);
+        let knobs = Knobs {
+            batch: [1usize, 4, 8][(seed % 3) as usize],
+            pipeline: true,
+            writeback: seed % 2 == 0,
+        };
+        let pos = (seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) % 400 + 1;
+        m.fp.crash_after_writes(pos);
+        match workload(&m, knobs) {
+            Ok(()) => {} // crash point landed past the workload's writes
+            Err(e) => assert!(is_crash(&e), "seed {seed}: unexpected error {e}"),
+        }
+        m.fp.revive();
+        assert_prefix_consistent(&m, &format!("seed {seed} pos {pos} batch {}", knobs.batch));
+    }
+}
+
+/// Determinism across reruns: the same seed and the same armed position
+/// must reach the same recovered state even with background threads in
+/// play (the whole point of routing every op through one global counter).
+#[test]
+fn pipelined_crashes_replay_bit_for_bit() {
+    let run = |seed: u64, pos: u64| -> i64 {
+        let m = media(seed);
+        m.fp.crash_after_writes(pos);
+        let knobs = Knobs {
+            batch: 4,
+            pipeline: true,
+            writeback: true,
+        };
+        match workload(&m, knobs) {
+            Ok(()) => {}
+            Err(e) => assert!(is_crash(&e), "seed {seed}: unexpected error {e}"),
+        }
+        m.fp.revive();
+        assert_prefix_consistent(&m, &format!("replay seed {seed} pos {pos}"))
+    };
+    for seed in [3u64, 17, 99] {
+        for pos in [10u64, 60, 150, 300] {
+            assert_eq!(run(seed, pos), run(seed, pos), "seed {seed} pos {pos}");
+        }
+    }
+}
+
+/// Build a store with a clustered table and an indexed heap table on the
+/// given media; returns nothing — callers reopen it for scanning.
+fn build_scan_fixture(m: &Media, rows: i64) {
+    let pager = Arc::new(
+        WalPager::open(
+            m.base.clone(),
+            m.log.clone(),
+            WalConfig::with_group_commit(8),
+        )
+        .unwrap(),
+    );
+    let db = Database::open_pool(Arc::new(BufferPool::new(pager, 64))).unwrap();
+    let c = db
+        .create_table("c", schema(), StorageKind::Clustered, &["id"])
+        .unwrap();
+    let h = db
+        .create_table("h", schema(), StorageKind::Heap, &[])
+        .unwrap();
+    h.create_index("h_by_id", &["id"]).unwrap();
+    for i in 0..rows {
+        c.insert(vec![Value::Int(i), Value::Str(format!("c{i:04}"))])
+            .unwrap();
+        h.insert(vec![Value::Int(i), Value::Str(format!("h{i:04}"))])
+            .unwrap();
+        if i % 16 == 15 {
+            db.commit().unwrap();
+        }
+    }
+    db.commit().unwrap();
+    db.checkpoint().unwrap();
+}
+
+/// Scan both tables through a small (cold) pool, optionally with prefetch.
+/// Returns every row seen, in stream order, plus the write-op count delta.
+fn scan_fixture(m: &Media, prefetch: bool) -> (Vec<Vec<Value>>, u64) {
+    let writes_before = m.fp.writes();
+    let pager = Arc::new(
+        WalPager::open(
+            m.base.clone(),
+            m.log.clone(),
+            WalConfig::with_group_commit(8),
+        )
+        .unwrap(),
+    );
+    let pool = Arc::new(BufferPool::new(pager, 8));
+    if prefetch {
+        pool.enable_prefetch();
+    }
+    let db = Database::open_pool(pool.clone()).unwrap();
+    let mut out = Vec::new();
+    let c = db.table("c").unwrap();
+    for row in c
+        .cluster_range_stream(Bound::Unbounded, Bound::Unbounded)
+        .unwrap()
+    {
+        out.push(row.unwrap());
+    }
+    let h = db.table("h").unwrap();
+    let lo = [Value::Int(100)];
+    let hi = [Value::Int(900)];
+    let stream = h
+        .index_range_stream(
+            "h_by_id",
+            Bound::Included(&lo[..]),
+            Bound::Included(&hi[..]),
+        )
+        .unwrap();
+    for row in stream {
+        out.push(row.unwrap());
+    }
+    if prefetch {
+        pool.prefetch_quiesce();
+        let stats = pool.stats();
+        assert!(
+            stats.prefetch_issued > 0,
+            "cold scans over an 8-frame pool must actually prefetch: {stats:?}"
+        );
+    }
+    (out, m.fp.writes() - writes_before)
+}
+
+/// Prefetch identity: the exact same rows in the exact same order with
+/// readahead on or off, and — because prefetch reads are not counted by
+/// the fault schedule — zero extra write ops, so armed crash positions in
+/// other tests can never be shifted by readahead.
+#[test]
+fn prefetch_is_invisible_to_results_and_crash_schedule() {
+    let m_off = media(7);
+    build_scan_fixture(&m_off, 1200);
+    let (rows_off, writes_off) = scan_fixture(&m_off, false);
+
+    let m_on = media(7);
+    build_scan_fixture(&m_on, 1200);
+    let (rows_on, writes_on) = scan_fixture(&m_on, true);
+
+    assert_eq!(rows_off.len(), rows_on.len(), "row count diverged");
+    assert_eq!(rows_off, rows_on, "prefetch changed scan results");
+    assert_eq!(
+        writes_off, writes_on,
+        "prefetch must not perform write ops visible to the fault schedule"
+    );
+}
+
+/// Quiesce under load: pause/resume the background flusher repeatedly
+/// while a writer thread commits, then verify nothing was lost or torn.
+#[test]
+fn writeback_quiesce_under_load_loses_nothing() {
+    let m = media(23);
+    let pager = Arc::new(
+        WalPager::open(
+            m.base.clone(),
+            m.log.clone(),
+            WalConfig::with_group_commit(4).pipelined(true),
+        )
+        .unwrap(),
+    );
+    let pool = Arc::new(BufferPool::new(pager, 64));
+    pool.enable_writeback();
+    let db = Arc::new(Database::open_pool(pool.clone()).unwrap());
+    let t = db
+        .create_table("t", schema(), StorageKind::Heap, &[])
+        .unwrap();
+
+    const N: i64 = 400;
+    let writer = {
+        let db = db.clone();
+        let t = t.clone();
+        std::thread::spawn(move || {
+            for i in 0..N {
+                t.insert(vec![Value::Int(i), Value::Str(format!("v{i}"))])
+                    .unwrap();
+                if i % 4 == 3 {
+                    db.commit().unwrap();
+                }
+            }
+            db.commit().unwrap();
+        })
+    };
+    // Hammer the quiesce protocol while the writer runs.
+    for _ in 0..50 {
+        pool.quiesce_writeback();
+        pool.resume_writeback();
+        std::thread::yield_now();
+    }
+    writer.join().expect("writer thread panicked");
+    db.checkpoint().unwrap();
+    drop(db);
+    drop(pool);
+
+    let k = assert_prefix_consistent_upto(&m, "quiesce under load", N);
+    assert_eq!(k, N, "every committed row must survive");
+}

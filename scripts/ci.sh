@@ -68,6 +68,14 @@ if [[ "${CI_BENCH:-0}" != "0" ]]; then
     # PR's acceptance bar); the JSON is written by the ingest experiment.
     speedup=$(awk -F': ' '/speedup_1024_over_1/ { gsub(/[ ,]/, "", $2); print $2 }' BENCH_ingest.json)
     awk -v s="$speedup" 'BEGIN { if (s + 0 < 5.0) { print "ingest speedup " s "x < 5x"; exit 1 } else { print "ingest speedup " s "x >= 5x" } }'
+    # The overlapped WAL commit pipeline must beat synchronous group
+    # commit by ≥1.3x at batch 64 on the modeled log device.
+    pipe=$(awk -F': ' '/pipeline_speedup_64/ { gsub(/[ ,]/, "", $2); print $2 }' BENCH_commit.json)
+    awk -v s="$pipe" 'BEGIN { if (s + 0 < 1.3) { print "pipeline speedup " s "x < 1.3x"; exit 1 } else { print "pipeline speedup " s "x >= 1.3x" } }'
+    # Segment prefetch must beat the serial cold clustered-range scan by
+    # ≥1.5x on the modeled cold device.
+    pf=$(awk -F': ' '/prefetch_speedup/ { gsub(/[ ,]/, "", $2); print $2 }' BENCH_scan.json)
+    awk -v s="$pf" 'BEGIN { if (s + 0 < 1.5) { print "prefetch speedup " s "x < 1.5x"; exit 1 } else { print "prefetch speedup " s "x >= 1.5x" } }'
 fi
 
 echo "CI OK"

@@ -1,9 +1,10 @@
 //! Minimal API-compatible stand-in for the `parking_lot` crate, backed by
 //! `std::sync`. The workspace builds offline, so the real crate cannot be
 //! fetched; this shim covers the subset the repo uses: `Mutex::lock`,
-//! `RwLock::read`/`write` (no poisoning in the return type — a poisoned
-//! lock's inner value is recovered, matching parking_lot's behaviour of
-//! not propagating panics through lock acquisition).
+//! `RwLock::read`/`write`, and `Condvar::wait` on a guard taken by `&mut`
+//! (no poisoning in the return type — a poisoned lock's inner value is
+//! recovered, matching parking_lot's behaviour of not propagating panics
+//! through lock acquisition).
 
 use std::sync;
 
@@ -72,6 +73,81 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+/// Result of a timed condvar wait, mirroring `parking_lot`'s type.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Condition variable with `parking_lot`'s in-place `wait(&mut guard)`
+/// signature (std's `wait` consumes and returns the guard instead).
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // std's wait moves the guard through by value; bridge that to the
+        // in-place signature by moving it out of and back into `*guard`.
+        // The abort bomb turns a (should-be-impossible) panic inside
+        // `wait` into an abort instead of a double-unlock on unwind.
+        struct Bomb;
+        impl Drop for Bomb {
+            fn drop(&mut self) {
+                std::process::abort();
+            }
+        }
+        unsafe {
+            let moved = std::ptr::read(guard);
+            let bomb = Bomb;
+            let back = self.0.wait(moved).unwrap_or_else(|e| e.into_inner());
+            std::mem::forget(bomb);
+            std::ptr::write(guard, back);
+        }
+    }
+
+    /// `parking_lot`-style timed wait. Returns a result whose
+    /// `timed_out()` mirrors the real crate's `WaitTimeoutResult`.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        struct Bomb;
+        impl Drop for Bomb {
+            fn drop(&mut self) {
+                std::process::abort();
+            }
+        }
+        unsafe {
+            let moved = std::ptr::read(guard);
+            let bomb = Bomb;
+            let (back, res) = match self.0.wait_timeout(moved, timeout) {
+                Ok((g, r)) => (g, r),
+                Err(e) => e.into_inner(),
+            };
+            std::mem::forget(bomb);
+            std::ptr::write(guard, back);
+            WaitTimeoutResult(res.timed_out())
+        }
+    }
+
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,5 +166,25 @@ mod tests {
         assert_eq!(l.read().len(), 2);
         l.write().push(3);
         assert_eq!(*l.read(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        let t = std::thread::spawn(move || {
+            let (m, c) = &*p2;
+            let mut done = m.lock();
+            while !*done {
+                c.wait(&mut done);
+            }
+        });
+        {
+            let (m, c) = &*pair;
+            *m.lock() = true;
+            c.notify_all();
+        }
+        t.join().unwrap();
     }
 }
