@@ -5,7 +5,7 @@
 //!
 //! EXPERIMENT: fig7 | fig8 | translate | fig9 | snapcur | fig10 |
 //!             fig11 | fig13 | fig14 | updates | scan | commit |
-//!             ingest | scrub | all   (default: all)
+//!             ingest | concurrent | scrub | all   (default: all)
 //! --scale N   initial employee population (default 100; fig10 also
 //!             loads 7N)
 //! --runs N    cold runs per query, median reported (default 3)
@@ -64,7 +64,7 @@ fn main() {
             }
             "-h" | "--help" => {
                 println!(
-                    "reproduce [-e fig7|fig8|translate|fig9|snapcur|fig10|fig11|fig13|fig14|updates|scan|commit|ingest|scrub|all] [--scale N] [--runs N]"
+                    "reproduce [-e fig7|fig8|translate|fig9|snapcur|fig10|fig11|fig13|fig14|updates|scan|commit|ingest|concurrent|scrub|all] [--scale N] [--runs N]"
                 );
                 return;
             }
@@ -144,6 +144,11 @@ fn main() {
     if want("ingest") {
         section("ingest", || {
             exp::ingest(2048, runs);
+        });
+    }
+    if want("concurrent") {
+        section("concurrent", || {
+            exp::concurrent(2048, runs);
         });
     }
     if want("scrub") {

@@ -20,7 +20,7 @@ use crate::spec::RelationSpec;
 use crate::{ArchError, Result};
 use relstore::value::{DataType, Field, Schema, Value};
 use relstore::{Database, StorageKind};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use temporal::Date;
@@ -191,7 +191,12 @@ pub struct CompressedStore {
     cache: BlockCache,
     /// Blocks skipped because their stored bytes no longer decode
     /// (checksum-failed pages, truncated BLOB parts, bad BlockZIP frames).
-    quarantined: AtomicU64,
+    /// Keyed by `(blob_table, blockno)` so a damaged block warns once per
+    /// process while the empty result stays *uncached* — a concurrent MVCC
+    /// snapshot reading the same block number resolves its own (possibly
+    /// still pristine) pinned bytes instead of inheriting the live view's
+    /// damage.
+    quarantined: parking_lot::Mutex<HashSet<(Arc<str>, usize)>>,
     /// One human-readable warning per quarantined block, for query-level
     /// loss reporting. Bounded: quarantine is per *corrupt* block, not per
     /// read — each block warns once per process.
@@ -349,7 +354,7 @@ impl CompressedStore {
             attrs,
             blocks_read: AtomicU64::new(0),
             cache: BlockCache::new(),
-            quarantined: AtomicU64::new(0),
+            quarantined: parking_lot::Mutex::new(HashSet::new()),
             quarantine_log: parking_lot::Mutex::new(Vec::new()),
         })
     }
@@ -389,7 +394,7 @@ impl CompressedStore {
             attrs,
             blocks_read: AtomicU64::new(0),
             cache: BlockCache::new(),
-            quarantined: AtomicU64::new(0),
+            quarantined: parking_lot::Mutex::new(HashSet::new()),
             quarantine_log: parking_lot::Mutex::new(Vec::new()),
         })
     }
@@ -458,7 +463,7 @@ impl CompressedStore {
     /// nonzero value means query results are missing the rows of that many
     /// blocks — real data loss that only a backup can undo.
     pub fn quarantined_blocks(&self) -> u64 {
-        self.quarantined.load(Ordering::Relaxed)
+        self.quarantined.lock().len() as u64
     }
 
     /// Drain the accumulated quarantine warnings (one per damaged block).
@@ -495,8 +500,12 @@ impl CompressedStore {
     /// silent media corruption, and one rotten block must not take down a
     /// whole snapshot query. The block contributes no rows, the loss is
     /// counted ([`CompressedStore::quarantined_blocks`]) and logged
-    /// ([`CompressedStore::take_quarantine_warnings`]), and the empty
-    /// result is cached so each damaged block warns once, not per query.
+    /// ([`CompressedStore::take_quarantine_warnings`]) — once per damaged
+    /// block, not per query. The empty result is deliberately *not*
+    /// cached: the same store serves both the live database and pinned
+    /// MVCC snapshot views, and a snapshot whose pinned pages predate the
+    /// damage must keep decoding its own (pristine) bytes instead of
+    /// inheriting the live view's loss from the cache.
     fn read_block(&self, db: &Database, ab: &AttrBlocks, blockno: usize) -> Result<BlockRows> {
         if let Some(rows) = self.cache.get(&ab.blob_table, blockno) {
             return Ok(rows);
@@ -509,14 +518,17 @@ impl CompressedStore {
                 Ok(rows)
             }
             Err(BlockFault::Corrupt(why)) => {
-                self.quarantined.fetch_add(1, Ordering::Relaxed);
-                self.quarantine_log.lock().push(format!(
-                    "{} block {blockno} quarantined: {why}",
-                    ab.blob_table
-                ));
-                let rows: BlockRows = Arc::new(Vec::new());
-                self.cache.put(&ab.blob_table, blockno, rows.clone());
-                Ok(rows)
+                if self
+                    .quarantined
+                    .lock()
+                    .insert((ab.blob_table.clone(), blockno))
+                {
+                    self.quarantine_log.lock().push(format!(
+                        "{} block {blockno} quarantined: {why}",
+                        ab.blob_table
+                    ));
+                }
+                Ok(Arc::new(Vec::new()))
             }
             Err(BlockFault::Fatal(e)) => Err(e),
         }

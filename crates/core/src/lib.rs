@@ -557,6 +557,15 @@ impl ArchIS {
     /// functions): the referenced attribute tables are materialized as
     /// live rows + decompressed archived rows before planning.
     pub fn execute_sql(&self, sql: &str) -> Result<QueryResult> {
+        self.execute_sql_on(&self.db, sql)
+    }
+
+    /// [`ArchIS::execute_sql`] against an explicit database view — the
+    /// live database or a frozen snapshot of it (see
+    /// [`ArchIS::begin_snapshot`]). Compressed-segment overrides are
+    /// materialized from the same view, so a snapshot query decompresses
+    /// the blocks as of its pinned commit.
+    fn execute_sql_on(&self, db: &Database, sql: &str) -> Result<QueryResult> {
         let stmt = sqlxml::parse_sql(sql).map_err(ArchError::from)?;
         let mut overrides: HashMap<String, Vec<Vec<relstore::Value>>> = HashMap::new();
         for (tname, _alias) in &stmt.from {
@@ -567,16 +576,30 @@ impl ArchIS {
                 let spec = &self.relations[rel];
                 for (attr, _) in &spec.attrs {
                     if *tname == htable::attr_table(spec, attr) {
-                        let mut rows = self.db.table(tname)?.scan()?;
-                        rows.extend(store.scan_all(&self.db, attr)?);
+                        let mut rows = db.table(tname)?.scan()?;
+                        rows.extend(store.scan_all(db, attr)?);
                         overrides.insert(tname.clone(), rows);
                     }
                 }
             }
         }
         Ok(sqlxml::engine::execute_stmt_with(
-            &self.db, &stmt, &self.fns, &overrides,
+            db, &stmt, &self.fns, &overrides,
         )?)
+    }
+
+    /// Freeze a read-only [`ArchSnapshot`] at the WAL's current durable
+    /// commit (requires a WAL-backed instance, e.g. [`ArchIS::open_file`]).
+    ///
+    /// The snapshot serves Q1–Q6-style temporal queries against exactly
+    /// the H-table state as of that commit — a reader at snapshot `S` sees
+    /// the timeline as of `S`, coalesced per §6.1 — while `apply` /
+    /// `apply_all` ingest keeps committing concurrently on `self`. Readers
+    /// never block the writer: the snapshot reads through its own buffer
+    /// pool against pinned page versions.
+    pub fn begin_snapshot(&self) -> Result<ArchSnapshot<'_>> {
+        let snap = self.db.begin_snapshot()?;
+        Ok(ArchSnapshot { archis: self, snap })
     }
 
     /// Compress all *archived* segments of a relation's attribute tables
@@ -666,5 +689,49 @@ impl ArchIS {
     /// The pinned `current-date` used for *now* semantics.
     pub fn now(&self) -> Date {
         self.config.now
+    }
+}
+
+/// A read-only ArchIS session frozen at one durable commit.
+///
+/// Minted by [`ArchIS::begin_snapshot`]; holds the WAL pin for its
+/// lifetime. Queries (XQuery via [`ArchSnapshot::query`], raw SQL via
+/// [`ArchSnapshot::execute_sql`]) resolve every page — catalog, H-table
+/// roots, data, compressed blocks — as of the pinned commit, unaffected by
+/// concurrent `apply_batch` ingest, archival or checkpoints on the parent
+/// instance.
+///
+/// Translation ([`ArchIS::translate`]) uses the parent's in-memory
+/// relation specs and current segment metadata; ingest does not change
+/// either, so translated queries are exact under concurrent inserts /
+/// updates / deletes. A `maybe_archive` that lands *after* the pin may add
+/// segment restrictions referring to rows the snapshot cannot see — those
+/// predicates simply match nothing, which keeps results a function of the
+/// pinned state.
+pub struct ArchSnapshot<'a> {
+    archis: &'a ArchIS,
+    snap: relstore::Snapshot,
+}
+
+impl ArchSnapshot<'_> {
+    /// The WAL commit this session is frozen at.
+    pub fn commit_lsn(&self) -> u64 {
+        self.snap.commit_lsn()
+    }
+
+    /// The frozen database view (private buffer pool over pinned pages).
+    pub fn database(&self) -> &Database {
+        self.snap.database()
+    }
+
+    /// Translate and execute an XQuery against the pinned H-table state.
+    pub fn query(&self, query: &str) -> Result<QueryResult> {
+        let sql = self.archis.translate(query)?;
+        self.execute_sql(&sql)
+    }
+
+    /// Execute raw SQL/SQL-XML against the pinned H-table state.
+    pub fn execute_sql(&self, sql: &str) -> Result<QueryResult> {
+        self.archis.execute_sql_on(self.snap.database(), sql)
     }
 }

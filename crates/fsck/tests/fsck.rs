@@ -201,3 +201,48 @@ fn wal_recovery_leaves_every_page_checksum_valid() {
     assert_eq!(check.exit_code(), 0, "{}", check.render());
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// PR-5 degradation path under concurrent access: when an index root is
+/// corrupt, every reader thread — index probes and full scans racing on
+/// the same shared `Database` — must degrade to base storage and agree
+/// with the pristine data, with no panics, no missed rows, and no torn
+/// fallback state while the corruption flag flips.
+#[test]
+fn corrupt_index_degrades_consistently_under_concurrent_readers() {
+    let dir = tmpdir("fallback-mt");
+    let path = dir.join("db.pages");
+    let (pristine, index_root, _) = build_fixture(&path);
+    flip_bit_at(&path, index_root, 8 * 2048).unwrap();
+
+    let db = Database::open_file(&path, 256).unwrap();
+    let db = &db;
+    let pristine = &pristine;
+    std::thread::scope(|s| {
+        // Probing threads: every lookup answers from base storage.
+        for t in 0..4u64 {
+            s.spawn(move || {
+                let table = db.table("people").unwrap();
+                for i in 0..100 {
+                    let id = ((t * 131 + i * 7) % 500) as i64;
+                    let hits = table
+                        .index_lookup("people_by_id", &[Value::Int(id)])
+                        .unwrap();
+                    assert_eq!(hits.len(), 1, "thread {t}: id {id} lost in fallback");
+                    assert_eq!(hits[0][1], Value::Str(format!("name-{id}")));
+                }
+            });
+        }
+        // Scanning threads: full scans bypass the index and must always
+        // see the complete pristine row set.
+        for t in 0..2 {
+            s.spawn(move || {
+                for _ in 0..10 {
+                    let mut rows = db.table("people").unwrap().scan().unwrap();
+                    rows.sort_by_key(|r| format!("{r:?}"));
+                    assert_eq!(&rows, pristine, "scanner {t}: rows diverged");
+                }
+            });
+        }
+    });
+    std::fs::remove_dir_all(&dir).ok();
+}

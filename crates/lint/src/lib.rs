@@ -1,18 +1,20 @@
 //! `archis-lint` — repo-specific static analysis for the ArchIS engine.
 //!
-//! Four analyses run over the storage-engine sources (`crates/relstore/src`
+//! Five analyses run over the storage-engine sources (`crates/relstore/src`
 //! and `crates/core/src` by default), built on a hand-rolled token scanner
 //! (no external parser crates; the build is offline):
 //!
 //! 1. **WAL discipline** (`wal-discipline`) — direct page writes, file
 //!    truncation or raw file creation outside the sanctioned modules.
-//! 2. **Lock order** (`lock-order`, `lock-across-io`) — cycles in the
+//! 2. **Session layer** (`session-layer`) — `BTree::open` outside the
+//!    session/snapshot layer, which would bypass MVCC root management.
+//! 3. **Lock order** (`lock-order`, `lock-across-io`) — cycles in the
 //!    inter-procedural lock-acquisition graph, and engine-level locks held
 //!    across pager/file I/O.
-//! 3. **Panic-path ratchet** (`panic-path`, `slice-index`) — per-file
+//! 4. **Panic-path ratchet** (`panic-path`, `slice-index`) — per-file
 //!    counts of `unwrap`/`expect`/`panic!` and slice indexing in non-test
 //!    code, compared against the committed `lint-baseline.toml`.
-//! 4. **Error-drop audit** (`error-drop`) — `let _ =` and statement-final
+//! 5. **Error-drop audit** (`error-drop`) — `let _ =` and statement-final
 //!    `.ok()` on the commit/recovery/vacuum paths.
 //!
 //! Individual sites are suppressed with a `// lint:allow(reason)` comment
@@ -29,6 +31,7 @@ pub mod rules {
     pub mod error_drop;
     pub mod lock_order;
     pub mod panic_ratchet;
+    pub mod session_layer;
     pub mod wal_discipline;
 }
 
@@ -79,6 +82,9 @@ pub struct Config {
     pub scan_dirs: Vec<PathBuf>,
     /// File-name suffixes allowed to write pages / truncate / open files.
     pub wal_allow: Vec<String>,
+    /// File-name suffixes allowed to call `BTree::open` (the session /
+    /// snapshot layer that owns root-page lifetimes).
+    pub btree_open_allow: Vec<String>,
     /// File-name suffixes audited by the error-drop rule (the
     /// commit/recovery/vacuum paths).
     pub error_drop_files: Vec<String>,
@@ -100,6 +106,7 @@ impl Config {
                 PathBuf::from("crates/fsck/src"),
             ],
             wal_allow: vec!["wal.rs".into(), "pager.rs".into(), "failpoint.rs".into()],
+            btree_open_allow: vec!["table.rs".into(), "btree.rs".into()],
             error_drop_files: vec![
                 "wal.rs".into(),
                 "pager.rs".into(),
@@ -123,6 +130,10 @@ impl Config {
 
     pub fn is_wal_allowed_file(&self, rel: &Path) -> bool {
         Self::name_matches(rel, &self.wal_allow)
+    }
+
+    pub fn is_btree_open_allowed_file(&self, rel: &Path) -> bool {
+        Self::name_matches(rel, &self.btree_open_allow)
     }
 
     pub fn is_error_drop_audited(&self, rel: &Path) -> bool {
@@ -164,6 +175,7 @@ pub fn run(cfg: &Config, update_baseline: bool) -> Result<Outcome, String> {
     let mut diagnostics = Vec::new();
 
     rules::wal_discipline::check(cfg, &files, &mut diagnostics);
+    rules::session_layer::check(cfg, &files, &mut diagnostics);
     rules::lock_order::check(cfg, &files, &mut diagnostics);
     rules::error_drop::check(cfg, &files, &mut diagnostics);
 

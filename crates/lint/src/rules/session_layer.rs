@@ -1,0 +1,56 @@
+//! Session-layer discipline: B-tree roots are opened only by the layers
+//! that own their lifetime.
+//!
+//! `BTree::open` wires a root page to the *shared* buffer pool with no
+//! versioning of its own. Since MVCC snapshots landed, correctness
+//! depends on every tree being reached through one of two doors:
+//!
+//! * [`Table`] — the live writer session, whose roots move only under
+//!   the catalog lock, or
+//! * a [`Snapshot`]'s frozen pool — where reads resolve through
+//!   `read_page_at` at the pinned commit LSN.
+//!
+//! A `BTree::open` anywhere else grabs a root out from under both doors:
+//! it can observe a root mid-split, read a page the writer has already
+//! overwritten, or hold a tree across a checkpoint fold. This rule flags
+//! every `BTree::open(` call site outside the allowlisted session-layer
+//! files (`table.rs`, plus `btree.rs` itself for its constructors);
+//! sanctioned exceptions carry a `// lint:allow(reason)` marker.
+
+use crate::model::SourceFile;
+use crate::{Config, Diagnostic};
+
+pub const RULE: &str = "session-layer";
+
+pub fn check(cfg: &Config, files: &[SourceFile], out: &mut Vec<Diagnostic>) {
+    for file in files {
+        if cfg.is_btree_open_allowed_file(&file.rel_path) {
+            continue;
+        }
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if file.token_in_test(i) {
+                continue;
+            }
+            let t = &toks[i];
+            if t.is_ident("BTree")
+                && toks.get(i + 1).is_some_and(|a| a.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|a| a.is_punct(':'))
+                && toks.get(i + 3).is_some_and(|a| a.is_ident("open"))
+                && toks.get(i + 4).is_some_and(|a| a.is_punct('('))
+            {
+                let line = toks[i + 3].line;
+                if !file.is_suppressed(line) {
+                    out.push(Diagnostic::new(
+                        &file.rel_path,
+                        line,
+                        RULE,
+                        "BTree::open outside the session layer bypasses MVCC: reach \
+                         trees through Table (live writer) or a Snapshot's frozen pool"
+                            .into(),
+                    ));
+                }
+            }
+        }
+    }
+}

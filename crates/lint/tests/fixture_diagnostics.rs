@@ -34,6 +34,7 @@ fn expected_sites() -> BTreeSet<(String, u32, String)> {
             if let Some(pos) = line.find("//~") {
                 const RULES: &[&str] = &[
                     "wal-discipline",
+                    "session-layer",
                     "lock-order",
                     "lock-across-io",
                     "panic-path",

@@ -1,0 +1,25 @@
+//! Seeded session-layer violations: `BTree::open` reached from outside
+//! the session/snapshot layer. Like the other fixtures this file is
+//! lexed by the lint, not compiled; the `//~` markers are the exact
+//! expected diagnostic set.
+
+pub fn rogue_tree(pool: &Pool, root: u64) {
+    let _t = BTree::open(pool.clone(), root); //~ session-layer
+}
+
+pub fn rogue_tree_via_path(pool: &Pool, root: u64) {
+    let _t = crate::btree::BTree::open(pool.clone(), root); //~ session-layer
+}
+
+pub fn sanctioned(pool: &Pool, root: u64) {
+    // lint:allow(fixture demo: root pinned by a Snapshot held for the
+    // lifetime of this tree, so the commit LSN cannot move under it)
+    let _t = BTree::open(pool.clone(), root);
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn test_only(pool: &super::Pool, root: u64) {
+        let _t = super::BTree::open(pool.clone(), root);
+    }
+}

@@ -199,6 +199,13 @@ impl BTree {
     /// to share them): open the same root twice and the two handles'
     /// cached `len`/`page_count` diverge on writes, so an opened tree must
     /// have at most one writing handle.
+    ///
+    /// This is a session-layer entry point: production code must reach a
+    /// tree through [`Table`](crate::table::Table) (the live writer
+    /// session) or through a [`Snapshot`](crate::catalog::Snapshot)'s
+    /// frozen pool — never by opening a root against the shared pool
+    /// directly, which would bypass the writer-vs-snapshot handle
+    /// discipline. `archis-lint`'s `session-layer` rule enforces this.
     pub fn open(pool: Arc<BufferPool>, root: PageId) -> Self {
         BTree {
             pool,

@@ -109,6 +109,15 @@ impl Database {
         if env_flag("ARCHIS_WRITEBACK") {
             pool.enable_writeback();
         }
+        Self::load_pool(pool)
+    }
+
+    /// Load the catalog and every table from an already-configured pool.
+    /// Shared by [`Database::open_pool`] (which first applies the env I/O
+    /// toggles) and [`Database::begin_snapshot`] (which must not: a
+    /// snapshot pool is read-only, so background writeback has nothing to
+    /// do there and would only error against the frozen pager).
+    fn load_pool(pool: Arc<BufferPool>) -> Result<Self> {
         let fresh = pool.pager().num_pages() == 0;
         if fresh {
             let catalog = HeapFile::create(pool.clone())?;
@@ -205,6 +214,43 @@ impl Database {
     /// The shared buffer pool (I/O statistics live here).
     pub fn pool(&self) -> &Arc<BufferPool> {
         &self.pool
+    }
+
+    /// Sequence number of the last sealed commit (0 on non-transactional
+    /// databases, which have no commit notion).
+    pub fn commit_lsn(&self) -> u64 {
+        self.pool.pager().commit_lsn()
+    }
+
+    /// Freeze a read-only [`Snapshot`] of the last durable commit.
+    ///
+    /// The WAL pager pins the current commit (forcing the pending
+    /// group-commit batch durable first, so the snapshot survives any
+    /// crash), and the snapshot gets its own private buffer pool over a
+    /// [`SnapshotPager`](crate::pager::SnapshotPager) — every read resolves
+    /// page images as of the pinned commit, so the returned database serves
+    /// a consistent catalog, table roots and data no matter what the live
+    /// writer commits, flushes or checkpoints concurrently. Works only on
+    /// transactional (WAL-backed) databases; the pin is released when the
+    /// snapshot drops.
+    pub fn begin_snapshot(&self) -> Result<Snapshot> {
+        let pager = self.pool.pager().clone();
+        let (commit_lsn, num_pages) = pager.pin_snapshot()?.ok_or_else(|| {
+            StoreError::Io("snapshots require a transactional (WAL-backed) database".into())
+        })?;
+        // From here the pin is owned by the SnapshotPager: any early
+        // return drops it, which releases the pin.
+        let snap = Arc::new(crate::pager::SnapshotPager::new(
+            pager, commit_lsn, num_pages,
+        ));
+        if num_pages == 0 {
+            return Err(StoreError::Io(
+                "cannot snapshot an empty store (nothing committed yet)".into(),
+            ));
+        }
+        let pool = Arc::new(BufferPool::new(snap, SNAPSHOT_POOL_PAGES));
+        let db = Self::load_pool(pool)?;
+        Ok(Snapshot { db, commit_lsn })
     }
 
     /// Create a table. `cluster_columns` is required for
@@ -312,6 +358,48 @@ impl Database {
 impl Default for Database {
     fn default() -> Self {
         Self::in_memory()
+    }
+}
+
+/// Buffer pool size for snapshot readers. Snapshots are typically
+/// short-lived query scopes, so the pool is modest; it only bounds cache
+/// residency, not what the snapshot can read.
+const SNAPSHOT_POOL_PAGES: usize = 512;
+
+/// A read-only view of a [`Database`] frozen at one durable commit.
+///
+/// Derefs to [`Database`], so every read API — `table(..)`, scans, index
+/// range queries, the executor — works unchanged, resolved against the
+/// pinned commit. The snapshot owns a private buffer pool; the live pool's
+/// frames, background writeback and prefetch never leak newer images into
+/// it. Mutating through a snapshot is a contract violation: writes land in
+/// cache but fail with [`StoreError::Io`] the moment they reach the frozen
+/// pager (commit on a snapshot is a no-op, since it is non-transactional).
+///
+/// Dropping the snapshot releases the WAL pin, letting the writer reclaim
+/// the retained page versions.
+pub struct Snapshot {
+    db: Database,
+    commit_lsn: u64,
+}
+
+impl Snapshot {
+    /// The commit this snapshot is frozen at.
+    pub fn commit_lsn(&self) -> u64 {
+        self.commit_lsn
+    }
+
+    /// The frozen database view.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+}
+
+impl std::ops::Deref for Snapshot {
+    type Target = Database;
+
+    fn deref(&self) -> &Database {
+        &self.db
     }
 }
 
@@ -508,5 +596,91 @@ mod tests {
             db.reachable_bytes().unwrap() % crate::page::PAGE_SIZE as u64,
             0
         );
+    }
+
+    fn wal_db() -> Database {
+        use crate::pager::MemPager;
+        use crate::wal::{MemLog, WalConfig, WalPager};
+        let base = Arc::new(MemPager::new());
+        let log = Arc::new(MemLog::new());
+        let pager = Arc::new(WalPager::open(base, log, WalConfig::with_group_commit(1)).unwrap());
+        Database::open_pool(Arc::new(BufferPool::new(pager, 256))).unwrap()
+    }
+
+    #[test]
+    fn snapshot_requires_transactional_store() {
+        let db = Database::in_memory();
+        assert!(db.begin_snapshot().is_err());
+    }
+
+    #[test]
+    fn snapshot_is_frozen_while_writer_advances() {
+        let db = wal_db();
+        let t = db
+            .create_table("t", schema(), StorageKind::Clustered, &["id"])
+            .unwrap();
+        t.insert(vec![Value::Int(1), Value::Str("a".into())])
+            .unwrap();
+        db.commit().unwrap();
+
+        let snap = db.begin_snapshot().unwrap();
+        let pinned = snap.commit_lsn();
+
+        // Writer keeps mutating: new rows, a new table, a checkpoint fold.
+        t.insert(vec![Value::Int(2), Value::Str("b".into())])
+            .unwrap();
+        db.commit().unwrap();
+        db.create_table("u", schema(), StorageKind::Heap, &[])
+            .unwrap();
+        db.commit().unwrap();
+        db.checkpoint().unwrap();
+
+        // The snapshot still sees exactly the pinned state: one table, one
+        // row — reads resolve through the version store, not the live pool.
+        assert_eq!(snap.table_names(), vec!["t".to_string()]);
+        let rows = snap.table("t").unwrap().scan().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::Int(1));
+        assert!(snap.table("u").is_err());
+        assert_eq!(snap.commit_lsn(), pinned);
+
+        // The live database sees everything.
+        assert_eq!(db.table("t").unwrap().scan().unwrap().len(), 2);
+        assert!(db.has_table("u"));
+        assert!(db.commit_lsn() > pinned);
+        drop(snap);
+        // Dropping the snapshot releases the pin (versions get pruned on
+        // the pager side; a later snapshot pins the newer state).
+        let snap2 = db.begin_snapshot().unwrap();
+        assert_eq!(snap2.table("t").unwrap().scan().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn snapshot_writes_never_reach_the_shared_store() {
+        let db = wal_db();
+        let t = db
+            .create_table("t", schema(), StorageKind::Heap, &[])
+            .unwrap();
+        t.insert(vec![Value::Int(1), Value::Str("a".into())])
+            .unwrap();
+        db.commit().unwrap();
+        let snap = db.begin_snapshot().unwrap();
+
+        // Anything needing a fresh page fails eagerly: the frozen pager
+        // refuses to allocate.
+        assert!(snap
+            .create_table("u", schema(), StorageKind::Heap, &[])
+            .is_err());
+
+        // A row squeezed into an existing page's free space only dirties
+        // the snapshot's *private* pool; it is invisible to the live store
+        // and to any later snapshot, and dies with the handle.
+        let frozen = snap.table("t").unwrap();
+        let _ = frozen.insert(vec![Value::Int(9), Value::Str("z".into())]);
+        assert_eq!(db.table("t").unwrap().scan().unwrap().len(), 1);
+        drop(snap);
+        let snap2 = db.begin_snapshot().unwrap();
+        assert_eq!(snap2.table("t").unwrap().scan().unwrap().len(), 1);
+        assert!(!snap2.has_table("u"));
     }
 }

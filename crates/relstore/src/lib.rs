@@ -66,7 +66,7 @@ pub mod wal;
 
 pub use btree::BTree;
 pub use buffer::{BufferPool, IoStats};
-pub use catalog::{Database, StorageKind};
+pub use catalog::{Database, Snapshot, StorageKind};
 pub use exec::{
     Executor, Filter, GroupAggregate, IndexRangeScan, Limit, NestedLoopJoin, Project, Row, SeqScan,
     Sort, SortMergeJoin,
@@ -75,7 +75,7 @@ pub use expr::{AggFunc, BinOp, Expr, ScalarFn, UnOp};
 pub use failpoint::{flip_bit_at, BitRot, FailLog, FailPager, Failpoints, FlippedBit};
 pub use heap::{HeapFile, RecordId};
 pub use page::{PageId, PAGE_SIZE};
-pub use pager::{FilePager, MemPager, PageFileLayout, Pager, PAGE_FORMAT_VERSION};
+pub use pager::{FilePager, MemPager, PageFileLayout, Pager, SnapshotPager, PAGE_FORMAT_VERSION};
 pub use table::{IndexDef, Table, TableCheck};
 pub use value::{
     decode_row, decode_row_into, encode_key, encode_row, DataType, Field, Schema, Value,

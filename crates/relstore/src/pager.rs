@@ -20,6 +20,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Something that can read, write and allocate fixed-size pages.
 ///
@@ -76,6 +77,43 @@ pub trait Pager: Send + Sync {
 
     /// Reset the page-checksum counters (see [`Pager::checksum_stats`]).
     fn reset_checksum_stats(&self) {}
+
+    /// Commit sequence number of the most recently sealed transaction.
+    ///
+    /// Monotonic within a process for transactional pagers; plain pagers
+    /// (which have no commit notion) report 0.
+    fn commit_lsn(&self) -> u64 {
+        0
+    }
+
+    /// Pin a read-only snapshot of the durable committed state.
+    ///
+    /// Transactional pagers return `Some((commit_lsn, num_pages))`: the
+    /// sequence number of the last committed transaction — forced durable
+    /// first, so the snapshot survives any crash — and the page count as
+    /// of that commit. Until [`Pager::unpin_snapshot`] releases the pin,
+    /// [`Pager::read_page_at`] with that LSN must keep returning the exact
+    /// committed page images, no matter what the writer commits, flushes
+    /// or checkpoints in the meantime. Non-transactional pagers return
+    /// `Ok(None)` (they overwrite pages in place; there is no committed
+    /// state to freeze).
+    fn pin_snapshot(&self) -> Result<Option<(u64, u64)>> {
+        Ok(None)
+    }
+
+    /// Release a pin taken by [`Pager::pin_snapshot`]. Must be called with
+    /// the same LSN; pins are refcounted per LSN.
+    fn unpin_snapshot(&self, _commit_lsn: u64) {}
+
+    /// Read page `id` as of pinned commit `commit_lsn`.
+    ///
+    /// Only meaningful between [`Pager::pin_snapshot`] and
+    /// [`Pager::unpin_snapshot`] for that LSN. The default falls back to
+    /// the current image (correct for pagers whose pages never change
+    /// after a pin — i.e. none; transactional pagers override this).
+    fn read_page_at(&self, id: PageId, _commit_lsn: u64, buf: &mut [u8]) -> Result<()> {
+        self.read_page(id, buf)
+    }
 }
 
 /// An in-memory pager: pages live in a `Vec`. The default for tests and
@@ -436,6 +474,92 @@ impl Pager for FilePager {
     fn reset_checksum_stats(&self) {
         self.crc_verified.store(0, Ordering::Relaxed);
         self.crc_failed.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A read-only view of another pager frozen at a pinned commit.
+///
+/// Built by `Database::begin_snapshot`: holds the pin taken via
+/// [`Pager::pin_snapshot`] and routes every read through
+/// [`Pager::read_page_at`] at the pinned LSN, so a buffer pool layered on
+/// top serves a consistent committed page image of the whole store — the
+/// catalog, every table root and every data page as of one commit — while
+/// the writer keeps mutating the underlying pager. The pin is released
+/// when the last clone of this pager drops.
+///
+/// Writes and allocations fail with [`StoreError::Io`]: a snapshot is a
+/// reader's world. `num_pages` is frozen at the pin-time committed page
+/// count, so pages allocated after the pin are unreachable by
+/// construction.
+pub struct SnapshotPager {
+    inner: Arc<dyn Pager>,
+    commit_lsn: u64,
+    num_pages: u64,
+}
+
+impl SnapshotPager {
+    /// Wrap `inner` at pinned commit `commit_lsn` with `num_pages` pages.
+    /// The caller must already hold the pin (via [`Pager::pin_snapshot`]);
+    /// this wrapper takes ownership of releasing it on drop.
+    pub fn new(inner: Arc<dyn Pager>, commit_lsn: u64, num_pages: u64) -> Self {
+        SnapshotPager {
+            inner,
+            commit_lsn,
+            num_pages,
+        }
+    }
+
+    /// The commit this snapshot is frozen at.
+    pub fn commit_lsn(&self) -> u64 {
+        self.commit_lsn
+    }
+}
+
+impl Pager for SnapshotPager {
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        if id >= self.num_pages {
+            return Err(StoreError::NotFound(format!(
+                "page {id} (allocated after snapshot commit {})",
+                self.commit_lsn
+            )));
+        }
+        self.inner.read_page_at(id, self.commit_lsn, buf)
+    }
+
+    fn write_page(&self, id: PageId, _buf: &[u8]) -> Result<()> {
+        Err(StoreError::Io(format!(
+            "write to page {id} on a read-only snapshot (commit {})",
+            self.commit_lsn
+        )))
+    }
+
+    fn allocate(&self) -> Result<PageId> {
+        Err(StoreError::Io(format!(
+            "allocation on a read-only snapshot (commit {})",
+            self.commit_lsn
+        )))
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.num_pages
+    }
+
+    fn commit_lsn(&self) -> u64 {
+        self.commit_lsn
+    }
+
+    fn checksum_stats(&self) -> (u64, u64) {
+        self.inner.checksum_stats()
+    }
+
+    fn reset_checksum_stats(&self) {
+        self.inner.reset_checksum_stats();
+    }
+}
+
+impl Drop for SnapshotPager {
+    fn drop(&mut self) {
+        self.inner.unpin_snapshot(self.commit_lsn);
     }
 }
 

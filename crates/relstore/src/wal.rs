@@ -36,12 +36,27 @@
 //! a bounded durability window: a crash mid-batch rolls back to the
 //! previous batch boundary, which is itself a commit boundary — the same
 //! trade DB2 exposes as `MINCOMMIT`.
+//!
+//! Snapshot isolation (MVCC): every commit seal bumps a monotonic
+//! `commit_lsn`, and [`Pager::pin_snapshot`] freezes the store at the
+//! current (forced-durable) commit. While any pin is live the pager
+//! retains superseded *committed* page images in per-page version chains,
+//! copy-on-write: the first uncommitted overwrite of a committed image
+//! pushes the pre-image (tagged with its commit LSN) onto the page's
+//! chain, and [`Pager::read_page_at`] serves the newest image at-or-below
+//! the snapshot LSN — from the page table if its committed image is old
+//! enough, else from the chain, else from the base file. Checkpoints
+//! preserve pinned history by capturing the pre-fold base image (and the
+//! folded image's LSN) into the chains before overwriting the base file.
+//! Chains are pruned on unpin and discarded wholesale at commit seals
+//! while no pin is live, so the writer pays one 4 KiB copy per
+//! first-dirtied committed page per transaction and nothing else.
 
 use crate::page::{PageId, PAGE_SIZE};
 use crate::pager::Pager;
 use crate::{Result, StoreError};
 use parking_lot::{Condvar, Mutex};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
@@ -697,6 +712,11 @@ impl Pipeline {
     }
 }
 
+/// One page's superseded committed images, oldest first: `(lsn, image)`
+/// where `lsn` is the commit that produced the image (0 = the pre-fold
+/// base captured at a checkpoint).
+type VersionChain = Vec<(u64, Box<[u8; PAGE_SIZE]>)>;
+
 struct WalState {
     /// Latest image of every page written since the last checkpoint
     /// (committed or not — in-process readers must see their own writes).
@@ -716,6 +736,24 @@ struct WalState {
     committed_num_pages: u64,
     /// Commits sealed into `batch` but not yet written + fsynced.
     pending_commits: usize,
+    /// Sequence number of the last sealed commit (monotonic per process;
+    /// starts at the number of commits replayed from the log on open).
+    commit_lsn: u64,
+    /// For each page in `table` whose image is committed: the LSN of the
+    /// commit that produced it. Entries for pages in `uncommitted` are
+    /// stale (they describe the overwritten committed image, which now
+    /// lives in `versions`).
+    page_lsn: HashMap<PageId, u64>,
+    /// Superseded committed images, oldest first: `(lsn, image)` where
+    /// `lsn` is the commit that produced the image (0 = the pre-fold base
+    /// image captured at a checkpoint). Populated copy-on-write by
+    /// `write_page` when an uncommitted write lands on a committed image;
+    /// cleared at every commit seal while `pinned` is empty, pruned to the
+    /// oldest live pin otherwise.
+    versions: HashMap<PageId, VersionChain>,
+    /// Live snapshot pins: commit LSN → refcount. Ordered so the pruning
+    /// logic can read the oldest pin in O(log n).
+    pinned: BTreeMap<u64, usize>,
     stats: WalStats,
 }
 
@@ -748,6 +786,7 @@ impl WalPager {
     pub fn open(base: Arc<dyn Pager>, log: Arc<dyn LogFile>, cfg: WalConfig) -> Result<Self> {
         let bytes = log.read_all()?;
         let mut table: HashMap<PageId, Box<[u8; PAGE_SIZE]>> = HashMap::new();
+        let mut page_lsn: HashMap<PageId, u64> = HashMap::new();
         let mut num_pages = base.num_pages();
         let mut info = RecoveryInfo {
             log_bytes: bytes.len() as u64,
@@ -805,6 +844,7 @@ impl WalPager {
                     info.pages_applied += staged.len() as u64;
                     for (id, img) in staged.drain(..) {
                         table.insert(id, img);
+                        page_lsn.insert(id, info.commits_applied);
                     }
                     num_pages = num_pages.max(page_id);
                 }
@@ -834,6 +874,10 @@ impl WalPager {
                 num_pages,
                 committed_num_pages: num_pages,
                 pending_commits: 0,
+                commit_lsn: info.commits_applied,
+                page_lsn,
+                versions: HashMap::new(),
+                pinned: BTreeMap::new(),
                 stats: WalStats::default(),
             }),
             recovery: info,
@@ -876,6 +920,48 @@ impl WalPager {
     /// Pages currently staged in the WAL page table.
     pub fn staged_pages(&self) -> usize {
         self.state.lock().table.len()
+    }
+
+    /// One-line MVCC state summary for a page (tests/debugging only).
+    #[doc(hidden)]
+    pub fn debug_page(&self, id: PageId) -> String {
+        let st = self.state.lock();
+        format!(
+            "page {id}: in_table={} page_lsn={:?} uncommitted={} chain={:?} commit_lsn={} committed_pages={} base_pages={} pins={:?}",
+            st.table.contains_key(&id),
+            st.page_lsn.get(&id),
+            st.uncommitted.contains(&id),
+            st.versions
+                .get(&id)
+                .map(|c| c.iter().map(|(l, img)| (*l, img[..4].to_vec())).collect::<Vec<_>>())
+                .unwrap_or_default(),
+            st.commit_lsn,
+            st.committed_num_pages,
+            self.base.num_pages(),
+            st.pinned,
+        )
+    }
+
+    /// Seal the in-flight transaction: bump the commit LSN, move its page
+    /// images into the group-commit batch (deduped — a page already in the
+    /// batch keeps only the newest committed image), stamp each page's
+    /// commit LSN and record the allocated page count. While no snapshot
+    /// is pinned the retained version chains are discarded here — future
+    /// pins can only be at this seal or later, so pre-images kept for the
+    /// window between seals are dead weight the moment the seal lands.
+    fn seal_commit(st: &mut WalState) {
+        st.commit_lsn += 1;
+        let lsn = st.commit_lsn;
+        for id in st.uncommitted.drain() {
+            st.batch.insert(id, st.table[&id].clone());
+            st.page_lsn.insert(id, lsn);
+        }
+        if st.pinned.is_empty() {
+            st.versions.clear();
+        }
+        st.committed_num_pages = st.num_pages;
+        st.stats.commits += 1;
+        st.pending_commits += 1;
     }
 
     /// Flush the sealed batch — deduped page images in page order, then
@@ -941,12 +1027,25 @@ impl Pager for WalPager {
     }
 
     fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()> {
-        let mut st = self.state.lock();
+        let st = &mut *self.state.lock();
         if id >= st.num_pages {
             return Err(StoreError::NotFound(format!("page {id}")));
         }
         match st.table.get_mut(&id) {
-            Some(img) => img.copy_from_slice(buf),
+            Some(img) => {
+                // Copy-on-write: the first uncommitted write over a
+                // committed image retains the pre-image on the page's
+                // version chain so pinned snapshots can keep reading it.
+                // Retention is unconditional — a snapshot may be pinned
+                // *after* this overwrite but before the commit seals, and
+                // it must still see the pre-image; chains are discarded at
+                // the next seal if nobody is pinned by then.
+                if !st.uncommitted.contains(&id) {
+                    let lsn = st.page_lsn.get(&id).copied().unwrap_or(0);
+                    st.versions.entry(id).or_default().push((lsn, img.clone()));
+                }
+                img.copy_from_slice(buf);
+            }
             None => {
                 let mut img = Box::new([0u8; PAGE_SIZE]);
                 img.copy_from_slice(buf);
@@ -982,14 +1081,7 @@ impl Pager for WalPager {
 
     fn commit(&self) -> Result<()> {
         let st = &mut *self.state.lock();
-        // Seal this transaction's images into the batch; a page already in
-        // the batch keeps only the newest committed image.
-        for id in st.uncommitted.drain() {
-            st.batch.insert(id, st.table[&id].clone());
-        }
-        st.committed_num_pages = st.num_pages;
-        st.stats.commits += 1;
-        st.pending_commits += 1;
+        Self::seal_commit(st);
         if st.pending_commits >= self.cfg.group_commit.max(1) {
             self.flush_batch(st)?;
         }
@@ -1001,12 +1093,7 @@ impl Pager for WalPager {
         // Seal whatever is in flight — a checkpoint is a commit point, so
         // images dirtied since the last commit go with it — and flush the
         // batch so the log is complete before the base file changes.
-        for id in st.uncommitted.drain() {
-            st.batch.insert(id, st.table[&id].clone());
-        }
-        st.committed_num_pages = st.num_pages;
-        st.stats.commits += 1;
-        st.pending_commits += 1;
+        Self::seal_commit(st);
         self.flush_batch(st)?;
         // WAL ordering: every commit record must be durable in the log
         // before the base file changes underneath it. The writer thread
@@ -1016,12 +1103,55 @@ impl Pager for WalPager {
             pipe.wait_durable()?;
         }
 
+        let mut ids: Vec<PageId> = st.table.keys().copied().collect();
+        ids.sort_unstable();
+
+        // Folding is about to overwrite the base file and clear the page
+        // table; pinned snapshots older than a page's folded image must
+        // keep reading history, so capture what the fold destroys into the
+        // version chains first:
+        //  * a pin older than everything retained for a page still needs
+        //    the pre-fold base image — push it at the chain front, tagged
+        //    LSN 0 ("before every in-log commit");
+        //  * once a page has a chain, the folded image's own LSN vanishes
+        //    with `page_lsn`, so append `(lsn, image)` at the chain tail —
+        //    otherwise a pin newer than the fold would wrongly pick an
+        //    older retained version instead of the folded state.
+        if !st.pinned.is_empty() {
+            if let Some(&min_pin) = st.pinned.keys().next() {
+                for &id in &ids {
+                    let lsn = st.page_lsn.get(&id).copied().unwrap_or(0);
+                    let chain_floor = st
+                        .versions
+                        .get(&id)
+                        .and_then(|c| c.first())
+                        .map(|(l, _)| *l);
+                    if min_pin < lsn && chain_floor.is_none_or(|l| l > min_pin) {
+                        // Pages past the base file were allocated since the
+                        // last fold and read as zeroes — which is exactly
+                        // their pre-fold image.
+                        let mut img = Box::new([0u8; PAGE_SIZE]);
+                        if id < self.base.num_pages() {
+                            // lint:allow(pre-fold capture must be atomic with the
+                            // fold below — dropping the state lock here would let
+                            // a pin read a half-captured version chain)
+                            self.base.read_page(id, &mut img[..])?;
+                        }
+                        st.versions.entry(id).or_default().insert(0, (0, img));
+                    }
+                    if let Some(chain) = st.versions.get_mut(&id) {
+                        if !chain.is_empty() {
+                            chain.push((lsn, st.table[&id].clone()));
+                        }
+                    }
+                }
+            }
+        }
+
         // Fold the page table into the base file in page order.
         while self.base.num_pages() < st.num_pages {
             self.base.allocate()?;
         }
-        let mut ids: Vec<PageId> = st.table.keys().copied().collect();
-        ids.sort_unstable();
         for id in ids {
             // lint:allow(checkpoint folds the page table into the base file; the
             // state lock must cover the whole fold or readers see a torn mix)
@@ -1035,6 +1165,7 @@ impl Pager for WalPager {
         st.stats.syncs += 1;
         st.stats.checkpoints += 1;
         st.table.clear();
+        st.page_lsn.clear();
         Ok(())
     }
 
@@ -1048,6 +1179,102 @@ impl Pager for WalPager {
 
     fn reset_checksum_stats(&self) {
         self.base.reset_checksum_stats();
+    }
+
+    fn commit_lsn(&self) -> u64 {
+        self.state.lock().commit_lsn
+    }
+
+    /// Pin the current commit for snapshot reads. The pending batch is
+    /// flushed and made durable first, so every snapshot handed out is a
+    /// state that survives any subsequent crash — recovery can only land
+    /// at or after it. Registration happens under the same state-lock
+    /// critical section, so there is no window in which the writer could
+    /// overwrite a committed image without retaining it for this pin.
+    fn pin_snapshot(&self) -> Result<Option<(u64, u64)>> {
+        let st = &mut *self.state.lock();
+        self.flush_batch(st)?;
+        // Pipelined mode: the flush only *submitted* the batch; wait for
+        // the writer thread's fsync. It takes only the pipe lock, never
+        // the WAL state lock, so waiting under the state lock is safe
+        // (same contract checkpoint relies on).
+        self.wait_durable()?;
+        let lsn = st.commit_lsn;
+        *st.pinned.entry(lsn).or_insert(0) += 1;
+        Ok(Some((lsn, st.committed_num_pages)))
+    }
+
+    fn unpin_snapshot(&self, commit_lsn: u64) {
+        let st = &mut *self.state.lock();
+        if let Some(n) = st.pinned.get_mut(&commit_lsn) {
+            *n -= 1;
+            if *n == 0 {
+                st.pinned.remove(&commit_lsn);
+            }
+        }
+        if st.pinned.is_empty() {
+            // With no pins left, retained history is dead weight — except
+            // for pages the in-flight transaction has already overwritten:
+            // their newest pre-image is still the *committed* image that
+            // the next pin (taken before the seal) must read, because the
+            // page-table slot holds uncommitted bytes. Dropping it would
+            // make those pages read as zeroes / stale base state.
+            let uncommitted = &st.uncommitted;
+            st.versions.retain(|id, chain| {
+                if !uncommitted.contains(id) {
+                    return false;
+                }
+                if chain.len() > 1 {
+                    chain.drain(..chain.len() - 1);
+                }
+                true
+            });
+            return;
+        }
+        // Prune each chain to what live pins can still reach: an entry is
+        // dead once a newer entry exists that is itself at-or-below the
+        // oldest pin (every pin would pick the newer one).
+        if let Some(&min_pin) = st.pinned.keys().next() {
+            st.versions.retain(|_, chain| {
+                let keep_from = chain.iter().rposition(|(l, _)| *l <= min_pin).unwrap_or(0);
+                chain.drain(..keep_from);
+                !chain.is_empty()
+            });
+        }
+    }
+
+    /// Serve page `id` as of pinned commit `lsn`: the page table if its
+    /// committed image is old enough, else the newest retained version
+    /// at-or-below the pin, else the base file (pre-fold state), else
+    /// zeroes for pages allocated-but-unwritten at the pin. Uncommitted
+    /// images are never served — their committed pre-image is on the
+    /// version chain (copy-on-write in `write_page`).
+    fn read_page_at(&self, id: PageId, lsn: u64, buf: &mut [u8]) -> Result<()> {
+        let st = self.state.lock();
+        if !st.uncommitted.contains(&id) {
+            if let Some(img) = st.table.get(&id) {
+                if st.page_lsn.get(&id).copied().unwrap_or(0) <= lsn {
+                    buf.copy_from_slice(&img[..]);
+                    return Ok(());
+                }
+            }
+        }
+        if let Some(chain) = st.versions.get(&id) {
+            if let Some((_, img)) = chain.iter().rev().find(|(l, _)| *l <= lsn) {
+                buf.copy_from_slice(&img[..]);
+                return Ok(());
+            }
+        }
+        if id < self.base.num_pages() {
+            // lint:allow(read-through to the base file under the state lock keeps
+            // the version chains and the base file mutually consistent)
+            return self.base.read_page(id, buf);
+        }
+        if id < st.num_pages {
+            buf.fill(0);
+            return Ok(());
+        }
+        Err(StoreError::NotFound(format!("page {id}")))
     }
 }
 
@@ -1471,5 +1698,205 @@ mod tests {
         let mut buf = [0u8; PAGE_SIZE];
         base.read_page(0, &mut buf).unwrap();
         assert_eq!(buf[0], 9);
+    }
+
+    fn page_at(pager: &WalPager, id: PageId, lsn: u64) -> u8 {
+        let mut buf = [0u8; PAGE_SIZE];
+        pager.read_page_at(id, lsn, &mut buf).unwrap();
+        buf[0]
+    }
+
+    #[test]
+    fn snapshot_reads_pinned_version_while_writer_commits() {
+        let (_base, _log, pager) = wal_over_mem(WalConfig::with_group_commit(1));
+        let id = pager.allocate().unwrap();
+        pager.write_page(id, &[1u8; PAGE_SIZE]).unwrap();
+        pager.commit().unwrap();
+
+        let (lsn, pages) = pager.pin_snapshot().unwrap().unwrap();
+        assert_eq!(lsn, 1);
+        assert_eq!(pages, 1);
+
+        // Writer keeps committing; the pinned view must not move.
+        for i in 2..6u8 {
+            pager.write_page(id, &[i; PAGE_SIZE]).unwrap();
+            pager.commit().unwrap();
+        }
+        assert_eq!(page_at(&pager, id, lsn), 1, "snapshot sees pinned image");
+        assert_eq!(pager.commit_lsn(), 5);
+        assert_eq!(page_at(&pager, id, pager.commit_lsn()), 5);
+
+        pager.unpin_snapshot(lsn);
+        // After the last pin drops, retained versions are released.
+        assert!(pager.state.lock().versions.is_empty());
+    }
+
+    #[test]
+    fn snapshot_never_sees_uncommitted_writes() {
+        let (_base, _log, pager) = wal_over_mem(WalConfig::with_group_commit(1));
+        let id = pager.allocate().unwrap();
+        pager.write_page(id, &[1u8; PAGE_SIZE]).unwrap();
+        pager.commit().unwrap();
+
+        let (lsn, _) = pager.pin_snapshot().unwrap().unwrap();
+        // Dirty but uncommitted overwrite: invisible at any snapshot.
+        pager.write_page(id, &[9u8; PAGE_SIZE]).unwrap();
+        assert_eq!(page_at(&pager, id, lsn), 1);
+        assert_eq!(page_at(&pager, id, pager.commit_lsn()), 1);
+        pager.commit().unwrap();
+        assert_eq!(page_at(&pager, id, lsn), 1);
+        assert_eq!(page_at(&pager, id, pager.commit_lsn()), 9);
+        pager.unpin_snapshot(lsn);
+    }
+
+    #[test]
+    fn snapshot_ignores_pages_allocated_after_pin() {
+        let (_base, _log, pager) = wal_over_mem(WalConfig::with_group_commit(1));
+        let a = pager.allocate().unwrap();
+        pager.write_page(a, &[1u8; PAGE_SIZE]).unwrap();
+        pager.commit().unwrap();
+
+        let (lsn, pages) = pager.pin_snapshot().unwrap().unwrap();
+        assert_eq!(pages, 1);
+        let b = pager.allocate().unwrap();
+        pager.write_page(b, &[7u8; PAGE_SIZE]).unwrap();
+        pager.commit().unwrap();
+        // The snapshot's frozen page count excludes b; the version store
+        // must also refuse to serve b's post-pin image at the pinned LSN.
+        let mut buf = [0u8; PAGE_SIZE];
+        assert!(matches!(
+            pager.read_page_at(b, lsn, &mut buf),
+            Ok(()) | Err(StoreError::NotFound(_))
+        ));
+        if pager.read_page_at(b, lsn, &mut buf).is_ok() {
+            // If served (page exists now), it must be the zero-fill, never
+            // the post-snapshot committed payload.
+            assert_eq!(buf[0], 0);
+        }
+        pager.unpin_snapshot(lsn);
+    }
+
+    #[test]
+    fn checkpoint_preserves_pinned_versions() {
+        let base = Arc::new(MemPager::new());
+        let log = Arc::new(MemLog::new());
+        let pager = WalPager::open(base.clone(), log, WalConfig::with_group_commit(1)).unwrap();
+        let id = pager.allocate().unwrap();
+        pager.write_page(id, &[1u8; PAGE_SIZE]).unwrap();
+        pager.commit().unwrap();
+
+        let (lsn, _) = pager.pin_snapshot().unwrap().unwrap();
+        pager.write_page(id, &[2u8; PAGE_SIZE]).unwrap();
+        pager.commit().unwrap();
+        // Fold into the base file while the pin is live: the pinned image
+        // must be captured into the version chain before the table clears.
+        pager.checkpoint().unwrap();
+        assert_eq!(base.num_pages(), 1);
+        assert_eq!(page_at(&pager, id, lsn), 1, "pin survives checkpoint");
+        assert_eq!(page_at(&pager, id, pager.commit_lsn()), 2);
+
+        // More commits after the fold still resolve correctly.
+        pager.write_page(id, &[3u8; PAGE_SIZE]).unwrap();
+        pager.commit().unwrap();
+        assert_eq!(page_at(&pager, id, lsn), 1);
+        assert_eq!(page_at(&pager, id, pager.commit_lsn()), 3);
+        pager.unpin_snapshot(lsn);
+        assert!(pager.state.lock().versions.is_empty());
+    }
+
+    #[test]
+    fn checkpoint_captures_pinned_zero_page_not_in_base() {
+        // A page allocated + committed as all-zeroes before the pin, then
+        // overwritten and folded: the pre-fold image (zeroes) is not in the
+        // base file, so Rule C must zero-fill the captured version.
+        let (_base, _log, pager) = wal_over_mem(WalConfig::with_group_commit(1));
+        let a = pager.allocate().unwrap();
+        pager.write_page(a, &[4u8; PAGE_SIZE]).unwrap();
+        let b = pager.allocate().unwrap();
+        pager.commit().unwrap();
+
+        let (lsn, pages) = pager.pin_snapshot().unwrap().unwrap();
+        assert_eq!(pages, 2);
+        pager.write_page(b, &[8u8; PAGE_SIZE]).unwrap();
+        pager.commit().unwrap();
+        pager.checkpoint().unwrap();
+        assert_eq!(page_at(&pager, b, lsn), 0, "pre-pin zero page preserved");
+        assert_eq!(page_at(&pager, b, pager.commit_lsn()), 8);
+        pager.unpin_snapshot(lsn);
+    }
+
+    #[test]
+    fn overlapping_pins_release_independently() {
+        let (_base, _log, pager) = wal_over_mem(WalConfig::with_group_commit(1));
+        let id = pager.allocate().unwrap();
+        pager.write_page(id, &[1u8; PAGE_SIZE]).unwrap();
+        pager.commit().unwrap();
+        let (s1, _) = pager.pin_snapshot().unwrap().unwrap();
+
+        pager.write_page(id, &[2u8; PAGE_SIZE]).unwrap();
+        pager.commit().unwrap();
+        let (s2, _) = pager.pin_snapshot().unwrap().unwrap();
+        assert!(s2 > s1);
+
+        pager.write_page(id, &[3u8; PAGE_SIZE]).unwrap();
+        pager.commit().unwrap();
+
+        assert_eq!(page_at(&pager, id, s1), 1);
+        assert_eq!(page_at(&pager, id, s2), 2);
+
+        // Releasing the older pin prunes history below s2 but keeps s2's.
+        pager.unpin_snapshot(s1);
+        assert_eq!(page_at(&pager, id, s2), 2);
+        pager.unpin_snapshot(s2);
+        assert!(pager.state.lock().versions.is_empty());
+    }
+
+    #[test]
+    fn unpin_keeps_preimages_of_uncommitted_pages_for_the_next_pin() {
+        // Regression: releasing the last pin used to drop *all* retained
+        // versions, including the pre-image of a page the in-flight
+        // transaction had already overwritten. A pin taken right after
+        // (same commit LSN — the seal hasn't landed) then read the page
+        // as zeroes instead of its committed image.
+        let (_base, _log, pager) = wal_over_mem(WalConfig::with_group_commit(1));
+        let id = pager.allocate().unwrap();
+        pager.write_page(id, &[7u8; PAGE_SIZE]).unwrap();
+        pager.commit().unwrap();
+
+        // Writer mid-transaction: overwrite pushes the committed pre-image.
+        pager.write_page(id, &[9u8; PAGE_SIZE]).unwrap();
+
+        // A reader pins and immediately releases while the write is in
+        // flight — this must not destroy the pre-image.
+        let (s1, _) = pager.pin_snapshot().unwrap().unwrap();
+        pager.unpin_snapshot(s1);
+
+        let (s2, _) = pager.pin_snapshot().unwrap().unwrap();
+        assert_eq!(s2, s1, "no seal happened in between");
+        assert_eq!(page_at(&pager, id, s2), 7, "committed image, not zeroes");
+        pager.unpin_snapshot(s2);
+
+        // Once the transaction seals, the retained pre-image is dead and
+        // the next full unpin clears it.
+        pager.commit().unwrap();
+        let (s3, _) = pager.pin_snapshot().unwrap().unwrap();
+        assert_eq!(page_at(&pager, id, s3), 9);
+        pager.unpin_snapshot(s3);
+        assert!(pager.state.lock().versions.is_empty());
+    }
+
+    #[test]
+    fn pin_snapshot_forces_durability() {
+        let (_base, log, pager) = wal_over_mem(WalConfig::with_group_commit(64));
+        let id = pager.allocate().unwrap();
+        pager.write_page(id, &[6u8; PAGE_SIZE]).unwrap();
+        pager.commit().unwrap();
+        // Group commit is holding the batch back; pinning must flush and
+        // fsync it so the returned LSN is crash-safe.
+        assert_eq!(log.sync_count(), 0);
+        let (lsn, _) = pager.pin_snapshot().unwrap().unwrap();
+        assert_eq!(lsn, 1);
+        assert!(log.sync_count() >= 1);
+        pager.unpin_snapshot(lsn);
     }
 }

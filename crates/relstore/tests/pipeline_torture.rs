@@ -409,3 +409,95 @@ fn writeback_quiesce_under_load_loses_nothing() {
     let k = assert_prefix_consistent_upto(&m, "quiesce under load", N);
     assert_eq!(k, N, "every committed row must survive");
 }
+
+/// MVCC × pipeline: snapshot readers pin commits while the writer runs
+/// with the overlapped WAL pipeline, background writeback, and prefetch
+/// all enabled over a deliberately tiny pool (evictions force mid-
+/// transaction `write_page` calls — the copy-on-write path). Each commit
+/// appends exactly one row, so every consistent view is a contiguous
+/// prefix: a reader that ever sees a gap caught a torn or uncommitted
+/// frame leaking through writeback or prefetch; a pinned view that
+/// changes between two scans caught post-snapshot data reaching a
+/// supposedly frozen page.
+#[test]
+fn background_services_never_leak_post_snapshot_state_into_pins() {
+    let m = media(77);
+    let pager = Arc::new(
+        WalPager::open(
+            m.base.clone(),
+            m.log.clone(),
+            WalConfig::with_group_commit(2).pipelined(true),
+        )
+        .unwrap(),
+    );
+    let pool = Arc::new(BufferPool::new(pager, 16));
+    pool.enable_writeback();
+    pool.enable_prefetch();
+    let db = Database::open_pool(pool).unwrap();
+    let t = db
+        .create_table("t", schema(), StorageKind::Heap, &[])
+        .unwrap();
+    db.commit().unwrap();
+
+    const N: i64 = 300;
+    let done = std::sync::atomic::AtomicBool::new(false);
+    let checks = std::sync::atomic::AtomicU64::new(0);
+    let dbr = &db;
+    let tr = &t;
+    let done = &done;
+    let checks = &checks;
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            s.spawn(move || {
+                while !done.load(std::sync::atomic::Ordering::Acquire) {
+                    let snap = dbr.begin_snapshot().expect("pin on healthy media");
+                    let read_prefix = || -> Vec<i64> {
+                        let mut ks: Vec<i64> = snap
+                            .database()
+                            .table("t")
+                            .unwrap()
+                            .scan()
+                            .unwrap()
+                            .into_iter()
+                            .map(|r| r[0].as_int().unwrap())
+                            .collect();
+                        ks.sort_unstable();
+                        ks
+                    };
+                    let first = read_prefix();
+                    for (i, k) in first.iter().enumerate() {
+                        assert_eq!(*k, i as i64, "snapshot saw a non-prefix row set: {first:?}");
+                    }
+                    // Re-scan through the same pin after the writer has
+                    // moved on: must be identical, byte for byte.
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                    assert_eq!(first, read_prefix(), "pinned view changed underneath us");
+                    checks.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    drop(snap);
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+            });
+        }
+        for i in 0..N {
+            tr.insert(vec![Value::Int(i), Value::Str(format!("v{i}"))])
+                .unwrap();
+            dbr.commit().unwrap();
+            if i == N / 2 {
+                dbr.checkpoint().unwrap();
+            }
+        }
+        done.store(true, std::sync::atomic::Ordering::Release);
+    });
+    assert!(
+        checks.load(std::sync::atomic::Ordering::Relaxed) >= 20,
+        "readers must have completed a meaningful number of checks"
+    );
+    // The full store still recovers cleanly afterwards. Tear the writer
+    // stack down first so its background threads are quiet before a
+    // fresh pager replays the same media.
+    db.checkpoint().unwrap();
+    drop(t);
+    drop(db);
+    let k = assert_prefix_consistent_upto(&m, "mvcc pipeline run", N);
+    assert_eq!(k, N);
+}

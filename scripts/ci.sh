@@ -52,6 +52,13 @@ echo "== failpoints torture: apply_all fsync-boundary sweep =="
 # must always land on a whole-batch state.
 cargo test -q --features failpoints --test batch_apply
 
+echo "== failpoints torture: MVCC snapshot-reader sweep =="
+# Writer-vs-snapshot-readers torture: the 1000-batch run, the 200-seed
+# sweep, crash-at-every-fsync with readers in flight, and the PR-5
+# degradation regressions. Every reader dump must be byte-identical to a
+# serial execution at its pinned commit LSN.
+cargo test -q --features failpoints --test mvcc_torture
+
 echo "== failpoints torture: 240-seed fsck bit-rot sweep =="
 # Seeded at-rest single-bit flips on a checkpointed archive: scrub must
 # detect every flip at the right page (zero silent wrong answers), and
@@ -76,6 +83,17 @@ if [[ "${CI_BENCH:-0}" != "0" ]]; then
     # ≥1.5x on the modeled cold device.
     pf=$(awk -F': ' '/prefetch_speedup/ { gsub(/[ ,]/, "", $2); print $2 }' BENCH_scan.json)
     awk -v s="$pf" 'BEGIN { if (s + 0 < 1.5) { print "prefetch speedup " s "x < 1.5x"; exit 1 } else { print "prefetch speedup " s "x >= 1.5x" } }'
+
+    echo "== bench: concurrent MVCC microbench =="
+    ./target/release/reproduce -e concurrent --runs 5
+    # Snapshot readers must not block the writer: ≤10% ingest overhead
+    # with 2 paced readers (measured against the idle-thread control, so
+    # single-core scheduler tax doesn't drown the MVCC signal), and more
+    # readers must increase snapshot-query throughput.
+    ov=$(awk -F': ' '/writer_overhead_pct_2r/ { gsub(/[ ,]/, "", $2); print $2 }' BENCH_concurrent.json)
+    awk -v s="$ov" 'BEGIN { if (s + 0 > 10.0) { print "2-reader writer overhead " s "% > 10%"; exit 1 } else { print "2-reader writer overhead " s "% <= 10%" } }'
+    sc=$(awk -F': ' '/reader_scaling_4r_over_2r/ { gsub(/[ ,]/, "", $2); print $2 }' BENCH_concurrent.json)
+    awk -v s="$sc" 'BEGIN { if (s + 0 < 1.2) { print "reader scaling " s "x < 1.2x"; exit 1 } else { print "reader scaling " s "x >= 1.2x" } }'
 fi
 
 echo "CI OK"
