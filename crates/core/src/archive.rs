@@ -31,10 +31,34 @@ use crate::htable::{self, LIVE_SEGNO};
 use crate::spec::RelationSpec;
 use crate::{ArchError, Result};
 use parking_lot::Mutex;
+use relstore::planner::{self, SegStat};
 use relstore::value::Value;
 use relstore::{Database, StorageKind};
 use std::collections::HashMap;
 use temporal::{Date, END_OF_TIME};
+
+/// Fold one row that just moved into archived segment `segno` of `tname`
+/// into that segment's statistics entry, keeping the exact fields (row
+/// count, live count, tstart/tend min-max) in sync with the data. Rows
+/// only move into archived segments on the rare same-day-as-archival
+/// close paths, so a read-modify-write per moved row is fine.
+fn absorb_into_stat(
+    db: &Database,
+    tname: &str,
+    segno: i64,
+    key: i64,
+    ts: Date,
+    te: Date,
+) -> Result<()> {
+    planner::ensure_stats_table(db)?;
+    let mut stat = planner::load_stats(db, tname)
+        .into_iter()
+        .find(|s| s.segno == segno)
+        .unwrap_or_else(|| SegStat::compute(tname, segno, &[]));
+    stat.absorb(key, ts, te);
+    planner::store_stat(db, &stat)?;
+    Ok(())
+}
 
 /// One tracked change to the current database.
 #[derive(Debug, Clone, PartialEq)]
@@ -561,6 +585,16 @@ impl Archiver {
                     s.nlive -= 1;
                     if seg != LIVE_SEGNO {
                         s.nall -= 1;
+                        if let Some(ts) = open[0][3].as_date() {
+                            absorb_into_stat(
+                                db,
+                                &htable::attr_table(&self.spec, attr),
+                                seg,
+                                key,
+                                ts,
+                                end,
+                            )?;
+                        }
                     }
                     // ... and open a new one unless the attribute was NULLed.
                     if !new_value.is_null() {
@@ -642,7 +676,8 @@ impl Archiver {
             };
             let seg_at = seg_of(at)?;
             let seg_pred = seg_of(at.pred())?;
-            let moved = std::cell::Cell::new(0u64);
+            let moved: std::cell::RefCell<Vec<(i64, Date, Date)>> =
+                std::cell::RefCell::new(Vec::new());
             let n = t.update_via_index(
                 &idx,
                 &[Value::Int(key)],
@@ -658,13 +693,18 @@ impl Archiver {
                     r[4] = Value::Date(end);
                     if seg != LIVE_SEGNO {
                         r[0] = Value::Int(seg);
-                        moved.set(moved.get() + 1);
+                        let ts = r[3].as_date().unwrap_or(end);
+                        moved.borrow_mut().push((seg, ts, end));
                     }
                 },
             )?;
+            let moved = moved.into_inner();
             let s = attr_state(&mut state, attr)?;
             s.nlive -= n as u64;
-            s.nall -= moved.get();
+            s.nall -= moved.len() as u64;
+            for (seg, ts, end) in moved {
+                absorb_into_stat(db, &tname, seg, key, ts, end)?;
+            }
         }
         Ok(())
     }
@@ -750,6 +790,14 @@ impl Archiver {
                 live_rows.push(row.clone());
             }
         }
+        // Fresh per-segment statistics for the cost-based planner, computed
+        // from the copies already in hand (no extra scan).
+        let stat_rows: Vec<(i64, Date, Date)> = copies
+            .iter()
+            .filter_map(|r| Some((r[1].as_int()?, r[3].as_date()?, r[4].as_date()?)))
+            .collect();
+        planner::ensure_stats_table(db)?;
+        planner::store_stat(db, &SegStat::compute(&tname, segno, &stat_rows))?;
         // Already id-sorted, so the batch path appends in tree order.
         t.insert_batch(copies)?;
         // 4. Replace the live segment with only the still-live tuples.
@@ -1238,6 +1286,64 @@ mod tests {
             .collect();
         assert_eq!(hit.len(), 1);
         assert_eq!(hit[0][2], Value::Int(70000));
+    }
+
+    #[test]
+    fn archival_records_segment_statistics() {
+        let (db, a) = setup(0.0);
+        a.apply(&db, &bob_insert()).unwrap();
+        a.apply(
+            &db,
+            &Change::Update {
+                relation: "employee".into(),
+                key: 1001,
+                changes: vec![("salary".into(), Value::Int(70000))],
+                at: d("1995-06-01"),
+            },
+        )
+        .unwrap();
+        a.force_archive(&db, d("1995-12-31")).unwrap();
+        let stats = planner::load_stats(&db, "employee_salary");
+        assert_eq!(stats.len(), 1, "one archived segment, one stats row");
+        let s = &stats[0];
+        assert_eq!(s.segno, 1);
+        assert_eq!(s.rows, 2, "both history rows were copied into segment 1");
+        assert_eq!(s.live, 1, "one open period carried into the copy");
+        assert_eq!(s.tsmin, d("1995-01-01"));
+        assert_eq!(s.tsmax, d("1995-06-01"));
+        assert_eq!(s.temax, END_OF_TIME);
+    }
+
+    #[test]
+    fn row_moves_into_archived_segment_update_its_statistics() {
+        // A close dated before the live segment's start moves the row into
+        // the covering archived segment; the stats row must track it so
+        // fsck's exact audit stays clean.
+        let (db, a) = setup(0.0);
+        a.apply(&db, &bob_insert()).unwrap();
+        a.force_archive(&db, d("1995-06-01")).unwrap();
+        // Same-day delete: at.pred() < live_start, so the closed rows land
+        // in segment 1.
+        a.apply(
+            &db,
+            &Change::Delete {
+                relation: "employee".into(),
+                key: 1001,
+                at: d("1995-06-02"),
+            },
+        )
+        .unwrap();
+        let stats = planner::load_stats(&db, "employee_salary");
+        assert_eq!(stats.len(), 1);
+        let s = &stats[0];
+        let rows = db.table("employee_salary").unwrap().scan().unwrap();
+        let in_seg1 = rows.iter().filter(|r| r[0] == Value::Int(1)).count() as i64;
+        let live_seg1 = rows
+            .iter()
+            .filter(|r| r[0] == Value::Int(1) && r[4] == Value::Date(END_OF_TIME))
+            .count() as i64;
+        assert_eq!(s.rows, in_seg1, "stats row count tracks the moved row");
+        assert_eq!(s.live, live_seg1);
     }
 
     #[test]

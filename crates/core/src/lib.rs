@@ -34,6 +34,7 @@
 pub mod archive;
 pub mod compressed;
 pub mod htable;
+pub mod planner;
 pub mod publish;
 pub mod queries;
 pub mod spec;
@@ -611,6 +612,9 @@ impl ArchIS {
         let store = CompressedStore::build(&self.db, &spec, archiver, self.config.block_size)?;
         let blocks = store.block_count();
         self.compressed.insert(relation.to_string(), store);
+        // Compression moved the archived rows into blocks; refresh the
+        // stats catalog so per-segment block counts are recorded.
+        self.recompute_stats(relation)?;
         self.txn_commit()?;
         Ok(blocks)
     }
@@ -666,8 +670,93 @@ impl ArchIS {
         for t in tables {
             self.db.vacuum_table(&t)?;
         }
+        // Vacuum rewrote the physical layout; rebuild the stats catalog
+        // from the data so estimates stay exact.
+        self.recompute_stats(relation)?;
         self.txn_commit()?;
         Ok(())
+    }
+
+    /// Recompute the per-segment statistics catalog of a relation's
+    /// attribute tables from the data itself — uncompressed archived rows
+    /// plus the rows of BlockZIP-compressed segments — including
+    /// compressed-block counts per segment. Called after vacuum and
+    /// compression, and by `archis-fsck` repair when the catalog drifts.
+    pub fn recompute_stats(&self, relation: &str) -> Result<()> {
+        use relstore::planner;
+        let spec = self.relation(relation)?.clone();
+        planner::ensure_stats_table(&self.db)?;
+        for (attr, _) in &spec.attrs {
+            let tname = htable::attr_table(&spec, attr);
+            planner::clear_stats(&self.db, &tname)?;
+            for stat in self.expected_stats(relation, attr)? {
+                planner::store_stat(&self.db, &stat)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// What the statistics catalog *should* contain for one attribute's
+    /// H-table, computed from the data itself — uncompressed archived rows
+    /// plus the rows of BlockZIP-compressed segments — ordered by segment
+    /// number. [`ArchIS::recompute_stats`] persists exactly this;
+    /// `archis-fsck check` compares the stored catalog against it.
+    pub fn expected_stats(&self, relation: &str, attr: &str) -> Result<Vec<relstore::SegStat>> {
+        let spec = self.relation(relation)?;
+        let tname = htable::attr_table(spec, attr);
+        let mut by_seg: HashMap<i64, Vec<(i64, Date, Date)>> = HashMap::new();
+        for r in self.db.table(&tname)?.scan()? {
+            let (Some(segno), Some(key), Some(ts), Some(te)) =
+                (r[0].as_int(), r[1].as_int(), r[3].as_date(), r[4].as_date())
+            else {
+                continue;
+            };
+            if segno == htable::LIVE_SEGNO {
+                continue;
+            }
+            by_seg.entry(segno).or_default().push((key, ts, te));
+        }
+        // Compressed segments: their raw rows were removed from the
+        // attribute table, so source them from the block store. A
+        // segment can contribute from both sides (a same-day close
+        // after compression moves a row into the table copy of an
+        // otherwise-compressed segment); the sources are disjoint.
+        let mut blocks: HashMap<i64, i64> = HashMap::new();
+        if let Some(store) = self.compressed.get(relation) {
+            for (segno, lo, hi) in store.segment_ranges(attr)? {
+                blocks.insert(segno, (hi as i64) - (lo as i64) + 1);
+                let entry = by_seg.entry(segno).or_default();
+                for r in store.scan_segment(&self.db, attr, segno)? {
+                    let (Some(key), Some(ts), Some(te)) =
+                        (r[1].as_int(), r[3].as_date(), r[4].as_date())
+                    else {
+                        continue;
+                    };
+                    entry.push((key, ts, te));
+                }
+            }
+        }
+        let mut out: Vec<relstore::SegStat> = by_seg
+            .into_iter()
+            .map(|(segno, rows)| {
+                let mut stat = relstore::SegStat::compute(&tname, segno, &rows);
+                stat.blocks = blocks.get(&segno).copied().unwrap_or(0);
+                stat
+            })
+            .collect();
+        out.sort_by_key(|s| s.segno);
+        Ok(out)
+    }
+
+    /// The planner's per-segment statistics rows for one attribute's
+    /// H-table, ordered by segment number (empty until something is
+    /// archived).
+    pub fn segment_stats(&self, relation: &str, attr: &str) -> Result<Vec<relstore::SegStat>> {
+        let spec = self.relation(relation)?;
+        Ok(relstore::planner::load_stats(
+            &self.db,
+            &htable::attr_table(spec, attr),
+        ))
     }
 
     /// Per-attribute segment catalog accessor (used by benches and the

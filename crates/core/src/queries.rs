@@ -17,11 +17,11 @@
 //! is the hand-optimized single-scan aggregate the paper mentions).
 
 use crate::compressed::CompressedStore;
-use crate::htable::LIVE_SEGNO;
+use crate::planner::{self, SegAccess, SegmentPlan};
 use crate::{ArchIS, Result};
 use relstore::value::Value;
 use std::collections::{HashMap, HashSet};
-use temporal::{Date, Interval, END_OF_TIME};
+use temporal::{Date, Interval};
 
 /// Q1: the salary of employee `id` on `date`.
 pub fn q1_xquery(id: i64, date: Date) -> String {
@@ -90,19 +90,44 @@ fn decode_salary_row(row: &[Value]) -> Option<(i64, i64, Interval)> {
     Some((id, sal, iv))
 }
 
+/// Fetch the rows a [`SegmentPlan`] selects: probe or scan each archived
+/// segment, then the live segment. The key filter is re-applied to every
+/// access path so forced paths return byte-identical row sets.
+fn rows_for_plan(
+    archis: &ArchIS,
+    store: &CompressedStore,
+    attr: &str,
+    plan: &SegmentPlan,
+    key: Option<i64>,
+) -> Result<Vec<Vec<Value>>> {
+    let db = archis.database();
+    let mut out = Vec::new();
+    for &segno in &plan.segnos {
+        let rows = match (plan.access, key) {
+            (SegAccess::Probe, Some(k)) => store.lookup(db, attr, segno, k)?,
+            _ => store.scan_segment(db, attr, segno)?,
+        };
+        out.extend(rows);
+    }
+    if plan.live {
+        out.extend(store.live_rows(db, attr)?);
+    }
+    if let Some(k) = key {
+        out.retain(|r| r[1] == Value::Int(k));
+    }
+    Ok(out)
+}
+
 /// Rows of the salary attribute valid on `date`: one segment's blocks (or
-/// the live segment) only.
+/// the live segment) only — possibly none at all when the statistics
+/// prove the covering segment holds no row alive on `date`.
 fn salary_rows_at(
     archis: &ArchIS,
     store: &CompressedStore,
     date: Date,
 ) -> Result<Vec<(i64, i64, Interval)>> {
-    let segs = archis.segments_of("employee", "salary")?;
-    let db = archis.database();
-    let rows = match CompressedStore::covering_segment(&segs, date) {
-        Some(segno) => store.scan_segment(db, "salary", segno)?,
-        None => store.live_rows(db, "salary")?,
-    };
+    let plan = planner::plan_snapshot(archis, "employee", "salary", date, None)?;
+    let rows = rows_for_plan(archis, store, "salary", &plan, None)?;
     Ok(rows
         .iter()
         .filter_map(|r| decode_salary_row(r))
@@ -117,16 +142,8 @@ pub fn q1_compressed(
     id: i64,
     date: Date,
 ) -> Result<Option<i64>> {
-    let segs = archis.segments_of("employee", "salary")?;
-    let db = archis.database();
-    let rows = match CompressedStore::covering_segment(&segs, date) {
-        Some(segno) => store.lookup(db, "salary", segno, id)?,
-        None => store
-            .live_rows(db, "salary")?
-            .into_iter()
-            .filter(|r| r[1] == Value::Int(id))
-            .collect(),
-    };
+    let plan = planner::plan_snapshot(archis, "employee", "salary", date, Some(id))?;
+    let rows = rows_for_plan(archis, store, "salary", &plan, Some(id))?;
     Ok(rows
         .iter()
         .filter_map(|r| decode_salary_row(r))
@@ -150,23 +167,9 @@ pub fn q3_compressed(
     store: &CompressedStore,
     id: i64,
 ) -> Result<Vec<(i64, Interval)>> {
-    let segs = archis.segments_of("employee", "salary")?;
-    let db = archis.database();
+    let plan = planner::plan_history(archis, "employee", "salary", Some(id))?;
     let mut dedup: HashMap<Date, (i64, Date)> = HashMap::new();
-    for seg in segs.iter().filter(|s| s.segno != LIVE_SEGNO) {
-        for row in store.lookup(db, "salary", seg.segno, id)? {
-            if let Some((_, sal, iv)) = decode_salary_row(&row) {
-                let e = dedup.entry(iv.start()).or_insert((sal, iv.end()));
-                if iv.end() < e.1 {
-                    *e = (sal, iv.end());
-                }
-            }
-        }
-    }
-    for row in store.live_rows(db, "salary")? {
-        if row[1] != Value::Int(id) {
-            continue;
-        }
+    for row in rows_for_plan(archis, store, "salary", &plan, Some(id))? {
         if let Some((_, sal, iv)) = decode_salary_row(&row) {
             let e = dedup.entry(iv.start()).or_insert((sal, iv.end()));
             if iv.end() < e.1 {
@@ -188,12 +191,17 @@ fn all_salary_periods(
     store: &CompressedStore,
 ) -> Result<Vec<(i64, i64, Interval)>> {
     let db = archis.database();
+    // The plan always selects every archived segment (an unbounded
+    // history cannot be pruned); `scan_all` reads the identical block
+    // range in one pass instead of per-segment.
+    let plan = planner::plan_history(archis, "employee", "salary", None)?;
+    let live = if plan.live {
+        store.live_rows(db, "salary")?
+    } else {
+        Vec::new()
+    };
     let mut dedup: HashMap<(i64, Date), (i64, Date)> = HashMap::new();
-    for row in store
-        .scan_all(db, "salary")?
-        .iter()
-        .chain(store.live_rows(db, "salary")?.iter())
-    {
+    for row in store.scan_all(db, "salary")?.iter().chain(live.iter()) {
         if let Some((id, sal, iv)) = decode_salary_row(row) {
             let e = dedup.entry((id, iv.start())).or_insert((sal, iv.end()));
             if iv.end() < e.1 {
@@ -223,7 +231,10 @@ pub fn q5_compressed(
     d2: Date,
 ) -> Result<usize> {
     let window = Interval::new(d1, d2).map_err(|e| crate::ArchError::BadUpdate(e.to_string()))?;
-    let segs = archis.segments_of("employee", "salary")?;
+    // Which segments to decompress — and whether the live segment can
+    // contribute at all — is the planner's call (stats-pruned unless
+    // `ARCHIS_FORCE_PATH=rule`).
+    let plan = planner::plan_window(archis, "employee", "salary", d1, d2)?;
     let db = archis.database();
     let mut ids: HashSet<i64> = HashSet::new();
     let mut consider = |rows: Vec<Vec<Value>>| {
@@ -235,18 +246,13 @@ pub fn q5_compressed(
             }
         }
     };
-    let overlapping: Vec<i64> = segs
-        .iter()
-        .filter(|s| s.segno != LIVE_SEGNO && s.start <= d2 && s.end >= d1)
-        .map(|s| s.segno)
-        .collect();
-    let touched_archive = !overlapping.is_empty();
-    // Segments are independent blobs, so overlapping ones can be unzipped
+    // Segments are independent blobs, so selected ones can be unzipped
     // and scanned concurrently; folding the per-segment row sets in segno
     // order keeps the result identical to the sequential loop.
-    if overlapping.len() >= 2 && relstore::parallel::parallel_scans_enabled() {
+    if plan.segnos.len() >= 2 && relstore::parallel::parallel_scans_enabled() {
         let scans: Vec<Result<Vec<Vec<Value>>>> = crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = overlapping
+            let handles: Vec<_> = plan
+                .segnos
                 .iter()
                 .map(|&segno| s.spawn(move |_| store.scan_segment(db, "salary", segno)))
                 .collect();
@@ -260,14 +266,11 @@ pub fn q5_compressed(
             consider(rows?);
         }
     } else {
-        for segno in overlapping {
+        for &segno in &plan.segnos {
             consider(store.scan_segment(db, "salary", segno)?);
         }
     }
-    // The live segment matters when the window reaches past the last
-    // archived segment (or nothing is archived).
-    let live_start = segs.last().map(|s| s.start).unwrap_or(END_OF_TIME);
-    if d2 >= live_start || !touched_archive {
+    if plan.live {
         consider(store.live_rows(db, "salary")?);
     }
     Ok(ids.len())

@@ -39,6 +39,7 @@ use crate::archive::SegmentInfo;
 use crate::htable::{self, LIVE_SEGNO};
 use crate::spec::RelationSpec;
 use crate::{ArchError, ArchIS, Result};
+use relstore::planner;
 use temporal::{Date, END_OF_TIME};
 use xquery::ast::{Binding, CmpOp, DirectContent, Expr, Step};
 
@@ -938,6 +939,28 @@ impl<'a> Translator<'a> {
                 .filter(|s| s.start <= hi && s.end >= lo)
                 .map(|s| s.segno)
                 .collect();
+            // Statistics-based pruning: a segment's *interval* only says
+            // the window may overlap; the stats catalog records the actual
+            // tstart/tend extremes of the rows stored there. Segments whose
+            // stats prove no row can match (`tsmin > hi` or `temax < lo`)
+            // are dropped before any I/O. The extremes are maintained
+            // exactly (recomputed at archival, absorbed on row moves), so
+            // the rewrite is loss-free. `ARCHIS_FORCE_PATH=rule` bypasses
+            // it to reproduce the pre-stats behavior end to end.
+            let covering: Vec<i64> = if planner::forced_path() == Some(planner::ForcedPath::Rule) {
+                covering
+            } else {
+                let stats = self.archis.segment_stats(&relation, &attr)?;
+                covering
+                    .into_iter()
+                    .filter(|segno| {
+                        stats
+                            .iter()
+                            .find(|s| s.segno == *segno)
+                            .is_none_or(|s| s.overlap_fraction(lo, hi) > 0.0)
+                    })
+                    .collect()
+            };
             let live_start = segs.last().map(|s| s.start).unwrap_or(END_OF_TIME);
             let needs_live = hi >= live_start;
             match (covering.as_slice(), needs_live) {
@@ -1219,6 +1242,38 @@ mod tests {
         );
         let out = a.execute_sql(&sql).unwrap().xml_fragments().join("");
         assert!(out.contains("60000") && out.contains("80000"), "{out}");
+    }
+
+    #[test]
+    fn stats_prune_snapshot_into_dead_era() {
+        // All history closed by 1995-12-31, archived into segment 1 whose
+        // *interval* stretches to 1997-12-31. A snapshot inside the dead
+        // era is interval-covered but statistics-pruned: no row in the
+        // segment can match, so the translator emits the empty-fast
+        // `segno = -1` restriction instead of scanning segment 1.
+        let a = archis();
+        a.delete("employee", 1001, d("1996-01-01")).unwrap();
+        a.delete("employee", 1002, d("1996-01-01")).unwrap();
+        a.force_archive("employee", d("1997-12-31")).unwrap();
+        let q = r#"for $s in doc("employees.xml")/employees/employee/salary
+                       [tstart(.) <= xs:date("1997-06-01") and tend(.) >= xs:date("1997-06-01")]
+                   return $s"#;
+        let sql = a.translate(q).unwrap();
+        assert!(sql.contains(".segno = -1"), "stats must prune: {sql}");
+        assert!(
+            a.execute_sql(&sql).unwrap().xml_fragments().is_empty(),
+            "nothing was alive in the dead era"
+        );
+        // Rule mode reproduces the pre-stats translation: interval-covered
+        // segment 1 is scanned.
+        planner::set_forced_path(Some(planner::ForcedPath::Rule));
+        let sql_rule = a.translate(q).unwrap();
+        planner::set_forced_path(None);
+        assert!(sql_rule.contains(".segno = 1"), "{sql_rule}");
+        assert!(
+            a.execute_sql(&sql_rule).unwrap().xml_fragments().is_empty(),
+            "same (empty) answer either way"
+        );
     }
 
     #[test]

@@ -8,11 +8,13 @@
 //!   when the catalog itself is damaged.
 //! * **check** — scrub plus a full structural audit: open the database
 //!   (replaying any WAL tail), walk the catalog, every table's base
-//!   storage, every secondary index, the cached row counters, the ArchIS
-//!   archiver invariants (paper §6.1), and decode every compressed block.
+//!   storage, every secondary index, the cached row counters, the
+//!   planner's per-segment statistics catalog, the ArchIS archiver
+//!   invariants (paper §6.1), and decode every compressed block.
 //! * **repair** — check, then fix everything *derived*: corrupt secondary
 //!   indexes are rebuilt from base storage with a bottom-up bulk load,
-//!   diverged row counters are recounted, and — once every structure
+//!   diverged row counters are recounted, drifted segment statistics are
+//!   recomputed from the data, and — once every structure
 //!   verifies clean — orphaned corrupt pages (damage stranded outside any
 //!   live structure, e.g. the old pages of a rebuilt index) are zeroed and
 //!   restamped so a follow-up scrub comes back clean. Base-storage and
@@ -64,7 +66,7 @@ pub struct Finding {
     /// Page the finding is anchored to, when page-addressed.
     pub page: Option<PageId>,
     /// Finding class: `checksum`, `format`, `catalog`, `base`, `index`,
-    /// `counter`, `invariant`, or `block`.
+    /// `counter`, `invariant`, `stats`, or `block`.
     pub kind: &'static str,
     /// Human-readable description.
     pub message: String,
@@ -232,8 +234,82 @@ fn structural_check(path: &Path) -> Result<Vec<Finding>> {
         }
     };
     findings.extend(audit_tables(&archis).into_iter().map(|(f, _)| f));
+    findings.extend(audit_stats(&archis).into_iter().map(|(f, _)| f));
     findings.extend(audit_archis(&archis));
     Ok(findings)
+}
+
+/// Statistics-catalog audit: the planner's per-segment stats must agree
+/// with the data they summarize. Only the *exact* fields are compared —
+/// row count, live/dead split, and the four `tstart`/`tend` extremes;
+/// `distinct_keys` and the histogram are estimates by design and drift
+/// legitimately between recomputes. A wrong stat never corrupts answers
+/// (the equivalence suite holds regardless) but silently degrades pruning
+/// and costing, so it is a first-class finding with a derivable repair:
+/// recompute the relation's catalog from the data.
+fn audit_stats(archis: &ArchIS) -> Vec<(Finding, Option<Repair>)> {
+    let mut out = Vec::new();
+    for spec in archis.relations() {
+        let mut drifted = Vec::new();
+        for (attr, _) in &spec.attrs {
+            let stored = match archis.segment_stats(&spec.name, attr) {
+                Ok(s) => s,
+                Err(e) => {
+                    drifted.push(format!("attribute {attr}: cannot load stats: {e}"));
+                    continue;
+                }
+            };
+            let expected = match archis.expected_stats(&spec.name, attr) {
+                Ok(s) => s,
+                Err(e) => {
+                    drifted.push(format!("attribute {attr}: cannot recompute stats: {e}"));
+                    continue;
+                }
+            };
+            for want in &expected {
+                match stored.iter().find(|s| s.segno == want.segno) {
+                    None => drifted.push(format!(
+                        "attribute {attr}: segment {} has {} rows but no stats entry",
+                        want.segno, want.rows
+                    )),
+                    Some(got) => {
+                        let fields = [
+                            ("rows", got.rows.to_string(), want.rows.to_string()),
+                            ("live", got.live.to_string(), want.live.to_string()),
+                            ("tsmin", got.tsmin.to_string(), want.tsmin.to_string()),
+                            ("tsmax", got.tsmax.to_string(), want.tsmax.to_string()),
+                            ("temin", got.temin.to_string(), want.temin.to_string()),
+                            ("temax", got.temax.to_string(), want.temax.to_string()),
+                            ("blocks", got.blocks.to_string(), want.blocks.to_string()),
+                        ];
+                        for (field, g, w) in fields {
+                            if g != w {
+                                drifted.push(format!(
+                                    "attribute {attr}: segment {}: {field} is {g}, data says {w}",
+                                    want.segno
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            for got in &stored {
+                if !expected.iter().any(|s| s.segno == got.segno) {
+                    drifted.push(format!(
+                        "attribute {attr}: stats entry for segment {} but the segment holds no rows",
+                        got.segno
+                    ));
+                }
+            }
+        }
+        for why in drifted {
+            out.push((
+                Finding::global("stats", format!("relation {}: {why}", spec.name)),
+                Some(Repair::RecomputeStats(spec.name.clone())),
+            ));
+        }
+    }
+    out
 }
 
 /// Per-table findings, each paired with the repair that would fix it (or
@@ -316,6 +392,7 @@ fn audit_archis(archis: &ArchIS) -> Vec<Finding> {
 enum Repair {
     RebuildIndex(String, String),
     Recount(String),
+    RecomputeStats(String),
 }
 
 /// Check, then repair everything derivable from base storage; findings
@@ -355,6 +432,28 @@ pub fn repair(path: impl AsRef<Path>) -> Result<Outcome> {
                         }
                     }
                     None => findings.push(finding),
+                    Some(Repair::RecomputeStats(_)) => unreachable!("table audit"),
+                }
+            }
+            // Stats drift: one recompute per affected relation fixes every
+            // drifted attribute/segment at once.
+            let mut recomputed = std::collections::HashSet::new();
+            for (finding, repair) in audit_stats(&archis) {
+                let Some(Repair::RecomputeStats(relation)) = repair else {
+                    findings.push(finding);
+                    continue;
+                };
+                if !recomputed.insert(relation.clone()) {
+                    continue;
+                }
+                match archis.recompute_stats(&relation) {
+                    Ok(()) => repairs.push(format!(
+                        "relation {relation}: statistics catalog recomputed from data"
+                    )),
+                    Err(e) => findings.push(Finding::global(
+                        "stats",
+                        format!("relation {relation}: stats recompute failed: {e}"),
+                    )),
                 }
             }
             findings.extend(audit_archis(&archis));
@@ -373,7 +472,9 @@ pub fn repair(path: impl AsRef<Path>) -> Result<Outcome> {
     if findings.is_empty() {
         let verified_clean = match open_archis(path) {
             Ok(archis) => {
-                let clean = audit_tables(&archis).is_empty() && audit_archis(&archis).is_empty();
+                let clean = audit_tables(&archis).is_empty()
+                    && audit_stats(&archis).is_empty()
+                    && audit_archis(&archis).is_empty();
                 if !clean {
                     findings.push(Finding::global(
                         "catalog",

@@ -11,9 +11,11 @@ fn usage() -> ExitCode {
     eprintln!();
     eprintln!("  scrub   verify every page checksum (raw media pass)");
     eprintln!("  check   scrub + full structural audit (catalog, heaps,");
-    eprintln!("          b+trees, counters, archiver invariants, blocks)");
-    eprintln!("  repair  check, then rebuild corrupt indexes / counters");
-    eprintln!("          from base storage and clean orphaned pages");
+    eprintln!("          b+trees, counters, segment statistics, archiver");
+    eprintln!("          invariants, blocks)");
+    eprintln!("  repair  check, then rebuild corrupt indexes / counters /");
+    eprintln!("          segment stats from base storage and clean");
+    eprintln!("          orphaned pages");
     ExitCode::from(2)
 }
 

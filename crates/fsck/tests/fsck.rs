@@ -246,3 +246,152 @@ fn corrupt_index_degrades_consistently_under_concurrent_readers() {
     });
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Stats-catalog drift: tamper with the planner's per-segment statistics
+/// (wrong row count, narrowed `tend` extreme — the kind of drift that
+/// would make pruning *unsound*), and fsck must classify it as a `stats`
+/// finding, repair it by recomputing from the data, and check clean after.
+#[test]
+fn stats_catalog_drift_is_detected_and_recomputed() {
+    use archis::{ArchConfig, ArchIS, RelationSpec};
+    use temporal::Date;
+    let d = |s: &str| Date::parse(s).unwrap();
+    let dir = tmpdir("statsdrift");
+    let path = dir.join("db.pages");
+    {
+        let mut a = ArchIS::open_file(&path, ArchConfig::default()).unwrap();
+        a.create_relation(RelationSpec::employee()).unwrap();
+        for id in 1..=10i64 {
+            a.insert(
+                "employee",
+                id,
+                vec![
+                    ("name".into(), Value::Str(format!("emp-{id}"))),
+                    ("salary".into(), Value::Int(50_000 + id)),
+                    ("title".into(), Value::Str("Engineer".into())),
+                    ("deptno".into(), Value::Str("d01".into())),
+                ],
+                d("1995-01-01"),
+            )
+            .unwrap();
+            a.update(
+                "employee",
+                id,
+                vec![("salary".into(), Value::Int(60_000 + id))],
+                d("1995-06-01"),
+            )
+            .unwrap();
+        }
+        a.force_archive("employee", d("1995-12-31")).unwrap();
+        a.checkpoint().unwrap();
+    }
+    assert_eq!(
+        archis_fsck::check(&path).unwrap().exit_code(),
+        0,
+        "fixture checks clean before tampering"
+    );
+
+    // Tamper: shrink the row count and clip temax below the real maximum
+    // (an unsound extreme would let the planner prune a live segment).
+    {
+        let a = ArchIS::open_file(&path, ArchConfig::default()).unwrap();
+        let mut stat = a.segment_stats("employee", "salary").unwrap()[0].clone();
+        stat.rows -= 3;
+        stat.temax = d("1995-02-01");
+        relstore::planner::store_stat(a.database(), &stat).unwrap();
+        a.checkpoint().unwrap();
+    }
+
+    let check = archis_fsck::check(&path).unwrap();
+    assert_eq!(check.exit_code(), 1);
+    let stats_findings: Vec<_> = check
+        .findings
+        .iter()
+        .filter(|f| f.kind == "stats")
+        .collect();
+    assert!(
+        stats_findings.iter().any(|f| f.message.contains("rows"))
+            && stats_findings.iter().any(|f| f.message.contains("temax")),
+        "both tampered fields surface: {}",
+        check.render()
+    );
+
+    let repair = archis_fsck::repair(&path).unwrap();
+    assert_eq!(repair.exit_code(), 0, "{}", repair.render());
+    assert!(
+        repair
+            .repairs
+            .iter()
+            .any(|r| r.contains("statistics catalog recomputed")),
+        "{}",
+        repair.render()
+    );
+    assert_eq!(archis_fsck::check(&path).unwrap().exit_code(), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A stats entry for a segment that holds no rows (phantom) and a segment
+/// with rows but no entry (missing) are both findings; repair recomputes
+/// the catalog wholesale.
+#[test]
+fn missing_and_phantom_stats_entries_are_findings() {
+    use archis::{ArchConfig, ArchIS, RelationSpec};
+    use temporal::Date;
+    let d = |s: &str| Date::parse(s).unwrap();
+    let dir = tmpdir("statsphantom");
+    let path = dir.join("db.pages");
+    {
+        let mut a = ArchIS::open_file(&path, ArchConfig::default()).unwrap();
+        a.create_relation(RelationSpec::employee()).unwrap();
+        a.insert(
+            "employee",
+            1,
+            vec![
+                ("name".into(), Value::Str("solo".into())),
+                ("salary".into(), Value::Int(50_000)),
+                ("title".into(), Value::Str("Engineer".into())),
+                ("deptno".into(), Value::Str("d01".into())),
+            ],
+            d("1995-01-01"),
+        )
+        .unwrap();
+        a.update(
+            "employee",
+            1,
+            vec![("salary".into(), Value::Int(60_000))],
+            d("1995-06-01"),
+        )
+        .unwrap();
+        a.force_archive("employee", d("1995-12-31")).unwrap();
+
+        // Phantom: an entry for a segment number that does not exist.
+        let mut phantom = a.segment_stats("employee", "salary").unwrap()[0].clone();
+        phantom.segno = 99;
+        relstore::planner::store_stat(a.database(), &phantom).unwrap();
+        // Missing: drop the real entry for the title H-table.
+        relstore::planner::clear_stats(a.database(), "employee_title").unwrap();
+        a.checkpoint().unwrap();
+    }
+
+    let check = archis_fsck::check(&path).unwrap();
+    assert!(
+        check
+            .findings
+            .iter()
+            .any(|f| f.kind == "stats" && f.message.contains("no rows")),
+        "phantom entry surfaces: {}",
+        check.render()
+    );
+    assert!(
+        check
+            .findings
+            .iter()
+            .any(|f| f.kind == "stats" && f.message.contains("no stats entry")),
+        "missing entry surfaces: {}",
+        check.render()
+    );
+    let repair = archis_fsck::repair(&path).unwrap();
+    assert_eq!(repair.exit_code(), 0, "{}", repair.render());
+    assert_eq!(archis_fsck::check(&path).unwrap().exit_code(), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,8 +1,9 @@
 //! `archis-lint` — repo-specific static analysis for the ArchIS engine.
 //!
-//! Five analyses run over the storage-engine sources (`crates/relstore/src`
-//! and `crates/core/src` by default), built on a hand-rolled token scanner
-//! (no external parser crates; the build is offline):
+//! Six analyses run over the storage-engine sources (`crates/relstore/src`,
+//! `crates/core/src` and `crates/sqlxml/src` by default), built on a
+//! hand-rolled token scanner (no external parser crates; the build is
+//! offline):
 //!
 //! 1. **WAL discipline** (`wal-discipline`) — direct page writes, file
 //!    truncation or raw file creation outside the sanctioned modules.
@@ -16,6 +17,10 @@
 //!    code, compared against the committed `lint-baseline.toml`.
 //! 5. **Error-drop audit** (`error-drop`) — `let _ =` and statement-final
 //!    `.ok()` on the commit/recovery/vacuum paths.
+//! 6. **Planner discipline** (`planner-bypass`) — direct raw access-path
+//!    calls (`stream`, `index_range`, `cluster_range`, ...) in the query
+//!    paths, which would hand-wire a plan past the cost-based planner and
+//!    its segment pruning.
 //!
 //! Individual sites are suppressed with a `// lint:allow(reason)` comment
 //! on the same line or the line(s) immediately above; the reason is
@@ -31,6 +36,7 @@ pub mod rules {
     pub mod error_drop;
     pub mod lock_order;
     pub mod panic_ratchet;
+    pub mod planner_bypass;
     pub mod session_layer;
     pub mod wal_discipline;
 }
@@ -88,6 +94,9 @@ pub struct Config {
     /// File-name suffixes audited by the error-drop rule (the
     /// commit/recovery/vacuum paths).
     pub error_drop_files: Vec<String>,
+    /// File-name suffixes audited by the planner-bypass rule (the query
+    /// paths, where access-path choice belongs to the cost-based planner).
+    pub planner_query_files: Vec<String>,
     /// Receiver-field → candidate impl types, used to resolve calls like
     /// `self.pool.get(...)` through the stoplist of common method names.
     pub receiver_hints: Vec<(String, Vec<String>)>,
@@ -104,6 +113,7 @@ impl Config {
                 PathBuf::from("crates/relstore/src"),
                 PathBuf::from("crates/core/src"),
                 PathBuf::from("crates/fsck/src"),
+                PathBuf::from("crates/sqlxml/src"),
             ],
             wal_allow: vec!["wal.rs".into(), "pager.rs".into(), "failpoint.rs".into()],
             btree_open_allow: vec!["table.rs".into(), "btree.rs".into()],
@@ -112,6 +122,11 @@ impl Config {
                 "pager.rs".into(),
                 "catalog.rs".into(),
                 "archive.rs".into(),
+            ],
+            planner_query_files: vec![
+                "engine.rs".into(),
+                "queries.rs".into(),
+                "translate.rs".into(),
             ],
             receiver_hints: vec![
                 ("pool".into(), vec!["BufferPool".into()]),
@@ -138,6 +153,10 @@ impl Config {
 
     pub fn is_error_drop_audited(&self, rel: &Path) -> bool {
         Self::name_matches(rel, &self.error_drop_files)
+    }
+
+    pub fn is_planner_query_file(&self, rel: &Path) -> bool {
+        Self::name_matches(rel, &self.planner_query_files)
     }
 
     pub fn receiver_types(&self, field: &str) -> &[String] {
@@ -178,6 +197,7 @@ pub fn run(cfg: &Config, update_baseline: bool) -> Result<Outcome, String> {
     rules::session_layer::check(cfg, &files, &mut diagnostics);
     rules::lock_order::check(cfg, &files, &mut diagnostics);
     rules::error_drop::check(cfg, &files, &mut diagnostics);
+    rules::planner_bypass::check(cfg, &files, &mut diagnostics);
 
     let (panics, indexing) = rules::panic_ratchet::count(&files);
     let mut counted = Baseline::default();

@@ -15,6 +15,7 @@ fn fixture_config() -> Config {
     let mut cfg = Config::for_root(fixture_root());
     cfg.scan_dirs = vec![PathBuf::from("src")];
     cfg.error_drop_files = vec!["errdrop.rs".into()];
+    cfg.planner_query_files = vec!["planner_bad.rs".into()];
     cfg
 }
 
@@ -40,6 +41,7 @@ fn expected_sites() -> BTreeSet<(String, u32, String)> {
                     "panic-path",
                     "slice-index",
                     "error-drop",
+                    "planner-bypass",
                 ];
                 for rule in line[pos + 3..]
                     .split_whitespace()

@@ -557,6 +557,33 @@ impl Iterator for GroupAggregate {
     }
 }
 
+/// Build the scan executor for a planner-selected access path.
+///
+/// This is the execution half of [`crate::planner::choose_path`]: `Seq`
+/// streams base storage, `Index` walks the named secondary index, and
+/// `Cluster` range-scans the primary tree. Callers re-apply their full
+/// predicate set on top (every path is a superset of the matching rows),
+/// so a mis-estimated choice degrades speed, never results.
+pub fn build_scan(
+    table: &Table,
+    kind: crate::planner::PathKind,
+    index: Option<&str>,
+    lo: Bound<&[Value]>,
+    hi: Bound<&[Value]>,
+) -> Result<Executor> {
+    use crate::planner::PathKind;
+    Ok(match kind {
+        PathKind::Seq => Box::new(SeqScan::new(table)),
+        PathKind::Cluster => Box::new(table.cluster_range_stream(lo, hi)?),
+        PathKind::Index => {
+            let name = index.ok_or_else(|| {
+                StoreError::NotFound("index path chosen without an index name".into())
+            })?;
+            Box::new(IndexRangeScan::new(table, name, lo, hi))
+        }
+    })
+}
+
 /// Drain an executor into rows, surfacing the first error.
 pub fn collect_rows(exec: impl Iterator<Item = RowResult>) -> Result<Vec<Row>> {
     exec.collect()

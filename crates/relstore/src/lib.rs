@@ -59,6 +59,7 @@ pub mod failpoint;
 pub mod heap;
 pub mod page;
 pub mod pager;
+pub mod planner;
 pub mod prefetch;
 pub mod table;
 pub mod value;
@@ -76,6 +77,7 @@ pub use failpoint::{flip_bit_at, BitRot, FailLog, FailPager, Failpoints, Flipped
 pub use heap::{HeapFile, RecordId};
 pub use page::{PageId, PAGE_SIZE};
 pub use pager::{FilePager, MemPager, PageFileLayout, Pager, SnapshotPager, PAGE_FORMAT_VERSION};
+pub use planner::{ForcedPath, PlanEntry, SegStat, TableProfile};
 pub use table::{IndexDef, Table, TableCheck};
 pub use value::{
     decode_row, decode_row_into, encode_key, encode_row, DataType, Field, Schema, Value,

@@ -1,0 +1,1119 @@
+//! Cost-based access-path selection.
+//!
+//! Until now the SQL/XML engine chose scans by a fixed rule (any indexable
+//! bound beats a sequential scan; equality beats range). That rule is
+//! selectivity-blind: it happily probes a secondary index for a bound that
+//! matches the whole table, and it cannot tell a narrow time slice from a
+//! full-history sweep. This module replaces the rule with a small
+//! cost model in the classic System-R shape:
+//!
+//! * **Statistics** — per-segment rows, live/dead split, `tstart`/`tend`
+//!   min-max, an equi-depth `tstart` histogram, distinct-key and
+//!   compressed-block counts, persisted in the ordinary table
+//!   [`STATS_TABLE`] (the `sqlite_stat1` trick: stats ride the same
+//!   catalog, WAL and MVCC snapshots as the data they describe, so a
+//!   pinned snapshot plans against the stats frozen at pin time).
+//! * **Cost formulas** — sequential pages are cheap (and cheaper still
+//!   with the PR 6 prefetcher overlapping the run), random page fetches
+//!   through a secondary index cost [`RANDOM_PAGE_COST`]× more, clustered
+//!   ranges read only the covered fraction of the primary tree.
+//! * **Selectivity** — segment bounds resolve against the per-segment row
+//!   counts; temporal bounds interpolate the histogram; equality on a key
+//!   column uses distinct counts; everything else falls back to textbook
+//!   constants.
+//!
+//! The chooser is deliberately advisory: callers re-apply every predicate
+//! as a filter, so a wrong estimate can only cost time, never correctness.
+//! `ARCHIS_FORCE_PATH` (`seq` | `index` | `cluster` | `rule`) pins the
+//! decision for A/B debugging; `rule` reproduces the old fixed rule
+//! exactly, which is what the `plan` benchmark measures against.
+
+use crate::catalog::Database;
+use crate::table::Table;
+use crate::value::{DataType, Field, Schema, Value};
+use crate::{Result, StorageKind};
+use std::cell::RefCell;
+use std::fmt;
+use std::ops::Bound;
+use std::sync::atomic::{AtomicU8, Ordering};
+use temporal::Date;
+
+/// Name of the durable per-segment statistics table (created on demand by
+/// the archiver through [`ensure_stats_table`]). Layout:
+/// `(tbl, segno, nrows, nlive, tsmin, tsmax, temin, temax, dkeys, blocks, hist)`.
+pub const STATS_TABLE: &str = "archis_segstats";
+
+/// Secondary index on the stats table (`tbl` prefix lookups).
+pub const STATS_INDEX: &str = "archis_segstats_by_tbl";
+
+/// Number of equi-depth histogram buckets kept per segment.
+pub const HIST_BUCKETS: usize = 8;
+
+// --- cost constants -------------------------------------------------------
+//
+// Calibrated against the bench crate's cold-device model (25 µs per
+// physical page): what matters is the *ratio* between sequential and
+// random page costs, not the absolute scale.
+
+/// Cost of one sequentially-read base page.
+pub const SEQ_PAGE_COST: f64 = 1.0;
+
+/// Cost of one randomly-fetched page (secondary-index row fetch).
+pub const RANDOM_PAGE_COST: f64 = 4.0;
+
+/// Multiplier applied to sequential runs when the buffer pool's
+/// prefetcher is on: PR 6 measured cold dense scans roughly overlapping
+/// 40 % of page latency with readahead.
+pub const PREFETCH_RUN_DISCOUNT: f64 = 0.6;
+
+/// Per-row CPU cost (decode + predicate check) in page-cost units.
+pub const CPU_ROW_COST: f64 = 0.01;
+
+/// Fixed cost of a B+tree root-to-leaf descent.
+pub const BTREE_DESCENT_COST: f64 = 3.0;
+
+/// Index entries per leaf page (both index layouts pack hundreds of
+/// small keys per 4 KiB page; 128 is deliberately conservative).
+pub const INDEX_ENTRIES_PER_LEAF: f64 = 128.0;
+
+/// Fallback rows-per-page estimate when a table's page count is unknown.
+pub const ROWS_PER_PAGE_FALLBACK: f64 = 64.0;
+
+// Fallback selectivities when no statistics apply (textbook constants).
+const EQ_SEL_FALLBACK: f64 = 0.005;
+const RANGE_SEL_FALLBACK: f64 = 0.25;
+const OPEN_RANGE_SEL_FALLBACK: f64 = 0.4;
+
+/// The live segment's well-known number (mirrors `archis::LIVE_SEGNO`;
+/// duplicated here because the stats layer sits below the core crate).
+pub const LIVE_SEGNO: i64 = 1_000_000;
+
+// ---------------------------------------------------------------------------
+// Per-segment statistics
+// ---------------------------------------------------------------------------
+
+/// Statistics for one archived segment of one H-table (or, with
+/// `segno == LIVE_SEGNO`, for the live segment).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegStat {
+    /// H-table the segment belongs to.
+    pub tbl: String,
+    /// Segment number (archived segments count from 1).
+    pub segno: i64,
+    /// Total rows stored in the segment.
+    pub rows: i64,
+    /// Rows still open (`tend` = forever).
+    pub live: i64,
+    /// Minimum `tstart` over the segment's rows.
+    pub tsmin: Date,
+    /// Maximum `tstart` over the segment's rows.
+    pub tsmax: Date,
+    /// Minimum `tend` over the segment's rows.
+    pub temin: Date,
+    /// Maximum `tend` over the segment's rows.
+    pub temax: Date,
+    /// Estimated distinct key values in the segment.
+    pub distinct_keys: i64,
+    /// Compressed BlockZIP blocks holding the segment (0 = uncompressed).
+    pub blocks: i64,
+    /// Equi-depth histogram over `tstart`: ascending bucket upper bounds,
+    /// each bucket holding ≈ `rows / len` rows. Empty when `rows == 0`.
+    pub hist: Vec<Date>,
+}
+
+impl SegStat {
+    /// Compute statistics from H-table segment rows shaped
+    /// `(key, tstart, tend)` — callers project those three columns out of
+    /// whatever row layout they hold. Rows need not be sorted.
+    pub fn compute(tbl: &str, segno: i64, rows: &[(i64, Date, Date)]) -> SegStat {
+        let n = rows.len() as i64;
+        if rows.is_empty() {
+            return SegStat {
+                tbl: tbl.to_string(),
+                segno,
+                rows: 0,
+                live: 0,
+                tsmin: temporal::END_OF_TIME,
+                tsmax: temporal::DAWN_OF_TIME,
+                temin: temporal::END_OF_TIME,
+                temax: temporal::DAWN_OF_TIME,
+                distinct_keys: 0,
+                blocks: 0,
+                hist: Vec::new(),
+            };
+        }
+        let mut tsmin = rows[0].1;
+        let mut tsmax = rows[0].1;
+        let mut temin = rows[0].2;
+        let mut temax = rows[0].2;
+        let mut live = 0i64;
+        let mut keys: Vec<i64> = Vec::with_capacity(rows.len());
+        let mut starts: Vec<Date> = Vec::with_capacity(rows.len());
+        for &(k, ts, te) in rows {
+            tsmin = tsmin.min(ts);
+            tsmax = tsmax.max(ts);
+            temin = temin.min(te);
+            temax = temax.max(te);
+            if te.is_forever() {
+                live += 1;
+            }
+            keys.push(k);
+            starts.push(ts);
+        }
+        keys.sort_unstable();
+        keys.dedup();
+        starts.sort_unstable();
+        let buckets = HIST_BUCKETS.min(starts.len());
+        let mut hist = Vec::with_capacity(buckets);
+        for b in 1..=buckets {
+            // Upper bound of bucket b: the (b/buckets) quantile.
+            let idx = (b * starts.len()) / buckets;
+            hist.push(starts[idx.saturating_sub(1).min(starts.len() - 1)]);
+        }
+        SegStat {
+            tbl: tbl.to_string(),
+            segno,
+            rows: n,
+            live,
+            tsmin,
+            tsmax,
+            temin,
+            temax,
+            distinct_keys: keys.len() as i64,
+            blocks: 0,
+            hist,
+        }
+    }
+
+    /// Fold one more row into the statistics (used by the incremental
+    /// maintenance paths that move single rows between segments). The
+    /// histogram is left untouched — it stays an estimate until the next
+    /// recompute — but the exact fields (`rows`, `live`, min/max bounds)
+    /// are kept exact, which is what `archis-fsck` audits.
+    pub fn absorb(&mut self, _key: i64, tstart: Date, tend: Date) {
+        self.rows += 1;
+        if tend.is_forever() {
+            self.live += 1;
+        }
+        self.tsmin = self.tsmin.min(tstart);
+        self.tsmax = self.tsmax.max(tstart);
+        self.temin = self.temin.min(tend);
+        self.temax = self.temax.max(tend);
+    }
+
+    /// Serialize to the [`STATS_TABLE`] row layout.
+    pub fn to_row(&self) -> Vec<Value> {
+        let hist = self
+            .hist
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("|");
+        vec![
+            Value::Str(self.tbl.clone()),
+            Value::Int(self.segno),
+            Value::Int(self.rows),
+            Value::Int(self.live),
+            Value::Date(self.tsmin),
+            Value::Date(self.tsmax),
+            Value::Date(self.temin),
+            Value::Date(self.temax),
+            Value::Int(self.distinct_keys),
+            Value::Int(self.blocks),
+            Value::Str(hist),
+        ]
+    }
+
+    /// Decode a [`STATS_TABLE`] row; `None` if the row is malformed.
+    pub fn from_row(row: &[Value]) -> Option<SegStat> {
+        if row.len() != 11 {
+            return None;
+        }
+        let date = |v: &Value| -> Option<Date> {
+            match v {
+                Value::Date(d) => Some(*d),
+                _ => None,
+            }
+        };
+        let int = |v: &Value| v.as_int();
+        let hist_str = match &row[10] {
+            Value::Str(s) => s.clone(),
+            _ => return None,
+        };
+        let mut hist = Vec::new();
+        if !hist_str.is_empty() {
+            for part in hist_str.split('|') {
+                hist.push(Date::parse(part).ok()?);
+            }
+        }
+        Some(SegStat {
+            tbl: match &row[0] {
+                Value::Str(s) => s.clone(),
+                _ => return None,
+            },
+            segno: int(&row[1])?,
+            rows: int(&row[2])?,
+            live: int(&row[3])?,
+            tsmin: date(&row[4])?,
+            tsmax: date(&row[5])?,
+            temin: date(&row[6])?,
+            temax: date(&row[7])?,
+            distinct_keys: int(&row[8])?,
+            blocks: int(&row[9])?,
+            hist,
+        })
+    }
+
+    /// Estimated fraction of this segment's rows with
+    /// `tstart <= hi && tend >= lo` (overlap with `[lo, hi]`). Exact
+    /// min/max bounds short-circuit to 0 when no overlap is possible.
+    pub fn overlap_fraction(&self, lo: Date, hi: Date) -> f64 {
+        if self.rows == 0 || self.tsmin > hi || self.temax < lo {
+            return 0.0;
+        }
+        // Fraction with tstart <= hi, from the histogram when present.
+        let start_frac = self.tstart_le_fraction(hi);
+        // Fraction with tend >= lo by linear interpolation on [temin, temax].
+        let end_frac = if lo <= self.temin {
+            1.0
+        } else if lo > self.temax {
+            0.0
+        } else {
+            let span = (self.temax.day_number() - self.temin.day_number()).max(1) as f64;
+            let above = (self.temax.day_number() - lo.day_number()).max(0) as f64;
+            (above / span).clamp(0.0, 1.0)
+        };
+        (start_frac * end_frac).clamp(0.0, 1.0)
+    }
+
+    /// Estimated fraction of rows with `tstart <= d` (equi-depth
+    /// histogram walk; falls back to min/max interpolation).
+    pub fn tstart_le_fraction(&self, d: Date) -> f64 {
+        if d < self.tsmin {
+            return 0.0;
+        }
+        if d >= self.tsmax {
+            return 1.0;
+        }
+        if !self.hist.is_empty() {
+            let below = self.hist.iter().filter(|&&b| b <= d).count();
+            return (below as f64 / self.hist.len() as f64).clamp(0.0, 1.0);
+        }
+        let span = (self.tsmax.day_number() - self.tsmin.day_number()).max(1) as f64;
+        let below = (d.day_number() - self.tsmin.day_number()).max(0) as f64;
+        (below / span).clamp(0.0, 1.0)
+    }
+}
+
+/// Schema of the stats table.
+pub fn stats_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("tbl", DataType::Str),
+        Field::new("segno", DataType::Int),
+        Field::new("nrows", DataType::Int),
+        Field::new("nlive", DataType::Int),
+        Field::new("tsmin", DataType::Date),
+        Field::new("tsmax", DataType::Date),
+        Field::new("temin", DataType::Date),
+        Field::new("temax", DataType::Date),
+        Field::new("dkeys", DataType::Int),
+        Field::new("blocks", DataType::Int),
+        Field::new("hist", DataType::Str),
+    ])
+}
+
+/// Create the stats table (heap, indexed by `tbl`) if it does not exist.
+pub fn ensure_stats_table(db: &Database) -> Result<()> {
+    if db.has_table(STATS_TABLE) {
+        return Ok(());
+    }
+    let t = db.create_table(STATS_TABLE, stats_schema(), StorageKind::Heap, &[])?;
+    t.create_index(STATS_INDEX, &["tbl"])?;
+    Ok(())
+}
+
+/// All persisted segment stats for one H-table, ascending by segment.
+/// Returns an empty vector when the stats table (or the entry) is absent
+/// or unreadable — statistics are advisory and must never fail a query.
+pub fn load_stats(db: &Database, tbl: &str) -> Vec<SegStat> {
+    let Ok(t) = db.table(STATS_TABLE) else {
+        return Vec::new();
+    };
+    let key = [Value::Str(tbl.to_string())];
+    let Ok(rows) = t.index_lookup(STATS_INDEX, &key) else {
+        return Vec::new();
+    };
+    let mut out: Vec<SegStat> = rows.iter().filter_map(|r| SegStat::from_row(r)).collect();
+    out.sort_by_key(|s| s.segno);
+    out
+}
+
+/// Replace the persisted stats row(s) for `(tbl, segno)` with `stat`.
+pub fn store_stat(db: &Database, stat: &SegStat) -> Result<()> {
+    ensure_stats_table(db)?;
+    let t = db.table(STATS_TABLE)?;
+    let pred_tbl = Value::Str(stat.tbl.clone());
+    let pred_seg = Value::Int(stat.segno);
+    t.delete_where(|row| row.first() == Some(&pred_tbl) && row.get(1) == Some(&pred_seg))?;
+    t.insert(stat.to_row())?;
+    Ok(())
+}
+
+/// Drop all persisted stats rows for one H-table.
+pub fn clear_stats(db: &Database, tbl: &str) -> Result<()> {
+    if !db.has_table(STATS_TABLE) {
+        return Ok(());
+    }
+    let t = db.table(STATS_TABLE)?;
+    let pred = Value::Str(tbl.to_string());
+    t.delete_where(|row| row.first() == Some(&pred))?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Forced access paths (`ARCHIS_FORCE_PATH`)
+// ---------------------------------------------------------------------------
+
+/// An access-path override for A/B debugging and benchmarking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForcedPath {
+    /// Always scan the base storage sequentially.
+    Seq,
+    /// Always take a secondary-index range when one is available.
+    Index,
+    /// Always take the clustered-primary range when one is available.
+    Cluster,
+    /// Reproduce the pre-planner fixed rule (first indexable bound wins,
+    /// equality beats range, clustered leading column beats the index).
+    Rule,
+}
+
+impl ForcedPath {
+    fn from_code(code: u8) -> Option<ForcedPath> {
+        match code {
+            2 => Some(ForcedPath::Seq),
+            3 => Some(ForcedPath::Index),
+            4 => Some(ForcedPath::Cluster),
+            5 => Some(ForcedPath::Rule),
+            _ => None,
+        }
+    }
+
+    fn code(path: Option<ForcedPath>) -> u8 {
+        match path {
+            None => 1,
+            Some(ForcedPath::Seq) => 2,
+            Some(ForcedPath::Index) => 3,
+            Some(ForcedPath::Cluster) => 4,
+            Some(ForcedPath::Rule) => 5,
+        }
+    }
+
+    /// Parse the `ARCHIS_FORCE_PATH` value.
+    pub fn parse(s: &str) -> Option<ForcedPath> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "seq" | "seqscan" => Some(ForcedPath::Seq),
+            "index" => Some(ForcedPath::Index),
+            "cluster" | "clustered" => Some(ForcedPath::Cluster),
+            "rule" => Some(ForcedPath::Rule),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ForcedPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ForcedPath::Seq => "seq",
+            ForcedPath::Index => "index",
+            ForcedPath::Cluster => "cluster",
+            ForcedPath::Rule => "rule",
+        })
+    }
+}
+
+// 0 = uninitialized (read the environment once), then ForcedPath::code.
+static FORCE_PATH: AtomicU8 = AtomicU8::new(0);
+
+/// The active access-path override, if any. First call reads
+/// `ARCHIS_FORCE_PATH`; later calls (and [`set_forced_path`]) are
+/// process-wide and race-free, which matters for multi-threaded tests.
+pub fn forced_path() -> Option<ForcedPath> {
+    let code = FORCE_PATH.load(Ordering::Relaxed);
+    if code != 0 {
+        return ForcedPath::from_code(code);
+    }
+    let from_env = std::env::var("ARCHIS_FORCE_PATH")
+        .ok()
+        .and_then(|v| ForcedPath::parse(&v));
+    // Another thread may race the first read; both write the same value.
+    FORCE_PATH.store(ForcedPath::code(from_env), Ordering::Relaxed);
+    from_env
+}
+
+/// Override (or with `None`, restore cost-based planning over) the
+/// access-path decision for the whole process.
+pub fn set_forced_path(path: Option<ForcedPath>) {
+    FORCE_PATH.store(ForcedPath::code(path), Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Plan log (EXPLAIN)
+// ---------------------------------------------------------------------------
+
+/// One access-path decision, recorded per scanned table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanEntry {
+    /// Table scanned.
+    pub table: String,
+    /// Chosen path, e.g. `seq`, `index(employee_salary_by_seg)`,
+    /// `cluster(segno)`.
+    pub path: String,
+    /// Estimated rows produced by the access path (before residual
+    /// filters).
+    pub est_rows: f64,
+    /// Estimated physical pages touched.
+    pub est_pages: f64,
+    /// Total estimated cost in page-cost units.
+    pub cost: f64,
+    /// What made the decision: `cost`, `rule`, or `forced:<path>`.
+    pub chosen_by: String,
+}
+
+impl fmt::Display for PlanEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "scan {}: path={} est_rows={:.0} est_pages={:.1} cost={:.1} [{}]",
+            self.table, self.path, self.est_rows, self.est_pages, self.cost, self.chosen_by
+        )
+    }
+}
+
+thread_local! {
+    static PLAN_LOG: RefCell<Vec<PlanEntry>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Record a plan decision for the current thread's EXPLAIN log.
+pub fn record_plan(entry: PlanEntry) {
+    PLAN_LOG.with(|l| l.borrow_mut().push(entry));
+}
+
+/// Drain this thread's plan log (decisions since the last drain).
+pub fn take_plan_log() -> Vec<PlanEntry> {
+    PLAN_LOG.with(|l| std::mem::take(&mut *l.borrow_mut()))
+}
+
+/// Format a drained plan log as an EXPLAIN-style dump, one scan per line.
+pub fn explain(entries: &[PlanEntry]) -> String {
+    entries
+        .iter()
+        .map(|e| e.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+// ---------------------------------------------------------------------------
+// Table profiles and candidates
+// ---------------------------------------------------------------------------
+
+/// What the cost model knows about one table.
+#[derive(Debug, Clone)]
+pub struct TableProfile {
+    /// Table name.
+    pub name: String,
+    /// Live row count (from the table's cached counter).
+    pub rows: f64,
+    /// Base-storage pages (heap chain or clustered-tree pages, indexes
+    /// excluded — a sequential scan never touches them).
+    pub base_pages: f64,
+    /// Whether the buffer pool's prefetcher overlaps sequential runs.
+    pub prefetch: bool,
+    /// Per-segment statistics, empty for non-H-tables (or before the
+    /// first archive populated them).
+    pub segs: Vec<SegStat>,
+}
+
+impl TableProfile {
+    /// Profile `table`, loading persisted segment stats from `db`.
+    pub fn of(db: &Database, table: &Table) -> TableProfile {
+        let rows = table.row_count() as f64;
+        let base_pages = table
+            .base_page_count()
+            .map(|p| p as f64)
+            .unwrap_or_else(|_| (rows / ROWS_PER_PAGE_FALLBACK).ceil().max(1.0));
+        let segs = if table.name() == STATS_TABLE {
+            Vec::new()
+        } else {
+            load_stats(db, table.name())
+        };
+        TableProfile {
+            name: table.name().to_string(),
+            rows,
+            base_pages: base_pages.max(1.0),
+            prefetch: table.prefetch_enabled(),
+            segs,
+        }
+    }
+
+    /// Profile without statistics (tests, stats-free tables).
+    pub fn bare(name: &str, rows: u64, base_pages: u64, prefetch: bool) -> TableProfile {
+        TableProfile {
+            name: name.to_string(),
+            rows: rows as f64,
+            base_pages: (base_pages as f64).max(1.0),
+            prefetch,
+            segs: Vec::new(),
+        }
+    }
+
+    fn seq_discount(&self) -> f64 {
+        if self.prefetch {
+            PREFETCH_RUN_DISCOUNT
+        } else {
+            1.0
+        }
+    }
+}
+
+/// How a candidate reaches rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathKind {
+    /// Sequential scan of base storage.
+    Seq,
+    /// Secondary B+tree range, fetching rows one at a time.
+    Index,
+    /// Range over the clustered primary B+tree.
+    Cluster,
+}
+
+/// One bounded column the engine found in the pushed-down predicates.
+#[derive(Debug, Clone)]
+pub struct ScanCandidate {
+    /// `Index` or `Cluster` (a `Seq` candidate is always implicit).
+    pub kind: PathKind,
+    /// Secondary-index name for `Index` candidates.
+    pub index: Option<String>,
+    /// The bounded column.
+    pub column: String,
+    /// Whether an equality bound participates.
+    pub eq: bool,
+    /// Leading-column bounds.
+    pub lo: Bound<Value>,
+    /// Leading-column upper bound.
+    pub hi: Bound<Value>,
+}
+
+/// The chooser's verdict.
+#[derive(Debug, Clone)]
+pub struct Choice {
+    /// Selected path kind.
+    pub kind: PathKind,
+    /// Index of the winning candidate in the input slice (`None` = seq).
+    pub candidate: Option<usize>,
+    /// EXPLAIN record for this decision (also pushed to the plan log by
+    /// [`choose_path`]).
+    pub entry: PlanEntry,
+}
+
+/// Estimated fraction of rows matching `[lo, hi]` on `column`.
+pub fn selectivity(
+    profile: &TableProfile,
+    column: &str,
+    eq: bool,
+    lo: &Bound<Value>,
+    hi: &Bound<Value>,
+) -> f64 {
+    let rows = profile.rows.max(1.0);
+    if !profile.segs.is_empty() {
+        match column {
+            "segno" => {
+                let mut matched = 0.0;
+                let mut counted = 0.0;
+                for s in &profile.segs {
+                    counted += s.rows as f64;
+                    if int_in_bounds(s.segno, lo, hi) {
+                        matched += s.rows as f64;
+                    }
+                }
+                // Rows not covered by any stats entry (for H-tables, the
+                // live segment) count as matched only if LIVE_SEGNO is in
+                // bounds.
+                let residual = (rows - counted).max(0.0);
+                let has_live_stat = profile.segs.iter().any(|s| s.segno == LIVE_SEGNO);
+                if !has_live_stat && int_in_bounds(LIVE_SEGNO, lo, hi) {
+                    matched += residual;
+                }
+                return (matched / rows).clamp(0.0, 1.0);
+            }
+            "tstart" => {
+                if let (Some(dlo), Some(dhi)) = (date_bound(lo), date_bound(hi)) {
+                    let mut matched = 0.0;
+                    for s in &profile.segs {
+                        let le_hi = dhi.map_or(1.0, |d| s.tstart_le_fraction(d));
+                        let lt_lo = dlo.map_or(0.0, |d| s.tstart_le_fraction(d.pred()));
+                        matched += (le_hi - lt_lo).max(0.0) * s.rows as f64;
+                    }
+                    return (matched / rows).clamp(0.0, 1.0);
+                }
+            }
+            "tend" => {
+                if let (Some(dlo), Some(dhi)) = (date_bound(lo), date_bound(hi)) {
+                    let mut matched = 0.0;
+                    for s in &profile.segs {
+                        // Linear interpolation on [temin, temax].
+                        let span = (s.temax.day_number() - s.temin.day_number()).max(1) as f64;
+                        let ge_lo = match dlo {
+                            None => 1.0,
+                            Some(d) if d <= s.temin => 1.0,
+                            Some(d) if d > s.temax => 0.0,
+                            Some(d) => (s.temax.day_number() - d.day_number()).max(0) as f64 / span,
+                        };
+                        let gt_hi = match dhi {
+                            None => 0.0,
+                            Some(d) if d >= s.temax => 0.0,
+                            Some(d) if d < s.temin => 1.0,
+                            Some(d) => (s.temax.day_number() - d.day_number()).max(0) as f64 / span,
+                        };
+                        matched += (ge_lo - gt_hi).max(0.0) * s.rows as f64;
+                    }
+                    return (matched / rows).clamp(0.0, 1.0);
+                }
+            }
+            _ => {
+                if eq {
+                    // Equality on a key-ish column: distinct estimate. Keys
+                    // recur across segments (live rows are carried
+                    // forward), so the table-wide distinct count is close
+                    // to the largest per-segment count, not the sum.
+                    let distinct = profile
+                        .segs
+                        .iter()
+                        .map(|s| s.distinct_keys)
+                        .max()
+                        .unwrap_or(0)
+                        .max(1) as f64;
+                    return (1.0 / distinct).clamp(1.0 / rows, 1.0);
+                }
+            }
+        }
+    }
+    // Stats-free fallbacks.
+    if eq {
+        EQ_SEL_FALLBACK.max(1.0 / rows)
+    } else {
+        match (lo, hi) {
+            (Bound::Unbounded, Bound::Unbounded) => 1.0,
+            (Bound::Unbounded, _) | (_, Bound::Unbounded) => OPEN_RANGE_SEL_FALLBACK,
+            _ => RANGE_SEL_FALLBACK,
+        }
+    }
+}
+
+fn int_in_bounds(v: i64, lo: &Bound<Value>, hi: &Bound<Value>) -> bool {
+    let lo_ok = match lo {
+        Bound::Unbounded => true,
+        Bound::Included(Value::Int(l)) => v >= *l,
+        Bound::Excluded(Value::Int(l)) => v > *l,
+        _ => true,
+    };
+    let hi_ok = match hi {
+        Bound::Unbounded => true,
+        Bound::Included(Value::Int(h)) => v <= *h,
+        Bound::Excluded(Value::Int(h)) => v < *h,
+        _ => true,
+    };
+    lo_ok && hi_ok
+}
+
+/// Extract a date from a bound; `Ok(None)` for unbounded, `None` (outer)
+/// when the bound is not a date at all.
+#[allow(clippy::option_option)]
+fn date_bound(b: &Bound<Value>) -> Option<Option<Date>> {
+    match b {
+        Bound::Unbounded => Some(None),
+        Bound::Included(Value::Date(d)) => Some(Some(*d)),
+        Bound::Excluded(Value::Date(d)) => Some(Some(*d)),
+        _ => None,
+    }
+}
+
+/// Cost of a sequential scan.
+pub fn seq_cost(profile: &TableProfile) -> f64 {
+    profile.base_pages * SEQ_PAGE_COST * profile.seq_discount() + profile.rows * CPU_ROW_COST
+}
+
+/// Cost of one candidate path given its selectivity.
+fn candidate_cost(profile: &TableProfile, cand: &ScanCandidate, sel: f64) -> (f64, f64, f64) {
+    let est_rows = sel * profile.rows;
+    match cand.kind {
+        PathKind::Seq => {
+            let pages = profile.base_pages * profile.seq_discount();
+            (seq_cost(profile), profile.rows, pages)
+        }
+        PathKind::Cluster => {
+            let pages = (sel * profile.base_pages).ceil() * profile.seq_discount();
+            let cost = BTREE_DESCENT_COST + pages * SEQ_PAGE_COST + est_rows * CPU_ROW_COST;
+            (cost, est_rows, pages + BTREE_DESCENT_COST)
+        }
+        PathKind::Index => {
+            let leaf_pages = (est_rows / INDEX_ENTRIES_PER_LEAF).ceil();
+            // Archived segments are written contiguously at archival time
+            // (the paper's §6 segment clustering), so a `segno` range that
+            // stays below the live segment walks sequential runs the
+            // prefetcher can overlap — price it like a clustered range.
+            // The live segment is mutation churn and gets no such break.
+            let archived_run = cand.column == "segno"
+                && !profile.segs.is_empty()
+                && !int_in_bounds(LIVE_SEGNO, &cand.lo, &cand.hi);
+            if archived_run {
+                let pages = (sel * profile.base_pages).ceil() * profile.seq_discount();
+                let cost = BTREE_DESCENT_COST
+                    + (leaf_pages + pages) * SEQ_PAGE_COST
+                    + est_rows * CPU_ROW_COST;
+                return (cost, est_rows, BTREE_DESCENT_COST + leaf_pages + pages);
+            }
+            // Row fetches are random single-page reads, but can never
+            // exceed re-reading the whole base twice over (eviction bound).
+            let fetch_pages = est_rows.min(2.0 * profile.base_pages);
+            let cost = BTREE_DESCENT_COST
+                + leaf_pages * SEQ_PAGE_COST
+                + fetch_pages * RANDOM_PAGE_COST
+                + est_rows * CPU_ROW_COST;
+            (
+                cost,
+                est_rows,
+                BTREE_DESCENT_COST + leaf_pages + fetch_pages,
+            )
+        }
+    }
+}
+
+fn path_label(cand: Option<&ScanCandidate>) -> String {
+    match cand {
+        None => "seq".to_string(),
+        Some(c) => match c.kind {
+            PathKind::Seq => "seq".to_string(),
+            PathKind::Cluster => format!("cluster({})", c.column),
+            PathKind::Index => format!(
+                "index({})",
+                c.index.clone().unwrap_or_else(|| c.column.clone())
+            ),
+        },
+    }
+}
+
+/// Pick an access path for one table scan.
+///
+/// `candidates` must list at most one entry per bounded column, in the
+/// order the bounds appear in the predicate list (the old rule's
+/// tie-break). A sequential scan is always considered implicitly. The
+/// decision (including any `ARCHIS_FORCE_PATH` override) is appended to
+/// the thread's plan log.
+pub fn choose_path(profile: &TableProfile, candidates: &[ScanCandidate]) -> Choice {
+    let forced = forced_path();
+    let (winner, chosen_by): (Option<usize>, String) = match forced {
+        Some(ForcedPath::Seq) => (None, "forced:seq".to_string()),
+        Some(ForcedPath::Index) => {
+            let idx = pick_cheapest(profile, candidates, Some(PathKind::Index));
+            (idx, "forced:index".to_string())
+        }
+        Some(ForcedPath::Cluster) => {
+            let idx = pick_cheapest(profile, candidates, Some(PathKind::Cluster));
+            (idx, "forced:cluster".to_string())
+        }
+        Some(ForcedPath::Rule) => (rule_choice(candidates), "rule".to_string()),
+        None => (pick_cheapest(profile, candidates, None), "cost".to_string()),
+    };
+    let cand = winner.map(|i| &candidates[i]);
+    let sel = cand.map_or(1.0, |c| selectivity(profile, &c.column, c.eq, &c.lo, &c.hi));
+    let (cost, est_rows, est_pages) = match cand {
+        None => {
+            let pages = profile.base_pages * profile.seq_discount();
+            (seq_cost(profile), profile.rows, pages)
+        }
+        Some(c) => candidate_cost(profile, c, sel),
+    };
+    let entry = PlanEntry {
+        table: profile.name.clone(),
+        path: path_label(cand),
+        est_rows,
+        est_pages,
+        cost,
+        chosen_by,
+    };
+    record_plan(entry.clone());
+    Choice {
+        kind: cand.map_or(PathKind::Seq, |c| c.kind),
+        candidate: winner,
+        entry,
+    }
+}
+
+/// Cheapest candidate by the cost model; `None` when the sequential scan
+/// wins (or, with `only` set, when no candidate of that kind exists).
+fn pick_cheapest(
+    profile: &TableProfile,
+    candidates: &[ScanCandidate],
+    only: Option<PathKind>,
+) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, c) in candidates.iter().enumerate() {
+        if let Some(k) = only {
+            if c.kind != k {
+                continue;
+            }
+        }
+        let sel = selectivity(profile, &c.column, c.eq, &c.lo, &c.hi);
+        let (cost, _, _) = candidate_cost(profile, c, sel);
+        if best.is_none_or(|(_, b)| cost < b) {
+            best = Some((i, cost));
+        }
+    }
+    match only {
+        // Forced kinds take the best candidate of that kind, whatever the
+        // cost (that is the point of forcing).
+        Some(_) => best.map(|(i, _)| i),
+        None => {
+            let seq = seq_cost(profile);
+            best.and_then(|(i, c)| if c < seq { Some(i) } else { None })
+        }
+    }
+}
+
+/// The pre-planner fixed rule: first bounded column wins; a later
+/// equality-bounded column replaces a range-bounded choice.
+fn rule_choice(candidates: &[ScanCandidate]) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (i, c) in candidates.iter().enumerate() {
+        match best {
+            None => best = Some(i),
+            Some(b) if !candidates[b].eq && c.eq => best = Some(i),
+            _ => {}
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> Date {
+        Date::parse(s).unwrap()
+    }
+
+    // Tests that read or write the process-wide forced path serialize on
+    // this lock so the parallel test runner cannot interleave them.
+    static FORCE_LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+
+    fn reset_force() {
+        set_forced_path(None);
+    }
+
+    #[test]
+    fn segstat_roundtrip_and_compute() {
+        let rows: Vec<(i64, Date, Date)> = (0..100)
+            .map(|i| {
+                (
+                    i % 10,
+                    Date::from_day_number(d("1990-01-01").day_number() + (i as i32) * 30),
+                    if i % 4 == 0 {
+                        temporal::END_OF_TIME
+                    } else {
+                        d("1999-06-30")
+                    },
+                )
+            })
+            .collect();
+        let s = SegStat::compute("emp_salary", 3, &rows);
+        assert_eq!(s.rows, 100);
+        assert_eq!(s.live, 25);
+        assert_eq!(s.distinct_keys, 10);
+        assert_eq!(s.tsmin, d("1990-01-01"));
+        assert_eq!(s.hist.len(), HIST_BUCKETS);
+        let back = SegStat::from_row(&s.to_row()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn stats_persist_through_database() {
+        let db = Database::in_memory();
+        let s = SegStat::compute("t_a", 1, &[(1, d("1990-01-01"), d("1991-01-01"))]);
+        store_stat(&db, &s).unwrap();
+        let loaded = load_stats(&db, "t_a");
+        assert_eq!(loaded, vec![s.clone()]);
+        // Overwrite, not duplicate.
+        let mut s2 = s.clone();
+        s2.rows = 7;
+        store_stat(&db, &s2).unwrap();
+        assert_eq!(load_stats(&db, "t_a"), vec![s2]);
+        clear_stats(&db, "t_a").unwrap();
+        assert!(load_stats(&db, "t_a").is_empty());
+    }
+
+    #[test]
+    fn cost_model_prefers_seq_for_unselective_index() {
+        let _g = FORCE_LOCK.lock();
+        reset_force();
+        let profile = TableProfile::bare("t", 100_000, 1_600, false);
+        let cand = ScanCandidate {
+            kind: PathKind::Index,
+            index: Some("by_id".into()),
+            column: "id".into(),
+            eq: false,
+            lo: Bound::Included(Value::Int(0)),
+            hi: Bound::Unbounded,
+        };
+        let choice = take_choice(&profile, &[cand]);
+        assert_eq!(choice.kind, PathKind::Seq, "sel≈0.4 range must not probe");
+    }
+
+    #[test]
+    fn cost_model_prefers_index_for_narrow_eq() {
+        let _g = FORCE_LOCK.lock();
+        reset_force();
+        let profile = TableProfile::bare("t", 100_000, 1_600, false);
+        let cand = ScanCandidate {
+            kind: PathKind::Index,
+            index: Some("by_id".into()),
+            column: "id".into(),
+            eq: true,
+            lo: Bound::Included(Value::Int(42)),
+            hi: Bound::Included(Value::Int(42)),
+        };
+        let choice = take_choice(&profile, &[cand]);
+        assert_eq!(choice.kind, PathKind::Index);
+    }
+
+    #[test]
+    fn segment_stats_drive_segno_selectivity() {
+        // selectivity() never consults the force flag: no lock needed.
+        let mut segs = Vec::new();
+        for sn in 1..=10 {
+            let rows: Vec<(i64, Date, Date)> = (0..1000)
+                .map(|i| (i, d("1990-01-01"), d("1995-01-01")))
+                .collect();
+            let mut s = SegStat::compute("t", sn, &rows);
+            s.rows = 1000;
+            segs.push(s);
+        }
+        let profile = TableProfile {
+            name: "t".into(),
+            rows: 10_000.0,
+            base_pages: 200.0,
+            prefetch: false,
+            segs,
+        };
+        // One segment out of ten.
+        let sel = selectivity(
+            &profile,
+            "segno",
+            true,
+            &Bound::Included(Value::Int(3)),
+            &Bound::Included(Value::Int(3)),
+        );
+        assert!((sel - 0.1).abs() < 1e-9, "sel {sel}");
+        // All segments.
+        let sel_all = selectivity(
+            &profile,
+            "segno",
+            false,
+            &Bound::Included(Value::Int(1)),
+            &Bound::Unbounded,
+        );
+        assert!((sel_all - 1.0).abs() < 1e-9, "sel {sel_all}");
+    }
+
+    #[test]
+    fn forced_paths_override_cost() {
+        let _g = FORCE_LOCK.lock();
+        let profile = TableProfile::bare("t", 100_000, 1_600, false);
+        let cand = ScanCandidate {
+            kind: PathKind::Index,
+            index: Some("by_id".into()),
+            column: "id".into(),
+            eq: false,
+            lo: Bound::Included(Value::Int(0)),
+            hi: Bound::Unbounded,
+        };
+        set_forced_path(Some(ForcedPath::Index));
+        let c = take_choice(&profile, std::slice::from_ref(&cand));
+        assert_eq!(c.kind, PathKind::Index);
+        set_forced_path(Some(ForcedPath::Seq));
+        let c = take_choice(&profile, std::slice::from_ref(&cand));
+        assert_eq!(c.kind, PathKind::Seq);
+        set_forced_path(Some(ForcedPath::Rule));
+        let c = take_choice(&profile, std::slice::from_ref(&cand));
+        assert_eq!(c.kind, PathKind::Index, "old rule takes any bound");
+        reset_force();
+    }
+
+    #[test]
+    fn rule_prefers_equality_in_pred_order() {
+        let range = ScanCandidate {
+            kind: PathKind::Index,
+            index: Some("a".into()),
+            column: "x".into(),
+            eq: false,
+            lo: Bound::Included(Value::Int(0)),
+            hi: Bound::Unbounded,
+        };
+        let eq = ScanCandidate {
+            kind: PathKind::Index,
+            index: Some("b".into()),
+            column: "y".into(),
+            eq: true,
+            lo: Bound::Included(Value::Int(1)),
+            hi: Bound::Included(Value::Int(1)),
+        };
+        assert_eq!(rule_choice(&[range.clone(), eq.clone()]), Some(1));
+        assert_eq!(rule_choice(&[eq.clone(), range.clone()]), Some(0));
+        assert_eq!(rule_choice(&[range.clone(), range]), Some(0));
+    }
+
+    #[test]
+    fn overlap_fraction_prunes_disjoint_windows() {
+        let rows: Vec<(i64, Date, Date)> = (0..100)
+            .map(|i| {
+                (
+                    i,
+                    Date::from_day_number(d("1995-01-01").day_number() + i as i32),
+                    Date::from_day_number(d("1996-01-01").day_number() + i as i32),
+                )
+            })
+            .collect();
+        let s = SegStat::compute("t", 1, &rows);
+        // Window entirely before the first tstart: prunable.
+        assert_eq!(s.overlap_fraction(d("1990-01-01"), d("1994-12-31")), 0.0);
+        // Window after every tend: prunable.
+        assert_eq!(s.overlap_fraction(d("1997-01-01"), d("1999-01-01")), 0.0);
+        // Window covering everything: full.
+        assert!(s.overlap_fraction(d("1990-01-01"), d("1999-01-01")) > 0.99);
+    }
+
+    #[test]
+    fn explain_formats_plan_entries() {
+        let _g = FORCE_LOCK.lock();
+        take_plan_log();
+        reset_force();
+        let profile = TableProfile::bare("emp", 1000, 16, false);
+        let _ = choose_path(&profile, &[]);
+        let log = take_plan_log();
+        assert_eq!(log.len(), 1);
+        let text = explain(&log);
+        assert!(text.contains("scan emp: path=seq"), "{text}");
+        assert!(
+            text.contains("[cost]") || text.contains("[forced"),
+            "{text}"
+        );
+    }
+
+    /// choose_path, but with the plan-log side effect drained so tests
+    /// stay independent.
+    fn take_choice(profile: &TableProfile, cands: &[ScanCandidate]) -> Choice {
+        let c = choose_path(profile, cands);
+        take_plan_log();
+        c
+    }
+}

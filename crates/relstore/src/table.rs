@@ -973,15 +973,27 @@ impl Table {
 
     /// Pages used by base storage plus all indexes (storage experiments).
     pub fn page_count(&self) -> Result<u64> {
-        let base = match self.kind {
-            StorageKind::Heap => self.heap_store()?.page_count()?,
-            StorageKind::Clustered => self.tree_store()?.page_count()?,
-        };
+        let base = self.base_page_count()?;
         let mut total = base;
         for idx in self.indexes.read().iter() {
             total += idx.tree.page_count()?;
         }
         Ok(total)
+    }
+
+    /// Pages used by base storage alone (heap chain or clustered primary
+    /// tree) — what a sequential scan reads. The cost model's input.
+    pub fn base_page_count(&self) -> Result<u64> {
+        match self.kind {
+            StorageKind::Heap => self.heap_store()?.page_count(),
+            StorageKind::Clustered => self.tree_store()?.page_count(),
+        }
+    }
+
+    /// Whether the shared buffer pool's prefetcher is active (sequential
+    /// runs overlap their I/O; see the planner's cost discount).
+    pub fn prefetch_enabled(&self) -> bool {
+        self.pool.prefetch_enabled()
     }
 }
 

@@ -1,12 +1,13 @@
 //! Planner and executor for SQL/XML selects.
 //!
-//! Planning is rule-based, mirroring what the paper relies on from DB2 /
-//! ATLaS:
+//! Planning mirrors what the paper relies on from DB2 / ATLaS:
 //!
 //! 1. WHERE conjuncts referencing one table are pushed below the join;
-//!    an equality or range conjunct on an indexed column turns the scan
-//!    into a B+tree range scan (this carries the paper's `segno = sn`
-//!    segment restriction, §6.3),
+//!    bounded indexed columns become access-path candidates that
+//!    [`relstore::planner`] costs against a sequential scan using the
+//!    per-segment statistics catalog (the paper's `segno = sn` segment
+//!    restriction, §6.3, rides in as a candidate bound; set
+//!    `ARCHIS_FORCE_PATH` to pin or A/B the decision),
 //! 2. equality join conditions (`N.id = T.id`) execute as sort-merge
 //!    joins — "very fast (in linear time) since every table is already
 //!    sorted on its id attribute" (§5.3),
@@ -16,15 +17,17 @@
 
 use crate::parser::{parse_sql, SelectStmt, SqlExpr};
 use crate::{Result, SqlError};
-use relstore::exec::{
-    AggSpec, Executor, Filter, IndexRangeScan, NestedLoopJoin, Row, SeqScan, SortMergeJoin,
-};
+use relstore::exec::{AggSpec, Executor, Filter, NestedLoopJoin, Row, SeqScan, SortMergeJoin};
 use relstore::expr::{BinOp, Expr, FnRegistry};
+use relstore::planner;
 use relstore::value::{DataType, Field, Value};
 use relstore::{Database, Table};
 use std::collections::HashMap;
 use std::ops::Bound;
 use std::sync::Arc;
+
+/// A half-open composite-key interval as the index/cluster scans take it.
+type KeyRange = (Bound<Vec<Value>>, Bound<Vec<Value>>);
 use temporal::Date;
 use xmldom::{Element, Node};
 
@@ -343,7 +346,7 @@ fn run_from_where(
         let preds = table_preds.remove(alias).unwrap_or_default();
         let exec = match overrides.get(tname) {
             Some(provided) => filter_rows(provided.clone(), alias, &preds, scope, fns)?,
-            None => scan_table(&t, alias, &preds, scope, fns)?,
+            None => scan_table(db, &t, alias, &preds, scope, fns)?,
         };
         sources.insert(alias.clone(), exec);
     }
@@ -475,10 +478,16 @@ fn filter_rows(
     Ok(Box::new(Filter::new(base, pred, fns.clone())))
 }
 
-/// Scan one table with pushed-down predicates, via an index when possible.
-/// Returns a streaming executor: base scans pull pages on demand, so a
-/// downstream LIMIT stops the scan early.
+/// Scan one table with pushed-down predicates.
+///
+/// Every bounded indexed (or cluster-leading) column becomes a
+/// [`planner::ScanCandidate`]; [`planner::choose_path`] costs them against
+/// a sequential scan using the table's per-segment statistics and records
+/// the decision in the EXPLAIN plan log. Returns a streaming executor:
+/// base scans pull pages on demand, so a downstream LIMIT stops the scan
+/// early.
 fn scan_table(
+    db: &Database,
     table: &Table,
     alias: &str,
     preds: &[SqlExpr],
@@ -486,8 +495,10 @@ fn scan_table(
     fns: &Arc<FnRegistry>,
 ) -> Result<Executor> {
     let (offset, _arity) = scope.tables[alias];
-    // Look for an indexable bound: col op literal on an indexed column.
-    let mut best: Option<(String, Vec<(BinOp, Value)>)> = None;
+    // Collect bounds per indexable column, in first-appearance order (the
+    // old fixed rule's tie-break order, which `ARCHIS_FORCE_PATH=rule`
+    // reproduces).
+    let mut bounded: Vec<(String, Vec<(BinOp, Value)>)> = Vec::new();
     for p in preds {
         if let SqlExpr::Bin(op, l, r) = p {
             if !matches!(
@@ -508,25 +519,28 @@ fn scan_table(
             if table.index_on(&col).is_none() {
                 continue;
             }
-            match &mut best {
-                Some((bcol, bounds)) if *bcol == col => bounds.push((op, lit)),
-                Some((_, bounds))
-                    if !bounds.iter().any(|(o, _)| *o == BinOp::Eq) && op == BinOp::Eq =>
-                {
-                    best = Some((col, vec![(op, lit)]));
-                }
-                None => best = Some((col, vec![(op, lit)])),
-                _ => {}
+            match bounded.iter_mut().find(|(c, _)| *c == col) {
+                Some((_, bounds)) => bounds.push((op, lit)),
+                None => bounded.push((col, vec![(op, lit)])),
             }
         }
     }
-    let base: Executor = if let Some((col, bounds)) = best {
-        let index = table.index_on(&col).expect("checked above");
+    // Turn each bounded column into a planner candidate with merged bounds.
+    let cluster_lead = if table.kind() == relstore::StorageKind::Clustered {
+        table.cluster_columns().first().cloned()
+    } else {
+        None
+    };
+    let mut candidates: Vec<planner::ScanCandidate> = Vec::new();
+    let mut ranges: Vec<KeyRange> = Vec::new();
+    for (col, bounds) in bounded {
         let mut lo: Bound<Vec<Value>> = Bound::Unbounded;
         let mut hi: Bound<Vec<Value>> = Bound::Unbounded;
+        let mut eq = false;
         for (op, v) in bounds {
             match op {
                 BinOp::Eq => {
+                    eq = true;
                     lo = Bound::Included(vec![v.clone()]);
                     hi = Bound::Included(vec![v]);
                 }
@@ -538,29 +552,63 @@ fn scan_table(
             }
         }
         // On a clustered table whose leading cluster column is the bounded
-        // column, range-scan the primary B+tree directly instead of doing
-        // per-row point fetches through a secondary index (this is why the
-        // paper's segment restriction pays off on ATLaS/BerkeleyDB).
-        if table.kind() == relstore::StorageKind::Clustered
-            && table.cluster_columns().first().map(String::as_str) == Some(col.as_str())
-        {
-            match parallel_cluster_scan(table, &lo, &hi)? {
-                Some(rows) => Box::new(SeqScan::from_rows(rows)),
-                None => Box::new(table.cluster_range_stream(as_slice(&lo), as_slice(&hi))?),
-            }
+        // column, range-scanning the primary B+tree beats per-row point
+        // fetches through a secondary index (this is why the paper's
+        // segment restriction pays off on ATLaS/BerkeleyDB).
+        let kind = if cluster_lead.as_deref() == Some(col.as_str()) {
+            planner::PathKind::Cluster
         } else {
-            Box::new(IndexRangeScan::new(
-                table,
-                &index,
-                as_slice(&lo),
-                as_slice(&hi),
-            ))
+            planner::PathKind::Index
+        };
+        candidates.push(planner::ScanCandidate {
+            kind,
+            index: table.index_on(&col),
+            column: col,
+            eq,
+            lo: single_bound(&lo),
+            hi: single_bound(&hi),
+        });
+        ranges.push((lo, hi));
+    }
+
+    let profile = planner::TableProfile::of(db, table);
+    let choice = planner::choose_path(&profile, &candidates);
+    let base: Executor = match choice.candidate {
+        None => relstore::exec::build_scan(
+            table,
+            planner::PathKind::Seq,
+            None,
+            Bound::Unbounded,
+            Bound::Unbounded,
+        )?,
+        Some(i) => {
+            let (lo, hi) = &ranges[i];
+            let cand = &candidates[i];
+            if cand.kind == planner::PathKind::Cluster {
+                match parallel_cluster_scan(table, lo, hi)? {
+                    Some(rows) => Box::new(SeqScan::from_rows(rows)),
+                    None => relstore::exec::build_scan(
+                        table,
+                        planner::PathKind::Cluster,
+                        None,
+                        as_slice(lo),
+                        as_slice(hi),
+                    )?,
+                }
+            } else {
+                relstore::exec::build_scan(
+                    table,
+                    planner::PathKind::Index,
+                    cand.index.as_deref(),
+                    as_slice(lo),
+                    as_slice(hi),
+                )?
+            }
         }
-    } else {
-        Box::new(SeqScan::new(table))
     };
-    // Apply ALL pushed predicates (the index bound is a superset filter;
-    // re-checking is cheap and keeps correctness independent of planning).
+    // Apply ALL pushed predicates (the access-path bound is a superset
+    // filter; re-checking is cheap and keeps correctness independent of
+    // planning).
     if preds.is_empty() {
         return Ok(base);
     }
@@ -570,6 +618,19 @@ fn scan_table(
         .collect::<Result<Vec<_>>>()?;
     let pred = Expr::and_all(compiled);
     Ok(Box::new(Filter::new(base, pred, fns.clone())))
+}
+
+/// First element of a composite bound (candidates bound one column).
+fn single_bound(b: &Bound<Vec<Value>>) -> Bound<Value> {
+    match b {
+        Bound::Unbounded => Bound::Unbounded,
+        Bound::Included(v) => v
+            .first()
+            .map_or(Bound::Unbounded, |x| Bound::Included(x.clone())),
+        Bound::Excluded(v) => v
+            .first()
+            .map_or(Bound::Unbounded, |x| Bound::Excluded(x.clone())),
+    }
 }
 
 /// Fan a multi-segment cluster-range scan across threads.
@@ -612,6 +673,9 @@ fn parallel_cluster_scan(
             .map(|&sn| {
                 s.spawn(move |_| {
                     let key = [Value::Int(sn)];
+                    // lint:allow(planner-routed: reached only from scan_table
+                    // after choose_path picked the clustered range; this is
+                    // the parallel executor for that chosen plan)
                     table.cluster_range(Bound::Included(&key[..]), Bound::Included(&key[..]))
                 })
             })

@@ -84,6 +84,17 @@ if [[ "${CI_BENCH:-0}" != "0" ]]; then
     pf=$(awk -F': ' '/prefetch_speedup/ { gsub(/[ ,]/, "", $2); print $2 }' BENCH_scan.json)
     awk -v s="$pf" 'BEGIN { if (s + 0 < 1.5) { print "prefetch speedup " s "x < 1.5x"; exit 1 } else { print "prefetch speedup " s "x >= 1.5x" } }'
 
+    echo "== bench: cost-based planner microbench =="
+    ./target/release/reproduce -e plan --runs 3
+    # The cost-based planner must match the hand-wired access-path rule
+    # on Q1-Q6 (>= 0.95x on buffer-pool logical reads) and beat it by
+    # >= 2x on every adversarial query; the JSON is written by the plan
+    # experiment.
+    std=$(awk -F': ' '/min_ratio_standard/ { gsub(/[ ,]/, "", $2); print $2 }' BENCH_plan.json)
+    awk -v s="$std" 'BEGIN { if (s + 0 < 0.95) { print "planner standard ratio " s "x < 0.95x"; exit 1 } else { print "planner standard ratio " s "x >= 0.95x" } }'
+    adv=$(awk -F': ' '/min_ratio_adversarial/ { gsub(/[ ,]/, "", $2); print $2 }' BENCH_plan.json)
+    awk -v s="$adv" 'BEGIN { if (s + 0 < 2.0) { print "planner adversarial ratio " s "x < 2x"; exit 1 } else { print "planner adversarial ratio " s "x >= 2x" } }'
+
     echo "== bench: concurrent MVCC microbench =="
     ./target/release/reproduce -e concurrent --runs 5
     # Snapshot readers must not block the writer: ≤10% ingest overhead
