@@ -237,6 +237,16 @@ impl ArchIS {
         Ok(())
     }
 
+    /// Abort the current archival transaction: a mutation failed after it
+    /// may have dirtied buffered pages or bumped archiver counters, so the
+    /// in-memory state no longer matches any committable boundary. Poisons
+    /// the database handle — further commits/checkpoints refuse — and the
+    /// caller recovers by reopening, which replays the WAL to the last
+    /// commit. No-op for in-memory / plain-file instances.
+    fn txn_abort(&self) {
+        self.db.abort();
+    }
+
     /// Rewrite the meta tables (relation specs + archiver live-segment
     /// state), creating them on first use.
     fn persist_meta(&self) -> Result<()> {
@@ -400,7 +410,17 @@ impl ArchIS {
             )));
         }
         let archiver =
-            archive::Archiver::create(&self.db, &spec, self.config.storage, self.config.umin)?;
+            match archive::Archiver::create(&self.db, &spec, self.config.storage, self.config.umin)
+            {
+                Ok(a) => a,
+                Err(e) => {
+                    // Table/index creation may have landed partially;
+                    // poison the handle rather than let a later commit
+                    // seal a half-created relation.
+                    self.txn_abort();
+                    return Err(e);
+                }
+            };
         self.relations.insert(spec.name.clone(), spec.clone());
         self.archivers.insert(spec.name.clone(), archiver);
         self.txn_commit()?;
@@ -429,7 +449,10 @@ impl ArchIS {
     /// durable instances the change commits as one atomic transaction.
     pub fn apply(&self, change: &Change) -> Result<()> {
         let archiver = self.archiver(&change.relation())?;
-        archiver.apply(&self.db, change)?;
+        if let Err(e) = archiver.apply(&self.db, change) {
+            self.txn_abort();
+            return Err(e);
+        }
         self.txn_commit()
     }
 
@@ -451,7 +474,13 @@ impl ArchIS {
             while j < changes.len() && changes[j].relation() == rel {
                 j += 1;
             }
-            self.archiver(&rel)?.apply_batch(&self.db, &changes[i..j])?;
+            let run = self
+                .archiver(&rel)
+                .and_then(|a| a.apply_batch(&self.db, &changes[i..j]));
+            if let Err(e) = run {
+                self.txn_abort();
+                return Err(e);
+            }
             i = j;
         }
         self.txn_commit()

@@ -1,0 +1,162 @@
+//! Generic forward-fixpoint dataflow solver over [`crate::cfg::Cfg`].
+//!
+//! An [`Analysis`] supplies the lattice: a `Fact` type with a `join` that
+//! reports whether anything changed, an entry fact, and a transfer
+//! function applied per node. The solver runs the usual worklist loop and
+//! returns the fact *on entry* to every node (`None` = unreachable from
+//! the function entry), which checkers then combine with per-node events
+//! to emit diagnostics.
+//!
+//! Termination is bounded by an iteration cap proportional to the graph
+//! size. The cap is a **hard error**, not a silent skip: hitting it means
+//! either a lattice whose join does not converge (a bug in a rule) or a
+//! pathological CFG, and both must fail the lint run loudly (exit 2)
+//! rather than quietly under-report.
+
+use crate::cfg::Cfg;
+
+/// A forward dataflow analysis. Facts must form a join-semilattice:
+/// `join` merges the fact flowing in along one more edge and returns
+/// `true` when the merge grew the fact (so the solver knows to requeue).
+pub trait Analysis {
+    type Fact: Clone;
+
+    /// Fact at the function entry node.
+    fn entry_fact(&self) -> Self::Fact;
+
+    /// Merge `other` into `fact`; return `true` if `fact` changed.
+    fn join(&self, fact: &mut Self::Fact, other: &Self::Fact) -> bool;
+
+    /// Apply node `idx`'s effect to `fact` (entry fact → exit fact).
+    fn transfer(&self, idx: usize, fact: &mut Self::Fact);
+}
+
+/// Entry facts per node after the fixpoint; `None` for nodes unreachable
+/// from the CFG entry (e.g. code after a diverging match).
+pub type EntryFacts<F> = Vec<Option<F>>;
+
+/// Solve `analysis` over `cfg` with the default iteration cap.
+pub fn solve<A: Analysis>(cfg: &Cfg, analysis: &A) -> Result<EntryFacts<A::Fact>, String> {
+    // Each node can be revisited once per lattice ascent; chain heights in
+    // our rules are O(pins + vars) which is O(nodes), so nodes² plus slack
+    // is generous — real functions converge in a handful of passes.
+    let cap = 4096 + 64 * cfg.nodes.len() * cfg.nodes.len();
+    solve_with_cap(cfg, analysis, cap)
+}
+
+/// Solve with an explicit iteration cap (exposed so tests can prove the
+/// cap is a hard error rather than a silent skip).
+pub fn solve_with_cap<A: Analysis>(
+    cfg: &Cfg,
+    analysis: &A,
+    cap: usize,
+) -> Result<EntryFacts<A::Fact>, String> {
+    let mut facts: EntryFacts<A::Fact> = vec![None; cfg.nodes.len()];
+    facts[cfg.entry] = Some(analysis.entry_fact());
+    let mut worklist = std::collections::VecDeque::new();
+    worklist.push_back(cfg.entry);
+    let mut queued = vec![false; cfg.nodes.len()];
+    queued[cfg.entry] = true;
+    let mut iterations = 0usize;
+    while let Some(n) = worklist.pop_front() {
+        queued[n] = false;
+        iterations += 1;
+        if iterations > cap {
+            return Err(format!(
+                "dataflow fixpoint exceeded {cap} iterations on a {}-node CFG \
+                 (non-converging lattice join?)",
+                cfg.nodes.len()
+            ));
+        }
+        let mut out = match &facts[n] {
+            Some(f) => f.clone(),
+            None => continue,
+        };
+        analysis.transfer(n, &mut out);
+        for e in cfg.nodes[n].succs.clone() {
+            let changed = match &mut facts[e.to] {
+                Some(existing) => analysis.join(existing, &out),
+                slot @ None => {
+                    *slot = Some(out.clone());
+                    true
+                }
+            };
+            if changed && !queued[e.to] {
+                queued[e.to] = true;
+                worklist.push_back(e.to);
+            }
+        }
+    }
+    Ok(facts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use crate::model::SourceFile;
+    use std::path::PathBuf;
+
+    /// Reachability: Fact = (), join never changes → one visit per node.
+    struct Reach;
+    impl Analysis for Reach {
+        type Fact = ();
+        fn entry_fact(&self) {}
+        fn join(&self, _: &mut (), _: &()) -> bool {
+            false
+        }
+        fn transfer(&self, _: usize, _: &mut ()) {}
+    }
+
+    /// A deliberately broken lattice whose join always reports change.
+    struct NeverConverges;
+    impl Analysis for NeverConverges {
+        type Fact = u32;
+        fn entry_fact(&self) -> u32 {
+            0
+        }
+        fn join(&self, fact: &mut u32, _: &u32) -> bool {
+            *fact = fact.wrapping_add(1);
+            true
+        }
+        fn transfer(&self, _: usize, _: &mut u32) {}
+    }
+
+    fn cfg_of(src: &str) -> (SourceFile, Cfg) {
+        let f = SourceFile::parse(PathBuf::from("x.rs"), src);
+        let cfg = Cfg::build(&f, &f.functions[0]);
+        (f, cfg)
+    }
+
+    #[test]
+    fn straight_line_reaches_every_node() {
+        let (_, cfg) = cfg_of("fn f() { a(); b(); c(); }");
+        let facts = solve(&cfg, &Reach).unwrap();
+        assert!(facts.iter().all(Option::is_some), "all nodes reachable");
+    }
+
+    #[test]
+    fn code_after_unconditional_return_is_unreachable() {
+        let (_, cfg) = cfg_of("fn f() { return; unreachable_stmt(); }");
+        let facts = solve(&cfg, &Reach).unwrap();
+        assert!(
+            facts.iter().any(Option::is_none),
+            "node after return has no entry fact"
+        );
+    }
+
+    #[test]
+    fn loops_converge_under_default_cap() {
+        let (_, cfg) = cfg_of(
+            "fn f() {\n  'outer: loop {\n    while cond() {\n      if x() { continue 'outer; }\n      if y() { break; }\n    }\n    if z() { break; }\n  }\n}",
+        );
+        solve(&cfg, &Reach).expect("nested labeled loops reach fixpoint");
+    }
+
+    #[test]
+    fn cap_is_a_hard_error() {
+        let (_, cfg) = cfg_of("fn f() { loop { step(); } }");
+        let err = solve_with_cap(&cfg, &NeverConverges, 8).unwrap_err();
+        assert!(err.contains("exceeded 8 iterations"), "{err}");
+    }
+}

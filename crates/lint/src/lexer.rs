@@ -18,8 +18,9 @@ pub enum Tok {
     Punct(char),
     /// String / raw-string / byte / char / numeric literal (content dropped).
     Lit,
-    /// Lifetime such as `'a` (distinguished from char literals).
-    Lifetime,
+    /// Lifetime such as `'a` (distinguished from char literals). The name
+    /// is kept so the CFG builder can resolve labeled `break`/`continue`.
+    Lifetime(String),
 }
 
 /// A token plus the 1-based source line it starts on.
@@ -150,9 +151,10 @@ pub fn lex(src: &str) -> Lexed {
                                 line,
                             });
                         } else {
+                            let name = src[i + 1..j].to_string();
                             i = j;
                             tokens.push(Token {
-                                tok: Tok::Lifetime,
+                                tok: Tok::Lifetime(name),
                                 line,
                             });
                         }
@@ -321,7 +323,10 @@ mod tests {
     #[test]
     fn lifetimes_are_not_char_literals() {
         let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; }").tokens;
-        let lifetimes = toks.iter().filter(|t| t.tok == Tok::Lifetime).count();
+        let lifetimes = toks
+            .iter()
+            .filter(|t| matches!(&t.tok, Tok::Lifetime(n) if n == "a"))
+            .count();
         assert_eq!(lifetimes, 2);
         assert!(toks.iter().any(|t| t.tok == Tok::Lit), "char literal lexed");
     }

@@ -4,7 +4,7 @@
 #![forbid(unsafe_code)]
 #![deny(unused_must_use)]
 
-use archis_lint::{run, Config};
+use archis_lint::{run, Config, Diagnostic, Outcome};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -17,6 +17,9 @@ archis-lint [options]
   --baseline FILE         baseline path relative to root
   --error-drop-file NAME  audit NAME for dropped errors (repeatable;
                           replaces the default durability-path file set)
+  --format FMT            text (default) or json — one JSON object per line,
+                          including lint:allow-silenced findings with their
+                          allow-site
   --update-baseline       rewrite the baseline from current counts
   -h, --help              this text";
 
@@ -36,6 +39,7 @@ fn real_main() -> Result<ExitCode, String> {
     let mut baseline: Option<PathBuf> = None;
     let mut error_drop: Vec<String> = Vec::new();
     let mut update = false;
+    let mut json = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -48,6 +52,11 @@ fn real_main() -> Result<ExitCode, String> {
             "--scan" => scan.push(PathBuf::from(value("--scan")?)),
             "--baseline" => baseline = Some(PathBuf::from(value("--baseline")?)),
             "--error-drop-file" => error_drop.push(value("--error-drop-file")?),
+            "--format" => match value("--format")?.as_str() {
+                "text" => json = false,
+                "json" => json = true,
+                other => return Err(format!("unknown format {other:?} (text|json)\n{USAGE}")),
+            },
             "--update-baseline" => update = true,
             "-h" | "--help" => {
                 println!("{USAGE}");
@@ -73,8 +82,12 @@ fn real_main() -> Result<ExitCode, String> {
     }
 
     let outcome = run(&cfg, update)?;
-    for d in &outcome.diagnostics {
-        println!("{d}");
+    if json {
+        print_json(&outcome);
+    } else {
+        for d in &outcome.diagnostics {
+            println!("{d}");
+        }
     }
     if update {
         let path = cfg.root.join(&cfg.baseline_path);
@@ -82,13 +95,59 @@ fn real_main() -> Result<ExitCode, String> {
             .map_err(|e| format!("writing {}: {e}", path.display()))?;
         eprintln!("archis-lint: baseline updated at {}", path.display());
     }
+    eprintln!(
+        "archis-lint: scanned {} files / {} functions in {:.3}s",
+        outcome.files_scanned,
+        outcome.functions_scanned,
+        outcome.elapsed.as_secs_f64()
+    );
     if outcome.is_clean() {
-        eprintln!("archis-lint: clean");
+        eprintln!("archis-lint: clean ({} allowed)", outcome.suppressed.len());
         Ok(ExitCode::SUCCESS)
     } else {
         eprintln!("archis-lint: {} violation(s)", outcome.diagnostics.len());
         Ok(ExitCode::FAILURE)
     }
+}
+
+/// One JSON object per line: active findings with `"allow_line": null`,
+/// then `lint:allow`-silenced findings with their marker line.
+fn print_json(outcome: &Outcome) {
+    let one = |d: &Diagnostic, allow: Option<u32>| {
+        let allow = match allow {
+            Some(l) => l.to_string(),
+            None => "null".into(),
+        };
+        println!(
+            r#"{{"file":"{}","line":{},"rule":"{}","message":"{}","allow_line":{}}}"#,
+            json_escape(&d.file.display().to_string()),
+            d.line,
+            json_escape(d.rule),
+            json_escape(&d.message),
+            allow
+        );
+    };
+    for d in &outcome.diagnostics {
+        one(d, None);
+    }
+    for (d, marker) in &outcome.suppressed {
+        one(d, Some(*marker));
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Walk up from the current directory to the workspace root (the first

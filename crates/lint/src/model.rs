@@ -13,8 +13,9 @@ pub struct SourceFile {
     /// `in_test[i]` is true when token `i` sits inside a `#[cfg(test)]`
     /// item or a `#[test]` function body.
     pub in_test: Vec<bool>,
-    /// Lines whose diagnostics are suppressed by a `lint:allow` marker.
-    suppressed_lines: Vec<u32>,
+    /// `(suppressed line, marker line)` pairs: diagnostics on the first
+    /// are suppressed by the `lint:allow` comment on the second.
+    suppressed_lines: Vec<(u32, u32)>,
     /// Functions defined in this file (token ranges index into `tokens`).
     pub functions: Vec<Function>,
 }
@@ -55,7 +56,15 @@ impl SourceFile {
     }
 
     pub fn is_suppressed(&self, line: u32) -> bool {
-        self.suppressed_lines.contains(&line)
+        self.suppressed_lines.iter().any(|&(l, _)| l == line)
+    }
+
+    /// Line of the `lint:allow` marker covering `line`, if any.
+    pub fn allow_marker(&self, line: u32) -> Option<u32> {
+        self.suppressed_lines
+            .iter()
+            .find(|&&(l, _)| l == line)
+            .map(|&(_, m)| m)
     }
 
     pub fn token_in_test(&self, idx: usize) -> bool {
@@ -67,13 +76,13 @@ impl SourceFile {
 /// line also holds code (suffix form), otherwise on the next line that
 /// holds a token — which skips continuation comment lines, so a multi-line
 /// allow comment still reaches the statement below it.
-fn suppressed_lines(tokens: &[Token], markers: &[u32]) -> Vec<u32> {
+fn suppressed_lines(tokens: &[Token], markers: &[u32]) -> Vec<(u32, u32)> {
     let mut out = Vec::new();
     for &m in markers {
         if tokens.iter().any(|t| t.line == m) {
-            out.push(m);
+            out.push((m, m));
         } else if let Some(next) = tokens.iter().map(|t| t.line).find(|&l| l > m) {
-            out.push(next);
+            out.push((next, m));
         }
     }
     out

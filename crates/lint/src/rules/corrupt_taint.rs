@@ -1,0 +1,352 @@
+//! corrupt-taint — `StoreError::Corrupt` must propagate, not be defaulted.
+//!
+//! Results of the storage read entry points (`Config::corrupt_sources`:
+//! `read_page`, `lookup`, `index_range`, ...) can carry
+//! `StoreError::Corrupt`. Mapping such a result to a default — `.ok()`,
+//! `.unwrap_or(..)`, `.unwrap_or_default()`, or a `match` arm that turns
+//! `Err` into a plain value — silently serves wrong answers from a
+//! corrupt store. The only sanctioned ways to *degrade* are the helpers
+//! in `Config::corrupt_sanctioned` (index→heap fallback, block
+//! quarantine), which re-verify against an independent copy of the data.
+//!
+//! The analysis taints let-bindings of source-call results that are not
+//! immediately `?`-propagated and tracks them through the CFG (union
+//! join). Findings:
+//!
+//! * a sink called on a source result in the same statement
+//!   (`pager.read_page(n).ok()`);
+//! * a sink reached by a tainted variable (`let r = t.lookup(k); ...;
+//!   r.unwrap_or(default)`);
+//! * a `match` on a corrupt-bearing scrutinee whose `Err`/`_` arm body
+//!   neither propagates (`Err`, `?`), panics, nor calls a sanctioned
+//!   degradation helper.
+//!
+//! Any other mention of a tainted variable kills the taint: passing it
+//! on, `?`, or explicit matching is the owner deciding — only *silent*
+//! defaulting is flagged.
+
+use crate::cfg::{ArmInfo, Cfg};
+use crate::dataflow::{solve, Analysis};
+use crate::lexer::{Tok, Token};
+use crate::model::{Function, SourceFile};
+use crate::{Config, Diagnostic};
+use std::collections::{BTreeMap, BTreeSet};
+
+pub const RULE: &str = "corrupt-taint";
+
+/// Tainted variable → line of the source call that produced it.
+type Fact = BTreeMap<String, u32>;
+
+struct NodeInfo {
+    /// Source calls: (name, line, index of the call ident).
+    sources: Vec<(String, u32, usize)>,
+    /// Sink calls `.name(`: (name, line, index of the sink ident).
+    sinks: Vec<(String, u32, usize)>,
+    /// `let y = x ;` — a pure move that forwards taint.
+    copy: Option<(String, String)>,
+    /// Names bound by a leading `let`.
+    let_binds: Vec<String>,
+    /// Node's final token is the `?` operator.
+    ends_q: bool,
+}
+
+struct TaintAnalysis<'a> {
+    file: &'a SourceFile,
+    cfg: &'a Cfg,
+    info: Vec<NodeInfo>,
+}
+
+impl TaintAnalysis<'_> {
+    fn mentions(&self, idx: usize, name: &str) -> Option<usize> {
+        let r = self.cfg.nodes[idx].toks.clone();
+        (r.start..r.end).find(|&i| self.file.tokens[i].is_ident(name))
+    }
+}
+
+impl Analysis for TaintAnalysis<'_> {
+    type Fact = Fact;
+
+    fn entry_fact(&self) -> Fact {
+        BTreeMap::new()
+    }
+
+    fn join(&self, fact: &mut Fact, other: &Fact) -> bool {
+        let mut changed = false;
+        for (k, &v) in other {
+            if !fact.contains_key(k) {
+                fact.insert(k.clone(), v);
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn transfer(&self, idx: usize, fact: &mut Fact) {
+        let info = &self.info[idx];
+        // A pure `let y = x;` moves the taint to the new name.
+        if let Some((to, from)) = &info.copy {
+            if let Some(line) = fact.remove(from) {
+                fact.insert(to.clone(), line);
+            }
+            return;
+        }
+        // Any mention consumes the taint: the owner handled the Result.
+        let touched: Vec<String> = fact
+            .keys()
+            .filter(|k| self.mentions(idx, k).is_some())
+            .cloned()
+            .collect();
+        for k in touched {
+            fact.remove(&k);
+        }
+        // A fresh binding of a source result that is not `?`-propagated.
+        if !info.ends_q && !info.let_binds.is_empty() {
+            if let Some((_, line, _)) = info.sources.first() {
+                for n in &info.let_binds {
+                    fact.insert(n.clone(), *line);
+                }
+            }
+        }
+    }
+}
+
+pub fn check(lint: &Config, files: &[SourceFile], out: &mut Vec<Diagnostic>) -> Result<(), String> {
+    for file in files {
+        for f in &file.functions {
+            if file.token_in_test(f.body.start) {
+                continue;
+            }
+            // The sanctioned degradation helpers are allowed to look at
+            // Corrupt results — they are the escape hatch.
+            if lint.corrupt_sanctioned.contains(&f.name) {
+                continue;
+            }
+            let body = &file.tokens[f.body.clone()];
+            if !body.iter().any(|t| {
+                t.ident()
+                    .is_some_and(|id| lint.corrupt_sources.iter().any(|s| s == id))
+            }) {
+                continue;
+            }
+            check_fn(lint, file, f, out)?;
+        }
+    }
+    Ok(())
+}
+
+fn check_fn(
+    lint: &Config,
+    file: &SourceFile,
+    f: &Function,
+    out: &mut Vec<Diagnostic>,
+) -> Result<(), String> {
+    let g = Cfg::build(file, f);
+    let info: Vec<NodeInfo> = g
+        .nodes
+        .iter()
+        .map(|n| node_info(lint, &file.tokens, n.toks.clone()))
+        .collect();
+    let an = TaintAnalysis {
+        file,
+        cfg: &g,
+        info,
+    };
+    let facts = solve(&g, &an).map_err(|e| {
+        format!(
+            "{}: fn {} (line {}): {e}",
+            file.rel_path.display(),
+            f.qualified(),
+            f.line
+        )
+    })?;
+
+    // Predecessor map, for connecting match arms to their scrutinee.
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); g.nodes.len()];
+    for (i, n) in g.nodes.iter().enumerate() {
+        for e in &n.succs {
+            preds[e.to].push(i);
+        }
+    }
+
+    let mut reported = BTreeSet::new();
+    for (idx, entry) in facts.iter().enumerate() {
+        let Some(entry) = entry else { continue };
+        let ni = &an.info[idx];
+
+        // Sink directly chained onto a source call in the same statement.
+        // An intervening `?` (at any depth — block expressions keep whole
+        // statements atomic) means the error already propagated.
+        for (src, src_line, src_i) in &ni.sources {
+            for (sink, sink_line, sink_i) in &ni.sinks {
+                if sink_i <= src_i {
+                    continue;
+                }
+                let propagated = file.tokens[*src_i..*sink_i].iter().any(|t| t.is_punct('?'));
+                if !propagated && reported.insert((*src_line, *sink_line, sink.clone())) {
+                    out.push(Diagnostic::new(
+                        &file.rel_path,
+                        *sink_line,
+                        RULE,
+                        format!(
+                            "Corrupt-capable result of `{src}` is swallowed by `.{sink}(..)` — \
+                             propagate the error or go through a sanctioned degradation helper"
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // Sink reached by a tainted variable.
+        for (var, &src_line) in entry {
+            let Some(m) = an.mentions(idx, var) else {
+                continue;
+            };
+            for (sink, sink_line, sink_i) in &ni.sinks {
+                if *sink_i > m && reported.insert((src_line, *sink_line, sink.clone())) {
+                    out.push(Diagnostic::new(
+                        &file.rel_path,
+                        *sink_line,
+                        RULE,
+                        format!(
+                            "tainted `{var}` (Corrupt-capable result from line {src_line}) \
+                             is swallowed by `.{sink}(..)` — propagate the error or go \
+                             through a sanctioned degradation helper"
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // Match arms that default away an Err on a corrupt-bearing
+        // scrutinee.
+        let Some(arm) = &g.nodes[idx].arm else {
+            continue;
+        };
+        let bearing = preds[idx].iter().any(|&p| {
+            let pi = &an.info[p];
+            let from_source = !pi.sources.is_empty() && !pi.ends_q;
+            let from_taint = facts[p]
+                .as_ref()
+                .is_some_and(|f| f.keys().any(|v| an.mentions(p, v).is_some()));
+            from_source || from_taint
+        });
+        if !bearing {
+            continue;
+        }
+        if !arm_swallows_err(lint, &file.tokens, arm) {
+            continue;
+        }
+        let line = g.nodes[idx]
+            .line
+            .max(file.tokens.get(arm.pat.start).map(|t| t.line).unwrap_or(0));
+        if reported.insert((line, line, "arm".into())) {
+            out.push(Diagnostic::new(
+                &file.rel_path,
+                line,
+                RULE,
+                format!(
+                    "match arm maps a Corrupt-capable `Err` to a default value — \
+                     propagate it, panic, or call one of: {}",
+                    lint.corrupt_sanctioned.join(", ")
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Does this arm catch `Err` (or everything) and produce a value without
+/// propagating, panicking, or degrading through a sanctioned helper?
+fn arm_swallows_err(lint: &Config, ts: &[Token], arm: &ArmInfo) -> bool {
+    let pat = &ts[arm.pat.clone()];
+    let catches_err =
+        pat.iter().any(|t| t.is_ident("Err")) || (pat.len() == 1 && pat[0].is_ident("_"));
+    if !catches_err {
+        return false;
+    }
+    // A pattern (or guard) that *names* corruption — `Err(e) if
+    // e.is_corrupt()`, `Err(Fault::Corrupt(_))` — is deliberate handling
+    // (fsck findings, block quarantine), not silent defaulting.
+    if pat
+        .iter()
+        .any(|t| t.is_ident("Corrupt") || t.is_ident("is_corrupt"))
+    {
+        return false;
+    }
+    let body = &ts[arm.body.clone()];
+    let handles = body.iter().any(|t| match &t.tok {
+        Tok::Punct('?') => true,
+        Tok::Ident(s) => {
+            matches!(
+                s.as_str(),
+                "Err"
+                    | "panic"
+                    | "unreachable"
+                    | "todo"
+                    | "assert"
+                    | "debug_assert"
+                    | "Corrupt"
+                    | "break"
+                    | "continue"
+            ) || lint.corrupt_sanctioned.iter().any(|h| h == s)
+        }
+        _ => false,
+    });
+    !handles
+}
+
+fn node_info(lint: &Config, ts: &[Token], r: std::ops::Range<usize>) -> NodeInfo {
+    let mut sources = Vec::new();
+    let mut sinks = Vec::new();
+    for i in r.clone() {
+        let Some(id) = ts[i].ident() else { continue };
+        if !ts.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        if lint.corrupt_sources.iter().any(|s| s == id) {
+            sources.push((id.to_string(), ts[i].line, i));
+        } else if lint.corrupt_sinks.iter().any(|s| s == id) && i >= 1 && ts[i - 1].is_punct('.') {
+            sinks.push((id.to_string(), ts[i].line, i));
+        }
+    }
+    let ends_q = r.end > r.start && ts[r.end - 1].is_punct('?');
+    let is_let = !r.is_empty() && ts.get(r.start).is_some_and(|t| t.is_ident("let"));
+    let let_binds = if is_let {
+        let mut names = Vec::new();
+        let mut depth = 0i32;
+        for t in &ts[r.start + 1..r.end] {
+            match &t.tok {
+                Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+                Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+                Tok::Punct('=') if depth == 0 => break,
+                Tok::Ident(s) => {
+                    let keyword = matches!(s.as_str(), "mut" | "ref" | "_");
+                    let upper = s.starts_with(|c: char| c.is_ascii_uppercase());
+                    if !keyword && !upper {
+                        names.push(s.clone());
+                    }
+                }
+                _ => {}
+            }
+        }
+        names
+    } else {
+        Vec::new()
+    };
+    // `let y = x ;` exactly: [let, y, =, x] with an optional trailing `;`.
+    let toks: Vec<&Token> = ts[r.clone()].iter().filter(|t| !t.is_punct(';')).collect();
+    let copy = match toks.as_slice() {
+        [l, y, eq, x] if l.is_ident("let") && eq.is_punct('=') => match (y.ident(), x.ident()) {
+            (Some(y), Some(x)) => Some((y.to_string(), x.to_string())),
+            _ => None,
+        },
+        _ => None,
+    };
+    NodeInfo {
+        sources,
+        sinks,
+        copy,
+        let_binds,
+        ends_q,
+    }
+}

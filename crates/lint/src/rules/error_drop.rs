@@ -30,7 +30,6 @@ pub fn check(cfg: &Config, files: &[SourceFile], out: &mut Vec<Diagnostic>) {
             if t.is_ident("let")
                 && toks.get(i + 1).is_some_and(|a| a.is_ident("_"))
                 && toks.get(i + 2).is_some_and(|a| a.is_punct('='))
-                && !file.is_suppressed(t.line)
             {
                 out.push(Diagnostic::new(
                     &file.rel_path,
@@ -50,16 +49,14 @@ pub fn check(cfg: &Config, files: &[SourceFile], out: &mut Vec<Diagnostic>) {
                 && toks.get(i + 4).is_some_and(|a| a.is_punct(';'))
             {
                 let line = toks[i + 1].line;
-                if !file.is_suppressed(line) {
-                    out.push(Diagnostic::new(
-                        &file.rel_path,
-                        line,
-                        RULE,
-                        "statement-final `.ok()` swallows an error on a durability \
-                         path"
-                            .into(),
-                    ));
-                }
+                out.push(Diagnostic::new(
+                    &file.rel_path,
+                    line,
+                    RULE,
+                    "statement-final `.ok()` swallows an error on a durability \
+                     path"
+                        .into(),
+                ));
             }
         }
     }

@@ -1,0 +1,388 @@
+//! pin-leak — snapshot pins must be released on every path.
+//!
+//! Values returned by `pin_snapshot` (manual pins, released with
+//! `unpin_snapshot`) and `begin_snapshot` (RAII guards) hold back version
+//! pruning: a pin that escapes a function on an error path without being
+//! released pins the MVCC horizon until process exit, and a pin held
+//! *across* a `checkpoint`/`vacuum`/`compress` call forces those passes
+//! to retain every version chain the pin can still see. The analysis
+//! tracks the set of live pins per CFG node (a may-lattice: union join)
+//! and reports
+//!
+//! * a manual pin still live on a `?`/`return`/fall-through edge whose
+//!   escaping statement does not mention the pin (returning the pin hands
+//!   ownership to the caller, which is fine), and
+//! * any pin — manual or RAII — live across a maintenance call.
+//!
+//! RAII guards are exempt from the escape check (their `Drop` runs on
+//! every path) but not from the maintenance check. A `?` failing on the
+//! acquire statement itself is not a leak: the pin was never taken.
+//! Ownership transfers into the constructors named by
+//! `Config::pin_transfer` (e.g. `SnapshotPager::new`) release the pins
+//! named in the argument list.
+
+use crate::cfg::{Cfg, EdgeKind};
+use crate::dataflow::{solve, Analysis};
+use crate::lexer::Token;
+use crate::model::{Function, SourceFile};
+use crate::{Config, Diagnostic};
+use std::collections::{BTreeMap, BTreeSet};
+
+pub const RULE: &str = "pin-leak";
+
+const ACQUIRE_MANUAL: &str = "pin_snapshot";
+const ACQUIRE_RAII: &str = "begin_snapshot";
+const RELEASE: &str = "unpin_snapshot";
+
+#[derive(Clone, Debug, PartialEq)]
+struct Pin {
+    /// Acquire line; tuple bindings (`let (lsn, n) = ...pin_snapshot()`)
+    /// produce one Pin per name sharing this line, and killing any alias
+    /// kills the whole group.
+    line: u32,
+    manual: bool,
+}
+
+type Fact = BTreeMap<String, Pin>;
+
+#[derive(Clone, Debug)]
+enum Event {
+    Acquire {
+        names: Vec<String>,
+        manual: bool,
+        line: u32,
+    },
+    /// Release/transfer: kills the named pins (and their line-aliases), or
+    /// every manual pin when the call named none we track — e.g.
+    /// `unpin_snapshot(self.lsn)`, which is conservative against leaks
+    /// being the *absence* of a kill.
+    Kill {
+        names: Vec<String>,
+        all_if_unnamed: bool,
+    },
+    Maintenance {
+        name: String,
+        line: u32,
+    },
+    /// Bare-name mention that moves a RAII guard (passed or wrapped by
+    /// value); manual pins are unaffected.
+    Move {
+        name: String,
+    },
+}
+
+struct PinAnalysis {
+    events: Vec<Vec<Event>>,
+}
+
+impl PinAnalysis {
+    fn apply(&self, idx: usize, fact: &mut Fact, mut on_maint: impl FnMut(&Fact, &str, u32)) {
+        for ev in &self.events[idx] {
+            match ev {
+                Event::Acquire {
+                    names,
+                    manual,
+                    line,
+                } => {
+                    for n in names {
+                        fact.insert(
+                            n.clone(),
+                            Pin {
+                                line: *line,
+                                manual: *manual,
+                            },
+                        );
+                    }
+                }
+                Event::Kill {
+                    names,
+                    all_if_unnamed,
+                } => {
+                    let mut hit_lines = BTreeSet::new();
+                    for n in names {
+                        if let Some(p) = fact.remove(n) {
+                            hit_lines.insert(p.line);
+                        }
+                    }
+                    if hit_lines.is_empty() {
+                        if *all_if_unnamed {
+                            fact.retain(|_, p| !p.manual);
+                        }
+                    } else {
+                        // Kill tuple-aliases acquired on the same line.
+                        fact.retain(|_, p| !hit_lines.contains(&p.line));
+                    }
+                }
+                Event::Maintenance { name, line } => on_maint(fact, name, *line),
+                Event::Move { name } => {
+                    if fact.get(name).is_some_and(|p| !p.manual) {
+                        fact.remove(name);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Analysis for PinAnalysis {
+    type Fact = Fact;
+
+    fn entry_fact(&self) -> Fact {
+        BTreeMap::new()
+    }
+
+    fn join(&self, fact: &mut Fact, other: &Fact) -> bool {
+        let mut changed = false;
+        for (k, v) in other {
+            if !fact.contains_key(k) {
+                fact.insert(k.clone(), v.clone());
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn transfer(&self, idx: usize, fact: &mut Fact) {
+        self.apply(idx, fact, |_, _, _| {});
+    }
+}
+
+pub fn check(lint: &Config, files: &[SourceFile], out: &mut Vec<Diagnostic>) -> Result<(), String> {
+    for file in files {
+        for f in &file.functions {
+            if matches!(f.name.as_str(), ACQUIRE_MANUAL | ACQUIRE_RAII | RELEASE) {
+                continue;
+            }
+            if file.token_in_test(f.body.start) {
+                continue;
+            }
+            let body = &file.tokens[f.body.clone()];
+            if !body
+                .iter()
+                .any(|t| t.is_ident(ACQUIRE_MANUAL) || t.is_ident(ACQUIRE_RAII))
+            {
+                continue;
+            }
+            check_fn(lint, file, f, out)?;
+        }
+    }
+    Ok(())
+}
+
+fn check_fn(
+    lint: &Config,
+    file: &SourceFile,
+    f: &Function,
+    out: &mut Vec<Diagnostic>,
+) -> Result<(), String> {
+    let g = Cfg::build(file, f);
+    let mut events = Vec::with_capacity(g.nodes.len());
+    let mut acquired_here: Vec<Vec<String>> = Vec::with_capacity(g.nodes.len());
+    for n in &g.nodes {
+        let (evs, acq) = node_events(lint, &file.tokens, n.toks.clone());
+        events.push(evs);
+        acquired_here.push(acq);
+    }
+    let an = PinAnalysis { events };
+    let facts = solve(&g, &an).map_err(|e| {
+        format!(
+            "{}: fn {} (line {}): {e}",
+            file.rel_path.display(),
+            f.qualified(),
+            f.line
+        )
+    })?;
+
+    let mut reported = BTreeSet::new();
+    for (idx, entry) in facts.iter().enumerate() {
+        let Some(entry) = entry else { continue };
+        let node = &g.nodes[idx];
+        let mut post = entry.clone();
+        an.apply(idx, &mut post, |live, maint, line| {
+            for (pname, pin) in live {
+                if reported.insert((pin.line, line, pname.clone())) {
+                    out.push(Diagnostic::new(
+                        &file.rel_path,
+                        line,
+                        RULE,
+                        format!(
+                            "snapshot pin `{pname}` (line {}) is live across `{maint}` — \
+                             pinned snapshots block version pruning; release it first or \
+                             annotate with lint:allow(reason)",
+                            pin.line
+                        ),
+                    ));
+                }
+            }
+        });
+        if post.is_empty() {
+            continue;
+        }
+        let mentioned: BTreeSet<&str> = file.tokens[node.toks.clone()]
+            .iter()
+            .filter_map(Token::ident)
+            .collect();
+        let mentioned_lines: BTreeSet<u32> = post
+            .iter()
+            .filter(|(n, _)| mentioned.contains(n.as_str()))
+            .map(|(_, p)| p.line)
+            .collect();
+        for kind in g.exit_edges(idx).collect::<BTreeSet<_>>() {
+            for (pname, pin) in &post {
+                if !pin.manual {
+                    continue;
+                }
+                let escaped = match kind {
+                    // The acquire statement's own `?` failing means the
+                    // pin was never taken.
+                    EdgeKind::Error => !acquired_here[idx].contains(pname),
+                    // Returning (or falling through with) the pin's name
+                    // hands it to the caller.
+                    _ => !mentioned_lines.contains(&pin.line),
+                };
+                if !escaped {
+                    continue;
+                }
+                let line = if node.line != 0 { node.line } else { pin.line };
+                if reported.insert((pin.line, line, pname.clone())) {
+                    let how = match kind {
+                        EdgeKind::Error => "the `?` error path",
+                        EdgeKind::Return => "an early return",
+                        _ => "fall-through",
+                    };
+                    out.push(Diagnostic::new(
+                        &file.rel_path,
+                        line,
+                        RULE,
+                        format!(
+                            "snapshot pin `{pname}` (line {}) leaks via {how}: no \
+                             unpin_snapshot/drop/transfer reaches this exit",
+                            pin.line
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Scan one node's tokens into an ordered event list, plus the names
+/// acquired inside this node (for the acquire-site `?` exemption).
+fn node_events(
+    lint: &Config,
+    ts: &[Token],
+    r: std::ops::Range<usize>,
+) -> (Vec<Event>, Vec<String>) {
+    let let_names = let_binding_names(ts, r.clone());
+    let mut evs = Vec::new();
+    let mut acquired = Vec::new();
+    let mut i = r.start;
+    while i < r.end {
+        let Some(id) = ts[i].ident() else {
+            i += 1;
+            continue;
+        };
+        let called = ts.get(i + 1).is_some_and(|n| n.is_punct('('));
+        if called && (id == ACQUIRE_MANUAL || id == ACQUIRE_RAII) {
+            let names = if let_names.is_empty() {
+                vec![format!("<pin@{}>", ts[i].line)]
+            } else {
+                let_names.clone()
+            };
+            acquired.extend(names.iter().cloned());
+            evs.push(Event::Acquire {
+                names,
+                manual: id == ACQUIRE_MANUAL,
+                line: ts[i].line,
+            });
+        } else if called && id == RELEASE {
+            evs.push(Event::Kill {
+                names: call_arg_idents(ts, i + 1, r.end),
+                all_if_unnamed: true,
+            });
+        } else if called && id == "drop" {
+            evs.push(Event::Kill {
+                names: call_arg_idents(ts, i + 1, r.end),
+                all_if_unnamed: false,
+            });
+        } else if lint.pin_transfer.iter().any(|t| t == id) {
+            // `SnapshotPager::new(pager, lsn, n)`: find the argument list
+            // (a few tokens ahead, past `::new`) and release what it names.
+            let open = (i + 1..(i + 5).min(r.end)).find(|&j| ts[j].is_punct('('));
+            if let Some(open) = open {
+                evs.push(Event::Kill {
+                    names: call_arg_idents(ts, open, r.end),
+                    all_if_unnamed: true,
+                });
+            }
+        } else if called && lint.pin_maintenance.iter().any(|m| m == id) {
+            evs.push(Event::Maintenance {
+                name: id.to_string(),
+                line: ts[i].line,
+            });
+        } else {
+            let borrowed = i
+                .checked_sub(1)
+                .is_some_and(|j| ts[j].is_punct('&') || ts[j].is_punct('.'));
+            let used_in_place = ts
+                .get(i + 1)
+                .is_some_and(|n| n.is_punct('.') || n.is_punct('('));
+            if !borrowed && !used_in_place {
+                evs.push(Event::Move {
+                    name: id.to_string(),
+                });
+            }
+        }
+        i += 1;
+    }
+    (evs, acquired)
+}
+
+/// Lower-case idents bound by a `let` pattern at the start of the node
+/// (everything before the first balanced-depth `=`).
+fn let_binding_names(ts: &[Token], r: std::ops::Range<usize>) -> Vec<String> {
+    if r.is_empty() || !ts.get(r.start).is_some_and(|t| t.is_ident("let")) {
+        return Vec::new();
+    }
+    let mut names = Vec::new();
+    let mut depth = 0i32;
+    for t in &ts[r.start + 1..r.end] {
+        match &t.tok {
+            crate::lexer::Tok::Punct('(') | crate::lexer::Tok::Punct('[') => depth += 1,
+            crate::lexer::Tok::Punct(')') | crate::lexer::Tok::Punct(']') => depth -= 1,
+            crate::lexer::Tok::Punct('=') if depth == 0 => break,
+            crate::lexer::Tok::Ident(s) => {
+                let keyword = matches!(s.as_str(), "mut" | "ref" | "_");
+                let upper = s.starts_with(|c: char| c.is_ascii_uppercase());
+                if !keyword && !upper {
+                    names.push(s.clone());
+                }
+            }
+            _ => {}
+        }
+    }
+    names
+}
+
+/// Idents inside the parenthesized argument list opening at `open`.
+fn call_arg_idents(ts: &[Token], open: usize, end: usize) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut depth = 0i32;
+    for t in &ts[open..end] {
+        match &t.tok {
+            crate::lexer::Tok::Punct('(') => depth += 1,
+            crate::lexer::Tok::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            crate::lexer::Tok::Ident(s) if depth > 0 && s != "self" && s != "mut" => {
+                names.push(s.clone());
+            }
+            _ => {}
+        }
+    }
+    names
+}

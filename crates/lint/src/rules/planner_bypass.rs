@@ -50,22 +50,20 @@ pub fn check(cfg: &Config, files: &[SourceFile], out: &mut Vec<Diagnostic>) {
                 && toks.get(i + 2).is_some_and(|p| p.is_punct('('))
             {
                 let line = toks[i + 1].line;
-                if !file.is_suppressed(line) {
-                    let method = RAW_PATHS
-                        .iter()
-                        .find(|p| toks[i + 1].is_ident(p))
-                        .unwrap_or(&"?");
-                    out.push(Diagnostic::new(
-                        &file.rel_path,
-                        line,
-                        RULE,
-                        format!(
-                            "direct .{method}() call hand-wires the access path: route \
-                             the scan through planner::choose_path (SQL) or \
-                             archis::planner (compressed segments)"
-                        ),
-                    ));
-                }
+                let method = RAW_PATHS
+                    .iter()
+                    .find(|p| toks[i + 1].is_ident(p))
+                    .unwrap_or(&"?");
+                out.push(Diagnostic::new(
+                    &file.rel_path,
+                    line,
+                    RULE,
+                    format!(
+                        "direct .{method}() call hand-wires the access path: route \
+                         the scan through planner::choose_path (SQL) or \
+                         archis::planner (compressed segments)"
+                    ),
+                ));
             }
         }
     }

@@ -40,16 +40,14 @@ pub fn check(cfg: &Config, files: &[SourceFile], out: &mut Vec<Diagnostic>) {
                 && toks.get(i + 4).is_some_and(|a| a.is_punct('('))
             {
                 let line = toks[i + 3].line;
-                if !file.is_suppressed(line) {
-                    out.push(Diagnostic::new(
-                        &file.rel_path,
-                        line,
-                        RULE,
-                        "BTree::open outside the session layer bypasses MVCC: reach \
-                         trees through Table (live writer) or a Snapshot's frozen pool"
-                            .into(),
-                    ));
-                }
+                out.push(Diagnostic::new(
+                    &file.rel_path,
+                    line,
+                    RULE,
+                    "BTree::open outside the session layer bypasses MVCC: reach \
+                     trees through Table (live writer) or a Snapshot's frozen pool"
+                        .into(),
+                ));
             }
         }
     }

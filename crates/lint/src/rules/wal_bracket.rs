@@ -1,0 +1,197 @@
+//! wal-bracket — mutations must not escape the transaction bracket.
+//!
+//! The archive/catalog mutation paths follow a strict protocol: mutate
+//! pages, then either commit (`txn_commit`/`commit`) or abort
+//! (`txn_abort`/`abort`). A `?` or early `return` between the first
+//! mutation and the bracket close leaves buffered dirty pages and WAL
+//! state torn — the next commit on the same handle would persist a
+//! half-applied batch. This is the flow-sensitive upgrade of the
+//! token-based wal-discipline rule: instead of flagging call *sites*, it
+//! tracks a dirty marker through the CFG and flags *paths* that exit
+//! while dirty.
+//!
+//! Only functions that close a bracket themselves (their body mentions a
+//! commit- or abort-family call) are analyzed: a pure mutation helper is
+//! presumed to run inside its caller's bracket, which this
+//! intra-procedural pass cannot see. Mutation events are calls to
+//! `Config::wal_mutation_calls` methods on a receiver other than `self`
+//! (`archiver.apply(...)`, `Archiver::create(...)`); same-layer
+//! delegation through `self.apply(...)` is the *caller's* bracket and is
+//! skipped.
+
+use crate::cfg::{Cfg, EdgeKind};
+use crate::dataflow::{solve, Analysis};
+use crate::lexer::Token;
+use crate::model::{Function, SourceFile};
+use crate::{Config, Diagnostic};
+use std::collections::BTreeSet;
+
+pub const RULE: &str = "wal-bracket";
+
+#[derive(Clone, Debug)]
+enum Event {
+    Mutate {
+        name: String,
+        line: u32,
+    },
+    /// A commit- or abort-family call closes the bracket.
+    Clear,
+}
+
+/// Earliest live (uncommitted) mutation on some path into the node.
+type Fact = Option<(u32, String)>;
+
+struct WalBracket {
+    events: Vec<Vec<Event>>,
+}
+
+impl Analysis for WalBracket {
+    type Fact = Fact;
+
+    fn entry_fact(&self) -> Fact {
+        None
+    }
+
+    fn join(&self, fact: &mut Fact, other: &Fact) -> bool {
+        match (fact.as_ref(), other.as_ref()) {
+            (_, None) => false,
+            (None, Some(o)) => {
+                *fact = Some(o.clone());
+                true
+            }
+            (Some(f), Some(o)) if o.0 < f.0 => {
+                *fact = Some(o.clone());
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn transfer(&self, idx: usize, fact: &mut Fact) {
+        for ev in &self.events[idx] {
+            match ev {
+                Event::Mutate { name, line } => {
+                    if fact.is_none() {
+                        *fact = Some((*line, name.clone()));
+                    }
+                }
+                Event::Clear => *fact = None,
+            }
+        }
+    }
+}
+
+pub fn check(lint: &Config, files: &[SourceFile], out: &mut Vec<Diagnostic>) -> Result<(), String> {
+    for file in files {
+        if !lint.is_wal_bracket_file(&file.rel_path) {
+            continue;
+        }
+        for f in &file.functions {
+            if file.token_in_test(f.body.start) {
+                continue;
+            }
+            // The bracket-closing family itself (txn_commit, commit,
+            // abort, ...) is the mechanism, not a client of it.
+            if lint.wal_commit_calls.contains(&f.name) || lint.wal_abort_calls.contains(&f.name) {
+                continue;
+            }
+            let body = &file.tokens[f.body.clone()];
+            let armed = body.iter().any(|t| {
+                t.ident().is_some_and(|id| {
+                    lint.wal_commit_calls.iter().any(|c| c == id)
+                        || lint.wal_abort_calls.iter().any(|c| c == id)
+                })
+            });
+            if !armed {
+                continue;
+            }
+            check_fn(lint, file, f, out)?;
+        }
+    }
+    Ok(())
+}
+
+fn check_fn(
+    lint: &Config,
+    file: &SourceFile,
+    f: &Function,
+    out: &mut Vec<Diagnostic>,
+) -> Result<(), String> {
+    let g = Cfg::build(file, f);
+    let events: Vec<Vec<Event>> = g
+        .nodes
+        .iter()
+        .map(|n| node_events(lint, &file.tokens, n.toks.clone()))
+        .collect();
+    let an = WalBracket { events };
+    let facts = solve(&g, &an).map_err(|e| {
+        format!(
+            "{}: fn {} (line {}): {e}",
+            file.rel_path.display(),
+            f.qualified(),
+            f.line
+        )
+    })?;
+
+    let mut reported = BTreeSet::new();
+    for (idx, entry) in facts.iter().enumerate() {
+        let Some(entry) = entry else { continue };
+        let mut post = entry.clone();
+        an.transfer(idx, &mut post);
+        let Some((mut_line, mut_name)) = post else {
+            continue;
+        };
+        let node = &g.nodes[idx];
+        for kind in g.exit_edges(idx).collect::<BTreeSet<_>>() {
+            let how = match kind {
+                EdgeKind::Error => "the `?` error path",
+                EdgeKind::Return => "an early return",
+                EdgeKind::Break => "a break",
+                _ => "fall-through",
+            };
+            let line = if node.line != 0 { node.line } else { mut_line };
+            if reported.insert((mut_line, line)) {
+                out.push(Diagnostic::new(
+                    &file.rel_path,
+                    line,
+                    RULE,
+                    format!(
+                        "mutation `{mut_name}` (line {mut_line}) escapes the WAL bracket \
+                         via {how} without commit or abort — add an abort edge (txn_abort) \
+                         or restructure so the error path closes the bracket"
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn node_events(lint: &Config, ts: &[Token], r: std::ops::Range<usize>) -> Vec<Event> {
+    let mut evs = Vec::new();
+    for i in r.clone() {
+        let Some(id) = ts[i].ident() else { continue };
+        if !ts.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        if lint.wal_commit_calls.iter().any(|c| c == id)
+            || lint.wal_abort_calls.iter().any(|c| c == id)
+        {
+            evs.push(Event::Clear);
+            continue;
+        }
+        if !lint.wal_mutation_calls.iter().any(|m| m == id) {
+            continue;
+        }
+        // `recv.name(...)` with recv != self, or `Type::name(...)`.
+        let dotted = i >= 1 && ts[i - 1].is_punct('.') && !(i >= 2 && ts[i - 2].is_ident("self"));
+        let pathed = i >= 2 && ts[i - 1].is_punct(':') && ts[i - 2].is_punct(':');
+        if dotted || pathed {
+            evs.push(Event::Mutate {
+                name: id.to_string(),
+                line: ts[i].line,
+            });
+        }
+    }
+    evs
+}

@@ -16,6 +16,7 @@ fn fixture_config() -> Config {
     cfg.scan_dirs = vec![PathBuf::from("src")];
     cfg.error_drop_files = vec!["errdrop.rs".into()];
     cfg.planner_query_files = vec!["planner_bad.rs".into()];
+    cfg.wal_bracket_files = vec!["walbracket_bad.rs".into()];
     cfg
 }
 
@@ -42,6 +43,9 @@ fn expected_sites() -> BTreeSet<(String, u32, String)> {
                     "slice-index",
                     "error-drop",
                     "planner-bypass",
+                    "pin-leak",
+                    "wal-bracket",
+                    "corrupt-taint",
                 ];
                 for rule in line[pos + 3..]
                     .split_whitespace()
@@ -131,6 +135,47 @@ fn binary_exits_nonzero_on_fixtures() {
     assert!(
         stdout.contains("src/wal_bad.rs:7: [wal-discipline]"),
         "machine-readable file:line diagnostics on stdout; got:\n{stdout}"
+    );
+}
+
+#[test]
+fn binary_emits_one_json_object_per_finding() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_archis-lint"))
+        .arg("--root")
+        .arg(fixture_root())
+        .args(["--scan", "src", "--format", "json"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "violations still exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for line in stdout.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "one JSON object per line; got: {line}"
+        );
+        for key in [
+            "\"file\":",
+            "\"line\":",
+            "\"rule\":",
+            "\"message\":",
+            "\"allow_line\":",
+        ] {
+            assert!(line.contains(key), "missing {key} in: {line}");
+        }
+    }
+    assert!(
+        stdout.contains(r#""file":"src/wal_bad.rs","line":7,"rule":"wal-discipline""#),
+        "active finding serialized; got:\n{stdout}"
+    );
+    // Sanctioned sites (e.g. session_bad.rs's allowed BTree::open) appear
+    // with their marker line instead of null.
+    let allowed = stdout
+        .lines()
+        .filter(|l| !l.contains("\"allow_line\":null"))
+        .count();
+    assert!(
+        allowed >= 1,
+        "lint:allow-silenced findings carry their marker line:\n{stdout}"
     );
 }
 

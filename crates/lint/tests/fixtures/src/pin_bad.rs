@@ -1,0 +1,76 @@
+//! Seeded pin-leak violations: manual snapshot pins escaping on error,
+//! return, and loop-break fall-through paths, plus a pin held across a
+//! maintenance pass. Lexed by the lint, not compiled; `//~` markers are
+//! the expected set.
+
+pub fn leak_on_error(db: &Db) -> Result<u64, String> {
+    let pin = pin_snapshot(db)?;
+    let rows = fetch_history(db)?; //~ pin-leak
+    unpin_snapshot(db, pin);
+    Ok(rows)
+}
+
+pub fn leak_on_return(db: &Db, empty: bool) -> Result<u64, String> {
+    let pin = pin_snapshot(db)?;
+    if empty {
+        return Ok(0); //~ pin-leak
+    }
+    let n = count_at(db, pin);
+    unpin_snapshot(db, pin);
+    Ok(n)
+}
+
+pub fn leak_from_loop_break(db: &Db) -> Result<u64, String> {
+    let mut total = 0;
+    loop {
+        let pin = pin_snapshot(db)?;
+        let n = count_at(db, pin);
+        if n == 0 {
+            break;
+        }
+        total += n;
+        unpin_snapshot(db, pin);
+    }
+    Ok(total) //~ pin-leak
+}
+
+pub fn pinned_across_checkpoint(db: &Db) -> Result<(), String> {
+    let snap = begin_snapshot(db)?;
+    checkpoint(db)?; //~ pin-leak
+    drop(snap);
+    Ok(())
+}
+
+// --- clean cases -------------------------------------------------------
+
+pub fn balanced(db: &Db) -> Result<u64, String> {
+    let pin = pin_snapshot(db)?;
+    let n = count_at(db, pin);
+    unpin_snapshot(db, pin);
+    Ok(n)
+}
+
+pub fn returns_ownership(db: &Db) -> Result<PinToken, String> {
+    // Returning the pin hands it to the caller — a transfer, not a leak.
+    let pin = pin_snapshot(db)?;
+    Ok(pin)
+}
+
+pub fn transfers_into_pager(db: &Db, pager: Pager) -> Result<SnapshotPager, String> {
+    // `SnapshotPager::new` takes ownership (Config::pin_transfer).
+    let pin = pin_snapshot(db)?;
+    Ok(SnapshotPager::new(pager, pin))
+}
+
+pub fn releases_on_error_arm(db: &Db) -> Result<u64, String> {
+    let pin = pin_snapshot(db)?;
+    let rows = match fetch_history(db) {
+        Ok(r) => r,
+        Err(e) => {
+            unpin_snapshot(db, pin);
+            return Err(e);
+        }
+    };
+    unpin_snapshot(db, pin);
+    Ok(rows)
+}

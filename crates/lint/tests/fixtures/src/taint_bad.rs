@@ -1,0 +1,53 @@
+//! Seeded corrupt-taint violations: Corrupt-capable Results defaulted
+//! away via `.unwrap_or(..)`, `.ok()`, and swallowing match arms. Lexed
+//! by the lint, not compiled; `//~` markers are the expected set.
+
+pub fn latest_salary(t: &Table, key: i64) -> i64 {
+    t.lookup(key).unwrap_or(0) //~ corrupt-taint
+}
+
+pub fn cached_page(p: &Pager, id: u64) -> Page {
+    let page = p.read_page(id);
+    p.touch(id);
+    page.unwrap_or_default() //~ corrupt-taint
+}
+
+pub fn probe(idx: &Index, lo: i64, hi: i64) -> Option<Rows> {
+    idx.index_range(lo, hi).ok() //~ corrupt-taint
+}
+
+pub fn swallowing_arm(t: &Table, key: i64) -> i64 {
+    match t.lookup(key) {
+        Ok(v) => v,
+        Err(_) => 0, //~ corrupt-taint
+    }
+}
+
+// --- clean cases -------------------------------------------------------
+
+pub fn strict_lookup(t: &Table, key: i64) -> Result<i64, String> {
+    // `?` propagates Corrupt to the caller — nothing is swallowed.
+    let v = t.lookup(key)?;
+    Ok(v)
+}
+
+pub fn resilient_range(idx: &Index, lo: i64, hi: i64) -> Rows {
+    // Degrading through a sanctioned helper re-verifies against an
+    // independent copy of the data (Config::corrupt_sanctioned).
+    match idx.index_range(lo, hi) {
+        Ok(rows) => rows,
+        Err(_) => index_range_fallback(idx, lo, hi),
+    }
+}
+
+pub fn read_checked(p: &Pager, id: u64) -> Result<Page, String> {
+    // Naming corruption in the pattern/guard is deliberate handling.
+    match p.read_page(id) {
+        Ok(page) => Ok(page),
+        Err(e) if e.is_corrupt() => {
+            quarantine(p, id);
+            Err(e)
+        }
+        Err(e) => Err(e),
+    }
+}

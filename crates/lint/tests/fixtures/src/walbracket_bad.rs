@@ -1,0 +1,56 @@
+//! Seeded wal-bracket violations: mutations escaping the txn bracket via
+//! `?` and early returns before any commit/abort. Lexed by the lint, not
+//! compiled; `//~` markers are the expected set. The fixture config lists
+//! this file in `wal_bracket_files`.
+
+pub fn ingest(db: &Db, archiver: &Archiver, change: &Change) -> Result<(), String> {
+    archiver.apply(db, change)?; //~ wal-bracket
+    txn_commit(db)
+}
+
+pub fn ingest_two(db: &Db, archiver: &Archiver, a: &Change, b: &Change) -> Result<(), String> {
+    if archiver.apply(db, a).is_err() {
+        return Err("first change failed".into()); //~ wal-bracket
+    }
+    archiver.apply(db, b)?; //~ wal-bracket
+    txn_commit(db)
+}
+
+pub fn setup(db: &Db, spec: &Spec) -> Result<(), String> {
+    let t = Archiver::create(db, spec)?; //~ wal-bracket
+    register(t);
+    txn_commit(db)
+}
+
+// --- clean cases -------------------------------------------------------
+
+pub fn ingest_guarded(db: &Db, archiver: &Archiver, change: &Change) -> Result<(), String> {
+    // The error path closes the bracket with an abort edge.
+    if let Err(e) = archiver.apply(db, change) {
+        txn_abort(db);
+        return Err(e);
+    }
+    txn_commit(db)
+}
+
+pub struct Store;
+
+impl Store {
+    pub fn reapply(&self, db: &Db, change: &Change) -> Result<(), String> {
+        // Same-layer delegation through `self` runs inside this bracket;
+        // it is not a raw mutation escaping it.
+        self.apply(change)?;
+        txn_commit(db)
+    }
+
+    fn apply(&self, _change: &Change) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+pub fn stage(archiver: &Archiver, db: &Db, change: &Change) -> Result<(), String> {
+    // A pure mutation helper closes no bracket itself — it runs inside
+    // its caller's, so the intra-procedural pass leaves it alone.
+    archiver.apply(db, change)?;
+    Ok(())
+}

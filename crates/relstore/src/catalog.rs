@@ -33,6 +33,10 @@ pub struct Database {
     tables: RwLock<HashMap<String, Arc<Table>>>,
     /// The durable catalog heap (page 0 of file-backed databases).
     catalog: Option<HeapFile>,
+    /// Set by [`Database::abort`] after a mutation failed inside a WAL
+    /// bracket: the buffered state may be torn, so [`Database::commit`]
+    /// and [`Database::checkpoint`] refuse until the handle is reopened.
+    aborted: std::sync::atomic::AtomicBool,
 }
 
 impl Database {
@@ -49,6 +53,7 @@ impl Database {
             pool,
             tables: RwLock::new(HashMap::new()),
             catalog: None,
+            aborted: std::sync::atomic::AtomicBool::new(false),
         }
     }
 
@@ -58,6 +63,7 @@ impl Database {
             pool,
             tables: RwLock::new(HashMap::new()),
             catalog: None,
+            aborted: std::sync::atomic::AtomicBool::new(false),
         }
     }
 
@@ -126,6 +132,7 @@ impl Database {
                 pool,
                 tables: RwLock::new(HashMap::new()),
                 catalog: Some(catalog),
+                aborted: std::sync::atomic::AtomicBool::new(false),
             });
         }
         let catalog = HeapFile::open(pool.clone(), 0)?;
@@ -147,6 +154,7 @@ impl Database {
             pool,
             tables: RwLock::new(tables),
             catalog: Some(catalog),
+            aborted: std::sync::atomic::AtomicBool::new(false),
         })
     }
 
@@ -192,11 +200,38 @@ impl Database {
         if !self.is_transactional() {
             return Ok(());
         }
+        if self.is_aborted() {
+            return Err(StoreError::Io(
+                "transaction aborted: the buffered state may hold a half-applied \
+                 mutation; reopen the database to recover to the last commit"
+                    .into(),
+            ));
+        }
         if self.catalog.is_some() {
             self.persist_catalog()?;
         }
         self.pool.flush_dirty()?;
         self.pool.pager().commit()
+    }
+
+    /// Poison this handle after a mutation failed mid-transaction: the
+    /// buffer pool (and any in-memory counters layered above) may hold a
+    /// half-applied change, and sealing it with a later commit would
+    /// persist a torn batch. After `abort`, [`Database::commit`] and
+    /// [`Database::checkpoint`] refuse; recovery is reopening the
+    /// database, which replays the WAL to the last commit boundary.
+    /// No-op on non-transactional databases — writes there are applied in
+    /// place and there is no bracket to tear.
+    pub fn abort(&self) {
+        if self.is_transactional() {
+            self.aborted
+                .store(true, std::sync::atomic::Ordering::SeqCst);
+        }
+    }
+
+    /// Has [`Database::abort`] poisoned this handle?
+    pub fn is_aborted(&self) -> bool {
+        self.aborted.load(std::sync::atomic::Ordering::SeqCst)
     }
 
     /// Persist the catalog (every table's schema + current roots), write
@@ -205,6 +240,13 @@ impl Database {
     /// non-WAL durable database; on WAL databases it bounds recovery time
     /// and reclaims log space.
     pub fn checkpoint(&self) -> Result<()> {
+        if self.is_aborted() {
+            return Err(StoreError::Io(
+                "transaction aborted: refusing to checkpoint a possibly torn \
+                 buffer state; reopen the database to recover"
+                    .into(),
+            ));
+        }
         self.persist_catalog()?;
         self.pool.flush_all()?;
         self.pool.pager().checkpoint()?;

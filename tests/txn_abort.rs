@@ -1,0 +1,86 @@
+//! Transaction-abort poisoning (`Database::abort`): after a mutation
+//! fails inside a WAL bracket, the handle refuses to commit or checkpoint
+//! — a later commit would seal the half-applied state — and recovery is
+//! reopening, which replays the WAL to the last commit boundary.
+
+use archis::{ArchConfig, ArchIS, Change, RelationSpec};
+use relstore::Value;
+use temporal::Date;
+
+fn d(s: &str) -> Date {
+    Date::parse(s).unwrap()
+}
+
+fn hire(id: i64, name: &str, at: &str) -> Change {
+    Change::Insert {
+        relation: "employee".into(),
+        key: id,
+        values: vec![
+            ("name".into(), Value::Str(name.into())),
+            ("salary".into(), Value::Int(50_000)),
+            ("title".into(), Value::Str("Engineer".into())),
+            ("deptno".into(), Value::Str("d001".into())),
+        ],
+        at: d(at),
+    }
+}
+
+#[test]
+fn aborted_handle_refuses_commit_and_recovers_on_reopen() {
+    let dir = std::env::temp_dir().join(format!("archis-abort-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("abort.db");
+    let wal = dir.join("abort.db.wal");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&wal);
+
+    {
+        let mut a = ArchIS::open_file(&path, ArchConfig::default()).unwrap();
+        a.create_relation(RelationSpec::employee()).unwrap();
+        a.apply(&hire(1, "Alice", "1995-01-01")).unwrap();
+
+        // Poison the handle as ArchIS::txn_abort does after a failed
+        // mutation. Everything buffered after the last commit is suspect.
+        a.database().abort();
+        assert!(a.database().is_aborted());
+        let commit = a.database().commit();
+        assert!(
+            commit.is_err(),
+            "commit on an aborted handle must refuse, got {commit:?}"
+        );
+        assert!(
+            a.database().checkpoint().is_err(),
+            "checkpoint on an aborted handle must refuse"
+        );
+        // Further applies fail at their txn_commit, not silently succeed.
+        assert!(a.apply(&hire(2, "Bob", "1995-02-01")).is_err());
+    }
+
+    // Reopen: WAL replay lands on the last commit boundary — Alice's hire
+    // is durable, nothing after the abort leaked in.
+    let a = ArchIS::open_file(&path, ArchConfig::default()).unwrap();
+    assert!(!a.database().is_aborted(), "a fresh handle is not poisoned");
+    let rows = a.execute_sql("SELECT name FROM employee").unwrap().rows;
+    assert_eq!(rows.len(), 1, "exactly the committed hire survives");
+    assert_eq!(
+        rows[0][0],
+        sqlxml::engine::SqlValue::Rel(Value::Str("Alice".into()))
+    );
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&wal);
+}
+
+#[test]
+fn abort_is_a_noop_without_a_wal_bracket() {
+    // In-memory instances apply writes in place: there is no bracket to
+    // tear, so abort must not poison them.
+    let mut a = ArchIS::with_defaults();
+    a.create_relation(RelationSpec::employee()).unwrap();
+    a.apply(&hire(1, "Alice", "1995-01-01")).unwrap();
+    a.database().abort();
+    assert!(!a.database().is_aborted());
+    a.apply(&hire(2, "Bob", "1995-02-01")).unwrap();
+    let rows = a.execute_sql("SELECT name FROM employee").unwrap().rows;
+    assert_eq!(rows.len(), 2);
+}
