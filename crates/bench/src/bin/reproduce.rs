@@ -5,7 +5,8 @@
 //!
 //! EXPERIMENT: fig7 | fig8 | translate | fig9 | snapcur | fig10 |
 //!             fig11 | fig13 | fig14 | updates | scan | commit |
-//!             ingest | concurrent | scrub | plan | all   (default: all)
+//!             ingest | concurrent | scrub | plan | replica | all
+//!             (default: all)
 //! --scale N   initial employee population (default 100; fig10 also
 //!             loads 7N)
 //! --runs N    cold runs per query, median reported (default 3)
@@ -64,7 +65,7 @@ fn main() {
             }
             "-h" | "--help" => {
                 println!(
-                    "reproduce [-e fig7|fig8|translate|fig9|snapcur|fig10|fig11|fig13|fig14|updates|scan|commit|ingest|concurrent|scrub|plan|all] [--scale N] [--runs N]"
+                    "reproduce [-e fig7|fig8|translate|fig9|snapcur|fig10|fig11|fig13|fig14|updates|scan|commit|ingest|concurrent|scrub|plan|replica|all] [--scale N] [--runs N]"
                 );
                 return;
             }
@@ -159,6 +160,11 @@ fn main() {
     if want("plan") {
         section("plan", || {
             exp::plan_bench(scale, runs);
+        });
+    }
+    if want("replica") {
+        section("replica", || {
+            exp::replication(2048, runs);
         });
     }
 }

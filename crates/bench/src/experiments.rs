@@ -1744,6 +1744,199 @@ pub fn plan_bench(employees: usize, runs: usize) -> Vec<Vec<String>> {
     rows
 }
 
+/// Replication microbenchmark: how fast a cold replica catches up on a
+/// shipped history, how far it trails a live batch-64 ingest when polled
+/// once per batch, and how replica snapshot scans scale with readers.
+/// All file-backed (real fsyncs on both ends: the primary ships what its
+/// WAL made durable; the replica publishes commit-by-commit). Prints the
+/// table and writes `BENCH_replica.json`; ci.sh gates on catch-up
+/// throughput, post-poll lag, and reader scaling.
+pub fn replication(rows: usize, runs: usize) -> Vec<Vec<String>> {
+    use archis::Change;
+    use relstore::Value;
+    use replica::{LocalTransport, Primary, Replica, RetryPolicy};
+    use temporal::Date;
+
+    let dir = std::env::temp_dir().join(format!("archis-replica-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench temp dir");
+    let ppath = dir.join("primary.db");
+    let _ = std::fs::remove_file(&ppath);
+    let _ = std::fs::remove_file(dir.join("primary.db.wal"));
+    let _ = std::fs::remove_dir_all(dir.join("primary.db.ship"));
+
+    // Same monotone 28-day-month hire calendar as the ingest bench.
+    let at = |id: i64| {
+        Date::from_ymd(
+            1985 + (id / 336) as i32,
+            1 + ((id % 336) / 28) as u32,
+            1 + (id % 28) as u32,
+        )
+        .expect("valid bench date")
+    };
+    let change = |id: i64| Change::Insert {
+        relation: "employee".into(),
+        key: id,
+        values: vec![
+            ("name".into(), Value::Str(format!("employee-{id:06}"))),
+            ("salary".into(), Value::Int(40_000 + id)),
+            ("title".into(), Value::Str("Engineer".into())),
+            ("deptno".into(), Value::Str(format!("d{:02}", id % 20))),
+        ],
+        at: at(id),
+    };
+    const BATCH: usize = 64;
+
+    // Every batch flushes as one WAL commit unit — so shipped commits,
+    // replica publishes, and the lag metric all count the same thing.
+    let (primary, db) = Primary::open_file(&ppath, 512, relstore::WalConfig::with_group_commit(1))
+        .expect("open shipping primary");
+    let mut a = archis::ArchIS::open_with_database(db, ArchConfig::default())
+        .expect("ArchIS over shipping primary");
+    a.create_relation(archis::RelationSpec::employee()).unwrap();
+    let history: Vec<Change> = (1..=rows as i64).map(change).collect();
+    for chunk in history.chunks(BATCH) {
+        a.apply_all(chunk).expect("primary ingest batch");
+    }
+
+    // --- Catch-up throughput: a cold replica replays the whole stream.
+    let mut best_ms = f64::MAX;
+    let mut pages = 0u64;
+    let mut commits = 0u64;
+    let mut last = None;
+    for run in 0..runs.max(1) {
+        let rpath = dir.join(format!("replica-r{run}.db"));
+        for suffix in ["", ".wal", ".pos"] {
+            let mut p = rpath.as_os_str().to_os_string();
+            p.push(suffix);
+            let _ = std::fs::remove_file(std::path::PathBuf::from(p));
+        }
+        let rep = Replica::open_file(
+            &rpath,
+            LocalTransport::new(primary.ship()),
+            RetryPolicy::default(),
+        )
+        .expect("open cold replica");
+        let start = Instant::now();
+        let (mut p, mut c) = (0u64, 0u64);
+        loop {
+            let prog = rep.poll().expect("replica poll");
+            p += prog.pages;
+            c += prog.commits;
+            if prog.at_head {
+                break;
+            }
+        }
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        if ms < best_ms {
+            best_ms = ms;
+            pages = p;
+            commits = c;
+        }
+        last = Some(rep);
+    }
+    let rep = last.expect("at least one catch-up run");
+    let pages_per_sec = pages as f64 / (best_ms / 1e3);
+
+    // --- Steady-state lag: batch-64 ingest continues on the primary;
+    // the replica polls once per batch. Pre-poll lag is the window a
+    // reader could be stale by between polls; post-poll lag is what one
+    // pull leaves behind (0 unless a batch outgrew a single fetch).
+    let more: Vec<Change> = (rows as i64 + 1..=rows as i64 + (rows / 4).max(BATCH) as i64)
+        .map(change)
+        .collect();
+    let mut pre = Vec::new();
+    let mut post = Vec::new();
+    for chunk in more.chunks(BATCH) {
+        a.apply_all(chunk).expect("primary steady batch");
+        pre.push(rep.lag().expect("lag").commits as f64);
+        while !rep.poll().expect("steady poll").at_head {}
+        post.push(rep.lag().expect("lag").commits as f64);
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let max = |v: &[f64]| v.iter().cloned().fold(0f64, f64::max);
+    let (pre_mean, pre_max, post_max) = (mean(&pre), max(&pre), max(&post));
+
+    // --- Snapshot-read scaling: pinned replica snapshots, one per
+    // reader thread, each scanning the employee history.
+    let scans_per_thread = 40usize;
+    let mut scan_rows_per_sec = [0f64; 3];
+    let thread_cfgs = [1usize, 2, 4];
+    for (ci, &threads) in thread_cfgs.iter().enumerate() {
+        let snaps: Vec<_> = (0..threads)
+            .map(|_| rep.begin_snapshot().expect("replica snapshot"))
+            .collect();
+        let start = Instant::now();
+        let scanned: u64 = std::thread::scope(|s| {
+            let handles: Vec<_> = snaps
+                .iter()
+                .map(|snap| {
+                    s.spawn(move || {
+                        let mut n = 0u64;
+                        for _ in 0..scans_per_thread {
+                            n += snap
+                                .database()
+                                .table("employee")
+                                .expect("employee table")
+                                .scan()
+                                .expect("snapshot scan")
+                                .len() as u64;
+                        }
+                        n
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("reader")).sum()
+        });
+        scan_rows_per_sec[ci] = scanned as f64 / start.elapsed().as_secs_f64();
+    }
+    let scaling = scan_rows_per_sec[2] / scan_rows_per_sec[0].max(1e-9);
+
+    let out = vec![
+        vec![
+            "catch-up".to_string(),
+            format!("{best_ms:.1} ms"),
+            format!("{pages} pages / {commits} commits"),
+            format!("{pages_per_sec:.0} pages/s"),
+        ],
+        vec![
+            "steady lag (batch 64)".to_string(),
+            format!("pre-poll mean {pre_mean:.2}"),
+            format!("pre-poll max {pre_max:.0}"),
+            format!("post-poll max {post_max:.0} commits"),
+        ],
+        vec![
+            "snapshot scans".to_string(),
+            format!("1r {:.0} rows/s", scan_rows_per_sec[0]),
+            format!("4r {:.0} rows/s", scan_rows_per_sec[2]),
+            format!("scaling {scaling:.2}x"),
+        ],
+    ];
+    print_table(
+        "replication: catch-up, steady-state lag, snapshot reads",
+        &["metric", "", "", ""],
+        &out,
+    );
+    // Gate-relevant scalars are duplicated as flat top-level keys so the
+    // ci.sh awk extractors stay one-line (same style as the other BENCH
+    // files).
+    let json = format!(
+        "{{\n  \"rows\": {rows},\n  \"catch_up\": {{ \"ms\": {best_ms:.2}, \"pages\": {pages}, \"commits\": {commits} }},\n  \"steady_lag\": {{ \"batches\": {}, \"pre_poll_mean_commits\": {pre_mean:.2}, \"pre_poll_max_commits\": {pre_max:.1} }},\n  \"snapshot_scan\": {{ \"replica_1r_rows_per_sec\": {:.1}, \"replica_2r_rows_per_sec\": {:.1}, \"replica_4r_rows_per_sec\": {:.1} }},\n  \"catch_up_pages_per_sec\": {pages_per_sec:.1},\n  \"post_poll_max_commits\": {post_max:.1},\n  \"scan_scaling_4r_over_1r\": {scaling:.2}\n}}\n",
+        pre.len(),
+        scan_rows_per_sec[0],
+        scan_rows_per_sec[1],
+        scan_rows_per_sec[2],
+    );
+    // lint:allow(wal-discipline: benchmark report artifact, not database
+    // state — BENCH_*.json summaries live outside the pager/WAL layer)
+    if let Err(e) = std::fs::write("BENCH_replica.json", &json) {
+        eprintln!("warning: could not write BENCH_replica.json: {e}");
+    }
+    drop(rep);
+    drop(a);
+    let _ = std::fs::remove_dir_all(&dir);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

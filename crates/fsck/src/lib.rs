@@ -66,7 +66,8 @@ pub struct Finding {
     /// Page the finding is anchored to, when page-addressed.
     pub page: Option<PageId>,
     /// Finding class: `checksum`, `format`, `catalog`, `base`, `index`,
-    /// `counter`, `invariant`, `stats`, or `block`.
+    /// `counter`, `invariant`, `stats`, `block`, or `diverged` (replica
+    /// cross-store audit).
     pub kind: &'static str,
     /// Human-readable description.
     pub message: String,
@@ -166,6 +167,224 @@ fn scrub_file(path: &Path) -> Result<(u64, Vec<Finding>)> {
         }
     }
     Ok((pages, findings))
+}
+
+/// Cross-store convergence audit: verify that a replica's store is
+/// byte-identical to what the primary's shipping stream prescribes at
+/// the replica's replayed LSN, then run the full structural audit
+/// (catalog, counters, §6.1 archiver invariants) on the replica.
+///
+/// The replica's durable position (`<replica>.pos`) names a commit
+/// count, but the store itself may be up to one publish ahead of it — a
+/// crash between the store fsync and the position append leaves exactly
+/// that window. The audit therefore replays the stream commit by commit
+/// from the recorded position to the primary's head and accepts the
+/// first exact page-for-page match; if no prefix matches, the diverged
+/// pages at the closest candidate are reported as `diverged` findings.
+/// A replica that has durably quarantined itself is reported too — a
+/// quarantined replica is *supposed* to be loud.
+pub fn check_against(
+    replica_path: impl AsRef<Path>,
+    primary_path: impl AsRef<Path>,
+) -> Result<Outcome> {
+    use relstore::wal::{FileLog, LogFile, RecordScan, WalPager, WAL_REC_COMMIT, WAL_REC_PAGE};
+    use replica::{read_position, DirSegments, ShippingLog, SHIP_REC_CRC};
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    let replica_path = replica_path.as_ref();
+    let primary_path = primary_path.as_ref();
+    let mut findings = Vec::new();
+
+    // Replica devices: page file, WAL, position log.
+    let mut wal_path = replica_path.as_os_str().to_os_string();
+    wal_path.push(".wal");
+    let mut pos_path = replica_path.as_os_str().to_os_string();
+    pos_path.push(".pos");
+    let pos_bytes = FileLog::open(&pos_path)?.read_all()?;
+    let pos = read_position(&pos_bytes).unwrap_or_default();
+    if pos.quarantined {
+        findings.push(Finding::global(
+            "diverged",
+            format!(
+                "replica is quarantined read-only after divergence \
+                 (last verified commit {}, stream position {})",
+                pos.commits, pos.pos
+            ),
+        ));
+    }
+
+    // Primary's shipping stream.
+    let mut ship_path = primary_path.as_os_str().to_os_string();
+    ship_path.push(".ship");
+    if !Path::new(&ship_path).is_dir() {
+        return Err(FsckError(format!(
+            "{}: primary has no shipping stream",
+            Path::new(&ship_path).display()
+        )));
+    }
+    let ship = ShippingLog::open(DirSegments::open(&ship_path)?)?;
+    let (head_pos, head_commits) = ship.head();
+
+    // Replica store (ordinary WAL recovery; read-only thereafter).
+    let base = Arc::new(FilePager::open(replica_path)?);
+    let pages = base.num_pages();
+    let pager = WalPager::open(
+        base,
+        Arc::new(FileLog::open(&wal_path)?),
+        WalConfig::with_group_commit(1),
+    )?;
+    let rep_pages = pager.num_pages();
+
+    if pos.commits > head_commits {
+        findings.push(Finding::global(
+            "diverged",
+            format!(
+                "replica claims commit {} but the primary's stream head is {}",
+                pos.commits, head_commits
+            ),
+        ));
+        return Ok(Outcome {
+            path: replica_path.to_path_buf(),
+            pages,
+            findings,
+            repairs: Vec::new(),
+        });
+    }
+
+    // Replay the stream; compare at every candidate commit from the
+    // recorded position to the head, accepting the first exact match.
+    let stream = ship.read_from(0, head_pos as usize)?;
+    let mut expected: HashMap<PageId, Box<[u8; PAGE_SIZE]>> = HashMap::new();
+    let mut staged: Vec<(PageId, Box<[u8; PAGE_SIZE]>)> = Vec::new();
+    let mut exp_pages = 0u64;
+    let mut commits = 0u64;
+    let mut matched = None;
+    let mut best: Option<(u64, Vec<PageId>, u64)> = None;
+    let mut compare = |commits: u64,
+                       expected: &HashMap<PageId, Box<[u8; PAGE_SIZE]>>,
+                       exp_pages: u64|
+     -> Result<()> {
+        if commits < pos.commits || matched.is_some() {
+            return Ok(());
+        }
+        let mut diffs = Vec::new();
+        let span = exp_pages.max(rep_pages);
+        let mut buf = [0u8; PAGE_SIZE];
+        let zero = [0u8; PAGE_SIZE];
+        for id in 0..span {
+            // lint:allow(unwrap_or on an Option, not a Result: missing pages
+            // compare as all-zero; the &b[..] is a whole-slice coercion)
+            let want: &[u8] = expected.get(&id).map(|b| &b[..]).unwrap_or(&zero);
+            let got: &[u8] = if id < rep_pages {
+                match pager.read_page(id, &mut buf) {
+                    Ok(()) => &buf,
+                    Err(_) => &zero,
+                }
+            } else {
+                &zero
+            };
+            if want != got {
+                diffs.push(id);
+            }
+        }
+        if diffs.is_empty() && exp_pages == rep_pages {
+            matched = Some(commits);
+        } else if best.as_ref().is_none_or(|(_, d, _)| diffs.len() < d.len()) {
+            best = Some((commits, diffs, exp_pages));
+        }
+        Ok(())
+    };
+    compare(0, &expected, exp_pages)?;
+    for rec in RecordScan::new(&stream, &[WAL_REC_PAGE, WAL_REC_COMMIT, SHIP_REC_CRC]) {
+        match rec.kind {
+            WAL_REC_PAGE => {
+                if rec.payload.len() == PAGE_SIZE {
+                    let mut img = Box::new([0u8; PAGE_SIZE]);
+                    img.copy_from_slice(rec.payload);
+                    staged.push((rec.page_id, img));
+                }
+            }
+            WAL_REC_COMMIT => {
+                for (id, img) in staged.drain(..) {
+                    expected.insert(id, img);
+                }
+                exp_pages = exp_pages.max(rec.page_id);
+            }
+            _ => {
+                // SHIP_REC_CRC: one global commit is fully published here.
+                commits += 1;
+                if commits == pos.commits && pos.commits > 0 && rec.payload.len() == 16 {
+                    // lint:allow(trailer length checked == 16 in the guard)
+                    let shipped = u64::from_le_bytes(rec.payload[8..].try_into().unwrap());
+                    if shipped != pos.crc_state {
+                        findings.push(Finding::global(
+                            "diverged",
+                            format!(
+                                "checksum chain mismatch at the replica's recorded \
+                                 commit {}: stream {shipped:#018x}, position log {:#018x}",
+                                pos.commits, pos.crc_state
+                            ),
+                        ));
+                    }
+                }
+                compare(commits, &expected, exp_pages)?;
+            }
+        }
+    }
+
+    match matched {
+        // An exact match at or after the recorded position is clean: a
+        // store ahead of its position log is the expected crash window
+        // (position append is ordered after the store fsync).
+        Some(_) => {}
+        None => {
+            let (at, diffs, exp) = best.unwrap_or((pos.commits, Vec::new(), 0));
+            if exp != rep_pages {
+                findings.push(Finding::global(
+                    "diverged",
+                    format!(
+                        "page count mismatch at commit {at}: stream prescribes \
+                         {exp} pages, replica holds {rep_pages}"
+                    ),
+                ));
+            }
+            for id in &diffs {
+                findings.push(Finding::at(
+                    *id,
+                    "diverged",
+                    format!(
+                        "replica page differs from the shipped image at commit {at} \
+                         (closest candidate of {} examined)",
+                        head_commits - pos.commits + 1
+                    ),
+                ));
+            }
+            if diffs.is_empty() && exp == rep_pages {
+                findings.push(Finding::global(
+                    "diverged",
+                    "replica matches no committed prefix of the primary's stream",
+                ));
+            }
+        }
+    }
+    drop(pager);
+
+    // Structural audit of the replica itself (catalog, tables, counters,
+    // §6.1 archiver invariants) — skipped for a fresh replica, where an
+    // open would create a catalog page and mutate what we are auditing.
+    if rep_pages > 0 {
+        let (_, scrub_findings) = scrub_file(replica_path)?;
+        findings.extend(scrub_findings);
+        findings.extend(structural_check(replica_path)?);
+    }
+
+    Ok(Outcome {
+        path: replica_path.to_path_buf(),
+        pages,
+        findings,
+        repairs: Vec::new(),
+    })
 }
 
 /// Scrub plus full structural audit (no writes beyond WAL replay).

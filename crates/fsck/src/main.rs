@@ -8,11 +8,14 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!("usage: archis-fsck <check|repair|scrub> <pagefile>");
+    eprintln!("       archis-fsck check <replica-pagefile> --against <primary-pagefile>");
     eprintln!();
     eprintln!("  scrub   verify every page checksum (raw media pass)");
     eprintln!("  check   scrub + full structural audit (catalog, heaps,");
     eprintln!("          b+trees, counters, segment statistics, archiver");
-    eprintln!("          invariants, blocks)");
+    eprintln!("          invariants, blocks); with --against, also verify");
+    eprintln!("          the replica converged byte-identically to the");
+    eprintln!("          primary's shipping stream at its replayed LSN");
     eprintln!("  repair  check, then rebuild corrupt indexes / counters /");
     eprintln!("          segment stats from base storage and clean");
     eprintln!("          orphaned pages");
@@ -21,19 +24,29 @@ fn usage() -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let [mode, file] = args.as_slice() else {
-        return usage();
-    };
-    if !std::path::Path::new(file).is_file() {
-        eprintln!("archis-fsck: {file}: no such file");
-        return ExitCode::from(2);
-    }
-    let result = match mode.as_str() {
-        "scrub" => archis_fsck::scrub(file),
-        "check" => archis_fsck::check(file),
-        "repair" => archis_fsck::repair(file),
+    let result = match args.as_slice() {
+        [mode, file] => {
+            if !std::path::Path::new(file).is_file() {
+                eprintln!("archis-fsck: {file}: no such file");
+                return ExitCode::from(2);
+            }
+            match mode.as_str() {
+                "scrub" => archis_fsck::scrub(file),
+                "check" => archis_fsck::check(file),
+                "repair" => archis_fsck::repair(file),
+                _ => return usage(),
+            }
+        }
+        [mode, file, flag, primary] if mode == "check" && flag == "--against" => {
+            if !std::path::Path::new(primary).is_file() {
+                eprintln!("archis-fsck: {primary}: no such file");
+                return ExitCode::from(2);
+            }
+            archis_fsck::check_against(file, primary)
+        }
         _ => return usage(),
     };
+    let file = &args[1]; // lint:allow(every surviving match arm has >= 2 args)
     match result {
         Ok(outcome) => {
             print!("{}", outcome.render());

@@ -519,6 +519,174 @@ impl Pager for FailPager {
 }
 
 // ---------------------------------------------------------------------------
+// Replication channel faults
+// ---------------------------------------------------------------------------
+
+/// Fate of one shipment on a faulty replication channel.
+///
+/// The first five model *transient* transport faults a robust replica must
+/// absorb without operator help: retry, detect, and re-request from its
+/// last durable position. [`ShipmentFate::CorruptPayload`] is different in
+/// kind — the damage is re-framed with a valid CRC, so it models a buggy
+/// or malicious primary whose stream *content* is wrong. A replica must
+/// detect that via the running divergence checksum and quarantine itself,
+/// never converge; it is therefore only ever armed explicitly, never drawn
+/// by the random schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShipmentFate {
+    /// Deliver the shipment unharmed.
+    Deliver,
+    /// Lose the shipment entirely (the replica sees a transport error).
+    Drop,
+    /// Deliver a stale copy of the previous shipment instead.
+    Duplicate,
+    /// Deliver a shipment from a *later* position than requested.
+    Reorder,
+    /// Deliver a seeded prefix of the shipment (torn in transit).
+    Truncate,
+    /// Flip one seeded bit somewhere in the shipment bytes.
+    BitFlip,
+    /// Rewrite payload bytes and re-frame the record CRC so the damage
+    /// passes framing validation — silent content divergence.
+    CorruptPayload,
+}
+
+#[derive(Debug)]
+struct ChannelState {
+    rng: u64,
+    /// Shipments whose fate has been decided (the global counter).
+    shipments: u64,
+    /// Explicitly armed fates by absolute shipment number.
+    armed: HashMap<u64, ShipmentFate>,
+    /// Percent of shipments that draw a random transient fault.
+    random_pct: u32,
+}
+
+/// Deterministic, seeded fault schedule for a replication channel — the
+/// transport-level sibling of [`Failpoints`]. Where `Failpoints` decides
+/// the fate of disk writes and fsyncs, `FailChannel` decides the fate of
+/// *shipments*: chunks of the primary's WAL stream in flight to a replica.
+///
+/// **Concurrency contract** (mirrors [`Failpoints`]): one `FailChannel`
+/// is shared via `Arc` by every wrapped transport and consulted under a
+/// single internal mutex, so the shipment counter orders fetches
+/// **globally across threads** — a replica's puller threads hit the same
+/// armed positions regardless of which thread fetches. Each fate draw and
+/// its seeded parameters (truncation length, flipped bit) come from one
+/// atomic consult, so concurrent fetches can never interleave inside a
+/// fault decision. The transport wrapper holds no lock of its own while
+/// calling the inner transport; only the fate consult is serialized —
+/// the channel schedule can therefore never deadlock against transport
+/// I/O (consult first, then perform the I/O unlocked).
+pub struct FailChannel {
+    state: Mutex<ChannelState>,
+}
+
+impl FailChannel {
+    /// A channel-fault schedule with no faults armed, seeded for
+    /// reproducibility.
+    pub fn new(seed: u64) -> Arc<Self> {
+        Arc::new(FailChannel {
+            state: Mutex::new(ChannelState {
+                // Same SplitMix64 scramble as `Failpoints`.
+                rng: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+                shipments: 0,
+                armed: HashMap::new(),
+                random_pct: 0,
+            }),
+        })
+    }
+
+    /// Arm a fate for the `n`th shipment from now (1-based).
+    pub fn arm_nth(&self, n: u64, fate: ShipmentFate) {
+        let mut st = self.state.lock();
+        let at = st.shipments + n;
+        st.armed.insert(at, fate);
+    }
+
+    /// Make `pct` percent of un-armed shipments draw a seeded random
+    /// *transient* fault (drop / duplicate / reorder / truncate /
+    /// bit-flip — never [`ShipmentFate::CorruptPayload`], which would
+    /// defeat convergence sweeps by design).
+    pub fn set_random_faults(&self, pct: u32) {
+        self.state.lock().random_pct = pct.min(100);
+    }
+
+    /// Shipments whose fate has been decided so far.
+    pub fn shipments(&self) -> u64 {
+        self.state.lock().shipments
+    }
+
+    /// Decide the fate of the next shipment (bumps the global counter).
+    pub fn next_fate(&self) -> ShipmentFate {
+        let mut st = self.state.lock();
+        st.shipments += 1;
+        let n = st.shipments;
+        if let Some(fate) = st.armed.remove(&n) {
+            return fate;
+        }
+        if st.random_pct > 0 {
+            let roll = Failpoints::next_rand_for(&mut st.rng) % 100;
+            if roll < st.random_pct as u64 {
+                return match Failpoints::next_rand_for(&mut st.rng) % 5 {
+                    0 => ShipmentFate::Drop,
+                    1 => ShipmentFate::Duplicate,
+                    2 => ShipmentFate::Reorder,
+                    3 => ShipmentFate::Truncate,
+                    _ => ShipmentFate::BitFlip,
+                };
+            }
+        }
+        ShipmentFate::Deliver
+    }
+
+    /// Seeded survival length for a truncated shipment of `len` bytes.
+    pub fn truncate_len(&self, len: usize) -> usize {
+        let mut st = self.state.lock();
+        if len == 0 {
+            return 0;
+        }
+        (Failpoints::next_rand_for(&mut st.rng) % len as u64) as usize
+    }
+
+    /// Flip one seeded bit in `bytes`; returns the flipped bit index, or
+    /// `None` for an empty shipment.
+    pub fn flip_bit(&self, bytes: &mut [u8]) -> Option<u64> {
+        let mut st = self.state.lock();
+        if bytes.is_empty() {
+            return None;
+        }
+        let bit = Failpoints::next_rand_for(&mut st.rng) % (bytes.len() as u64 * 8);
+        bytes[(bit / 8) as usize] ^= 1 << (bit % 8); // lint:allow(bit < len * 8 by construction)
+        Some(bit)
+    }
+
+    /// Seeded index draw in `0..n` (used by transports to pick which
+    /// record of a shipment to corrupt, which offset to reorder to, ...).
+    pub fn pick(&self, n: u64) -> u64 {
+        let mut st = self.state.lock();
+        if n == 0 {
+            return 0;
+        }
+        Failpoints::next_rand_for(&mut st.rng) % n
+    }
+}
+
+impl Failpoints {
+    /// xorshift64* step over a caller-held state word (shared by the
+    /// [`FailChannel`] schedule so both fault sources use one generator
+    /// implementation).
+    fn next_rand_for(rng: &mut u64) -> u64 {
+        let mut x = *rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // At-rest bit rot
 // ---------------------------------------------------------------------------
 

@@ -73,7 +73,9 @@ pub use exec::{
     Sort, SortMergeJoin,
 };
 pub use expr::{AggFunc, BinOp, Expr, ScalarFn, UnOp};
-pub use failpoint::{flip_bit_at, BitRot, FailLog, FailPager, Failpoints, FlippedBit};
+pub use failpoint::{
+    flip_bit_at, BitRot, FailChannel, FailLog, FailPager, Failpoints, FlippedBit, ShipmentFate,
+};
 pub use heap::{HeapFile, RecordId};
 pub use page::{PageId, PAGE_SIZE};
 pub use pager::{FilePager, MemPager, PageFileLayout, Pager, SnapshotPager, PAGE_FORMAT_VERSION};
@@ -83,7 +85,8 @@ pub use value::{
     decode_row, decode_row_into, encode_key, encode_row, DataType, Field, Schema, Value,
 };
 pub use wal::{
-    FileLog, LogFile, MemLog, RecoveryInfo, RecoveryStop, WalConfig, WalPager, WalStats,
+    crc32, encode_record, FileLog, LogFile, MemLog, RecordScan, RecoveryInfo, RecoveryStop,
+    ScannedRecord, WalConfig, WalPager, WalStats, WAL_HEADER_LEN, WAL_REC_COMMIT, WAL_REC_PAGE,
 };
 
 use std::fmt;

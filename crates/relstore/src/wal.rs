@@ -288,6 +288,126 @@ pub fn encode_record(kind: u8, page_id: u64, payload: &[u8]) -> Vec<u8> {
     rec
 }
 
+/// One framing-valid record yielded by [`RecordScan`]: the caller
+/// interprets `kind` (WAL replay knows pages and commits; the replication
+/// shipping stream adds its own kinds on top of the same framing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScannedRecord<'a> {
+    /// Record kind byte (e.g. [`WAL_REC_PAGE`], [`WAL_REC_COMMIT`]).
+    pub kind: u8,
+    /// The record's `page_id` header field (commit records reuse it for
+    /// the allocated page count; other framings may carry other scalars).
+    pub page_id: u64,
+    /// Record payload.
+    pub payload: &'a [u8],
+    /// Byte offset of the record's first framing byte.
+    pub start: usize,
+    /// Byte offset one past the record's last payload byte.
+    pub end: usize,
+}
+
+/// Forward scanner over CRC-framed log records — the single replay entry
+/// point shared by [`WalPager::open`] and the replication subsystem
+/// (`crates/replica` replays shipped WAL streams through it).
+///
+/// Yields records while framing, CRC and kind all validate; afterwards
+/// [`RecordScan::stop`] says why the scan ended and [`RecordScan::pos`]
+/// where. Everything from `pos()` onward is, by the WAL's own definition,
+/// garbage (torn tail) or corruption — callers decide whether that means
+/// "stop replay here" (recovery) or "re-request from this position"
+/// (replication).
+pub struct RecordScan<'a> {
+    bytes: &'a [u8],
+    kinds: &'a [u8],
+    pos: usize,
+    stop: RecoveryStop,
+    done: bool,
+}
+
+impl<'a> RecordScan<'a> {
+    /// Scan `bytes`, accepting only records whose kind byte is in `kinds`
+    /// (a CRC-valid record of any other kind stops the scan with
+    /// [`RecoveryStop::BadKind`]).
+    pub fn new(bytes: &'a [u8], kinds: &'a [u8]) -> RecordScan<'a> {
+        RecordScan {
+            bytes,
+            kinds,
+            pos: 0,
+            stop: RecoveryStop::CleanEof,
+            done: false,
+        }
+    }
+
+    /// Byte offset of the first unconsumed byte (after exhaustion: where
+    /// the scan stopped; everything before it was valid records).
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Why the scan ended (meaningful once `next()` returned `None`).
+    pub fn stop(&self) -> RecoveryStop {
+        self.stop
+    }
+}
+
+impl<'a> Iterator for RecordScan<'a> {
+    type Item = ScannedRecord<'a>;
+
+    fn next(&mut self) -> Option<ScannedRecord<'a>> {
+        if self.done {
+            return None;
+        }
+        let bytes = self.bytes;
+        let pos = self.pos;
+        if pos == bytes.len() {
+            self.done = true;
+            return None;
+        }
+        if bytes.len() - pos < WAL_HEADER_LEN {
+            self.stop = RecoveryStop::TornRecord;
+            self.done = true;
+            return None;
+        }
+        let kind = bytes[pos];
+        let page_id = le_u64_at(bytes, pos + 1);
+        let len = le_u32_at(bytes, pos + 9);
+        let crc = le_u32_at(bytes, pos + 13);
+        if len > MAX_PAYLOAD {
+            self.stop = RecoveryStop::BadChecksum;
+            self.done = true;
+            return None;
+        }
+        let end = pos + WAL_HEADER_LEN + len as usize;
+        if end > bytes.len() {
+            self.stop = RecoveryStop::TornRecord;
+            self.done = true;
+            return None;
+        }
+        let payload = &bytes[pos + WAL_HEADER_LEN..end];
+        let mut crc_input = Vec::with_capacity(13 + payload.len());
+        crc_input.extend_from_slice(&bytes[pos..pos + 13]);
+        crc_input.extend_from_slice(payload);
+        if crc32(&crc_input) != crc {
+            self.stop = RecoveryStop::BadChecksum;
+            self.done = true;
+            return None;
+        }
+        if !self.kinds.contains(&kind) {
+            self.stop = RecoveryStop::BadKind;
+            self.done = true;
+            return None;
+        }
+        self.pos = end;
+        Some(ScannedRecord {
+            kind,
+            page_id,
+            payload,
+            start: pos,
+            end,
+        })
+    }
+}
+
 /// Why a recovery scan stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RecoveryStop {
@@ -799,62 +919,43 @@ impl WalPager {
 
         // Scan forward; publish staged images only at commit records.
         let mut staged: Vec<(PageId, Box<[u8; PAGE_SIZE]>)> = Vec::new();
-        let mut pos = 0usize;
-        loop {
-            if pos == bytes.len() {
-                break;
-            }
-            if bytes.len() - pos < WAL_HEADER_LEN {
-                info.stop = RecoveryStop::TornRecord;
-                break;
-            }
-            let kind = bytes[pos];
-            let page_id = le_u64_at(&bytes, pos + 1);
-            let len = le_u32_at(&bytes, pos + 9);
-            let crc = le_u32_at(&bytes, pos + 13);
-            if len > MAX_PAYLOAD {
-                info.stop = RecoveryStop::BadChecksum;
-                break;
-            }
-            let end = pos + WAL_HEADER_LEN + len as usize;
-            if end > bytes.len() {
-                info.stop = RecoveryStop::TornRecord;
-                break;
-            }
-            let payload = &bytes[pos + WAL_HEADER_LEN..end];
-            let mut crc_input = Vec::with_capacity(13 + payload.len());
-            crc_input.extend_from_slice(&bytes[pos..pos + 13]);
-            crc_input.extend_from_slice(payload);
-            if crc32(&crc_input) != crc {
-                info.stop = RecoveryStop::BadChecksum;
-                break;
-            }
-            match kind {
+        let mut scan = RecordScan::new(&bytes, &[WAL_REC_PAGE, WAL_REC_COMMIT]);
+        let mut bad_payload_at = None;
+        for rec in &mut scan {
+            match rec.kind {
                 WAL_REC_PAGE => {
-                    if payload.len() != PAGE_SIZE {
-                        info.stop = RecoveryStop::BadChecksum;
+                    if rec.payload.len() != PAGE_SIZE {
+                        bad_payload_at = Some(rec.start);
                         break;
                     }
                     let mut img = Box::new([0u8; PAGE_SIZE]);
-                    img.copy_from_slice(payload);
-                    staged.push((page_id, img));
+                    img.copy_from_slice(rec.payload);
+                    staged.push((rec.page_id, img));
                 }
-                WAL_REC_COMMIT => {
+                _ => {
                     info.commits_applied += 1;
                     info.pages_applied += staged.len() as u64;
                     for (id, img) in staged.drain(..) {
                         table.insert(id, img);
                         page_lsn.insert(id, info.commits_applied);
                     }
-                    num_pages = num_pages.max(page_id);
-                }
-                _ => {
-                    info.stop = RecoveryStop::BadKind;
-                    break;
+                    num_pages = num_pages.max(rec.page_id);
                 }
             }
-            pos = end;
         }
+        let pos = match bad_payload_at {
+            // A CRC-valid page record whose payload is not a full page
+            // image is corruption by this framing's rules, not the
+            // scanner's: treat like a bad checksum from its first byte.
+            Some(at) => {
+                info.stop = RecoveryStop::BadChecksum;
+                at
+            }
+            None => {
+                info.stop = scan.stop();
+                scan.pos()
+            }
+        };
         info.bytes_discarded = (bytes.len() - pos) as u64;
         info.records_discarded = staged.len() as u64;
 
@@ -863,7 +964,7 @@ impl WalPager {
         } else {
             None
         };
-        Ok(WalPager {
+        let pager = WalPager {
             base,
             log,
             cfg,
@@ -882,7 +983,24 @@ impl WalPager {
             }),
             recovery: info,
             pipe,
-        })
+        };
+        // A dirty recovery tail must not stay in the log. Appends go
+        // after the rejected bytes, so a torn or corrupt record would
+        // become a permanent roadblock: every future recovery stops at
+        // it and silently discards everything written from now on.
+        // Commit-less staged pages are as bad — left in place, the next
+        // commit's recovery would fold an aborted batch into it. Fold
+        // the recovered state into the base and reclaim the log before
+        // accepting writes (crash-safe: the clean prefix stays replayable
+        // until the truncate, and replaying it over a half-folded base
+        // reproduces the same images).
+        if info.stop != RecoveryStop::CleanEof
+            || info.bytes_discarded > 0
+            || info.records_discarded > 0
+        {
+            pager.checkpoint()?;
+        }
+        Ok(pager)
     }
 
     /// What the opening replay found in the log.

@@ -1,0 +1,254 @@
+//! The wire between primary and replica: a [`Transport`] abstraction, a
+//! loopback implementation over a [`ShippingLog`], a fault-injecting
+//! wrapper driven by [`relstore::FailChannel`], and the bounded-retry
+//! policy (exponential backoff + seeded jitter) replicas use to absorb
+//! transient channel failures.
+
+use crate::ship::{ShippingLog, SHIP_REC_CRC};
+use crate::{ReplicaError, Result};
+use parking_lot::Mutex;
+use relstore::{
+    encode_record, FailChannel, RecordScan, ShipmentFate, StoreError, WAL_HEADER_LEN,
+    WAL_REC_COMMIT, WAL_REC_PAGE,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Durable head of the primary's shipping stream as seen over the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Head {
+    /// Stream length in bytes (the next position to be written).
+    pub pos: u64,
+    /// Global commits acknowledged into the stream.
+    pub commits: u64,
+}
+
+/// One chunk of the shipping stream in flight.
+#[derive(Debug, Clone)]
+pub struct Shipment {
+    /// Stream position of the first byte (as labelled by the sender; a
+    /// faulty channel may deliver a shipment for a different position
+    /// than requested, which the replica detects and discards).
+    pub pos: u64,
+    /// Raw stream bytes; may end mid-record — framing is the replica's
+    /// job.
+    pub bytes: Vec<u8>,
+}
+
+/// How a replica reaches a primary's shipping stream. Implementations
+/// must be safe to call from multiple puller threads.
+pub trait Transport: Send + Sync {
+    /// The stream's durable head.
+    fn head(&self) -> relstore::Result<Head>;
+    /// Fetch up to `max` bytes starting at `pos`.
+    fn fetch(&self, pos: u64, max: usize) -> relstore::Result<Shipment>;
+}
+
+/// Loopback transport: reads the shipping stream in-process. The
+/// baseline both for tests and for the fault wrapper.
+pub struct LocalTransport {
+    ship: Arc<ShippingLog>,
+}
+
+impl LocalTransport {
+    /// A transport serving this shipping stream.
+    pub fn new(ship: Arc<ShippingLog>) -> Arc<Self> {
+        Arc::new(LocalTransport { ship })
+    }
+}
+
+impl Transport for LocalTransport {
+    fn head(&self) -> relstore::Result<Head> {
+        let (pos, commits) = self.ship.head();
+        Ok(Head { pos, commits })
+    }
+
+    fn fetch(&self, pos: u64, max: usize) -> relstore::Result<Shipment> {
+        Ok(Shipment {
+            pos,
+            bytes: self.ship.read_from(pos, max)?,
+        })
+    }
+}
+
+/// A transport wrapper that damages shipments according to a seeded
+/// [`FailChannel`] schedule. Fate-specific behaviour:
+///
+/// * `Drop` — the fetch errors (shipment lost in transit).
+/// * `Duplicate` — delivers a stale shipment from an earlier position,
+///   honestly labelled (the replica sees the label mismatch).
+/// * `Reorder` — delivers a shipment from a later position than asked.
+/// * `Truncate` — a seeded prefix arrives (torn in transit); this is
+///   indistinguishable from a small shipment and costs only re-fetch.
+/// * `BitFlip` — one seeded bit flips; record CRC framing catches it.
+/// * `CorruptPayload` — a page record's payload is rewritten and
+///   re-framed with a **valid** CRC: framing passes, content is wrong.
+///   Only the divergence checksum chain can catch this, which is why
+///   the fate is never drawn randomly (see [`FailChannel`]).
+pub struct FaultTransport {
+    inner: Arc<dyn Transport>,
+    chan: Arc<FailChannel>,
+    last_pos: Mutex<u64>,
+}
+
+impl FaultTransport {
+    /// Wrap `inner` under the channel-fault schedule `chan`.
+    pub fn new(inner: Arc<dyn Transport>, chan: Arc<FailChannel>) -> Arc<Self> {
+        Arc::new(FaultTransport {
+            inner,
+            chan,
+            last_pos: Mutex::new(0),
+        })
+    }
+
+    /// Rewrite one framed page record in `bytes` so the damage survives
+    /// framing validation: payload bytes change and the record CRC is
+    /// recomputed over the new content.
+    fn corrupt_payload(&self, bytes: &mut [u8]) {
+        let kinds = [WAL_REC_PAGE, WAL_REC_COMMIT, SHIP_REC_CRC];
+        let pages: Vec<(usize, u64, Vec<u8>)> = RecordScan::new(bytes, &kinds)
+            .filter(|r| r.kind == WAL_REC_PAGE)
+            .map(|r| (r.start, r.page_id, r.payload.to_vec()))
+            .collect();
+        if pages.is_empty() {
+            return;
+        }
+        let (start, page_id, mut payload) =
+            pages[self.chan.pick(pages.len() as u64) as usize].clone(); // lint:allow(pick yields an index < pages.len())
+        let at = self.chan.pick(payload.len() as u64) as usize;
+        payload[at] ^= 0x5A; // lint:allow(pick yields an index < payload.len())
+        let rec = encode_record(WAL_REC_PAGE, page_id, &payload);
+        // lint:allow(record re-encoded in place: same start, same length,
+        // both taken from the RecordScan that found it)
+        bytes[start..start + WAL_HEADER_LEN + payload.len()].copy_from_slice(&rec);
+    }
+}
+
+impl Transport for FaultTransport {
+    fn head(&self) -> relstore::Result<Head> {
+        self.inner.head()
+    }
+
+    fn fetch(&self, pos: u64, max: usize) -> relstore::Result<Shipment> {
+        let fate = self.chan.next_fate();
+        let prev = {
+            let mut last = self.last_pos.lock();
+            let p = *last;
+            *last = pos;
+            p
+        };
+        match fate {
+            ShipmentFate::Deliver => self.inner.fetch(pos, max),
+            ShipmentFate::Drop => Err(StoreError::Io(
+                "channel: shipment dropped in transit".into(),
+            )),
+            ShipmentFate::Duplicate => self.inner.fetch(prev.min(pos), max),
+            ShipmentFate::Reorder => {
+                let skip = self.chan.pick(max as u64 / 2) + 1;
+                self.inner.fetch(pos.saturating_add(skip), max)
+            }
+            ShipmentFate::Truncate => {
+                let mut s = self.inner.fetch(pos, max)?;
+                let keep = self.chan.truncate_len(s.bytes.len());
+                s.bytes.truncate(keep);
+                Ok(s)
+            }
+            ShipmentFate::BitFlip => {
+                let mut s = self.inner.fetch(pos, max)?;
+                self.chan.flip_bit(&mut s.bytes);
+                Ok(s)
+            }
+            ShipmentFate::CorruptPayload => {
+                let mut s = self.inner.fetch(pos, max)?;
+                self.corrupt_payload(&mut s.bytes);
+                Ok(s)
+            }
+        }
+    }
+}
+
+/// Bounded retry with exponential backoff and seeded jitter. A replica
+/// gives up after `max_attempts` consecutive transport failures and
+/// surfaces [`ReplicaError::Transport`]; its durable position is
+/// untouched, so a later pull resumes cleanly.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total fetch attempts per shipment (≥ 1).
+    pub max_attempts: u32,
+    /// First backoff delay; doubles per attempt.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub cap: Duration,
+    /// Jitter seed (xorshift over the attempt counter) so concurrent
+    /// replicas don't thunder in lockstep.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 8,
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(200),
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never sleeps — for torture loops where wall-clock
+    /// time is wasted time.
+    pub fn immediate(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base: Duration::ZERO,
+            cap: Duration::ZERO,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Backoff before retry number `attempt` (1-based): `base << attempt`
+    /// capped at `cap`, scaled by jitter in [50%, 100%].
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        if self.base.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = self
+            .base
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.cap);
+        // xorshift64* over (seed, attempt) for deterministic jitter.
+        let mut x = self.seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let jitter_pct = 50 + (x.wrapping_mul(0x2545_F491_4F6C_DD1D) % 51);
+        exp.mul_f64(jitter_pct as f64 / 100.0)
+    }
+
+    /// Fetch with bounded retry. Shipments labelled with the wrong
+    /// position (duplicated or reordered in transit) count as failures
+    /// and are retried like errors.
+    pub fn fetch(&self, transport: &Arc<dyn Transport>, pos: u64, max: usize) -> Result<Shipment> {
+        let mut last = String::new();
+        for attempt in 1..=self.max_attempts.max(1) {
+            match transport.fetch(pos, max) {
+                Ok(s) if s.pos == pos => return Ok(s),
+                Ok(s) => {
+                    last = format!("mislabelled shipment: asked {pos}, got {}", s.pos);
+                }
+                Err(e) => last = format!("{e}"),
+            }
+            if attempt < self.max_attempts {
+                let delay = self.backoff(attempt);
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+            }
+        }
+        Err(ReplicaError::Transport {
+            attempts: self.max_attempts.max(1),
+            last,
+        })
+    }
+}

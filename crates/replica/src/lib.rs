@@ -1,0 +1,115 @@
+//! Log-shipping read replicas for the ArchIS transaction-time store.
+//!
+//! The paper's archive is append-only history, which makes read scale-out
+//! cheap: the physical page WAL (full-page-image records, CRC-32 framed,
+//! self-describing) *is* the replication stream. A [`Primary`] tees every
+//! WAL commit into a durable segmented [`ShippingLog`]; a [`Replica`]
+//! continuously pulls the stream over a [`Transport`] and replays it into
+//! its own store, publishing only at commit boundaries — every replica
+//! state is some committed prefix of the primary, never a torn middle.
+//!
+//! Robustness is the design center, not an afterthought:
+//!
+//! * **Transient channel faults** (dropped / duplicated / reordered /
+//!   truncated / bit-flipped shipments) are absorbed by bounded retry
+//!   with exponential backoff + jitter and re-request from the last
+//!   durable position. Framing damage is detected by the per-record
+//!   CRC-32 before a single byte is applied.
+//! * **Replica crash recovery**: the store, its WAL and the position log
+//!   are ordinary fault-injectable devices; a kill at any write or fsync
+//!   mid-replay reopens into WAL recovery and resumes from the durable
+//!   shipping position. Replay is idempotent (full page images), so a
+//!   stale-low position only costs re-work, never correctness.
+//! * **Divergence detection**: the primary chains a running checksum
+//!   over shipped page images and embeds it after every commit
+//!   ([`SHIP_REC_CRC`]). The replica recomputes the chain over what it
+//!   *applied* and verifies **before** committing the unit. A mismatch
+//!   is [`ReplicaError::Diverged`]: the replica quarantines itself
+//!   read-only-stale (durably, in its position log) and keeps serving
+//!   its last verified state — it never invents or publishes bad pages.
+//! * **Graceful degradation**: [`Replica::lag`] reports staleness in
+//!   commits and stream bytes; [`Replica::begin_snapshot`] pins a
+//!   replayed commit through the MVCC snapshot machinery so readers get
+//!   consistent-but-stale views with an explicit staleness bound while
+//!   replay continues underneath.
+
+mod channel;
+mod replica;
+mod ship;
+#[cfg(test)]
+mod tests;
+
+pub use channel::{FaultTransport, Head, LocalTransport, RetryPolicy, Shipment, Transport};
+pub use replica::{read_position, Lag, Position, Progress, Replica, ReplicaSnapshot, POS_REC};
+pub use ship::{
+    last_commit_boundary, mix_crc, DirSegments, MemSegments, Primary, SegmentStore, ShipMeta,
+    ShipTee, ShippingLog, SHIP_REC_CRC, SHIP_SEG_BYTES,
+};
+
+use relstore::StoreError;
+use std::fmt;
+
+/// Replication failure, classified so callers can tell "retry later"
+/// conditions from "stop trusting this replica" conditions.
+#[derive(Debug)]
+pub enum ReplicaError {
+    /// Local storage failure (replica store, WAL, or position log).
+    Store(StoreError),
+    /// The channel failed past the retry budget; the replica is intact
+    /// and a later pull can resume from the same durable position.
+    Transport {
+        /// Fetch attempts made before giving up.
+        attempts: u32,
+        /// The last transport error observed.
+        last: String,
+    },
+    /// The divergence checksum chain broke: what the replica applied is
+    /// not what the primary shipped. The offending commit was **not**
+    /// published; the replica has quarantined itself read-only-stale.
+    Diverged {
+        /// Global commit number whose verification failed.
+        commit: u64,
+        /// Checksum chain value the primary embedded in the stream.
+        expected: u64,
+        /// Chain value the replica computed over applied images.
+        actual: u64,
+    },
+    /// The replica is quarantined after a divergence; apply is refused
+    /// until an operator rebuilds it. Reads of the last verified state
+    /// are still served.
+    Quarantined,
+}
+
+impl fmt::Display for ReplicaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplicaError::Store(e) => write!(f, "replica storage: {e}"),
+            ReplicaError::Transport { attempts, last } => {
+                write!(f, "transport failed after {attempts} attempt(s): {last}")
+            }
+            ReplicaError::Diverged {
+                commit,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "diverged at commit {commit}: shipped checksum {expected:#018x}, \
+                 applied checksum {actual:#018x}; replica quarantined read-only"
+            ),
+            ReplicaError::Quarantined => {
+                write!(f, "replica is quarantined read-only after divergence")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplicaError {}
+
+impl From<StoreError> for ReplicaError {
+    fn from(e: StoreError) -> Self {
+        ReplicaError::Store(e)
+    }
+}
+
+/// Result alias for replication operations.
+pub type Result<T> = std::result::Result<T, ReplicaError>;

@@ -1,0 +1,541 @@
+//! The replica: pulls the shipping stream, replays it into its own
+//! WAL-backed store, and publishes only at verified commit boundaries.
+//!
+//! # Replay state machine
+//!
+//! A commit travels as `PAGE* COMMIT CRC`. The replica stages `PAGE`
+//! records into its [`WalPager`] as they arrive (allocating to cover new
+//! page ids) and chains each image into its own divergence checksum.
+//! Nothing publishes at the `COMMIT` record — the replica waits for the
+//! [`SHIP_REC_CRC`] trailer, verifies the primary's chain value against
+//! its own, and only then seals + fsyncs the commit and persists its
+//! position. Verification *before* publication is the whole point: a
+//! silently-corrupted shipment can never become replica state.
+//!
+//! # Durability and crash windows
+//!
+//! Three devices, one ordering rule: store WAL durable first, position
+//! second. The persisted position is therefore ≤ the store's committed
+//! state; after a kill at any write or fsync the store recovers through
+//! ordinary WAL replay (uncommitted staging vanishes), the position log
+//! yields the last acknowledged boundary, and replay resumes from there.
+//! Re-applying commits the store already has is idempotent — full page
+//! images converge byte-identically. Losing the position log entirely
+//! only means replaying the stream from zero: slow, never wrong.
+//!
+//! The position log is framed with the same CRC-32 record format as
+//! everything else ([`POS_REC`], last valid record wins), so a torn
+//! position append is detected and discarded, falling back to the
+//! previous record.
+
+use crate::channel::{RetryPolicy, Transport};
+use crate::ship::{mix_crc, SHIP_REC_CRC};
+use crate::{ReplicaError, Result};
+use parking_lot::Mutex;
+use relstore::{
+    crc32, encode_record, BufferPool, Database, FileLog, FilePager, LogFile, Pager, RecordScan,
+    RecoveryStop, SnapshotPager, StoreError, WalConfig, WalPager, WAL_REC_COMMIT, WAL_REC_PAGE,
+};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Position-log record kind: the replica's durable replay cursor.
+/// Payload is `pos u64 ++ crc_state u64 ++ flags u64` (little-endian);
+/// the record's `page_id` field carries the global commit count.
+pub const POS_REC: u8 = 4;
+
+/// Flag bit: the replica has detected divergence and quarantined itself.
+const POS_FLAG_QUARANTINED: u64 = 1;
+
+/// Rewrite the position log once it grows past this many bytes (it only
+/// ever needs its newest record).
+const POS_LOG_REWRITE_BYTES: u64 = 64 * 1024;
+
+/// Default shipment fetch size. Big enough to carry a whole batch-commit
+/// unit of page records, small enough that torn-shipment re-fetches are
+/// cheap.
+const FETCH_BYTES: usize = 512 * 1024;
+
+/// Fold the replica store (checkpoint) every this many published
+/// commits, so catch-up from a long stream doesn't grow the replica WAL
+/// without bound.
+const CHECKPOINT_EVERY: u64 = 256;
+
+/// A replica's durable replay position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Position {
+    /// Stream offset of the next unapplied byte (always a commit-unit
+    /// boundary).
+    pub pos: u64,
+    /// Global commits published.
+    pub commits: u64,
+    /// Divergence checksum chain value at `commits`.
+    pub crc_state: u64,
+    /// Whether the replica has quarantined itself.
+    pub quarantined: bool,
+}
+
+impl Position {
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut payload = [0u8; 24];
+        payload[..8].copy_from_slice(&self.pos.to_le_bytes()); // lint:allow(fixed 24-byte array, constant range)
+        payload[8..16].copy_from_slice(&self.crc_state.to_le_bytes()); // lint:allow(fixed 24-byte array, constant range)
+        let flags = if self.quarantined {
+            POS_FLAG_QUARANTINED
+        } else {
+            0
+        };
+        payload[16..].copy_from_slice(&flags.to_le_bytes()); // lint:allow(fixed 24-byte array, constant range)
+        encode_record(POS_REC, self.commits, &payload)
+    }
+}
+
+/// Decode a position log: the last valid [`POS_REC`] record wins; torn
+/// or corrupt tails fall back to the previous record. Shared with
+/// `archis-fsck`'s cross-store audit.
+pub fn read_position(bytes: &[u8]) -> Option<Position> {
+    let mut last = None;
+    for rec in RecordScan::new(bytes, &[POS_REC]) {
+        if rec.payload.len() != 24 {
+            continue;
+        }
+        // lint:allow(payload length is checked == 24 above, so each 8-byte
+        // window is in-bounds and the try_into cannot fail)
+        let u = |i: usize| u64::from_le_bytes(rec.payload[i * 8..(i + 1) * 8].try_into().unwrap());
+        last = Some(Position {
+            pos: u(0),
+            commits: rec.page_id,
+            crc_state: u(1),
+            quarantined: u(2) & POS_FLAG_QUARANTINED != 0,
+        });
+    }
+    last
+}
+
+/// Staleness of a replica relative to the primary's durable head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lag {
+    /// Commits the primary has published that the replica has not.
+    pub commits: u64,
+    /// Stream bytes not yet applied.
+    pub bytes: u64,
+}
+
+/// What one [`Replica::poll`] round accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Progress {
+    /// Commits published this round.
+    pub commits: u64,
+    /// Page images applied this round (including re-staged ones).
+    pub pages: u64,
+    /// Whether the replica had consumed the primary's entire durable
+    /// stream when the round ended.
+    pub at_head: bool,
+    /// Transient channel faults absorbed (framing damage, mislabelled
+    /// or short shipments that forced a re-fetch).
+    pub faults: u64,
+}
+
+struct RepState {
+    /// Durable replay position (mirrors the last position-log record).
+    durable: Position,
+    /// Volatile cursor: stream offset consumed into the store's staging
+    /// area (≥ `durable.pos`, reset to it on reopen).
+    cursor: u64,
+    /// Checksum chain over staged-but-unpublished page images, seeded
+    /// from `durable.crc_state`.
+    staged_crc: u64,
+    /// Set when the current unit's `WAL_REC_COMMIT` has been seen:
+    /// carries the primary's committed page count, awaiting the CRC
+    /// trailer.
+    staged_commit: Option<u64>,
+    /// Bytes received past `cursor` that do not yet form a complete
+    /// record.
+    tail: Vec<u8>,
+    /// Commits published since the last replica checkpoint.
+    since_checkpoint: u64,
+}
+
+/// A read replica of a shipping primary. See the module docs for the
+/// replay state machine and durability contract.
+pub struct Replica {
+    pager: Arc<WalPager>,
+    pos_log: Arc<dyn LogFile>,
+    transport: Arc<dyn Transport>,
+    retry: RetryPolicy,
+    state: Mutex<RepState>,
+}
+
+impl Replica {
+    /// Open a replica over explicit devices: `base` + `wal_log` form its
+    /// store (recovered through ordinary WAL replay), `pos_log` holds
+    /// the durable replay position. All three can be fault-wrapped.
+    pub fn open(
+        base: Arc<dyn Pager>,
+        wal_log: Arc<dyn LogFile>,
+        pos_log: Arc<dyn LogFile>,
+        transport: Arc<dyn Transport>,
+        retry: RetryPolicy,
+    ) -> Result<Replica> {
+        // Publish boundaries must be individually durable — group commit
+        // on the replica would let a crash roll back "published" commits
+        // past the persisted position.
+        let pager = Arc::new(WalPager::open(
+            base,
+            wal_log,
+            WalConfig::with_group_commit(1),
+        )?);
+        let durable = read_position(&pos_log.read_all()?).unwrap_or_default();
+        let staged_crc = durable.crc_state;
+        Ok(Replica {
+            pager,
+            pos_log,
+            transport,
+            retry,
+            state: Mutex::new(RepState {
+                durable,
+                cursor: durable.pos,
+                staged_crc,
+                staged_commit: None,
+                tail: Vec::new(),
+                since_checkpoint: 0,
+            }),
+        })
+    }
+
+    /// Open a file-backed replica: page file at `path`, WAL at
+    /// `<path>.wal`, position log at `<path>.pos`.
+    pub fn open_file(
+        path: impl AsRef<Path>,
+        transport: Arc<dyn Transport>,
+        retry: RetryPolicy,
+    ) -> Result<Replica> {
+        let path = path.as_ref();
+        let mut wal_path = path.as_os_str().to_os_string();
+        wal_path.push(".wal");
+        let mut pos_path = path.as_os_str().to_os_string();
+        pos_path.push(".pos");
+        Replica::open(
+            Arc::new(FilePager::open(path)?),
+            Arc::new(FileLog::open(wal_path)?),
+            Arc::new(FileLog::open(pos_path)?),
+            transport,
+            retry,
+        )
+    }
+
+    /// The replica's durable replay position.
+    pub fn position(&self) -> Position {
+        self.state.lock().durable
+    }
+
+    /// Whether the replica is quarantined read-only after a divergence.
+    pub fn is_quarantined(&self) -> bool {
+        self.state.lock().durable.quarantined
+    }
+
+    /// The store pager (for audits and page-level comparison; writes
+    /// outside the replay path violate the replica contract).
+    pub fn pager(&self) -> Arc<WalPager> {
+        self.pager.clone()
+    }
+
+    /// Staleness relative to the primary's durable head. Works while
+    /// quarantined — lag of a quarantined replica only grows.
+    pub fn lag(&self) -> Result<Lag> {
+        let head = self.transport.head()?;
+        let st = self.state.lock();
+        Ok(Lag {
+            commits: head.commits.saturating_sub(st.durable.commits),
+            bytes: head.pos.saturating_sub(st.durable.pos),
+        })
+    }
+
+    /// Persist the durable position (store must already be durable).
+    fn persist_position(&self, pos: Position) -> Result<()> {
+        let rec = pos.encode();
+        if self.pos_log.len()? > POS_LOG_REWRITE_BYTES {
+            // Compaction note: truncate+append is not atomic. A crash in
+            // between loses the position entirely, which replays the
+            // stream from zero — slow, never wrong (see module docs).
+            self.pos_log.truncate()?;
+        }
+        self.pos_log.append(&rec)?;
+        self.pos_log.sync()?;
+        Ok(())
+    }
+
+    /// Quarantine durably and report the divergence.
+    fn quarantine(
+        &self,
+        st: &mut RepState,
+        commit: u64,
+        expected: u64,
+        actual: u64,
+    ) -> ReplicaError {
+        st.durable.quarantined = true;
+        // Best-effort persistence: even if the position append crashes,
+        // the in-memory flag already refuses further applies, and the
+        // diverged unit was never committed to the store.
+        if let Err(ReplicaError::Store(e)) = self.persist_position(st.durable) {
+            return ReplicaError::Store(e);
+        }
+        ReplicaError::Diverged {
+            commit,
+            expected,
+            actual,
+        }
+    }
+
+    /// Apply every complete record currently in the tail. Returns
+    /// `(commits, pages, hit_damage)`.
+    ///
+    /// The volatile cursor advances per fully-processed record, never
+    /// past one that failed — so a re-fetch after damage or a store
+    /// error resumes exactly at the failed record, and already-staged
+    /// page images are neither re-fetched nor re-mixed into the
+    /// checksum chain (double-mixing would fake a divergence).
+    fn drain_tail(&self, st: &mut RepState) -> Result<(u64, u64, bool)> {
+        let mut commits = 0u64;
+        let mut pages = 0u64;
+        let kinds = [WAL_REC_PAGE, WAL_REC_COMMIT, SHIP_REC_CRC];
+        let tail = std::mem::take(&mut st.tail);
+        let mut scan = RecordScan::new(&tail, &kinds);
+        // Byte offset (into `tail`) of the end of the last record whose
+        // side effects fully landed.
+        let mut consumed = 0usize;
+        let mut damaged = false;
+        let mut diverged: Option<(u64, u64, u64)> = None;
+        // Restores tail/cursor coherently on every exit path, including
+        // `?` store errors (an injected crash mid-apply lands here).
+        let settle = |st: &mut RepState, tail: &[u8], consumed: usize, damaged: bool| {
+            st.cursor += consumed as u64;
+            if damaged {
+                // Drop unconsumed damage; a re-fetch from the cursor
+                // gets the true stream bytes.
+                st.tail.clear();
+            } else {
+                // lint:allow(consumed is a RecordScan record-end offset,
+                // always <= tail.len())
+                st.tail = tail[consumed..].to_vec();
+            }
+        };
+        for rec in &mut scan {
+            match rec.kind {
+                WAL_REC_PAGE => {
+                    if rec.payload.len() != relstore::PAGE_SIZE {
+                        damaged = true; // framing-valid but impossible
+                        break;
+                    }
+                    let staged = (|| -> relstore::Result<()> {
+                        while self.pager.num_pages() <= rec.page_id {
+                            self.pager.allocate()?;
+                        }
+                        // lint:allow(replication replay writes full page
+                        // images through the replica's own WalPager, which
+                        // stages and WAL-logs them; publication happens at
+                        // the verified commit below)
+                        self.pager.write_page(rec.page_id, rec.payload)
+                    })();
+                    if let Err(e) = staged {
+                        settle(st, &tail, consumed, false);
+                        return Err(e.into());
+                    }
+                    st.staged_crc = mix_crc(st.staged_crc, rec.page_id, crc32(rec.payload));
+                    pages += 1;
+                }
+                WAL_REC_COMMIT => {
+                    st.staged_commit = Some(rec.page_id);
+                }
+                _ => {
+                    // SHIP_REC_CRC: verify the chain, then publish.
+                    //
+                    // Structural nonsense here (trailer without a commit,
+                    // wrong trailer length, commit-number slip) cannot be
+                    // transient: a re-fetch re-reads the same immutable
+                    // stream bytes and loops forever. It means the stream
+                    // content itself is wrong — divergence, quarantine.
+                    let want = st.durable.commits + 1;
+                    let (Some(target), 16) = (st.staged_commit, rec.payload.len()) else {
+                        diverged = Some((want, 0, st.staged_crc));
+                        break;
+                    };
+                    // lint:allow(trailer length matched == 16 in the let-else)
+                    let commit = u64::from_le_bytes(rec.payload[..8].try_into().unwrap());
+                    // lint:allow(trailer length matched == 16 in the let-else)
+                    let expected = u64::from_le_bytes(rec.payload[8..].try_into().unwrap());
+                    if commit != want {
+                        diverged = Some((want, expected, st.staged_crc));
+                        break;
+                    }
+                    if expected != st.staged_crc {
+                        diverged = Some((commit, expected, st.staged_crc));
+                        break;
+                    }
+                    let published = (|| -> relstore::Result<()> {
+                        while self.pager.num_pages() < target {
+                            self.pager.allocate()?;
+                        }
+                        self.pager.commit()?;
+                        self.pager.sync()
+                    })();
+                    if let Err(e) = published {
+                        settle(st, &tail, consumed, false);
+                        return Err(e.into());
+                    }
+                    // Store durable; now (and only now) acknowledge. A
+                    // crash before the position append lands leaves a
+                    // stale-low position — idempotent re-apply territory.
+                    st.durable = Position {
+                        pos: st.cursor + rec.end as u64,
+                        commits: commit,
+                        crc_state: expected,
+                        quarantined: false,
+                    };
+                    st.staged_commit = None;
+                    st.since_checkpoint += 1;
+                    commits += 1;
+                }
+            }
+            consumed = rec.end;
+        }
+        if let Some((commit, expected, actual)) = diverged {
+            settle(st, &tail, consumed, true);
+            return Err(self.quarantine(st, commit, expected, actual));
+        }
+        damaged = damaged || scan.stop() != RecoveryStop::CleanEof;
+        if consumed < scan.pos() && !damaged {
+            // The iterator stopped cleanly past a record we broke on —
+            // cannot happen, but never advance past unprocessed records.
+            damaged = true;
+        }
+        settle(st, &tail, consumed, damaged);
+        if commits > 0 {
+            self.persist_position(st.durable)?;
+        }
+        // Periodic fold so catch-up doesn't grow the replica WAL without
+        // bound. Safe here: we are between units (nothing half-staged —
+        // a checkpoint seals staged pages, which must never happen
+        // mid-unit).
+        if st.since_checkpoint >= CHECKPOINT_EVERY
+            && st.staged_commit.is_none()
+            && st.staged_crc == st.durable.crc_state
+        {
+            self.pager.checkpoint()?;
+            st.since_checkpoint = 0;
+        }
+        Ok((commits, pages, damaged))
+    }
+
+    /// One pull-and-apply round: fetch from the volatile cursor, apply
+    /// complete records, publish verified commits. Returns what happened;
+    /// [`Progress::at_head`] signals a fully caught-up replica.
+    pub fn poll(&self) -> Result<Progress> {
+        let st = &mut *self.state.lock();
+        if st.durable.quarantined {
+            return Err(ReplicaError::Quarantined);
+        }
+        let from = st.cursor + st.tail.len() as u64;
+        let shipment = self.retry.fetch(&self.transport, from, FETCH_BYTES)?;
+        let got = shipment.bytes.len();
+        st.tail.extend_from_slice(&shipment.bytes);
+        let (commits, pages, damaged) = self.drain_tail(st)?;
+        let head = self.transport.head()?;
+        Ok(Progress {
+            commits,
+            pages,
+            at_head: !damaged && got == 0 && st.cursor + st.tail.len() as u64 >= head.pos,
+            faults: damaged as u64,
+        })
+    }
+
+    /// Pull until the primary's entire durable stream is applied.
+    /// Returns total commits published. Transient faults retry inside;
+    /// a fault budget overrun surfaces as [`ReplicaError::Transport`].
+    pub fn catch_up(&self) -> Result<u64> {
+        let mut total = 0;
+        loop {
+            let p = self.poll()?;
+            total += p.commits;
+            if p.at_head {
+                return Ok(total);
+            }
+        }
+    }
+
+    /// Fold the replica store into its base file. Only allowed between
+    /// units (nothing staged); refused while mid-unit state exists.
+    pub fn checkpoint(&self) -> Result<()> {
+        let st = &mut *self.state.lock();
+        if st.staged_commit.is_some() || st.staged_crc != st.durable.crc_state {
+            return Err(ReplicaError::Store(StoreError::Io(
+                "replica checkpoint refused: a shipment unit is half-staged".into(),
+            )));
+        }
+        self.pager.checkpoint()?;
+        st.since_checkpoint = 0;
+        Ok(())
+    }
+
+    /// Pin the replica's newest published commit for consistent reads.
+    /// Works while quarantined — quarantine stops *applies*, not reads
+    /// of the last verified state.
+    pub fn begin_snapshot(&self) -> Result<ReplicaSnapshot> {
+        let commits = self.state.lock().durable.commits;
+        let pager: Arc<dyn Pager> = self.pager.clone();
+        let (commit_lsn, num_pages) = pager
+            .pin_snapshot()?
+            // lint:allow(WalPager::pin_snapshot never returns None; only
+            // non-transactional pagers decline snapshots)
+            .expect("WalPager is always transactional");
+        let snap = Arc::new(SnapshotPager::new(pager, commit_lsn, num_pages));
+        if num_pages == 0 {
+            return Err(ReplicaError::Store(StoreError::Io(
+                "cannot snapshot an empty replica (nothing replayed yet)".into(),
+            )));
+        }
+        let pool = Arc::new(BufferPool::new(snap, 512));
+        let db = Database::open_pool(pool)?;
+        Ok(ReplicaSnapshot {
+            db,
+            commit_lsn,
+            commits,
+        })
+    }
+}
+
+/// A consistent read view of a replica, frozen at one published commit.
+/// Derefs to [`Database`]; stays valid while replay and checkpoints
+/// continue underneath (MVCC version retention), and carries its
+/// staleness bound so readers know what they are looking at.
+pub struct ReplicaSnapshot {
+    db: Database,
+    commit_lsn: u64,
+    commits: u64,
+}
+
+impl ReplicaSnapshot {
+    /// The replica-local commit LSN this view is frozen at.
+    pub fn commit_lsn(&self) -> u64 {
+        self.commit_lsn
+    }
+
+    /// The global (primary) commit count this view corresponds to — the
+    /// explicit staleness bound.
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
+    /// The frozen database view.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+}
+
+impl std::ops::Deref for ReplicaSnapshot {
+    type Target = Database;
+
+    fn deref(&self) -> &Database {
+        &self.db
+    }
+}

@@ -1,0 +1,643 @@
+//! The primary side of log shipping: a durable segmented stream of WAL
+//! commit units, a [`ShipTee`] that populates it transparently from the
+//! primary's own WAL traffic, and the [`Primary`] open path that
+//! reconciles stream and WAL after a crash.
+//!
+//! # Stream format
+//!
+//! The shipping stream reuses the WAL's framed record format verbatim
+//! (`[kind u8][page_id u64][len u32][crc32 u32][payload]`): for every
+//! primary commit it carries the commit's `WAL_REC_PAGE` records and the
+//! `WAL_REC_COMMIT` record *byte-for-byte as they appear in the WAL*,
+//! followed by one generated [`SHIP_REC_CRC`] record whose payload is
+//! `(global_commit u64, crc_state u64)` — the running divergence
+//! checksum chained over every shipped page image (see [`mix_crc`]).
+//! Because shipped bytes are copies of durable WAL bytes plus a
+//! deterministic trailer, re-shipping the same commits after a crash
+//! reproduces the stream **byte-identically**, so replica positions
+//! (plain stream offsets) survive primary restarts.
+//!
+//! # Durability contract
+//!
+//! The stream is strictly a suffix-lagging copy of the durable WAL: the
+//! tee ships only after `inner.sync()` succeeds, and the meta record
+//! (tmp+rename, CRC-guarded) is authoritative — segment bytes beyond
+//! `meta.total_bytes` are discarded on open as unacknowledged garbage.
+//! A crash between WAL fsync and ship append therefore loses nothing:
+//! [`Primary::open`] compares `meta.wal_commits_shipped` against the
+//! commits actually present in the WAL and re-ships the missing tail.
+
+use crate::Result;
+use parking_lot::Mutex;
+use relstore::{
+    crc32, encode_record, Database, FileLog, FilePager, LogFile, MemLog, RecordScan, RecoveryStop,
+    StoreError, WalConfig, WalPager, WAL_REC_COMMIT, WAL_REC_PAGE,
+};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Shipping-stream record kind: divergence-checksum trailer after each
+/// commit. Payload is `global_commit u64 LE ++ crc_state u64 LE`; the
+/// record's `page_id` field mirrors `global_commit` for greppability.
+pub const SHIP_REC_CRC: u8 = 3;
+
+/// Logical segment size of the shipping stream. Positions are plain
+/// offsets into the concatenated stream; segmentation is a storage
+/// detail (bounded file sizes, cheap tail reads), not a framing one —
+/// records may span segment boundaries.
+pub const SHIP_SEG_BYTES: u64 = 256 * 1024;
+
+/// Chain one shipped page image into the running divergence checksum.
+///
+/// SplitMix64-style finalizer over `(state, page_id, crc32(payload))`;
+/// order-sensitive, so a replica that applies the right images in the
+/// wrong order still diverges.
+pub fn mix_crc(state: u64, page_id: u64, payload_crc: u32) -> u64 {
+    let mut x = state
+        ^ page_id.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ ((payload_crc as u64) << 32 | payload_crc as u64);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// Byte length of the longest prefix of `bytes` that ends at a
+/// `WAL_REC_COMMIT` record boundary (0 when no complete commit is
+/// present). The tee ships only whole commit units; trailing page
+/// records of an unfinished batch stay pending.
+pub fn last_commit_boundary(bytes: &[u8]) -> usize {
+    let mut cut = 0;
+    for rec in RecordScan::new(bytes, &[WAL_REC_PAGE, WAL_REC_COMMIT]) {
+        if rec.kind == WAL_REC_COMMIT {
+            cut = rec.end;
+        }
+    }
+    cut
+}
+
+// ---------------------------------------------------------------------------
+// Segment storage backends
+// ---------------------------------------------------------------------------
+
+/// Storage for shipping-log segments plus one atomically-replaceable
+/// meta blob. Implementations must make [`SegmentStore::write_meta`]
+/// atomic (all-or-nothing under crash), because the meta record is the
+/// stream's source of truth.
+pub trait SegmentStore: Send + Sync {
+    /// Read the meta blob, `None` when the store is fresh.
+    fn read_meta(&self) -> relstore::Result<Option<Vec<u8>>>;
+    /// Atomically replace the meta blob.
+    fn write_meta(&self, bytes: &[u8]) -> relstore::Result<()>;
+    /// Open (creating if absent) the segment with this index.
+    fn segment(&self, index: u64) -> relstore::Result<Arc<dyn LogFile>>;
+    /// Truncate a segment to exactly `len` bytes (discarding any
+    /// unacknowledged tail written after the last durable meta).
+    fn truncate_segment(&self, index: u64, len: u64) -> relstore::Result<()>;
+}
+
+/// In-memory segment store for tests and torture harnesses.
+pub struct MemSegments {
+    meta: Mutex<Option<Vec<u8>>>,
+    segs: Mutex<HashMap<u64, Arc<MemLog>>>,
+}
+
+impl MemSegments {
+    /// An empty in-memory segment store.
+    pub fn new() -> Arc<Self> {
+        Arc::new(MemSegments {
+            meta: Mutex::new(None),
+            segs: Mutex::new(HashMap::new()),
+        })
+    }
+}
+
+impl SegmentStore for MemSegments {
+    fn read_meta(&self) -> relstore::Result<Option<Vec<u8>>> {
+        Ok(self.meta.lock().clone())
+    }
+
+    fn write_meta(&self, bytes: &[u8]) -> relstore::Result<()> {
+        *self.meta.lock() = Some(bytes.to_vec());
+        Ok(())
+    }
+
+    fn segment(&self, index: u64) -> relstore::Result<Arc<dyn LogFile>> {
+        let mut segs = self.segs.lock();
+        let seg = segs.entry(index).or_insert_with(|| Arc::new(MemLog::new()));
+        Ok(seg.clone())
+    }
+
+    fn truncate_segment(&self, index: u64, len: u64) -> relstore::Result<()> {
+        let segs = self.segs.lock();
+        if let Some(seg) = segs.get(&index) {
+            let mut raw = seg.raw();
+            if raw.len() as u64 > len {
+                raw.truncate(len as usize);
+                seg.set_raw(raw);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Directory-backed segment store: `<dir>/seg-NNNNNNNN.log` files plus
+/// `<dir>/meta` replaced via write-to-temp + rename.
+pub struct DirSegments {
+    dir: PathBuf,
+}
+
+impl DirSegments {
+    /// Open (creating if absent) a segment directory.
+    pub fn open(dir: impl AsRef<Path>) -> relstore::Result<Arc<Self>> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|e| StoreError::Io(format!("{e}")))?;
+        Ok(Arc::new(DirSegments { dir }))
+    }
+
+    fn seg_path(&self, index: u64) -> PathBuf {
+        self.dir.join(format!("seg-{index:08}.log"))
+    }
+}
+
+impl SegmentStore for DirSegments {
+    fn read_meta(&self) -> relstore::Result<Option<Vec<u8>>> {
+        match std::fs::read(self.dir.join("meta")) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(StoreError::Io(format!("{e}"))),
+        }
+    }
+
+    fn write_meta(&self, bytes: &[u8]) -> relstore::Result<()> {
+        let tmp = self.dir.join("meta.tmp");
+        let dst = self.dir.join("meta");
+        let io = |e: std::io::Error| StoreError::Io(format!("{e}"));
+        // lint:allow(DirSegments IS a durable-medium implementation below
+        // the pager layer, like FileLog: the ship meta is written
+        // tmp+fsync+rename+dirsync, never in place)
+        std::fs::write(&tmp, bytes).map_err(io)?;
+        let f = std::fs::File::open(&tmp).map_err(io)?;
+        f.sync_all().map_err(io)?;
+        std::fs::rename(&tmp, &dst).map_err(io)?;
+        // Rename durability requires a directory fsync on POSIX.
+        if let Ok(d) = std::fs::File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    }
+
+    fn segment(&self, index: u64) -> relstore::Result<Arc<dyn LogFile>> {
+        Ok(Arc::new(FileLog::open(self.seg_path(index))?))
+    }
+
+    fn truncate_segment(&self, index: u64, len: u64) -> relstore::Result<()> {
+        let path = self.seg_path(index);
+        if !path.is_file() {
+            return Ok(());
+        }
+        let io = |e: std::io::Error| StoreError::Io(format!("{e}"));
+        // lint:allow(segment truncation opens the raw segment file;
+        // DirSegments is the durable ship medium itself)
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .map_err(io)?;
+        if f.metadata().map_err(io)?.len() > len {
+            // lint:allow(discards only unacknowledged ship-stream bytes past
+            // the durable head recorded in the CRC-guarded meta; committed
+            // pages all live below `len`)
+            f.set_len(len).map_err(io)?;
+            f.sync_all().map_err(io)?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Meta record
+// ---------------------------------------------------------------------------
+
+/// Durable head state of a shipping stream. CRC-guarded on disk; the
+/// copy in memory always mirrors the last durable write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShipMeta {
+    /// Logical stream length: every byte below this is acknowledged.
+    pub total_bytes: u64,
+    /// Global commits in the stream (== number of [`SHIP_REC_CRC`]
+    /// trailers).
+    pub commits: u64,
+    /// Divergence checksum chain value after the last shipped commit.
+    pub crc_state: u64,
+    /// How many commits of the *current WAL incarnation* are already in
+    /// the stream; reset to 0 when a checkpoint truncates the WAL. The
+    /// reconcile path re-ships WAL commits beyond this count.
+    pub wal_commits_shipped: u64,
+}
+
+const META_MAGIC: u32 = 0x5348_4950; // "SHIP"
+const META_LEN: usize = 4 + 8 * 4 + 4;
+
+impl ShipMeta {
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(META_LEN);
+        b.extend_from_slice(&META_MAGIC.to_le_bytes());
+        b.extend_from_slice(&self.total_bytes.to_le_bytes());
+        b.extend_from_slice(&self.commits.to_le_bytes());
+        b.extend_from_slice(&self.crc_state.to_le_bytes());
+        b.extend_from_slice(&self.wal_commits_shipped.to_le_bytes());
+        b.extend_from_slice(&crc32(&b).to_le_bytes());
+        b
+    }
+
+    pub(crate) fn decode(bytes: &[u8]) -> relstore::Result<ShipMeta> {
+        let bad = |kind: &str| StoreError::Io(format!("shipping meta corrupt: {kind}"));
+        if bytes.len() != META_LEN {
+            return Err(bad("wrong length"));
+        }
+        let (body, crc) = bytes.split_at(META_LEN - 4);
+        // lint:allow(length checked == META_LEN above: crc is exactly 4 bytes)
+        if crc32(body) != u32::from_le_bytes(crc.try_into().unwrap()) {
+            return Err(bad("checksum mismatch"));
+        }
+        // lint:allow(body is META_LEN - 4 bytes, the magic window is in-bounds)
+        if u32::from_le_bytes(body[0..4].try_into().unwrap()) != META_MAGIC {
+            return Err(bad("bad magic"));
+        }
+        // lint:allow(length-checked buffer: all four 8-byte windows are
+        // in-bounds and each try_into sees exactly 8 bytes)
+        let u = |i: usize| u64::from_le_bytes(body[4 + i * 8..12 + i * 8].try_into().unwrap());
+        Ok(ShipMeta {
+            total_bytes: u(0),
+            commits: u(1),
+            crc_state: u(2),
+            wal_commits_shipped: u(3),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shipping log
+// ---------------------------------------------------------------------------
+
+struct ShipLogState {
+    meta: ShipMeta,
+    /// Open segment handles, keyed by index.
+    segs: HashMap<u64, Arc<dyn LogFile>>,
+}
+
+/// The durable shipping stream: fixed-size logical segments plus the
+/// authoritative [`ShipMeta`]. All appends go through
+/// [`ShippingLog::ship_commits`], which keeps the divergence checksum
+/// chain and the meta record consistent with the appended bytes.
+pub struct ShippingLog {
+    store: Arc<dyn SegmentStore>,
+    state: Mutex<ShipLogState>,
+}
+
+impl ShippingLog {
+    /// Open the stream over a segment store, discarding any segment
+    /// bytes beyond the durable meta (unacknowledged tail from a crash
+    /// mid-append — the reconcile path will re-ship them identically).
+    pub fn open(store: Arc<dyn SegmentStore>) -> relstore::Result<Arc<Self>> {
+        let meta = match store.read_meta()? {
+            Some(bytes) => ShipMeta::decode(&bytes)?,
+            None => ShipMeta::default(),
+        };
+        // Trim every segment that could hold stream bytes to its
+        // acknowledged extent; later segments (created just before the
+        // crash) go to zero.
+        let last_seg = meta.total_bytes / SHIP_SEG_BYTES;
+        for idx in 0..=last_seg + 1 {
+            let seg_start = idx * SHIP_SEG_BYTES;
+            let keep = meta
+                .total_bytes
+                .saturating_sub(seg_start)
+                .min(SHIP_SEG_BYTES);
+            store.truncate_segment(idx, keep)?;
+        }
+        Ok(Arc::new(ShippingLog {
+            store,
+            state: Mutex::new(ShipLogState {
+                meta,
+                segs: HashMap::new(),
+            }),
+        }))
+    }
+
+    /// Durable head of the stream: `(position, global commits)`.
+    pub fn head(&self) -> (u64, u64) {
+        let st = self.state.lock();
+        (st.meta.total_bytes, st.meta.commits)
+    }
+
+    /// The durable meta record.
+    pub fn meta(&self) -> ShipMeta {
+        self.state.lock().meta
+    }
+
+    fn seg(
+        store: &Arc<dyn SegmentStore>,
+        st: &mut ShipLogState,
+        index: u64,
+    ) -> relstore::Result<Arc<dyn LogFile>> {
+        if let Some(seg) = st.segs.get(&index) {
+            return Ok(seg.clone());
+        }
+        let seg = store.segment(index)?;
+        st.segs.insert(index, seg.clone());
+        Ok(seg)
+    }
+
+    /// Append raw stream bytes, rolling segments at [`SHIP_SEG_BYTES`]
+    /// boundaries. Advances `meta.total_bytes` in memory only; the
+    /// caller syncs segments and persists meta afterwards.
+    fn append_stream(&self, st: &mut ShipLogState, mut bytes: &[u8]) -> relstore::Result<Vec<u64>> {
+        let mut touched = Vec::new();
+        while !bytes.is_empty() {
+            let idx = st.meta.total_bytes / SHIP_SEG_BYTES;
+            let room = (SHIP_SEG_BYTES - st.meta.total_bytes % SHIP_SEG_BYTES) as usize;
+            let take = room.min(bytes.len());
+            let seg = Self::seg(&self.store, st, idx)?;
+            seg.append(&bytes[..take])?; // lint:allow(take <= bytes.len() by min)
+            if touched.last() != Some(&idx) {
+                touched.push(idx);
+            }
+            st.meta.total_bytes += take as u64;
+            bytes = &bytes[take..]; // lint:allow(take <= bytes.len() by min)
+        }
+        Ok(touched)
+    }
+
+    /// Ship complete WAL commit units (`records` must end exactly at a
+    /// `WAL_REC_COMMIT` boundary — use [`last_commit_boundary`]). Each
+    /// commit's records are appended verbatim, followed by a generated
+    /// [`SHIP_REC_CRC`] trailer; segments are synced and the meta is
+    /// persisted once at the end. Returns the number of commits shipped.
+    pub fn ship_commits(&self, records: &[u8]) -> relstore::Result<u64> {
+        let st = &mut *self.state.lock();
+        let before = st.meta;
+        let mut shipped = 0u64;
+        let mut touched: Vec<u64> = Vec::new();
+        let mut unit_start = 0usize;
+        let mut crc = st.meta.crc_state;
+        let mut scan = RecordScan::new(records, &[WAL_REC_PAGE, WAL_REC_COMMIT]);
+        for rec in &mut scan {
+            match rec.kind {
+                WAL_REC_PAGE => crc = mix_crc(crc, rec.page_id, crc32(rec.payload)),
+                _ => {
+                    st.meta.commits += 1;
+                    st.meta.crc_state = crc;
+                    st.meta.wal_commits_shipped += 1;
+                    shipped += 1;
+                    let mut payload = [0u8; 16];
+                    payload[..8].copy_from_slice(&st.meta.commits.to_le_bytes()); // lint:allow(fixed 16-byte array, constant range)
+                    payload[8..].copy_from_slice(&crc.to_le_bytes()); // lint:allow(fixed 16-byte array, constant range)
+                    let trailer = encode_record(SHIP_REC_CRC, st.meta.commits, &payload);
+                    // lint:allow(RecordScan yields in-bounds offsets into `records`)
+                    for idx in self.append_stream(st, &records[unit_start..rec.end])? {
+                        if !touched.contains(&idx) {
+                            touched.push(idx);
+                        }
+                    }
+                    for idx in self.append_stream(st, &trailer)? {
+                        if !touched.contains(&idx) {
+                            touched.push(idx);
+                        }
+                    }
+                    unit_start = rec.end;
+                }
+            }
+        }
+        if scan.stop() != RecoveryStop::CleanEof || unit_start != records.len() {
+            // Roll back the in-memory meta: nothing was acknowledged.
+            st.meta = before;
+            return Err(StoreError::Io(
+                "ship_commits: input is not whole commit units".into(),
+            ));
+        }
+        if shipped == 0 {
+            return Ok(0);
+        }
+        for idx in touched {
+            Self::seg(&self.store, st, idx)?.sync()?;
+        }
+        self.store.write_meta(&st.meta.encode())?;
+        Ok(shipped)
+    }
+
+    /// Record that the primary's WAL incarnation changed (checkpoint
+    /// truncated it): commits shipped from the old incarnation no longer
+    /// correspond to WAL contents.
+    pub fn reset_wal_commits(&self) -> relstore::Result<()> {
+        let st = &mut *self.state.lock();
+        if st.meta.wal_commits_shipped == 0 {
+            return Ok(());
+        }
+        st.meta.wal_commits_shipped = 0;
+        self.store.write_meta(&st.meta.encode())
+    }
+
+    /// Read up to `max` acknowledged stream bytes starting at `pos`.
+    /// Returns an empty vector at or past the head.
+    pub fn read_from(&self, pos: u64, max: usize) -> relstore::Result<Vec<u8>> {
+        let st = &mut *self.state.lock();
+        let end = st.meta.total_bytes.min(pos.saturating_add(max as u64));
+        let mut out = Vec::new();
+        let mut at = pos;
+        while at < end {
+            let idx = at / SHIP_SEG_BYTES;
+            let off = (at % SHIP_SEG_BYTES) as usize;
+            let seg = Self::seg(&self.store, st, idx)?;
+            let raw = seg.read_all()?;
+            let take = raw.len().min(off + (end - at) as usize) - off.min(raw.len());
+            if take == 0 {
+                break;
+            }
+            // lint:allow(take is clamped against raw.len() - off above, so
+            // the window ends at or before the segment's last byte)
+            out.extend_from_slice(&raw[off..off + take]);
+            at += take as u64;
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WAL tee
+// ---------------------------------------------------------------------------
+
+struct TeeState {
+    /// Record bytes appended to the WAL since the last ship, not yet
+    /// acknowledged into the stream. Only whole commit units leave.
+    pending: Vec<u8>,
+}
+
+/// A [`LogFile`] wrapper for the primary's WAL that ships every durable
+/// commit into a [`ShippingLog`] as a side effect of `sync`.
+///
+/// Ordering: the inner WAL fsync completes **before** anything is
+/// shipped, so the stream is always a prefix-copy of durable WAL state
+/// — a replica can never apply a commit the primary could lose. On
+/// `truncate` (checkpoint reclaiming the WAL) only the inner log is
+/// truncated; the stream keeps the full history and the meta's
+/// `wal_commits_shipped` resets so reconcile math stays aligned with
+/// the new WAL incarnation.
+pub struct ShipTee {
+    inner: Arc<dyn LogFile>,
+    ship: Arc<ShippingLog>,
+    state: Mutex<TeeState>,
+}
+
+impl ShipTee {
+    /// Tee `inner` (the primary's durable WAL device) into `ship`.
+    pub fn new(inner: Arc<dyn LogFile>, ship: Arc<ShippingLog>) -> Arc<Self> {
+        Arc::new(ShipTee {
+            inner,
+            ship,
+            state: Mutex::new(TeeState {
+                pending: Vec::new(),
+            }),
+        })
+    }
+
+    /// The shipping stream this tee feeds.
+    pub fn ship(&self) -> Arc<ShippingLog> {
+        self.ship.clone()
+    }
+}
+
+impl LogFile for ShipTee {
+    fn append(&self, bytes: &[u8]) -> relstore::Result<()> {
+        self.inner.append(bytes)?;
+        self.state.lock().pending.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&self) -> relstore::Result<()> {
+        // WAL first: ship only what is durable on the primary.
+        self.inner.sync()?;
+        let mut st = self.state.lock();
+        let cut = last_commit_boundary(&st.pending);
+        if cut > 0 {
+            // lint:allow(cut is a last_commit_boundary offset <= pending.len())
+            self.ship.ship_commits(&st.pending[..cut])?;
+            st.pending.drain(..cut);
+        }
+        Ok(())
+    }
+
+    fn read_all(&self) -> relstore::Result<Vec<u8>> {
+        self.inner.read_all()
+    }
+
+    fn truncate(&self) -> relstore::Result<()> {
+        self.inner.truncate()?;
+        self.state.lock().pending.clear();
+        self.ship.reset_wal_commits()
+    }
+
+    fn len(&self) -> relstore::Result<u64> {
+        self.inner.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primary
+// ---------------------------------------------------------------------------
+
+/// A primary store wired for shipping: WAL traffic tees into a durable
+/// [`ShippingLog`], and the open path reconciles the two after a crash
+/// (re-shipping WAL commits the stream missed, byte-identically).
+pub struct Primary {
+    pager: Arc<WalPager>,
+    ship: Arc<ShippingLog>,
+}
+
+impl Primary {
+    /// Open a shipping primary over explicit devices. `wal_log` is the
+    /// durable WAL medium; `store` holds the shipping stream.
+    ///
+    /// Reconcile-on-open: count the commits currently in the WAL; any
+    /// beyond `meta.wal_commits_shipped` were made durable but never
+    /// acknowledged into the stream (crash between WAL fsync and ship),
+    /// so re-ship them now. The count is clamped downwards too — a crash
+    /// after a checkpoint's WAL truncate but before the meta reset
+    /// leaves `wal_commits_shipped` higher than the (now near-empty)
+    /// WAL, and the clamp re-aligns it with the new incarnation.
+    pub fn open(
+        base: Arc<dyn relstore::Pager>,
+        wal_log: Arc<dyn LogFile>,
+        store: Arc<dyn SegmentStore>,
+        cfg: WalConfig,
+    ) -> Result<Primary> {
+        let ship = ShippingLog::open(store)?;
+
+        let bytes = wal_log.read_all()?;
+        let committed = last_commit_boundary(&bytes);
+        let mut wal_commits = 0u64;
+        let mut unit_starts: Vec<usize> = vec![0];
+        // lint:allow(committed is a last_commit_boundary offset <= bytes.len())
+        for rec in RecordScan::new(&bytes[..committed], &[WAL_REC_PAGE, WAL_REC_COMMIT]) {
+            if rec.kind == WAL_REC_COMMIT {
+                wal_commits += 1;
+                unit_starts.push(rec.end);
+            }
+        }
+        {
+            let shipped = ship.meta().wal_commits_shipped;
+            if shipped > wal_commits {
+                // New WAL incarnation (checkpoint truncate crashed before
+                // the meta reset): nothing in this WAL is unshipped.
+                let st = &mut *ship.state.lock();
+                st.meta.wal_commits_shipped = wal_commits;
+                ship.store.write_meta(&st.meta.encode())?;
+            } else if shipped < wal_commits {
+                // lint:allow(unit_starts holds wal_commits + 1 boundary
+                // offsets and shipped < wal_commits here; every boundary
+                // is <= committed <= bytes.len())
+                ship.ship_commits(&bytes[unit_starts[shipped as usize]..committed])?;
+            }
+        }
+
+        let tee = ShipTee::new(wal_log, ship.clone());
+        let pager = Arc::new(WalPager::open(base, tee, cfg)?);
+        Ok(Primary { pager, ship })
+    }
+
+    /// Open a file-backed shipping primary: page file at `path`, WAL at
+    /// `<path>.wal`, shipping stream under `<path>.ship/`. Returns the
+    /// primary handle and a [`Database`] over it.
+    pub fn open_file(
+        path: impl AsRef<Path>,
+        pool_pages: usize,
+        cfg: WalConfig,
+    ) -> Result<(Primary, Database)> {
+        let path = path.as_ref();
+        let mut wal_path = path.as_os_str().to_os_string();
+        wal_path.push(".wal");
+        let mut ship_path = path.as_os_str().to_os_string();
+        ship_path.push(".ship");
+        let base = Arc::new(FilePager::open(path)?);
+        let log = Arc::new(FileLog::open(wal_path)?);
+        let store = DirSegments::open(ship_path)?;
+        let primary = Primary::open(base, log, store, cfg)?;
+        let pool = Arc::new(relstore::BufferPool::new(primary.pager.clone(), pool_pages));
+        let db = Database::open_pool(pool)?;
+        Ok((primary, db))
+    }
+
+    /// The WAL pager backing this primary (wrap in a `BufferPool` +
+    /// [`Database`] for SQL-level access).
+    pub fn pager(&self) -> Arc<WalPager> {
+        self.pager.clone()
+    }
+
+    /// The durable shipping stream replicas pull from.
+    pub fn ship(&self) -> Arc<ShippingLog> {
+        self.ship.clone()
+    }
+}

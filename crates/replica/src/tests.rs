@@ -1,0 +1,460 @@
+//! In-crate tests of the shipping stream, channel faults and replay.
+//! The heavyweight kill-mid-replay sweeps live in the workspace-level
+//! `tests/replica_torture.rs`.
+
+use crate::{
+    last_commit_boundary, mix_crc, FaultTransport, LocalTransport, MemSegments, Primary, Replica,
+    ReplicaError, RetryPolicy, ShipMeta, ShippingLog,
+};
+use relstore::{
+    BufferPool, DataType, Database, FailChannel, Field, MemLog, MemPager, Pager, Schema,
+    ShipmentFate, StorageKind, Value, WalConfig, WalPager, PAGE_SIZE,
+};
+use std::sync::Arc;
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Field::new("id", DataType::Int),
+        Field::new("v", DataType::Str),
+    ])
+}
+
+struct Rig {
+    primary: Primary,
+    db: Database,
+    wal_log: Arc<MemLog>,
+    base: Arc<MemPager>,
+    segs: Arc<MemSegments>,
+}
+
+fn mem_primary() -> Rig {
+    let base = Arc::new(MemPager::new());
+    let wal_log = Arc::new(MemLog::new());
+    let segs = MemSegments::new();
+    let primary = Primary::open(
+        base.clone(),
+        wal_log.clone(),
+        segs.clone(),
+        WalConfig::with_group_commit(1),
+    )
+    .unwrap();
+    let pool = Arc::new(BufferPool::new(primary.pager(), 256));
+    let db = Database::open_pool(pool).unwrap();
+    Rig {
+        primary,
+        db,
+        wal_log,
+        base,
+        segs,
+    }
+}
+
+fn mem_replica(ship: Arc<ShippingLog>) -> Replica {
+    Replica::open(
+        Arc::new(MemPager::new()),
+        Arc::new(MemLog::new()),
+        Arc::new(MemLog::new()),
+        LocalTransport::new(ship),
+        RetryPolicy::immediate(4),
+    )
+    .unwrap()
+}
+
+fn seed_rows(db: &Database, n: i64) {
+    db.create_table("t", schema(), StorageKind::Heap, &[])
+        .unwrap();
+    db.commit().unwrap();
+    for i in 0..n {
+        let t = db.table("t").unwrap();
+        t.insert(vec![Value::Int(i), Value::Str(format!("row{i}"))])
+            .unwrap();
+        db.commit().unwrap();
+    }
+}
+
+fn committed_pages(pager: &dyn Pager, n: u64) -> Vec<[u8; PAGE_SIZE]> {
+    (0..n)
+        .map(|id| {
+            let mut buf = [0u8; PAGE_SIZE];
+            pager.read_page(id, &mut buf).unwrap();
+            buf
+        })
+        .collect()
+}
+
+fn assert_converged(rig: &Rig, replica: &Replica) {
+    let n = rig.primary.pager().num_pages();
+    assert_eq!(replica.pager().num_pages(), n, "page counts differ");
+    let want = committed_pages(&*rig.primary.pager(), n);
+    let got = committed_pages(&*replica.pager(), n);
+    for (id, (w, g)) in want.iter().zip(&got).enumerate() {
+        assert_eq!(w[..], g[..], "page {id} differs");
+    }
+}
+
+#[test]
+fn meta_codec_roundtrip() {
+    let m = ShipMeta {
+        total_bytes: 123456,
+        commits: 42,
+        crc_state: 0xDEAD_BEEF_F00D,
+        wal_commits_shipped: 7,
+    };
+    let enc = m.encode();
+    assert_eq!(ShipMeta::decode(&enc).unwrap(), m);
+    let mut bad = enc.clone();
+    bad[5] ^= 1;
+    assert!(ShipMeta::decode(&bad).is_err());
+    assert!(ShipMeta::decode(&enc[..enc.len() - 1]).is_err());
+}
+
+#[test]
+fn position_codec_roundtrip() {
+    let pos = crate::Position {
+        pos: 9999,
+        commits: 17,
+        crc_state: 0xABCD,
+        quarantined: true,
+    };
+    let mut log = Vec::new();
+    log.extend_from_slice(&pos.encode());
+    assert_eq!(crate::read_position(&log), Some(pos));
+    // Torn tail falls back to the previous record.
+    let newer = crate::Position {
+        pos: 12000,
+        commits: 18,
+        crc_state: 0xEF01,
+        quarantined: false,
+    };
+    let mut torn = log.clone();
+    let rec = newer.encode();
+    torn.extend_from_slice(&rec[..rec.len() - 3]);
+    assert_eq!(crate::read_position(&torn), Some(pos));
+    log.extend_from_slice(&rec);
+    assert_eq!(crate::read_position(&log), Some(newer));
+    assert_eq!(crate::read_position(&[]), None);
+}
+
+#[test]
+fn commit_boundary_detection() {
+    use relstore::{encode_record, WAL_REC_COMMIT, WAL_REC_PAGE};
+    let page = encode_record(WAL_REC_PAGE, 0, &[0u8; PAGE_SIZE]);
+    let commit = encode_record(WAL_REC_COMMIT, 1, &[]);
+    let mut stream = Vec::new();
+    assert_eq!(last_commit_boundary(&stream), 0);
+    stream.extend_from_slice(&page);
+    assert_eq!(last_commit_boundary(&stream), 0);
+    stream.extend_from_slice(&commit);
+    let first = stream.len();
+    assert_eq!(last_commit_boundary(&stream), first);
+    stream.extend_from_slice(&page);
+    assert_eq!(last_commit_boundary(&stream), first);
+}
+
+#[test]
+fn mix_crc_is_order_sensitive() {
+    let a = mix_crc(mix_crc(0, 1, 10), 2, 20);
+    let b = mix_crc(mix_crc(0, 2, 20), 1, 10);
+    assert_ne!(a, b);
+}
+
+#[test]
+fn roundtrip_and_snapshot() {
+    let rig = mem_primary();
+    seed_rows(&rig.db, 20);
+    let replica = mem_replica(rig.primary.ship());
+    let commits = replica.catch_up().unwrap();
+    assert!(commits >= 21, "expected every commit, got {commits}");
+    assert_converged(&rig, &replica);
+    assert_eq!(replica.lag().unwrap().commits, 0);
+
+    let snap = replica.begin_snapshot().unwrap();
+    assert_eq!(snap.commits(), replica.position().commits);
+    let rows = snap.table("t").unwrap().scan().unwrap();
+    assert_eq!(rows.len(), 20);
+}
+
+#[test]
+fn snapshot_survives_further_replay() {
+    let rig = mem_primary();
+    seed_rows(&rig.db, 5);
+    let replica = mem_replica(rig.primary.ship());
+    replica.catch_up().unwrap();
+    let snap = replica.begin_snapshot().unwrap();
+    let before: Vec<_> = snap.table("t").unwrap().scan().unwrap();
+
+    // Primary keeps writing; replica replays and folds underneath the pin.
+    for i in 100..160 {
+        let t = rig.db.table("t").unwrap();
+        t.insert(vec![Value::Int(i), Value::Str(format!("row{i}"))])
+            .unwrap();
+        rig.db.commit().unwrap();
+    }
+    replica.catch_up().unwrap();
+    replica.checkpoint().unwrap();
+    let after: Vec<_> = snap.table("t").unwrap().scan().unwrap();
+    assert_eq!(
+        format!("{before:?}"),
+        format!("{after:?}"),
+        "pinned snapshot changed under replay"
+    );
+    drop(snap);
+    let fresh = replica.begin_snapshot().unwrap();
+    assert_eq!(fresh.table("t").unwrap().scan().unwrap().len(), 65);
+}
+
+#[test]
+fn lag_reports_staleness() {
+    let rig = mem_primary();
+    seed_rows(&rig.db, 3);
+    let replica = mem_replica(rig.primary.ship());
+    let lag = replica.lag().unwrap();
+    assert_eq!(lag.commits, 4);
+    assert!(lag.bytes > 0);
+    replica.catch_up().unwrap();
+    assert_eq!(
+        replica.lag().unwrap(),
+        crate::Lag {
+            commits: 0,
+            bytes: 0
+        }
+    );
+}
+
+#[test]
+fn transient_channel_faults_converge() {
+    for seed in 0..8u64 {
+        let rig = mem_primary();
+        seed_rows(&rig.db, 25);
+        let chan = FailChannel::new(seed);
+        chan.set_random_faults(35);
+        let transport = FaultTransport::new(LocalTransport::new(rig.primary.ship()), chan);
+        let replica = Replica::open(
+            Arc::new(MemPager::new()),
+            Arc::new(MemLog::new()),
+            Arc::new(MemLog::new()),
+            transport,
+            RetryPolicy::immediate(64),
+        )
+        .unwrap();
+        replica.catch_up().unwrap();
+        assert_converged(&rig, &replica);
+        assert!(!replica.is_quarantined());
+    }
+}
+
+#[test]
+fn dropped_shipments_exhaust_retry_budget() {
+    let rig = mem_primary();
+    seed_rows(&rig.db, 2);
+    let chan = FailChannel::new(7);
+    for n in 1..=4 {
+        chan.arm_nth(n, ShipmentFate::Drop);
+    }
+    let transport = FaultTransport::new(LocalTransport::new(rig.primary.ship()), chan);
+    let replica = Replica::open(
+        Arc::new(MemPager::new()),
+        Arc::new(MemLog::new()),
+        Arc::new(MemLog::new()),
+        transport,
+        RetryPolicy::immediate(3),
+    )
+    .unwrap();
+    match replica.poll() {
+        Err(ReplicaError::Transport { attempts, .. }) => assert_eq!(attempts, 3),
+        other => panic!("expected transport exhaustion, got {other:?}"),
+    }
+    // The budget overrun left the replica intact: a later pull succeeds.
+    replica.catch_up().unwrap();
+    assert_converged(&rig, &replica);
+}
+
+#[test]
+fn corrupt_payload_quarantines() {
+    let rig = mem_primary();
+    seed_rows(&rig.db, 10);
+    let chan = FailChannel::new(3);
+    chan.arm_nth(1, ShipmentFate::CorruptPayload);
+    let transport = FaultTransport::new(LocalTransport::new(rig.primary.ship()), chan);
+    let replica = Replica::open(
+        Arc::new(MemPager::new()),
+        Arc::new(MemLog::new()),
+        Arc::new(MemLog::new()),
+        transport,
+        RetryPolicy::immediate(4),
+    )
+    .unwrap();
+    let err = replica.catch_up().unwrap_err();
+    match err {
+        ReplicaError::Diverged {
+            commit,
+            expected,
+            actual,
+        } => {
+            assert_ne!(expected, actual);
+            assert!(commit >= 1);
+        }
+        other => panic!("expected divergence, got {other:?}"),
+    }
+    assert!(replica.is_quarantined());
+    assert!(replica.position().quarantined);
+    // Applies refuse; the error is stable.
+    match replica.poll() {
+        Err(ReplicaError::Quarantined) => {}
+        other => panic!("expected quarantine refusal, got {other:?}"),
+    }
+    // The diverged unit was never published: the replica still serves
+    // its last verified prefix (possibly empty — commit 1 may be the
+    // corrupted one, in which case nothing was replayed).
+    let pos = replica.position();
+    if pos.commits > 0 {
+        let snap = replica.begin_snapshot().unwrap();
+        assert!(snap.commits() <= 11);
+    }
+}
+
+#[test]
+fn replica_reopen_resumes_from_position() {
+    let rig = mem_primary();
+    seed_rows(&rig.db, 12);
+    let base = Arc::new(MemPager::new());
+    let wal = Arc::new(MemLog::new());
+    let posl = Arc::new(MemLog::new());
+    {
+        let replica = Replica::open(
+            base.clone(),
+            wal.clone(),
+            posl.clone(),
+            LocalTransport::new(rig.primary.ship()),
+            RetryPolicy::immediate(4),
+        )
+        .unwrap();
+        replica.catch_up().unwrap();
+    }
+    // More primary traffic while the replica is "down".
+    for i in 500..510 {
+        let t = rig.db.table("t").unwrap();
+        t.insert(vec![Value::Int(i), Value::Str("late".into())])
+            .unwrap();
+        rig.db.commit().unwrap();
+    }
+    let replica = Replica::open(
+        base,
+        wal,
+        posl,
+        LocalTransport::new(rig.primary.ship()),
+        RetryPolicy::immediate(4),
+    )
+    .unwrap();
+    assert!(replica.position().commits > 0, "position survived reopen");
+    let caught = replica.catch_up().unwrap();
+    assert!(caught >= 10, "only the new commits replay, got {caught}");
+    assert_converged(&rig, &replica);
+}
+
+#[test]
+fn primary_checkpoint_and_restart_reship() {
+    let rig = mem_primary();
+    seed_rows(&rig.db, 8);
+    // Checkpoint truncates the primary WAL; the stream keeps history.
+    rig.db.checkpoint().unwrap();
+    for i in 200..206 {
+        let t = rig.db.table("t").unwrap();
+        t.insert(vec![Value::Int(i), Value::Str("post-ckpt".into())])
+            .unwrap();
+        rig.db.commit().unwrap();
+    }
+    let head_before = rig.primary.ship().head();
+
+    // Restart the primary over the same devices: reconcile must not
+    // re-ship anything already acknowledged (byte-identical stream).
+    let Rig {
+        primary,
+        db,
+        wal_log,
+        base,
+        segs,
+    } = rig;
+    drop(db);
+    drop(primary);
+    let primary = Primary::open(
+        base.clone(),
+        wal_log.clone(),
+        segs.clone(),
+        WalConfig::with_group_commit(1),
+    )
+    .unwrap();
+    assert_eq!(primary.ship().head(), head_before, "restart re-shipped");
+    let pool = Arc::new(BufferPool::new(primary.pager(), 256));
+    let db = Database::open_pool(pool).unwrap();
+    let rig = Rig {
+        primary,
+        db,
+        wal_log,
+        base,
+        segs,
+    };
+
+    let replica = mem_replica(rig.primary.ship());
+    replica.catch_up().unwrap();
+    assert_converged(&rig, &replica);
+    let snap = replica.begin_snapshot().unwrap();
+    assert_eq!(snap.table("t").unwrap().scan().unwrap().len(), 14);
+}
+
+#[test]
+fn unshipped_wal_tail_reships_on_open() {
+    // Simulate a crash window: commits durable in the WAL but never
+    // acknowledged into the stream. Build a plain WAL (no tee), then
+    // open a Primary over it with an empty stream.
+    let base = Arc::new(MemPager::new());
+    let wal_log = Arc::new(MemLog::new());
+    {
+        let pager = Arc::new(
+            WalPager::open(
+                base.clone(),
+                wal_log.clone(),
+                WalConfig::with_group_commit(1),
+            )
+            .unwrap(),
+        );
+        let db = Database::open_pool(Arc::new(BufferPool::new(pager, 256))).unwrap();
+        seed_rows(&db, 6);
+    }
+    let segs = MemSegments::new();
+    let primary = Primary::open(
+        base.clone(),
+        wal_log.clone(),
+        segs.clone(),
+        WalConfig::with_group_commit(1),
+    )
+    .unwrap();
+    let (_, commits) = primary.ship().head();
+    assert_eq!(commits, 7, "all WAL commits re-shipped");
+    let pool = Arc::new(BufferPool::new(primary.pager(), 256));
+    let db = Database::open_pool(pool).unwrap();
+    let rig = Rig {
+        primary,
+        db,
+        wal_log,
+        base,
+        segs,
+    };
+    let replica = mem_replica(rig.primary.ship());
+    replica.catch_up().unwrap();
+    assert_converged(&rig, &replica);
+}
+
+#[test]
+fn backoff_is_bounded_and_jittered() {
+    let p = RetryPolicy::default();
+    for attempt in 1..20 {
+        let d = p.backoff(attempt);
+        assert!(d <= p.cap, "backoff exceeded cap at attempt {attempt}");
+    }
+    assert!(p.backoff(1) > std::time::Duration::ZERO);
+    assert_eq!(
+        RetryPolicy::immediate(3).backoff(5),
+        std::time::Duration::ZERO
+    );
+}

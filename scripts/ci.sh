@@ -74,6 +74,15 @@ echo "== failpoints torture: MVCC snapshot-reader sweep =="
 # serial execution at its pinned commit LSN.
 cargo test -q --features failpoints --test mvcc_torture
 
+echo "== failpoints torture: WAL-shipping replica kill sweep =="
+# Kill the replica at every write and every fsync mid-replay (exhaustive
+# position sweeps), then a 200-seed randomized sweep mixing seeded kills
+# with channel faults (drop/duplicate/reorder/truncate/bit-flip). After
+# recovery + catch-up every replica must be page-for-page byte-identical
+# to the primary; injected content divergence must surface as a durable
+# quarantine that `archis-fsck check --against` flags.
+cargo test -q --features failpoints --test replica_torture
+
 echo "== failpoints torture: 240-seed fsck bit-rot sweep =="
 # Seeded at-rest single-bit flips on a checkpointed archive: scrub must
 # detect every flip at the right page (zero silent wrong answers), and
@@ -120,6 +129,20 @@ if [[ "${CI_BENCH:-0}" != "0" ]]; then
     awk -v s="$ov" 'BEGIN { if (s + 0 > 10.0) { print "2-reader writer overhead " s "% > 10%"; exit 1 } else { print "2-reader writer overhead " s "% <= 10%" } }'
     sc=$(awk -F': ' '/reader_scaling_4r_over_2r/ { gsub(/[ ,]/, "", $2); print $2 }' BENCH_concurrent.json)
     awk -v s="$sc" 'BEGIN { if (s + 0 < 1.2) { print "reader scaling " s "x < 1.2x"; exit 1 } else { print "reader scaling " s "x >= 1.2x" } }'
+
+    echo "== bench: replication microbench =="
+    ./target/release/reproduce -e replica --runs 3
+    # A cold replica must replay the shipped history at >= 2000 pages/s,
+    # one poll per ingest batch must fully drain the stream (post-poll
+    # lag <= 1 commit), and concurrent snapshot readers must not collapse
+    # throughput (reads serialize on the replica's pager lock, so we gate
+    # on no-pathological-contention rather than linear speedup).
+    cu=$(awk -F': ' '/catch_up_pages_per_sec/ { gsub(/[ ,]/, "", $2); print $2 }' BENCH_replica.json)
+    awk -v s="$cu" 'BEGIN { if (s + 0 < 2000.0) { print "replica catch-up " s " pages/s < 2000"; exit 1 } else { print "replica catch-up " s " pages/s >= 2000" } }'
+    lag=$(awk -F': ' '/post_poll_max_commits/ { gsub(/[ ,]/, "", $2); print $2 }' BENCH_replica.json)
+    awk -v s="$lag" 'BEGIN { if (s + 0 > 1.0) { print "replica post-poll lag " s " commits > 1"; exit 1 } else { print "replica post-poll lag " s " commits <= 1" } }'
+    rsc=$(awk -F': ' '/scan_scaling_4r_over_1r/ { gsub(/[ ,]/, "", $2); print $2 }' BENCH_replica.json)
+    awk -v s="$rsc" 'BEGIN { if (s + 0 < 0.8) { print "replica snapshot-read scaling " s "x < 0.8x"; exit 1 } else { print "replica snapshot-read scaling " s "x >= 0.8x" } }'
 fi
 
 echo "CI OK"
